@@ -1,0 +1,95 @@
+// Reproduction of the §3 duplicate-handling claim (C1): "The chain of n
+// rules produce O(n²) unique triples, however commonly used iterative
+// rules schemes produce O(n³) triples."
+//
+// For growing chain lengths, four engines materialise subClassOf^n and we
+// count (a) derivations — triples produced by rule joins before
+// deduplication — and (b) the unique closure. The naive full-rejoin
+// engine's derivations grow ~n³·log(n) (it re-derives everything every
+// round), while the closure stays ~n²/2; Slider's store-level dedup keeps
+// everything it *routes* down to the unique O(n²) closure.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "reason/naive_reasoner.h"
+#include "reason/trree_reasoner.h"
+#include "workload/chain_generator.h"
+
+using namespace slider;
+using namespace slider::bench;
+
+int main(int argc, char** argv) {
+  const bool quick = HasFlag(argc, argv, "--quick");
+  std::vector<size_t> lengths =
+      quick ? std::vector<size_t>{25, 50, 100}
+            : std::vector<size_t>{25, 50, 100, 200, 300};
+
+  std::printf("Duplicate handling on subClassOf^n (claim C1, §3)\n\n");
+  std::printf("%-6s %10s | %14s %14s %14s | %10s %8s\n", "n", "unique",
+              "naive-deriv", "trree-deriv", "slider-deriv", "routed",
+              "n^3/6");
+  std::printf("%s\n", std::string(92, '-').c_str());
+
+  double prev_naive = 0, prev_unique = 0, prev_n = 0;
+  double last_ratio = 0;
+  for (size_t n : lengths) {
+    // Naive: full store × store every round.
+    Dictionary d1;
+    const Vocabulary v1 = Vocabulary::Register(&d1);
+    TripleStore s1;
+    NaiveReasoner naive(Fragment::RhoDf(v1), &s1);
+    const auto naive_stats =
+        naive.Materialize(ChainGenerator::Generate(n, &d1, v1));
+
+    // TRREE: statement-at-a-time (the derivation-count lower bound here).
+    Dictionary d2;
+    const Vocabulary v2 = Vocabulary::Register(&d2);
+    TripleStore s2;
+    TrreeReasoner trree(Fragment::RhoDf(v2), &s2);
+    trree.Materialize(ChainGenerator::Generate(n, &d2, v2))
+        .status()
+        .AbortIfNotOk();
+
+    // Slider: incremental with store-level dedup before routing.
+    ReasonerOptions options = BenchSliderOptions();
+    Reasoner slider(RhoDfFactory(), options);
+    slider.AddTriples(
+        ChainGenerator::Generate(n, slider.dictionary(), slider.vocabulary()));
+    slider.Flush();
+    uint64_t routed = 0;  // triples Slider actually re-enqueued
+    for (const auto& s : slider.rule_stats()) routed += s.accepted;
+
+    const double unique = static_cast<double>(naive_stats.inferred_new);
+    std::printf("%-6zu %10llu | %14llu %14llu %14llu | %10llu %8.0f\n", n,
+                static_cast<unsigned long long>(naive_stats.inferred_new),
+                static_cast<unsigned long long>(naive_stats.derivations),
+                static_cast<unsigned long long>(
+                    trree.cumulative_stats().derivations),
+                static_cast<unsigned long long>(slider.total_derivations()),
+                static_cast<unsigned long long>(routed),
+                std::pow(static_cast<double>(n), 3) / 6);
+
+    if (prev_naive > 0) {
+      // Polynomial-degree estimate from consecutive sizes:
+      // deg = log(y2/y1) / log(n2/n1).
+      const double scale = std::log(static_cast<double>(n) / prev_n);
+      const double deriv_exp =
+          std::log(naive_stats.derivations / prev_naive) / scale;
+      const double unique_exp = std::log(unique / prev_unique) / scale;
+      std::printf("       growth: naive derivations ~n^%.2f, unique closure "
+                  "~n^%.2f\n", deriv_exp, unique_exp);
+      last_ratio = deriv_exp / unique_exp;
+    }
+    prev_naive = static_cast<double>(naive_stats.derivations);
+    prev_unique = unique;
+    prev_n = static_cast<double>(n);
+  }
+  std::printf("%s\n", std::string(92, '-').c_str());
+  std::printf("shape check: naive derivations grow ~cubically (exponent ~3+)"
+              " while the unique closure\ngrows quadratically (exponent ~2);"
+              " last measured exponent ratio: %.2f (expect ~1.5)\n",
+              last_ratio);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation A2: thread-pool size ("multiple instances of same rule ...
+// run in parallel – in order to further enhance the performance", §1).
+//
+// NOTE: the reproduction container exposes a single CPU core (the paper's
+// testbed had four), so speedups cannot manifest here; the sweep documents
+// that the engine is correct and stable under every pool size and measures
+// the synchronisation overhead parallelism costs on one core. On a
+// multi-core host the same binary reports the actual scaling.
+
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "workload/corpus.h"
+
+using namespace slider;
+using namespace slider::bench;
+
+int main(int argc, char** argv) {
+  const std::string name = FlagValue(argc, argv, "--ontology", "BSBM_200k");
+  const std::string doc = Corpus::GenerateNTriples(Corpus::ByName(name));
+
+  std::printf("Ablation A2 — thread-pool size on %s (RDFS)\n", name.c_str());
+  std::printf("hardware_concurrency reported by this host: %u\n\n",
+              std::thread::hardware_concurrency());
+  std::printf("%8s %10s %10s %12s %10s\n", "threads", "time(s)", "execs",
+              "peak-queue", "inferred");
+
+  double t1 = 0;
+  for (const int threads : {1, 2, 4, 8}) {
+    ReasonerOptions options = BenchSliderOptions();
+    options.num_threads = threads;
+    Stopwatch watch;
+    Reasoner reasoner(RdfsFactory(), options);
+    reasoner.AddNTriples(doc).AbortIfNotOk();
+    reasoner.Flush();
+    const double seconds = watch.ElapsedSeconds();
+    if (threads == 1) t1 = seconds;
+    std::printf("%8d %10.3f %10llu %12llu %10zu\n", threads, seconds,
+                static_cast<unsigned long long>(
+                    reasoner.pool_stats().tasks_executed),
+                static_cast<unsigned long long>(
+                    reasoner.pool_stats().peak_queue_depth),
+                reasoner.inferred_count());
+    std::fflush(stdout);
+  }
+  std::printf("\nspeedup(8 threads vs 1) is only meaningful on multi-core "
+              "hosts; single-thread time was %.3fs\n", t1);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Reproduction of Figure 3: "Inference time comparison between Slider and
+// OWLIM-SE, on ρdf and RDFS (lower is better)".
+//
+// Prints the two panels of the figure as horizontal text bar charts over
+// the same corpus as Table 1 — minus BSBM_5M, which the paper's figure
+// omits "for the sake of clarity". Bars are proportional to seconds; each
+// ontology shows the baseline bar above the Slider bar, which makes the
+// figure's message (Slider shorter nearly everywhere, the gap narrowing on
+// the largest chain) directly visible.
+//
+// Flags: --quick (chains + BSBM_100k only).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "workload/corpus.h"
+
+using namespace slider;
+using namespace slider::bench;
+
+namespace {
+
+struct Row {
+  std::string name;
+  double base_s = 0;
+  double slider_s = 0;
+};
+
+void PrintPanel(const char* title, const std::vector<Row>& rows) {
+  double max_s = 0;
+  for (const Row& r : rows) max_s = std::max({max_s, r.base_s, r.slider_s});
+  const int width = 56;
+  std::printf("\n--- %s (bar width %.3fs) ---\n", title, max_s);
+  for (const Row& r : rows) {
+    auto bar = [&](double s) {
+      const int len =
+          max_s <= 0 ? 0 : static_cast<int>(s / max_s * width + 0.5);
+      return std::string(static_cast<size_t>(len), '#');
+    };
+    std::printf("%-14s base   %8.3fs |%s\n", r.name.c_str(), r.base_s,
+                bar(r.base_s).c_str());
+    std::printf("%-14s slider %8.3fs |%s\n", "", r.slider_s,
+                bar(r.slider_s).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<OntologySpec> specs;
+  if (HasFlag(argc, argv, "--quick")) {
+    specs.push_back(Corpus::ByName("BSBM_100k"));
+    for (size_t n : {10u, 100u, 500u}) {
+      specs.push_back(Corpus::ByName("subClassOf" + std::to_string(n)));
+    }
+  } else {
+    specs = Corpus::Table1(/*include_5m=*/false);  // Figure 3 omits 5M
+  }
+
+  std::printf("Figure 3 — inference time, Slider vs batch repository "
+              "(lower is better)\n");
+
+  std::vector<Row> rhodf_rows, rdfs_rows;
+  for (const OntologySpec& spec : specs) {
+    const std::string doc = Corpus::GenerateNTriples(spec);
+    Row rhodf{spec.name, 0, 0};
+    rhodf.base_s =
+        MedianRun(doc, [&] { return RunBaseline(doc, RhoDfFactory()); }).seconds;
+    rhodf.slider_s =
+        MedianRun(doc,
+                  [&] { return RunSlider(doc, RhoDfFactory(), BenchSliderOptions()); })
+            .seconds;
+    rhodf_rows.push_back(rhodf);
+
+    Row rdfs{spec.name, 0, 0};
+    rdfs.base_s =
+        MedianRun(doc, [&] { return RunBaseline(doc, RdfsFactory()); }).seconds;
+    rdfs.slider_s =
+        MedianRun(doc,
+                  [&] { return RunSlider(doc, RdfsFactory(), BenchSliderOptions()); })
+            .seconds;
+    rdfs_rows.push_back(rdfs);
+    std::fprintf(stderr, "measured %s\n", spec.name.c_str());
+  }
+
+  PrintPanel("rho-df", rhodf_rows);
+  PrintPanel("RDFS", rdfs_rows);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Micro-benchmarks of the concurrency substrate: per-rule buffers, the
+// blocking queue behind streamed ingestion, and the rule-module thread
+// pool.
+
+#include <benchmark/benchmark.h>
+
+#include "common/blocking_queue.h"
+#include "common/thread_pool.h"
+#include "reason/buffer.h"
+
+namespace slider {
+namespace {
+
+void BM_BufferPush(benchmark::State& state) {
+  Buffer buffer(static_cast<size_t>(state.range(0)));
+  TermId i = 1;
+  for (auto _ : state) {
+    auto batch = buffer.Push({i, 1, i});
+    if (batch.has_value()) {
+      benchmark::DoNotOptimize(batch->size());
+    }
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferPush)->Arg(64)->Arg(4096)->Arg(262144);
+
+void BM_BufferPushBatch(benchmark::State& state) {
+  Buffer buffer(65536);
+  TripleVec batch;
+  for (TermId i = 1; i <= 1024; ++i) batch.push_back({i, 1, i});
+  std::vector<TripleVec> flushed;
+  for (auto _ : state) {
+    flushed.clear();
+    buffer.PushBatch(batch, &flushed);
+    benchmark::DoNotOptimize(flushed.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_BufferPushBatch);
+
+void BM_BlockingQueuePushPop(benchmark::State& state) {
+  BlockingQueue<Triple> queue(1 << 16);
+  TermId i = 1;
+  for (auto _ : state) {
+    queue.TryPush({i, 1, i});
+    benchmark::DoNotOptimize(queue.Pop());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlockingQueuePushPop);
+
+void BM_ThreadPoolSubmitDrain(benchmark::State& state) {
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    for (int i = 0; i < 256; ++i) {
+      pool.Submit([] {});
+    }
+    pool.WaitIdle();
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_ThreadPoolSubmitDrain)->Arg(1)->Arg(4);
+
+}  // namespace
+}  // namespace slider

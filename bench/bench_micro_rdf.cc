@@ -1,0 +1,114 @@
+// Micro-benchmarks of the RDF substrate: dictionary encoding (the Input
+// Manager's hot path — the paper dictionary-encodes "the expensive URIs
+// (as they introduce overheads during comparison computation) to Longs")
+// and N-Triples parsing/serialisation.
+
+#include <benchmark/benchmark.h>
+
+#include "common/string_util.h"
+#include "rdf/dictionary.h"
+#include "rdf/ntriples.h"
+
+namespace slider {
+namespace {
+
+void BM_DictionaryEncodeMiss(benchmark::State& state) {
+  Dictionary dict;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dict.Encode(Format("<http://bench/term/%llu>",
+                           static_cast<unsigned long long>(i++))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DictionaryEncodeMiss);
+
+void BM_DictionaryEncodeHit(benchmark::State& state) {
+  Dictionary dict;
+  std::vector<std::string> terms;
+  for (int i = 0; i < 1024; ++i) {
+    terms.push_back(Format("<http://bench/term/%d>", i));
+    dict.Encode(terms.back());
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dict.Encode(terms[i++ % terms.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DictionaryEncodeHit);
+
+void BM_DictionaryDecode(benchmark::State& state) {
+  Dictionary dict;
+  for (int i = 0; i < 1024; ++i) {
+    dict.Encode(Format("<http://bench/term/%d>", i));
+  }
+  TermId id = kFirstTermId;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dict.DecodeUnchecked(id));
+    id = id % 1024 + kFirstTermId;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DictionaryDecode);
+
+void BM_ParseIriLine(benchmark::State& state) {
+  const std::string line =
+      "<http://example.org/products/Product12345> "
+      "<http://example.org/vocabulary/productPropertyNumeric1> "
+      "<http://example.org/values/v42> .";
+  for (auto _ : state) {
+    auto parsed = NTriplesParser::ParseLine(line);
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * line.size());
+}
+BENCHMARK(BM_ParseIriLine);
+
+void BM_ParseLiteralLine(benchmark::State& state) {
+  const std::string line =
+      "<http://example.org/reviews/Review9> "
+      "<http://example.org/vocabulary/text> "
+      "\"this product is \\\"great\\\" overall\"@en .";
+  for (auto _ : state) {
+    auto parsed = NTriplesParser::ParseLine(line);
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * line.size());
+}
+BENCHMARK(BM_ParseLiteralLine);
+
+void BM_ParseDocument(benchmark::State& state) {
+  std::string doc;
+  for (int i = 0; i < 1000; ++i) {
+    doc += Format("<http://ex/s%d> <http://ex/p%d> <http://ex/o%d> .\n", i,
+                  i % 16, i * 7);
+  }
+  for (auto _ : state) {
+    size_t n = 0;
+    NTriplesParser::ParseDocument(doc, [&](const ParsedTriple&) {
+      ++n;
+      return Status::OK();
+    }).AbortIfNotOk();
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+  state.SetBytesProcessed(state.iterations() * doc.size());
+}
+BENCHMARK(BM_ParseDocument);
+
+void BM_SerializeLine(benchmark::State& state) {
+  ParsedTriple t{"<http://example.org/s>", "<http://example.org/p>",
+                 "\"literal value\"@en"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ToNTriplesLine(t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SerializeLine);
+
+}  // namespace
+}  // namespace slider

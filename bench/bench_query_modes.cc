@@ -1,0 +1,109 @@
+// Reproduction of the paper's motivating trade-off (§1, claim C4):
+// "backward-chaining suffers from more complex query evaluation that
+// adversely affects performance and scalability ... forward-chaining
+// enables scalability and very efficient responses at query time, but at
+// the cost of an expensive up front closure computation."
+//
+// This harness quantifies both sides on a BSBM dataset:
+//   - up-front cost: Slider materialisation time (forward pays, backward
+//     does not);
+//   - per-query cost: the same SPARQL-lite queries answered by direct
+//     lookups on the closure vs. ρdf backward chaining on the raw store;
+//   - break-even: after how many queries the materialisation pays off.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "query/backward.h"
+#include "query/evaluator.h"
+#include "workload/corpus.h"
+
+using namespace slider;
+using namespace slider::bench;
+
+int main(int argc, char** argv) {
+  const std::string name = FlagValue(argc, argv, "--ontology", "BSBM_100k");
+  const int reps = 25;
+
+  // Shared data: one dictionary so both providers see identical ids.
+  Reasoner reasoner(RhoDfFactory(), BenchSliderOptions());
+  TripleVec input = Corpus::Generate(Corpus::ByName(name),
+                                     reasoner.dictionary(),
+                                     reasoner.vocabulary());
+  TripleStore raw;
+  raw.AddAll(input, nullptr);
+
+  Stopwatch materialise_watch;
+  reasoner.AddTriples(input);
+  reasoner.Flush();
+  const double materialise_s = materialise_watch.ElapsedSeconds();
+
+  Dictionary* dict = reasoner.dictionary();
+  ForwardProvider forward(&reasoner.store());
+  BackwardChainer backward(&raw, reasoner.vocabulary());
+
+  const std::vector<std::pair<const char*, std::string>> queries = {
+      {"instances of a product type (type query through the hierarchy)",
+       "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+       "SELECT ?x WHERE { ?x rdf:type <http://slider.repro/bsbm/ProductType0> "
+       "}"},
+      {"subclass pairs (transitive closure query)",
+       "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n"
+       "SELECT DISTINCT ?a ?b WHERE { ?a rdfs:subClassOf ?b }"},
+      {"typed review join (join of type + instance patterns)",
+       "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+       "SELECT ?r ?p WHERE { ?r rdf:type <http://slider.repro/bsbm/Review> . "
+       "?r <http://slider.repro/bsbm/reviewFor> ?p } LIMIT 500"},
+  };
+
+  std::printf("Query answering: forward (materialised) vs backward "
+              "(query-time rules) on %s\n\n", name.c_str());
+  std::printf("up-front materialisation (forward only): %.3fs, %zu inferred\n\n",
+              materialise_s, reasoner.inferred_count());
+  std::printf("%-64s %10s %12s %8s\n", "query", "fwd(ms)", "bwd(ms)", "rows");
+  std::printf("%s\n", std::string(98, '-').c_str());
+
+  double forward_total = 0, backward_total = 0;
+  for (const auto& [label, text] : queries) {
+    auto query = SparqlParser::Parse(text, dict);
+    query.status().AbortIfNotOk();
+
+    // Warm + measure forward.
+    Stopwatch fw;
+    size_t rows = 0;
+    for (int i = 0; i < reps; ++i) {
+      auto result = QueryEvaluator(&forward).Evaluate(*query);
+      result.status().AbortIfNotOk();
+      rows = result->rows.size();
+    }
+    const double fwd_ms = fw.ElapsedMillis() / reps;
+
+    Stopwatch bw;
+    size_t bwd_rows = 0;
+    for (int i = 0; i < reps; ++i) {
+      auto result = QueryEvaluator(&backward).Evaluate(*query);
+      result.status().AbortIfNotOk();
+      bwd_rows = result->rows.size();
+    }
+    const double bwd_ms = bw.ElapsedMillis() / reps;
+
+    forward_total += fwd_ms;
+    backward_total += bwd_ms;
+    std::printf("%-64s %10.3f %12.3f %8zu%s\n", label, fwd_ms, bwd_ms, rows,
+                rows == bwd_rows ? "" : "  !! answer mismatch");
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", std::string(98, '-').c_str());
+  const double per_query_saving = (backward_total - forward_total) / 1000.0;
+  std::printf("avg per-query-suite: forward %.3fms, backward %.3fms "
+              "(%.1fx slower)\n", forward_total, backward_total,
+              backward_total / forward_total);
+  if (per_query_saving > 0) {
+    std::printf("break-even: materialisation (%.3fs) amortised after %.0f "
+                "query suites\n", materialise_s,
+                materialise_s / per_query_saving);
+  }
+  return 0;
+}

@@ -1,0 +1,125 @@
+#ifndef SLIDER_BENCH_BENCH_UTIL_H_
+#define SLIDER_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the table/figure harnesses: flag parsing and the two
+// measured engine drivers. Every timing includes N-Triples parsing, because
+// "OWLIM-SE does not allow to separately compute the parsing and inference
+// time, thus ... for both systems, the running times include both parsing
+// and inferencing times" (§3).
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "reason/reasoner.h"
+#include "reason/repository.h"
+
+namespace slider {
+namespace bench {
+
+/// One measured engine execution.
+struct EngineRun {
+  size_t input = 0;     ///< distinct explicit triples loaded
+  size_t inferred = 0;  ///< distinct inferred triples
+  double seconds = 0;   ///< wall-clock: parse + inference (+ commit)
+};
+
+/// True if `flag` (e.g. "--full") occurs in argv.
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+/// Returns the value of "--name=value", or `fallback`.
+inline std::string FlagValue(int argc, char** argv, const char* name,
+                             const std::string& fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+/// Loads `document` into the OWLIM-SE substitute (persistent batch
+/// repository) and fully materialises; the commit (log flush + dictionary
+/// persist) is part of the measured time, as it is part of a repository
+/// load.
+inline EngineRun RunBaseline(const std::string& document,
+                             const FragmentFactory& factory) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "slider_bench_repo").string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  Repository::Options options;
+  options.storage_dir = dir;
+  Stopwatch watch;
+  auto repo = Repository::Open(factory, options);
+  repo.status().AbortIfNotOk();
+  auto stats = (*repo)->Load(document);
+  stats.status().AbortIfNotOk();
+  (*repo)->Checkpoint().AbortIfNotOk();
+  EngineRun run;
+  run.seconds = watch.ElapsedSeconds();
+  run.input = (*repo)->explicit_count();
+  run.inferred = (*repo)->inferred_count();
+  std::filesystem::remove_all(dir);
+  return run;
+}
+
+/// Streams `document` through Slider and completes the closure.
+inline EngineRun RunSlider(const std::string& document,
+                           const FragmentFactory& factory,
+                           ReasonerOptions options = {}) {
+  Stopwatch watch;
+  Reasoner reasoner(factory, options);
+  reasoner.AddNTriples(document).AbortIfNotOk();
+  reasoner.Flush();
+  EngineRun run;
+  run.seconds = watch.ElapsedSeconds();
+  run.input = reasoner.explicit_count();
+  run.inferred = reasoner.inferred_count();
+  return run;
+}
+
+/// Default Slider engine options for the comparative benches.
+inline ReasonerOptions BenchSliderOptions() {
+  ReasonerOptions options;
+  options.buffer_size = 262144;
+  options.buffer_timeout = std::chrono::milliseconds(100);
+  return options;
+}
+
+/// The paper's Gain column: (baseline - slider) / slider, in percent.
+inline double GainPercent(double baseline_s, double slider_s) {
+  return slider_s <= 0 ? 0 : (baseline_s - slider_s) / slider_s * 100.0;
+}
+
+/// Runs `run` once for large documents, or five times (median seconds) for
+/// sub-100KB ones whose runtimes are dominated by fixed costs and noise.
+template <typename Fn>
+EngineRun MedianRun(const std::string& document, Fn&& run) {
+  if (document.size() >= 100 * 1024) {
+    return run();
+  }
+  std::vector<EngineRun> runs;
+  for (int i = 0; i < 5; ++i) {
+    runs.push_back(run());
+  }
+  std::sort(runs.begin(), runs.end(),
+            [](const EngineRun& a, const EngineRun& b) {
+              return a.seconds < b.seconds;
+            });
+  return runs[runs.size() / 2];
+}
+
+}  // namespace bench
+}  // namespace slider
+
+#endif  // SLIDER_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,98 @@
+// Querying a materialised closure with SPARQL-lite — and the same queries
+// under backward chaining.
+//
+// The paper's introduction frames Slider's design choice: forward chaining
+// (materialisation) buys "very efficient responses at query time", while
+// backward chaining re-derives knowledge per query. This example runs both
+// against the same data: Slider materialises, ForwardProvider answers by
+// lookup; BackwardChainer answers the same queries over the raw triples by
+// unrolling the ρdf rules at query time.
+//
+// Run: ./examples/sparql_query
+
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "query/backward.h"
+#include "query/evaluator.h"
+#include "rdf/graph_io.h"
+#include "reason/reasoner.h"
+
+using namespace slider;
+
+namespace {
+
+constexpr const char* kOntology = R"(
+<http://z/Lion>   <http://www.w3.org/2000/01/rdf-schema#subClassOf> <http://z/Felid> .
+<http://z/Felid>  <http://www.w3.org/2000/01/rdf-schema#subClassOf> <http://z/Mammal> .
+<http://z/Mammal> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <http://z/Animal> .
+<http://z/keeps>  <http://www.w3.org/2000/01/rdf-schema#range> <http://z/Animal> .
+<http://z/feeds>  <http://www.w3.org/2000/01/rdf-schema#subPropertyOf> <http://z/keeps> .
+<http://z/leo>    <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://z/Lion> .
+<http://z/elsa>   <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://z/Lion> .
+<http://z/joy>    <http://z/feeds> <http://z/elsa> .
+)";
+
+constexpr const char* kQueries[] = {
+    // Every mammal — entailed through two subclass hops.
+    "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+    "SELECT ?x WHERE { ?x rdf:type <http://z/Mammal> }",
+    // Who keeps which animal — <joy keeps elsa> entailed via PRP-SPO1,
+    // <elsa type Animal> via PRP-RNG + CAX-SCO.
+    "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+    "SELECT ?keeper ?animal WHERE { ?keeper <http://z/keeps> ?animal . "
+    "?animal rdf:type <http://z/Animal> }",
+    // All subclass pairs.
+    "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n"
+    "SELECT DISTINCT ?sub ?super WHERE { ?sub rdfs:subClassOf ?super }",
+};
+
+}  // namespace
+
+int main() {
+  // Forward: materialise with Slider, then query the closure directly.
+  Reasoner reasoner(RhoDfFactory());
+  reasoner.AddNTriples(kOntology).AbortIfNotOk();
+  reasoner.Flush();
+  Dictionary* dict = reasoner.dictionary();
+
+  // Backward: the same explicit triples, NOT materialised.
+  TripleStore raw;
+  {
+    Dictionary scratch;  // encodings are identical: same insertion order
+    auto triples = LoadNTriplesString(kOntology, dict);
+    triples.status().AbortIfNotOk();
+    raw.AddAll(*triples, nullptr);
+  }
+  BackwardChainer backward(&raw, reasoner.vocabulary());
+  ForwardProvider forward(&reasoner.store());
+
+  for (const char* text : kQueries) {
+    std::printf("=============================================\n%s\n", text);
+    auto query = SparqlParser::Parse(text, dict);
+    query.status().AbortIfNotOk();
+
+    Stopwatch fw;
+    auto forward_result = QueryEvaluator(&forward).Evaluate(*query);
+    forward_result.status().AbortIfNotOk();
+    const double forward_us = static_cast<double>(fw.ElapsedMicros());
+
+    Stopwatch bw;
+    auto backward_result = QueryEvaluator(&backward).Evaluate(*query);
+    backward_result.status().AbortIfNotOk();
+    const double backward_us = static_cast<double>(bw.ElapsedMicros());
+
+    std::printf("\nforward (materialised store, %.0fus):\n%s",
+                forward_us, forward_result->ToTsv(*dict).c_str());
+    std::printf("backward (query-time rules, %.0fus): %zu rows — %s\n",
+                backward_us, backward_result->rows.size(),
+                backward_result->rows.size() == forward_result->rows.size()
+                    ? "same answers"
+                    : "MISMATCH");
+  }
+  std::printf("=============================================\n");
+  std::printf("explicit: %zu, inferred: %zu — queries over the closure are\n"
+              "plain index lookups; backward chaining re-derives per query.\n",
+              reasoner.explicit_count(), reasoner.inferred_count());
+  return 0;
+}

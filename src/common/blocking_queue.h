@@ -1,0 +1,122 @@
+#ifndef SLIDER_COMMON_BLOCKING_QUEUE_H_
+#define SLIDER_COMMON_BLOCKING_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace slider {
+
+/// \brief Bounded multi-producer/multi-consumer blocking queue.
+///
+/// This is the generic queue underlying the streaming input path (the paper's
+/// "buffers (blocking queues) to handle the explosion of inferred statements
+/// and incoming triples"). The per-rule Buffer in src/reason adds the
+/// size/timeout flush policy on top of simpler primitives; this class is the
+/// reusable building block exposed to applications that feed Slider from
+/// concurrent sources.
+template <typename T>
+class BlockingQueue {
+ public:
+  /// Creates a queue holding at most `capacity` elements (0 = unbounded).
+  explicit BlockingQueue(size_t capacity = 0) : capacity_(capacity) {}
+
+  BlockingQueue(const BlockingQueue&) = delete;
+  BlockingQueue& operator=(const BlockingQueue&) = delete;
+
+  /// Blocks until space is available (or the queue is closed). Returns false
+  /// if the queue was closed and the element was not enqueued.
+  bool Push(T value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || !AtCapacityLocked(); });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; returns false if full or closed.
+  bool TryPush(T value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || AtCapacityLocked()) return false;
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an element is available or the queue is closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T value = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Pop with a deadline; returns nullopt on timeout or close+drain.
+  std::optional<T> PopWithTimeout(std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!not_empty_.wait_for(lock, timeout,
+                             [&] { return closed_ || !items_.empty(); })) {
+      return std::nullopt;
+    }
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Removes and returns everything currently queued (possibly empty).
+  std::vector<T> DrainAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<T> out(std::make_move_iterator(items_.begin()),
+                       std::make_move_iterator(items_.end()));
+    items_.clear();
+    not_full_.notify_all();
+    return out;
+  }
+
+  /// Closes the queue: pushes fail, pops drain the remainder then return
+  /// nullopt. Idempotent.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  bool AtCapacityLocked() const {
+    return capacity_ != 0 && items_.size() >= capacity_;
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace slider
+
+#endif  // SLIDER_COMMON_BLOCKING_QUEUE_H_

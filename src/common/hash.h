@@ -1,0 +1,28 @@
+#ifndef SLIDER_COMMON_HASH_H_
+#define SLIDER_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace slider {
+
+/// Mixes a 64-bit value into a running hash seed (boost::hash_combine
+/// strengthened with a 64-bit finalizer).
+inline size_t HashCombine(size_t seed, uint64_t value) {
+  uint64_t x = value + 0x9E3779B97F4A7C15ULL + (seed << 6) + (seed >> 2);
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return static_cast<size_t>(x ^ (x >> 31));
+}
+
+/// Hashes three 64-bit ids (subject, predicate, object) into one value.
+inline size_t HashTripleIds(uint64_t s, uint64_t p, uint64_t o) {
+  size_t h = HashCombine(0, s);
+  h = HashCombine(h, p);
+  h = HashCombine(h, o);
+  return h;
+}
+
+}  // namespace slider
+
+#endif  // SLIDER_COMMON_HASH_H_

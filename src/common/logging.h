@@ -1,0 +1,56 @@
+#ifndef SLIDER_COMMON_LOGGING_H_
+#define SLIDER_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace slider {
+
+/// \brief Severity of a log message; messages below the global threshold are
+/// suppressed.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the minimum level emitted to stderr. Defaults to kWarning so that
+/// tests and benches stay quiet unless something is wrong.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current minimum emitted level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits a single line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace slider
+
+/// Usage: SLIDER_LOG(kInfo) << "loaded " << n << " triples";
+#define SLIDER_LOG(level)                                     \
+  if (::slider::LogLevel::level >= ::slider::GetLogLevel())   \
+  ::slider::internal::LogMessage(::slider::LogLevel::level, __FILE__, __LINE__)
+
+#endif  // SLIDER_COMMON_LOGGING_H_

@@ -1,0 +1,47 @@
+#ifndef SLIDER_COMMON_MACROS_H_
+#define SLIDER_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Propagates a non-OK Status to the caller.
+#define SLIDER_RETURN_NOT_OK(expr)                \
+  do {                                            \
+    ::slider::Status _slider_st = (expr);         \
+    if (!_slider_st.ok()) return _slider_st;      \
+  } while (false)
+
+#define SLIDER_CONCAT_IMPL(x, y) x##y
+#define SLIDER_CONCAT(x, y) SLIDER_CONCAT_IMPL(x, y)
+
+/// Evaluates an expression returning Result<T>; on success assigns the value
+/// to `lhs`, on failure returns the error Status to the caller.
+#define SLIDER_ASSIGN_OR_RETURN(lhs, rexpr)                           \
+  auto SLIDER_CONCAT(_slider_result_, __LINE__) = (rexpr);            \
+  if (!SLIDER_CONCAT(_slider_result_, __LINE__).ok()) {               \
+    return SLIDER_CONCAT(_slider_result_, __LINE__).status();         \
+  }                                                                   \
+  lhs = SLIDER_CONCAT(_slider_result_, __LINE__).MoveValueUnsafe()
+
+/// Invariant check that aborts the process on violation; active in all build
+/// types. Use for conditions that indicate a bug in this library, never for
+/// input validation (return Status for those).
+#define SLIDER_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "SLIDER_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+/// Debug-only invariant check.
+#ifdef NDEBUG
+#define SLIDER_DCHECK(cond) \
+  do {                      \
+  } while (false)
+#else
+#define SLIDER_DCHECK(cond) SLIDER_CHECK(cond)
+#endif
+
+#endif  // SLIDER_COMMON_MACROS_H_

@@ -1,0 +1,32 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slider {
+
+ZipfDistribution::ZipfDistribution(size_t n, double s) {
+  SLIDER_CHECK(n > 0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = acc;
+  }
+  const double total = acc;
+  for (size_t i = 0; i < n; ++i) {
+    cdf_[i] /= total;
+  }
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+size_t ZipfDistribution::Sample(Random* rng) const {
+  const double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) {
+    return cdf_.size() - 1;
+  }
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace slider

@@ -1,0 +1,75 @@
+#ifndef SLIDER_COMMON_RESULT_H_
+#define SLIDER_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace slider {
+
+/// \brief Either a value of type T or an error Status (Arrow idiom).
+///
+/// Used as the return type of fallible functions that produce a value, so
+/// callers cannot forget to check for failure. Use SLIDER_ASSIGN_OR_RETURN
+/// (macros.h) for ergonomic propagation.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a failed result. Aborts if `status` is OK, since that would
+  /// leave the result with neither a value nor an error.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(status)) {
+    if (std::get<Status>(repr_).ok()) {
+      std::abort();  // programming error: OK status without a value
+    }
+  }
+
+  /// Constructs a successful result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(value)) {}
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; OK if the result holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Returns the value; the result must be ok().
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    DieIfError();
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    DieIfError();
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Moves the value out of the result; the result must be ok().
+  T MoveValueUnsafe() { return std::move(std::get<T>(repr_)); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) {
+      std::get<Status>(repr_).AbortIfNotOk();
+    }
+  }
+
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace slider
+
+#endif  // SLIDER_COMMON_RESULT_H_

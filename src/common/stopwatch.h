@@ -1,0 +1,39 @@
+#ifndef SLIDER_COMMON_STOPWATCH_H_
+#define SLIDER_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace slider {
+
+/// \brief Monotonic wall-clock stopwatch used by the benchmark harnesses.
+///
+/// The paper reports end-to-end times that include both parsing and
+/// inference; every harness measures with this class so all engines are
+/// timed identically.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace slider
+
+#endif  // SLIDER_COMMON_STOPWATCH_H_

@@ -1,0 +1,27 @@
+#ifndef SLIDER_COMMON_STRING_UTIL_H_
+#define SLIDER_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace slider {
+
+/// printf-style formatting into a std::string.
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Splits `input` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view input, char sep);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// Renders n with thousands separators ("1,234,567") for table output.
+std::string WithThousands(uint64_t n);
+
+}  // namespace slider
+
+#endif  // SLIDER_COMMON_STRING_UTIL_H_

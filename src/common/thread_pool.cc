@@ -1,0 +1,88 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace slider {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Submit(std::function<void()> task) {
+  SLIDER_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SLIDER_CHECK(!shutdown_);
+    queue_.push_back(std::move(task));
+    peak_queue_depth_ = std::max(peak_queue_depth_, static_cast<uint64_t>(queue_.size()));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [&] { return queue_.empty() && active_workers_ == 0; });
+}
+
+bool ThreadPool::IsIdle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.empty() && active_workers_ == 0;
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.tasks_executed = tasks_executed_;
+  s.peak_queue_depth = peak_queue_depth_;
+  s.num_threads = static_cast<int>(workers_.size());
+  return s;
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // shutdown_ must be true: drain finished.
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_workers_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_workers_;
+      ++tasks_executed_;
+      if (queue_.empty() && active_workers_ == 0) {
+        idle_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace slider

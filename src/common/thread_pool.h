@@ -1,0 +1,75 @@
+#ifndef SLIDER_COMMON_THREAD_POOL_H_
+#define SLIDER_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace slider {
+
+/// \brief Fixed-size worker pool executing submitted tasks asynchronously.
+///
+/// This is the paper's "Thread Pool" component: rule-module instances are
+/// pooled and run on available workers, enabling multiple instances of the
+/// same rule to execute in parallel while bounding resource usage (one
+/// thread per triple would "exhaust CPU resources", §2).
+///
+/// WaitIdle() is the synchronisation primitive behind Reasoner::Flush(): it
+/// returns only once every submitted task has finished, including tasks that
+/// were submitted *by* running tasks (inference cascades).
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (minimum 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains outstanding tasks and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Must not be called after Shutdown().
+  void Submit(std::function<void()> task);
+
+  /// Blocks until no task is queued or running. Tasks submitted while
+  /// waiting (e.g. by other tasks) are also waited for.
+  void WaitIdle();
+
+  /// Non-blocking check: true iff no task is queued or running right now.
+  bool IsIdle() const;
+
+  /// Stops accepting tasks, drains the queue and joins all workers.
+  /// Idempotent; called by the destructor.
+  void Shutdown();
+
+  /// Point-in-time counters, for the demo player and the benches.
+  struct Stats {
+    uint64_t tasks_executed = 0;
+    uint64_t peak_queue_depth = 0;
+    int num_threads = 0;
+  };
+  Stats stats() const;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  uint64_t tasks_executed_ = 0;
+  uint64_t peak_queue_depth_ = 0;
+  int active_workers_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace slider
+
+#endif  // SLIDER_COMMON_THREAD_POOL_H_

@@ -1,0 +1,254 @@
+#include "query/backward.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace slider {
+
+/// Deduplicating emission: backward expansion can reach the same entailed
+/// triple along several rule paths; each top-level Match call emits each
+/// binding once.
+class BackwardChainer::DedupSink {
+ public:
+  explicit DedupSink(const std::function<void(const Triple&)>& sink)
+      : sink_(sink) {}
+
+  void Emit(const Triple& t) {
+    if (emitted_.insert(t).second) {
+      sink_(t);
+    }
+  }
+
+ private:
+  const std::function<void(const Triple&)>& sink_;
+  TripleSet emitted_;
+};
+
+std::vector<TermId> BackwardChainer::Reach(TermId start, TermId predicate,
+                                           bool down) const {
+  // BFS along `predicate` edges; nodes are emitted only when reached
+  // through at least one edge (ρdf has no reflexive closure), so `start`
+  // appears only if it sits on a cycle.
+  std::vector<TermId> out;
+  std::unordered_set<TermId> seen;
+  std::deque<TermId> frontier{start};
+  std::unordered_set<TermId> expanded;
+  while (!frontier.empty()) {
+    const TermId cur = frontier.front();
+    frontier.pop_front();
+    if (!expanded.insert(cur).second) continue;
+    auto visit = [&](TermId next) {
+      if (seen.insert(next).second) {
+        out.push_back(next);
+      }
+      frontier.push_back(next);
+    };
+    if (down) {
+      store_->ForEachSubject(predicate, cur, visit);
+    } else {
+      store_->ForEachObject(predicate, cur, visit);
+    }
+  }
+  return out;
+}
+
+std::vector<TermId> BackwardChainer::SubClassesOf(TermId c) const {
+  std::vector<TermId> out = Reach(c, v_.sub_class_of, /*down=*/true);
+  if (std::find(out.begin(), out.end(), c) == out.end()) out.push_back(c);
+  return out;
+}
+
+std::vector<TermId> BackwardChainer::SuperClassesOf(TermId c) const {
+  std::vector<TermId> out = Reach(c, v_.sub_class_of, /*down=*/false);
+  if (std::find(out.begin(), out.end(), c) == out.end()) out.push_back(c);
+  return out;
+}
+
+std::vector<TermId> BackwardChainer::SubPropertiesOf(TermId p) const {
+  std::vector<TermId> out = Reach(p, v_.sub_property_of, /*down=*/true);
+  if (std::find(out.begin(), out.end(), p) == out.end()) out.push_back(p);
+  return out;
+}
+
+std::vector<TermId> BackwardChainer::SuperPropertiesOf(TermId p) const {
+  std::vector<TermId> out = Reach(p, v_.sub_property_of, /*down=*/false);
+  if (std::find(out.begin(), out.end(), p) == out.end()) out.push_back(p);
+  return out;
+}
+
+void BackwardChainer::MatchTransitive(TermId predicate,
+                                      const TriplePattern& pattern,
+                                      DedupSink* sink) const {
+  if (pattern.s != kAnyTerm) {
+    // Entailed (s P x): everything reachable upward through >= 1 edge.
+    for (TermId target : Reach(pattern.s, predicate, /*down=*/false)) {
+      if (pattern.o == kAnyTerm || pattern.o == target) {
+        sink->Emit(Triple(pattern.s, predicate, target));
+      }
+    }
+    return;
+  }
+  if (pattern.o != kAnyTerm) {
+    for (TermId source : Reach(pattern.o, predicate, /*down=*/true)) {
+      sink->Emit(Triple(source, predicate, pattern.o));
+    }
+    return;
+  }
+  // Fully unbound: expand upward from every explicit edge subject.
+  std::unordered_set<TermId> subjects;
+  store_->ForEachWithPredicate(predicate,
+                               [&](TermId s, TermId) { subjects.insert(s); });
+  for (TermId s : subjects) {
+    for (TermId target : Reach(s, predicate, /*down=*/false)) {
+      sink->Emit(Triple(s, predicate, target));
+    }
+  }
+}
+
+void BackwardChainer::MatchSchemaInherited(TermId schema_predicate,
+                                           const TriplePattern& pattern,
+                                           DedupSink* sink) const {
+  if (pattern.s != kAnyTerm) {
+    // (p dom/rng c) holds if any super-property of p has it explicitly.
+    for (TermId super : SuperPropertiesOf(pattern.s)) {
+      store_->ForEachObject(schema_predicate, super, [&](TermId c) {
+        if (pattern.o == kAnyTerm || pattern.o == c) {
+          sink->Emit(Triple(pattern.s, schema_predicate, c));
+        }
+      });
+    }
+    return;
+  }
+  // p unbound: start from every explicit schema edge and push down to the
+  // carrying property's sub-properties.
+  store_->ForEachWithPredicate(schema_predicate, [&](TermId p, TermId c) {
+    if (pattern.o != kAnyTerm && pattern.o != c) return;
+    for (TermId sub : SubPropertiesOf(p)) {
+      sink->Emit(Triple(sub, schema_predicate, c));
+    }
+  });
+}
+
+void BackwardChainer::MatchType(const TriplePattern& pattern,
+                                DedupSink* sink) const {
+  // Evidence for (x type c'): explicit typing, or being subject/object of a
+  // property whose inherited domain/range is c'. The entailed class set is
+  // the superclass closure of the evidence class. `emit_for` runs the
+  // upward closure once per evidence pair.
+  auto emit_for = [&](TermId x, TermId evidence_class) {
+    if (pattern.s != kAnyTerm && pattern.s != x) return;
+    for (TermId c : SuperClassesOf(evidence_class)) {
+      if (pattern.o == kAnyTerm || pattern.o == c) {
+        sink->Emit(Triple(x, v_.type, c));
+      }
+    }
+  };
+
+  if (pattern.o != kAnyTerm) {
+    // Restrict evidence classes to subclasses of the queried class.
+    for (TermId evidence_class : SubClassesOf(pattern.o)) {
+      // (a) explicit typing at the evidence class.
+      store_->ForEachSubject(v_.type, evidence_class, [&](TermId x) {
+        if (pattern.s == kAnyTerm || pattern.s == x) {
+          sink->Emit(Triple(x, v_.type, pattern.o));
+        }
+      });
+      // (b)/(c) domain/range evidence: explicit schema at the evidence
+      // class, instances through the carrying property's sub-properties.
+      store_->ForEachSubject(v_.domain, evidence_class, [&](TermId p) {
+        for (TermId sub : SubPropertiesOf(p)) {
+          store_->ForEachWithPredicate(sub, [&](TermId x, TermId) {
+            if (pattern.s == kAnyTerm || pattern.s == x) {
+              sink->Emit(Triple(x, v_.type, pattern.o));
+            }
+          });
+        }
+      });
+      store_->ForEachSubject(v_.range, evidence_class, [&](TermId p) {
+        for (TermId sub : SubPropertiesOf(p)) {
+          store_->ForEachWithPredicate(sub, [&](TermId, TermId y) {
+            if (pattern.s == kAnyTerm || pattern.s == y) {
+              sink->Emit(Triple(y, v_.type, pattern.o));
+            }
+          });
+        }
+      });
+    }
+    return;
+  }
+
+  // Class unbound: expand upward from every piece of evidence.
+  store_->ForEachWithPredicate(v_.type,
+                               [&](TermId x, TermId c) { emit_for(x, c); });
+  store_->ForEachWithPredicate(v_.domain, [&](TermId p, TermId c) {
+    for (TermId sub : SubPropertiesOf(p)) {
+      store_->ForEachWithPredicate(sub,
+                                   [&](TermId x, TermId) { emit_for(x, c); });
+    }
+  });
+  store_->ForEachWithPredicate(v_.range, [&](TermId p, TermId c) {
+    for (TermId sub : SubPropertiesOf(p)) {
+      store_->ForEachWithPredicate(sub,
+                                   [&](TermId, TermId y) { emit_for(y, c); });
+    }
+  });
+}
+
+void BackwardChainer::MatchInstance(const TriplePattern& pattern,
+                                    DedupSink* sink) const {
+  // (x p y) is entailed iff some sub-property of p holds explicitly
+  // (PRP-SPO1 unrolled through the SCM-SPO closure).
+  for (TermId sub : SubPropertiesOf(pattern.p)) {
+    TriplePattern sub_pattern = pattern;
+    sub_pattern.p = sub;
+    store_->ForEachMatch(sub_pattern, [&](const Triple& t) {
+      sink->Emit(Triple(t.s, pattern.p, t.o));
+    });
+  }
+}
+
+void BackwardChainer::Match(
+    const TriplePattern& pattern,
+    const std::function<void(const Triple&)>& sink) const {
+  DedupSink dedup(sink);
+  if (pattern.p == v_.sub_class_of || pattern.p == v_.sub_property_of) {
+    MatchTransitive(pattern.p, pattern, &dedup);
+    return;
+  }
+  if (pattern.p == v_.domain || pattern.p == v_.range) {
+    MatchSchemaInherited(pattern.p, pattern, &dedup);
+    return;
+  }
+  if (pattern.p == v_.type) {
+    MatchType(pattern, &dedup);
+    return;
+  }
+  if (pattern.p != kAnyTerm) {
+    MatchInstance(pattern, &dedup);
+    return;
+  }
+  // Predicate unbound: the entailed predicate universe is every stored
+  // predicate plus every super-property introduced by subPropertyOf edges.
+  std::unordered_set<TermId> predicates;
+  for (TermId p : store_->Predicates()) predicates.insert(p);
+  store_->ForEachWithPredicate(v_.sub_property_of,
+                               [&](TermId, TermId super) {
+                                 predicates.insert(super);
+                               });
+  predicates.insert(v_.type);
+  for (TermId p : predicates) {
+    TriplePattern bound = pattern;
+    bound.p = p;
+    Match(bound, [&](const Triple& t) { dedup.Emit(t); });
+  }
+}
+
+size_t BackwardChainer::EstimateCount(const TriplePattern& pattern) const {
+  // Backward expansion fans out; scale the explicit-store estimate.
+  ForwardProvider forward(store_);
+  const size_t base = forward.EstimateCount(pattern);
+  return base * 4 + 16;
+}
+
+}  // namespace slider

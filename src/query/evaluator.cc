@@ -1,0 +1,187 @@
+#include "query/evaluator.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace slider {
+
+size_t ForwardProvider::EstimateCount(const TriplePattern& pattern) const {
+  if (pattern.p == kAnyTerm) {
+    return store_->size();
+  }
+  if (pattern.s == kAnyTerm && pattern.o == kAnyTerm) {
+    return store_->CountWithPredicate(pattern.p);
+  }
+  // Bound subject or object inside a predicate partition: assume high
+  // selectivity; exact counting would cost a lookup per estimate.
+  const size_t partition = store_->CountWithPredicate(pattern.p);
+  return partition / 8 + 1;
+}
+
+std::string QueryResult::ToTsv(const Dictionary& dict) const {
+  std::string out = Join(variables, "\t");
+  out.push_back('\n');
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) out.push_back('\t');
+      auto term = dict.Decode(row[i]);
+      out.append(term.ok() ? *term : "?");
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+namespace {
+
+/// Sentinel for "variable not bound yet".
+constexpr TermId kUnbound = std::numeric_limits<TermId>::max();
+
+/// Applies the current bindings to a pattern, producing a concrete
+/// TriplePattern (unbound variables become wildcards).
+TriplePattern Instantiate(const QueryPattern& pattern,
+                          const std::vector<TermId>& bindings) {
+  auto resolve = [&](const QueryTerm& term) -> TermId {
+    if (!term.IsVariable()) return term.term;
+    const TermId bound = bindings[static_cast<size_t>(term.var)];
+    return bound == kUnbound ? kAnyTerm : bound;
+  };
+  return TriplePattern{resolve(pattern.s), resolve(pattern.p),
+                       resolve(pattern.o)};
+}
+
+/// Number of still-unbound variables in a pattern under `bindings`.
+int UnboundCount(const QueryPattern& pattern,
+                 const std::vector<TermId>& bindings) {
+  int count = 0;
+  for (const QueryTerm* term : {&pattern.s, &pattern.p, &pattern.o}) {
+    if (term->IsVariable() &&
+        bindings[static_cast<size_t>(term->var)] == kUnbound) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+class Joiner {
+ public:
+  Joiner(const Query& query, const MatchProvider* provider)
+      : query_(query), provider_(provider) {}
+
+  QueryResult Run() {
+    QueryResult result;
+    for (int var : query_.projection) {
+      result.variables.push_back(query_.variables[static_cast<size_t>(var)]);
+    }
+    std::vector<TermId> bindings(query_.variables.size(), kUnbound);
+    std::vector<bool> used(query_.where.size(), false);
+    Recurse(bindings, used, 0, &result);
+    if (query_.distinct) {
+      std::sort(result.rows.begin(), result.rows.end());
+      result.rows.erase(std::unique(result.rows.begin(), result.rows.end()),
+                        result.rows.end());
+      if (query_.limit != 0 && result.rows.size() > query_.limit) {
+        result.rows.resize(query_.limit);
+      }
+    }
+    return result;
+  }
+
+ private:
+  bool LimitReached(const QueryResult& result) const {
+    // Under DISTINCT, rows deduplicate at the end, so early cut-off is only
+    // safe without it.
+    return !query_.distinct && query_.limit != 0 &&
+           result.rows.size() >= query_.limit;
+  }
+
+  /// Picks the cheapest not-yet-joined pattern under the current bindings —
+  /// greedy selectivity ordering, re-evaluated at every join level.
+  int PickNext(const std::vector<TermId>& bindings,
+               const std::vector<bool>& used) const {
+    int best = -1;
+    size_t best_cost = std::numeric_limits<size_t>::max();
+    for (size_t i = 0; i < query_.where.size(); ++i) {
+      if (used[i]) continue;
+      const TriplePattern concrete = Instantiate(query_.where[i], bindings);
+      size_t cost = provider_->EstimateCount(concrete);
+      // Prefer patterns with fewer unbound variables on ties.
+      cost = cost * 4 + static_cast<size_t>(
+                            UnboundCount(query_.where[i], bindings));
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = static_cast<int>(i);
+      }
+    }
+    return best;
+  }
+
+  void Recurse(std::vector<TermId>& bindings, std::vector<bool>& used,
+               size_t depth, QueryResult* result) {
+    if (LimitReached(*result)) return;
+    if (depth == query_.where.size()) {
+      std::vector<TermId> row;
+      row.reserve(query_.projection.size());
+      for (int var : query_.projection) {
+        row.push_back(bindings[static_cast<size_t>(var)]);
+      }
+      result->rows.push_back(std::move(row));
+      return;
+    }
+    const int pick = PickNext(bindings, used);
+    if (pick < 0) return;
+    used[static_cast<size_t>(pick)] = true;
+    const QueryPattern& pattern = query_.where[static_cast<size_t>(pick)];
+    const TriplePattern concrete = Instantiate(pattern, bindings);
+    provider_->Match(concrete, [&](const Triple& t) {
+      if (LimitReached(*result)) return;
+      // Bind the pattern's variables to this triple; consistent by
+      // construction for positions already bound (they were concrete).
+      // A variable used twice in one pattern must match both positions.
+      std::vector<std::pair<int, TermId>> newly;
+      auto bind = [&](const QueryTerm& term, TermId value) -> bool {
+        if (!term.IsVariable()) return true;
+        TermId& slot = bindings[static_cast<size_t>(term.var)];
+        if (slot == kUnbound) {
+          slot = value;
+          newly.emplace_back(term.var, value);
+          return true;
+        }
+        return slot == value;
+      };
+      if (bind(pattern.s, t.s) && bind(pattern.p, t.p) && bind(pattern.o, t.o)) {
+        Recurse(bindings, used, depth + 1, result);
+      }
+      for (const auto& [var, value] : newly) {
+        bindings[static_cast<size_t>(var)] = kUnbound;
+      }
+    });
+    used[static_cast<size_t>(pick)] = false;
+  }
+
+  const Query& query_;
+  const MatchProvider* provider_;
+};
+
+}  // namespace
+
+Result<QueryResult> QueryEvaluator::Evaluate(const Query& query) const {
+  for (int var : query.projection) {
+    if (var < 0 || static_cast<size_t>(var) >= query.variables.size()) {
+      return Status::InvalidArgument("projection references unknown variable");
+    }
+  }
+  return Joiner(query, provider_).Run();
+}
+
+Result<QueryResult> RunSparql(std::string_view text, const TripleStore& store,
+                              Dictionary* dict) {
+  SLIDER_ASSIGN_OR_RETURN(Query query, SparqlParser::Parse(text, dict));
+  ForwardProvider provider(&store);
+  QueryEvaluator evaluator(&provider);
+  return evaluator.Evaluate(query);
+}
+
+}  // namespace slider

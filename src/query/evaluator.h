@@ -1,0 +1,79 @@
+#ifndef SLIDER_QUERY_EVALUATOR_H_
+#define SLIDER_QUERY_EVALUATOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/sparql.h"
+#include "rdf/dictionary.h"
+#include "store/triple_store.h"
+
+namespace slider {
+
+/// \brief Source of pattern matches for the query evaluator.
+///
+/// The two implementations embody the trade-off the paper's introduction
+/// discusses: ForwardProvider answers from a fully *materialised* store
+/// (forward chaining: "very efficient responses at query time"), while
+/// BackwardChainer (query/backward.h) expands the ρdf rules at query time
+/// over the raw store ("more complex query evaluation that adversely
+/// affects performance").
+class MatchProvider {
+ public:
+  virtual ~MatchProvider() = default;
+
+  /// Invokes `sink` for every triple matching `pattern`.
+  virtual void Match(const TriplePattern& pattern,
+                     const std::function<void(const Triple&)>& sink) const = 0;
+
+  /// Estimated number of matches, used for join ordering. May overcount.
+  virtual size_t EstimateCount(const TriplePattern& pattern) const = 0;
+};
+
+/// \brief Direct store lookup: query answering over a materialised closure.
+class ForwardProvider : public MatchProvider {
+ public:
+  explicit ForwardProvider(const TripleStore* store) : store_(store) {}
+
+  void Match(const TriplePattern& pattern,
+             const std::function<void(const Triple&)>& sink) const override {
+    store_->ForEachMatch(pattern, sink);
+  }
+
+  size_t EstimateCount(const TriplePattern& pattern) const override;
+
+ private:
+  const TripleStore* store_;
+};
+
+/// \brief A solution table: one row per binding of the projected variables.
+struct QueryResult {
+  std::vector<std::string> variables;       ///< projected variable names
+  std::vector<std::vector<TermId>> rows;    ///< bindings, row-major
+
+  /// Renders rows via the dictionary, tab-separated, header included.
+  std::string ToTsv(const Dictionary& dict) const;
+};
+
+/// \brief Basic-graph-pattern evaluator: selectivity-ordered backtracking
+/// joins over any MatchProvider.
+class QueryEvaluator {
+ public:
+  explicit QueryEvaluator(const MatchProvider* provider) : provider_(provider) {}
+
+  /// Evaluates `query`, honouring DISTINCT and LIMIT.
+  Result<QueryResult> Evaluate(const Query& query) const;
+
+ private:
+  const MatchProvider* provider_;
+};
+
+/// Convenience: parse and evaluate against a materialised store.
+Result<QueryResult> RunSparql(std::string_view text, const TripleStore& store,
+                              Dictionary* dict);
+
+}  // namespace slider
+
+#endif  // SLIDER_QUERY_EVALUATOR_H_

@@ -1,0 +1,318 @@
+#include "query/sparql.h"
+
+#include <cctype>
+#include <map>
+
+#include "common/string_util.h"
+#include "rdf/vocabulary.h"
+
+namespace slider {
+
+namespace {
+
+/// Hand-rolled tokenizer/recursive-descent parser for the SPARQL subset.
+class Parser {
+ public:
+  Parser(std::string_view text, Dictionary* dict) : text_(text), dict_(dict) {}
+
+  Result<Query> Run() {
+    SLIDER_RETURN_NOT_OK(ParsePrologue());
+    SLIDER_RETURN_NOT_OK(ParseSelect());
+    SLIDER_RETURN_NOT_OK(ParseWhere());
+    SLIDER_RETURN_NOT_OK(ParseModifiers());
+    SkipWhitespace();
+    if (!AtEnd()) {
+      return Status::InvalidArgument(
+          Format("trailing content at offset %zu", pos_));
+    }
+    if (query_.projection.empty()) {
+      // SELECT * — project every variable.
+      for (size_t i = 0; i < query_.variables.size(); ++i) {
+        query_.projection.push_back(static_cast<int>(i));
+      }
+    }
+    return query_;
+  }
+
+ private:
+  // --- lexing helpers -------------------------------------------------------
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+
+  void SkipWhitespace() {
+    while (!AtEnd()) {
+      const char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {  // comment to end of line
+        while (!AtEnd() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  /// Case-insensitive keyword match; consumes on success.
+  bool ConsumeKeyword(std::string_view keyword) {
+    SkipWhitespace();
+    if (pos_ + keyword.size() > text_.size()) return false;
+    for (size_t i = 0; i < keyword.size(); ++i) {
+      if (std::toupper(static_cast<unsigned char>(text_[pos_ + i])) !=
+          std::toupper(static_cast<unsigned char>(keyword[i]))) {
+        return false;
+      }
+    }
+    // Must not be a prefix of a longer word.
+    const size_t end = pos_ + keyword.size();
+    if (end < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+         text_[end] == '_')) {
+      return false;
+    }
+    pos_ = end;
+    return true;
+  }
+
+  bool ConsumeChar(char c) {
+    SkipWhitespace();
+    if (AtEnd() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  // --- grammar --------------------------------------------------------------
+
+  Status ParsePrologue() {
+    while (ConsumeKeyword("PREFIX")) {
+      SkipWhitespace();
+      const size_t colon = text_.find(':', pos_);
+      if (colon == std::string_view::npos) {
+        return Status::InvalidArgument("PREFIX missing ':'");
+      }
+      const std::string name(Trim(text_.substr(pos_, colon - pos_)));
+      pos_ = colon + 1;
+      SkipWhitespace();
+      if (AtEnd() || text_[pos_] != '<') {
+        return Status::InvalidArgument("PREFIX missing <iri>");
+      }
+      const size_t close = text_.find('>', pos_);
+      if (close == std::string_view::npos) {
+        return Status::InvalidArgument("PREFIX iri not terminated");
+      }
+      // Store without brackets; expansion re-adds them.
+      prefixes_[name] =
+          std::string(text_.substr(pos_ + 1, close - pos_ - 1));
+      pos_ = close + 1;
+    }
+    return Status::OK();
+  }
+
+  Status ParseSelect() {
+    if (!ConsumeKeyword("SELECT")) {
+      return Status::InvalidArgument("expected SELECT");
+    }
+    query_.distinct = ConsumeKeyword("DISTINCT");
+    SkipWhitespace();
+    if (ConsumeChar('*')) {
+      return Status::OK();  // projection filled in Run()
+    }
+    bool any = false;
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd() || text_[pos_] != '?') break;
+      ++pos_;
+      std::string name = ConsumeName();
+      if (name.empty()) {
+        return Status::InvalidArgument("empty variable name in SELECT");
+      }
+      query_.projection.push_back(InternVariable(name));
+      any = true;
+    }
+    if (!any) {
+      return Status::InvalidArgument("SELECT needs '*' or variables");
+    }
+    return Status::OK();
+  }
+
+  Status ParseWhere() {
+    if (!ConsumeKeyword("WHERE")) {
+      return Status::InvalidArgument("expected WHERE");
+    }
+    if (!ConsumeChar('{')) {
+      return Status::InvalidArgument("expected '{' after WHERE");
+    }
+    while (true) {
+      SkipWhitespace();
+      if (ConsumeChar('}')) break;
+      QueryPattern pattern;
+      SLIDER_ASSIGN_OR_RETURN(pattern.s, ParseTerm(/*allow_literal=*/false));
+      SLIDER_ASSIGN_OR_RETURN(pattern.p, ParseTerm(/*allow_literal=*/false));
+      SLIDER_ASSIGN_OR_RETURN(pattern.o, ParseTerm(/*allow_literal=*/true));
+      query_.where.push_back(pattern);
+      ConsumeChar('.');  // statement separator; optional before '}'
+    }
+    if (query_.where.empty()) {
+      return Status::InvalidArgument("empty WHERE block");
+    }
+    return Status::OK();
+  }
+
+  Status ParseModifiers() {
+    if (ConsumeKeyword("LIMIT")) {
+      SkipWhitespace();
+      size_t digits = 0;
+      size_t value = 0;
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        value = value * 10 + static_cast<size_t>(text_[pos_] - '0');
+        ++pos_;
+        ++digits;
+      }
+      if (digits == 0) {
+        return Status::InvalidArgument("LIMIT needs a number");
+      }
+      query_.limit = value;
+    }
+    return Status::OK();
+  }
+
+  Result<QueryTerm> ParseTerm(bool allow_literal) {
+    SkipWhitespace();
+    if (AtEnd()) {
+      return Status::InvalidArgument("unexpected end of query in pattern");
+    }
+    const char c = text_[pos_];
+    if (c == '?') {
+      ++pos_;
+      std::string name = ConsumeName();
+      if (name.empty()) {
+        return Status::InvalidArgument("empty variable name");
+      }
+      return QueryTerm::Variable(InternVariable(name));
+    }
+    if (c == '<') {
+      const size_t close = text_.find('>', pos_);
+      if (close == std::string_view::npos) {
+        return Status::InvalidArgument("IRI not terminated");
+      }
+      const std::string iri(text_.substr(pos_, close - pos_ + 1));
+      pos_ = close + 1;
+      return QueryTerm::Bound(dict_->Encode(iri));
+    }
+    if (c == '"') {
+      if (!allow_literal) {
+        return Status::InvalidArgument("literal not allowed here");
+      }
+      // Scan the literal with escapes plus optional @lang / ^^<dt> suffix —
+      // same lexical form as the N-Triples dictionary entries.
+      size_t i = pos_ + 1;
+      while (i < text_.size()) {
+        if (text_[i] == '\\') {
+          i += 2;
+          continue;
+        }
+        if (text_[i] == '"') break;
+        ++i;
+      }
+      if (i >= text_.size()) {
+        return Status::InvalidArgument("literal not terminated");
+      }
+      ++i;  // past closing quote
+      if (i < text_.size() && text_[i] == '@') {
+        while (i < text_.size() &&
+               !std::isspace(static_cast<unsigned char>(text_[i])) &&
+               text_[i] != '.' && text_[i] != '}') {
+          ++i;
+        }
+      } else if (i + 1 < text_.size() && text_[i] == '^' && text_[i + 1] == '^') {
+        const size_t close = text_.find('>', i);
+        if (close == std::string_view::npos) {
+          return Status::InvalidArgument("literal datatype not terminated");
+        }
+        i = close + 1;
+      }
+      const std::string literal(text_.substr(pos_, i - pos_));
+      pos_ = i;
+      return QueryTerm::Bound(dict_->Encode(literal));
+    }
+    // `a` keyword → rdf:type.
+    if (c == 'a' && (pos_ + 1 >= text_.size() ||
+                     std::isspace(static_cast<unsigned char>(text_[pos_ + 1])))) {
+      ++pos_;
+      return QueryTerm::Bound(dict_->Encode(iri::kRdfType));
+    }
+    // prefix:local
+    std::string prefixed = ConsumePrefixedName();
+    if (!prefixed.empty()) {
+      const size_t colon = prefixed.find(':');
+      const std::string prefix = prefixed.substr(0, colon);
+      auto it = prefixes_.find(prefix);
+      if (it == prefixes_.end()) {
+        return Status::InvalidArgument(
+            Format("unknown prefix '%s'", prefix.c_str()));
+      }
+      const std::string iri =
+          "<" + it->second + prefixed.substr(colon + 1) + ">";
+      return QueryTerm::Bound(dict_->Encode(iri));
+    }
+    return Status::InvalidArgument(
+        Format("cannot parse pattern term at offset %zu", pos_));
+  }
+
+  std::string ConsumeName() {
+    std::string out;
+    while (!AtEnd()) {
+      const char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        out.push_back(c);
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return out;
+  }
+
+  std::string ConsumePrefixedName() {
+    const size_t start = pos_;
+    std::string prefix = ConsumeName();
+    if (AtEnd() || text_[pos_] != ':') {
+      pos_ = start;
+      return "";
+    }
+    ++pos_;
+    std::string local = ConsumeName();
+    if (local.empty()) {
+      pos_ = start;
+      return "";
+    }
+    return prefix + ":" + local;
+  }
+
+  int InternVariable(const std::string& name) {
+    const int existing = query_.VariableIndex(name);
+    if (existing >= 0) return existing;
+    query_.variables.push_back(name);
+    return static_cast<int>(query_.variables.size()) - 1;
+  }
+
+  std::string_view text_;
+  Dictionary* dict_;
+  size_t pos_ = 0;
+  Query query_;
+  std::map<std::string, std::string> prefixes_;
+};
+
+}  // namespace
+
+int Query::VariableIndex(std::string_view name) const {
+  for (size_t i = 0; i < variables.size(); ++i) {
+    if (variables[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<Query> SparqlParser::Parse(std::string_view text, Dictionary* dict) {
+  return Parser(text, dict).Run();
+}
+
+}  // namespace slider

@@ -1,0 +1,80 @@
+#ifndef SLIDER_QUERY_SPARQL_H_
+#define SLIDER_QUERY_SPARQL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+
+namespace slider {
+
+/// \brief One position of a query triple pattern: a bound term or a
+/// variable (identified by index into Query::variables).
+struct QueryTerm {
+  enum class Kind { kBound, kVariable };
+  Kind kind = Kind::kBound;
+  TermId term = kAnyTerm;  ///< valid iff kBound
+  int var = -1;            ///< valid iff kVariable
+
+  static QueryTerm Bound(TermId id) {
+    QueryTerm t;
+    t.kind = Kind::kBound;
+    t.term = id;
+    return t;
+  }
+  static QueryTerm Variable(int index) {
+    QueryTerm t;
+    t.kind = Kind::kVariable;
+    t.var = index;
+    return t;
+  }
+  bool IsVariable() const { return kind == Kind::kVariable; }
+};
+
+/// \brief A triple pattern of a basic graph pattern.
+struct QueryPattern {
+  QueryTerm s, p, o;
+};
+
+/// \brief A parsed SPARQL-lite query.
+///
+/// Supported grammar (a practical subset sufficient for the evaluation
+/// workloads):
+///
+///   [PREFIX name: <iri>]*
+///   SELECT (DISTINCT)? (?var+ | *)
+///   WHERE { pattern ("." pattern)* "."? }
+///   (LIMIT n)?
+///
+/// where each pattern term is `?var`, `<iri>`, `prefix:local`, a literal
+/// ("..." with optional @lang / ^^<datatype>), or the keyword `a`
+/// (rdf:type). Terms are dictionary-encoded at parse time; a bound term
+/// that is not in the dictionary can never match, which the evaluator
+/// exploits.
+struct Query {
+  std::vector<std::string> variables;  ///< names without '?', first-seen order
+  std::vector<int> projection;         ///< indexes into variables
+  std::vector<QueryPattern> where;
+  bool distinct = false;
+  size_t limit = 0;  ///< 0 = unlimited
+
+  /// Index of `name` in variables, or -1.
+  int VariableIndex(std::string_view name) const;
+};
+
+/// \brief Parser for the SPARQL subset above.
+///
+/// Terms are encoded through `dict` (inserting unseen terms, so parsing a
+/// query never fails on vocabulary grounds — unmatched terms simply yield
+/// empty results).
+class SparqlParser {
+ public:
+  static Result<Query> Parse(std::string_view text, Dictionary* dict);
+};
+
+}  // namespace slider
+
+#endif  // SLIDER_QUERY_SPARQL_H_

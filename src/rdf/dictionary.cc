@@ -1,0 +1,56 @@
+#include "rdf/dictionary.h"
+
+#include <mutex>
+
+#include "common/string_util.h"
+
+namespace slider {
+
+TermId Dictionary::Encode(std::string_view term) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = ids_.find(term);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = ids_.find(term);
+  if (it != ids_.end()) return it->second;  // raced with another encoder
+  terms_.emplace_back(term);
+  const TermId id = kFirstTermId + static_cast<TermId>(terms_.size()) - 1;
+  ids_.emplace(std::string_view(terms_.back()), id);
+  return id;
+}
+
+Triple Dictionary::EncodeTriple(std::string_view s, std::string_view p,
+                                std::string_view o) {
+  return Triple(Encode(s), Encode(p), Encode(o));
+}
+
+std::optional<TermId> Dictionary::Lookup(std::string_view term) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = ids_.find(term);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<std::string> Dictionary::Decode(TermId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (id < kFirstTermId || id > terms_.size()) {
+    return Status::OutOfRange(
+        Format("term id %llu not in dictionary (size %zu)",
+               static_cast<unsigned long long>(id), terms_.size()));
+  }
+  return terms_[id - kFirstTermId];
+}
+
+const std::string& Dictionary::DecodeUnchecked(TermId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return terms_[id - kFirstTermId];
+}
+
+size_t Dictionary::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return terms_.size();
+}
+
+}  // namespace slider

@@ -1,0 +1,62 @@
+#ifndef SLIDER_RDF_DICTIONARY_H_
+#define SLIDER_RDF_DICTIONARY_H_
+
+#include <deque>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "rdf/term.h"
+
+namespace slider {
+
+/// \brief Thread-safe bidirectional mapping between RDF term strings and
+/// TermIds (the paper's Input Manager dictionary).
+///
+/// Terms are stored in their N-Triples lexical form, e.g. "<http://ex/a>",
+/// "\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>", "_:b0", so encoding
+/// and decoding round-trip exactly.
+///
+/// Concurrency: encoding takes a writer lock only for unseen terms; lookups
+/// and decoding take a reader lock, so parallel parsers and rule modules can
+/// translate concurrently ("multiple instances of input manager", §2).
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+
+  /// Returns the id of `term`, assigning the next free id if unseen.
+  TermId Encode(std::string_view term);
+
+  /// Convenience: encodes three term strings into a Triple.
+  Triple EncodeTriple(std::string_view s, std::string_view p, std::string_view o);
+
+  /// Returns the id of `term` if present.
+  std::optional<TermId> Lookup(std::string_view term) const;
+
+  /// Returns the lexical form of `id`; OutOfRange if the id was never
+  /// assigned.
+  Result<std::string> Decode(TermId id) const;
+
+  /// Unchecked decode for hot paths; `id` must have been assigned.
+  const std::string& DecodeUnchecked(TermId id) const;
+
+  /// Number of distinct terms registered.
+  size_t size() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  // Deque gives stable string storage, so the map can key string_views into
+  // it without invalidation on growth.
+  std::deque<std::string> terms_;
+  std::unordered_map<std::string_view, TermId> ids_;
+};
+
+}  // namespace slider
+
+#endif  // SLIDER_RDF_DICTIONARY_H_

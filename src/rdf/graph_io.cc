@@ -1,0 +1,73 @@
+#include "rdf/graph_io.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "rdf/ntriples.h"
+
+namespace slider {
+
+Result<TripleVec> LoadNTriplesString(std::string_view document, Dictionary* dict) {
+  TripleVec triples;
+  Status st = NTriplesParser::ParseDocument(
+      document, [&](const ParsedTriple& t) -> Status {
+        triples.push_back(dict->EncodeTriple(t.subject, t.predicate, t.object));
+        return Status::OK();
+      });
+  if (!st.ok()) return st;
+  return triples;
+}
+
+Result<TripleVec> LoadNTriplesFile(const std::string& path, Dictionary* dict) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (file == nullptr) {
+    return Status::IOError(Format("cannot open '%s' for reading", path.c_str()));
+  }
+  std::fseek(file.get(), 0, SEEK_END);
+  const long size = std::ftell(file.get());
+  if (size < 0) {
+    return Status::IOError(Format("cannot stat '%s'", path.c_str()));
+  }
+  std::fseek(file.get(), 0, SEEK_SET);
+  std::string contents(static_cast<size_t>(size), '\0');
+  if (size > 0 &&
+      std::fread(contents.data(), 1, contents.size(), file.get()) != contents.size()) {
+    return Status::IOError(Format("short read on '%s'", path.c_str()));
+  }
+  return LoadNTriplesString(contents, dict);
+}
+
+Result<std::string> ToNTriplesString(const TripleVec& triples, const Dictionary& dict) {
+  std::string out;
+  for (const Triple& t : triples) {
+    SLIDER_ASSIGN_OR_RETURN(std::string s, dict.Decode(t.s));
+    SLIDER_ASSIGN_OR_RETURN(std::string p, dict.Decode(t.p));
+    SLIDER_ASSIGN_OR_RETURN(std::string o, dict.Decode(t.o));
+    out.append(s);
+    out.push_back(' ');
+    out.append(p);
+    out.push_back(' ');
+    out.append(o);
+    out.append(" .\n");
+  }
+  return out;
+}
+
+Status WriteNTriplesFile(const std::string& path, const TripleVec& triples,
+                         const Dictionary& dict) {
+  SLIDER_ASSIGN_OR_RETURN(std::string doc, ToNTriplesString(triples, dict));
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (file == nullptr) {
+    return Status::IOError(Format("cannot open '%s' for writing", path.c_str()));
+  }
+  if (std::fwrite(doc.data(), 1, doc.size(), file.get()) != doc.size()) {
+    return Status::IOError(Format("short write on '%s'", path.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace slider

@@ -1,0 +1,29 @@
+#ifndef SLIDER_RDF_GRAPH_IO_H_
+#define SLIDER_RDF_GRAPH_IO_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+
+namespace slider {
+
+/// Parses an N-Triples document held in memory, encoding terms via `dict`.
+Result<TripleVec> LoadNTriplesString(std::string_view document, Dictionary* dict);
+
+/// Reads and parses an N-Triples file.
+Result<TripleVec> LoadNTriplesFile(const std::string& path, Dictionary* dict);
+
+/// Serializes `triples` (decoded via `dict`) as an N-Triples document.
+Result<std::string> ToNTriplesString(const TripleVec& triples, const Dictionary& dict);
+
+/// Writes `triples` to `path` in N-Triples syntax.
+Status WriteNTriplesFile(const std::string& path, const TripleVec& triples,
+                         const Dictionary& dict);
+
+}  // namespace slider
+
+#endif  // SLIDER_RDF_GRAPH_IO_H_

@@ -1,0 +1,144 @@
+#include "rdf/ntriples.h"
+
+#include <cstddef>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace slider {
+
+namespace {
+
+/// Consumes one RDF term starting at `pos`; returns the term's lexical form
+/// and advances `pos` past it. Returns an error for malformed terms.
+Result<std::string> ConsumeTerm(std::string_view line, size_t* pos,
+                                bool allow_literal) {
+  const size_t n = line.size();
+  size_t i = *pos;
+  while (i < n && (line[i] == ' ' || line[i] == '\t')) ++i;
+  if (i >= n) {
+    return Status::InvalidArgument("unexpected end of statement");
+  }
+  const size_t start = i;
+  const char c = line[i];
+  if (c == '<') {
+    // IRI: everything up to the closing '>'.
+    const size_t close = line.find('>', i + 1);
+    if (close == std::string_view::npos) {
+      return Status::InvalidArgument("unterminated IRI");
+    }
+    i = close + 1;
+  } else if (c == '_') {
+    // Blank node label "_:name" up to whitespace.
+    if (i + 1 >= n || line[i + 1] != ':') {
+      return Status::InvalidArgument("malformed blank node label");
+    }
+    i += 2;
+    while (i < n && line[i] != ' ' && line[i] != '\t') ++i;
+  } else if (c == '"') {
+    if (!allow_literal) {
+      return Status::InvalidArgument("literal not allowed in this position");
+    }
+    // Literal body honouring backslash escapes.
+    ++i;
+    bool closed = false;
+    while (i < n) {
+      if (line[i] == '\\') {
+        i += 2;
+        continue;
+      }
+      if (line[i] == '"') {
+        closed = true;
+        ++i;
+        break;
+      }
+      ++i;
+    }
+    if (!closed) {
+      return Status::InvalidArgument("unterminated literal");
+    }
+    // Optional "@lang" or "^^<datatype>" suffix.
+    if (i < n && line[i] == '@') {
+      while (i < n && line[i] != ' ' && line[i] != '\t') ++i;
+    } else if (i + 1 < n && line[i] == '^' && line[i + 1] == '^') {
+      i += 2;
+      if (i >= n || line[i] != '<') {
+        return Status::InvalidArgument("malformed datatype IRI");
+      }
+      const size_t close = line.find('>', i + 1);
+      if (close == std::string_view::npos) {
+        return Status::InvalidArgument("unterminated datatype IRI");
+      }
+      i = close + 1;
+    }
+  } else {
+    return Status::InvalidArgument(
+        Format("unexpected character '%c' at column %zu", c, i));
+  }
+  *pos = i;
+  return std::string(line.substr(start, i - start));
+}
+
+}  // namespace
+
+Result<ParsedTriple> NTriplesParser::ParseLine(std::string_view line) {
+  size_t pos = 0;
+  ParsedTriple t;
+  SLIDER_ASSIGN_OR_RETURN(t.subject, ConsumeTerm(line, &pos, /*allow_literal=*/false));
+  SLIDER_ASSIGN_OR_RETURN(t.predicate, ConsumeTerm(line, &pos, /*allow_literal=*/false));
+  if (t.predicate.empty() || t.predicate.front() != '<') {
+    return Status::InvalidArgument("predicate must be an IRI");
+  }
+  SLIDER_ASSIGN_OR_RETURN(t.object, ConsumeTerm(line, &pos, /*allow_literal=*/true));
+  // Remainder must be optional whitespace, '.', optional whitespace.
+  std::string_view rest = Trim(line.substr(pos));
+  if (rest.empty() || rest.front() != '.') {
+    return Status::InvalidArgument("statement not terminated by '.'");
+  }
+  rest = Trim(rest.substr(1));
+  if (!rest.empty() && rest.front() != '#') {
+    return Status::InvalidArgument("trailing content after '.'");
+  }
+  return t;
+}
+
+Status NTriplesParser::ParseDocument(
+    std::string_view document,
+    const std::function<Status(const ParsedTriple&)>& sink) {
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start <= document.size()) {
+    size_t end = document.find('\n', start);
+    if (end == std::string_view::npos) end = document.size();
+    std::string_view raw = document.substr(start, end - start);
+    ++line_no;
+    start = end + 1;
+    std::string_view line = Trim(raw);
+    if (line.empty() || line.front() == '#') {
+      if (end == document.size()) break;
+      continue;
+    }
+    Result<ParsedTriple> parsed = ParseLine(line);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument(
+          Format("line %zu: %s", line_no, parsed.status().message().c_str()));
+    }
+    SLIDER_RETURN_NOT_OK(sink(parsed.ValueOrDie()));
+    if (end == document.size()) break;
+  }
+  return Status::OK();
+}
+
+std::string ToNTriplesLine(const ParsedTriple& t) {
+  std::string out;
+  out.reserve(t.subject.size() + t.predicate.size() + t.object.size() + 5);
+  out.append(t.subject);
+  out.push_back(' ');
+  out.append(t.predicate);
+  out.push_back(' ');
+  out.append(t.object);
+  out.append(" .");
+  return out;
+}
+
+}  // namespace slider

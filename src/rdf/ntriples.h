@@ -1,0 +1,47 @@
+#ifndef SLIDER_RDF_NTRIPLES_H_
+#define SLIDER_RDF_NTRIPLES_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace slider {
+
+/// \brief One parsed N-Triples statement, terms kept in lexical form.
+struct ParsedTriple {
+  std::string subject;
+  std::string predicate;
+  std::string object;
+};
+
+/// \brief Line-oriented N-Triples parser (W3C N-Triples subset used by the
+/// evaluation corpus: IRIs, blank nodes, and literals with optional language
+/// tag or datatype).
+///
+/// The paper includes parsing in every reported time; this parser is the
+/// ingest path of both Slider and the baseline so the comparison stays fair.
+class NTriplesParser {
+ public:
+  /// Parses a single statement line. The line must contain subject,
+  /// predicate, object and the terminating '.'; comments and blank lines
+  /// are the caller's concern (see ParseDocument).
+  static Result<ParsedTriple> ParseLine(std::string_view line);
+
+  /// Parses a whole document: skips blank lines and '#' comments, invokes
+  /// `sink` per statement, and reports the first syntax error with its line
+  /// number.
+  static Status ParseDocument(
+      std::string_view document,
+      const std::function<Status(const ParsedTriple&)>& sink);
+};
+
+/// Serializes one statement as an N-Triples line (terms are already in
+/// lexical form, so this is concatenation plus the trailing " .").
+std::string ToNTriplesLine(const ParsedTriple& t);
+
+}  // namespace slider
+
+#endif  // SLIDER_RDF_NTRIPLES_H_

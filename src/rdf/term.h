@@ -1,0 +1,76 @@
+#ifndef SLIDER_RDF_TERM_H_
+#define SLIDER_RDF_TERM_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace slider {
+
+/// \brief Dictionary-encoded RDF term identifier.
+///
+/// The paper's Input Manager "registers [triples] into a dictionary that
+/// maps the expensive URIs ... to Longs"; TermId is that Long. Id 0 is
+/// reserved: it never denotes a term and doubles as the wildcard in match
+/// patterns.
+using TermId = uint64_t;
+
+/// Reserved id: never a valid term; wildcard in TriplePattern.
+inline constexpr TermId kAnyTerm = 0;
+
+/// First id handed out by a Dictionary.
+inline constexpr TermId kFirstTermId = 1;
+
+/// \brief A dictionary-encoded RDF triple <subject, predicate, object>.
+struct Triple {
+  TermId s = kAnyTerm;
+  TermId p = kAnyTerm;
+  TermId o = kAnyTerm;
+
+  Triple() = default;
+  Triple(TermId subject, TermId predicate, TermId object)
+      : s(subject), p(predicate), o(object) {}
+
+  friend bool operator==(const Triple& a, const Triple& b) {
+    return a.s == b.s && a.p == b.p && a.o == b.o;
+  }
+  friend bool operator!=(const Triple& a, const Triple& b) { return !(a == b); }
+
+  /// Lexicographic (s, p, o) order, for deterministic output.
+  friend bool operator<(const Triple& a, const Triple& b) {
+    if (a.s != b.s) return a.s < b.s;
+    if (a.p != b.p) return a.p < b.p;
+    return a.o < b.o;
+  }
+};
+
+/// Hash functor for Triple, usable with unordered containers.
+struct TripleHash {
+  size_t operator()(const Triple& t) const { return HashTripleIds(t.s, t.p, t.o); }
+};
+
+using TripleVec = std::vector<Triple>;
+using TripleSet = std::unordered_set<Triple, TripleHash>;
+
+/// \brief A match pattern: each position is a TermId or kAnyTerm (wildcard).
+///
+/// Examples: {kAnyTerm, subClassOf, kAnyTerm} matches every subClassOf
+/// triple; {kAnyTerm, kAnyTerm, kAnyTerm} scans the store.
+struct TriplePattern {
+  TermId s = kAnyTerm;
+  TermId p = kAnyTerm;
+  TermId o = kAnyTerm;
+
+  /// True if `t` matches this pattern.
+  bool Matches(const Triple& t) const {
+    return (s == kAnyTerm || s == t.s) && (p == kAnyTerm || p == t.p) &&
+           (o == kAnyTerm || o == t.o);
+  }
+};
+
+}  // namespace slider
+
+#endif  // SLIDER_RDF_TERM_H_

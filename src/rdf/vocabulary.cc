@@ -1,0 +1,22 @@
+#include "rdf/vocabulary.h"
+
+namespace slider {
+
+Vocabulary Vocabulary::Register(Dictionary* dict) {
+  Vocabulary v;
+  v.type = dict->Encode(iri::kRdfType);
+  v.property = dict->Encode(iri::kRdfProperty);
+  v.sub_class_of = dict->Encode(iri::kRdfsSubClassOf);
+  v.sub_property_of = dict->Encode(iri::kRdfsSubPropertyOf);
+  v.domain = dict->Encode(iri::kRdfsDomain);
+  v.range = dict->Encode(iri::kRdfsRange);
+  v.resource = dict->Encode(iri::kRdfsResource);
+  v.rdfs_class = dict->Encode(iri::kRdfsClass);
+  v.literal = dict->Encode(iri::kRdfsLiteral);
+  v.datatype = dict->Encode(iri::kRdfsDatatype);
+  v.container_membership = dict->Encode(iri::kRdfsContainerMembershipProperty);
+  v.member = dict->Encode(iri::kRdfsMember);
+  return v;
+}
+
+}  // namespace slider

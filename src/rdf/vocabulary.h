@@ -1,0 +1,66 @@
+#ifndef SLIDER_RDF_VOCABULARY_H_
+#define SLIDER_RDF_VOCABULARY_H_
+
+#include <string_view>
+
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+
+namespace slider {
+
+/// Full IRIs (in N-Triples angle-bracket form) of the RDF/RDFS terms the
+/// reasoner interprets.
+namespace iri {
+inline constexpr std::string_view kRdfType =
+    "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type>";
+inline constexpr std::string_view kRdfProperty =
+    "<http://www.w3.org/1999/02/22-rdf-syntax-ns#Property>";
+inline constexpr std::string_view kRdfsSubClassOf =
+    "<http://www.w3.org/2000/01/rdf-schema#subClassOf>";
+inline constexpr std::string_view kRdfsSubPropertyOf =
+    "<http://www.w3.org/2000/01/rdf-schema#subPropertyOf>";
+inline constexpr std::string_view kRdfsDomain =
+    "<http://www.w3.org/2000/01/rdf-schema#domain>";
+inline constexpr std::string_view kRdfsRange =
+    "<http://www.w3.org/2000/01/rdf-schema#range>";
+inline constexpr std::string_view kRdfsResource =
+    "<http://www.w3.org/2000/01/rdf-schema#Resource>";
+inline constexpr std::string_view kRdfsClass =
+    "<http://www.w3.org/2000/01/rdf-schema#Class>";
+inline constexpr std::string_view kRdfsLiteral =
+    "<http://www.w3.org/2000/01/rdf-schema#Literal>";
+inline constexpr std::string_view kRdfsDatatype =
+    "<http://www.w3.org/2000/01/rdf-schema#Datatype>";
+inline constexpr std::string_view kRdfsContainerMembershipProperty =
+    "<http://www.w3.org/2000/01/rdf-schema#ContainerMembershipProperty>";
+inline constexpr std::string_view kRdfsMember =
+    "<http://www.w3.org/2000/01/rdf-schema#member>";
+}  // namespace iri
+
+/// \brief TermIds of the interpreted RDF/RDFS vocabulary, registered once
+/// into a Dictionary.
+///
+/// Rule implementations compare against these ids instead of strings; the
+/// comparison cost is what dictionary encoding exists to remove (§2, Input
+/// Manager).
+struct Vocabulary {
+  TermId type = kAnyTerm;                ///< rdf:type
+  TermId property = kAnyTerm;            ///< rdf:Property
+  TermId sub_class_of = kAnyTerm;        ///< rdfs:subClassOf
+  TermId sub_property_of = kAnyTerm;     ///< rdfs:subPropertyOf
+  TermId domain = kAnyTerm;              ///< rdfs:domain
+  TermId range = kAnyTerm;               ///< rdfs:range
+  TermId resource = kAnyTerm;            ///< rdfs:Resource
+  TermId rdfs_class = kAnyTerm;          ///< rdfs:Class
+  TermId literal = kAnyTerm;             ///< rdfs:Literal
+  TermId datatype = kAnyTerm;            ///< rdfs:Datatype
+  TermId container_membership = kAnyTerm;///< rdfs:ContainerMembershipProperty
+  TermId member = kAnyTerm;              ///< rdfs:member
+
+  /// Registers all vocabulary IRIs in `dict` and returns their ids.
+  static Vocabulary Register(Dictionary* dict);
+};
+
+}  // namespace slider
+
+#endif  // SLIDER_RDF_VOCABULARY_H_

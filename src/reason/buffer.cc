@@ -1,0 +1,82 @@
+#include "reason/buffer.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace slider {
+
+Buffer::Buffer(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {
+  items_.reserve(capacity_);
+}
+
+std::optional<TripleVec> Buffer::Push(const Triple& t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (items_.empty()) {
+    oldest_ = Clock::now();
+  }
+  items_.push_back(t);
+  ++counters_.pushed;
+  if (items_.size() >= capacity_) {
+    ++counters_.full_flushes;
+    TripleVec batch = std::move(items_);
+    items_ = TripleVec();
+    items_.reserve(capacity_);
+    return batch;
+  }
+  return std::nullopt;
+}
+
+void Buffer::PushBatch(const TripleVec& triples,
+                       std::vector<TripleVec>* flushed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Triple& t : triples) {
+    if (items_.empty()) {
+      oldest_ = Clock::now();
+    }
+    items_.push_back(t);
+    ++counters_.pushed;
+    if (items_.size() >= capacity_) {
+      ++counters_.full_flushes;
+      flushed->push_back(std::move(items_));
+      items_ = TripleVec();
+      items_.reserve(capacity_);
+    }
+  }
+}
+
+std::optional<TripleVec> Buffer::FlushIfStale(Clock::time_point now,
+                                              std::chrono::milliseconds timeout) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (items_.empty() || now - oldest_ < timeout) {
+    return std::nullopt;
+  }
+  ++counters_.timeout_flushes;
+  TripleVec batch = std::move(items_);
+  items_ = TripleVec();
+  items_.reserve(capacity_);
+  return batch;
+}
+
+std::optional<TripleVec> Buffer::FlushNow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (items_.empty()) {
+    return std::nullopt;
+  }
+  ++counters_.forced_flushes;
+  TripleVec batch = std::move(items_);
+  items_ = TripleVec();
+  items_.reserve(capacity_);
+  return batch;
+}
+
+size_t Buffer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+Buffer::Counters Buffer::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace slider

@@ -1,0 +1,76 @@
+#ifndef SLIDER_REASON_BUFFER_H_
+#define SLIDER_REASON_BUFFER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+
+#include "rdf/term.h"
+
+namespace slider {
+
+/// \brief Per-rule-module triple buffer with the paper's two flush
+/// triggers: capacity reached, or inactivity timeout (§2, "Buffers").
+///
+/// A buffer batches the triples admitted by its rule's predicate filter so
+/// that rule executions amortise over many triples — "new instance for each
+/// triple can exhaust CPU resources" (§2). Push() returns the flushed batch
+/// when the capacity trigger fires; the engine's timeout scanner calls
+/// FlushIfStale(); Reasoner::Flush() uses FlushNow().
+///
+/// The three flush counters (full / timeout / forced) are the numbers the
+/// demo GUI displays above each buffer (§4, "Run" panel).
+class Buffer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Creates a buffer flushing at `capacity` triples (minimum 1).
+  explicit Buffer(size_t capacity);
+
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  /// Appends one triple. Returns the full batch if this push reached
+  /// capacity, nullopt otherwise.
+  std::optional<TripleVec> Push(const Triple& t);
+
+  /// Appends many triples under one lock acquisition (the distributor's
+  /// path: routing per-triple would serialise on the buffer mutex).
+  /// Appends every capacity-sized batch that filled up to `*flushed`.
+  void PushBatch(const TripleVec& triples, std::vector<TripleVec>* flushed);
+
+  /// Flushes if the oldest buffered triple is older than `timeout` at time
+  /// `now`. Returns the batch if the timeout trigger fired.
+  std::optional<TripleVec> FlushIfStale(Clock::time_point now,
+                                        std::chrono::milliseconds timeout);
+
+  /// Unconditionally flushes the current contents; nullopt when empty.
+  std::optional<TripleVec> FlushNow();
+
+  /// Triples currently buffered.
+  size_t size() const;
+
+  bool empty() const { return size() == 0; }
+
+  struct Counters {
+    uint64_t pushed = 0;           ///< triples admitted
+    uint64_t full_flushes = 0;     ///< capacity-triggered flushes
+    uint64_t timeout_flushes = 0;  ///< inactivity-triggered flushes
+    uint64_t forced_flushes = 0;   ///< Flush()/shutdown-triggered flushes
+  };
+  Counters counters() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  TripleVec items_;
+  Clock::time_point oldest_;  // arrival time of items_.front()
+  Counters counters_;
+};
+
+}  // namespace slider
+
+#endif  // SLIDER_REASON_BUFFER_H_

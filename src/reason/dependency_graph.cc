@@ -1,0 +1,89 @@
+#include "reason/dependency_graph.h"
+
+#include <algorithm>
+
+namespace slider {
+
+namespace {
+
+/// True iff rule `from` can emit a triple that rule `to` admits.
+bool CanFeed(const Rule& from, const Rule& to) {
+  if (from.OutputsAnyPredicate()) return true;
+  if (to.HasUniversalInput()) return true;
+  for (TermId out : from.OutputPredicates()) {
+    if (to.AcceptsPredicate(out)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+DependencyGraph DependencyGraph::Build(const Fragment& fragment) {
+  DependencyGraph g;
+  const auto& rules = fragment.rules();
+  const size_t n = rules.size();
+  g.successors_.resize(n);
+  g.universal_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    g.universal_[i] = rules[i]->HasUniversalInput();
+    for (size_t j = 0; j < n; ++j) {
+      if (CanFeed(*rules[i], *rules[j])) {
+        g.successors_[i].push_back(static_cast<int>(j));
+      }
+    }
+  }
+  return g;
+}
+
+bool DependencyGraph::HasEdge(int from, int to) const {
+  const auto& succ = successors_[static_cast<size_t>(from)];
+  return std::binary_search(succ.begin(), succ.end(), to);
+}
+
+std::vector<int> DependencyGraph::UniversalRules() const {
+  std::vector<int> out;
+  for (size_t i = 0; i < universal_.size(); ++i) {
+    if (universal_[i]) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+size_t DependencyGraph::num_edges() const {
+  size_t n = 0;
+  for (const auto& succ : successors_) n += succ.size();
+  return n;
+}
+
+std::string DependencyGraph::ToDot(const Fragment& fragment) const {
+  std::string out = "digraph rules_dependency {\n  rankdir=LR;\n";
+  const auto& rules = fragment.rules();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    out += "  \"" + rules[i]->name() + "\"";
+    if (universal_[i]) {
+      out += " [style=filled, fillcolor=lightgrey, xlabel=\"universal input\"]";
+    }
+    out += ";\n";
+  }
+  for (size_t i = 0; i < successors_.size(); ++i) {
+    for (int j : successors_[i]) {
+      out += "  \"" + rules[i]->name() + "\" -> \"" +
+             rules[static_cast<size_t>(j)]->name() + "\";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string DependencyGraph::ToText(const Fragment& fragment) const {
+  std::string out;
+  const auto& rules = fragment.rules();
+  for (size_t i = 0; i < successors_.size(); ++i) {
+    for (int j : successors_[i]) {
+      out += rules[i]->name() + " -> " + rules[static_cast<size_t>(j)]->name() +
+             "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace slider

@@ -1,0 +1,52 @@
+#ifndef SLIDER_REASON_DEPENDENCY_GRAPH_H_
+#define SLIDER_REASON_DEPENDENCY_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "reason/fragment.h"
+
+namespace slider {
+
+/// \brief The rules dependency graph of §2.3 (Figure 2).
+///
+/// A directed edge A→B means a triple produced by rule A can be consumed by
+/// rule B; at initialisation Slider turns the successor lists into each
+/// distributor's list of target buffers, "creating the route of the triples
+/// in the reasoner" (§5 of the paper). Edges are derived from rule
+/// signatures: A→B iff A may emit any predicate, or B has universal input,
+/// or the output predicates of A intersect the input predicates of B.
+class DependencyGraph {
+ public:
+  /// Derives the graph for `fragment`. Rule indices follow fragment order.
+  static DependencyGraph Build(const Fragment& fragment);
+
+  size_t num_rules() const { return successors_.size(); }
+
+  /// Rules receiving the output of `rule_index` (ascending, may include
+  /// `rule_index` itself, e.g. SCM-SCO feeds its own transitivity).
+  const std::vector<int>& SuccessorsOf(int rule_index) const {
+    return successors_[static_cast<size_t>(rule_index)];
+  }
+
+  bool HasEdge(int from, int to) const;
+
+  /// Indices of universal-input rules (Figure 2's "Universal Input" box).
+  std::vector<int> UniversalRules() const;
+
+  size_t num_edges() const;
+
+  /// Graphviz rendering of the graph, mirroring Figure 2.
+  std::string ToDot(const Fragment& fragment) const;
+
+  /// Plain-text edge list ("SCM-SCO -> CAX-SCO"), one edge per line.
+  std::string ToText(const Fragment& fragment) const;
+
+ private:
+  std::vector<std::vector<int>> successors_;
+  std::vector<bool> universal_;
+};
+
+}  // namespace slider
+
+#endif  // SLIDER_REASON_DEPENDENCY_GRAPH_H_

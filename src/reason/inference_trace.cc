@@ -1,0 +1,116 @@
+#include "reason/inference_trace.h"
+
+#include <chrono>
+
+#include "common/string_util.h"
+
+namespace slider {
+
+const char* TraceEventTypeName(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kInput:
+      return "input";
+    case TraceEventType::kBufferFull:
+      return "buffer-full";
+    case TraceEventType::kTimeoutFlush:
+      return "timeout-flush";
+    case TraceEventType::kForcedFlush:
+      return "forced-flush";
+    case TraceEventType::kRuleExecuted:
+      return "rule-executed";
+    case TraceEventType::kInferred:
+      return "inferred";
+    case TraceEventType::kRouted:
+      return "routed";
+  }
+  return "?";
+}
+
+InferenceTrace::InferenceTrace() : start_(std::chrono::steady_clock::now()) {}
+
+void InferenceTrace::Record(TraceEventType type, const std::string& rule,
+                            uint64_t count) {
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceEvent e;
+  e.step = events_.size();
+  e.type = type;
+  e.rule = rule;
+  e.count = count;
+  e.elapsed_seconds = elapsed;
+  events_.push_back(std::move(e));
+}
+
+std::vector<TraceEvent> InferenceTrace::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t InferenceTrace::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void InferenceTrace::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  start_ = std::chrono::steady_clock::now();
+}
+
+std::map<std::string, InferenceTrace::RuleAggregate> InferenceTrace::Aggregate()
+    const {
+  std::map<std::string, RuleAggregate> out;
+  for (const TraceEvent& e : Snapshot()) {
+    if (e.rule.empty()) continue;
+    RuleAggregate& agg = out[e.rule];
+    switch (e.type) {
+      case TraceEventType::kBufferFull:
+        ++agg.full_flushes;
+        break;
+      case TraceEventType::kTimeoutFlush:
+        ++agg.timeout_flushes;
+        break;
+      case TraceEventType::kForcedFlush:
+        ++agg.forced_flushes;
+        break;
+      case TraceEventType::kRuleExecuted:
+        ++agg.executions;
+        break;
+      case TraceEventType::kInferred:
+        agg.inferred += e.count;
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+std::string InferenceTrace::Summary() const {
+  std::string out = Format("%-12s %10s %10s %10s %10s %12s\n", "rule", "full",
+                           "timeout", "forced", "execs", "inferred");
+  for (const auto& [rule, agg] : Aggregate()) {
+    out += Format("%-12s %10llu %10llu %10llu %10llu %12llu\n", rule.c_str(),
+                  static_cast<unsigned long long>(agg.full_flushes),
+                  static_cast<unsigned long long>(agg.timeout_flushes),
+                  static_cast<unsigned long long>(agg.forced_flushes),
+                  static_cast<unsigned long long>(agg.executions),
+                  static_cast<unsigned long long>(agg.inferred));
+  }
+  return out;
+}
+
+std::string InferenceTrace::ToTsv() const {
+  std::string out = "step\telapsed_s\ttype\trule\tcount\n";
+  for (const TraceEvent& e : Snapshot()) {
+    out += Format("%llu\t%.6f\t%s\t%s\t%llu\n",
+                  static_cast<unsigned long long>(e.step), e.elapsed_seconds,
+                  TraceEventTypeName(e.type), e.rule.c_str(),
+                  static_cast<unsigned long long>(e.count));
+  }
+  return out;
+}
+
+}  // namespace slider

@@ -1,0 +1,94 @@
+#ifndef SLIDER_REASON_INFERENCE_TRACE_H_
+#define SLIDER_REASON_INFERENCE_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace slider {
+
+/// Kind of a recorded engine event.
+enum class TraceEventType : int {
+  kInput = 0,         ///< explicit triples entered the reasoner
+  kBufferFull = 1,    ///< a buffer reached capacity and flushed
+  kTimeoutFlush = 2,  ///< an inactive buffer was flushed by the timeout
+  kForcedFlush = 3,   ///< a buffer was flushed by Flush()/shutdown
+  kRuleExecuted = 4,  ///< a rule task finished (count = batch size)
+  kInferred = 5,      ///< distinct new triples produced by a rule task
+  kRouted = 6,        ///< triples dispatched to successor buffers
+};
+
+/// Stable display name of an event type.
+const char* TraceEventTypeName(TraceEventType type);
+
+/// \brief One step of the inference, in arrival order.
+struct TraceEvent {
+  uint64_t step = 0;      ///< global sequence number (0-based)
+  TraceEventType type = TraceEventType::kInput;
+  std::string rule;       ///< rule name; empty for input events
+  uint64_t count = 0;     ///< triples involved
+  double elapsed_seconds = 0.0;  ///< since trace creation/Clear
+};
+
+/// \brief Thread-safe event log of a reasoning run — the backend of the
+/// paper's §4 demonstration.
+///
+/// The demo GUI logs "the state of all the modules of Slider at each step of
+/// the process" and replays it with a step player; InferenceTrace is that
+/// log. Attach one via ReasonerOptions::trace, run the inference, then
+/// Snapshot()/Replay() the steps (examples/inference_player.cpp) or print
+/// the per-rule aggregate table (Summary()).
+class InferenceTrace {
+ public:
+  InferenceTrace();
+
+  /// Appends one event (thread-safe).
+  void Record(TraceEventType type, const std::string& rule, uint64_t count);
+
+  /// Copies out all events recorded so far.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Number of events recorded.
+  size_t size() const;
+
+  /// Drops all events and restarts the clock.
+  void Clear();
+
+  /// Invokes `fn(event)` for steps [from, to) — the demo player's
+  /// pause/rewind/replay primitive.
+  template <typename Fn>
+  void Replay(uint64_t from, uint64_t to, Fn&& fn) const {
+    const std::vector<TraceEvent> events = Snapshot();
+    for (const TraceEvent& e : events) {
+      if (e.step >= from && e.step < to) fn(e);
+    }
+  }
+
+  /// Per-rule aggregate counters, keyed by rule name.
+  struct RuleAggregate {
+    uint64_t full_flushes = 0;
+    uint64_t timeout_flushes = 0;
+    uint64_t forced_flushes = 0;
+    uint64_t executions = 0;
+    uint64_t inferred = 0;
+  };
+  std::map<std::string, RuleAggregate> Aggregate() const;
+
+  /// Human-readable per-rule table (the demo's "Summarize" panel).
+  std::string Summary() const;
+
+  /// Tab-separated dump: step, elapsed, type, rule, count.
+  std::string ToTsv() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace slider
+
+#endif  // SLIDER_REASON_INFERENCE_TRACE_H_

@@ -1,0 +1,39 @@
+#include "reason/naive_reasoner.h"
+
+#include <utility>
+
+namespace slider {
+
+NaiveReasoner::NaiveReasoner(Fragment fragment, TripleStore* store)
+    : fragment_(std::move(fragment)), store_(store) {}
+
+MaterializeStats NaiveReasoner::Materialize(const TripleVec& input) {
+  MaterializeStats stats;
+  stats.input_count = input.size();
+  stats.input_new = store_->AddAll(input, nullptr);
+
+  TripleVec produced;
+  while (true) {
+    ++stats.rounds;
+    // Naive evaluation: the "delta" is the whole store, so every pair of
+    // triples is re-examined each round and every consequence re-derived.
+    const TripleVec everything = store_->Snapshot();
+    produced.clear();
+    for (const RulePtr& rule : fragment_.rules()) {
+      rule->Apply(everything, *store_, &produced);
+    }
+    stats.derivations += produced.size();
+    const size_t added = store_->AddAll(produced, nullptr);
+    stats.inferred_new += added;
+    if (added == 0) break;
+  }
+
+  cumulative_.input_count += stats.input_count;
+  cumulative_.input_new += stats.input_new;
+  cumulative_.inferred_new += stats.inferred_new;
+  cumulative_.rounds += stats.rounds;
+  cumulative_.derivations += stats.derivations;
+  return stats;
+}
+
+}  // namespace slider

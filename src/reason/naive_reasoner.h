@@ -1,0 +1,35 @@
+#ifndef SLIDER_REASON_NAIVE_REASONER_H_
+#define SLIDER_REASON_NAIVE_REASONER_H_
+
+#include "reason/batch_reasoner.h"
+#include "reason/fragment.h"
+#include "store/triple_store.h"
+
+namespace slider {
+
+/// \brief Naive fixpoint materialiser: every round re-joins the *entire*
+/// store with itself.
+///
+/// This is the "commonly used iterative rules scheme" of the paper's §3,
+/// which on subClassOf^n chain ontologies performs O(n³) derivations
+/// (every already-known pair is re-derived every round) against the O(n²)
+/// unique closure. bench_ablation_dedup measures exactly that gap against
+/// Slider and the semi-naive engine. Not intended for production use.
+class NaiveReasoner {
+ public:
+  NaiveReasoner(Fragment fragment, TripleStore* store);
+
+  /// Inserts `input` and iterates full-store rounds until fixpoint.
+  MaterializeStats Materialize(const TripleVec& input);
+
+  const MaterializeStats& cumulative_stats() const { return cumulative_; }
+
+ private:
+  Fragment fragment_;
+  TripleStore* store_;
+  MaterializeStats cumulative_;
+};
+
+}  // namespace slider
+
+#endif  // SLIDER_REASON_NAIVE_REASONER_H_

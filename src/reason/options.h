@@ -1,0 +1,42 @@
+#ifndef SLIDER_REASON_OPTIONS_H_
+#define SLIDER_REASON_OPTIONS_H_
+
+#include <chrono>
+#include <cstddef>
+
+namespace slider {
+
+class InferenceTrace;
+
+/// \brief Tunables of the Slider engine — the knobs of the demo's "Setup"
+/// panel (§4: fragment, buffer size, timeout) plus engine internals.
+struct ReasonerOptions {
+  /// Triples a buffer collects before it fires a rule execution ("the size
+  /// of the buffers, which determines how many triples are needed to fire a
+  /// new rule execution", §4).
+  size_t buffer_size = 1024;
+
+  /// Inactivity bound: a non-empty buffer older than this is force-flushed
+  /// ("the timeout, which defines after how long an inactive buffer is
+  /// forced to flush and throw a rule execution", §4).
+  std::chrono::milliseconds buffer_timeout{100};
+
+  /// Worker threads of the rule-module pool; 0 picks
+  /// std::thread::hardware_concurrency().
+  int num_threads = 0;
+
+  /// Runs the background timeout scanner. Disable for fully deterministic
+  /// single-threaded tests that drive flushing via Flush() only.
+  bool enable_timeout_flusher = true;
+
+  /// Granularity of the timeout scanner.
+  std::chrono::milliseconds timeout_check_interval{10};
+
+  /// Optional event sink for the demo player; borrowed, may be null. Must
+  /// outlive the reasoner.
+  InferenceTrace* trace = nullptr;
+};
+
+}  // namespace slider
+
+#endif  // SLIDER_REASON_OPTIONS_H_

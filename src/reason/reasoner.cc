@@ -1,0 +1,230 @@
+#include "reason/reasoner.h"
+
+#include <utility>
+
+#include "rdf/ntriples.h"
+
+namespace slider {
+
+Reasoner::Reasoner(const FragmentFactory& factory, ReasonerOptions options)
+    : options_(options),
+      vocab_(Vocabulary::Register(&dict_)),
+      fragment_(factory(vocab_, &dict_)),
+      graph_(DependencyGraph::Build(fragment_)) {
+  const auto& rules = fragment_.rules();
+  modules_.reserve(rules.size());
+  for (size_t i = 0; i < rules.size(); ++i) {
+    auto module = std::make_unique<RuleModule>();
+    module->rule = rules[i];
+    module->buffer = std::make_unique<Buffer>(options_.buffer_size);
+    module->successors = graph_.SuccessorsOf(static_cast<int>(i));
+    modules_.push_back(std::move(module));
+    all_modules_.push_back(static_cast<int>(i));
+  }
+  int threads = options_.num_threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 2;
+  }
+  pool_ = std::make_unique<ThreadPool>(threads);
+  if (options_.enable_timeout_flusher) {
+    timeout_thread_ = std::thread([this] { TimeoutLoop(); });
+  }
+}
+
+Reasoner::~Reasoner() {
+  // Complete outstanding work so no triples are silently dropped, then stop
+  // the scanner before tearing down the pool.
+  Flush();
+  stop_timeout_.store(true);
+  if (timeout_thread_.joinable()) {
+    timeout_thread_.join();
+  }
+  pool_->Shutdown();
+}
+
+void Reasoner::AddTriple(const Triple& t) { AddTriples({t}); }
+
+void Reasoner::AddTriples(const TripleVec& batch) {
+  StoreAndRoute(batch, all_modules_, /*is_input=*/true);
+}
+
+Status Reasoner::AddNTriples(std::string_view document) {
+  // Statements are fed in parser-sized chunks so inference overlaps with
+  // parsing, as in streamed ingestion.
+  constexpr size_t kChunk = 4096;
+  TripleVec chunk;
+  chunk.reserve(kChunk);
+  Status st = NTriplesParser::ParseDocument(
+      document, [&](const ParsedTriple& t) -> Status {
+        chunk.push_back(dict_.EncodeTriple(t.subject, t.predicate, t.object));
+        if (chunk.size() >= kChunk) {
+          AddTriples(chunk);
+          chunk.clear();
+        }
+        return Status::OK();
+      });
+  SLIDER_RETURN_NOT_OK(st);
+  if (!chunk.empty()) {
+    AddTriples(chunk);
+  }
+  return Status::OK();
+}
+
+void Reasoner::StoreAndRoute(const TripleVec& batch,
+                             const std::vector<int>& candidates, bool is_input) {
+  if (batch.empty()) return;
+  // Store first: the completeness invariant requires a triple to be visible
+  // to store-side joins before any buffer holds it.
+  TripleVec delta;
+  delta.reserve(batch.size());
+  store_.AddAll(batch, &delta);
+  if (delta.empty()) return;
+  if (is_input) {
+    explicit_count_.fetch_add(delta.size());
+    Trace(TraceEventType::kInput, "", delta.size());
+  } else {
+    Trace(TraceEventType::kRouted, "", delta.size());
+  }
+  RouteToModules(delta, candidates);
+}
+
+void Reasoner::RouteToModules(const TripleVec& delta,
+                              const std::vector<int>& candidates) {
+  // Group the delta per target module and push each group under a single
+  // buffer lock; routing triple-by-triple would serialise every module on
+  // its buffer mutex.
+  TripleVec accepted;
+  std::vector<TripleVec> flushed;
+  for (int idx : candidates) {
+    RuleModule& module = *modules_[static_cast<size_t>(idx)];
+    accepted.clear();
+    if (module.rule->HasUniversalInput()) {
+      accepted = delta;
+    } else {
+      for (const Triple& t : delta) {
+        if (module.rule->AcceptsPredicate(t.p)) accepted.push_back(t);
+      }
+    }
+    if (accepted.empty()) continue;
+    module.accepted.fetch_add(accepted.size());
+    flushed.clear();
+    module.buffer->PushBatch(accepted, &flushed);
+    for (TripleVec& batch : flushed) {
+      Trace(TraceEventType::kBufferFull, module.rule->name(), batch.size());
+      SubmitTask(idx, std::move(batch));
+    }
+  }
+}
+
+void Reasoner::SubmitTask(int idx, TripleVec batch) {
+  pool_->Submit([this, idx, batch = std::move(batch)] {
+    ExecuteRule(idx, batch);
+  });
+}
+
+void Reasoner::ExecuteRule(int idx, const TripleVec& batch) {
+  RuleModule& module = *modules_[static_cast<size_t>(idx)];
+  TripleVec produced;
+  module.rule->Apply(batch, store_, &produced);
+  module.executions.fetch_add(1);
+  module.derivations.fetch_add(produced.size());
+  Trace(TraceEventType::kRuleExecuted, module.rule->name(), batch.size());
+  if (produced.empty()) return;
+
+  // Distributor: store (dedup) then route only the new triples to the
+  // dependency-graph successors.
+  TripleVec delta;
+  delta.reserve(produced.size());
+  store_.AddAll(produced, &delta);
+  if (delta.empty()) return;
+  module.inferred_new.fetch_add(delta.size());
+  inferred_count_.fetch_add(delta.size());
+  Trace(TraceEventType::kInferred, module.rule->name(), delta.size());
+  RouteToModules(delta, module.successors);
+}
+
+void Reasoner::Flush() {
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(transfer_mu_);
+      for (size_t i = 0; i < modules_.size(); ++i) {
+        std::optional<TripleVec> batch = modules_[i]->buffer->FlushNow();
+        if (batch.has_value()) {
+          Trace(TraceEventType::kForcedFlush, modules_[i]->rule->name(),
+                batch->size());
+          SubmitTask(static_cast<int>(i), std::move(*batch));
+        }
+      }
+    }
+    pool_->WaitIdle();
+    // Tasks may have refilled buffers below their thresholds; loop until
+    // the whole pipeline is drained. The quiescence check must hold
+    // transfer_mu_: the timeout scanner moves triples from a buffer into a
+    // task inside the same critical section, so under the lock
+    // "buffers empty ∧ pool idle" cannot hide an in-flight transfer.
+    {
+      std::lock_guard<std::mutex> lock(transfer_mu_);
+      if (AllBuffersEmpty() && pool_->IsIdle()) {
+        return;
+      }
+    }
+  }
+}
+
+bool Reasoner::AllBuffersEmpty() const {
+  for (const auto& module : modules_) {
+    if (!module->buffer->empty()) return false;
+  }
+  return true;
+}
+
+void Reasoner::TimeoutLoop() {
+  while (!stop_timeout_.load()) {
+    std::this_thread::sleep_for(options_.timeout_check_interval);
+    const Buffer::Clock::time_point now = Buffer::Clock::now();
+    for (size_t i = 0; i < modules_.size(); ++i) {
+      // Extraction and submission form one critical section so Flush()'s
+      // quiescence check can never observe the triples in neither place.
+      std::lock_guard<std::mutex> lock(transfer_mu_);
+      std::optional<TripleVec> batch =
+          modules_[i]->buffer->FlushIfStale(now, options_.buffer_timeout);
+      if (batch.has_value()) {
+        Trace(TraceEventType::kTimeoutFlush, modules_[i]->rule->name(),
+              batch->size());
+        SubmitTask(static_cast<int>(i), std::move(*batch));
+      }
+    }
+  }
+}
+
+std::vector<Reasoner::RuleModuleStats> Reasoner::rule_stats() const {
+  std::vector<RuleModuleStats> out;
+  out.reserve(modules_.size());
+  for (const auto& module : modules_) {
+    RuleModuleStats s;
+    s.rule_name = module->rule->name();
+    s.accepted = module->accepted.load();
+    const Buffer::Counters counters = module->buffer->counters();
+    s.full_flushes = counters.full_flushes;
+    s.timeout_flushes = counters.timeout_flushes;
+    s.forced_flushes = counters.forced_flushes;
+    s.executions = module->executions.load();
+    s.derivations = module->derivations.load();
+    s.inferred_new = module->inferred_new.load();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+uint64_t Reasoner::total_derivations() const {
+  uint64_t total = 0;
+  for (const auto& module : modules_) {
+    total += module->derivations.load();
+  }
+  return total;
+}
+
+ThreadPool::Stats Reasoner::pool_stats() const { return pool_->stats(); }
+
+}  // namespace slider

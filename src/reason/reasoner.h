@@ -1,0 +1,162 @@
+#ifndef SLIDER_REASON_REASONER_H_
+#define SLIDER_REASON_REASONER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "rdf/dictionary.h"
+#include "rdf/vocabulary.h"
+#include "reason/buffer.h"
+#include "reason/dependency_graph.h"
+#include "reason/fragment.h"
+#include "reason/inference_trace.h"
+#include "reason/options.h"
+#include "store/triple_store.h"
+
+namespace slider {
+
+/// \brief Slider: the incremental, streamed, forward-chaining reasoner
+/// (paper Figure 1).
+///
+/// One rule module per fragment rule, each with a predicate-filtered Buffer;
+/// flushed batches become rule tasks on a shared ThreadPool; each task joins
+/// its delta against the shared TripleStore (Algorithm 1) and hands the
+/// produced triples to its distributor, which stores them (deduplicating)
+/// and routes the *new* ones along the rules dependency graph. Explicit
+/// triples may arrive at any time and from several threads — "processing
+/// data as soon as it is published" (§1).
+///
+/// Completeness invariant: every triple is inserted into the store *before*
+/// it is enqueued to any buffer, and every rule joins its delta with the
+/// full store in both directions. For any antecedent pair (t1, t2), the
+/// execution that dequeues the later-routed triple finds the earlier one in
+/// the store; delta×delta pairs are found because store ⊇ delta at
+/// execution time. Property tests verify the resulting closure equals the
+/// batch closure under many buffer sizes, timeouts and thread counts.
+///
+/// Thread-safety: AddTriple/AddTriples/AddNTriples may be called
+/// concurrently. Flush() blocks until the closure of everything added
+/// before the call is complete (adds racing with Flush may or may not be
+/// covered). Accessors may be called at any time; counters are monotone.
+class Reasoner {
+ public:
+  /// Builds the engine: registers the vocabulary into a fresh dictionary,
+  /// instantiates the fragment, derives the dependency graph, creates one
+  /// module per rule and starts the thread pool (and timeout scanner).
+  explicit Reasoner(const FragmentFactory& factory, ReasonerOptions options = {});
+
+  /// Completes outstanding work, stops the scanner and joins the pool.
+  ~Reasoner();
+
+  Reasoner(const Reasoner&) = delete;
+  Reasoner& operator=(const Reasoner&) = delete;
+
+  /// Feeds one explicit triple (encoded against dictionary()).
+  void AddTriple(const Triple& t);
+
+  /// Feeds a batch of explicit triples.
+  void AddTriples(const TripleVec& batch);
+
+  /// Parses an N-Triples document and feeds every statement. Parsing and
+  /// inference overlap, as in the paper's streamed ingestion.
+  Status AddNTriples(std::string_view document);
+
+  /// Blocks until the closure of all previously added triples is complete:
+  /// force-flushes buffers and waits for the task cascade to drain.
+  void Flush();
+
+  Dictionary* dictionary() { return &dict_; }
+  const Dictionary& dictionary() const { return dict_; }
+  const Vocabulary& vocabulary() const { return vocab_; }
+  const TripleStore& store() const { return store_; }
+  const Fragment& fragment() const { return fragment_; }
+  const DependencyGraph& dependency_graph() const { return graph_; }
+  const ReasonerOptions& options() const { return options_; }
+
+  /// Distinct explicit triples accepted so far.
+  size_t explicit_count() const { return explicit_count_.load(); }
+
+  /// Distinct inferred triples produced so far.
+  size_t inferred_count() const { return inferred_count_.load(); }
+
+  /// Per-module counters — the numbers shown by the demo GUI (§4).
+  struct RuleModuleStats {
+    std::string rule_name;
+    uint64_t accepted = 0;         ///< triples admitted into the buffer
+    uint64_t full_flushes = 0;     ///< capacity-triggered executions
+    uint64_t timeout_flushes = 0;  ///< timeout-triggered executions
+    uint64_t forced_flushes = 0;   ///< Flush()-triggered executions
+    uint64_t executions = 0;       ///< rule tasks completed
+    uint64_t derivations = 0;      ///< triples produced before dedup
+    uint64_t inferred_new = 0;     ///< distinct new triples produced
+  };
+  std::vector<RuleModuleStats> rule_stats() const;
+
+  /// Sum of derivations across modules (pre-dedup work measure).
+  uint64_t total_derivations() const;
+
+  ThreadPool::Stats pool_stats() const;
+
+ private:
+  /// One rule module: rule + buffer + distributor routing list + counters.
+  struct RuleModule {
+    RulePtr rule;
+    std::unique_ptr<Buffer> buffer;
+    std::vector<int> successors;  // distributor's target modules
+    std::atomic<uint64_t> accepted{0};
+    std::atomic<uint64_t> executions{0};
+    std::atomic<uint64_t> derivations{0};
+    std::atomic<uint64_t> inferred_new{0};
+  };
+
+  /// Inserts `batch` into the store and routes the delta to `candidates`'
+  /// buffers (the modules whose filter admits each triple).
+  void StoreAndRoute(const TripleVec& batch, const std::vector<int>& candidates,
+                     bool is_input);
+
+  /// Routes `delta` into the buffers of the candidate modules whose filter
+  /// admits each triple, submitting tasks for every batch that filled.
+  void RouteToModules(const TripleVec& delta, const std::vector<int>& candidates);
+
+  /// Submits one rule execution over `batch`.
+  void SubmitTask(int idx, TripleVec batch);
+
+  /// Task body: Algorithm 1 + distribution.
+  void ExecuteRule(int idx, const TripleVec& batch);
+
+  /// Background scanner enforcing ReasonerOptions::buffer_timeout.
+  void TimeoutLoop();
+
+  bool AllBuffersEmpty() const;
+
+  void Trace(TraceEventType type, const std::string& rule, uint64_t count) {
+    if (options_.trace != nullptr) options_.trace->Record(type, rule, count);
+  }
+
+  ReasonerOptions options_;
+  Dictionary dict_;
+  Vocabulary vocab_;
+  Fragment fragment_;
+  DependencyGraph graph_;
+  TripleStore store_;
+  std::vector<std::unique_ptr<RuleModule>> modules_;
+  std::vector<int> all_modules_;  // input routing candidates: every module
+  std::unique_ptr<ThreadPool> pool_;
+  std::atomic<size_t> explicit_count_{0};
+  std::atomic<size_t> inferred_count_{0};
+  std::atomic<bool> stop_timeout_{false};
+  std::thread timeout_thread_;
+  /// Serialises buffer→task transfers against Flush()'s quiescence check.
+  std::mutex transfer_mu_;
+};
+
+}  // namespace slider
+
+#endif  // SLIDER_REASON_REASONER_H_

@@ -1,0 +1,218 @@
+#include "reason/repository.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "rdf/graph_io.h"
+#include "rdf/ntriples.h"
+
+namespace slider {
+
+Result<std::unique_ptr<Repository>> Repository::Open(
+    const FragmentFactory& factory, Options options) {
+  auto repo = std::unique_ptr<Repository>(new Repository());
+  repo->options_ = std::move(options);
+  repo->factory_ = factory;
+  repo->vocab_ = Vocabulary::Register(&repo->dict_);
+  repo->store_ = std::make_unique<TripleStore>();
+  if (!repo->options_.storage_dir.empty()) {
+    SLIDER_ASSIGN_OR_RETURN(
+        repo->log_, StatementLog::Open(repo->LogPath(),
+                                       repo->options_.log_flush_interval));
+  }
+  repo->ResetEngine();
+  return repo;
+}
+
+void Repository::ResetEngine() {
+  semi_naive_.reset();
+  trree_.reset();
+  if (options_.inference == InferenceMode::kSemiNaive) {
+    semi_naive_ = std::make_unique<BatchReasoner>(factory_(vocab_, &dict_),
+                                                  store_.get(), log_.get());
+  } else {
+    trree_ = std::make_unique<TrreeReasoner>(factory_(vocab_, &dict_),
+                                             store_.get(), log_.get());
+  }
+}
+
+Result<MaterializeStats> Repository::RunInference(const TripleVec& input) {
+  if (semi_naive_ != nullptr) {
+    return semi_naive_->Materialize(input);
+  }
+  return trree_->Materialize(input);
+}
+
+const Fragment& Repository::fragment() const {
+  return semi_naive_ != nullptr ? semi_naive_->fragment() : trree_->fragment();
+}
+
+std::string Repository::LogPath() const {
+  return options_.storage_dir + "/statements.log";
+}
+
+std::string Repository::DictPath() const {
+  return options_.storage_dir + "/dictionary.dump";
+}
+
+Result<Repository::LoadStats> Repository::Load(std::string_view ntriples_document) {
+  Stopwatch watch;
+  TripleVec parsed;
+  Status st = NTriplesParser::ParseDocument(
+      ntriples_document, [&](const ParsedTriple& t) -> Status {
+        parsed.push_back(dict_.EncodeTriple(t.subject, t.predicate, t.object));
+        return Status::OK();
+      });
+  if (!st.ok()) return st;
+  SLIDER_ASSIGN_OR_RETURN(LoadStats stats, AddTriples(parsed));
+  stats.parsed = parsed.size();
+  stats.seconds = watch.ElapsedSeconds();  // include parsing, as OWLIM does
+  return stats;
+}
+
+Result<Repository::LoadStats> Repository::AddTriples(const TripleVec& triples) {
+  Stopwatch watch;
+  TripleVec fresh;
+  fresh.reserve(triples.size());
+  for (const Triple& t : triples) {
+    if (explicit_set_.insert(t).second) {
+      explicit_.push_back(t);
+      fresh.push_back(t);
+    }
+  }
+
+  LoadStats stats;
+  if (options_.recompute_on_update && store_->size() != 0) {
+    // Batch semantics: new data restarts inference from the start over the
+    // full explicit statement set.
+    store_ = std::make_unique<TripleStore>();
+    ResetEngine();
+    SLIDER_ASSIGN_OR_RETURN(stats.materialize, RunInference(explicit_));
+  } else {
+    SLIDER_ASSIGN_OR_RETURN(stats.materialize, RunInference(fresh));
+  }
+  stats.seconds = watch.ElapsedSeconds();
+  return stats;
+}
+
+Status Repository::Checkpoint() {
+  if (log_ != nullptr) {
+    SLIDER_RETURN_NOT_OK(log_->Flush());
+  }
+  if (!options_.storage_dir.empty()) {
+    SLIDER_RETURN_NOT_OK(PersistDictionary());
+    SLIDER_RETURN_NOT_OK(PersistIndexes());
+  }
+  return Status::OK();
+}
+
+Status Repository::PersistDictionary() const {
+  std::FILE* file = std::fopen(DictPath().c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IOError(Format("cannot write '%s'", DictPath().c_str()));
+  }
+  const size_t n = dict_.size();
+  for (TermId id = kFirstTermId; id < kFirstTermId + n; ++id) {
+    const std::string& term = dict_.DecodeUnchecked(id);
+    std::fwrite(term.data(), 1, term.size(), file);
+    std::fputc('\n', file);
+  }
+  std::fflush(file);
+  ::fsync(::fileno(file));
+  if (std::fclose(file) != 0) {
+    return Status::IOError(Format("close failed on '%s'", DictPath().c_str()));
+  }
+  return Status::OK();
+}
+
+Status Repository::PersistIndexes() const {
+  // OWLIM's TRREE storage keeps the statements in (at least) PSO and POS
+  // sort order; a commit must write both. 24-byte records as in the log.
+  TripleVec statements = store_->Snapshot();
+  for (const char* name : {"index_pso.bin", "index_pos.bin"}) {
+    const bool pso = std::string_view(name) == "index_pso.bin";
+    std::sort(statements.begin(), statements.end(),
+              [pso](const Triple& a, const Triple& b) {
+                if (a.p != b.p) return a.p < b.p;
+                if (pso) {
+                  if (a.s != b.s) return a.s < b.s;
+                  return a.o < b.o;
+                }
+                if (a.o != b.o) return a.o < b.o;
+                return a.s < b.s;
+              });
+    const std::string path = options_.storage_dir + "/" + name;
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr) {
+      return Status::IOError(Format("cannot write '%s'", path.c_str()));
+    }
+    for (const Triple& t : statements) {
+      const uint64_t record[3] = {t.s, t.p, t.o};
+      if (std::fwrite(record, sizeof(uint64_t), 3, file) != 3) {
+        std::fclose(file);
+        return Status::IOError(Format("short write on '%s'", path.c_str()));
+      }
+    }
+    std::fflush(file);
+    ::fsync(::fileno(file));
+    if (std::fclose(file) != 0) {
+      return Status::IOError(Format("close failed on '%s'", path.c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Repository>> Repository::Recover(
+    const FragmentFactory& factory, Options options) {
+  if (options.storage_dir.empty()) {
+    return Status::InvalidArgument("Recover requires a storage_dir");
+  }
+  const std::string log_path = options.storage_dir + "/statements.log";
+  const std::string dict_path = options.storage_dir + "/dictionary.dump";
+
+  SLIDER_ASSIGN_OR_RETURN(TripleVec statements, StatementLog::ReadAll(log_path));
+
+  auto repo = std::unique_ptr<Repository>(new Repository());
+  repo->options_ = options;
+  repo->factory_ = factory;
+
+  // Rebuild the dictionary first so recovered ids stay aligned.
+  std::FILE* file = std::fopen(dict_path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IOError(Format("cannot read '%s'", dict_path.c_str()));
+  }
+  std::string term;
+  int c;
+  while ((c = std::fgetc(file)) != EOF) {
+    if (c == '\n') {
+      repo->dict_.Encode(term);
+      term.clear();
+    } else {
+      term.push_back(static_cast<char>(c));
+    }
+  }
+  std::fclose(file);
+
+  repo->vocab_ = Vocabulary::Register(&repo->dict_);
+  repo->store_ = std::make_unique<TripleStore>();
+  // The log contains explicit and inferred statements alike; replaying it
+  // restores the full closure without re-running inference.
+  repo->store_->AddAll(statements, nullptr);
+  repo->explicit_ = statements;  // conservative: closure is now explicit
+  repo->explicit_set_ = TripleSet(statements.begin(), statements.end());
+  repo->ResetEngine();
+  return repo;
+}
+
+size_t Repository::inferred_count() const {
+  return store_->size() >= explicit_set_.size()
+             ? store_->size() - explicit_set_.size()
+             : 0;
+}
+
+}  // namespace slider

@@ -1,0 +1,101 @@
+#ifndef SLIDER_REASON_RULE_H_
+#define SLIDER_REASON_RULE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rdf/term.h"
+#include "rdf/vocabulary.h"
+#include "store/triple_store.h"
+
+namespace slider {
+
+/// \brief One inference rule; in Slider each rule is mapped onto an
+/// independent rule module (§2).
+///
+/// A rule declares the predicates it consumes (its buffer's admission
+/// filter) and the predicates it can produce (the edges of the rules
+/// dependency graph, §2.3). Apply() implements the incremental
+/// forward-chaining join of Algorithm 1: the buffered delta is joined
+/// against the triple store in both directions. The engine guarantees that
+/// the store already contains the delta when Apply runs, which is what makes
+/// delta-vs-store joins complete (delta×delta pairs are found through the
+/// store side).
+///
+/// Apply must be thread-safe and must not mutate the store; it only appends
+/// produced triples (pre-deduplication) to `out`. The same rule can
+/// therefore run as several concurrent module instances, as in the paper.
+class Rule {
+ public:
+  virtual ~Rule() = default;
+
+  /// Stable rule name in the paper's notation, e.g. "CAX-SCO".
+  virtual const std::string& name() const = 0;
+
+  /// Human-readable rule definition, e.g. for the demo GUI panel.
+  virtual std::string Definition() const = 0;
+
+  /// Predicates admitted into this rule's buffer. Empty means *universal
+  /// input*: the rule consumes triples of every predicate (paper Figure 2:
+  /// PRP-SPO1, PRP-RNG, PRP-DOM).
+  virtual const std::vector<TermId>& InputPredicates() const = 0;
+
+  /// Predicates this rule can emit. Ignored if OutputsAnyPredicate().
+  virtual const std::vector<TermId>& OutputPredicates() const = 0;
+
+  /// True if the rule can emit triples of arbitrary predicate (PRP-SPO1
+  /// emits <x p2 y> for any property p2).
+  virtual bool OutputsAnyPredicate() const { return false; }
+
+  /// True if the rule consumes every predicate (universal input).
+  bool HasUniversalInput() const { return InputPredicates().empty(); }
+
+  /// True if a triple with predicate `p` is admitted into this rule's
+  /// buffer.
+  bool AcceptsPredicate(TermId p) const {
+    const std::vector<TermId>& in = InputPredicates();
+    if (in.empty()) return true;
+    for (TermId candidate : in) {
+      if (candidate == p) return true;
+    }
+    return false;
+  }
+
+  /// Joins `delta` (newly arrived triples, already present in `store`)
+  /// against `store` and appends every produced triple to `out`
+  /// (duplicates included; the caller deduplicates through the store).
+  virtual void Apply(const TripleVec& delta, const TripleStore& store,
+                     TripleVec* out) const = 0;
+};
+
+using RulePtr = std::shared_ptr<const Rule>;
+
+/// \brief Convenience base holding the data every concrete rule returns.
+class RuleBase : public Rule {
+ public:
+  RuleBase(std::string name, std::string definition, std::vector<TermId> inputs,
+           std::vector<TermId> outputs, bool outputs_any = false)
+      : name_(std::move(name)),
+        definition_(std::move(definition)),
+        inputs_(std::move(inputs)),
+        outputs_(std::move(outputs)),
+        outputs_any_(outputs_any) {}
+
+  const std::string& name() const override { return name_; }
+  std::string Definition() const override { return definition_; }
+  const std::vector<TermId>& InputPredicates() const override { return inputs_; }
+  const std::vector<TermId>& OutputPredicates() const override { return outputs_; }
+  bool OutputsAnyPredicate() const override { return outputs_any_; }
+
+ private:
+  std::string name_;
+  std::string definition_;
+  std::vector<TermId> inputs_;
+  std::vector<TermId> outputs_;
+  bool outputs_any_;
+};
+
+}  // namespace slider
+
+#endif  // SLIDER_REASON_RULE_H_

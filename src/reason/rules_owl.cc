@@ -1,0 +1,181 @@
+#include "reason/rules_owl.h"
+
+#include <memory>
+#include <string>
+
+namespace slider {
+
+OwlTerms OwlTerms::Register(Dictionary* dict) {
+  OwlTerms owl;
+  owl.inverse_of = dict->Encode(iri::kOwlInverseOf);
+  owl.transitive_property = dict->Encode(iri::kOwlTransitiveProperty);
+  owl.symmetric_property = dict->Encode(iri::kOwlSymmetricProperty);
+  return owl;
+}
+
+// ---------------------------------------------------------------------------
+// PRP-INV1/2
+// ---------------------------------------------------------------------------
+
+PrpInvRule::PrpInvRule(const Vocabulary& v, const OwlTerms& owl)
+    : RuleBase("PRP-INV", "<p1 inverseOf p2> ^ <x p1 y> -> <y p2 x> (and vice versa)",
+               /*inputs=*/{}, /*outputs=*/{}, /*outputs_any=*/true),
+      v_(v),
+      owl_(owl) {}
+
+void PrpInvRule::Apply(const TripleVec& delta, const TripleStore& store,
+                       TripleVec* out) const {
+  for (const Triple& t : delta) {
+    if (t.p == owl_.inverse_of) {
+      // New <p1 inverseOf p2>: flip every stored statement of both sides.
+      store.ForEachWithPredicate(t.s, [&](TermId x, TermId y) {
+        out->push_back(Triple(y, t.o, x));
+      });
+      store.ForEachWithPredicate(t.o, [&](TermId x, TermId y) {
+        out->push_back(Triple(y, t.s, x));
+      });
+    }
+    // Instance statement <x p y>: flip through declared inverses of p, in
+    // both declaration directions (inverseOf is symmetric in effect).
+    store.ForEachObject(owl_.inverse_of, t.p, [&](TermId p2) {
+      out->push_back(Triple(t.o, p2, t.s));
+    });
+    store.ForEachSubject(owl_.inverse_of, t.p, [&](TermId p1) {
+      out->push_back(Triple(t.o, p1, t.s));
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PRP-TRP
+// ---------------------------------------------------------------------------
+
+PrpTrpRule::PrpTrpRule(const Vocabulary& v, const OwlTerms& owl)
+    : RuleBase("PRP-TRP",
+               "<p type TransitiveProperty> ^ <x p y> ^ <y p z> -> <x p z>",
+               /*inputs=*/{}, /*outputs=*/{}, /*outputs_any=*/true),
+      v_(v),
+      owl_(owl) {}
+
+void PrpTrpRule::Apply(const TripleVec& delta, const TripleStore& store,
+                       TripleVec* out) const {
+  for (const Triple& t : delta) {
+    if (t.p == v_.type && t.o == owl_.transitive_property) {
+      // Late declaration: self-join the whole partition of the property.
+      store.ForEachWithPredicate(t.s, [&](TermId x, TermId y) {
+        store.ForEachObject(t.s, y, [&](TermId z) {
+          out->push_back(Triple(x, t.s, z));
+        });
+      });
+      continue;
+    }
+    // Instance statement: extend both ways iff p is declared transitive.
+    if (!store.Contains(Triple(t.p, v_.type, owl_.transitive_property))) {
+      continue;
+    }
+    store.ForEachObject(t.p, t.o, [&](TermId z) {
+      out->push_back(Triple(t.s, t.p, z));
+    });
+    store.ForEachSubject(t.p, t.s, [&](TermId w) {
+      out->push_back(Triple(w, t.p, t.o));
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PRP-SYMP
+// ---------------------------------------------------------------------------
+
+PrpSympRule::PrpSympRule(const Vocabulary& v, const OwlTerms& owl)
+    : RuleBase("PRP-SYMP", "<p type SymmetricProperty> ^ <x p y> -> <y p x>",
+               /*inputs=*/{}, /*outputs=*/{}, /*outputs_any=*/true),
+      v_(v),
+      owl_(owl) {}
+
+void PrpSympRule::Apply(const TripleVec& delta, const TripleStore& store,
+                        TripleVec* out) const {
+  for (const Triple& t : delta) {
+    if (t.p == v_.type && t.o == owl_.symmetric_property) {
+      store.ForEachWithPredicate(t.s, [&](TermId x, TermId y) {
+        out->push_back(Triple(y, t.s, x));
+      });
+      continue;
+    }
+    if (store.Contains(Triple(t.p, v_.type, owl_.symmetric_property))) {
+      out->push_back(Triple(t.o, t.p, t.s));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SCM-DOM1 / SCM-RNG1
+// ---------------------------------------------------------------------------
+
+ScmDom1Rule::ScmDom1Rule(const Vocabulary& v)
+    : RuleBase("SCM-DOM1", "<p domain c1> ^ <c1 subClassOf c2> -> <p domain c2>",
+               {v.domain, v.sub_class_of}, {v.domain}),
+      v_(v) {}
+
+void ScmDom1Rule::Apply(const TripleVec& delta, const TripleStore& store,
+                        TripleVec* out) const {
+  for (const Triple& t : delta) {
+    if (t.p == v_.domain) {
+      // t = <p domain c1>: widen through stored superclasses of c1.
+      store.ForEachObject(v_.sub_class_of, t.o, [&](TermId c2) {
+        out->push_back(Triple(t.s, v_.domain, c2));
+      });
+    } else if (t.p == v_.sub_class_of) {
+      // t = <c1 subClassOf c2>: widen every stored domain at c1.
+      store.ForEachSubject(v_.domain, t.s, [&](TermId p) {
+        out->push_back(Triple(p, v_.domain, t.o));
+      });
+    }
+  }
+}
+
+ScmRng1Rule::ScmRng1Rule(const Vocabulary& v)
+    : RuleBase("SCM-RNG1", "<p range c1> ^ <c1 subClassOf c2> -> <p range c2>",
+               {v.range, v.sub_class_of}, {v.range}),
+      v_(v) {}
+
+void ScmRng1Rule::Apply(const TripleVec& delta, const TripleStore& store,
+                        TripleVec* out) const {
+  for (const Triple& t : delta) {
+    if (t.p == v_.range) {
+      store.ForEachObject(v_.sub_class_of, t.o, [&](TermId c2) {
+        out->push_back(Triple(t.s, v_.range, c2));
+      });
+    } else if (t.p == v_.sub_class_of) {
+      store.ForEachSubject(v_.range, t.s, [&](TermId p) {
+        out->push_back(Triple(p, v_.range, t.o));
+      });
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fragment assembly
+// ---------------------------------------------------------------------------
+
+Fragment OwlLiteFragment(const Vocabulary& v, Dictionary* dict) {
+  const OwlTerms owl = OwlTerms::Register(dict);
+  Fragment rdfs = Fragment::Rdfs(v);
+  Fragment f("owl-lite");
+  for (const RulePtr& rule : rdfs.rules()) {
+    f.AddRule(rule);
+  }
+  f.AddRule(std::make_shared<PrpInvRule>(v, owl));
+  f.AddRule(std::make_shared<PrpTrpRule>(v, owl));
+  f.AddRule(std::make_shared<PrpSympRule>(v, owl));
+  f.AddRule(std::make_shared<ScmDom1Rule>(v));
+  f.AddRule(std::make_shared<ScmRng1Rule>(v));
+  return f;
+}
+
+FragmentFactory OwlLiteFactory() {
+  return [](const Vocabulary& v, Dictionary* dict) {
+    return OwlLiteFragment(v, dict);
+  };
+}
+
+}  // namespace slider

@@ -1,0 +1,112 @@
+#ifndef SLIDER_REASON_RULES_OWL_H_
+#define SLIDER_REASON_RULES_OWL_H_
+
+#include <string_view>
+
+#include "reason/fragment.h"
+#include "reason/rule.h"
+
+namespace slider {
+
+/// OWL vocabulary interpreted by the extension rules.
+namespace iri {
+inline constexpr std::string_view kOwlInverseOf =
+    "<http://www.w3.org/2002/07/owl#inverseOf>";
+inline constexpr std::string_view kOwlTransitiveProperty =
+    "<http://www.w3.org/2002/07/owl#TransitiveProperty>";
+inline constexpr std::string_view kOwlSymmetricProperty =
+    "<http://www.w3.org/2002/07/owl#SymmetricProperty>";
+}  // namespace iri
+
+/// \brief TermIds of the OWL terms used by the extension fragment.
+struct OwlTerms {
+  TermId inverse_of = kAnyTerm;
+  TermId transitive_property = kAnyTerm;
+  TermId symmetric_property = kAnyTerm;
+
+  static OwlTerms Register(Dictionary* dict);
+};
+
+/// \brief PRP-INV1/2: <p1 inverseOf p2> ∧ <x p1 y> → <y p2 x>, and
+/// <x p2 y> → <y p1 x>.
+///
+/// Universal input (instance antecedent has any predicate); emits arbitrary
+/// predicates. Part of the paper's future-work direction of "more complex
+/// inference rules"; OWL 2 RL rule names prp-inv1/prp-inv2.
+class PrpInvRule : public RuleBase {
+ public:
+  PrpInvRule(const Vocabulary& v, const OwlTerms& owl);
+  void Apply(const TripleVec& delta, const TripleStore& store,
+             TripleVec* out) const override;
+
+ private:
+  Vocabulary v_;
+  OwlTerms owl_;
+};
+
+/// \brief PRP-TRP: <p type TransitiveProperty> ∧ <x p y> ∧ <y p z> →
+/// <x p z>.
+///
+/// The first three-antecedent rule of the library: the property
+/// declaration is probed in the store, and the instance pair joins in both
+/// directions as usual. A late-arriving declaration re-joins the whole
+/// predicate partition, so declaration order does not matter.
+class PrpTrpRule : public RuleBase {
+ public:
+  PrpTrpRule(const Vocabulary& v, const OwlTerms& owl);
+  void Apply(const TripleVec& delta, const TripleStore& store,
+             TripleVec* out) const override;
+
+ private:
+  Vocabulary v_;
+  OwlTerms owl_;
+};
+
+/// \brief PRP-SYMP: <p type SymmetricProperty> ∧ <x p y> → <y p x>.
+class PrpSympRule : public RuleBase {
+ public:
+  PrpSympRule(const Vocabulary& v, const OwlTerms& owl);
+  void Apply(const TripleVec& delta, const TripleStore& store,
+             TripleVec* out) const override;
+
+ private:
+  Vocabulary v_;
+  OwlTerms owl_;
+};
+
+/// \brief SCM-DOM1: <p domain c1> ∧ <c1 subClassOf c2> → <p domain c2>.
+/// Not part of ρdf's eight rules; completes the schema closure in the
+/// extension fragment.
+class ScmDom1Rule : public RuleBase {
+ public:
+  explicit ScmDom1Rule(const Vocabulary& v);
+  void Apply(const TripleVec& delta, const TripleStore& store,
+             TripleVec* out) const override;
+
+ private:
+  Vocabulary v_;
+};
+
+/// \brief SCM-RNG1: <p range c1> ∧ <c1 subClassOf c2> → <p range c2>.
+class ScmRng1Rule : public RuleBase {
+ public:
+  explicit ScmRng1Rule(const Vocabulary& v);
+  void Apply(const TripleVec& delta, const TripleStore& store,
+             TripleVec* out) const override;
+
+ private:
+  Vocabulary v_;
+};
+
+/// Builds the extension fragment: RDFS plus the OWL rules above — the
+/// "more complex fragment" of the paper's future-work section,
+/// demonstrating that Slider's architecture extends without engine
+/// changes.
+Fragment OwlLiteFragment(const Vocabulary& v, Dictionary* dict);
+
+/// FragmentFactory for OwlLiteFragment.
+FragmentFactory OwlLiteFactory();
+
+}  // namespace slider
+
+#endif  // SLIDER_REASON_RULES_OWL_H_

@@ -1,0 +1,77 @@
+#include "reason/rules_rdfs.h"
+
+#include <memory>
+
+namespace slider {
+
+TypeAxiomRule::TypeAxiomRule(std::string name, std::string definition,
+                             const Vocabulary& v, TermId trigger_class,
+                             TermId out_predicate, ObjectMode mode,
+                             TermId fixed_object)
+    : RuleBase(std::move(name), std::move(definition), {v.type},
+               {out_predicate}),
+      type_(v.type),
+      trigger_class_(trigger_class),
+      out_predicate_(out_predicate),
+      mode_(mode),
+      fixed_object_(fixed_object) {}
+
+void TypeAxiomRule::Apply(const TripleVec& delta, const TripleStore& /*store*/,
+                          TripleVec* out) const {
+  for (const Triple& t : delta) {
+    if (t.p != type_ || t.o != trigger_class_) continue;
+    const TermId obj = mode_ == ObjectMode::kSubject ? t.s : fixed_object_;
+    out->push_back(Triple(t.s, out_predicate_, obj));
+  }
+}
+
+RulePtr TypeAxiomRule::Rdfs6(const Vocabulary& v) {
+  return std::make_shared<TypeAxiomRule>(
+      "RDFS6", "<p type Property> -> <p subPropertyOf p>", v, v.property,
+      v.sub_property_of, ObjectMode::kSubject);
+}
+
+RulePtr TypeAxiomRule::Rdfs8(const Vocabulary& v) {
+  return std::make_shared<TypeAxiomRule>(
+      "RDFS8", "<c type Class> -> <c subClassOf Resource>", v, v.rdfs_class,
+      v.sub_class_of, ObjectMode::kFixed, v.resource);
+}
+
+RulePtr TypeAxiomRule::Rdfs10(const Vocabulary& v) {
+  return std::make_shared<TypeAxiomRule>(
+      "RDFS10", "<c type Class> -> <c subClassOf c>", v, v.rdfs_class,
+      v.sub_class_of, ObjectMode::kSubject);
+}
+
+RulePtr TypeAxiomRule::Rdfs12(const Vocabulary& v) {
+  return std::make_shared<TypeAxiomRule>(
+      "RDFS12",
+      "<p type ContainerMembershipProperty> -> <p subPropertyOf member>", v,
+      v.container_membership, v.sub_property_of, ObjectMode::kFixed, v.member);
+}
+
+RulePtr TypeAxiomRule::Rdfs13(const Vocabulary& v) {
+  return std::make_shared<TypeAxiomRule>(
+      "RDFS13", "<d type Datatype> -> <d subClassOf Literal>", v, v.datatype,
+      v.sub_class_of, ObjectMode::kFixed, v.literal);
+}
+
+Rdfs4Rule::Rdfs4Rule(const Vocabulary& v, Position position)
+    : RuleBase(position == Position::kSubject ? "RDFS4A" : "RDFS4B",
+               position == Position::kSubject
+                   ? "<x p y> -> <x type Resource>"
+                   : "<x p y> -> <y type Resource>",
+               /*inputs=*/{}, {v.type}),
+      type_(v.type),
+      resource_(v.resource),
+      position_(position) {}
+
+void Rdfs4Rule::Apply(const TripleVec& delta, const TripleStore& /*store*/,
+                      TripleVec* out) const {
+  for (const Triple& t : delta) {
+    const TermId x = position_ == Position::kSubject ? t.s : t.o;
+    out->push_back(Triple(x, type_, resource_));
+  }
+}
+
+}  // namespace slider

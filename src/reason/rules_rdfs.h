@@ -1,0 +1,74 @@
+#ifndef SLIDER_REASON_RULES_RDFS_H_
+#define SLIDER_REASON_RULES_RDFS_H_
+
+#include <string>
+
+#include "reason/rule.h"
+
+namespace slider {
+
+/// \brief Family of single-antecedent RDFS axiom rules of the form
+/// <x type K> → <x P obj>, where obj is either x itself or a fixed term.
+///
+/// Instances (W3C RDF Semantics entailment rule names):
+///  - RDFS6:  <p type Property> → <p subPropertyOf p>
+///  - RDFS8:  <c type Class> → <c subClassOf Resource>
+///  - RDFS10: <c type Class> → <c subClassOf c>
+///  - RDFS12: <p type ContainerMembershipProperty> → <p subPropertyOf member>
+///  - RDFS13: <d type Datatype> → <d subClassOf Literal>
+///
+/// Being single-antecedent, these rules never join with the store: they map
+/// each matching delta triple directly to a consequence.
+class TypeAxiomRule : public RuleBase {
+ public:
+  /// Output object choice for the consequent.
+  enum class ObjectMode {
+    kSubject,  ///< consequent object is the triple's subject (reflexive)
+    kFixed,    ///< consequent object is `fixed_object`
+  };
+
+  TypeAxiomRule(std::string name, std::string definition, const Vocabulary& v,
+                TermId trigger_class, TermId out_predicate, ObjectMode mode,
+                TermId fixed_object = kAnyTerm);
+
+  void Apply(const TripleVec& delta, const TripleStore& store,
+             TripleVec* out) const override;
+
+  /// Factory helpers for the five standard instances.
+  static RulePtr Rdfs6(const Vocabulary& v);
+  static RulePtr Rdfs8(const Vocabulary& v);
+  static RulePtr Rdfs10(const Vocabulary& v);
+  static RulePtr Rdfs12(const Vocabulary& v);
+  static RulePtr Rdfs13(const Vocabulary& v);
+
+ private:
+  TermId type_;
+  TermId trigger_class_;
+  TermId out_predicate_;
+  ObjectMode mode_;
+  TermId fixed_object_;
+};
+
+/// \brief RDFS4a/4b: <x p y> → <x type Resource> / <y type Resource>.
+///
+/// These "trivial universe" rules type every mentioned resource. They are
+/// part of full RDFS entailment but suppressed by default (OWLIM's optimised
+/// rulesets do the same); ReasonerOptions/Fragment factories expose a flag.
+class Rdfs4Rule : public RuleBase {
+ public:
+  enum class Position { kSubject, kObject };
+
+  Rdfs4Rule(const Vocabulary& v, Position position);
+
+  void Apply(const TripleVec& delta, const TripleStore& store,
+             TripleVec* out) const override;
+
+ private:
+  TermId type_;
+  TermId resource_;
+  Position position_;
+};
+
+}  // namespace slider
+
+#endif  // SLIDER_REASON_RULES_RDFS_H_

@@ -1,0 +1,109 @@
+#ifndef SLIDER_REASON_RULES_RHODF_H_
+#define SLIDER_REASON_RULES_RHODF_H_
+
+#include <vector>
+
+#include "reason/rule.h"
+
+namespace slider {
+
+/// The eight ρdf rules of the paper's Figure 2 (names follow the OWL 2 RL
+/// rule tables of Motik et al. that the paper cites). Each class implements
+/// Algorithm 1 for its antecedent pair, using the store's vertical
+/// partitioning: schema antecedents are looked up by predicate, instance
+/// antecedents by predicate+subject / predicate+object.
+
+/// CAX-SCO: <c1 subClassOf c2> ∧ <x type c1> → <x type c2>.
+/// This is the rule spelled out as Algorithm 1 in the paper.
+class CaxScoRule : public RuleBase {
+ public:
+  explicit CaxScoRule(const Vocabulary& v);
+  void Apply(const TripleVec& delta, const TripleStore& store,
+             TripleVec* out) const override;
+
+ private:
+  Vocabulary v_;
+};
+
+/// SCM-SCO: <c1 subClassOf c2> ∧ <c2 subClassOf c3> → <c1 subClassOf c3>.
+class ScmScoRule : public RuleBase {
+ public:
+  explicit ScmScoRule(const Vocabulary& v);
+  void Apply(const TripleVec& delta, const TripleStore& store,
+             TripleVec* out) const override;
+
+ private:
+  Vocabulary v_;
+};
+
+/// SCM-SPO: <p1 subPropertyOf p2> ∧ <p2 subPropertyOf p3> →
+/// <p1 subPropertyOf p3>.
+class ScmSpoRule : public RuleBase {
+ public:
+  explicit ScmSpoRule(const Vocabulary& v);
+  void Apply(const TripleVec& delta, const TripleStore& store,
+             TripleVec* out) const override;
+
+ private:
+  Vocabulary v_;
+};
+
+/// PRP-SPO1: <p1 subPropertyOf p2> ∧ <x p1 y> → <x p2 y>. Universal input;
+/// emits arbitrary predicates.
+class PrpSpo1Rule : public RuleBase {
+ public:
+  explicit PrpSpo1Rule(const Vocabulary& v);
+  void Apply(const TripleVec& delta, const TripleStore& store,
+             TripleVec* out) const override;
+
+ private:
+  Vocabulary v_;
+};
+
+/// PRP-DOM: <p domain c> ∧ <x p y> → <x type c>. Universal input.
+class PrpDomRule : public RuleBase {
+ public:
+  explicit PrpDomRule(const Vocabulary& v);
+  void Apply(const TripleVec& delta, const TripleStore& store,
+             TripleVec* out) const override;
+
+ private:
+  Vocabulary v_;
+};
+
+/// PRP-RNG: <p range c> ∧ <x p y> → <y type c>. Universal input.
+class PrpRngRule : public RuleBase {
+ public:
+  explicit PrpRngRule(const Vocabulary& v);
+  void Apply(const TripleVec& delta, const TripleStore& store,
+             TripleVec* out) const override;
+
+ private:
+  Vocabulary v_;
+};
+
+/// SCM-DOM2: <p2 domain c> ∧ <p1 subPropertyOf p2> → <p1 domain c>.
+class ScmDom2Rule : public RuleBase {
+ public:
+  explicit ScmDom2Rule(const Vocabulary& v);
+  void Apply(const TripleVec& delta, const TripleStore& store,
+             TripleVec* out) const override;
+
+ private:
+  Vocabulary v_;
+};
+
+/// SCM-RNG2: <p2 range c> ∧ <p1 subPropertyOf p2> → <p1 range c>.
+class ScmRng2Rule : public RuleBase {
+ public:
+  explicit ScmRng2Rule(const Vocabulary& v);
+  void Apply(const TripleVec& delta, const TripleStore& store,
+             TripleVec* out) const override;
+
+ private:
+  Vocabulary v_;
+};
+
+}  // namespace slider
+
+#endif  // SLIDER_REASON_RULES_RHODF_H_

@@ -1,0 +1,65 @@
+#include "reason/trree_reasoner.h"
+
+#include <utility>
+
+namespace slider {
+
+TrreeReasoner::TrreeReasoner(Fragment fragment, TripleStore* store,
+                             StatementLog* log)
+    : fragment_(std::move(fragment)), store_(store), log_(log) {}
+
+Result<MaterializeStats> TrreeReasoner::Materialize(const TripleVec& input) {
+  MaterializeStats stats;
+  stats.input_count = input.size();
+
+  std::deque<Triple> worklist;
+  for (const Triple& t : input) {
+    if (seen_.insert(t).second) {
+      worklist.push_back(t);
+    }
+  }
+  stats.input_new = worklist.size();
+
+  TripleVec single(1);
+  TripleVec produced;
+  size_t processed_inputs = 0;
+  while (!worklist.empty()) {
+    const Triple t = worklist.front();
+    worklist.pop_front();
+    // Statement-at-a-time: insert, then push this one statement through
+    // every rule of the fragment.
+    if (!store_->Add(t)) {
+      continue;  // raced with an earlier duplicate
+    }
+    if (log_ != nullptr) {
+      SLIDER_RETURN_NOT_OK(log_->Append(t));
+    }
+    ++stats.rounds;  // = statements processed
+    if (processed_inputs < stats.input_new) {
+      ++processed_inputs;
+    } else {
+      ++stats.inferred_new;
+    }
+    single[0] = t;
+    produced.clear();
+    for (const RulePtr& rule : fragment_.rules()) {
+      if (!rule->AcceptsPredicate(t.p)) continue;
+      rule->Apply(single, *store_, &produced);
+    }
+    stats.derivations += produced.size();
+    for (const Triple& consequence : produced) {
+      if (seen_.insert(consequence).second) {
+        worklist.push_back(consequence);
+      }
+    }
+  }
+
+  cumulative_.input_count += stats.input_count;
+  cumulative_.input_new += stats.input_new;
+  cumulative_.inferred_new += stats.inferred_new;
+  cumulative_.rounds += stats.rounds;
+  cumulative_.derivations += stats.derivations;
+  return stats;
+}
+
+}  // namespace slider

@@ -1,0 +1,110 @@
+#include "store/statement_log.h"
+
+#include <unistd.h>
+
+#include <array>
+#include <cstring>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace slider {
+
+namespace {
+constexpr size_t kRecordSize = 3 * sizeof(uint64_t);
+
+void EncodeRecord(const Triple& t, unsigned char* out) {
+  std::memcpy(out, &t.s, sizeof(uint64_t));
+  std::memcpy(out + 8, &t.p, sizeof(uint64_t));
+  std::memcpy(out + 16, &t.o, sizeof(uint64_t));
+}
+}  // namespace
+
+Result<std::unique_ptr<StatementLog>> StatementLog::Open(const std::string& path,
+                                                         size_t flush_interval) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IOError(Format("cannot open statement log '%s'", path.c_str()));
+  }
+  return std::unique_ptr<StatementLog>(
+      new StatementLog(file, path, flush_interval));
+}
+
+StatementLog::~StatementLog() {
+  if (file_ != nullptr) {
+    Close().AbortIfNotOk();
+  }
+}
+
+Status StatementLog::Append(const Triple& t) {
+  if (file_ == nullptr) {
+    return Status::IOError("statement log is closed");
+  }
+  std::array<unsigned char, kRecordSize> record;
+  EncodeRecord(t, record.data());
+  if (std::fwrite(record.data(), 1, kRecordSize, file_) != kRecordSize) {
+    return Status::IOError(Format("short write on statement log '%s'", path_.c_str()));
+  }
+  ++records_written_;
+  ++unflushed_;
+  if (flush_interval_ != 0 && unflushed_ >= flush_interval_) {
+    return Flush();
+  }
+  return Status::OK();
+}
+
+Status StatementLog::AppendBatch(const TripleVec& batch) {
+  for (const Triple& t : batch) {
+    SLIDER_RETURN_NOT_OK(Append(t));
+  }
+  return Status::OK();
+}
+
+Status StatementLog::Flush() {
+  if (file_ == nullptr) {
+    return Status::IOError("statement log is closed");
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::IOError(Format("fflush failed on '%s'", path_.c_str()));
+  }
+  // Durability is the point of a statement log: group-commit with a real
+  // fsync, as a persistent repository must (Slider, being in-memory, pays
+  // nothing here — that asymmetry is part of the paper's comparison).
+  if (::fsync(::fileno(file_)) != 0) {
+    return Status::IOError(Format("fsync failed on '%s'", path_.c_str()));
+  }
+  unflushed_ = 0;
+  return Status::OK();
+}
+
+Status StatementLog::Close() {
+  if (file_ == nullptr) {
+    return Status::OK();
+  }
+  Status st = Flush();
+  if (std::fclose(file_) != 0 && st.ok()) {
+    st = Status::IOError(Format("fclose failed on '%s'", path_.c_str()));
+  }
+  file_ = nullptr;
+  return st;
+}
+
+Result<TripleVec> StatementLog::ReadAll(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IOError(Format("cannot open statement log '%s'", path.c_str()));
+  }
+  TripleVec out;
+  std::array<unsigned char, kRecordSize> record;
+  while (std::fread(record.data(), 1, kRecordSize, file) == kRecordSize) {
+    Triple t;
+    std::memcpy(&t.s, record.data(), sizeof(uint64_t));
+    std::memcpy(&t.p, record.data() + 8, sizeof(uint64_t));
+    std::memcpy(&t.o, record.data() + 16, sizeof(uint64_t));
+    out.push_back(t);
+  }
+  std::fclose(file);
+  return out;
+}
+
+}  // namespace slider

@@ -1,0 +1,66 @@
+#ifndef SLIDER_STORE_STATEMENT_LOG_H_
+#define SLIDER_STORE_STATEMENT_LOG_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rdf/term.h"
+
+namespace slider {
+
+/// \brief Append-only binary statement log: the persistence layer of the
+/// OWLIM-SE substitute.
+///
+/// OWLIM-SE is a *semantic repository* — every loaded and inferred statement
+/// is made durable — whereas Slider keeps triples in memory (§2.2). To make
+/// the baseline comparison honest, the batch repository writes each
+/// statement through this log (24-byte fixed records, flushed every
+/// `flush_interval` records). The log can be replayed to rebuild the store,
+/// which is also how the recovery test verifies durability.
+class StatementLog {
+ public:
+  /// Creates or truncates the log file at `path`. A `flush_interval` of n
+  /// flushes the OS buffer every n appended statements (0 = only on Close).
+  static Result<std::unique_ptr<StatementLog>> Open(const std::string& path,
+                                                    size_t flush_interval);
+
+  ~StatementLog();
+
+  StatementLog(const StatementLog&) = delete;
+  StatementLog& operator=(const StatementLog&) = delete;
+
+  /// Appends one statement record.
+  Status Append(const Triple& t);
+
+  /// Appends a batch of statement records.
+  Status AppendBatch(const TripleVec& batch);
+
+  /// Flushes buffered records to the OS.
+  Status Flush();
+
+  /// Flushes and closes the file. Further appends fail.
+  Status Close();
+
+  /// Number of records appended since Open.
+  uint64_t records_written() const { return records_written_; }
+
+  /// Reads every record of a previously written log (recovery path).
+  static Result<TripleVec> ReadAll(const std::string& path);
+
+ private:
+  StatementLog(std::FILE* file, std::string path, size_t flush_interval)
+      : file_(file), path_(std::move(path)), flush_interval_(flush_interval) {}
+
+  std::FILE* file_;
+  std::string path_;
+  size_t flush_interval_;
+  uint64_t records_written_ = 0;
+  uint64_t unflushed_ = 0;
+};
+
+}  // namespace slider
+
+#endif  // SLIDER_STORE_STATEMENT_LOG_H_

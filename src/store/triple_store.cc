@@ -1,0 +1,89 @@
+#include "store/triple_store.h"
+
+#include <mutex>
+
+namespace slider {
+
+bool TripleStore::Add(const Triple& t) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return AddLocked(t);
+}
+
+size_t TripleStore::AddAll(const TripleVec& batch, TripleVec* delta) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  size_t added = 0;
+  for (const Triple& t : batch) {
+    if (AddLocked(t)) {
+      ++added;
+      if (delta != nullptr) delta->push_back(t);
+    }
+  }
+  return added;
+}
+
+bool TripleStore::AddLocked(const Triple& t) {
+  ++stats_.insert_attempts;
+  if (!all_.insert(t).second) {
+    ++stats_.duplicates_rejected;
+    return false;
+  }
+  Partition& partition = partitions_[t.p];
+  partition.by_subject[t.s].push_back(t.o);
+  partition.by_object[t.o].push_back(t.s);
+  ++partition.count;
+  return true;
+}
+
+bool TripleStore::Contains(const Triple& t) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return all_.count(t) != 0;
+}
+
+size_t TripleStore::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return all_.size();
+}
+
+size_t TripleStore::NumPredicates() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return partitions_.size();
+}
+
+std::vector<TermId> TripleStore::Predicates() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<TermId> out;
+  out.reserve(partitions_.size());
+  for (const auto& [p, partition] : partitions_) {
+    out.push_back(p);
+  }
+  return out;
+}
+
+size_t TripleStore::CountWithPredicate(TermId p) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = partitions_.find(p);
+  return it == partitions_.end() ? 0 : it->second.count;
+}
+
+TripleVec TripleStore::Match(const TriplePattern& pattern) const {
+  TripleVec out;
+  ForEachMatch(pattern, [&](const Triple& t) { out.push_back(t); });
+  return out;
+}
+
+TripleVec TripleStore::Snapshot() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return TripleVec(all_.begin(), all_.end());
+}
+
+TripleSet TripleStore::SnapshotSet() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return all_;
+}
+
+TripleStore::Stats TripleStore::stats() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace slider

@@ -1,0 +1,179 @@
+#ifndef SLIDER_STORE_TRIPLE_STORE_H_
+#define SLIDER_STORE_TRIPLE_STORE_H_
+
+#include <cstdint>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace slider {
+
+/// \brief In-memory, vertically partitioned, concurrent RDF triple store
+/// (paper §2.2).
+///
+/// Triples are indexed by predicate first, then by subject and by object
+/// inside each predicate partition — the layout of Abadi et al.'s vertical
+/// partitioning, which the paper picks because every ρdf/RDFS/OWL rule
+/// antecedent either walks all triples or accesses them by predicate first.
+///
+/// Concurrency follows the paper's ReentrantReadWriteLock design: rule
+/// executions take the reader side while distributors take the writer side
+/// when inserting inferred triples. The hash-based layout doubles as the
+/// duplicate filter: Add/AddAll report exactly the subset of triples that
+/// were not yet present, and the engine only ever routes that subset
+/// ("Duplicates Limitation", §1).
+///
+/// Callback contract: ForEach* methods hold the reader lock while invoking
+/// the callback; callbacks must not call mutating methods of the same store
+/// (they may read).
+class TripleStore {
+ public:
+  TripleStore() = default;
+
+  TripleStore(const TripleStore&) = delete;
+  TripleStore& operator=(const TripleStore&) = delete;
+
+  /// Inserts one triple. Returns true iff it was not already present.
+  bool Add(const Triple& t);
+
+  /// Inserts a batch; newly added triples are appended to `*delta` when
+  /// `delta` is non-null. Returns the number of newly added triples.
+  size_t AddAll(const TripleVec& batch, TripleVec* delta = nullptr);
+
+  /// True iff the triple is present.
+  bool Contains(const Triple& t) const;
+
+  /// Number of distinct triples stored.
+  size_t size() const;
+
+  /// Number of non-empty predicate partitions.
+  size_t NumPredicates() const;
+
+  /// All predicates with at least one triple.
+  std::vector<TermId> Predicates() const;
+
+  /// Number of triples whose predicate is `p`.
+  size_t CountWithPredicate(TermId p) const;
+
+  /// Invokes fn(subject, object) for every triple with predicate `p`.
+  template <typename Fn>
+  void ForEachWithPredicate(TermId p, Fn&& fn) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto part = partitions_.find(p);
+    if (part == partitions_.end()) return;
+    for (const auto& [s, objects] : part->second.by_subject) {
+      for (TermId o : objects) {
+        fn(s, o);
+      }
+    }
+  }
+
+  /// Invokes fn(object) for every triple (s, p, object).
+  template <typename Fn>
+  void ForEachObject(TermId p, TermId s, Fn&& fn) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto part = partitions_.find(p);
+    if (part == partitions_.end()) return;
+    auto row = part->second.by_subject.find(s);
+    if (row == part->second.by_subject.end()) return;
+    for (TermId o : row->second) {
+      fn(o);
+    }
+  }
+
+  /// Invokes fn(subject) for every triple (subject, p, o).
+  template <typename Fn>
+  void ForEachSubject(TermId p, TermId o, Fn&& fn) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto part = partitions_.find(p);
+    if (part == partitions_.end()) return;
+    auto row = part->second.by_object.find(o);
+    if (row == part->second.by_object.end()) return;
+    for (TermId s : row->second) {
+      fn(s);
+    }
+  }
+
+  /// Invokes fn(const Triple&) for every triple matching `pattern`,
+  /// dispatching to the best index for the bound positions.
+  template <typename Fn>
+  void ForEachMatch(const TriplePattern& pattern, Fn&& fn) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (pattern.p != kAnyTerm) {
+      auto part = partitions_.find(pattern.p);
+      if (part == partitions_.end()) return;
+      MatchInPartition(pattern.p, part->second, pattern, fn);
+      return;
+    }
+    for (const auto& [p, partition] : partitions_) {
+      MatchInPartition(p, partition, pattern, fn);
+    }
+  }
+
+  /// Materializes the matches of `pattern`.
+  TripleVec Match(const TriplePattern& pattern) const;
+
+  /// Copies out every stored triple (tests & serialization).
+  TripleVec Snapshot() const;
+
+  /// Copies out every stored triple as a set (closure comparisons).
+  TripleSet SnapshotSet() const;
+
+  /// Monotonic counters for the benches and the demo player.
+  struct Stats {
+    uint64_t insert_attempts = 0;   ///< triples offered to Add/AddAll
+    uint64_t duplicates_rejected = 0;  ///< offers that were already present
+  };
+  Stats stats() const;
+
+ private:
+  /// One vertical partition: all triples sharing a predicate, indexed both
+  /// ways ("HashMaps of MultiMaps", §2.2).
+  struct Partition {
+    std::unordered_map<TermId, std::vector<TermId>> by_subject;
+    std::unordered_map<TermId, std::vector<TermId>> by_object;
+    size_t count = 0;
+  };
+
+  template <typename Fn>
+  static void MatchInPartition(TermId p, const Partition& partition,
+                               const TriplePattern& pattern, Fn&& fn) {
+    if (pattern.s != kAnyTerm) {
+      auto row = partition.by_subject.find(pattern.s);
+      if (row == partition.by_subject.end()) return;
+      for (TermId o : row->second) {
+        if (pattern.o == kAnyTerm || pattern.o == o) {
+          fn(Triple(pattern.s, p, o));
+        }
+      }
+      return;
+    }
+    if (pattern.o != kAnyTerm) {
+      auto row = partition.by_object.find(pattern.o);
+      if (row == partition.by_object.end()) return;
+      for (TermId s : row->second) {
+        fn(Triple(s, p, pattern.o));
+      }
+      return;
+    }
+    for (const auto& [s, objects] : partition.by_subject) {
+      for (TermId o : objects) {
+        fn(Triple(s, p, o));
+      }
+    }
+  }
+
+  /// Inserts without taking the lock; caller holds the writer lock.
+  bool AddLocked(const Triple& t);
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<TermId, Partition> partitions_;
+  TripleSet all_;  // global membership set: O(1) duplicate detection
+  Stats stats_;
+};
+
+}  // namespace slider
+
+#endif  // SLIDER_STORE_TRIPLE_STORE_H_

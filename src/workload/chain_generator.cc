@@ -1,0 +1,43 @@
+#include "workload/chain_generator.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace slider {
+
+std::string ChainGenerator::ClassIri(size_t i) {
+  return Format("<http://slider.repro/chain/class%zu>", i);
+}
+
+TripleVec ChainGenerator::Generate(size_t n, Dictionary* dict,
+                                   const Vocabulary& v) {
+  SLIDER_CHECK(n >= 1);
+  TripleVec out;
+  out.reserve(InputSize(n));
+  TermId prev = dict->Encode(ClassIri(1));
+  out.push_back(Triple(prev, v.type, v.rdfs_class));
+  for (size_t i = 2; i <= n; ++i) {
+    const TermId cur = dict->Encode(ClassIri(i));
+    out.push_back(Triple(cur, v.type, v.rdfs_class));
+    out.push_back(Triple(cur, v.sub_class_of, prev));
+    prev = cur;
+  }
+  return out;
+}
+
+std::string ChainGenerator::GenerateNTriples(size_t n) {
+  SLIDER_CHECK(n >= 1);
+  std::string out;
+  out.reserve(InputSize(n) * 96);
+  const std::string type(iri::kRdfType);
+  const std::string sub_class_of(iri::kRdfsSubClassOf);
+  const std::string rdfs_class(iri::kRdfsClass);
+  out += ClassIri(1) + " " + type + " " + rdfs_class + " .\n";
+  for (size_t i = 2; i <= n; ++i) {
+    out += ClassIri(i) + " " + type + " " + rdfs_class + " .\n";
+    out += ClassIri(i) + " " + sub_class_of + " " + ClassIri(i - 1) + " .\n";
+  }
+  return out;
+}
+
+}  // namespace slider

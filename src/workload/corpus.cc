@@ -1,0 +1,90 @@
+#include "workload/corpus.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "workload/bsbm_generator.h"
+#include "workload/chain_generator.h"
+#include "workload/wikipedia_generator.h"
+#include "workload/wordnet_generator.h"
+
+namespace slider {
+
+std::vector<OntologySpec> Corpus::Table1(bool include_5m) {
+  using Kind = OntologySpec::Kind;
+  std::vector<OntologySpec> specs = {
+      {"BSBM_100k", Kind::kBsbm, 100000},
+      {"BSBM_200k", Kind::kBsbm, 200000},
+      {"BSBM_500k", Kind::kBsbm, 500000},
+      {"BSBM_1M", Kind::kBsbm, 1000000},
+  };
+  if (include_5m) {
+    specs.push_back({"BSBM_5M", Kind::kBsbm, 5000000});
+  }
+  specs.push_back({"wikipedia", Kind::kWikipedia, 458369});
+  specs.push_back({"wordnet", Kind::kWordnet, 473589});
+  for (size_t n : {10u, 20u, 50u, 100u, 200u, 500u}) {
+    specs.push_back(
+        {"subClassOf" + std::to_string(n), Kind::kChain, n});
+  }
+  return specs;
+}
+
+std::vector<OntologySpec> Corpus::Demo() {
+  // §4: "to choose from a set of 11 ontologies" — the corpus minus the two
+  // largest datasets, which would not be interactive.
+  std::vector<OntologySpec> specs;
+  for (const OntologySpec& spec : Table1(/*include_5m=*/false)) {
+    if (spec.name == "BSBM_1M" || spec.name == "BSBM_500k") continue;
+    specs.push_back(spec);
+  }
+  // 4 BSBM - 2 + wikipedia + wordnet + 6 chains = 10; add a mid-size BSBM
+  // variant to reach the demo's 11.
+  specs.push_back({"BSBM_300k", OntologySpec::Kind::kBsbm, 300000});
+  return specs;
+}
+
+OntologySpec Corpus::ByName(const std::string& name) {
+  for (const OntologySpec& spec : Table1(/*include_5m=*/true)) {
+    if (spec.name == name) return spec;
+  }
+  for (const OntologySpec& spec : Demo()) {
+    if (spec.name == name) return spec;
+  }
+  std::fprintf(stderr, "unknown ontology '%s'\n", name.c_str());
+  std::abort();
+}
+
+TripleVec Corpus::Generate(const OntologySpec& spec, Dictionary* dict,
+                           const Vocabulary& v) {
+  switch (spec.kind) {
+    case OntologySpec::Kind::kBsbm:
+      return BsbmGenerator::Generate({.target_triples = spec.param}, dict, v);
+    case OntologySpec::Kind::kChain:
+      return ChainGenerator::Generate(spec.param, dict, v);
+    case OntologySpec::Kind::kWikipedia:
+      return WikipediaGenerator::Generate({.target_triples = spec.param}, dict,
+                                          v);
+    case OntologySpec::Kind::kWordnet:
+      return WordnetGenerator::Generate({.target_triples = spec.param}, dict,
+                                        v);
+  }
+  std::abort();
+}
+
+std::string Corpus::GenerateNTriples(const OntologySpec& spec) {
+  switch (spec.kind) {
+    case OntologySpec::Kind::kBsbm:
+      return BsbmGenerator::GenerateNTriples({.target_triples = spec.param});
+    case OntologySpec::Kind::kChain:
+      return ChainGenerator::GenerateNTriples(spec.param);
+    case OntologySpec::Kind::kWikipedia:
+      return WikipediaGenerator::GenerateNTriples(
+          {.target_triples = spec.param});
+    case OntologySpec::Kind::kWordnet:
+      return WordnetGenerator::GenerateNTriples({.target_triples = spec.param});
+  }
+  std::abort();
+}
+
+}  // namespace slider

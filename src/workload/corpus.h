@@ -1,0 +1,48 @@
+#ifndef SLIDER_WORKLOAD_CORPUS_H_
+#define SLIDER_WORKLOAD_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+#include "rdf/vocabulary.h"
+
+namespace slider {
+
+/// \brief One ontology of the evaluation corpus.
+struct OntologySpec {
+  enum class Kind { kBsbm, kChain, kWikipedia, kWordnet };
+
+  std::string name;  ///< Table 1 row label, e.g. "BSBM_100k"
+  Kind kind = Kind::kBsbm;
+  size_t param = 0;  ///< target triples (BSBM/wikipedia/wordnet) or chain n
+};
+
+/// \brief Registry of the paper's 13-ontology corpus (§3): five generated
+/// BSBM datasets, six subClassOf^n chains, and the two real-world stand-ins
+/// (wikipedia, wordnet). DESIGN.md §5.4 documents each substitution.
+class Corpus {
+ public:
+  /// The Table 1 corpus in row order. `include_5m` adds BSBM_5M (the row
+  /// the paper keeps in Table 1 but omits from Figure 3); default-off so
+  /// the bench loop stays fast, enabled by --full.
+  static std::vector<OntologySpec> Table1(bool include_5m = false);
+
+  /// The 11-ontology demo corpus of §4 (Table 1 minus the two largest).
+  static std::vector<OntologySpec> Demo();
+
+  /// Finds a spec by row name; aborts if unknown (bench CLI convenience).
+  static OntologySpec ByName(const std::string& name);
+
+  /// Generates `spec` into encoded triples.
+  static TripleVec Generate(const OntologySpec& spec, Dictionary* dict,
+                            const Vocabulary& v);
+
+  /// Generates `spec` as an N-Triples document (parse-inclusive path).
+  static std::string GenerateNTriples(const OntologySpec& spec);
+};
+
+}  // namespace slider
+
+#endif  // SLIDER_WORKLOAD_CORPUS_H_

@@ -1,0 +1,105 @@
+#include "workload/wikipedia_generator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "rdf/graph_io.h"
+
+namespace slider {
+
+namespace {
+constexpr const char* kNs = "http://slider.repro/wikipedia/";
+}
+
+TripleVec WikipediaGenerator::Generate(const Options& options, Dictionary* dict,
+                                       const Vocabulary& v) {
+  SLIDER_CHECK(options.target_triples >= 1000);
+  SLIDER_CHECK(options.levels >= 2);
+  Random rng(options.seed);
+  TripleVec out;
+  out.reserve(options.target_triples + options.target_triples / 16);
+
+  // Budget: a category costs ~2.2 triples (type Class + ~1.2 parents), an
+  // article ~2.2 (1.2 types + label). Categories : articles ≈ 1 : 2.6.
+  const size_t num_categories =
+      std::max<size_t>(options.levels * 4, options.target_triples / 8);
+  const TermId article_label = dict->Encode(Format("<%slabel>", kNs));
+  out.push_back({article_label, v.type, v.property});
+
+  // --- Category hierarchy ---------------------------------------------------
+  // Layered DAG: level 0 holds the hub roots; a category at level k picks
+  // one (sometimes two) Zipf-popular parents from level k-1, so hubs
+  // concentrate children as in the real category graph.
+  std::vector<std::vector<TermId>> levels(options.levels);
+  const size_t roots = std::max<size_t>(3, num_categories / 50);
+  size_t next_cat = 0;
+  auto new_cat = [&]() {
+    const TermId cat =
+        dict->Encode(Format("<%sCategory%zu>", kNs, next_cat++));
+    out.push_back({cat, v.type, v.rdfs_class});
+    return cat;
+  };
+  for (size_t i = 0; i < roots; ++i) {
+    levels[0].push_back(new_cat());
+  }
+  // Remaining categories spread over levels 1..L-1, growing per level as in
+  // a real taxonomy.
+  size_t remaining = num_categories - roots;
+  for (size_t level = 1; level < options.levels; ++level) {
+    const size_t share = level == options.levels - 1
+                             ? remaining
+                             : remaining / (options.levels - level) +
+                                   remaining / 4;
+    const size_t count = std::min(remaining, std::max<size_t>(1, share));
+    remaining -= count;
+    ZipfDistribution parent_pick(levels[level - 1].size(), 0.9);
+    for (size_t i = 0; i < count; ++i) {
+      const TermId cat = new_cat();
+      levels[level].push_back(cat);
+      const TermId parent = levels[level - 1][parent_pick.Sample(&rng)];
+      out.push_back({cat, v.sub_class_of, parent});
+      if (rng.Bernoulli(0.2) && levels[level - 1].size() > 1) {
+        const TermId second = levels[level - 1][parent_pick.Sample(&rng)];
+        if (second != parent) {
+          out.push_back({cat, v.sub_class_of, second});
+        }
+      }
+    }
+  }
+
+  // Flatten categories with a Zipf over creation order: early (shallow)
+  // categories are the popular article types.
+  std::vector<TermId> all_cats;
+  for (const auto& level : levels) {
+    all_cats.insert(all_cats.end(), level.begin(), level.end());
+  }
+  ZipfDistribution type_pick(all_cats.size(), 0.6);
+
+  // --- Articles --------------------------------------------------------------
+  size_t article = 0;
+  while (out.size() + 2 <= options.target_triples) {
+    const TermId art = dict->Encode(Format("<%sArticle%zu>", kNs, article));
+    out.push_back({art, v.type, all_cats[type_pick.Sample(&rng)]});
+    if (rng.Bernoulli(0.2)) {
+      out.push_back({art, v.type, all_cats[type_pick.Sample(&rng)]});
+    }
+    out.push_back(
+        {art, article_label, dict->Encode(Format("\"article %zu\"", article))});
+    ++article;
+  }
+  return out;
+}
+
+std::string WikipediaGenerator::GenerateNTriples(const Options& options) {
+  Dictionary dict;
+  const Vocabulary v = Vocabulary::Register(&dict);
+  const TripleVec triples = Generate(options, &dict, v);
+  auto doc = ToNTriplesString(triples, dict);
+  doc.status().AbortIfNotOk();
+  return doc.MoveValueUnsafe();
+}
+
+}  // namespace slider

@@ -1,0 +1,94 @@
+#include "workload/wordnet_generator.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "rdf/graph_io.h"
+
+namespace slider {
+
+namespace {
+constexpr const char* kNs = "http://slider.repro/wordnet/";
+}
+
+TripleVec WordnetGenerator::Generate(const Options& options, Dictionary* dict,
+                                     const Vocabulary& v) {
+  SLIDER_CHECK(options.target_triples >= 1000);
+  Random rng(options.seed);
+  TripleVec out;
+  out.reserve(options.target_triples + 8);
+
+  auto iri = [dict](const std::string& local) {
+    return dict->Encode("<" + std::string(kNs) + local + ">");
+  };
+
+  // Synset classes: declared as classes — the only schema-ish statements.
+  // Crucially there is no subClassOf / subPropertyOf / domain / range
+  // anywhere, so ρdf derives nothing from this ontology.
+  const TermId noun = iri("NounSynset");
+  const TermId verb = iri("VerbSynset");
+  const TermId adjective = iri("AdjectiveSynset");
+  const TermId adverb = iri("AdverbSynset");
+  const TermId word_sense = iri("WordSense");
+  const TermId synset_classes[4] = {noun, verb, adjective, adverb};
+  for (TermId c : synset_classes) {
+    out.push_back({c, v.type, v.rdfs_class});
+  }
+  out.push_back({word_sense, v.type, v.rdfs_class});
+
+  // Instance-level relation predicates (plain properties; not declared as
+  // rdf:Property so even RDFS6 stays quiet, like the raw dump).
+  const TermId hyponym_of = iri("hyponymOf");
+  const TermId contains_sense = iri("containsWordSense");
+  const TermId lexical_form = iri("lexicalForm");
+
+  // Budget per synset: type(1) + hyponymOf(~0.9) + containsWordSense(~0.7)
+  // and per emitted sense: type(1) + lexicalForm(1). ≈ 4.0 triples per
+  // synset with ~1.7 typed entities → RDFS yield ≈ 0.45× input.
+  const size_t num_synsets = std::max<size_t>(64, options.target_triples / 4);
+  size_t sense_id = 0;
+  for (size_t i = 0; i < num_synsets && out.size() + 5 <= options.target_triples;
+       ++i) {
+    const TermId synset = iri(Format("synset%zu", i));
+    out.push_back({synset, v.type, synset_classes[rng.Uniform(4)]});
+    if (i > 0 && rng.Bernoulli(0.9)) {
+      // Hypernym chosen among earlier synsets: an acyclic taxonomy forest.
+      const TermId hypernym = iri(Format("synset%llu",
+          static_cast<unsigned long long>(rng.Uniform(i))));
+      out.push_back({synset, hyponym_of, hypernym});
+    }
+    if (rng.Bernoulli(0.7)) {
+      const TermId sense = iri(Format("wordsense%zu", sense_id));
+      out.push_back({synset, contains_sense, sense});
+      out.push_back({sense, v.type, word_sense});
+      out.push_back({sense, lexical_form,
+                     dict->Encode(Format("\"word %zu\"", sense_id))});
+      ++sense_id;
+    }
+  }
+  // Top-up with additional word senses on existing synsets.
+  while (out.size() + 3 <= options.target_triples) {
+    const TermId synset = iri(Format("synset%llu",
+        static_cast<unsigned long long>(rng.Uniform(num_synsets))));
+    const TermId sense = iri(Format("wordsense%zu", sense_id));
+    out.push_back({synset, contains_sense, sense});
+    out.push_back({sense, v.type, word_sense});
+    out.push_back({sense, lexical_form,
+                   dict->Encode(Format("\"word %zu\"", sense_id))});
+    ++sense_id;
+  }
+  return out;
+}
+
+std::string WordnetGenerator::GenerateNTriples(const Options& options) {
+  Dictionary dict;
+  const Vocabulary v = Vocabulary::Register(&dict);
+  const TripleVec triples = Generate(options, &dict, v);
+  auto doc = ToNTriplesString(triples, dict);
+  doc.status().AbortIfNotOk();
+  return doc.MoveValueUnsafe();
+}
+
+}  // namespace slider

@@ -1,0 +1,44 @@
+#ifndef SLIDER_WORKLOAD_WORDNET_GENERATOR_H_
+#define SLIDER_WORKLOAD_WORDNET_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+#include "rdf/vocabulary.h"
+
+namespace slider {
+
+/// \brief Synthetic stand-in for the paper's WordNet ontology (Table 1 row
+/// "wordnet", 473,589 input triples).
+///
+/// The WordNet RDF dump is not available offline; this generator reproduces
+/// its reasoning signature, which is the most distinctive of the corpus
+/// (DESIGN.md §5.4):
+///  - the taxonomy is expressed with *instance-level* predicates
+///    (hyponymOf, containsWordSense, word), NOT with
+///    subClassOf/subPropertyOf/domain/range — so the ρdf rules find
+///    nothing at all. Table 1 reports exactly 0 inferred triples for
+///    wordnet under ρdf, and tests assert the same here;
+///  - synset/word-sense class declarations (<NounSynset type Class> …)
+///    trigger the RDFS-only rules: RDFS8 gives <C subClassOf Resource>,
+///    and CAX-SCO then types every declared entity as a Resource —
+///    producing a large RDFS closure from a ρdf-silent ontology
+///    (paper: 321,888 inferred, ≈0.68× the input).
+class WordnetGenerator {
+ public:
+  struct Options {
+    size_t target_triples = 473589;
+    uint64_t seed = 13;
+  };
+
+  static TripleVec Generate(const Options& options, Dictionary* dict,
+                            const Vocabulary& v);
+
+  static std::string GenerateNTriples(const Options& options);
+};
+
+}  // namespace slider
+
+#endif  // SLIDER_WORKLOAD_WORDNET_GENERATOR_H_

@@ -1,0 +1,170 @@
+#include "reason/batch_reasoner.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/graph_io.h"
+#include "workload/chain_generator.h"
+
+namespace slider {
+namespace {
+
+class BatchReasonerTest : public ::testing::Test {
+ protected:
+  BatchReasonerTest() : vocab_(Vocabulary::Register(&dict_)) {}
+
+  TermId T(const std::string& local) {
+    return dict_.Encode("<http://example.org/" + local + ">");
+  }
+
+  Dictionary dict_;
+  Vocabulary vocab_;
+  TripleStore store_;
+};
+
+TEST_F(BatchReasonerTest, SimpleSubclassChainCloses) {
+  BatchReasoner reasoner(Fragment::RhoDf(vocab_), &store_);
+  const TermId a = T("A"), b = T("B"), c = T("C"), x = T("x");
+  TripleVec input = {{a, vocab_.sub_class_of, b},
+                     {b, vocab_.sub_class_of, c},
+                     {x, vocab_.type, a}};
+  auto stats = reasoner.Materialize(input);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->input_new, 3u);
+  // Inferred: <a sc c>, <x type b>, <x type c>.
+  EXPECT_EQ(stats->inferred_new, 3u);
+  EXPECT_TRUE(store_.Contains({a, vocab_.sub_class_of, c}));
+  EXPECT_TRUE(store_.Contains({x, vocab_.type, b}));
+  EXPECT_TRUE(store_.Contains({x, vocab_.type, c}));
+}
+
+TEST_F(BatchReasonerTest, ClosureIsAFixpoint) {
+  BatchReasoner reasoner(Fragment::RhoDf(vocab_), &store_);
+  TripleVec input = ChainGenerator::Generate(20, &dict_, vocab_);
+  ASSERT_TRUE(reasoner.Materialize(input).ok());
+  const size_t size_after = store_.size();
+  // Re-materializing the same input must not grow the store.
+  auto again = reasoner.Materialize(input);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->input_new, 0u);
+  EXPECT_EQ(again->inferred_new, 0u);
+  EXPECT_EQ(store_.size(), size_after);
+}
+
+TEST_F(BatchReasonerTest, ChainClosureCountsMatchPaperFormula) {
+  // Table 1: subClassOf-n inferred counts under rho-df are C(n-1, 2).
+  for (size_t n : {10u, 20u, 50u, 100u}) {
+    Dictionary dict;
+    const Vocabulary v = Vocabulary::Register(&dict);
+    TripleStore store;
+    BatchReasoner reasoner(Fragment::RhoDf(v), &store);
+    auto stats = reasoner.Materialize(ChainGenerator::Generate(n, &dict, v));
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->input_new, ChainGenerator::InputSize(n)) << "n=" << n;
+    EXPECT_EQ(stats->inferred_new, ChainGenerator::ExpectedRhoDfInferred(n))
+        << "n=" << n;
+  }
+}
+
+TEST_F(BatchReasonerTest, ChainClosureCountsUnderRdfs) {
+  for (size_t n : {10u, 20u, 50u}) {
+    Dictionary dict;
+    const Vocabulary v = Vocabulary::Register(&dict);
+    TripleStore store;
+    BatchReasoner reasoner(Fragment::Rdfs(v), &store);
+    auto stats = reasoner.Materialize(ChainGenerator::Generate(n, &dict, v));
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->inferred_new, ChainGenerator::ExpectedRdfsInferred(n))
+        << "n=" << n;
+  }
+}
+
+TEST_F(BatchReasonerTest, SubPropertyCascade) {
+  BatchReasoner reasoner(Fragment::RhoDf(vocab_), &store_);
+  const TermId p = T("p"), q = T("q"), c = T("C"), d = T("D");
+  const TermId x = T("x"), y = T("y");
+  TripleVec input = {
+      {p, vocab_.sub_property_of, q},
+      {q, vocab_.domain, c},
+      {q, vocab_.range, d},
+      {x, p, y},
+  };
+  ASSERT_TRUE(reasoner.Materialize(input).ok());
+  // PRP-SPO1: <x q y>; SCM-DOM2: <p domain c>; SCM-RNG2: <p range d>;
+  // PRP-DOM: <x type c>; PRP-RNG: <y type d>.
+  EXPECT_TRUE(store_.Contains({x, q, y}));
+  EXPECT_TRUE(store_.Contains({p, vocab_.domain, c}));
+  EXPECT_TRUE(store_.Contains({p, vocab_.range, d}));
+  EXPECT_TRUE(store_.Contains({x, vocab_.type, c}));
+  EXPECT_TRUE(store_.Contains({y, vocab_.type, d}));
+}
+
+TEST_F(BatchReasonerTest, IncrementalMaterializeEqualsOneShot) {
+  // Feeding the ontology in two halves through Materialize must reach the
+  // same closure as one shot (semi-naive maintenance is exact).
+  TripleVec input = ChainGenerator::Generate(30, &dict_, vocab_);
+  const size_t half = input.size() / 2;
+  TripleVec first(input.begin(), input.begin() + static_cast<long>(half));
+  TripleVec second(input.begin() + static_cast<long>(half), input.end());
+
+  BatchReasoner incremental(Fragment::RhoDf(vocab_), &store_);
+  ASSERT_TRUE(incremental.Materialize(first).ok());
+  ASSERT_TRUE(incremental.Materialize(second).ok());
+
+  TripleStore oneshot_store;
+  BatchReasoner oneshot(Fragment::RhoDf(vocab_), &oneshot_store);
+  ASSERT_TRUE(oneshot.Materialize(input).ok());
+
+  EXPECT_EQ(store_.SnapshotSet(), oneshot_store.SnapshotSet());
+}
+
+TEST_F(BatchReasonerTest, RdfsFullAddsResourceTyping) {
+  TripleStore plain_store;
+  BatchReasoner plain(Fragment::Rdfs(vocab_, /*include_rdfs4=*/false),
+                      &plain_store);
+  TripleStore full_store;
+  BatchReasoner full(Fragment::Rdfs(vocab_, /*include_rdfs4=*/true),
+                     &full_store);
+  const TermId a = T("a"), b = T("b"), p = T("p");
+  TripleVec input = {{a, p, b}};
+  ASSERT_TRUE(plain.Materialize(input).ok());
+  ASSERT_TRUE(full.Materialize(input).ok());
+  EXPECT_FALSE(plain_store.Contains({a, vocab_.type, vocab_.resource}));
+  EXPECT_TRUE(full_store.Contains({a, vocab_.type, vocab_.resource}));
+  EXPECT_TRUE(full_store.Contains({b, vocab_.type, vocab_.resource}));
+}
+
+TEST_F(BatchReasonerTest, WritesEveryDistinctStatementToLog) {
+  const std::string path = testing::TempDir() + "/batch_log.bin";
+  auto log = StatementLog::Open(path, 0);
+  ASSERT_TRUE(log.ok());
+  BatchReasoner reasoner(Fragment::RhoDf(vocab_), &store_, log->get());
+  TripleVec input = ChainGenerator::Generate(10, &dict_, vocab_);
+  auto stats = reasoner.Materialize(input);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE((*log)->Close().ok());
+  auto records = StatementLog::ReadAll(path);
+  ASSERT_TRUE(records.ok());
+  // Log holds explicit + inferred statements, exactly once each.
+  EXPECT_EQ(records->size(), stats->input_new + stats->inferred_new);
+  EXPECT_EQ(records->size(), store_.size());
+}
+
+TEST_F(BatchReasonerTest, EmptyInputIsANoOp) {
+  BatchReasoner reasoner(Fragment::RhoDf(vocab_), &store_);
+  auto stats = reasoner.Materialize({});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->rounds, 0u);
+  EXPECT_EQ(store_.size(), 0u);
+}
+
+TEST_F(BatchReasonerTest, CumulativeStatsAccumulate) {
+  BatchReasoner reasoner(Fragment::RhoDf(vocab_), &store_);
+  const TermId a = T("A"), b = T("B"), c = T("C");
+  ASSERT_TRUE(reasoner.Materialize({{a, vocab_.sub_class_of, b}}).ok());
+  ASSERT_TRUE(reasoner.Materialize({{b, vocab_.sub_class_of, c}}).ok());
+  EXPECT_EQ(reasoner.cumulative_stats().input_new, 2u);
+  EXPECT_EQ(reasoner.cumulative_stats().inferred_new, 1u);
+}
+
+}  // namespace
+}  // namespace slider

@@ -1,0 +1,93 @@
+#include "common/blocking_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace slider {
+namespace {
+
+TEST(BlockingQueueTest, PushPopSingleThread) {
+  BlockingQueue<int> q;
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_TRUE(q.Push(2));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BlockingQueueTest, TryPushRespectsCapacity) {
+  BlockingQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));
+  q.Pop();
+  EXPECT_TRUE(q.TryPush(3));
+}
+
+TEST(BlockingQueueTest, CloseDrainsThenReturnsNullopt) {
+  BlockingQueue<int> q;
+  q.Push(7);
+  q.Close();
+  EXPECT_FALSE(q.Push(8));
+  EXPECT_EQ(q.Pop().value(), 7);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BlockingQueueTest, PopWithTimeoutTimesOut) {
+  BlockingQueue<int> q;
+  auto result = q.PopWithTimeout(std::chrono::milliseconds(10));
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(BlockingQueueTest, DrainAllEmptiesQueue) {
+  BlockingQueue<int> q;
+  for (int i = 0; i < 5; ++i) q.Push(i);
+  std::vector<int> drained = q.DrainAll();
+  EXPECT_EQ(drained, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BlockingQueueTest, ManyProducersOneConsumer) {
+  BlockingQueue<int> q(64);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 1000;
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&q] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(i));
+      }
+    });
+  }
+  int64_t sum = 0;
+  int received = 0;
+  while (received < kProducers * kPerProducer) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    sum += *v;
+    ++received;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(sum, kProducers * (int64_t{kPerProducer} * (kPerProducer - 1) / 2));
+}
+
+TEST(BlockingQueueTest, BlockedConsumerWakesOnClose) {
+  BlockingQueue<int> q;
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    EXPECT_FALSE(q.Pop().has_value());
+    returned = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(returned);
+  q.Close();
+  consumer.join();
+  EXPECT_TRUE(returned);
+}
+
+}  // namespace
+}  // namespace slider

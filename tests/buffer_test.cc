@@ -1,0 +1,119 @@
+#include "reason/buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace slider {
+namespace {
+
+TEST(BufferTest, PushBelowCapacityBuffers) {
+  Buffer buffer(4);
+  EXPECT_FALSE(buffer.Push({1, 1, 1}).has_value());
+  EXPECT_FALSE(buffer.Push({2, 2, 2}).has_value());
+  EXPECT_EQ(buffer.size(), 2u);
+}
+
+TEST(BufferTest, PushAtCapacityFlushes) {
+  Buffer buffer(3);
+  buffer.Push({1, 1, 1});
+  buffer.Push({2, 2, 2});
+  auto batch = buffer.Push({3, 3, 3});
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->size(), 3u);
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_EQ(buffer.counters().full_flushes, 1u);
+  EXPECT_EQ(buffer.counters().pushed, 3u);
+}
+
+TEST(BufferTest, CapacityOneFlushesEveryPush) {
+  Buffer buffer(1);
+  for (TermId i = 1; i <= 5; ++i) {
+    auto batch = buffer.Push({i, i, i});
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_EQ(batch->size(), 1u);
+  }
+  EXPECT_EQ(buffer.counters().full_flushes, 5u);
+}
+
+TEST(BufferTest, ZeroCapacityIsClampedToOne) {
+  Buffer buffer(0);
+  EXPECT_EQ(buffer.capacity(), 1u);
+  EXPECT_TRUE(buffer.Push({1, 1, 1}).has_value());
+}
+
+TEST(BufferTest, FlushNowDrainsAndCounts) {
+  Buffer buffer(100);
+  buffer.Push({1, 1, 1});
+  buffer.Push({2, 2, 2});
+  auto batch = buffer.FlushNow();
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->size(), 2u);
+  EXPECT_EQ(buffer.counters().forced_flushes, 1u);
+  EXPECT_FALSE(buffer.FlushNow().has_value()) << "empty flush must be a no-op";
+  EXPECT_EQ(buffer.counters().forced_flushes, 1u);
+}
+
+TEST(BufferTest, FlushIfStaleRespectsTimeout) {
+  Buffer buffer(100);
+  buffer.Push({1, 1, 1});
+  const auto now = Buffer::Clock::now();
+  // Not stale yet.
+  EXPECT_FALSE(
+      buffer.FlushIfStale(now, std::chrono::milliseconds(1000)).has_value());
+  // Pretend time passed: a now far in the future.
+  auto batch = buffer.FlushIfStale(now + std::chrono::milliseconds(2000),
+                                   std::chrono::milliseconds(1000));
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->size(), 1u);
+  EXPECT_EQ(buffer.counters().timeout_flushes, 1u);
+}
+
+TEST(BufferTest, FlushIfStaleOnEmptyBufferIsNoOp) {
+  Buffer buffer(4);
+  EXPECT_FALSE(buffer
+                   .FlushIfStale(Buffer::Clock::now() + std::chrono::hours(1),
+                                 std::chrono::milliseconds(0))
+                   .has_value());
+  EXPECT_EQ(buffer.counters().timeout_flushes, 0u);
+}
+
+TEST(BufferTest, OldestTimestampResetsAfterFlush) {
+  Buffer buffer(100);
+  buffer.Push({1, 1, 1});
+  buffer.FlushNow();
+  buffer.Push({2, 2, 2});
+  // The age of the new content starts at its own push time, not at the
+  // first-ever push: with `now` only slightly ahead it must not be stale.
+  EXPECT_FALSE(buffer
+                   .FlushIfStale(Buffer::Clock::now(),
+                                 std::chrono::milliseconds(1000))
+                   .has_value());
+}
+
+TEST(BufferTest, ConcurrentPushersLoseNoTriples) {
+  Buffer buffer(64);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::atomic<uint64_t> flushed_triples{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto batch = buffer.Push(
+            {static_cast<TermId>(t + 1), 1, static_cast<TermId>(i + 1)});
+        if (batch.has_value()) {
+          flushed_triples.fetch_add(batch->size());
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  auto rest = buffer.FlushNow();
+  const uint64_t total =
+      flushed_triples.load() + (rest.has_value() ? rest->size() : 0);
+  EXPECT_EQ(total, static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace slider

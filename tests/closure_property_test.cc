@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/random.h"
+#include "reason/batch_reasoner.h"
+#include "reason/naive_reasoner.h"
+#include "reason/reasoner.h"
+#include "workload/chain_generator.h"
+
+namespace slider {
+namespace {
+
+/// Deterministic random ontology: a mix of schema (subClassOf/subPropertyOf
+/// hierarchies, domains, ranges) and instance triples, exercising every
+/// ρdf/RDFS rule. Terms are drawn from small pools so that joins actually
+/// connect.
+TripleVec RandomOntology(uint64_t seed, size_t size, Dictionary* dict,
+                         const Vocabulary& v) {
+  Random rng(seed);
+  const size_t num_classes = 8 + size / 50;
+  const size_t num_props = 6 + size / 80;
+  const size_t num_instances = 10 + size / 4;
+  std::vector<TermId> classes, props, instances;
+  for (size_t i = 0; i < num_classes; ++i) {
+    classes.push_back(
+        dict->Encode("<http://rand/c" + std::to_string(i) + ">"));
+  }
+  for (size_t i = 0; i < num_props; ++i) {
+    props.push_back(dict->Encode("<http://rand/p" + std::to_string(i) + ">"));
+  }
+  for (size_t i = 0; i < num_instances; ++i) {
+    instances.push_back(
+        dict->Encode("<http://rand/x" + std::to_string(i) + ">"));
+  }
+  auto pick = [&rng](const std::vector<TermId>& pool) {
+    return pool[rng.Uniform(pool.size())];
+  };
+  TripleVec out;
+  out.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    switch (rng.Uniform(10)) {
+      case 0:
+        out.push_back({pick(classes), v.sub_class_of, pick(classes)});
+        break;
+      case 1:
+        out.push_back({pick(props), v.sub_property_of, pick(props)});
+        break;
+      case 2:
+        out.push_back({pick(props), v.domain, pick(classes)});
+        break;
+      case 3:
+        out.push_back({pick(props), v.range, pick(classes)});
+        break;
+      case 4:
+        out.push_back({pick(instances), v.type, pick(classes)});
+        break;
+      case 5:
+        out.push_back({pick(classes), v.type, v.rdfs_class});
+        break;
+      case 6:
+        out.push_back({pick(props), v.type, v.property});
+        break;
+      default:
+        out.push_back({pick(instances), pick(props), pick(instances)});
+        break;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Property: Slider's concurrent incremental closure == batch closure, across
+// engine configurations (buffer size, threads, timeout) × fragments × seeds.
+// ---------------------------------------------------------------------------
+
+struct EngineConfig {
+  size_t buffer_size;
+  int num_threads;
+  int timeout_ms;  // <0 disables the scanner
+  bool rdfs;
+};
+
+class ClosureEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<EngineConfig, uint64_t>> {};
+
+TEST_P(ClosureEquivalenceTest, SliderClosureEqualsBatchClosure) {
+  const EngineConfig config = std::get<0>(GetParam());
+  const uint64_t seed = std::get<1>(GetParam());
+
+  ReasonerOptions options;
+  options.buffer_size = config.buffer_size;
+  options.num_threads = config.num_threads;
+  if (config.timeout_ms < 0) {
+    options.enable_timeout_flusher = false;
+  } else {
+    options.buffer_timeout = std::chrono::milliseconds(config.timeout_ms);
+    options.timeout_check_interval = std::chrono::milliseconds(1);
+  }
+  const FragmentFactory factory =
+      config.rdfs ? RdfsFactory() : RhoDfFactory();
+
+  // Slider (incremental, concurrent).
+  Reasoner slider(factory, options);
+  TripleVec input =
+      RandomOntology(seed, 400, slider.dictionary(), slider.vocabulary());
+  // Feed in several uneven batches to exercise incrementality.
+  const size_t cut1 = input.size() / 3;
+  const size_t cut2 = 2 * input.size() / 3 + 7;
+  slider.AddTriples(TripleVec(input.begin(), input.begin() + cut1));
+  slider.AddTriples(TripleVec(input.begin() + cut1, input.begin() + cut2));
+  slider.AddTriples(TripleVec(input.begin() + cut2, input.end()));
+  slider.Flush();
+
+  // Batch oracle over an identically-encoded input.
+  Dictionary oracle_dict;
+  const Vocabulary oracle_vocab = Vocabulary::Register(&oracle_dict);
+  TripleVec oracle_input =
+      RandomOntology(seed, 400, &oracle_dict, oracle_vocab);
+  ASSERT_EQ(oracle_input.size(), input.size());
+  TripleStore oracle_store;
+  BatchReasoner oracle(factory(oracle_vocab, &oracle_dict), &oracle_store);
+  ASSERT_TRUE(oracle.Materialize(oracle_input).ok());
+
+  EXPECT_EQ(slider.store().SnapshotSet(), oracle_store.SnapshotSet())
+      << "buffer=" << config.buffer_size << " threads=" << config.num_threads
+      << " timeout=" << config.timeout_ms << " rdfs=" << config.rdfs
+      << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSweep, ClosureEquivalenceTest,
+    ::testing::Combine(
+        ::testing::Values(
+            EngineConfig{1, 1, -1, false},     // degenerate buffers, serial
+            EngineConfig{1, 4, 2, false},      // tiny buffers, parallel
+            EngineConfig{16, 2, -1, false},    // small buffers
+            EngineConfig{64, 4, 1, false},     // timeout-heavy
+            EngineConfig{1024, 4, 5, false},   // big buffers
+            EngineConfig{7, 3, 3, true},       // RDFS, odd size
+            EngineConfig{256, 2, -1, true},    // RDFS, no scanner
+            EngineConfig{1 << 20, 4, 1, true}  // only timeouts can flush
+            ),
+        ::testing::Values(1u, 42u, 20260610u)),
+    [](const ::testing::TestParamInfo<std::tuple<EngineConfig, uint64_t>>&
+           info) {
+      const EngineConfig& c = std::get<0>(info.param);
+      return "buf" + std::to_string(c.buffer_size) + "_thr" +
+             std::to_string(c.num_threads) + "_to" +
+             (c.timeout_ms < 0 ? "off" : std::to_string(c.timeout_ms)) +
+             (c.rdfs ? "_rdfs" : "_rhodf") + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Property: the closure is a fixpoint — re-running any engine on its own
+// closure adds nothing.
+// ---------------------------------------------------------------------------
+
+class FixpointTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FixpointTest, ClosureIsStableUnderReapplication) {
+  Dictionary dict;
+  const Vocabulary v = Vocabulary::Register(&dict);
+  TripleVec input = RandomOntology(GetParam(), 300, &dict, v);
+
+  TripleStore store;
+  BatchReasoner batch(Fragment::Rdfs(v), &store);
+  ASSERT_TRUE(batch.Materialize(input).ok());
+  const TripleVec closure = store.Snapshot();
+
+  // Feed the closure itself into a fresh engine: nothing new may appear.
+  TripleStore store2;
+  BatchReasoner batch2(Fragment::Rdfs(v), &store2);
+  auto stats = batch2.Materialize(closure);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->inferred_new, 0u);
+  EXPECT_EQ(store2.SnapshotSet(), store.SnapshotSet());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FixpointTest,
+                         ::testing::Values(3u, 7u, 11u, 99u, 12345u));
+
+// ---------------------------------------------------------------------------
+// Property: batch order independence — any split of the input into
+// increments yields the same closure.
+// ---------------------------------------------------------------------------
+
+class IncrementSplitTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementSplitTest, AnySplitYieldsSameClosure) {
+  const int pieces = GetParam();
+  Dictionary dict;
+  const Vocabulary v = Vocabulary::Register(&dict);
+  TripleVec input = RandomOntology(777, 350, &dict, v);
+
+  TripleStore oneshot_store;
+  BatchReasoner oneshot(Fragment::RhoDf(v), &oneshot_store);
+  ASSERT_TRUE(oneshot.Materialize(input).ok());
+
+  TripleStore pieces_store;
+  BatchReasoner piecewise(Fragment::RhoDf(v), &pieces_store);
+  const size_t per = input.size() / static_cast<size_t>(pieces) + 1;
+  for (size_t start = 0; start < input.size(); start += per) {
+    const size_t end = std::min(input.size(), start + per);
+    ASSERT_TRUE(piecewise
+                    .Materialize(TripleVec(input.begin() + start,
+                                           input.begin() + end))
+                    .ok());
+  }
+  EXPECT_EQ(pieces_store.SnapshotSet(), oneshot_store.SnapshotSet());
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, IncrementSplitTest,
+                         ::testing::Values(2, 3, 5, 10, 50));
+
+// ---------------------------------------------------------------------------
+// Property: naive == semi-naive == slider on random ontologies.
+// ---------------------------------------------------------------------------
+
+class ThreeEngineTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ThreeEngineTest, AllEnginesAgree) {
+  const uint64_t seed = GetParam();
+
+  Dictionary d1;
+  const Vocabulary v1 = Vocabulary::Register(&d1);
+  TripleVec in1 = RandomOntology(seed, 200, &d1, v1);
+  TripleStore s1;
+  NaiveReasoner naive(Fragment::RhoDf(v1), &s1);
+  naive.Materialize(in1);
+
+  Dictionary d2;
+  const Vocabulary v2 = Vocabulary::Register(&d2);
+  TripleVec in2 = RandomOntology(seed, 200, &d2, v2);
+  TripleStore s2;
+  BatchReasoner batch(Fragment::RhoDf(v2), &s2);
+  ASSERT_TRUE(batch.Materialize(in2).ok());
+
+  ReasonerOptions options;
+  options.buffer_size = 13;
+  options.num_threads = 3;
+  options.buffer_timeout = std::chrono::milliseconds(2);
+  Reasoner slider(RhoDfFactory(), options);
+  TripleVec in3 = RandomOntology(seed, 200, slider.dictionary(),
+                                 slider.vocabulary());
+  slider.AddTriples(in3);
+  slider.Flush();
+
+  EXPECT_EQ(s1.SnapshotSet(), s2.SnapshotSet());
+  EXPECT_EQ(slider.store().SnapshotSet(), s2.SnapshotSet());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThreeEngineTest,
+                         ::testing::Values(5u, 17u, 1000u, 31337u));
+
+// ---------------------------------------------------------------------------
+// Property: chain closure formulas hold for every chain length (paper
+// Table 1's subClassOf rows).
+// ---------------------------------------------------------------------------
+
+class ChainFormulaTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ChainFormulaTest, RhoDfMatchesClosedForm) {
+  const size_t n = GetParam();
+  ReasonerOptions options;
+  options.buffer_size = 32;
+  options.num_threads = 2;
+  options.buffer_timeout = std::chrono::milliseconds(2);
+  Reasoner slider(RhoDfFactory(), options);
+  slider.AddTriples(
+      ChainGenerator::Generate(n, slider.dictionary(), slider.vocabulary()));
+  slider.Flush();
+  EXPECT_EQ(slider.inferred_count(), ChainGenerator::ExpectedRhoDfInferred(n));
+}
+
+TEST_P(ChainFormulaTest, RdfsMatchesClosedForm) {
+  const size_t n = GetParam();
+  Reasoner slider(RdfsFactory(), ReasonerOptions{.buffer_size = 16,
+                                                 .num_threads = 2});
+  slider.AddTriples(
+      ChainGenerator::Generate(n, slider.dictionary(), slider.vocabulary()));
+  slider.Flush();
+  EXPECT_EQ(slider.inferred_count(), ChainGenerator::ExpectedRdfsInferred(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, ChainFormulaTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 20, 50, 100));
+
+}  // namespace
+}  // namespace slider

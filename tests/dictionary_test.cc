@@ -1,0 +1,108 @@
+#include "rdf/dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "rdf/vocabulary.h"
+
+namespace slider {
+namespace {
+
+TEST(DictionaryTest, EncodeAssignsSequentialIds) {
+  Dictionary dict;
+  EXPECT_EQ(dict.Encode("<http://ex/a>"), kFirstTermId);
+  EXPECT_EQ(dict.Encode("<http://ex/b>"), kFirstTermId + 1);
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(DictionaryTest, EncodeIsIdempotent) {
+  Dictionary dict;
+  const TermId a1 = dict.Encode("<http://ex/a>");
+  const TermId a2 = dict.Encode("<http://ex/a>");
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(DictionaryTest, RoundTripsLexicalForm) {
+  Dictionary dict;
+  const TermId id = dict.Encode("\"hello\"@en");
+  auto decoded = dict.Decode(id);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, "\"hello\"@en");
+  EXPECT_EQ(dict.DecodeUnchecked(id), "\"hello\"@en");
+}
+
+TEST(DictionaryTest, LookupDoesNotInsert) {
+  Dictionary dict;
+  EXPECT_FALSE(dict.Lookup("<http://ex/missing>").has_value());
+  EXPECT_EQ(dict.size(), 0u);
+  dict.Encode("<http://ex/x>");
+  EXPECT_TRUE(dict.Lookup("<http://ex/x>").has_value());
+}
+
+TEST(DictionaryTest, DecodeRejectsUnknownIds) {
+  Dictionary dict;
+  EXPECT_TRUE(dict.Decode(kAnyTerm).status().IsOutOfRange());
+  EXPECT_TRUE(dict.Decode(99).status().IsOutOfRange());
+}
+
+TEST(DictionaryTest, EncodeTripleEncodesAllPositions) {
+  Dictionary dict;
+  const Triple t = dict.EncodeTriple("<s>", "<p>", "<o>");
+  EXPECT_EQ(dict.DecodeUnchecked(t.s), "<s>");
+  EXPECT_EQ(dict.DecodeUnchecked(t.p), "<p>");
+  EXPECT_EQ(dict.DecodeUnchecked(t.o), "<o>");
+}
+
+TEST(DictionaryTest, ConcurrentEncodersAgreeOnIds) {
+  Dictionary dict;
+  constexpr int kThreads = 8;
+  constexpr int kTerms = 500;
+  std::vector<std::vector<TermId>> seen(kThreads, std::vector<TermId>(kTerms));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kTerms; ++i) {
+        seen[t][i] = dict.Encode("<http://ex/term/" + std::to_string(i) + ">");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // All threads must have observed identical ids for identical terms.
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[t], seen[0]);
+  }
+  EXPECT_EQ(dict.size(), static_cast<size_t>(kTerms));
+  // Ids must be a dense range.
+  std::set<TermId> distinct(seen[0].begin(), seen[0].end());
+  EXPECT_EQ(distinct.size(), static_cast<size_t>(kTerms));
+  EXPECT_EQ(*distinct.begin(), kFirstTermId);
+  EXPECT_EQ(*distinct.rbegin(), kFirstTermId + kTerms - 1);
+}
+
+TEST(VocabularyTest, RegistersDistinctInterpretedTerms) {
+  Dictionary dict;
+  const Vocabulary v = Vocabulary::Register(&dict);
+  std::set<TermId> ids = {v.type,     v.property, v.sub_class_of,
+                          v.sub_property_of, v.domain,   v.range,
+                          v.resource, v.rdfs_class, v.literal,
+                          v.datatype, v.container_membership, v.member};
+  EXPECT_EQ(ids.size(), 12u) << "vocabulary ids must be pairwise distinct";
+  EXPECT_EQ(dict.DecodeUnchecked(v.type), iri::kRdfType);
+  EXPECT_EQ(dict.DecodeUnchecked(v.sub_class_of), iri::kRdfsSubClassOf);
+}
+
+TEST(VocabularyTest, RegisterIsStableAcrossCalls) {
+  Dictionary dict;
+  const Vocabulary v1 = Vocabulary::Register(&dict);
+  const Vocabulary v2 = Vocabulary::Register(&dict);
+  EXPECT_EQ(v1.type, v2.type);
+  EXPECT_EQ(v1.member, v2.member);
+  EXPECT_EQ(dict.size(), 12u);
+}
+
+}  // namespace
+}  // namespace slider

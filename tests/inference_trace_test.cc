@@ -1,0 +1,110 @@
+#include "reason/inference_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace slider {
+namespace {
+
+TEST(InferenceTraceTest, RecordsEventsInOrder) {
+  InferenceTrace trace;
+  trace.Record(TraceEventType::kInput, "", 10);
+  trace.Record(TraceEventType::kBufferFull, "CAX-SCO", 4);
+  trace.Record(TraceEventType::kRuleExecuted, "CAX-SCO", 4);
+  auto events = trace.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].step, 0u);
+  EXPECT_EQ(events[1].step, 1u);
+  EXPECT_EQ(events[2].step, 2u);
+  EXPECT_EQ(events[1].rule, "CAX-SCO");
+  EXPECT_EQ(events[0].count, 10u);
+  EXPECT_GE(events[2].elapsed_seconds, events[0].elapsed_seconds);
+}
+
+TEST(InferenceTraceTest, ReplayWindowSelectsSteps) {
+  InferenceTrace trace;
+  for (uint64_t i = 0; i < 10; ++i) {
+    trace.Record(TraceEventType::kInput, "", i);
+  }
+  std::vector<uint64_t> seen;
+  trace.Replay(3, 7, [&](const TraceEvent& e) { seen.push_back(e.step); });
+  EXPECT_EQ(seen, (std::vector<uint64_t>{3, 4, 5, 6}));
+}
+
+TEST(InferenceTraceTest, AggregateGroupsPerRule) {
+  InferenceTrace trace;
+  trace.Record(TraceEventType::kBufferFull, "SCM-SCO", 8);
+  trace.Record(TraceEventType::kTimeoutFlush, "SCM-SCO", 2);
+  trace.Record(TraceEventType::kForcedFlush, "SCM-SCO", 1);
+  trace.Record(TraceEventType::kRuleExecuted, "SCM-SCO", 8);
+  trace.Record(TraceEventType::kRuleExecuted, "SCM-SCO", 2);
+  trace.Record(TraceEventType::kInferred, "SCM-SCO", 5);
+  trace.Record(TraceEventType::kInferred, "SCM-SCO", 7);
+  trace.Record(TraceEventType::kInferred, "CAX-SCO", 1);
+  auto agg = trace.Aggregate();
+  EXPECT_EQ(agg["SCM-SCO"].full_flushes, 1u);
+  EXPECT_EQ(agg["SCM-SCO"].timeout_flushes, 1u);
+  EXPECT_EQ(agg["SCM-SCO"].forced_flushes, 1u);
+  EXPECT_EQ(agg["SCM-SCO"].executions, 2u);
+  EXPECT_EQ(agg["SCM-SCO"].inferred, 12u);
+  EXPECT_EQ(agg["CAX-SCO"].inferred, 1u);
+  EXPECT_EQ(agg.count(""), 0u) << "input events carry no rule";
+}
+
+TEST(InferenceTraceTest, ClearResets) {
+  InferenceTrace trace;
+  trace.Record(TraceEventType::kInput, "", 1);
+  trace.Clear();
+  EXPECT_EQ(trace.size(), 0u);
+  trace.Record(TraceEventType::kInput, "", 1);
+  EXPECT_EQ(trace.Snapshot()[0].step, 0u);
+}
+
+TEST(InferenceTraceTest, SummaryAndTsvRender) {
+  InferenceTrace trace;
+  trace.Record(TraceEventType::kInput, "", 3);
+  trace.Record(TraceEventType::kInferred, "PRP-DOM", 2);
+  const std::string summary = trace.Summary();
+  EXPECT_NE(summary.find("PRP-DOM"), std::string::npos);
+  const std::string tsv = trace.ToTsv();
+  EXPECT_NE(tsv.find("input"), std::string::npos);
+  EXPECT_NE(tsv.find("inferred\tPRP-DOM\t2"), std::string::npos);
+}
+
+TEST(InferenceTraceTest, ConcurrentRecordersAssignUniqueSteps) {
+  InferenceTrace trace;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        trace.Record(TraceEventType::kRouted, "r", 1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto events = trace.Snapshot();
+  ASSERT_EQ(events.size(), static_cast<size_t>(kThreads * kPerThread));
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].step, i);
+  }
+}
+
+TEST(InferenceTraceTest, EventTypeNamesAreStable) {
+  EXPECT_STREQ(TraceEventTypeName(TraceEventType::kInput), "input");
+  EXPECT_STREQ(TraceEventTypeName(TraceEventType::kBufferFull), "buffer-full");
+  EXPECT_STREQ(TraceEventTypeName(TraceEventType::kTimeoutFlush),
+               "timeout-flush");
+  EXPECT_STREQ(TraceEventTypeName(TraceEventType::kForcedFlush),
+               "forced-flush");
+  EXPECT_STREQ(TraceEventTypeName(TraceEventType::kRuleExecuted),
+               "rule-executed");
+  EXPECT_STREQ(TraceEventTypeName(TraceEventType::kInferred), "inferred");
+  EXPECT_STREQ(TraceEventTypeName(TraceEventType::kRouted), "routed");
+}
+
+}  // namespace
+}  // namespace slider

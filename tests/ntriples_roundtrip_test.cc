@@ -1,0 +1,112 @@
+// Property test: randomly generated documents survive
+// serialize -> parse -> serialize unchanged, and random junk never crashes
+// the parser.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "rdf/dictionary.h"
+#include "rdf/graph_io.h"
+#include "rdf/ntriples.h"
+
+namespace slider {
+namespace {
+
+/// Random syntactically valid term in lexical form.
+std::string RandomTerm(Random* rng, bool allow_literal) {
+  switch (rng->Uniform(allow_literal ? 4u : 2u)) {
+    case 0:
+      return Format("<http://rt.example/%llu/x%llu>",
+                    static_cast<unsigned long long>(rng->Uniform(10)),
+                    static_cast<unsigned long long>(rng->Uniform(1000)));
+    case 1:
+      return Format("_:b%llu", static_cast<unsigned long long>(rng->Uniform(50)));
+    case 2: {
+      // Literal with escapes and optional language tag.
+      std::string body;
+      const size_t len = rng->Uniform(12);
+      for (size_t i = 0; i < len; ++i) {
+        switch (rng->Uniform(6)) {
+          case 0:
+            body += "\\\"";
+            break;
+          case 1:
+            body += "\\\\";
+            break;
+          default:
+            body.push_back(static_cast<char>('a' + rng->Uniform(26)));
+        }
+      }
+      std::string out = "\"" + body + "\"";
+      if (rng->Bernoulli(0.3)) out += "@en";
+      return out;
+    }
+    default:
+      return Format("\"%llu\"^^<http://www.w3.org/2001/XMLSchema#integer>",
+                    static_cast<unsigned long long>(rng->Uniform(100000)));
+  }
+}
+
+class RoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoundTripTest, SerializeParseSerializeIsIdentity) {
+  Random rng(GetParam());
+  // Build a random document from random terms.
+  std::string doc;
+  size_t statements = 0;
+  for (int i = 0; i < 200; ++i) {
+    ParsedTriple t{RandomTerm(&rng, false), RandomTerm(&rng, false),
+                   RandomTerm(&rng, true)};
+    if (t.predicate[0] != '<') t.predicate = "<http://rt.example/p>";
+    doc += ToNTriplesLine(t);
+    doc.push_back('\n');
+    ++statements;
+  }
+
+  Dictionary dict1;
+  auto parsed1 = LoadNTriplesString(doc, &dict1);
+  ASSERT_TRUE(parsed1.ok()) << parsed1.status().ToString();
+  EXPECT_EQ(parsed1->size(), statements);
+
+  auto serialized = ToNTriplesString(*parsed1, dict1);
+  ASSERT_TRUE(serialized.ok());
+
+  Dictionary dict2;
+  auto parsed2 = LoadNTriplesString(*serialized, &dict2);
+  ASSERT_TRUE(parsed2.ok());
+  ASSERT_EQ(parsed2->size(), parsed1->size());
+
+  // Identical lexical forms statement by statement.
+  for (size_t i = 0; i < parsed1->size(); ++i) {
+    EXPECT_EQ(dict1.DecodeUnchecked((*parsed1)[i].s),
+              dict2.DecodeUnchecked((*parsed2)[i].s));
+    EXPECT_EQ(dict1.DecodeUnchecked((*parsed1)[i].p),
+              dict2.DecodeUnchecked((*parsed2)[i].p));
+    EXPECT_EQ(dict1.DecodeUnchecked((*parsed1)[i].o),
+              dict2.DecodeUnchecked((*parsed2)[i].o));
+  }
+}
+
+TEST_P(RoundTripTest, RandomJunkNeverCrashesTheParser) {
+  Random rng(GetParam() * 7919);
+  const char alphabet[] = "<>\"\\_:.#@^ab \t\n?!";
+  for (int doc_i = 0; doc_i < 50; ++doc_i) {
+    std::string junk;
+    const size_t len = rng.Uniform(160);
+    for (size_t i = 0; i < len; ++i) {
+      junk.push_back(alphabet[rng.Uniform(sizeof(alphabet) - 1)]);
+    }
+    // Must return (ok or error), never crash or hang.
+    Dictionary dict;
+    auto result = LoadNTriplesString(junk, &dict);
+    (void)result;
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripTest,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+}  // namespace
+}  // namespace slider

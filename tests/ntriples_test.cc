@@ -1,0 +1,167 @@
+#include "rdf/ntriples.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/dictionary.h"
+#include "rdf/graph_io.h"
+
+namespace slider {
+namespace {
+
+TEST(NTriplesParserTest, ParsesPlainIriTriple) {
+  auto r = NTriplesParser::ParseLine("<http://a> <http://p> <http://b> .");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->subject, "<http://a>");
+  EXPECT_EQ(r->predicate, "<http://p>");
+  EXPECT_EQ(r->object, "<http://b>");
+}
+
+TEST(NTriplesParserTest, ParsesBlankNodes) {
+  auto r = NTriplesParser::ParseLine("_:b0 <http://p> _:b1 .");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->subject, "_:b0");
+  EXPECT_EQ(r->object, "_:b1");
+}
+
+TEST(NTriplesParserTest, ParsesPlainLiteral) {
+  auto r = NTriplesParser::ParseLine("<http://a> <http://p> \"v\" .");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->object, "\"v\"");
+}
+
+TEST(NTriplesParserTest, ParsesLanguageTaggedLiteral) {
+  auto r = NTriplesParser::ParseLine("<http://a> <http://p> \"chat\"@fr .");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->object, "\"chat\"@fr");
+}
+
+TEST(NTriplesParserTest, ParsesDatatypedLiteral) {
+  auto r = NTriplesParser::ParseLine(
+      "<http://a> <http://p> \"42\"^^<http://www.w3.org/2001/XMLSchema#int> .");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->object, "\"42\"^^<http://www.w3.org/2001/XMLSchema#int>");
+}
+
+TEST(NTriplesParserTest, ParsesEscapedQuoteInLiteral) {
+  auto r = NTriplesParser::ParseLine(R"(<http://a> <http://p> "a \"q\" b" .)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->object, R"("a \"q\" b")");
+}
+
+TEST(NTriplesParserTest, ToleratesExtraWhitespace) {
+  auto r = NTriplesParser::ParseLine("  <http://a>\t<http://p>   <http://b>  .  ");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->subject, "<http://a>");
+}
+
+TEST(NTriplesParserTest, RejectsLiteralSubject) {
+  auto r = NTriplesParser::ParseLine("\"v\" <http://p> <http://b> .");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(NTriplesParserTest, RejectsLiteralPredicate) {
+  auto r = NTriplesParser::ParseLine("<http://a> _:b <http://b> .");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(NTriplesParserTest, RejectsMissingDot) {
+  auto r = NTriplesParser::ParseLine("<http://a> <http://p> <http://b>");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(NTriplesParserTest, RejectsUnterminatedIri) {
+  auto r = NTriplesParser::ParseLine("<http://a <http://p> <http://b> .");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(NTriplesParserTest, RejectsUnterminatedLiteral) {
+  auto r = NTriplesParser::ParseLine("<http://a> <http://p> \"open .");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(NTriplesParserTest, RejectsTrailingGarbage) {
+  auto r = NTriplesParser::ParseLine("<a> <p> <b> . <c>");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(NTriplesParserTest, AllowsTrailingComment) {
+  auto r = NTriplesParser::ParseLine("<a> <p> <b> . # note");
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(ParseDocumentTest, SkipsCommentsAndBlankLines) {
+  const char* doc =
+      "# header comment\n"
+      "<a> <p> <b> .\n"
+      "\n"
+      "   \n"
+      "<b> <p> <c> .\n";
+  int count = 0;
+  Status st = NTriplesParser::ParseDocument(doc, [&](const ParsedTriple&) {
+    ++count;
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(ParseDocumentTest, ReportsLineNumberOfError) {
+  const char* doc = "<a> <p> <b> .\nbroken line\n";
+  Status st = NTriplesParser::ParseDocument(
+      doc, [](const ParsedTriple&) { return Status::OK(); });
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("line 2"), std::string::npos) << st.ToString();
+}
+
+TEST(ParseDocumentTest, PropagatesSinkError) {
+  const char* doc = "<a> <p> <b> .\n";
+  Status st = NTriplesParser::ParseDocument(doc, [](const ParsedTriple&) {
+    return Status::Internal("sink failed");
+  });
+  EXPECT_TRUE(st.IsInternal());
+}
+
+TEST(ToNTriplesLineTest, SerializesStatement) {
+  ParsedTriple t{"<a>", "<p>", "\"x\"@en"};
+  EXPECT_EQ(ToNTriplesLine(t), "<a> <p> \"x\"@en .");
+}
+
+TEST(GraphIoTest, LoadEncodeRoundTrip) {
+  Dictionary dict;
+  const char* doc =
+      "<http://ex/a> <http://ex/p> <http://ex/b> .\n"
+      "<http://ex/b> <http://ex/p> \"lit\" .\n";
+  auto triples = LoadNTriplesString(doc, &dict);
+  ASSERT_TRUE(triples.ok());
+  ASSERT_EQ(triples->size(), 2u);
+  auto serialized = ToNTriplesString(*triples, dict);
+  ASSERT_TRUE(serialized.ok());
+  // Reparse the serialized form: must yield the same encoded triples.
+  Dictionary dict2;
+  auto reparsed = LoadNTriplesString(*serialized, &dict2);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->size(), 2u);
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  Dictionary dict;
+  TripleVec triples;
+  triples.push_back(dict.EncodeTriple("<http://ex/s>", "<http://ex/p>", "<http://ex/o>"));
+  triples.push_back(dict.EncodeTriple("<http://ex/s>", "<http://ex/q>", "\"v\"@en"));
+  const std::string path = testing::TempDir() + "/graph_io_test.nt";
+  ASSERT_TRUE(WriteNTriplesFile(path, triples, dict).ok());
+  Dictionary dict2;
+  auto loaded = LoadNTriplesFile(path, &dict2);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(dict2.DecodeUnchecked((*loaded)[1].o), "\"v\"@en");
+}
+
+TEST(GraphIoTest, MissingFileIsIOError) {
+  Dictionary dict;
+  auto loaded = LoadNTriplesFile("/nonexistent/path.nt", &dict);
+  EXPECT_TRUE(loaded.status().IsIOError());
+}
+
+}  // namespace
+}  // namespace slider

@@ -1,0 +1,81 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace slider {
+namespace {
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(13), 13u);
+    const uint64_t x = rng.UniformRange(5, 9);
+    EXPECT_GE(x, 5u);
+    EXPECT_LE(x, 9u);
+  }
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BernoulliApproximatesP) {
+  Random rng(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.25)) ++hits;
+  }
+  const double rate = static_cast<double>(hits) / n;
+  EXPECT_NEAR(rate, 0.25, 0.02);
+}
+
+TEST(ZipfTest, SamplesAreSkewedTowardSmallRanks) {
+  ZipfDistribution zipf(1000, 1.0);
+  Random rng(5);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 50000; ++i) {
+    ++counts[zipf.Sample(&rng)];
+  }
+  // Rank 0 must dominate rank 99 by roughly the 1/(r+1) law.
+  EXPECT_GT(counts[0], counts[99] * 10);
+  // Everything must be a valid index (implicitly checked by ++ above) and
+  // the head should carry a large share of the mass.
+  int head = 0;
+  for (int i = 0; i < 10; ++i) head += counts[i];
+  EXPECT_GT(head, 50000 / 4);
+}
+
+TEST(ZipfTest, DeterministicWithSameRng) {
+  ZipfDistribution zipf(100, 1.2);
+  Random a(9), b(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(zipf.Sample(&a), zipf.Sample(&b));
+  }
+}
+
+}  // namespace
+}  // namespace slider

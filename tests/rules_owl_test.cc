@@ -1,0 +1,205 @@
+#include "reason/rules_owl.h"
+
+#include <gtest/gtest.h>
+
+#include "reason/batch_reasoner.h"
+#include "reason/reasoner.h"
+
+namespace slider {
+namespace {
+
+class OwlRulesTest : public ::testing::Test {
+ protected:
+  OwlRulesTest()
+      : vocab_(Vocabulary::Register(&dict_)), owl_(OwlTerms::Register(&dict_)) {}
+
+  TermId T(const std::string& local) {
+    return dict_.Encode("<http://owl-test/" + local + ">");
+  }
+
+  /// Materialises `input` under the owl-lite fragment.
+  std::unique_ptr<TripleStore> Closure(const TripleVec& input) {
+    auto store = std::make_unique<TripleStore>();
+    BatchReasoner batch(OwlLiteFragment(vocab_, &dict_), store.get());
+    batch.Materialize(input).status().AbortIfNotOk();
+    return store;
+  }
+
+  Dictionary dict_;
+  Vocabulary vocab_;
+  OwlTerms owl_;
+};
+
+TEST_F(OwlRulesTest, InverseFlipsBothDirections) {
+  const TermId has_part = T("hasPart"), part_of = T("partOf");
+  const TermId a = T("a"), b = T("b"), c = T("c");
+  auto store_ptr = Closure({{has_part, owl_.inverse_of, part_of},
+                        {a, has_part, b},
+                        {c, part_of, a}});
+  EXPECT_TRUE(store_ptr->Contains({b, part_of, a}));   // prp-inv1
+  EXPECT_TRUE(store_ptr->Contains({a, has_part, c}));  // prp-inv2
+}
+
+TEST_F(OwlRulesTest, InverseDeclarationAfterInstances) {
+  // The declaration arrives last; the rule must flip already-stored data.
+  const TermId p = T("p"), q = T("q"), x = T("x"), y = T("y");
+  TripleStore store;
+  BatchReasoner batch(OwlLiteFragment(vocab_, &dict_), &store);
+  ASSERT_TRUE(batch.Materialize({{x, p, y}}).ok());
+  ASSERT_TRUE(batch.Materialize({{p, owl_.inverse_of, q}}).ok());
+  EXPECT_TRUE(store.Contains({y, q, x}));
+}
+
+TEST_F(OwlRulesTest, TransitivePropertyClosesChains) {
+  const TermId anc = T("ancestorOf");
+  const TermId a = T("a"), b = T("b"), c = T("c"), d = T("d");
+  auto store_ptr = Closure({{anc, vocab_.type, owl_.transitive_property},
+                        {a, anc, b},
+                        {b, anc, c},
+                        {c, anc, d}});
+  EXPECT_TRUE(store_ptr->Contains({a, anc, c}));
+  EXPECT_TRUE(store_ptr->Contains({a, anc, d}));
+  EXPECT_TRUE(store_ptr->Contains({b, anc, d}));
+}
+
+TEST_F(OwlRulesTest, TransitiveDeclarationAfterInstances) {
+  const TermId anc = T("ancestorOf");
+  const TermId a = T("a"), b = T("b"), c = T("c");
+  TripleStore store;
+  BatchReasoner batch(OwlLiteFragment(vocab_, &dict_), &store);
+  ASSERT_TRUE(batch.Materialize({{a, anc, b}, {b, anc, c}}).ok());
+  EXPECT_FALSE(store.Contains({a, anc, c}));
+  ASSERT_TRUE(
+      batch.Materialize({{anc, vocab_.type, owl_.transitive_property}}).ok());
+  EXPECT_TRUE(store.Contains({a, anc, c}));
+}
+
+TEST_F(OwlRulesTest, NonTransitivePropertyDoesNotClose) {
+  const TermId p = T("plainProp");
+  const TermId a = T("a"), b = T("b"), c = T("c");
+  auto store_ptr = Closure({{a, p, b}, {b, p, c}});
+  EXPECT_FALSE(store_ptr->Contains({a, p, c}));
+}
+
+TEST_F(OwlRulesTest, SymmetricPropertyFlips) {
+  const TermId married = T("marriedTo");
+  const TermId a = T("a"), b = T("b");
+  auto store_ptr = Closure({{married, vocab_.type, owl_.symmetric_property},
+                        {a, married, b}});
+  EXPECT_TRUE(store_ptr->Contains({b, married, a}));
+}
+
+TEST_F(OwlRulesTest, SymmetricDeclarationAfterInstances) {
+  const TermId near = T("near");
+  const TermId a = T("a"), b = T("b");
+  TripleStore store;
+  BatchReasoner batch(OwlLiteFragment(vocab_, &dict_), &store);
+  ASSERT_TRUE(batch.Materialize({{a, near, b}}).ok());
+  EXPECT_FALSE(store.Contains({b, near, a}));
+  ASSERT_TRUE(
+      batch.Materialize({{near, vocab_.type, owl_.symmetric_property}}).ok());
+  EXPECT_TRUE(store.Contains({b, near, a}));
+}
+
+TEST_F(OwlRulesTest, DomainWidensThroughSuperclasses) {
+  // SCM-DOM1 is the rule rho-df lacks: <p domain c1> + <c1 sc c2> gives
+  // <p domain c2>, and with it <x type c2> directly.
+  const TermId p = T("p"), c1 = T("C1"), c2 = T("C2");
+  const TermId x = T("x"), y = T("y");
+  auto store_ptr = Closure({{p, vocab_.domain, c1},
+                        {c1, vocab_.sub_class_of, c2},
+                        {x, p, y}});
+  EXPECT_TRUE(store_ptr->Contains({p, vocab_.domain, c2}));
+  EXPECT_TRUE(store_ptr->Contains({x, vocab_.type, c2}));
+}
+
+TEST_F(OwlRulesTest, RangeWidensThroughSuperclasses) {
+  const TermId p = T("p"), c1 = T("C1"), c2 = T("C2");
+  const TermId x = T("x"), y = T("y");
+  auto store_ptr = Closure({{p, vocab_.range, c1},
+                        {c1, vocab_.sub_class_of, c2},
+                        {x, p, y}});
+  EXPECT_TRUE(store_ptr->Contains({p, vocab_.range, c2}));
+  EXPECT_TRUE(store_ptr->Contains({y, vocab_.type, c2}));
+}
+
+TEST_F(OwlRulesTest, OwlRulesComposeWithRdfsRules) {
+  // Symmetric property + subPropertyOf + domain: a composed cascade across
+  // stock and extension rules.
+  const TermId touches = T("touches"), connected = T("connectedTo");
+  const TermId thing = T("SpatialThing");
+  const TermId a = T("a"), b = T("b");
+  auto store_ptr = Closure({{touches, vocab_.type, owl_.symmetric_property},
+                        {touches, vocab_.sub_property_of, connected},
+                        {connected, vocab_.domain, thing},
+                        {a, touches, b}});
+  EXPECT_TRUE(store_ptr->Contains({b, touches, a}));      // symmetric
+  EXPECT_TRUE(store_ptr->Contains({a, connected, b}));    // prp-spo1
+  EXPECT_TRUE(store_ptr->Contains({b, connected, a}));    // both composed
+  EXPECT_TRUE(store_ptr->Contains({a, vocab_.type, thing}));
+  EXPECT_TRUE(store_ptr->Contains({b, vocab_.type, thing}));
+}
+
+TEST_F(OwlRulesTest, SliderMatchesBatchOnOwlFragment) {
+  // Incremental == batch on the extension fragment too.
+  ReasonerOptions options;
+  options.buffer_size = 7;
+  options.num_threads = 3;
+  options.buffer_timeout = std::chrono::milliseconds(2);
+  Reasoner slider(OwlLiteFactory(), options);
+  Dictionary* dict = slider.dictionary();
+  const OwlTerms owl = OwlTerms::Register(dict);
+  const Vocabulary& v = slider.vocabulary();
+  auto term = [&](const std::string& l) {
+    return dict->Encode("<http://owl-test/" + l + ">");
+  };
+  const TermId anc = term("ancestorOf"), desc = term("descendantOf");
+  TripleVec input = {{anc, v.type, owl.transitive_property},
+                     {anc, owl.inverse_of, desc}};
+  for (int i = 0; i < 20; ++i) {
+    input.push_back({term("n" + std::to_string(i)), anc,
+                     term("n" + std::to_string(i + 1))});
+  }
+  slider.AddTriples(input);
+  slider.Flush();
+
+  TripleStore batch_store;
+  Dictionary batch_dict;
+  const Vocabulary bv = Vocabulary::Register(&batch_dict);
+  BatchReasoner batch(OwlLiteFragment(bv, &batch_dict), &batch_store);
+  // Rebuild the same input against the batch dictionary.
+  const OwlTerms bowl = OwlTerms::Register(&batch_dict);
+  auto bterm = [&](const std::string& l) {
+    return batch_dict.Encode("<http://owl-test/" + l + ">");
+  };
+  const TermId banc = bterm("ancestorOf"), bdesc = bterm("descendantOf");
+  TripleVec binput = {{banc, bv.type, bowl.transitive_property},
+                      {banc, bowl.inverse_of, bdesc}};
+  for (int i = 0; i < 20; ++i) {
+    binput.push_back({bterm("n" + std::to_string(i)), banc,
+                      bterm("n" + std::to_string(i + 1))});
+  }
+  ASSERT_TRUE(batch.Materialize(binput).ok());
+
+  // Dictionaries were built in identical order, so sets are comparable.
+  EXPECT_EQ(slider.store().size(), batch_store.size());
+  // Transitive + inverse interplay: every ancestor pair has its inverse.
+  EXPECT_TRUE(slider.store().Contains({term("n0"), anc, term("n20")}));
+  EXPECT_TRUE(slider.store().Contains({term("n20"), desc, term("n0")}));
+}
+
+TEST_F(OwlRulesTest, FragmentAndGraphAreWellFormed) {
+  Fragment f = OwlLiteFragment(vocab_, &dict_);
+  EXPECT_EQ(f.name(), "owl-lite");
+  EXPECT_EQ(f.size(), 18u);  // 8 rho-df + 5 RDFS + 5 OWL extension rules
+  EXPECT_GE(f.IndexOf("PRP-TRP"), 0);
+  DependencyGraph g = DependencyGraph::Build(f);
+  // PRP-TRP emits arbitrary predicates: it must feed everything.
+  const int trp = f.IndexOf("PRP-TRP");
+  for (size_t j = 0; j < f.size(); ++j) {
+    EXPECT_TRUE(g.HasEdge(trp, static_cast<int>(j)));
+  }
+}
+
+}  // namespace
+}  // namespace slider

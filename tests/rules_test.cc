@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "reason/rules_rdfs.h"
+#include "reason/rules_rhodf.h"
+
+namespace slider {
+namespace {
+
+/// Shared fixture: a dictionary with registered vocabulary, a store, and
+/// term shorthands.
+class RulesTest : public ::testing::Test {
+ protected:
+  RulesTest() : vocab_(Vocabulary::Register(&dict_)) {}
+
+  TermId T(const std::string& local) {
+    return dict_.Encode("<http://example.org/" + local + ">");
+  }
+
+  /// Applies `rule` to `delta` after inserting both `store_contents` and
+  /// `delta` into the store (the engine invariant: store ⊇ delta).
+  TripleVec Run(const Rule& rule, TripleVec store_contents, TripleVec delta) {
+    store_.AddAll(store_contents, nullptr);
+    store_.AddAll(delta, nullptr);
+    TripleVec out;
+    rule.Apply(delta, store_, &out);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+
+  Dictionary dict_;
+  Vocabulary vocab_ = Vocabulary{};
+  TripleStore store_;
+};
+
+// ---------------------------------------------------------------------------
+// CAX-SCO
+// ---------------------------------------------------------------------------
+
+TEST_F(RulesTest, CaxScoSchemaInStoreInstanceInDelta) {
+  CaxScoRule rule(vocab_);
+  const TermId c1 = T("C1"), c2 = T("C2"), x = T("x");
+  auto out = Run(rule, {{c1, vocab_.sub_class_of, c2}}, {{x, vocab_.type, c1}});
+  EXPECT_EQ(out, (TripleVec{{x, vocab_.type, c2}}));
+}
+
+TEST_F(RulesTest, CaxScoInstanceInStoreSchemaInDelta) {
+  CaxScoRule rule(vocab_);
+  const TermId c1 = T("C1"), c2 = T("C2"), x = T("x");
+  auto out = Run(rule, {{x, vocab_.type, c1}}, {{c1, vocab_.sub_class_of, c2}});
+  EXPECT_EQ(out, (TripleVec{{x, vocab_.type, c2}}));
+}
+
+TEST_F(RulesTest, CaxScoBothInDelta) {
+  CaxScoRule rule(vocab_);
+  const TermId c1 = T("C1"), c2 = T("C2"), x = T("x");
+  // Both antecedents arrive in the same batch: the store-side join covers
+  // delta×delta because the engine stores the delta before applying.
+  auto out = Run(rule, {}, {{c1, vocab_.sub_class_of, c2}, {x, vocab_.type, c1}});
+  EXPECT_EQ(out, (TripleVec{{x, vocab_.type, c2}}));
+}
+
+TEST_F(RulesTest, CaxScoIgnoresUnrelatedPredicates) {
+  CaxScoRule rule(vocab_);
+  const TermId a = T("a"), b = T("b"), p = T("p");
+  auto out = Run(rule, {{a, p, b}}, {{b, p, a}});
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(RulesTest, CaxScoMultipleInstancesFanOut) {
+  CaxScoRule rule(vocab_);
+  const TermId c1 = T("C1"), c2 = T("C2");
+  const TermId x = T("x"), y = T("y"), z = T("z");
+  auto out = Run(rule,
+                 {{x, vocab_.type, c1}, {y, vocab_.type, c1}, {z, vocab_.type, c2}},
+                 {{c1, vocab_.sub_class_of, c2}});
+  EXPECT_EQ(out, (TripleVec{{x, vocab_.type, c2}, {y, vocab_.type, c2}}));
+}
+
+TEST_F(RulesTest, CaxScoAcceptsOnlyItsInputPredicates) {
+  CaxScoRule rule(vocab_);
+  EXPECT_TRUE(rule.AcceptsPredicate(vocab_.type));
+  EXPECT_TRUE(rule.AcceptsPredicate(vocab_.sub_class_of));
+  EXPECT_FALSE(rule.AcceptsPredicate(vocab_.domain));
+  EXPECT_FALSE(rule.HasUniversalInput());
+  EXPECT_FALSE(rule.OutputsAnyPredicate());
+}
+
+// ---------------------------------------------------------------------------
+// SCM-SCO / SCM-SPO
+// ---------------------------------------------------------------------------
+
+TEST_F(RulesTest, ScmScoExtendsRight) {
+  ScmScoRule rule(vocab_);
+  const TermId a = T("A"), b = T("B"), c = T("C");
+  auto out = Run(rule, {{b, vocab_.sub_class_of, c}}, {{a, vocab_.sub_class_of, b}});
+  EXPECT_EQ(out, (TripleVec{{a, vocab_.sub_class_of, c}}));
+}
+
+TEST_F(RulesTest, ScmScoExtendsLeft) {
+  ScmScoRule rule(vocab_);
+  const TermId a = T("A"), b = T("B"), c = T("C");
+  auto out = Run(rule, {{a, vocab_.sub_class_of, b}}, {{b, vocab_.sub_class_of, c}});
+  EXPECT_EQ(out, (TripleVec{{a, vocab_.sub_class_of, c}}));
+}
+
+TEST_F(RulesTest, ScmScoSelfLoopDoesNotExplode) {
+  ScmScoRule rule(vocab_);
+  const TermId a = T("A");
+  auto out = Run(rule, {}, {{a, vocab_.sub_class_of, a}});
+  // Only the (idempotent) self loop can be derived.
+  EXPECT_EQ(out, (TripleVec{{a, vocab_.sub_class_of, a}}));
+}
+
+TEST_F(RulesTest, ScmSpoTransitivity) {
+  ScmSpoRule rule(vocab_);
+  const TermId p = T("p"), q = T("q"), r = T("r");
+  auto out = Run(rule, {{p, vocab_.sub_property_of, q}},
+                 {{q, vocab_.sub_property_of, r}});
+  EXPECT_EQ(out, (TripleVec{{p, vocab_.sub_property_of, r}}));
+}
+
+// ---------------------------------------------------------------------------
+// PRP-SPO1
+// ---------------------------------------------------------------------------
+
+TEST_F(RulesTest, PrpSpo1RewritesStoredInstances) {
+  PrpSpo1Rule rule(vocab_);
+  const TermId p1 = T("p1"), p2 = T("p2"), x = T("x"), y = T("y");
+  auto out = Run(rule, {{x, p1, y}}, {{p1, vocab_.sub_property_of, p2}});
+  ASSERT_FALSE(out.empty());
+  EXPECT_TRUE(std::find(out.begin(), out.end(), Triple(x, p2, y)) != out.end());
+}
+
+TEST_F(RulesTest, PrpSpo1RewritesDeltaInstances) {
+  PrpSpo1Rule rule(vocab_);
+  const TermId p1 = T("p1"), p2 = T("p2"), x = T("x"), y = T("y");
+  auto out = Run(rule, {{p1, vocab_.sub_property_of, p2}}, {{x, p1, y}});
+  EXPECT_EQ(out, (TripleVec{{x, p2, y}}));
+}
+
+TEST_F(RulesTest, PrpSpo1IsUniversalAndEmitsAnyPredicate) {
+  PrpSpo1Rule rule(vocab_);
+  EXPECT_TRUE(rule.HasUniversalInput());
+  EXPECT_TRUE(rule.OutputsAnyPredicate());
+  EXPECT_TRUE(rule.AcceptsPredicate(T("anything")));
+}
+
+TEST_F(RulesTest, PrpSpo1SubPropertyOfItselfIsAnInstanceToo) {
+  PrpSpo1Rule rule(vocab_);
+  // <subPropertyOf subPropertyOf relatesTo> makes every subPropertyOf
+  // statement also a relatesTo statement — subPropertyOf used as plain
+  // property.
+  const TermId rel = T("relatesTo"), p = T("p"), q = T("q");
+  auto out = Run(rule, {{vocab_.sub_property_of, vocab_.sub_property_of, rel}},
+                 {{p, vocab_.sub_property_of, q}});
+  EXPECT_TRUE(std::find(out.begin(), out.end(), Triple(p, rel, q)) != out.end());
+}
+
+// ---------------------------------------------------------------------------
+// PRP-DOM / PRP-RNG
+// ---------------------------------------------------------------------------
+
+TEST_F(RulesTest, PrpDomTypesSubjects) {
+  PrpDomRule rule(vocab_);
+  const TermId p = T("p"), c = T("C"), x = T("x"), y = T("y");
+  // Schema in delta, instance in store.
+  auto out1 = Run(rule, {{x, p, y}}, {{p, vocab_.domain, c}});
+  EXPECT_EQ(out1, (TripleVec{{x, vocab_.type, c}}));
+}
+
+TEST_F(RulesTest, PrpDomInstanceInDelta) {
+  PrpDomRule rule(vocab_);
+  const TermId p = T("p"), c = T("C"), x = T("x"), y = T("y");
+  auto out = Run(rule, {{p, vocab_.domain, c}}, {{x, p, y}});
+  EXPECT_EQ(out, (TripleVec{{x, vocab_.type, c}}));
+}
+
+TEST_F(RulesTest, PrpRngTypesObjects) {
+  PrpRngRule rule(vocab_);
+  const TermId p = T("p"), c = T("C"), x = T("x"), y = T("y");
+  auto out = Run(rule, {{p, vocab_.range, c}}, {{x, p, y}});
+  EXPECT_EQ(out, (TripleVec{{y, vocab_.type, c}}));
+}
+
+TEST_F(RulesTest, PrpRngSchemaInDelta) {
+  PrpRngRule rule(vocab_);
+  const TermId p = T("p"), c = T("C"), x = T("x"), y = T("y");
+  auto out = Run(rule, {{x, p, y}}, {{p, vocab_.range, c}});
+  EXPECT_EQ(out, (TripleVec{{y, vocab_.type, c}}));
+}
+
+TEST_F(RulesTest, PrpDomAndRngAreUniversalInput) {
+  PrpDomRule dom(vocab_);
+  PrpRngRule rng(vocab_);
+  EXPECT_TRUE(dom.HasUniversalInput());
+  EXPECT_TRUE(rng.HasUniversalInput());
+}
+
+// ---------------------------------------------------------------------------
+// SCM-DOM2 / SCM-RNG2
+// ---------------------------------------------------------------------------
+
+TEST_F(RulesTest, ScmDom2InheritsDomain) {
+  ScmDom2Rule rule(vocab_);
+  const TermId p1 = T("p1"), p2 = T("p2"), c = T("C");
+  auto out1 = Run(rule, {{p2, vocab_.domain, c}},
+                  {{p1, vocab_.sub_property_of, p2}});
+  EXPECT_EQ(out1, (TripleVec{{p1, vocab_.domain, c}}));
+}
+
+TEST_F(RulesTest, ScmDom2DomainInDelta) {
+  ScmDom2Rule rule(vocab_);
+  const TermId p1 = T("p1"), p2 = T("p2"), c = T("C");
+  auto out = Run(rule, {{p1, vocab_.sub_property_of, p2}},
+                 {{p2, vocab_.domain, c}});
+  EXPECT_EQ(out, (TripleVec{{p1, vocab_.domain, c}}));
+}
+
+TEST_F(RulesTest, ScmRng2InheritsRange) {
+  ScmRng2Rule rule(vocab_);
+  const TermId p1 = T("p1"), p2 = T("p2"), c = T("C");
+  auto out = Run(rule, {{p2, vocab_.range, c}},
+                 {{p1, vocab_.sub_property_of, p2}});
+  EXPECT_EQ(out, (TripleVec{{p1, vocab_.range, c}}));
+}
+
+TEST_F(RulesTest, ScmRng2DoesNotMixUpDirection) {
+  ScmRng2Rule rule(vocab_);
+  const TermId p1 = T("p1"), p2 = T("p2"), c = T("C");
+  // Range on the SUB-property must not propagate to the super-property.
+  auto out = Run(rule, {{p1, vocab_.range, c}},
+                 {{p1, vocab_.sub_property_of, p2}});
+  EXPECT_TRUE(out.empty());
+}
+
+// ---------------------------------------------------------------------------
+// RDFS axiom rules
+// ---------------------------------------------------------------------------
+
+TEST_F(RulesTest, Rdfs6PropertyIsSubPropertyOfItself) {
+  RulePtr rule = TypeAxiomRule::Rdfs6(vocab_);
+  const TermId p = T("p");
+  auto out = Run(*rule, {}, {{p, vocab_.type, vocab_.property}});
+  EXPECT_EQ(out, (TripleVec{{p, vocab_.sub_property_of, p}}));
+}
+
+TEST_F(RulesTest, Rdfs8ClassIsSubClassOfResource) {
+  RulePtr rule = TypeAxiomRule::Rdfs8(vocab_);
+  const TermId c = T("C");
+  auto out = Run(*rule, {}, {{c, vocab_.type, vocab_.rdfs_class}});
+  EXPECT_EQ(out, (TripleVec{{c, vocab_.sub_class_of, vocab_.resource}}));
+}
+
+TEST_F(RulesTest, Rdfs10ClassIsSubClassOfItself) {
+  RulePtr rule = TypeAxiomRule::Rdfs10(vocab_);
+  const TermId c = T("C");
+  auto out = Run(*rule, {}, {{c, vocab_.type, vocab_.rdfs_class}});
+  EXPECT_EQ(out, (TripleVec{{c, vocab_.sub_class_of, c}}));
+}
+
+TEST_F(RulesTest, Rdfs12ContainerMembershipProperty) {
+  RulePtr rule = TypeAxiomRule::Rdfs12(vocab_);
+  const TermId p = T("member1");
+  auto out = Run(*rule, {}, {{p, vocab_.type, vocab_.container_membership}});
+  EXPECT_EQ(out, (TripleVec{{p, vocab_.sub_property_of, vocab_.member}}));
+}
+
+TEST_F(RulesTest, Rdfs13DatatypeIsSubClassOfLiteral) {
+  RulePtr rule = TypeAxiomRule::Rdfs13(vocab_);
+  const TermId d = T("MyDatatype");
+  auto out = Run(*rule, {}, {{d, vocab_.type, vocab_.datatype}});
+  EXPECT_EQ(out, (TripleVec{{d, vocab_.sub_class_of, vocab_.literal}}));
+}
+
+TEST_F(RulesTest, TypeAxiomRulesIgnoreOtherTypes) {
+  RulePtr rule = TypeAxiomRule::Rdfs10(vocab_);
+  const TermId x = T("x"), c = T("C");
+  auto out = Run(*rule, {}, {{x, vocab_.type, c}});
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(RulesTest, Rdfs4aTypesSubjectAsResource) {
+  Rdfs4Rule rule(vocab_, Rdfs4Rule::Position::kSubject);
+  const TermId x = T("x"), y = T("y"), p = T("p");
+  auto out = Run(rule, {}, {{x, p, y}});
+  EXPECT_EQ(out, (TripleVec{{x, vocab_.type, vocab_.resource}}));
+  EXPECT_TRUE(rule.HasUniversalInput());
+}
+
+TEST_F(RulesTest, Rdfs4bTypesObjectAsResource) {
+  Rdfs4Rule rule(vocab_, Rdfs4Rule::Position::kObject);
+  const TermId x = T("x"), y = T("y"), p = T("p");
+  auto out = Run(rule, {}, {{x, p, y}});
+  EXPECT_EQ(out, (TripleVec{{y, vocab_.type, vocab_.resource}}));
+}
+
+TEST_F(RulesTest, RuleNamesAndDefinitionsAreExposed) {
+  CaxScoRule cax(vocab_);
+  EXPECT_EQ(cax.name(), "CAX-SCO");
+  EXPECT_FALSE(cax.Definition().empty());
+  EXPECT_EQ(TypeAxiomRule::Rdfs6(vocab_)->name(), "RDFS6");
+}
+
+}  // namespace
+}  // namespace slider

@@ -1,0 +1,79 @@
+#include "store/statement_log.h"
+
+#include <gtest/gtest.h>
+
+namespace slider {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(StatementLogTest, AppendAndReadBack) {
+  const std::string path = TempPath("log_roundtrip.bin");
+  auto log = StatementLog::Open(path, /*flush_interval=*/0);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->Append({1, 2, 3}).ok());
+  ASSERT_TRUE((*log)->Append({4, 5, 6}).ok());
+  EXPECT_EQ((*log)->records_written(), 2u);
+  ASSERT_TRUE((*log)->Close().ok());
+
+  auto records = StatementLog::ReadAll(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0], Triple(1, 2, 3));
+  EXPECT_EQ((*records)[1], Triple(4, 5, 6));
+}
+
+TEST(StatementLogTest, BatchAppend) {
+  const std::string path = TempPath("log_batch.bin");
+  auto log = StatementLog::Open(path, /*flush_interval=*/16);
+  ASSERT_TRUE(log.ok());
+  TripleVec batch;
+  for (TermId i = 1; i <= 100; ++i) batch.push_back({i, i + 1, i + 2});
+  ASSERT_TRUE((*log)->AppendBatch(batch).ok());
+  ASSERT_TRUE((*log)->Close().ok());
+  auto records = StatementLog::ReadAll(path);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(*records, batch);
+}
+
+TEST(StatementLogTest, AppendAfterCloseFails) {
+  const std::string path = TempPath("log_closed.bin");
+  auto log = StatementLog::Open(path, 0);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->Close().ok());
+  EXPECT_TRUE((*log)->Append({1, 2, 3}).IsIOError());
+  EXPECT_TRUE((*log)->Flush().IsIOError());
+}
+
+TEST(StatementLogTest, CloseIsIdempotent) {
+  const std::string path = TempPath("log_idempotent.bin");
+  auto log = StatementLog::Open(path, 0);
+  ASSERT_TRUE(log.ok());
+  EXPECT_TRUE((*log)->Close().ok());
+  EXPECT_TRUE((*log)->Close().ok());
+}
+
+TEST(StatementLogTest, OpenFailsOnBadPath) {
+  auto log = StatementLog::Open("/nonexistent/dir/log.bin", 0);
+  EXPECT_TRUE(log.status().IsIOError());
+}
+
+TEST(StatementLogTest, ReadAllFailsOnMissingFile) {
+  auto records = StatementLog::ReadAll(TempPath("never_written.bin"));
+  EXPECT_TRUE(records.status().IsIOError());
+}
+
+TEST(StatementLogTest, EmptyLogReadsEmpty) {
+  const std::string path = TempPath("log_empty.bin");
+  auto log = StatementLog::Open(path, 0);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->Close().ok());
+  auto records = StatementLog::ReadAll(path);
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+}
+
+}  // namespace
+}  // namespace slider

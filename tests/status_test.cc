@@ -1,0 +1,99 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+#include "common/result.h"
+
+namespace slider {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad triple");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(st.message(), "bad triple");
+  EXPECT_EQ(st.ToString(), "Invalid argument: bad triple");
+}
+
+TEST(StatusTest, AllConstructorsMapToMatchingCode) {
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, CopyIsDeep) {
+  Status a = Status::IOError("disk gone");
+  Status b = a;
+  EXPECT_TRUE(b.IsIOError());
+  EXPECT_EQ(b.message(), "disk gone");
+  // Mutating a through reassignment must not affect b.
+  a = Status::OK();
+  EXPECT_TRUE(a.ok());
+  EXPECT_TRUE(b.IsIOError());
+}
+
+TEST(StatusTest, MoveLeavesSourceOk) {
+  Status a = Status::NotFound("x");
+  Status b = std::move(a);
+  EXPECT_TRUE(b.IsNotFound());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = r.MoveValueUnsafe();
+  EXPECT_EQ(*v, 7);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Result<int> DoubleIfPositive(int x) {
+  if (x <= 0) return Status::OutOfRange("not positive");
+  return 2 * x;
+}
+
+Status UseMacros(int x, int* out) {
+  SLIDER_RETURN_NOT_OK(FailIfNegative(x));
+  SLIDER_ASSIGN_OR_RETURN(int doubled, DoubleIfPositive(x));
+  *out = doubled;
+  return Status::OK();
+}
+
+TEST(MacroTest, ReturnNotOkPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UseMacros(-1, &out).IsInvalidArgument());
+  EXPECT_TRUE(UseMacros(0, &out).IsOutOfRange());
+  ASSERT_TRUE(UseMacros(5, &out).ok());
+  EXPECT_EQ(out, 10);
+}
+
+}  // namespace
+}  // namespace slider

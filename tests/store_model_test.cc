@@ -1,0 +1,91 @@
+// Model-based property test: the TripleStore must behave exactly like a
+// trivially correct reference implementation (a std::set of triples with
+// linear-scan matching) under long random operation sequences.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+#include "store/triple_store.h"
+
+namespace slider {
+namespace {
+
+/// The obviously-correct reference store.
+class ReferenceStore {
+ public:
+  bool Add(const Triple& t) { return triples_.insert(t).second; }
+
+  bool Contains(const Triple& t) const { return triples_.count(t) != 0; }
+
+  TripleVec Match(const TriplePattern& pattern) const {
+    TripleVec out;
+    for (const Triple& t : triples_) {
+      if (pattern.Matches(t)) out.push_back(t);
+    }
+    return out;
+  }
+
+  size_t size() const { return triples_.size(); }
+
+ private:
+  std::set<Triple> triples_;
+};
+
+TriplePattern RandomPattern(Random* rng, TermId max_term) {
+  auto pos = [&]() -> TermId {
+    return rng->Bernoulli(0.5) ? kAnyTerm : rng->Uniform(max_term) + 1;
+  };
+  return TriplePattern{pos(), pos(), pos()};
+}
+
+class StoreModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StoreModelTest, AgreesWithReferenceUnderRandomOps) {
+  Random rng(GetParam());
+  TripleStore store;
+  ReferenceStore reference;
+  constexpr TermId kMaxTerm = 24;  // small universe -> frequent collisions
+
+  for (int step = 0; step < 4000; ++step) {
+    const int op = static_cast<int>(rng.Uniform(10));
+    if (op < 6) {
+      // Insert (60%).
+      const Triple t{rng.Uniform(kMaxTerm) + 1, rng.Uniform(kMaxTerm) + 1,
+                     rng.Uniform(kMaxTerm) + 1};
+      EXPECT_EQ(store.Add(t), reference.Add(t)) << "step " << step;
+    } else if (op < 8) {
+      // Membership probe (20%).
+      const Triple t{rng.Uniform(kMaxTerm) + 1, rng.Uniform(kMaxTerm) + 1,
+                     rng.Uniform(kMaxTerm) + 1};
+      EXPECT_EQ(store.Contains(t), reference.Contains(t)) << "step " << step;
+    } else {
+      // Pattern match (20%).
+      const TriplePattern pattern = RandomPattern(&rng, kMaxTerm);
+      TripleVec got = store.Match(pattern);
+      TripleVec expected = reference.Match(pattern);
+      std::sort(got.begin(), got.end());
+      std::sort(expected.begin(), expected.end());
+      EXPECT_EQ(got, expected)
+          << "step " << step << " pattern (" << pattern.s << " " << pattern.p
+          << " " << pattern.o << ")";
+    }
+    if (step % 500 == 0) {
+      EXPECT_EQ(store.size(), reference.size()) << "step " << step;
+    }
+  }
+  EXPECT_EQ(store.size(), reference.size());
+  // Final deep equality through the full-scan pattern.
+  TripleVec got = store.Match(TriplePattern{});
+  TripleVec expected = reference.Match(TriplePattern{});
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreModelTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace slider

@@ -1,0 +1,41 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace slider {
+namespace {
+
+TEST(FormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(Format("x=%d y=%s", 3, "abc"), "x=3 y=abc");
+  EXPECT_EQ(Format("%05.1f", 2.25), "002.2");
+  EXPECT_EQ(Format("no args"), "no args");
+}
+
+TEST(SplitTest, SplitsAndKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(TrimTest, TrimsWhitespaceBothEnds) {
+  EXPECT_EQ(Trim("  x \t\r\n"), "x");
+  EXPECT_EQ(Trim("\t\n "), "");
+  EXPECT_EQ(Trim("a b"), "a b");
+}
+
+TEST(WithThousandsTest, InsertsSeparators) {
+  EXPECT_EQ(WithThousands(0), "0");
+  EXPECT_EQ(WithThousands(999), "999");
+  EXPECT_EQ(WithThousands(1000), "1,000");
+  EXPECT_EQ(WithThousands(5000000), "5,000,000");
+  EXPECT_EQ(WithThousands(1234567), "1,234,567");
+}
+
+}  // namespace
+}  // namespace slider

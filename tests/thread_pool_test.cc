@@ -1,0 +1,87 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace slider {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { count.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_EQ(pool.stats().tasks_executed, 100u);
+}
+
+TEST(ThreadPoolTest, AtLeastOneWorkerEvenIfZeroRequested) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<bool> ran{false};
+  pool.Submit([&] { ran = true; });
+  pool.WaitIdle();
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPoolTest, WaitIdleCoversTasksSpawnedByTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  // A task that recursively submits follow-up work, like a rule execution
+  // whose inferences trigger further rule executions.
+  std::function<void(int)> cascade = [&](int depth) {
+    count.fetch_add(1);
+    if (depth > 0) {
+      pool.Submit([&, depth] { cascade(depth - 1); });
+      pool.Submit([&, depth] { cascade(depth - 1); });
+    }
+  };
+  pool.Submit([&] { cascade(5); });
+  pool.WaitIdle();
+  // A full binary cascade of depth 5: 2^6 - 1 executions.
+  EXPECT_EQ(count.load(), 63);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        count.fetch_add(1);
+      });
+    }
+    pool.Shutdown();
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, StatsTrackPeakQueueDepth) {
+  ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  pool.Submit([&] {
+    while (!release) std::this_thread::yield();
+  });
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([] {});
+  }
+  EXPECT_GE(pool.stats().peak_queue_depth, 10u);
+  release = true;
+  pool.WaitIdle();
+  EXPECT_EQ(pool.stats().tasks_executed, 11u);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(3);
+  pool.WaitIdle();  // must not hang
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace slider

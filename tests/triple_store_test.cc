@@ -1,0 +1,192 @@
+#include "store/triple_store.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace slider {
+namespace {
+
+TEST(TripleStoreTest, AddReportsNewness) {
+  TripleStore store;
+  EXPECT_TRUE(store.Add({1, 2, 3}));
+  EXPECT_FALSE(store.Add({1, 2, 3}));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.stats().insert_attempts, 2u);
+  EXPECT_EQ(store.stats().duplicates_rejected, 1u);
+}
+
+TEST(TripleStoreTest, AddAllReturnsDelta) {
+  TripleStore store;
+  store.Add({1, 2, 3});
+  TripleVec batch = {{1, 2, 3}, {4, 2, 5}, {4, 2, 5}, {6, 7, 8}};
+  TripleVec delta;
+  const size_t added = store.AddAll(batch, &delta);
+  EXPECT_EQ(added, 2u);
+  ASSERT_EQ(delta.size(), 2u);
+  EXPECT_EQ(delta[0], Triple(4, 2, 5));
+  EXPECT_EQ(delta[1], Triple(6, 7, 8));
+  EXPECT_EQ(store.size(), 3u);
+}
+
+TEST(TripleStoreTest, ContainsExactTriples) {
+  TripleStore store;
+  store.Add({1, 2, 3});
+  EXPECT_TRUE(store.Contains({1, 2, 3}));
+  EXPECT_FALSE(store.Contains({3, 2, 1}));
+  EXPECT_FALSE(store.Contains({1, 2, 4}));
+}
+
+TEST(TripleStoreTest, PredicatesAndCounts) {
+  TripleStore store;
+  store.Add({1, 10, 2});
+  store.Add({1, 10, 3});
+  store.Add({1, 20, 2});
+  EXPECT_EQ(store.NumPredicates(), 2u);
+  EXPECT_EQ(store.CountWithPredicate(10), 2u);
+  EXPECT_EQ(store.CountWithPredicate(20), 1u);
+  EXPECT_EQ(store.CountWithPredicate(99), 0u);
+  auto preds = store.Predicates();
+  std::sort(preds.begin(), preds.end());
+  EXPECT_EQ(preds, (std::vector<TermId>{10, 20}));
+}
+
+TEST(TripleStoreTest, ForEachWithPredicateVisitsAllPairs) {
+  TripleStore store;
+  store.Add({1, 10, 2});
+  store.Add({3, 10, 4});
+  store.Add({5, 20, 6});
+  TripleVec seen;
+  store.ForEachWithPredicate(10, [&](TermId s, TermId o) {
+    seen.push_back({s, 10, o});
+  });
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (TripleVec{{1, 10, 2}, {3, 10, 4}}));
+}
+
+TEST(TripleStoreTest, ForEachObjectAndSubject) {
+  TripleStore store;
+  store.Add({1, 10, 2});
+  store.Add({1, 10, 3});
+  store.Add({4, 10, 2});
+  std::vector<TermId> objects;
+  store.ForEachObject(10, 1, [&](TermId o) { objects.push_back(o); });
+  std::sort(objects.begin(), objects.end());
+  EXPECT_EQ(objects, (std::vector<TermId>{2, 3}));
+
+  std::vector<TermId> subjects;
+  store.ForEachSubject(10, 2, [&](TermId s) { subjects.push_back(s); });
+  std::sort(subjects.begin(), subjects.end());
+  EXPECT_EQ(subjects, (std::vector<TermId>{1, 4}));
+}
+
+TEST(TripleStoreTest, MatchDispatchesOnBoundPositions) {
+  TripleStore store;
+  store.Add({1, 10, 2});
+  store.Add({1, 10, 3});
+  store.Add({4, 10, 2});
+  store.Add({1, 20, 2});
+
+  // (s, p, ?)
+  auto m1 = store.Match({1, 10, kAnyTerm});
+  EXPECT_EQ(m1.size(), 2u);
+  // (?, p, o)
+  auto m2 = store.Match({kAnyTerm, 10, 2});
+  EXPECT_EQ(m2.size(), 2u);
+  // (s, p, o) exact
+  auto m3 = store.Match({1, 10, 2});
+  ASSERT_EQ(m3.size(), 1u);
+  EXPECT_EQ(m3[0], Triple(1, 10, 2));
+  // (?, p, ?)
+  auto m4 = store.Match({kAnyTerm, 10, kAnyTerm});
+  EXPECT_EQ(m4.size(), 3u);
+  // (?, ?, ?) full scan
+  auto m5 = store.Match({kAnyTerm, kAnyTerm, kAnyTerm});
+  EXPECT_EQ(m5.size(), 4u);
+  // (s, ?, ?) scan with subject filter
+  auto m6 = store.Match({1, kAnyTerm, kAnyTerm});
+  EXPECT_EQ(m6.size(), 3u);
+  // No match
+  auto m7 = store.Match({9, 10, kAnyTerm});
+  EXPECT_TRUE(m7.empty());
+}
+
+TEST(TripleStoreTest, MatchOnSubjectAndObjectWithoutPredicate) {
+  TripleStore store;
+  store.Add({1, 10, 2});
+  store.Add({1, 20, 2});
+  store.Add({1, 30, 3});
+  auto m = store.Match({1, kAnyTerm, 2});
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(TripleStoreTest, SnapshotMatchesContents) {
+  TripleStore store;
+  store.Add({1, 2, 3});
+  store.Add({4, 5, 6});
+  auto snapshot = store.Snapshot();
+  EXPECT_EQ(snapshot.size(), 2u);
+  auto set = store.SnapshotSet();
+  EXPECT_TRUE(set.count({1, 2, 3}));
+  EXPECT_TRUE(set.count({4, 5, 6}));
+}
+
+TEST(TripleStoreTest, EmptyStoreBehaves) {
+  TripleStore store;
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.NumPredicates(), 0u);
+  EXPECT_TRUE(store.Snapshot().empty());
+  EXPECT_TRUE(store.Match({kAnyTerm, kAnyTerm, kAnyTerm}).empty());
+  int visits = 0;
+  store.ForEachWithPredicate(1, [&](TermId, TermId) { ++visits; });
+  EXPECT_EQ(visits, 0);
+}
+
+TEST(TripleStoreTest, ConcurrentWritersProduceConsistentStore) {
+  TripleStore store;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Half the triples collide across threads, half are unique.
+        if (i % 2 == 0) {
+          store.Add({static_cast<TermId>(i + 1), 7, 9});
+        } else {
+          store.Add({static_cast<TermId>(t * kPerThread + i + 1), 8, 9});
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Shared triples deduplicate to kPerThread/2; unique ones all survive.
+  EXPECT_EQ(store.CountWithPredicate(7), static_cast<size_t>(kPerThread / 2));
+  EXPECT_EQ(store.CountWithPredicate(8),
+            static_cast<size_t>(kThreads * kPerThread / 2));
+}
+
+TEST(TripleStoreTest, ConcurrentReadersDuringWrites) {
+  TripleStore store;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (TermId i = 1; i <= 20000; ++i) {
+      store.Add({i, 5, i + 1});
+    }
+    stop = true;
+  });
+  size_t last = 0;
+  while (!stop) {
+    size_t seen = 0;
+    store.ForEachWithPredicate(5, [&](TermId, TermId) { ++seen; });
+    EXPECT_GE(seen, last);  // monotone growth, no torn reads
+    last = seen;
+  }
+  writer.join();
+  EXPECT_EQ(store.CountWithPredicate(5), 20000u);
+}
+
+}  // namespace
+}  // namespace slider

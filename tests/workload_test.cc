@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "rdf/graph_io.h"
+#include "reason/batch_reasoner.h"
+#include "workload/bsbm_generator.h"
+#include "workload/chain_generator.h"
+#include "workload/corpus.h"
+#include "workload/wikipedia_generator.h"
+#include "workload/wordnet_generator.h"
+
+namespace slider {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Chain generator (Equation 1)
+// ---------------------------------------------------------------------------
+
+TEST(ChainGeneratorTest, MatchesEquationOne) {
+  Dictionary dict;
+  const Vocabulary v = Vocabulary::Register(&dict);
+  const TripleVec triples = ChainGenerator::Generate(10, &dict, v);
+  EXPECT_EQ(triples.size(), ChainGenerator::InputSize(10));
+  // <1 type Class>
+  const TermId c1 = *dict.Lookup(ChainGenerator::ClassIri(1));
+  EXPECT_EQ(triples[0], Triple(c1, v.type, v.rdfs_class));
+  // Each i in 2..n: <i type Class>, <i subClassOf i-1>.
+  size_t type_count = 0, sc_count = 0;
+  for (const Triple& t : triples) {
+    if (t.p == v.type) ++type_count;
+    if (t.p == v.sub_class_of) ++sc_count;
+  }
+  EXPECT_EQ(type_count, 10u);
+  EXPECT_EQ(sc_count, 9u);
+}
+
+TEST(ChainGeneratorTest, NTriplesFormParsesToSameTriples) {
+  Dictionary dict;
+  const Vocabulary v = Vocabulary::Register(&dict);
+  const TripleVec direct = ChainGenerator::Generate(15, &dict, v);
+  Dictionary dict2;
+  const Vocabulary v2 = Vocabulary::Register(&dict2);
+  auto parsed = LoadNTriplesString(ChainGenerator::GenerateNTriples(15), &dict2);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), direct.size());
+}
+
+TEST(ChainGeneratorTest, ClosedFormsAreConsistent) {
+  EXPECT_EQ(ChainGenerator::ExpectedRhoDfInferred(10), 36u);
+  EXPECT_EQ(ChainGenerator::ExpectedRhoDfInferred(20), 171u);
+  EXPECT_EQ(ChainGenerator::ExpectedRhoDfInferred(50), 1176u);
+  EXPECT_EQ(ChainGenerator::ExpectedRhoDfInferred(100), 4851u);
+  EXPECT_EQ(ChainGenerator::ExpectedRhoDfInferred(200), 19701u);
+  EXPECT_EQ(ChainGenerator::ExpectedRhoDfInferred(500), 124251u);
+}
+
+// ---------------------------------------------------------------------------
+// BSBM generator
+// ---------------------------------------------------------------------------
+
+class BsbmShapeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BsbmShapeTest, SizeAndInferenceRatios) {
+  const size_t target = GetParam();
+  Dictionary dict;
+  const Vocabulary v = Vocabulary::Register(&dict);
+  const TripleVec input =
+      BsbmGenerator::Generate({.target_triples = target}, &dict, v);
+  // Size within 5% of target.
+  EXPECT_GE(input.size(), target);
+  EXPECT_LE(input.size(), target + target / 20);
+
+  // ρdf yield must be tiny (paper: ≈0.5%), RDFS yield moderate (≈20-40%).
+  TripleStore rhodf_store;
+  BatchReasoner rhodf(Fragment::RhoDf(v), &rhodf_store);
+  auto rhodf_stats = rhodf.Materialize(input);
+  ASSERT_TRUE(rhodf_stats.ok());
+  const double rhodf_ratio =
+      static_cast<double>(rhodf_stats->inferred_new) / input.size();
+  EXPECT_GT(rhodf_stats->inferred_new, 0u);
+  EXPECT_LT(rhodf_ratio, 0.03) << "BSBM rho-df yield must stay tiny";
+
+  TripleStore rdfs_store;
+  BatchReasoner rdfs(Fragment::Rdfs(v), &rdfs_store);
+  auto rdfs_stats = rdfs.Materialize(input);
+  ASSERT_TRUE(rdfs_stats.ok());
+  const double rdfs_ratio =
+      static_cast<double>(rdfs_stats->inferred_new) / input.size();
+  EXPECT_GT(rdfs_ratio, 0.10) << "BSBM RDFS yield must be much larger";
+  EXPECT_LT(rdfs_ratio, 0.50);
+  EXPECT_GT(rdfs_stats->inferred_new, rhodf_stats->inferred_new * 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BsbmShapeTest,
+                         ::testing::Values(20000u, 50000u, 100000u));
+
+TEST(BsbmGeneratorTest, DeterministicForSeed) {
+  Dictionary d1, d2;
+  const Vocabulary v1 = Vocabulary::Register(&d1);
+  const Vocabulary v2 = Vocabulary::Register(&d2);
+  const TripleVec a = BsbmGenerator::Generate({.target_triples = 20000}, &d1, v1);
+  const TripleVec b = BsbmGenerator::Generate({.target_triples = 20000}, &d2, v2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BsbmGeneratorTest, SeedChangesData) {
+  Dictionary d1, d2;
+  const Vocabulary v1 = Vocabulary::Register(&d1);
+  const Vocabulary v2 = Vocabulary::Register(&d2);
+  const TripleVec a =
+      BsbmGenerator::Generate({.target_triples = 20000, .seed = 1}, &d1, v1);
+  const TripleVec b =
+      BsbmGenerator::Generate({.target_triples = 20000, .seed = 2}, &d2, v2);
+  EXPECT_NE(a, b);
+}
+
+TEST(BsbmGeneratorTest, NTriplesDocumentParses) {
+  const std::string doc = BsbmGenerator::GenerateNTriples({.target_triples = 20000});
+  Dictionary dict;
+  auto parsed = LoadNTriplesString(doc, &dict);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_GE(parsed->size(), 20000u);
+}
+
+// ---------------------------------------------------------------------------
+// Wikipedia generator
+// ---------------------------------------------------------------------------
+
+TEST(WikipediaGeneratorTest, HighInferredRatio) {
+  Dictionary dict;
+  const Vocabulary v = Vocabulary::Register(&dict);
+  const TripleVec input =
+      WikipediaGenerator::Generate({.target_triples = 60000}, &dict, v);
+  EXPECT_GE(input.size() + 2, 60000u);
+
+  TripleStore rhodf_store;
+  BatchReasoner rhodf(Fragment::RhoDf(v), &rhodf_store);
+  auto rhodf_stats = rhodf.Materialize(input);
+  ASSERT_TRUE(rhodf_stats.ok());
+  const double rhodf_ratio =
+      static_cast<double>(rhodf_stats->inferred_new) / input.size();
+  // Paper: 0.42x under rho-df. Accept a generous band around it.
+  EXPECT_GT(rhodf_ratio, 0.15);
+  EXPECT_LT(rhodf_ratio, 1.2);
+
+  TripleStore rdfs_store;
+  BatchReasoner rdfs(Fragment::Rdfs(v), &rdfs_store);
+  auto rdfs_stats = rdfs.Materialize(input);
+  ASSERT_TRUE(rdfs_stats.ok());
+  // RDFS adds a large increment on top of rho-df (paper: 1.21x input).
+  EXPECT_GT(rdfs_stats->inferred_new, rhodf_stats->inferred_new * 3 / 2);
+}
+
+TEST(WikipediaGeneratorTest, Deterministic) {
+  Dictionary d1, d2;
+  const Vocabulary v1 = Vocabulary::Register(&d1);
+  const Vocabulary v2 = Vocabulary::Register(&d2);
+  EXPECT_EQ(WikipediaGenerator::Generate({.target_triples = 30000}, &d1, v1),
+            WikipediaGenerator::Generate({.target_triples = 30000}, &d2, v2));
+}
+
+// ---------------------------------------------------------------------------
+// WordNet generator — the ρdf-silent ontology
+// ---------------------------------------------------------------------------
+
+TEST(WordnetGeneratorTest, RhoDfInfersExactlyZero) {
+  // Table 1's most distinctive row: wordnet yields 0 inferred triples under
+  // rho-df because the taxonomy uses instance-level predicates only.
+  Dictionary dict;
+  const Vocabulary v = Vocabulary::Register(&dict);
+  const TripleVec input =
+      WordnetGenerator::Generate({.target_triples = 50000}, &dict, v);
+  TripleStore store;
+  BatchReasoner rhodf(Fragment::RhoDf(v), &store);
+  auto stats = rhodf.Materialize(input);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->inferred_new, 0u);
+}
+
+TEST(WordnetGeneratorTest, RdfsProducesLargeClosure) {
+  Dictionary dict;
+  const Vocabulary v = Vocabulary::Register(&dict);
+  const TripleVec input =
+      WordnetGenerator::Generate({.target_triples = 50000}, &dict, v);
+  TripleStore store;
+  BatchReasoner rdfs(Fragment::Rdfs(v), &store);
+  auto stats = rdfs.Materialize(input);
+  ASSERT_TRUE(stats.ok());
+  const double ratio = static_cast<double>(stats->inferred_new) / input.size();
+  // Paper: 0.68x. The RDFS8+CAX-SCO cascade must type every declared
+  // entity; accept a band around the paper's ratio.
+  EXPECT_GT(ratio, 0.30);
+  EXPECT_LT(ratio, 0.90);
+}
+
+TEST(WordnetGeneratorTest, Deterministic) {
+  Dictionary d1, d2;
+  const Vocabulary v1 = Vocabulary::Register(&d1);
+  const Vocabulary v2 = Vocabulary::Register(&d2);
+  EXPECT_EQ(WordnetGenerator::Generate({.target_triples = 20000}, &d1, v1),
+            WordnetGenerator::Generate({.target_triples = 20000}, &d2, v2));
+}
+
+// ---------------------------------------------------------------------------
+// Corpus registry
+// ---------------------------------------------------------------------------
+
+TEST(CorpusTest, Table1HasThePaperRows) {
+  const auto specs = Corpus::Table1();
+  ASSERT_EQ(specs.size(), 12u);  // 13 minus BSBM_5M by default
+  EXPECT_EQ(specs[0].name, "BSBM_100k");
+  EXPECT_EQ(specs.back().name, "subClassOf500");
+  const auto full = Corpus::Table1(/*include_5m=*/true);
+  EXPECT_EQ(full.size(), 13u);
+  bool has_5m = false;
+  for (const auto& s : full) has_5m |= s.name == "BSBM_5M";
+  EXPECT_TRUE(has_5m);
+}
+
+TEST(CorpusTest, DemoHasElevenOntologies) {
+  EXPECT_EQ(Corpus::Demo().size(), 11u);
+}
+
+TEST(CorpusTest, ByNameFindsRows) {
+  EXPECT_EQ(Corpus::ByName("wordnet").kind, OntologySpec::Kind::kWordnet);
+  EXPECT_EQ(Corpus::ByName("subClassOf100").param, 100u);
+}
+
+TEST(CorpusTest, GenerateDispatchesByKind) {
+  Dictionary dict;
+  const Vocabulary v = Vocabulary::Register(&dict);
+  const TripleVec chain =
+      Corpus::Generate(Corpus::ByName("subClassOf10"), &dict, v);
+  EXPECT_EQ(chain.size(), ChainGenerator::InputSize(10));
+}
+
+}  // namespace
+}  // namespace slider
