@@ -1,0 +1,325 @@
+// Store contention microbench: multi-writer AddAll throughput with
+// concurrent ForEachMatch readers, sharded store vs. the pre-sharding
+// baseline.
+//
+// The baseline below is a faithful copy of the seed TripleStore: one global
+// shared_mutex, nested std::unordered_map indexes, and a global TripleSet
+// membership structure that every writer had to mutate. The contender is the
+// current sharded, lock-striped, flat-hash TripleStore. Both run the same
+// workload: W writer threads streaming disjoint-predicate batches through
+// AddAll (with a duplicate re-offer pass, so dedup cost is measured too)
+// while W/2 reader threads continuously scan bound-predicate patterns.
+//
+// Output is one JSON object per (store, writers) cell plus a summary with
+// the speedup at each thread count, e.g.:
+//   bench_store_contention --quick --json=contention.json
+// Flags: --quick (small N), --writers=1,2,4,8, --json=FILE, --triples=N.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "store/triple_store.h"
+
+namespace slider {
+namespace {
+
+/// The seed store, verbatim: one global rwlock + unordered_map indexes +
+/// global membership set. Kept here as the measured baseline.
+class SingleMutexStore {
+ public:
+  bool Add(const Triple& t) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    return AddLocked(t);
+  }
+
+  size_t AddAll(const TripleVec& batch, TripleVec* delta = nullptr) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    size_t added = 0;
+    for (const Triple& t : batch) {
+      if (AddLocked(t)) {
+        ++added;
+        if (delta != nullptr) delta->push_back(t);
+      }
+    }
+    return added;
+  }
+
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return all_.size();
+  }
+
+  template <typename Fn>
+  void ForEachMatch(const TriplePattern& pattern, Fn&& fn) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto scan = [&](TermId p, const Partition& part) {
+      if (pattern.s != kAnyTerm) {
+        auto row = part.by_subject.find(pattern.s);
+        if (row == part.by_subject.end()) return;
+        for (TermId o : row->second) {
+          if (pattern.o == kAnyTerm || pattern.o == o) {
+            fn(Triple(pattern.s, p, o));
+          }
+        }
+        return;
+      }
+      if (pattern.o != kAnyTerm) {
+        auto row = part.by_object.find(pattern.o);
+        if (row == part.by_object.end()) return;
+        for (TermId s : row->second) fn(Triple(s, p, pattern.o));
+        return;
+      }
+      for (const auto& [s, objects] : part.by_subject) {
+        for (TermId o : objects) fn(Triple(s, p, o));
+      }
+    };
+    if (pattern.p != kAnyTerm) {
+      auto it = partitions_.find(pattern.p);
+      if (it != partitions_.end()) scan(pattern.p, it->second);
+      return;
+    }
+    for (const auto& [p, part] : partitions_) scan(p, part);
+  }
+
+ private:
+  struct Partition {
+    std::unordered_map<TermId, std::vector<TermId>> by_subject;
+    std::unordered_map<TermId, std::vector<TermId>> by_object;
+  };
+
+  bool AddLocked(const Triple& t) {
+    if (!all_.insert(t).second) return false;
+    Partition& partition = partitions_[t.p];
+    partition.by_subject[t.s].push_back(t.o);
+    partition.by_object[t.o].push_back(t.s);
+    return true;
+  }
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<TermId, Partition> partitions_;
+  TripleSet all_;
+};
+
+struct Cell {
+  std::string store;
+  int writers = 0;
+  int readers = 0;
+  size_t offered = 0;
+  size_t stored = 0;
+  double seconds = 0;
+  double triples_per_sec = 0;
+};
+
+/// Per-writer triple stream: disjoint predicate set per writer, random
+/// subjects/objects, streamed in fixed-size batches.
+TripleVec MakeWriterStream(int writer, int writers, size_t per_writer,
+                           size_t predicates) {
+  Random rng(1000 + static_cast<uint64_t>(writer));
+  TripleVec out;
+  out.reserve(per_writer);
+  for (size_t i = 0; i < per_writer; ++i) {
+    // Predicates are striped across writers so writer sets are disjoint.
+    const TermId p =
+        static_cast<TermId>(writer + 1 +
+                            writers * (rng.Uniform(predicates / writers) ));
+    out.push_back({rng.Uniform(per_writer / 2) + 1, p,
+                   rng.Uniform(per_writer / 2) + 1});
+  }
+  return out;
+}
+
+template <typename Store>
+Cell RunCell(const std::string& name, int writers, size_t per_writer,
+             size_t predicates, size_t batch_size) {
+  Store store;
+  const int readers = std::max(1, writers / 2);
+
+  // Pre-generate streams so generation cost stays out of the timed region.
+  std::vector<TripleVec> streams;
+  for (int w = 0; w < writers; ++w) {
+    streams.push_back(MakeWriterStream(w, writers, per_writer, predicates));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> scanned{0};
+  std::vector<std::thread> reader_threads;
+  for (int r = 0; r < readers; ++r) {
+    reader_threads.emplace_back([&, r] {
+      Random rng(5000 + static_cast<uint64_t>(r));
+      size_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const TermId p = rng.Uniform(predicates) + 1;
+        store.ForEachMatch(TriplePattern{kAnyTerm, p, kAnyTerm},
+                           [&](const Triple&) { ++local; });
+        // Throttle: readers model query traffic, not a spin loop. An
+        // unthrottled reader on a reader-preferring rwlock starves the
+        // single-mutex baseline's writers outright (and on small machines
+        // steals the writers' cores), turning the bench into a deadlock
+        // test instead of a throughput one.
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+      scanned.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+
+  Stopwatch watch;
+  std::vector<std::thread> writer_threads;
+  for (int w = 0; w < writers; ++w) {
+    writer_threads.emplace_back([&, w] {
+      const TripleVec& stream = streams[w];
+      // First pass inserts; second pass re-offers the first half, so the
+      // duplicate-rejection path is part of every measured run.
+      for (size_t start = 0; start < stream.size(); start += batch_size) {
+        const size_t end = std::min(stream.size(), start + batch_size);
+        TripleVec batch(stream.begin() + start, stream.begin() + end);
+        store.AddAll(batch, nullptr);
+      }
+      const size_t half = stream.size() / 2;
+      for (size_t start = 0; start < half; start += batch_size) {
+        const size_t end = std::min(half, start + batch_size);
+        TripleVec batch(stream.begin() + start, stream.begin() + end);
+        store.AddAll(batch, nullptr);
+      }
+    });
+  }
+  for (auto& th : writer_threads) th.join();
+  const double seconds = watch.ElapsedSeconds();
+  stop = true;
+  for (auto& th : reader_threads) th.join();
+
+  Cell cell;
+  cell.store = name;
+  cell.writers = writers;
+  cell.readers = readers;
+  cell.offered = writers * (per_writer + per_writer / 2);
+  cell.stored = store.size();
+  cell.seconds = seconds;
+  cell.triples_per_sec = seconds > 0 ? cell.offered / seconds : 0;
+  return cell;
+}
+
+std::string CellJson(const Cell& c) {
+  std::ostringstream os;
+  os << "{\"bench\":\"store_contention\",\"store\":\"" << c.store
+     << "\",\"writers\":" << c.writers << ",\"readers\":" << c.readers
+     << ",\"offered\":" << c.offered << ",\"stored\":" << c.stored
+     << ",\"seconds\":" << c.seconds
+     << ",\"triples_per_sec\":" << static_cast<uint64_t>(c.triples_per_sec)
+     << "}";
+  return os.str();
+}
+
+/// Parses a positive integer, returning `fallback` on malformed input
+/// instead of letting std::stoi terminate the bench.
+uint64_t ParsePositive(const std::string& text, uint64_t fallback) {
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return fallback;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return text.empty() || value == 0 ? fallback : value;
+}
+
+std::vector<int> ParseWriters(const std::string& csv) {
+  std::vector<int> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    // Cap at the predicate-universe size: MakeWriterStream stripes the 64
+    // predicates across writers, so more writers than predicates would
+    // leave some with an empty (division-by-zero) stripe.
+    const uint64_t v = ParsePositive(item, 0);
+    if (v > 0 && v <= 64) out.push_back(static_cast<int>(v));
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace slider
+
+int main(int argc, char** argv) {
+  using namespace slider;
+  using namespace slider::bench;
+
+  std::setvbuf(stdout, nullptr, _IONBF, 0);
+  const bool quick = HasFlag(argc, argv, "--quick");
+  const size_t per_writer = static_cast<size_t>(
+      ParsePositive(FlagValue(argc, argv, "--triples", ""),
+                    quick ? 20000 : 200000));
+  std::vector<int> writer_counts =
+      ParseWriters(FlagValue(argc, argv, "--writers", "1,2,4,8"));
+  if (writer_counts.empty()) {
+    std::fprintf(stderr, "no valid --writers values; using 1,2,4,8\n");
+    writer_counts = {1, 2, 4, 8};
+  }
+  const std::string json_path = FlagValue(argc, argv, "--json", "");
+  const size_t predicates = 64;
+  const size_t batch_size = 1024;
+
+  std::vector<std::string> lines;
+  std::vector<Cell> baseline_cells;
+  std::vector<Cell> sharded_cells;
+
+  std::printf("%-10s %8s %8s %12s %12s %10s\n", "store", "writers", "readers",
+              "offered", "triples/s", "seconds");
+  for (int writers : writer_counts) {
+    Cell base = RunCell<SingleMutexStore>("baseline", writers, per_writer,
+                                          predicates, batch_size);
+    Cell shard = RunCell<TripleStore>("sharded", writers, per_writer,
+                                      predicates, batch_size);
+    for (const Cell& c : {base, shard}) {
+      std::printf("%-10s %8d %8d %12zu %12llu %10.3f\n", c.store.c_str(),
+                  c.writers, c.readers, c.offered,
+                  static_cast<unsigned long long>(c.triples_per_sec),
+                  c.seconds);
+      lines.push_back(CellJson(c));
+    }
+    baseline_cells.push_back(base);
+    sharded_cells.push_back(shard);
+  }
+
+  std::printf("\n%-10s %10s\n", "writers", "speedup");
+  for (size_t i = 0; i < baseline_cells.size(); ++i) {
+    const double speedup = baseline_cells[i].seconds > 0
+                               ? sharded_cells[i].triples_per_sec /
+                                     baseline_cells[i].triples_per_sec
+                               : 0;
+    std::printf("%-10d %9.2fx\n", baseline_cells[i].writers, speedup);
+    std::ostringstream os;
+    os << "{\"bench\":\"store_contention\",\"summary\":true,\"writers\":"
+       << baseline_cells[i].writers << ",\"speedup\":" << speedup << "}";
+    lines.push_back(os.str());
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "[\n";
+    for (size_t i = 0; i < lines.size(); ++i) {
+      out << "  " << lines[i] << (i + 1 < lines.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    out.flush();
+    if (out.good()) {
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

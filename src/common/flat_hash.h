@@ -1,0 +1,314 @@
+#ifndef SLIDER_COMMON_FLAT_HASH_H_
+#define SLIDER_COMMON_FLAT_HASH_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace slider {
+
+/// \brief Open-addressing containers keyed on dictionary ids.
+///
+/// The reasoner's hot loops probe term-id keyed maps millions of times per
+/// closure; std::unordered_map pays a node allocation per entry and a pointer
+/// chase per probe. These containers store entries inline in one contiguous
+/// slot array (no per-node allocation) with robin-hood linear probing:
+/// entries are kept ordered by probe distance, which bounds lookup chains and
+/// lets misses exit as soon as a slot poorer than the query is seen. Erase
+/// uses backward shifting, so there are no tombstones and load never decays.
+///
+/// Keys are raw 64-bit ids. Id 0 (kAnyTerm) is reserved by the dictionary and
+/// never denotes a term, so it doubles as the empty-slot sentinel: inserting
+/// key 0 is a programming error (asserted in debug builds).
+
+/// Mixes an id into a table index; ids are sequential dictionary handles, so
+/// they must be scrambled before masking to a power-of-two capacity.
+inline size_t FlatHashMix(uint64_t key) { return HashCombine(0, key); }
+
+/// \brief Flat robin-hood hash map from non-zero uint64 ids to V.
+///
+/// V must be default-constructible and movable. References returned by
+/// operator[]/Find are invalidated by any subsequent insert (rehash) or
+/// erase (backward shift), like every open-addressing table.
+template <typename V>
+class FlatHashMap {
+ public:
+  FlatHashMap() = default;
+  FlatHashMap(FlatHashMap&&) noexcept = default;
+  FlatHashMap& operator=(FlatHashMap&&) noexcept = default;
+  FlatHashMap(const FlatHashMap&) = delete;
+  FlatHashMap& operator=(const FlatHashMap&) = delete;
+
+  /// Number of stored entries.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Current slot-array capacity (0 until the first insert).
+  size_t capacity() const { return slots_.size(); }
+
+  /// Pre-sizes the table for at least `n` entries without rehashing later.
+  void Reserve(size_t n) {
+    size_t cap = kMinCapacity;
+    while (cap * kMaxLoadNum < n * kMaxLoadDen) cap <<= 1;
+    if (cap > slots_.size()) Rehash(cap);
+  }
+
+  /// Returns the value for `key`, default-constructing it if absent.
+  V& operator[](uint64_t key) {
+    assert(key != 0 && "id 0 is the empty-slot sentinel");
+    MaybeGrow();
+    return slots_[FindOrInsertSlot(key)].value;
+  }
+
+  /// Returns the value for `key`, or nullptr if absent.
+  const V* Find(uint64_t key) const {
+    const size_t pos = FindSlot(key);
+    return pos == kNoSlot ? nullptr : &slots_[pos].value;
+  }
+  V* Find(uint64_t key) {
+    const size_t pos = FindSlot(key);
+    return pos == kNoSlot ? nullptr : &slots_[pos].value;
+  }
+
+  bool Contains(uint64_t key) const { return FindSlot(key) != kNoSlot; }
+
+  /// Removes `key`. Returns true iff it was present. Backward-shifts the
+  /// probe chain, so no tombstones are left behind.
+  bool Erase(uint64_t key) {
+    const size_t pos = FindSlot(key);
+    if (pos == kNoSlot) return false;
+    size_t cur = pos;
+    while (true) {
+      const size_t next = (cur + 1) & mask_;
+      if (slots_[next].key == 0 || ProbeDistance(next) == 0) break;
+      slots_[cur] = std::move(slots_[next]);
+      cur = next;
+    }
+    slots_[cur].key = 0;
+    slots_[cur].value = V{};
+    --size_;
+    return true;
+  }
+
+  /// Invokes fn(key, value) for every entry, in unspecified order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.key != 0) fn(s.key, s.value);
+    }
+  }
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (Slot& s : slots_) {
+      if (s.key != 0) fn(s.key, s.value);
+    }
+  }
+
+ private:
+  struct Slot {
+    uint64_t key = 0;
+    // no_unique_address: an empty V (FlatHashSet's payload) costs no space,
+    // keeping set slots at 8 bytes.
+    [[no_unique_address]] V value{};
+  };
+
+  static constexpr size_t kNoSlot = static_cast<size_t>(-1);
+  static constexpr size_t kMinCapacity = 16;
+  // Grow past 7/8 load: robin-hood keeps probe chains short at high load.
+  static constexpr size_t kMaxLoadNum = 7;
+  static constexpr size_t kMaxLoadDen = 8;
+
+  size_t IdealSlot(uint64_t key) const { return FlatHashMix(key) & mask_; }
+
+  /// How far slot `pos` sits from its resident key's ideal slot.
+  size_t ProbeDistance(size_t pos) const {
+    return (pos - IdealSlot(slots_[pos].key)) & mask_;
+  }
+
+  size_t FindSlot(uint64_t key) const {
+    assert(key != 0 && "id 0 is the empty-slot sentinel");
+    if (slots_.empty()) return kNoSlot;
+    size_t pos = IdealSlot(key);
+    size_t dist = 0;
+    while (true) {
+      const Slot& s = slots_[pos];
+      // Robin-hood invariant: a resident poorer than the query, or an empty
+      // slot, proves the key is absent. The empty check runs first so a
+      // (release-build) sentinel query can never match an empty slot.
+      if (s.key == 0) return kNoSlot;
+      if (s.key == key) return pos;
+      if (ProbeDistance(pos) < dist) return kNoSlot;
+      pos = (pos + 1) & mask_;
+      ++dist;
+    }
+  }
+
+  void MaybeGrow() {
+    if (slots_.empty()) {
+      Rehash(kMinCapacity);
+    } else if ((size_ + 1) * kMaxLoadDen > slots_.size() * kMaxLoadNum) {
+      Rehash(slots_.size() * 2);
+    }
+  }
+
+  /// Finds the slot for `key`, inserting (and displacing richer residents)
+  /// if absent. Caller has ensured headroom via MaybeGrow.
+  size_t FindOrInsertSlot(uint64_t key) {
+    size_t pos = IdealSlot(key);
+    size_t dist = 0;
+    while (true) {
+      Slot& s = slots_[pos];
+      if (s.key == 0) {
+        s.key = key;
+        ++size_;
+        return pos;
+      }
+      if (s.key == key) return pos;
+      const size_t resident_dist = ProbeDistance(pos);
+      if (resident_dist < dist) {
+        // Rob the richer resident: our key settles here; the displaced
+        // entry continues down the chain.
+        Slot displaced = std::move(s);
+        s.key = key;
+        s.value = V{};
+        ++size_;
+        ReinsertDisplaced(std::move(displaced), pos, resident_dist);
+        return pos;
+      }
+      pos = (pos + 1) & mask_;
+      ++dist;
+    }
+  }
+
+  void ReinsertDisplaced(Slot moving, size_t pos, size_t dist) {
+    pos = (pos + 1) & mask_;
+    ++dist;
+    while (true) {
+      Slot& s = slots_[pos];
+      if (s.key == 0) {
+        s = std::move(moving);
+        return;
+      }
+      const size_t resident_dist = ProbeDistance(pos);
+      if (resident_dist < dist) {
+        std::swap(s, moving);
+        dist = resident_dist;
+      }
+      pos = (pos + 1) & mask_;
+      ++dist;
+    }
+  }
+
+  void Rehash(size_t new_capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_ = std::vector<Slot>(new_capacity);
+    mask_ = new_capacity - 1;
+    size_ = 0;
+    for (Slot& s : old) {
+      if (s.key == 0) continue;
+      const size_t pos = FindOrInsertSlot(s.key);
+      slots_[pos].value = std::move(s.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+/// \brief Flat robin-hood hash set of non-zero uint64 ids.
+///
+/// A thin adapter over FlatHashMap with an empty payload — [[no_unique_address]]
+/// keeps slots at 8 bytes, and the probe/displacement/erase machinery lives
+/// in exactly one place.
+class FlatHashSet {
+ public:
+  FlatHashSet() = default;
+  FlatHashSet(FlatHashSet&&) noexcept = default;
+  FlatHashSet& operator=(FlatHashSet&&) noexcept = default;
+  FlatHashSet(const FlatHashSet&) = delete;
+  FlatHashSet& operator=(const FlatHashSet&) = delete;
+
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  size_t capacity() const { return map_.capacity(); }
+  void Reserve(size_t n) { map_.Reserve(n); }
+
+  /// Inserts `key`. Returns true iff it was not already present.
+  bool Insert(uint64_t key) {
+    const size_t before = map_.size();
+    map_[key];
+    return map_.size() != before;
+  }
+
+  bool Contains(uint64_t key) const { return map_.Contains(key); }
+
+  /// Removes `key` with backward shifting. Returns true iff it was present.
+  bool Erase(uint64_t key) { return map_.Erase(key); }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    map_.ForEach([&](uint64_t key, const Empty&) { fn(key); });
+  }
+
+ private:
+  struct Empty {};
+  FlatHashMap<Empty> map_;
+};
+
+/// \brief A deduplicating row of term ids, optimized for the triple store's
+/// per-(predicate, subject) object lists.
+///
+/// Most rows hold a handful of ids, so membership starts as a linear scan of
+/// the inline vector (one or two cache lines, no extra memory). Once a row
+/// outgrows kSpillThreshold it builds a FlatHashSet shadow index and keeps it
+/// in sync, so inserts stay O(1) even for the rare huge row (e.g. the objects
+/// of a transitive predicate's closure). Iteration order is insertion order.
+class DedupRow {
+ public:
+  /// Appends `v` if absent. Returns true iff it was new.
+  bool Insert(uint64_t v) {
+    if (!index_.empty()) {
+      if (!index_.Insert(v)) return false;
+      items_.push_back(v);
+      return true;
+    }
+    for (uint64_t x : items_) {
+      if (x == v) return false;
+    }
+    items_.push_back(v);
+    if (items_.size() > kSpillThreshold) {
+      index_.Reserve(items_.size() * 2);
+      for (uint64_t x : items_) index_.Insert(x);
+    }
+    return true;
+  }
+
+  bool Contains(uint64_t v) const {
+    if (!index_.empty()) return index_.Contains(v);
+    for (uint64_t x : items_) {
+      if (x == v) return true;
+    }
+    return false;
+  }
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  /// All ids, in insertion order.
+  const std::vector<uint64_t>& items() const { return items_; }
+
+ private:
+  static constexpr size_t kSpillThreshold = 16;
+
+  std::vector<uint64_t> items_;
+  FlatHashSet index_;  // engaged (non-empty) once items_ spills
+};
+
+}  // namespace slider
+
+#endif  // SLIDER_COMMON_FLAT_HASH_H_

@@ -1,19 +1,64 @@
 #include "store/triple_store.h"
 
+#include <algorithm>
 #include <mutex>
+#include <thread>
 
 namespace slider {
 
+namespace {
+
+constexpr size_t kMinShards = 8;
+constexpr size_t kMaxShards = 1024;
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+size_t ResolveShardCount(size_t requested) {
+  if (requested == 0) {
+    const size_t hw = std::thread::hardware_concurrency();
+    requested = std::max(hw == 0 ? size_t{1} : hw, kMinShards);
+  }
+  // Clamp before rounding: NextPowerOfTwo overflows for inputs > 2^63.
+  return NextPowerOfTwo(std::min(requested, kMaxShards));
+}
+
+/// Id 0 is the match wildcard and the flat-hash empty-slot sentinel; a
+/// triple carrying it is not a fact and must never reach the tables.
+bool IsStorable(const Triple& t) {
+  return t.s != kAnyTerm && t.p != kAnyTerm && t.o != kAnyTerm;
+}
+
+}  // namespace
+
+TripleStore::TripleStore(size_t shard_count)
+    : shard_count_(ResolveShardCount(shard_count)),
+      shard_mask_(shard_count_ - 1),
+      shards_(new Shard[shard_count_]) {}
+
 bool TripleStore::Add(const Triple& t) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  return AddLocked(t);
+  if (!IsStorable(t)) return false;
+  Shard& shard = ShardFor(t.p);
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  return AddLocked(shard, t);
 }
 
 size_t TripleStore::AddAll(const TripleVec& batch, TripleVec* delta) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
   size_t added = 0;
+  size_t current = static_cast<size_t>(-1);
+  std::unique_lock<std::shared_mutex> lock;
   for (const Triple& t : batch) {
-    if (AddLocked(t)) {
+    if (!IsStorable(t)) continue;
+    const size_t index = ShardIndex(t.p);
+    if (index != current) {
+      if (lock.owns_lock()) lock.unlock();
+      lock = std::unique_lock<std::shared_mutex>(shards_[index].mu);
+      current = index;
+    }
+    if (AddLocked(shards_[index], t)) {
       ++added;
       if (delta != nullptr) delta->push_back(t);
     }
@@ -21,48 +66,63 @@ size_t TripleStore::AddAll(const TripleVec& batch, TripleVec* delta) {
   return added;
 }
 
-bool TripleStore::AddLocked(const Triple& t) {
-  ++stats_.insert_attempts;
-  if (!all_.insert(t).second) {
-    ++stats_.duplicates_rejected;
+bool TripleStore::AddLocked(Shard& shard, const Triple& t) {
+  ++shard.stats.insert_attempts;
+  Partition& partition = shard.partitions[t.p];
+  DedupRow& row = partition.by_subject[t.s];
+  if (!row.Insert(t.o)) {
+    ++shard.stats.duplicates_rejected;
     return false;
   }
-  Partition& partition = partitions_[t.p];
-  partition.by_subject[t.s].push_back(t.o);
   partition.by_object[t.o].push_back(t.s);
   ++partition.count;
+  ++shard.triples;
   return true;
 }
 
 bool TripleStore::Contains(const Triple& t) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  return all_.count(t) != 0;
+  if (!IsStorable(t)) return false;
+  const Shard& shard = ShardFor(t.p);
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  const Partition* part = shard.partitions.Find(t.p);
+  if (part == nullptr) return false;
+  const DedupRow* row = part->by_subject.Find(t.s);
+  return row != nullptr && row->Contains(t.o);
 }
 
 size_t TripleStore::size() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  return all_.size();
+  size_t total = 0;
+  for (size_t i = 0; i < shard_count_; ++i) {
+    std::shared_lock<std::shared_mutex> lock(shards_[i].mu);
+    total += shards_[i].triples;
+  }
+  return total;
 }
 
 size_t TripleStore::NumPredicates() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  return partitions_.size();
+  size_t total = 0;
+  for (size_t i = 0; i < shard_count_; ++i) {
+    std::shared_lock<std::shared_mutex> lock(shards_[i].mu);
+    total += shards_[i].partitions.size();
+  }
+  return total;
 }
 
 std::vector<TermId> TripleStore::Predicates() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<TermId> out;
-  out.reserve(partitions_.size());
-  for (const auto& [p, partition] : partitions_) {
-    out.push_back(p);
+  for (size_t i = 0; i < shard_count_; ++i) {
+    std::shared_lock<std::shared_mutex> lock(shards_[i].mu);
+    shards_[i].partitions.ForEach(
+        [&](TermId p, const Partition&) { out.push_back(p); });
   }
   return out;
 }
 
 size_t TripleStore::CountWithPredicate(TermId p) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  auto it = partitions_.find(p);
-  return it == partitions_.end() ? 0 : it->second.count;
+  const Shard& shard = ShardFor(p);
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  const Partition* part = shard.partitions.Find(p);
+  return part == nullptr ? 0 : part->count;
 }
 
 TripleVec TripleStore::Match(const TriplePattern& pattern) const {
@@ -72,18 +132,27 @@ TripleVec TripleStore::Match(const TriplePattern& pattern) const {
 }
 
 TripleVec TripleStore::Snapshot() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  return TripleVec(all_.begin(), all_.end());
+  TripleVec out;
+  out.reserve(size());
+  ForEachMatch(TriplePattern{}, [&](const Triple& t) { out.push_back(t); });
+  return out;
 }
 
 TripleSet TripleStore::SnapshotSet() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  return all_;
+  TripleSet out;
+  out.reserve(size());
+  ForEachMatch(TriplePattern{}, [&](const Triple& t) { out.insert(t); });
+  return out;
 }
 
 TripleStore::Stats TripleStore::stats() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  return stats_;
+  Stats total;
+  for (size_t i = 0; i < shard_count_; ++i) {
+    std::shared_lock<std::shared_mutex> lock(shards_[i].mu);
+    total.insert_attempts += shards_[i].stats.insert_attempts;
+    total.duplicates_rejected += shards_[i].stats.duplicates_rejected;
+  }
+  return total;
 }
 
 }  // namespace slider

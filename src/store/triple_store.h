@@ -2,35 +2,80 @@
 #define SLIDER_STORE_TRIPLE_STORE_H_
 
 #include <cstdint>
+#include <memory>
 #include <shared_mutex>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "rdf/term.h"
 
 namespace slider {
 
-/// \brief In-memory, vertically partitioned, concurrent RDF triple store
-/// (paper §2.2).
+/// \brief In-memory, vertically partitioned, sharded concurrent RDF triple
+/// store (paper §2.2, scaled out).
 ///
-/// Triples are indexed by predicate first, then by subject and by object
-/// inside each predicate partition — the layout of Abadi et al.'s vertical
+/// Layout. Triples are indexed by predicate first, then by subject and by
+/// object inside each predicate partition — Abadi et al.'s vertical
 /// partitioning, which the paper picks because every ρdf/RDFS/OWL rule
 /// antecedent either walks all triples or accesses them by predicate first.
+/// Partitions are distributed over N lock-striped shards (N is a power of
+/// two derived from hardware concurrency; see TripleStore(size_t)), where
+/// shard(p) = mix(p) & (N-1). Each shard owns its own shared_mutex plus its
+/// own flat-hash predicate table, so distributors writing different
+/// predicates never contend, and rule executions reading one predicate never
+/// block writers of another.
 ///
-/// Concurrency follows the paper's ReentrantReadWriteLock design: rule
-/// executions take the reader side while distributors take the writer side
-/// when inserting inferred triples. The hash-based layout doubles as the
-/// duplicate filter: Add/AddAll report exactly the subset of triples that
-/// were not yet present, and the engine only ever routes that subset
-/// ("Duplicates Limitation", §1).
+/// Inside a partition both indexes are open-addressing flat-hash maps
+/// (common/flat_hash.h): no per-node allocation, no pointer chase per probe.
+/// There is no global membership set; duplicate detection lives in the
+/// per-(predicate, subject) row (DedupRow: linear scan while small, flat-set
+/// shadow once large), which halves resident memory versus the old global
+/// TripleSet and removes the one structure every writer had to mutate.
 ///
-/// Callback contract: ForEach* methods hold the reader lock while invoking
-/// the callback; callbacks must not call mutating methods of the same store
-/// (they may read).
+/// Concurrency follows the paper's ReentrantReadWriteLock design, striped:
+/// rule executions take the reader side of the shards they touch while
+/// distributors take the writer side when inserting inferred triples.
+/// Add/AddAll report exactly the subset of triples that were not yet present
+/// and the engine only ever routes that subset ("Duplicates Limitation" §1);
+/// AddAll preserves batch order in the returned delta.
+///
+/// Consistency. Operations bound to one predicate (ForEachWithPredicate,
+/// ForEachObject, ForEachSubject, Contains, CountWithPredicate, and
+/// ForEachMatch with a bound predicate) are atomic with respect to writers:
+/// they hold that shard's reader lock for their whole duration. Cross-shard
+/// operations (ForEachMatch with an unbound predicate, Match on such a
+/// pattern, size, Predicates, NumPredicates, Snapshot, SnapshotSet, stats)
+/// take the per-shard reader locks **sequentially**, one shard at a time, so
+/// under concurrent writers they observe a fuzzy snapshot: each shard's
+/// content is internally consistent at the instant it is visited, but shard
+/// A may be read before and shard B after some interleaved insert. Every
+/// triple present before the call starts is observed; triples added
+/// concurrently may or may not be. This is the same monotone guarantee the
+/// reasoner relied on under the old single lock, without serializing the
+/// world.
+///
+/// Callback contract: ForEach* methods hold a reader lock while invoking the
+/// callback. Callbacks must not call mutating methods of the same store
+/// (writer acquisition from inside a held reader deadlocks). Nested *reads*
+/// from a callback re-acquire shard reader locks recursively; that is how
+/// the rule engine has always used this store, but note it leans on
+/// reader-preferring rwlocks (POSIX/glibc). On a writer-preferring
+/// shared_mutex (e.g. Windows SRWLOCK) a queued writer between the two
+/// acquisitions can deadlock the nested read — if this code ever targets
+/// such a platform, callbacks should collect ids and issue follow-up reads
+/// after the outer ForEach returns.
+///
+/// Id 0 (kAnyTerm) is a pattern wildcard, never a term: triples containing
+/// it are rejected by Add/AddAll (not stored, not counted as offers) and
+/// Contains reports them absent.
 class TripleStore {
  public:
-  TripleStore() = default;
+  /// `shard_count` 0 (the default) sizes the stripe to the hardware: the
+  /// next power of two >= hardware_concurrency, floored at kMinShards so a
+  /// store built on a small machine still spreads oversubscribed writer
+  /// threads. A nonzero count is rounded up to a power of two (benches use
+  /// 1 to reproduce the single-mutex baseline's contention profile).
+  explicit TripleStore(size_t shard_count = 0);
 
   TripleStore(const TripleStore&) = delete;
   TripleStore& operator=(const TripleStore&) = delete;
@@ -39,46 +84,53 @@ class TripleStore {
   bool Add(const Triple& t);
 
   /// Inserts a batch; newly added triples are appended to `*delta` when
-  /// `delta` is non-null. Returns the number of newly added triples.
+  /// `delta` is non-null, in batch order. Returns the number of newly added
+  /// triples. The shard writer lock is held across runs of same-shard
+  /// triples, so predicate-clustered batches pay one acquisition per run.
   size_t AddAll(const TripleVec& batch, TripleVec* delta = nullptr);
 
   /// True iff the triple is present.
   bool Contains(const Triple& t) const;
 
-  /// Number of distinct triples stored.
+  /// Number of distinct triples stored (cross-shard; see consistency note).
   size_t size() const;
 
-  /// Number of non-empty predicate partitions.
+  /// Number of non-empty predicate partitions (cross-shard).
   size_t NumPredicates() const;
 
-  /// All predicates with at least one triple.
+  /// All predicates with at least one triple (cross-shard).
   std::vector<TermId> Predicates() const;
 
   /// Number of triples whose predicate is `p`.
   size_t CountWithPredicate(TermId p) const;
 
+  /// Number of shards in the stripe (power of two; introspection/benches).
+  size_t shard_count() const { return shard_count_; }
+
   /// Invokes fn(subject, object) for every triple with predicate `p`.
   template <typename Fn>
   void ForEachWithPredicate(TermId p, Fn&& fn) const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
-    auto part = partitions_.find(p);
-    if (part == partitions_.end()) return;
-    for (const auto& [s, objects] : part->second.by_subject) {
-      for (TermId o : objects) {
+    const Shard& shard = ShardFor(p);
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    const Partition* part = shard.partitions.Find(p);
+    if (part == nullptr) return;
+    part->by_subject.ForEach([&](TermId s, const DedupRow& row) {
+      for (TermId o : row.items()) {
         fn(s, o);
       }
-    }
+    });
   }
 
   /// Invokes fn(object) for every triple (s, p, object).
   template <typename Fn>
   void ForEachObject(TermId p, TermId s, Fn&& fn) const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
-    auto part = partitions_.find(p);
-    if (part == partitions_.end()) return;
-    auto row = part->second.by_subject.find(s);
-    if (row == part->second.by_subject.end()) return;
-    for (TermId o : row->second) {
+    const Shard& shard = ShardFor(p);
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    const Partition* part = shard.partitions.Find(p);
+    if (part == nullptr) return;
+    const DedupRow* row = part->by_subject.Find(s);
+    if (row == nullptr) return;
+    for (TermId o : row->items()) {
       fn(o);
     }
   }
@@ -86,29 +138,38 @@ class TripleStore {
   /// Invokes fn(subject) for every triple (subject, p, o).
   template <typename Fn>
   void ForEachSubject(TermId p, TermId o, Fn&& fn) const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
-    auto part = partitions_.find(p);
-    if (part == partitions_.end()) return;
-    auto row = part->second.by_object.find(o);
-    if (row == part->second.by_object.end()) return;
-    for (TermId s : row->second) {
+    const Shard& shard = ShardFor(p);
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    const Partition* part = shard.partitions.Find(p);
+    if (part == nullptr) return;
+    const std::vector<TermId>* row = part->by_object.Find(o);
+    if (row == nullptr) return;
+    for (TermId s : *row) {
       fn(s);
     }
   }
 
   /// Invokes fn(const Triple&) for every triple matching `pattern`,
-  /// dispatching to the best index for the bound positions.
+  /// dispatching to the best index for the bound positions. A bound
+  /// predicate locks exactly one shard; an unbound predicate walks the
+  /// shards sequentially under their reader locks (fuzzy snapshot across
+  /// shards — see the class comment).
   template <typename Fn>
   void ForEachMatch(const TriplePattern& pattern, Fn&& fn) const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
     if (pattern.p != kAnyTerm) {
-      auto part = partitions_.find(pattern.p);
-      if (part == partitions_.end()) return;
-      MatchInPartition(pattern.p, part->second, pattern, fn);
+      const Shard& shard = ShardFor(pattern.p);
+      std::shared_lock<std::shared_mutex> lock(shard.mu);
+      const Partition* part = shard.partitions.Find(pattern.p);
+      if (part == nullptr) return;
+      MatchInPartition(pattern.p, *part, pattern, fn);
       return;
     }
-    for (const auto& [p, partition] : partitions_) {
-      MatchInPartition(p, partition, pattern, fn);
+    for (size_t i = 0; i < shard_count_; ++i) {
+      const Shard& shard = shards_[i];
+      std::shared_lock<std::shared_mutex> lock(shard.mu);
+      shard.partitions.ForEach([&](TermId p, const Partition& part) {
+        MatchInPartition(p, part, pattern, fn);
+      });
     }
   }
 
@@ -121,29 +182,43 @@ class TripleStore {
   /// Copies out every stored triple as a set (closure comparisons).
   TripleSet SnapshotSet() const;
 
-  /// Monotonic counters for the benches and the demo player.
+  /// Monotonic counters for the benches and the demo player. Counters are
+  /// kept shard-local under each shard's writer lock and aggregated here
+  /// under the reader locks, so `insert_attempts == accepted + rejected`
+  /// holds exactly whenever no writer is mid-flight.
   struct Stats {
-    uint64_t insert_attempts = 0;   ///< triples offered to Add/AddAll
+    uint64_t insert_attempts = 0;      ///< triples offered to Add/AddAll
     uint64_t duplicates_rejected = 0;  ///< offers that were already present
   };
   Stats stats() const;
 
  private:
   /// One vertical partition: all triples sharing a predicate, indexed both
-  /// ways ("HashMaps of MultiMaps", §2.2).
+  /// ways ("HashMaps of MultiMaps", §2.2). by_subject is authoritative for
+  /// membership; by_object mirrors accepted inserts only, so it needs no
+  /// dedup of its own.
   struct Partition {
-    std::unordered_map<TermId, std::vector<TermId>> by_subject;
-    std::unordered_map<TermId, std::vector<TermId>> by_object;
+    FlatHashMap<DedupRow> by_subject;
+    FlatHashMap<std::vector<TermId>> by_object;
     size_t count = 0;
+  };
+
+  /// One lock stripe. Cache-line aligned so writers on neighbouring shards
+  /// do not false-share the mutex or the counters.
+  struct alignas(64) Shard {
+    mutable std::shared_mutex mu;
+    FlatHashMap<Partition> partitions;  // keyed by predicate
+    size_t triples = 0;                 // guarded by mu
+    Stats stats;                        // guarded by mu
   };
 
   template <typename Fn>
   static void MatchInPartition(TermId p, const Partition& partition,
                                const TriplePattern& pattern, Fn&& fn) {
     if (pattern.s != kAnyTerm) {
-      auto row = partition.by_subject.find(pattern.s);
-      if (row == partition.by_subject.end()) return;
-      for (TermId o : row->second) {
+      const DedupRow* row = partition.by_subject.Find(pattern.s);
+      if (row == nullptr) return;
+      for (TermId o : row->items()) {
         if (pattern.o == kAnyTerm || pattern.o == o) {
           fn(Triple(pattern.s, p, o));
         }
@@ -151,27 +226,37 @@ class TripleStore {
       return;
     }
     if (pattern.o != kAnyTerm) {
-      auto row = partition.by_object.find(pattern.o);
-      if (row == partition.by_object.end()) return;
-      for (TermId s : row->second) {
+      const std::vector<TermId>* row = partition.by_object.Find(pattern.o);
+      if (row == nullptr) return;
+      for (TermId s : *row) {
         fn(Triple(s, p, pattern.o));
       }
       return;
     }
-    for (const auto& [s, objects] : partition.by_subject) {
-      for (TermId o : objects) {
+    partition.by_subject.ForEach([&](TermId s, const DedupRow& row) {
+      for (TermId o : row.items()) {
         fn(Triple(s, p, o));
       }
-    }
+    });
   }
 
-  /// Inserts without taking the lock; caller holds the writer lock.
-  bool AddLocked(const Triple& t);
+  /// Shard routing uses the mix's HIGH bits. The per-shard partitions table
+  /// masks the same mix with its (low-bit) capacity mask; deriving the shard
+  /// from the low bits too would constrain every predicate in a shard to
+  /// ideal slots congruent to the shard index, clustering the table's probe
+  /// chains. High bits keep the two index spaces independent.
+  size_t ShardIndex(TermId p) const {
+    return (FlatHashMix(p) >> 32) & shard_mask_;
+  }
+  Shard& ShardFor(TermId p) { return shards_[ShardIndex(p)]; }
+  const Shard& ShardFor(TermId p) const { return shards_[ShardIndex(p)]; }
 
-  mutable std::shared_mutex mu_;
-  std::unordered_map<TermId, Partition> partitions_;
-  TripleSet all_;  // global membership set: O(1) duplicate detection
-  Stats stats_;
+  /// Inserts into `shard`; caller holds that shard's writer lock.
+  bool AddLocked(Shard& shard, const Triple& t);
+
+  size_t shard_count_;
+  size_t shard_mask_;
+  std::unique_ptr<Shard[]> shards_;
 };
 
 }  // namespace slider

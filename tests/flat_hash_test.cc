@@ -1,0 +1,207 @@
+#include "common/flat_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+
+namespace slider {
+namespace {
+
+TEST(FlatHashMapTest, InsertAndFind) {
+  FlatHashMap<int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(42), nullptr);
+
+  map[42] = 7;
+  map[43] = 8;
+  EXPECT_EQ(map.size(), 2u);
+  ASSERT_NE(map.Find(42), nullptr);
+  EXPECT_EQ(*map.Find(42), 7);
+  ASSERT_NE(map.Find(43), nullptr);
+  EXPECT_EQ(*map.Find(43), 8);
+  EXPECT_EQ(map.Find(44), nullptr);
+  EXPECT_TRUE(map.Contains(42));
+  EXPECT_FALSE(map.Contains(44));
+}
+
+TEST(FlatHashMapTest, SubscriptIsIdempotent) {
+  FlatHashMap<int> map;
+  map[10] = 5;
+  map[10] += 1;
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(*map.Find(10), 6);
+}
+
+TEST(FlatHashMapTest, EraseExistingAndMissing) {
+  FlatHashMap<int> map;
+  for (uint64_t k = 1; k <= 100; ++k) map[k] = static_cast<int>(k);
+  EXPECT_EQ(map.size(), 100u);
+
+  EXPECT_TRUE(map.Erase(50));
+  EXPECT_FALSE(map.Erase(50));
+  EXPECT_FALSE(map.Erase(500));
+  EXPECT_EQ(map.size(), 99u);
+  EXPECT_EQ(map.Find(50), nullptr);
+  // Every survivor is still reachable after the backward shift.
+  for (uint64_t k = 1; k <= 100; ++k) {
+    if (k == 50) continue;
+    ASSERT_NE(map.Find(k), nullptr) << k;
+    EXPECT_EQ(*map.Find(k), static_cast<int>(k));
+  }
+}
+
+TEST(FlatHashMapTest, GrowsThroughManyRehashes) {
+  FlatHashMap<uint64_t> map;
+  constexpr uint64_t kN = 100000;
+  for (uint64_t k = 1; k <= kN; ++k) map[k] = k * 3;
+  EXPECT_EQ(map.size(), kN);
+  for (uint64_t k = 1; k <= kN; ++k) {
+    ASSERT_NE(map.Find(k), nullptr) << k;
+    EXPECT_EQ(*map.Find(k), k * 3);
+  }
+  EXPECT_EQ(map.Find(kN + 1), nullptr);
+}
+
+TEST(FlatHashMapTest, ReservePreventsRehash) {
+  FlatHashMap<int> map;
+  map.Reserve(1000);
+  const size_t cap = map.capacity();
+  EXPECT_GE(cap, 1000u);
+  for (uint64_t k = 1; k <= 1000; ++k) map[k] = 1;
+  EXPECT_EQ(map.capacity(), cap);
+}
+
+TEST(FlatHashMapTest, MoveValueTypes) {
+  FlatHashMap<std::vector<int>> map;
+  map[7].push_back(1);
+  map[7].push_back(2);
+  ASSERT_NE(map.Find(7), nullptr);
+  EXPECT_EQ(map.Find(7)->size(), 2u);
+
+  FlatHashMap<std::vector<int>> moved = std::move(map);
+  ASSERT_NE(moved.Find(7), nullptr);
+  EXPECT_EQ(moved.Find(7)->size(), 2u);
+}
+
+TEST(FlatHashMapTest, ForEachVisitsEveryEntryOnce) {
+  FlatHashMap<int> map;
+  for (uint64_t k = 1; k <= 500; ++k) map[k] = 1;
+  std::unordered_set<uint64_t> seen;
+  map.ForEach([&](uint64_t k, int v) {
+    EXPECT_EQ(v, 1);
+    EXPECT_TRUE(seen.insert(k).second) << "duplicate visit of " << k;
+  });
+  EXPECT_EQ(seen.size(), 500u);
+}
+
+TEST(FlatHashMapTest, CollidingKeysStayFindable) {
+  // Keys chosen so several share low hash bits at small capacities; the
+  // robin-hood chain plus backward-shift erase must keep all reachable.
+  FlatHashMap<int> map;
+  std::vector<uint64_t> keys;
+  for (uint64_t i = 1; i <= 64; ++i) keys.push_back(i << 32 | 1);
+  for (uint64_t k : keys) map[k] = 1;
+  EXPECT_EQ(map.size(), keys.size());
+  for (uint64_t k : keys) EXPECT_TRUE(map.Contains(k)) << k;
+  // Erase every other key, then verify the rest.
+  for (size_t i = 0; i < keys.size(); i += 2) EXPECT_TRUE(map.Erase(keys[i]));
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(map.Contains(keys[i]), i % 2 == 1) << i;
+  }
+}
+
+TEST(FlatHashMapTest, AgreesWithStdUnorderedMapUnderRandomOps) {
+  Random rng(1234);
+  FlatHashMap<uint64_t> map;
+  std::unordered_map<uint64_t, uint64_t> reference;
+  for (int step = 0; step < 20000; ++step) {
+    const uint64_t key = rng.Uniform(512) + 1;
+    const int op = static_cast<int>(rng.Uniform(10));
+    if (op < 5) {
+      const uint64_t value = rng.Uniform(1000);
+      map[key] = value;
+      reference[key] = value;
+    } else if (op < 8) {
+      const uint64_t* found = map.Find(key);
+      auto it = reference.find(key);
+      ASSERT_EQ(found != nullptr, it != reference.end()) << "step " << step;
+      if (found != nullptr) EXPECT_EQ(*found, it->second) << "step " << step;
+    } else {
+      EXPECT_EQ(map.Erase(key), reference.erase(key) > 0) << "step " << step;
+    }
+    ASSERT_EQ(map.size(), reference.size()) << "step " << step;
+  }
+}
+
+TEST(FlatHashSetTest, InsertContainsErase) {
+  FlatHashSet set;
+  EXPECT_TRUE(set.Insert(5));
+  EXPECT_FALSE(set.Insert(5));
+  EXPECT_TRUE(set.Insert(6));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.Contains(5));
+  EXPECT_FALSE(set.Contains(7));
+  EXPECT_TRUE(set.Erase(5));
+  EXPECT_FALSE(set.Erase(5));
+  EXPECT_FALSE(set.Contains(5));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(FlatHashSetTest, AgreesWithStdUnorderedSetUnderRandomOps) {
+  Random rng(77);
+  FlatHashSet set;
+  std::unordered_set<uint64_t> reference;
+  for (int step = 0; step < 20000; ++step) {
+    const uint64_t key = rng.Uniform(300) + 1;
+    const int op = static_cast<int>(rng.Uniform(10));
+    if (op < 5) {
+      EXPECT_EQ(set.Insert(key), reference.insert(key).second) << step;
+    } else if (op < 8) {
+      EXPECT_EQ(set.Contains(key), reference.count(key) != 0) << step;
+    } else {
+      EXPECT_EQ(set.Erase(key), reference.erase(key) > 0) << step;
+    }
+    ASSERT_EQ(set.size(), reference.size()) << "step " << step;
+  }
+  std::vector<uint64_t> drained;
+  set.ForEach([&](uint64_t k) { drained.push_back(k); });
+  std::vector<uint64_t> expected(reference.begin(), reference.end());
+  std::sort(drained.begin(), drained.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(drained, expected);
+}
+
+TEST(DedupRowTest, KeepsInsertionOrderAndRejectsDuplicates) {
+  DedupRow row;
+  EXPECT_TRUE(row.Insert(3));
+  EXPECT_TRUE(row.Insert(1));
+  EXPECT_TRUE(row.Insert(2));
+  EXPECT_FALSE(row.Insert(1));
+  EXPECT_EQ(row.size(), 3u);
+  EXPECT_EQ(row.items(), (std::vector<uint64_t>{3, 1, 2}));
+  EXPECT_TRUE(row.Contains(2));
+  EXPECT_FALSE(row.Contains(9));
+}
+
+TEST(DedupRowTest, SpillsToIndexAndStaysCorrect) {
+  // Push far past the inline threshold so the flat-set shadow engages.
+  DedupRow row;
+  for (uint64_t v = 1; v <= 1000; ++v) EXPECT_TRUE(row.Insert(v));
+  for (uint64_t v = 1; v <= 1000; ++v) EXPECT_FALSE(row.Insert(v));
+  EXPECT_EQ(row.size(), 1000u);
+  for (uint64_t v = 1; v <= 1000; ++v) EXPECT_TRUE(row.Contains(v));
+  EXPECT_FALSE(row.Contains(1001));
+  // Insertion order preserved across the spill.
+  for (size_t i = 0; i < row.items().size(); ++i) {
+    EXPECT_EQ(row.items()[i], i + 1);
+  }
+}
+
+}  // namespace
+}  // namespace slider

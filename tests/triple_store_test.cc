@@ -31,6 +31,25 @@ TEST(TripleStoreTest, AddAllReturnsDelta) {
   EXPECT_EQ(store.size(), 3u);
 }
 
+TEST(TripleStoreTest, RejectsWildcardComponents) {
+  // Id 0 is the pattern wildcard and the flat-hash empty-slot sentinel; a
+  // triple carrying it must bounce off the public API without touching the
+  // tables (this must hold in release builds, where asserts are gone).
+  TripleStore store;
+  EXPECT_FALSE(store.Add({kAnyTerm, 2, 3}));
+  EXPECT_FALSE(store.Add({1, kAnyTerm, 3}));
+  EXPECT_FALSE(store.Add({1, 2, kAnyTerm}));
+  TripleVec delta;
+  EXPECT_EQ(store.AddAll({{kAnyTerm, 2, 3}, {4, 5, 6}}, &delta), 1u);
+  EXPECT_EQ(delta, (TripleVec{{4, 5, 6}}));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_FALSE(store.Contains({kAnyTerm, 2, 3}));
+  EXPECT_EQ(store.stats().insert_attempts, 1u);  // only the valid offer
+  // Subsequent valid inserts are unaffected by the rejected ones.
+  EXPECT_TRUE(store.Add({7, 2, 3}));
+  EXPECT_TRUE(store.Contains({7, 2, 3}));
+}
+
 TEST(TripleStoreTest, ContainsExactTriples) {
   TripleStore store;
   store.Add({1, 2, 3});
