@@ -1,0 +1,292 @@
+// Dictionary contention microbench: multi-writer Encode throughput with
+// concurrent lock-free Decode readers, sharded dictionary vs. the
+// pre-sharding baseline.
+//
+// The baseline below is a faithful copy of the seed Dictionary: one global
+// shared_mutex around one std::unordered_map plus a deque arena, so every
+// unseen term serializes all encoders — the Input-Manager convoy this PR
+// removes. The contender is the current sharded, lock-striped Dictionary
+// (global atomic id counter, FlatStringMap per shard, lock-free decode).
+// Both run the same workload: W writer threads each encoding a stream of
+// mostly-fresh terms interleaved with a shared hot set (the vocabulary-like
+// read path) plus a re-encode pass over the first half (the seen-term
+// path), while W/2 reader threads decode random published ids.
+//
+// Output is one JSON object per (dictionary, writers) cell plus a summary
+// with the speedup at each thread count, e.g.:
+//   bench_dictionary_contention --quick --json=dict_contention.json
+// Flags: --quick (small N), --writers=1,2,4,8, --json=FILE, --terms=N.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "rdf/dictionary.h"
+#include "workload/chain_generator.h"
+
+namespace slider {
+namespace {
+
+/// The seed dictionary, verbatim: one global rwlock around one
+/// unordered_map and a deque arena. Kept here as the measured baseline.
+class SingleMutexDictionary {
+ public:
+  TermId Encode(std::string_view term) {
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      auto it = ids_.find(term);
+      if (it != ids_.end()) return it->second;
+    }
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto it = ids_.find(term);
+    if (it != ids_.end()) return it->second;
+    terms_.emplace_back(term);
+    const TermId id = kFirstTermId + static_cast<TermId>(terms_.size()) - 1;
+    ids_.emplace(std::string_view(terms_.back()), id);
+    return id;
+  }
+
+  const std::string& DecodeUnchecked(TermId id) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return terms_[id - kFirstTermId];
+  }
+
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return terms_.size();
+  }
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::deque<std::string> terms_;
+  std::unordered_map<std::string_view, TermId> ids_;
+};
+
+struct Cell {
+  std::string dictionary;
+  int writers = 0;
+  int readers = 0;
+  size_t encodes = 0;
+  size_t distinct = 0;
+  double seconds = 0;
+  double encodes_per_sec = 0;
+};
+
+constexpr size_t kHotTerms = 64;
+
+/// Per-writer term stream: mostly fresh writer-private IRIs (the unseen-term
+/// writer-lock path) interleaved with a shared hot set every 8th encode (the
+/// seen-term reader-lock path, like rdf:type in real ingestion). The hot set
+/// reuses the chain workload's class IRIs so the lexical shapes match the
+/// corpus generators.
+std::vector<std::string> MakeWriterStream(int writer, size_t per_writer) {
+  std::vector<std::string> out;
+  out.reserve(per_writer);
+  for (size_t i = 0; i < per_writer; ++i) {
+    if (i % 8 == 7) {
+      out.push_back(ChainGenerator::ClassIri(i % kHotTerms));
+    } else {
+      out.push_back("<http://slider.repro/bench/dataset/ontology/v2/writer" +
+                    std::to_string(writer) + "/resource/entity-" +
+                    std::to_string(i) + "#fragment>");
+    }
+  }
+  return out;
+}
+
+template <typename Dict>
+Cell RunCell(const std::string& name, int writers, size_t per_writer) {
+  Dict dict;
+  const int readers = std::max(1, writers / 2);
+
+  // Pre-generate streams so string construction stays out of the timed
+  // region.
+  std::vector<std::vector<std::string>> streams;
+  for (int w = 0; w < writers; ++w) {
+    streams.push_back(MakeWriterStream(w, per_writer));
+  }
+
+  // Readers decode random published ids, modelling rule executions
+  // translating ids back to terms during ingestion.
+  std::atomic<uint64_t> watermark{0};  // number of ids safely decodable
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> decoded{0};
+  std::vector<std::thread> reader_threads;
+  for (int r = 0; r < readers; ++r) {
+    reader_threads.emplace_back([&, r] {
+      Random rng(5000 + static_cast<uint64_t>(r));
+      size_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const uint64_t top = watermark.load(std::memory_order_acquire);
+        if (top > 0) {
+          const TermId id = kFirstTermId + rng.Uniform(top);
+          local += dict.DecodeUnchecked(id).size();
+        }
+        // Throttle: readers model translation traffic, not a spin loop — an
+        // unthrottled reader would also steal the writers' cores from the
+        // throughput being measured (see bench_store_contention).
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+      decoded.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+
+  // The hot set is pre-encoded so its ids are published before readers
+  // start sampling the watermark.
+  for (size_t i = 0; i < kHotTerms; ++i) {
+    dict.Encode(ChainGenerator::ClassIri(i));
+  }
+  watermark.store(kHotTerms, std::memory_order_release);
+
+  Stopwatch watch;
+  std::vector<std::thread> writer_threads;
+  for (int w = 0; w < writers; ++w) {
+    writer_threads.emplace_back([&, w] {
+      const std::vector<std::string>& stream = streams[w];
+      // First pass encodes (mostly unseen terms — the convoy path the
+      // sharding removes); second pass re-encodes the first half, so the
+      // seen-term fast path is part of every measured run (mirroring the
+      // store bench's duplicate re-offer pass).
+      for (const std::string& term : stream) {
+        dict.Encode(term);
+      }
+      for (size_t i = 0; i < stream.size() / 2; ++i) {
+        dict.Encode(stream[i]);
+      }
+    });
+  }
+  for (auto& th : writer_threads) th.join();
+  const double seconds = watch.ElapsedSeconds();
+  stop = true;
+  for (auto& th : reader_threads) th.join();
+
+  Cell cell;
+  cell.dictionary = name;
+  cell.writers = writers;
+  cell.readers = readers;
+  cell.encodes = static_cast<size_t>(writers) * (per_writer + per_writer / 2);
+  cell.distinct = dict.size();
+  cell.seconds = seconds;
+  cell.encodes_per_sec = seconds > 0 ? cell.encodes / seconds : 0;
+  return cell;
+}
+
+std::string CellJson(const Cell& c) {
+  std::ostringstream os;
+  os << "{\"bench\":\"dictionary_contention\",\"dictionary\":\""
+     << c.dictionary << "\",\"writers\":" << c.writers
+     << ",\"readers\":" << c.readers << ",\"encodes\":" << c.encodes
+     << ",\"distinct\":" << c.distinct << ",\"seconds\":" << c.seconds
+     << ",\"encodes_per_sec\":" << static_cast<uint64_t>(c.encodes_per_sec)
+     << "}";
+  return os.str();
+}
+
+/// Parses a positive integer, returning `fallback` on malformed input.
+uint64_t ParsePositive(const std::string& text, uint64_t fallback) {
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return fallback;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return text.empty() || value == 0 ? fallback : value;
+}
+
+std::vector<int> ParseWriters(const std::string& csv) {
+  std::vector<int> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const uint64_t v = ParsePositive(item, 0);
+    if (v > 0 && v <= 64) out.push_back(static_cast<int>(v));
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace slider
+
+int main(int argc, char** argv) {
+  using namespace slider;
+  using namespace slider::bench;
+
+  std::setvbuf(stdout, nullptr, _IONBF, 0);
+  const bool quick = HasFlag(argc, argv, "--quick");
+  const size_t per_writer = static_cast<size_t>(
+      ParsePositive(FlagValue(argc, argv, "--terms", ""),
+                    quick ? 20000 : 200000));
+  std::vector<int> writer_counts =
+      ParseWriters(FlagValue(argc, argv, "--writers", "1,2,4,8"));
+  if (writer_counts.empty()) {
+    std::fprintf(stderr, "no valid --writers values; using 1,2,4,8\n");
+    writer_counts = {1, 2, 4, 8};
+  }
+  const std::string json_path = FlagValue(argc, argv, "--json", "");
+
+  std::vector<std::string> lines;
+  std::vector<Cell> baseline_cells;
+  std::vector<Cell> sharded_cells;
+
+  std::printf("%-10s %8s %8s %12s %12s %10s\n", "dict", "writers", "readers",
+              "encodes", "encodes/s", "seconds");
+  for (int writers : writer_counts) {
+    Cell base =
+        RunCell<SingleMutexDictionary>("baseline", writers, per_writer);
+    Cell shard = RunCell<Dictionary>("sharded", writers, per_writer);
+    for (const Cell& c : {base, shard}) {
+      std::printf("%-10s %8d %8d %12zu %12llu %10.3f\n", c.dictionary.c_str(),
+                  c.writers, c.readers, c.encodes,
+                  static_cast<unsigned long long>(c.encodes_per_sec),
+                  c.seconds);
+      lines.push_back(CellJson(c));
+    }
+    baseline_cells.push_back(base);
+    sharded_cells.push_back(shard);
+  }
+
+  std::printf("\n%-10s %10s\n", "writers", "speedup");
+  for (size_t i = 0; i < baseline_cells.size(); ++i) {
+    const double speedup = baseline_cells[i].encodes_per_sec > 0
+                               ? sharded_cells[i].encodes_per_sec /
+                                     baseline_cells[i].encodes_per_sec
+                               : 0;
+    std::printf("%-10d %9.2fx\n", baseline_cells[i].writers, speedup);
+    std::ostringstream os;
+    os << "{\"bench\":\"dictionary_contention\",\"summary\":true,\"writers\":"
+       << baseline_cells[i].writers << ",\"speedup\":" << speedup << "}";
+    lines.push_back(os.str());
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "[\n";
+    for (size_t i = 0; i < lines.size(); ++i) {
+      out << "  " << lines[i] << (i + 1 < lines.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    out.flush();
+    if (out.good()) {
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -10,6 +10,7 @@
 // Run: ./examples/quickstart
 
 #include <cstdio>
+#include <string>
 
 #include "reason/reasoner.h"
 
@@ -57,9 +58,11 @@ int main() {
   std::printf("\nfacts about ada:\n");
   reasoner.store().ForEachMatch(
       TriplePattern{*ada, kAnyTerm, kAnyTerm}, [&](const Triple& t) {
-        std::printf("  %s %s %s\n", dict.DecodeUnchecked(t.s).c_str(),
-                    dict.DecodeUnchecked(t.p).c_str(),
-                    dict.DecodeUnchecked(t.o).c_str());
+        const std::string s_term(dict.DecodeUnchecked(t.s));
+        const std::string p_term(dict.DecodeUnchecked(t.p));
+        const std::string o_term(dict.DecodeUnchecked(t.o));
+        std::printf("  %s %s %s\n", s_term.c_str(), p_term.c_str(),
+                    o_term.c_str());
       });
 
   // Incremental update: a new fact streams in later; only the delta is

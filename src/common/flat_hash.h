@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -258,6 +259,135 @@ class FlatHashSet {
  private:
   struct Empty {};
   FlatHashMap<Empty> map_;
+};
+
+/// \brief Flat robin-hood hash map from string keys to non-zero uint64 ids —
+/// the dictionary's term→id index.
+///
+/// Keys are string_views into storage owned by the caller (the dictionary's
+/// per-shard arena); the map never copies or frees them, so keys must stay
+/// stable for the map's lifetime. Value 0 is reserved (kAnyTerm never names
+/// a term) and doubles as the empty-slot sentinel. The dictionary is
+/// append-only, so there is no erase.
+///
+/// Layout: probe metadata {hash, value} (16 bytes, four per cache line)
+/// lives in one array and the string_view keys in a parallel one. Probing
+/// walks only the metadata — comparing cached hashes before anything else —
+/// so a miss chain touches half the cache lines of a combined-slot layout
+/// and key memory is read only on a full 64-bit hash match, which for
+/// practical purposes is the answer. Rehashing never re-reads the strings.
+///
+/// Callers pass the key's HashString value explicitly: the dictionary hashes
+/// once per Encode and reuses the value for shard routing, the racy
+/// pre-check and the post-lock insert.
+class FlatStringMap {
+ public:
+  FlatStringMap() = default;
+  FlatStringMap(FlatStringMap&&) noexcept = default;
+  FlatStringMap& operator=(FlatStringMap&&) noexcept = default;
+  FlatStringMap(const FlatStringMap&) = delete;
+  FlatStringMap& operator=(const FlatStringMap&) = delete;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return meta_.size(); }
+
+  /// Pre-sizes the table for at least `n` entries without rehashing later.
+  void Reserve(size_t n) {
+    size_t cap = kMinCapacity;
+    while (cap * kMaxLoadNum < n * kMaxLoadDen) cap <<= 1;
+    if (cap > meta_.size()) Rehash(cap);
+  }
+
+  /// Returns the value stored for `key`, or 0 if absent. `hash` must be
+  /// HashString(key).
+  uint64_t Find(std::string_view key, size_t hash) const {
+    if (meta_.empty()) return 0;
+    size_t pos = hash & mask_;
+    size_t dist = 0;
+    while (true) {
+      const Meta& m = meta_[pos];
+      if (m.value == 0) return 0;
+      if (m.hash == hash && keys_[pos] == key) return m.value;
+      if (ProbeDistance(pos) < dist) return 0;
+      pos = (pos + 1) & mask_;
+      ++dist;
+    }
+  }
+
+  /// Inserts `key` → `value`. `key` must be absent (asserted in debug
+  /// builds: the dictionary re-checks under its writer lock before
+  /// inserting) and `value` nonzero.
+  void Insert(std::string_view key, size_t hash, uint64_t value) {
+    assert(value != 0 && "value 0 is the empty-slot sentinel");
+    assert(Find(key, hash) == 0 && "duplicate key");
+    MaybeGrow();
+    Meta incoming{hash, value};
+    std::string_view incoming_key = key;
+    size_t pos = hash & mask_;
+    size_t dist = 0;
+    while (true) {
+      Meta& m = meta_[pos];
+      if (m.value == 0) {
+        m = incoming;
+        keys_[pos] = incoming_key;
+        ++size_;
+        return;
+      }
+      const size_t resident_dist = ProbeDistance(pos);
+      if (resident_dist < dist) {
+        // Rob the richer resident; the displaced entry continues down the
+        // chain.
+        std::swap(m, incoming);
+        std::swap(keys_[pos], incoming_key);
+        dist = resident_dist;
+      }
+      pos = (pos + 1) & mask_;
+      ++dist;
+    }
+  }
+
+ private:
+  struct Meta {
+    size_t hash = 0;
+    uint64_t value = 0;  // 0 == empty
+  };
+
+  static constexpr size_t kMinCapacity = 16;
+  // Grow past 7/8 load, as FlatHashMap does.
+  static constexpr size_t kMaxLoadNum = 7;
+  static constexpr size_t kMaxLoadDen = 8;
+
+  size_t ProbeDistance(size_t pos) const {
+    return (pos - (meta_[pos].hash & mask_)) & mask_;
+  }
+
+  void MaybeGrow() {
+    if (meta_.empty()) {
+      Rehash(kMinCapacity);
+    } else if ((size_ + 1) * kMaxLoadDen > meta_.size() * kMaxLoadNum) {
+      Rehash(meta_.size() * 2);
+    }
+  }
+
+  void Rehash(size_t new_capacity) {
+    std::vector<Meta> old_meta = std::move(meta_);
+    std::vector<std::string_view> old_keys = std::move(keys_);
+    meta_ = std::vector<Meta>(new_capacity);
+    keys_ = std::vector<std::string_view>(new_capacity);
+    mask_ = new_capacity - 1;
+    size_ = 0;
+    for (size_t i = 0; i < old_meta.size(); ++i) {
+      if (old_meta[i].value != 0) {
+        Insert(old_keys[i], old_meta[i].hash, old_meta[i].value);
+      }
+    }
+  }
+
+  std::vector<Meta> meta_;
+  std::vector<std::string_view> keys_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
 };
 
 /// \brief A deduplicating row of term ids, optimized for the triple store's

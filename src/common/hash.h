@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
 
 namespace slider {
 
@@ -13,6 +14,35 @@ inline size_t HashCombine(size_t seed, uint64_t value) {
   x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
   x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
   return static_cast<size_t>(x ^ (x >> 31));
+}
+
+/// Hashes a byte string: 8-byte chunks folded with multiply-xor rounds and
+/// a splitmix64 finalizer. Word-at-a-time keeps the encode hot path cheap
+/// for IRI-sized keys (a byte-wise FNV costs ~5x more on 40-byte terms);
+/// the finalizer avalanches the low bits so the result can be masked to a
+/// power-of-two table capacity and have its high bits used for shard
+/// routing at the same time.
+inline size_t HashString(std::string_view s) {
+  const char* p = s.data();
+  size_t n = s.size();
+  uint64_t h = 0xCBF29CE484222325ULL ^ (n * 0x9E3779B97F4A7C15ULL);
+  while (n >= 8) {
+    uint64_t chunk;
+    __builtin_memcpy(&chunk, p, 8);
+    h = (h ^ chunk) * 0x9DDFEA08EB382D69ULL;
+    h ^= h >> 29;
+    p += 8;
+    n -= 8;
+  }
+  uint64_t tail = 0;
+  if (n > 0) {
+    __builtin_memcpy(&tail, p, n);
+    h = (h ^ tail) * 0x9DDFEA08EB382D69ULL;
+    h ^= h >> 29;
+  }
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
+  return static_cast<size_t>(h ^ (h >> 31));
 }
 
 /// Hashes three 64-bit ids (subject, predicate, object) into one value.

@@ -1,0 +1,38 @@
+#ifndef SLIDER_COMMON_SHARDING_H_
+#define SLIDER_COMMON_SHARDING_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <thread>
+
+namespace slider {
+
+/// \brief Shared stripe-sizing policy for the lock-striped containers
+/// (TripleStore, Dictionary).
+///
+/// A request of 0 sizes the stripe to the hardware: the next power of two
+/// >= hardware_concurrency, floored at `min_shards` so a container built on
+/// a small machine still spreads oversubscribed writer threads. A nonzero
+/// request is rounded up to a power of two (benches use 1 to reproduce a
+/// single-mutex baseline's contention profile). The result is clamped to
+/// `max_shards` so a bogus request cannot allocate an absurd stripe.
+
+inline size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+inline size_t ResolveShardCount(size_t requested, size_t min_shards,
+                                size_t max_shards) {
+  if (requested == 0) {
+    const size_t hw = std::thread::hardware_concurrency();
+    requested = std::max(hw == 0 ? size_t{1} : hw, min_shards);
+  }
+  // Clamp before rounding: NextPowerOfTwo overflows for inputs > 2^63.
+  return NextPowerOfTwo(std::min(requested, max_shards));
+}
+
+}  // namespace slider
+
+#endif  // SLIDER_COMMON_SHARDING_H_

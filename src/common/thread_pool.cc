@@ -17,15 +17,16 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() { Shutdown(); }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   SLIDER_CHECK(task != nullptr);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    SLIDER_CHECK(!shutdown_);
+    if (shutdown_) return false;
     queue_.push_back(std::move(task));
     peak_queue_depth_ = std::max(peak_queue_depth_, static_cast<uint64_t>(queue_.size()));
   }
   work_available_.notify_one();
+  return true;
 }
 
 void ThreadPool::WaitIdle() {

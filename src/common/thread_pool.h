@@ -32,8 +32,13 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Must not be called after Shutdown().
-  void Submit(std::function<void()> task);
+  /// Enqueues a task. Returns true if the task was accepted; false if the
+  /// pool has already shut down, in which case the task is discarded — a
+  /// submit racing a shutdown is an expected teardown interleaving, not a
+  /// programming error, so it must not crash the process. Callers that
+  /// cannot afford to lose work must order their submits before Shutdown()
+  /// themselves (as Reasoner::Flush does).
+  bool Submit(std::function<void()> task);
 
   /// Blocks until no task is queued or running. Tasks submitted while
   /// waiting (e.g. by other tasks) are also waited for.

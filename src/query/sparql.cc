@@ -194,7 +194,9 @@ class Parser {
       if (close == std::string_view::npos) {
         return Status::InvalidArgument("IRI not terminated");
       }
-      const std::string iri(text_.substr(pos_, close - pos_ + 1));
+      // Encode the view in place: the sharded dictionary copies the bytes
+      // into its own arena, so no temporary string is needed.
+      const std::string_view iri = text_.substr(pos_, close - pos_ + 1);
       pos_ = close + 1;
       return QueryTerm::Bound(dict_->Encode(iri));
     }
@@ -230,7 +232,7 @@ class Parser {
         }
         i = close + 1;
       }
-      const std::string literal(text_.substr(pos_, i - pos_));
+      const std::string_view literal = text_.substr(pos_, i - pos_);
       pos_ = i;
       return QueryTerm::Bound(dict_->Encode(literal));
     }

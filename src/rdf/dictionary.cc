@@ -1,23 +1,116 @@
 #include "rdf/dictionary.h"
 
+#include <cstring>
 #include <mutex>
 
+#include "common/macros.h"
+#include "common/sharding.h"
 #include "common/string_util.h"
 
 namespace slider {
 
-TermId Dictionary::Encode(std::string_view term) {
-  {
-    std::shared_lock<std::shared_mutex> lock(mu_);
-    auto it = ids_.find(term);
-    if (it != ids_.end()) return it->second;
+namespace {
+
+// Unlike the store — whose writers usually stream disjoint predicates into
+// disjoint shards — every encoder touches every dictionary shard (term
+// hashes are uniform), so the stripe must be wide enough that a writer
+// holding one shard's writer lock rarely blocks the others. A floor of 64
+// keeps that collision probability low even on small machines at ~100 bytes
+// per idle shard; the ceiling keeps a bogus request from allocating an
+// absurd stripe.
+constexpr size_t kMinShards = 64;
+constexpr size_t kMaxShards = 1024;
+
+}  // namespace
+
+Dictionary::Dictionary(size_t shard_count)
+    : shard_count_(ResolveShardCount(shard_count, kMinShards, kMaxShards)),
+      shard_mask_(shard_count_ - 1),
+      shards_(new Shard[shard_count_]),
+      chunks_(new std::atomic<Chunk*>[kMaxChunks]()) {}
+
+Dictionary::~Dictionary() {
+  for (size_t i = 0; i < kMaxChunks; ++i) {
+    delete chunks_[i].load(std::memory_order_relaxed);
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  auto it = ids_.find(term);
-  if (it != ids_.end()) return it->second;  // raced with another encoder
-  terms_.emplace_back(term);
-  const TermId id = kFirstTermId + static_cast<TermId>(terms_.size()) - 1;
-  ids_.emplace(std::string_view(terms_.back()), id);
+}
+
+const std::string_view* Dictionary::SlotLoad(TermId id) const {
+  const size_t index = static_cast<size_t>(id - kFirstTermId);
+  const Chunk* chunk =
+      chunks_[index >> kChunkBits].load(std::memory_order_acquire);
+  if (chunk == nullptr) return nullptr;
+  return chunk->slots[index & (kChunkSize - 1)].load(std::memory_order_acquire);
+}
+
+bool Dictionary::TryPublishSlot(TermId id, const std::string_view* term) {
+  const size_t index = static_cast<size_t>(id - kFirstTermId);
+  const size_t chunk_index = index >> kChunkBits;
+  SLIDER_CHECK(chunk_index < kMaxChunks);  // ~268M terms; raise kMaxChunks
+  std::atomic<Chunk*>& head = chunks_[chunk_index];
+  Chunk* chunk = head.load(std::memory_order_acquire);
+  if (chunk == nullptr) {
+    // Encoders on different shards can race here for the same fresh chunk;
+    // CAS picks a winner and the loser frees its allocation.
+    Chunk* fresh = new Chunk();
+    if (head.compare_exchange_strong(chunk, fresh,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      chunk = fresh;
+    } else {
+      delete fresh;
+    }
+  }
+  const std::string_view* expected = nullptr;
+  return chunk->slots[index & (kChunkSize - 1)]
+      .compare_exchange_strong(expected, term, std::memory_order_acq_rel,
+                               std::memory_order_acquire);
+}
+
+const std::string_view* Dictionary::ArenaStore(Shard& shard,
+                                               std::string_view term) {
+  // Bump-allocate the bytes. Oversized terms get a dedicated block so the
+  // bump blocks stay densely packed.
+  const size_t need = term.size();
+  char* dst;
+  if (need > kArenaBlockBytes) {
+    shard.oversized.push_back(std::make_unique<char[]>(need));
+    dst = shard.oversized.back().get();
+  } else {
+    if (shard.blocks.empty() || shard.block_used + need > kArenaBlockBytes) {
+      shard.blocks.push_back(std::make_unique<char[]>(kArenaBlockBytes));
+      shard.block_used = 0;
+    }
+    dst = shard.blocks.back().get() + shard.block_used;
+    shard.block_used += need;
+  }
+  std::memcpy(dst, term.data(), need);
+  shard.views.emplace_back(dst, need);
+  return &shard.views.back();
+}
+
+TermId Dictionary::Encode(std::string_view term) {
+  const size_t hash = HashString(term);
+  Shard& shard = shards_[ShardIndexFor(hash)];
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    const TermId id = shard.ids.Find(term, hash);
+    if (id != kAnyTerm) return id;
+  }
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  const TermId raced = shard.ids.Find(term, hash);
+  if (raced != kAnyTerm) return raced;  // raced with another encoder
+  const std::string_view* stored = ArenaStore(shard, term);
+  // The slot claim arbitrates against Restore: a Restore that raced onto
+  // the id this counter handed out wins the CAS, and the encoder just
+  // draws the next id (the watermark was already raised past the restored
+  // id, so this terminates immediately in practice).
+  TermId id;
+  do {
+    id = next_.fetch_add(1, std::memory_order_relaxed);
+  } while (!TryPublishSlot(id, stored));
+  shard.ids.Insert(*stored, hash, id);
+  count_.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
 
@@ -27,30 +120,73 @@ Triple Dictionary::EncodeTriple(std::string_view s, std::string_view p,
 }
 
 std::optional<TermId> Dictionary::Lookup(std::string_view term) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  auto it = ids_.find(term);
-  if (it == ids_.end()) return std::nullopt;
-  return it->second;
+  const size_t hash = HashString(term);
+  const Shard& shard = shards_[ShardIndexFor(hash)];
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  const TermId id = shard.ids.Find(term, hash);
+  if (id == kAnyTerm) return std::nullopt;
+  return id;
 }
 
 Result<std::string> Dictionary::Decode(TermId id) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  if (id < kFirstTermId || id > terms_.size()) {
+  const TermId end = next_.load(std::memory_order_acquire);
+  const std::string_view* term =
+      (id >= kFirstTermId && id < end) ? SlotLoad(id) : nullptr;
+  if (term == nullptr) {
     return Status::OutOfRange(
         Format("term id %llu not in dictionary (size %zu)",
-               static_cast<unsigned long long>(id), terms_.size()));
+               static_cast<unsigned long long>(id),
+               static_cast<size_t>(end - kFirstTermId)));
   }
-  return terms_[id - kFirstTermId];
+  return std::string(*term);
 }
 
-const std::string& Dictionary::DecodeUnchecked(TermId id) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  return terms_[id - kFirstTermId];
+std::string_view Dictionary::DecodeUnchecked(TermId id) const {
+  return *SlotLoad(id);
+}
+
+Status Dictionary::Restore(TermId id, std::string_view term) {
+  if (id < kFirstTermId ||
+      static_cast<size_t>(id - kFirstTermId) >= kMaxChunks * kChunkSize) {
+    return Status::InvalidArgument(
+        Format("cannot restore reserved or out-of-range id %llu",
+               static_cast<unsigned long long>(id)));
+  }
+  const size_t hash = HashString(term);
+  Shard& shard = shards_[ShardIndexFor(hash)];
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  const TermId existing = shard.ids.Find(term, hash);
+  if (existing != kAnyTerm) {
+    if (existing == id) return Status::OK();
+    return Status::InvalidArgument(
+        Format("term already bound to id %llu, cannot rebind to %llu",
+               static_cast<unsigned long long>(existing),
+               static_cast<unsigned long long>(id)));
+  }
+  // Raise the watermark BEFORE claiming the slot, so a concurrent Encode
+  // can no longer be handed `id` by the counter; an Encode that already
+  // drew it loses the slot CAS below and simply draws the next id.
+  TermId expected = next_.load(std::memory_order_relaxed);
+  while (expected < id + 1 &&
+         !next_.compare_exchange_weak(expected, id + 1,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+  }
+  const std::string_view* stored = ArenaStore(shard, term);
+  if (!TryPublishSlot(id, stored)) {
+    // Lost to a concurrent Encode/Restore that bound this id first. The
+    // arena bytes are leaked (a few dozen bytes, recovery-path only).
+    return Status::InvalidArgument(
+        Format("id %llu already bound to a different term",
+               static_cast<unsigned long long>(id)));
+  }
+  shard.ids.Insert(*stored, hash, id);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
 }
 
 size_t Dictionary::size() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  return terms_.size();
+  return count_.load(std::memory_order_acquire);
 }
 
 }  // namespace slider

@@ -1,31 +1,63 @@
 #ifndef SLIDER_RDF_DICTIONARY_H_
 #define SLIDER_RDF_DICTIONARY_H_
 
+#include <atomic>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
-#include <unordered_map>
+#include <vector>
 
+#include "common/flat_hash.h"
 #include "common/result.h"
 #include "rdf/term.h"
 
 namespace slider {
 
-/// \brief Thread-safe bidirectional mapping between RDF term strings and
-/// TermIds (the paper's Input Manager dictionary).
+/// \brief Sharded, lock-striped bidirectional mapping between RDF term
+/// strings and TermIds (the paper's Input Manager dictionary).
 ///
 /// Terms are stored in their N-Triples lexical form, e.g. "<http://ex/a>",
 /// "\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>", "_:b0", so encoding
 /// and decoding round-trip exactly.
 ///
-/// Concurrency: encoding takes a writer lock only for unseen terms; lookups
-/// and decoding take a reader lock, so parallel parsers and rule modules can
-/// translate concurrently ("multiple instances of input manager", §2).
+/// Layout. The term→id index is striped over N power-of-two shards keyed on
+/// the term's string hash (shard = high hash bits, like TripleStore), each
+/// shard owning its own shared_mutex, a FlatStringMap index and a deque
+/// arena giving stable string storage. The paper's Input Manager runs
+/// "multiple instances" that dictionary-encode concurrently; with the old
+/// single mutex every unseen term serialized all parsers — the same convoy
+/// the store shed when it was sharded.
+///
+/// Id assignment contract. Ids are handed out by one global atomic counter
+/// (a single uncontended fetch_add per *unseen* term — seen terms never
+/// touch it), so ids are globally unique and **dense**: after n distinct
+/// terms, exactly the ids kFirstTermId … kFirstTermId+n-1 are bound, in
+/// Encode-completion order. Single-threaded encoding therefore assigns
+/// sequential ids exactly as the pre-sharding dictionary did; concurrent
+/// encoders interleave the same dense range in nondeterministic order.
+/// kAnyTerm == 0 stays reserved and is never assigned.
+///
+/// Decoding is lock-free. Term bytes live in per-shard bump arenas (copied
+/// exactly once, no per-term heap allocation) and never move; each assigned
+/// id is published into an append-only two-level pointer table (release
+/// store) pointing at a stable string_view of those bytes.
+/// Decode/DecodeUnchecked acquire-load the slot and never take a lock, so
+/// rule executions and serializers translate ids without touching the
+/// encoder stripes at all.
+///
+/// Concurrency: Encode takes one shard's reader lock for seen terms and its
+/// writer lock only for unseen ones; Lookup takes one shard's reader lock;
+/// Decode/DecodeUnchecked/size take none.
 class Dictionary {
  public:
-  Dictionary() = default;
+  /// `shard_count` 0 (the default) sizes the stripe to the hardware, like
+  /// TripleStore; a nonzero count is rounded up to a power of two (benches
+  /// use 1 to reproduce the single-mutex contention profile).
+  explicit Dictionary(size_t shard_count = 0);
+  ~Dictionary();
 
   Dictionary(const Dictionary&) = delete;
   Dictionary& operator=(const Dictionary&) = delete;
@@ -40,21 +72,93 @@ class Dictionary {
   std::optional<TermId> Lookup(std::string_view term) const;
 
   /// Returns the lexical form of `id`; OutOfRange if the id was never
-  /// assigned.
+  /// assigned. Lock-free.
   Result<std::string> Decode(TermId id) const;
 
-  /// Unchecked decode for hot paths; `id` must have been assigned.
-  const std::string& DecodeUnchecked(TermId id) const;
+  /// Unchecked decode for hot paths; `id` must have been assigned (by an
+  /// Encode/Restore that happened-before this call). Lock-free. The view
+  /// stays valid for the dictionary's lifetime.
+  std::string_view DecodeUnchecked(TermId id) const;
 
-  /// Number of distinct terms registered.
+  /// Binds `term` to exactly `id` (recovery from a persisted dump). Fails
+  /// if `id` is already bound to a different term or `term` already has a
+  /// different id; re-binding an identical (id, term) pair is a no-op.
+  /// Works for any id order and any shard count — the dump format does not
+  /// depend on the writer's topology.
+  Status Restore(TermId id, std::string_view term);
+
+  /// Invokes fn(TermId, std::string_view) for every bound id in ascending
+  /// id order. Ids being assigned concurrently may be skipped (their string
+  /// is not yet published); meant for quiesced persistence/inspection.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    const TermId end = next_.load(std::memory_order_acquire);
+    for (TermId id = kFirstTermId; id < end; ++id) {
+      const std::string_view* term = SlotLoad(id);
+      if (term != nullptr) fn(id, *term);
+    }
+  }
+
+  /// Number of distinct terms registered. Equals the id watermark after
+  /// dense encoding; after a sparse Restore it counts only bound ids.
   size_t size() const;
 
+  /// Number of stripe shards (power of two; introspection/benches).
+  size_t shard_count() const { return shard_count_; }
+
  private:
-  mutable std::shared_mutex mu_;
-  // Deque gives stable string storage, so the map can key string_views into
-  // it without invalidation on growth.
-  std::deque<std::string> terms_;
-  std::unordered_map<std::string_view, TermId> ids_;
+  /// One lock stripe: index + arena. Cache-line aligned so encoders on
+  /// neighbouring shards do not false-share the mutex.
+  ///
+  /// The arena is a bump allocator over fixed blocks: term bytes are copied
+  /// in once and never move, so the index keys and the published decode
+  /// views stay valid without per-term heap allocations. `views` is a deque
+  /// so the string_view objects themselves are stable — the decode table
+  /// publishes their addresses.
+  struct alignas(64) Shard {
+    mutable std::shared_mutex mu;
+    FlatStringMap ids;                      // term → id, keys into the arena
+    std::vector<std::unique_ptr<char[]>> blocks;     // bump blocks
+    std::vector<std::unique_ptr<char[]>> oversized;  // terms > one block
+    size_t block_used = 0;                  // bytes used in blocks.back()
+    std::deque<std::string_view> views;     // stable view objects
+  };
+  static constexpr size_t kArenaBlockBytes = size_t{1} << 16;
+
+  // Decode table: two-level array of string pointers indexed by
+  // id - kFirstTermId. Chunks are allocated on demand (CAS, so racing
+  // encoders on different shards agree) and slots are published with a
+  // release store; readers acquire-load and never lock. 2^15 chunks of 2^13
+  // entries bound the dictionary at ~268M terms — SLIDER_CHECKed in Encode.
+  static constexpr size_t kChunkBits = 13;
+  static constexpr size_t kChunkSize = size_t{1} << kChunkBits;
+  static constexpr size_t kMaxChunks = size_t{1} << 15;
+  struct Chunk {
+    std::atomic<const std::string_view*> slots[kChunkSize];
+  };
+
+  /// Shard routing uses the hash's HIGH bits; FlatStringMap masks the same
+  /// hash with its low-bit capacity mask, so the two index spaces stay
+  /// independent (same trick as TripleStore::ShardIndex).
+  size_t ShardIndexFor(size_t hash) const { return (hash >> 32) & shard_mask_; }
+
+  const std::string_view* SlotLoad(TermId id) const;
+
+  /// Claims the decode slot for `id` (CAS nullptr → `term`). Returns false
+  /// if the slot is already bound — the arbitration between an Encode that
+  /// was handed `id` by the counter and a Restore that wants the same id.
+  bool TryPublishSlot(TermId id, const std::string_view* term);
+
+  /// Copies `term` into `shard`'s arena and returns the stable view object
+  /// to publish. Caller holds the shard writer lock.
+  const std::string_view* ArenaStore(Shard& shard, std::string_view term);
+
+  size_t shard_count_;
+  size_t shard_mask_;
+  std::unique_ptr<Shard[]> shards_;
+  std::unique_ptr<std::atomic<Chunk*>[]> chunks_;
+  std::atomic<TermId> next_{kFirstTermId};  // next unassigned id
+  std::atomic<size_t> count_{0};            // terms actually bound
 };
 
 }  // namespace slider

@@ -1,7 +1,10 @@
 #include "rdf/graph_io.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <memory>
+#include <thread>
 
 #include "common/macros.h"
 #include "common/string_util.h"
@@ -17,6 +20,100 @@ Result<TripleVec> LoadNTriplesString(std::string_view document, Dictionary* dict
         return Status::OK();
       });
   if (!st.ok()) return st;
+  return triples;
+}
+
+Result<TripleVec> LoadNTriplesStringParallel(std::string_view document,
+                                             Dictionary* dict,
+                                             size_t num_threads) {
+  if (num_threads == 0) {
+    const size_t hw = std::thread::hardware_concurrency();
+    num_threads = hw == 0 ? 1 : hw;
+  }
+  // One worker per ~64KB floor: tiny documents are not worth the thread
+  // spawn, and empty ranges would just burn a join.
+  num_threads = std::min(num_threads, document.size() / 65536 + 1);
+  if (num_threads <= 1) return LoadNTriplesString(document, dict);
+
+  // Newline-aligned byte ranges. Workers parse [start, end) where `end`
+  // lands just past a '\n' (or at EOF), so no statement straddles ranges.
+  struct Range {
+    size_t begin = 0;
+    size_t end = 0;
+    size_t first_line = 1;  // document-global number of its first line
+  };
+  std::vector<Range> ranges;
+  size_t cursor = 0;
+  for (size_t w = 0; w < num_threads && cursor < document.size(); ++w) {
+    Range r;
+    r.begin = cursor;
+    size_t target = cursor + (document.size() - cursor) / (num_threads - w);
+    if (target >= document.size()) {
+      target = document.size();
+    } else {
+      const size_t nl = document.find('\n', target);
+      target = nl == std::string_view::npos ? document.size() : nl + 1;
+    }
+    r.end = target;
+    cursor = target;
+    ranges.push_back(r);
+  }
+  for (size_t i = 1; i < ranges.size(); ++i) {
+    const std::string_view prior =
+        document.substr(ranges[i - 1].begin,
+                        ranges[i - 1].end - ranges[i - 1].begin);
+    ranges[i].first_line =
+        ranges[i - 1].first_line +
+        static_cast<size_t>(std::count(prior.begin(), prior.end(), '\n'));
+  }
+
+  // A failing worker flips `abort` so the others stop encoding: the
+  // dictionary is append-only, and a rejected document should not keep
+  // interning terms once the load is known to fail. (Terms encoded before
+  // the failure is noticed stay interned, as in the serial loader, which
+  // interns everything up to the error line.)
+  std::atomic<bool> abort{false};
+  std::vector<TripleVec> parsed(ranges.size());
+  std::vector<Status> results(ranges.size(), Status::OK());
+  std::vector<char> aborted(ranges.size(), 0);
+  std::vector<std::thread> workers;
+  workers.reserve(ranges.size());
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    workers.emplace_back([&, i] {
+      const Range& r = ranges[i];
+      results[i] = NTriplesParser::ParseDocument(
+          document.substr(r.begin, r.end - r.begin),
+          [&](const ParsedTriple& t) -> Status {
+            if (abort.load(std::memory_order_relaxed)) {
+              aborted[i] = 1;
+              return Status::Internal("aborted: parse failed elsewhere");
+            }
+            parsed[i].push_back(
+                dict->EncodeTriple(t.subject, t.predicate, t.object));
+            return Status::OK();
+          },
+          r.first_line);
+      if (!results[i].ok() && !aborted[i]) {
+        abort.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  // Report the earliest real failure (skipping workers that merely stopped
+  // because another range failed) so the error matches the serial loader's.
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (!aborted[i]) {
+      SLIDER_RETURN_NOT_OK(results[i]);
+    }
+  }
+  size_t total = 0;
+  for (const TripleVec& part : parsed) total += part.size();
+  TripleVec triples;
+  triples.reserve(total);
+  for (TripleVec& part : parsed) {
+    triples.insert(triples.end(), part.begin(), part.end());
+  }
   return triples;
 }
 

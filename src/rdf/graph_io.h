@@ -14,6 +14,21 @@ namespace slider {
 /// Parses an N-Triples document held in memory, encoding terms via `dict`.
 Result<TripleVec> LoadNTriplesString(std::string_view document, Dictionary* dict);
 
+/// Parses `document` with `num_threads` parser instances (the paper's
+/// "multiple instances" of the Input Manager), each dictionary-encoding
+/// concurrently against the sharded `dict`. The document is split into
+/// newline-aligned byte ranges, one per worker; triples are returned in
+/// document order and errors carry document-global line numbers, so a
+/// successful load is indistinguishable from LoadNTriplesString apart from
+/// the id assignment order inside `dict`. On a syntax error the other
+/// workers stop at their next statement, but terms they encoded before the
+/// failure was noticed stay interned (the serial loader likewise interns
+/// everything up to the error line). `num_threads` 0 sizes to the
+/// hardware; 1 falls back to the serial loader.
+Result<TripleVec> LoadNTriplesStringParallel(std::string_view document,
+                                             Dictionary* dict,
+                                             size_t num_threads = 0);
+
 /// Reads and parses an N-Triples file.
 Result<TripleVec> LoadNTriplesFile(const std::string& path, Dictionary* dict);
 

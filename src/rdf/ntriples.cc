@@ -9,6 +9,17 @@ namespace slider {
 
 namespace {
 
+/// True when the '.' at index `dot` terminates the statement rather than
+/// being part of the preceding token: it must be followed by end-of-line,
+/// whitespace or a comment. Blank-node labels may contain interior dots
+/// ("_:a.b"), so "_:b." before whitespace ends at "b" while "_:a.b" keeps
+/// the dot.
+bool DotTerminatesStatement(std::string_view line, size_t dot) {
+  const size_t next = dot + 1;
+  return next >= line.size() || line[next] == ' ' || line[next] == '\t' ||
+         line[next] == '#';
+}
+
 /// Consumes one RDF term starting at `pos`; returns the term's lexical form
 /// and advances `pos` past it. Returns an error for malformed terms.
 Result<std::string> ConsumeTerm(std::string_view line, size_t* pos,
@@ -29,12 +40,20 @@ Result<std::string> ConsumeTerm(std::string_view line, size_t* pos,
     }
     i = close + 1;
   } else if (c == '_') {
-    // Blank node label "_:name" up to whitespace.
+    // Blank node label "_:name" up to whitespace or the statement's '.'
+    // terminator ("<s> <p> _:b." must not swallow the dot into the label).
     if (i + 1 >= n || line[i + 1] != ':') {
       return Status::InvalidArgument("malformed blank node label");
     }
     i += 2;
-    while (i < n && line[i] != ' ' && line[i] != '\t') ++i;
+    const size_t label_start = i;
+    while (i < n && line[i] != ' ' && line[i] != '\t') {
+      if (line[i] == '.' && DotTerminatesStatement(line, i)) break;
+      ++i;
+    }
+    if (i == label_start) {
+      return Status::InvalidArgument("empty blank node label");
+    }
   } else if (c == '"') {
     if (!allow_literal) {
       return Status::InvalidArgument("literal not allowed in this position");
@@ -57,9 +76,19 @@ Result<std::string> ConsumeTerm(std::string_view line, size_t* pos,
     if (!closed) {
       return Status::InvalidArgument("unterminated literal");
     }
-    // Optional "@lang" or "^^<datatype>" suffix.
+    // Optional "@lang" or "^^<datatype>" suffix. Language tags never
+    // contain dots, so the tag stops before a terminating '.' as well
+    // ("\"chat\"@fr." must not swallow the dot into the tag).
     if (i < n && line[i] == '@') {
-      while (i < n && line[i] != ' ' && line[i] != '\t') ++i;
+      ++i;
+      const size_t tag_start = i;
+      while (i < n && line[i] != ' ' && line[i] != '\t') {
+        if (line[i] == '.' && DotTerminatesStatement(line, i)) break;
+        ++i;
+      }
+      if (i == tag_start) {
+        return Status::InvalidArgument("empty language tag");
+      }
     } else if (i + 1 < n && line[i] == '^' && line[i + 1] == '^') {
       i += 2;
       if (i >= n || line[i] != '<') {
@@ -104,8 +133,9 @@ Result<ParsedTriple> NTriplesParser::ParseLine(std::string_view line) {
 
 Status NTriplesParser::ParseDocument(
     std::string_view document,
-    const std::function<Status(const ParsedTriple&)>& sink) {
-  size_t line_no = 0;
+    const std::function<Status(const ParsedTriple&)>& sink,
+    size_t first_line) {
+  size_t line_no = first_line - 1;
   size_t start = 0;
   while (start <= document.size()) {
     size_t end = document.find('\n', start);

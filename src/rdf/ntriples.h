@@ -32,10 +32,13 @@ class NTriplesParser {
 
   /// Parses a whole document: skips blank lines and '#' comments, invokes
   /// `sink` per statement, and reports the first syntax error with its line
-  /// number.
+  /// number. `first_line` offsets the reported numbers so a caller feeding a
+  /// slice of a larger document (the parallel loader's per-worker ranges)
+  /// still reports document-global positions.
   static Status ParseDocument(
       std::string_view document,
-      const std::function<Status(const ParsedTriple&)>& sink);
+      const std::function<Status(const ParsedTriple&)>& sink,
+      size_t first_line = 1);
 };
 
 /// Serializes one statement as an N-Triples line (terms are already in

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/logging.h"
 #include "rdf/ntriples.h"
 
 namespace slider {
@@ -118,9 +119,17 @@ void Reasoner::RouteToModules(const TripleVec& delta,
 }
 
 void Reasoner::SubmitTask(int idx, TripleVec batch) {
-  pool_->Submit([this, idx, batch = std::move(batch)] {
+  const size_t batch_size = batch.size();
+  const bool accepted = pool_->Submit([this, idx, batch = std::move(batch)] {
     ExecuteRule(idx, batch);
   });
+  if (!accepted) {
+    // Only reachable when a flusher races the destructor's Shutdown();
+    // Flush() has already drained every batch that matters by then, but a
+    // silently dropped non-empty batch is still worth a trace in the log.
+    SLIDER_LOG(kWarning) << "rule batch of " << batch_size
+                         << " dropped: pool already shut down";
+  }
 }
 
 void Reasoner::ExecuteRule(int idx, const TripleVec& batch) {

@@ -4,14 +4,23 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 #include <utility>
 
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "rdf/graph_io.h"
-#include "rdf/ntriples.h"
 
 namespace slider {
+
+namespace {
+
+/// First line of a v2 dictionary dump. Dumps without it are read as the
+/// legacy format (one term per line, ids implied by line order), so
+/// repositories persisted before the dictionary was sharded still recover.
+constexpr const char kDictDumpHeader[] = "# slider-dict v2";
+
+}  // namespace
 
 Result<std::unique_ptr<Repository>> Repository::Open(
     const FragmentFactory& factory, Options options) {
@@ -62,13 +71,11 @@ std::string Repository::DictPath() const {
 
 Result<Repository::LoadStats> Repository::Load(std::string_view ntriples_document) {
   Stopwatch watch;
-  TripleVec parsed;
-  Status st = NTriplesParser::ParseDocument(
-      ntriples_document, [&](const ParsedTriple& t) -> Status {
-        parsed.push_back(dict_.EncodeTriple(t.subject, t.predicate, t.object));
-        return Status::OK();
-      });
-  if (!st.ok()) return st;
+  // Parallel parser instances encode concurrently against the sharded
+  // dictionary; triples come back in document order, so load semantics are
+  // unchanged.
+  SLIDER_ASSIGN_OR_RETURN(
+      TripleVec parsed, LoadNTriplesStringParallel(ntriples_document, &dict_));
   SLIDER_ASSIGN_OR_RETURN(LoadStats stats, AddTriples(parsed));
   stats.parsed = parsed.size();
   stats.seconds = watch.ElapsedSeconds();  // include parsing, as OWLIM does
@@ -116,12 +123,18 @@ Status Repository::PersistDictionary() const {
   if (file == nullptr) {
     return Status::IOError(Format("cannot write '%s'", DictPath().c_str()));
   }
-  const size_t n = dict_.size();
-  for (TermId id = kFirstTermId; id < kFirstTermId + n; ++id) {
-    const std::string& term = dict_.DecodeUnchecked(id);
+  // v2 dump: explicit (id, term) pairs, one per line, tab-separated. The
+  // format carries the ids instead of relying on re-encode order, so it is
+  // independent of the dictionary's shard topology and of the
+  // (concurrency-dependent) order ids were assigned in. Terms never contain
+  // '\n' (the parser is line-oriented), and only the first '\t' separates.
+  std::fputs(kDictDumpHeader, file);
+  std::fputc('\n', file);
+  dict_.ForEach([&](TermId id, std::string_view term) {
+    std::fprintf(file, "%llu\t", static_cast<unsigned long long>(id));
     std::fwrite(term.data(), 1, term.size(), file);
     std::fputc('\n', file);
-  }
+  });
   std::fflush(file);
   ::fsync(::fileno(file));
   if (std::fclose(file) != 0) {
@@ -181,22 +194,60 @@ Result<std::unique_ptr<Repository>> Repository::Recover(
   repo->options_ = options;
   repo->factory_ = factory;
 
-  // Rebuild the dictionary first so recovered ids stay aligned.
+  // Rebuild the dictionary first so recovered ids stay aligned with the
+  // replayed statement records.
   std::FILE* file = std::fopen(dict_path.c_str(), "rb");
   if (file == nullptr) {
     return Status::IOError(Format("cannot read '%s'", dict_path.c_str()));
   }
-  std::string term;
-  int c;
-  while ((c = std::fgetc(file)) != EOF) {
-    if (c == '\n') {
-      repo->dict_.Encode(term);
-      term.clear();
-    } else {
-      term.push_back(static_cast<char>(c));
-    }
+  std::string dump;
+  char buffer[1 << 16];
+  size_t read;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    dump.append(buffer, read);
   }
   std::fclose(file);
+
+  std::string_view rest = dump;
+  bool v2 = false;
+  size_t line_no = 0;
+  while (!rest.empty()) {
+    size_t eol = rest.find('\n');
+    if (eol == std::string_view::npos) eol = rest.size();
+    const std::string_view line = rest.substr(0, eol);
+    rest = eol < rest.size() ? rest.substr(eol + 1) : std::string_view();
+    ++line_no;
+    if (line_no == 1 && line == kDictDumpHeader) {
+      v2 = true;
+      continue;
+    }
+    if (line.empty()) continue;
+    if (!v2) {
+      // Legacy dump: one term per line, id implied by line order. The
+      // sharded dictionary's global counter reproduces sequential ids
+      // exactly for a single-threaded re-encode.
+      repo->dict_.Encode(line);
+      continue;
+    }
+    const size_t tab = line.find('\t');
+    if (tab == std::string_view::npos) {
+      return Status::InvalidArgument(
+          Format("'%s' line %zu: missing id/term separator",
+                 dict_path.c_str(), line_no));
+    }
+    TermId id = kAnyTerm;
+    for (const char digit : line.substr(0, tab)) {
+      if (digit < '0' || digit > '9' ||
+          id > (std::numeric_limits<TermId>::max() -
+                static_cast<TermId>(digit - '0')) /
+                   10) {
+        return Status::InvalidArgument(Format(
+            "'%s' line %zu: malformed term id", dict_path.c_str(), line_no));
+      }
+      id = id * 10 + static_cast<TermId>(digit - '0');
+    }
+    SLIDER_RETURN_NOT_OK(repo->dict_.Restore(id, line.substr(tab + 1)));
+  }
 
   repo->vocab_ = Vocabulary::Register(&repo->dict_);
   repo->store_ = std::make_unique<TripleStore>();

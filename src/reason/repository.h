@@ -79,9 +79,11 @@ class Repository {
   Result<LoadStats> AddTriples(const TripleVec& triples);
 
   /// Commits the repository state to disk: flushes the statement log,
-  /// persists the dictionary and writes the two statement indexes (PSO and
-  /// POS sort order). Part of a repository load, so the comparative benches
-  /// include it in the baseline's measured time.
+  /// persists the dictionary (v2 dump: explicit id→term pairs, independent
+  /// of the dictionary's shard topology and id-assignment order) and writes
+  /// the two statement indexes (PSO and POS sort order). Part of a
+  /// repository load, so the comparative benches include it in the
+  /// baseline's measured time.
   Status Checkpoint();
 
   /// Rebuilds a repository's store from its statement log and dictionary

@@ -1,8 +1,8 @@
 #include "store/triple_store.h"
 
-#include <algorithm>
 #include <mutex>
-#include <thread>
+
+#include "common/sharding.h"
 
 namespace slider {
 
@@ -10,21 +10,6 @@ namespace {
 
 constexpr size_t kMinShards = 8;
 constexpr size_t kMaxShards = 1024;
-
-size_t NextPowerOfTwo(size_t n) {
-  size_t p = 1;
-  while (p < n) p <<= 1;
-  return p;
-}
-
-size_t ResolveShardCount(size_t requested) {
-  if (requested == 0) {
-    const size_t hw = std::thread::hardware_concurrency();
-    requested = std::max(hw == 0 ? size_t{1} : hw, kMinShards);
-  }
-  // Clamp before rounding: NextPowerOfTwo overflows for inputs > 2^63.
-  return NextPowerOfTwo(std::min(requested, kMaxShards));
-}
 
 /// Id 0 is the match wildcard and the flat-hash empty-slot sentinel; a
 /// triple carrying it is not a fact and must never reach the tables.
@@ -35,7 +20,7 @@ bool IsStorable(const Triple& t) {
 }  // namespace
 
 TripleStore::TripleStore(size_t shard_count)
-    : shard_count_(ResolveShardCount(shard_count)),
+    : shard_count_(ResolveShardCount(shard_count, kMinShards, kMaxShards)),
       shard_mask_(shard_count_ - 1),
       shards_(new Shard[shard_count_]) {}
 

@@ -83,6 +83,62 @@ TEST(DictionaryTest, ConcurrentEncodersAgreeOnIds) {
   EXPECT_EQ(*distinct.rbegin(), kFirstTermId + kTerms - 1);
 }
 
+TEST(DictionaryTest, ShardCountIsPowerOfTwoAndConfigurable) {
+  Dictionary defaulted;
+  EXPECT_GE(defaulted.shard_count(), 1u);
+  EXPECT_EQ(defaulted.shard_count() & (defaulted.shard_count() - 1), 0u);
+  Dictionary single(1);
+  EXPECT_EQ(single.shard_count(), 1u);
+  Dictionary rounded(5);
+  EXPECT_EQ(rounded.shard_count(), 8u);
+}
+
+TEST(DictionaryTest, SingleShardStillAssignsSequentialIds) {
+  Dictionary dict(1);
+  EXPECT_EQ(dict.Encode("<http://ex/a>"), kFirstTermId);
+  EXPECT_EQ(dict.Encode("<http://ex/b>"), kFirstTermId + 1);
+  EXPECT_EQ(dict.DecodeUnchecked(kFirstTermId), "<http://ex/a>");
+}
+
+TEST(DictionaryTest, RestoreBindsExactIds) {
+  Dictionary dict;
+  ASSERT_TRUE(dict.Restore(7, "<http://ex/seven>").ok());
+  ASSERT_TRUE(dict.Restore(3, "<http://ex/three>").ok());
+  EXPECT_EQ(dict.DecodeUnchecked(7), "<http://ex/seven>");
+  EXPECT_EQ(dict.DecodeUnchecked(3), "<http://ex/three>");
+  EXPECT_EQ(dict.Lookup("<http://ex/three>"), std::optional<TermId>(3));
+  // Ids below the restored watermark that were never bound stay unknown.
+  EXPECT_TRUE(dict.Decode(5).status().IsOutOfRange());
+  // Fresh encodes continue above the highest restored id.
+  EXPECT_EQ(dict.Encode("<http://ex/fresh>"), 8u);
+}
+
+TEST(DictionaryTest, RestoreIsIdempotentButRejectsConflicts) {
+  Dictionary dict;
+  ASSERT_TRUE(dict.Restore(2, "<http://ex/a>").ok());
+  EXPECT_TRUE(dict.Restore(2, "<http://ex/a>").ok());  // identical: no-op
+  EXPECT_FALSE(dict.Restore(2, "<http://ex/b>").ok());  // id taken
+  EXPECT_FALSE(dict.Restore(9, "<http://ex/a>").ok());  // term taken
+  EXPECT_FALSE(dict.Restore(kAnyTerm, "<http://ex/zero>").ok());  // reserved
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(DictionaryTest, ForEachVisitsBoundIdsInAscendingOrder) {
+  Dictionary dict;
+  dict.Encode("<http://ex/a>");
+  dict.Encode("<http://ex/b>");
+  dict.Encode("<http://ex/c>");
+  std::vector<TermId> ids;
+  std::vector<std::string> terms;
+  dict.ForEach([&](TermId id, std::string_view term) {
+    ids.push_back(id);
+    terms.emplace_back(term);
+  });
+  EXPECT_EQ(ids, (std::vector<TermId>{1, 2, 3}));
+  EXPECT_EQ(terms, (std::vector<std::string>{"<http://ex/a>", "<http://ex/b>",
+                                             "<http://ex/c>"}));
+}
+
 TEST(VocabularyTest, RegistersDistinctInterpretedTerms) {
   Dictionary dict;
   const Vocabulary v = Vocabulary::Register(&dict);

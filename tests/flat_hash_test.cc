@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <deque>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -175,6 +176,67 @@ TEST(FlatHashSetTest, AgreesWithStdUnorderedSetUnderRandomOps) {
   std::sort(drained.begin(), drained.end());
   std::sort(expected.begin(), expected.end());
   EXPECT_EQ(drained, expected);
+}
+
+TEST(FlatStringMapTest, InsertAndFindRoundTrip) {
+  FlatStringMap map;
+  std::vector<std::string> keys;  // stable storage, as the dictionary arena
+  keys.reserve(500);
+  for (int i = 0; i < 500; ++i) {
+    keys.push_back("<http://ex/term/" + std::to_string(i) + ">");
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    map.Insert(keys[i], HashString(keys[i]), i + 1);
+  }
+  EXPECT_EQ(map.size(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(map.Find(keys[i], HashString(keys[i])), i + 1);
+  }
+  EXPECT_EQ(map.Find("<http://ex/absent>", HashString("<http://ex/absent>")),
+            0u);
+}
+
+TEST(FlatStringMapTest, ReservePreventsRehash) {
+  FlatStringMap map;
+  map.Reserve(1000);
+  const size_t cap = map.capacity();
+  EXPECT_GE(cap, 1000u);
+  std::vector<std::string> keys;
+  keys.reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    keys.push_back("k" + std::to_string(i));
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    map.Insert(keys[i], HashString(keys[i]), i + 1);
+  }
+  EXPECT_EQ(map.capacity(), cap) << "Reserve must pre-size past 1000 inserts";
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(map.Find(keys[i], HashString(keys[i])), i + 1);
+  }
+}
+
+TEST(FlatStringMapTest, MatchesReferenceUnderRandomWorkload) {
+  FlatStringMap map;
+  std::unordered_map<std::string, uint64_t> reference;
+  std::deque<std::string> storage;
+  Random rng(42);
+  for (int step = 0; step < 4000; ++step) {
+    const std::string key = "<http://ex/r/" + std::to_string(rng.Uniform(2000)) + ">";
+    const size_t hash = HashString(key);
+    auto it = reference.find(key);
+    if (it == reference.end()) {
+      const uint64_t value = reference.size() + 1;
+      storage.push_back(key);  // stable bytes, like the arena
+      map.Insert(storage.back(), hash, value);
+      reference.emplace(key, value);
+    } else {
+      EXPECT_EQ(map.Find(key, hash), it->second);
+    }
+  }
+  EXPECT_EQ(map.size(), reference.size());
+  for (const auto& [key, value] : reference) {
+    EXPECT_EQ(map.Find(key, HashString(key)), value);
+  }
 }
 
 TEST(DedupRowTest, KeepsInsertionOrderAndRejectsDuplicates) {

@@ -54,6 +54,60 @@ TEST(NTriplesParserTest, ToleratesExtraWhitespace) {
   EXPECT_EQ(r->subject, "<http://a>");
 }
 
+TEST(NTriplesParserTest, ParsesBlankNodeDirectlyBeforeTerminator) {
+  auto r = NTriplesParser::ParseLine("<http://s> <http://p> _:b.");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->object, "_:b");
+}
+
+TEST(NTriplesParserTest, ParsesBlankNodeBeforeTerminatorAndComment) {
+  auto r = NTriplesParser::ParseLine("<http://s> <http://p> _:b.# note");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->object, "_:b");
+}
+
+TEST(NTriplesParserTest, KeepsInteriorDotInBlankNodeLabel) {
+  auto r = NTriplesParser::ParseLine("_:a.b <http://p> _:c.d .");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->subject, "_:a.b");
+  EXPECT_EQ(r->object, "_:c.d");
+}
+
+TEST(NTriplesParserTest, ParsesLangtagDirectlyBeforeTerminator) {
+  auto r = NTriplesParser::ParseLine("<http://a> <http://p> \"chat\"@fr.");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->object, "\"chat\"@fr");
+}
+
+TEST(NTriplesParserTest, ParsesDatatypeIriDirectlyBeforeTerminator) {
+  auto r = NTriplesParser::ParseLine(
+      "<http://a> <http://p> \"42\"^^<http://www.w3.org/2001/XMLSchema#int>.");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->object, "\"42\"^^<http://www.w3.org/2001/XMLSchema#int>");
+}
+
+TEST(NTriplesParserTest, ParsesIriObjectDirectlyBeforeTerminator) {
+  auto r = NTriplesParser::ParseLine("<http://a> <http://p> <http://b>.");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->object, "<http://b>");
+}
+
+TEST(NTriplesParserTest, RejectsEmptyBlankNodeLabel) {
+  EXPECT_FALSE(NTriplesParser::ParseLine("<http://s> <http://p> _: .").ok());
+  EXPECT_FALSE(NTriplesParser::ParseLine("<http://s> <http://p> _:.").ok());
+}
+
+TEST(NTriplesParserTest, RejectsEmptyLanguageTag) {
+  EXPECT_FALSE(NTriplesParser::ParseLine("<http://a> <http://p> \"x\"@ .").ok());
+  EXPECT_FALSE(NTriplesParser::ParseLine("<http://a> <http://p> \"x\"@.").ok());
+}
+
+TEST(NTriplesParserTest, ParsesEscapedBackslashAsFinalLiteralChar) {
+  auto r = NTriplesParser::ParseLine(R"(<http://a> <http://p> "x\\" .)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->object, R"("x\\")");
+}
+
 TEST(NTriplesParserTest, RejectsLiteralSubject) {
   auto r = NTriplesParser::ParseLine("\"v\" <http://p> <http://b> .");
   EXPECT_FALSE(r.ok());
@@ -113,6 +167,15 @@ TEST(ParseDocumentTest, ReportsLineNumberOfError) {
   EXPECT_NE(st.message().find("line 2"), std::string::npos) << st.ToString();
 }
 
+TEST(ParseDocumentTest, FirstLineOffsetsReportedLineNumbers) {
+  const char* doc = "<a> <p> <b> .\nbroken line\n";
+  Status st = NTriplesParser::ParseDocument(
+      doc, [](const ParsedTriple&) { return Status::OK(); },
+      /*first_line=*/100);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("line 101"), std::string::npos) << st.ToString();
+}
+
 TEST(ParseDocumentTest, PropagatesSinkError) {
   const char* doc = "<a> <p> <b> .\n";
   Status st = NTriplesParser::ParseDocument(doc, [](const ParsedTriple&) {
@@ -155,6 +218,47 @@ TEST(GraphIoTest, FileRoundTrip) {
   ASSERT_TRUE(loaded.ok());
   ASSERT_EQ(loaded->size(), 2u);
   EXPECT_EQ(dict2.DecodeUnchecked((*loaded)[1].o), "\"v\"@en");
+}
+
+TEST(GraphIoTest, ParallelLoadMatchesSerialLoad) {
+  // Enough statements that the parallel loader actually splits (the 64KB
+  // floor would otherwise fall back to the serial path).
+  std::string doc;
+  for (int i = 0; i < 2000; ++i) {
+    doc += "<http://ex/s" + std::to_string(i) + "> <http://ex/p" +
+           std::to_string(i % 7) + "> \"value " + std::to_string(i) + "\" .\n";
+  }
+  Dictionary serial_dict;
+  auto serial = LoadNTriplesString(doc, &serial_dict);
+  ASSERT_TRUE(serial.ok());
+
+  Dictionary parallel_dict;
+  auto parallel = LoadNTriplesStringParallel(doc, &parallel_dict, 4);
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(parallel->size(), serial->size());
+  // Ids may differ (assignment order is concurrent), but position i must
+  // decode to the same statement — document order is preserved.
+  for (size_t i = 0; i < serial->size(); ++i) {
+    EXPECT_EQ(parallel_dict.DecodeUnchecked((*parallel)[i].s),
+              serial_dict.DecodeUnchecked((*serial)[i].s));
+    EXPECT_EQ(parallel_dict.DecodeUnchecked((*parallel)[i].p),
+              serial_dict.DecodeUnchecked((*serial)[i].p));
+    EXPECT_EQ(parallel_dict.DecodeUnchecked((*parallel)[i].o),
+              serial_dict.DecodeUnchecked((*serial)[i].o));
+  }
+}
+
+TEST(GraphIoTest, ParallelLoadReportsGlobalLineNumbers) {
+  std::string doc;
+  for (int i = 0; i < 3000; ++i) {
+    doc += "<http://ex/s" + std::to_string(i) + "> <http://ex/p> <http://ex/o> .\n";
+  }
+  doc += "broken statement\n";  // line 3001
+  Dictionary dict;
+  auto loaded = LoadNTriplesStringParallel(doc, &dict, 4);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 3001"), std::string::npos)
+      << loaded.status().ToString();
 }
 
 TEST(GraphIoTest, MissingFileIsIOError) {

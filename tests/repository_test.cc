@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "workload/chain_generator.h"
 
@@ -110,6 +114,58 @@ TEST(RepositoryTest, PersistsAndRecovers) {
   EXPECT_EQ((*recovered)->store().size(),
             ChainGenerator::InputSize(12) +
                 ChainGenerator::ExpectedRhoDfInferred(12));
+}
+
+TEST(RepositoryTest, RecoveryPreservesDictionaryIds) {
+  const std::string dir = FreshDir("repo_recover_ids");
+  Repository::Options options;
+  options.storage_dir = dir;
+  std::vector<std::pair<TermId, std::string>> bindings;
+  {
+    auto repo = Repository::Open(RhoDfFactory(), options);
+    ASSERT_TRUE(repo.ok());
+    ASSERT_TRUE((*repo)->Load(ChainGenerator::GenerateNTriples(8)).ok());
+    ASSERT_TRUE((*repo)->Checkpoint().ok());
+    (*repo)->dictionary()->ForEach([&](TermId id, std::string_view term) {
+      bindings.emplace_back(id, std::string(term));
+    });
+    ASSERT_FALSE(bindings.empty());
+  }
+  auto recovered = Repository::Recover(RhoDfFactory(), options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  // The statement log stores raw ids, so recovery must rebind every term to
+  // exactly the id it had — regardless of shard topology or the order ids
+  // were assigned in by the (concurrent) original load.
+  for (const auto& [id, term] : bindings) {
+    EXPECT_EQ((*recovered)->dictionary()->DecodeUnchecked(id), term);
+  }
+}
+
+TEST(RepositoryTest, RecoversLegacyDictionaryDump) {
+  const std::string dir = FreshDir("repo_recover_legacy");
+  Repository::Options options;
+  options.storage_dir = dir;
+  {
+    auto repo = Repository::Open(RhoDfFactory(), options);
+    ASSERT_TRUE(repo.ok());
+    ASSERT_TRUE((*repo)->Load(ChainGenerator::GenerateNTriples(8)).ok());
+    ASSERT_TRUE((*repo)->Checkpoint().ok());
+    // Rewrite the dump in the pre-sharding format: terms in id order, one
+    // per line, no header.
+    std::vector<std::pair<TermId, std::string>> bindings;
+    (*repo)->dictionary()->ForEach([&](TermId id, std::string_view term) {
+      bindings.emplace_back(id, std::string(term));
+    });
+    std::ofstream legacy(dir + "/dictionary.dump", std::ios::trunc);
+    for (const auto& [id, term] : bindings) {
+      legacy << term << "\n";
+    }
+  }
+  auto recovered = Repository::Recover(RhoDfFactory(), options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ((*recovered)->store().size(),
+            ChainGenerator::InputSize(8) +
+                ChainGenerator::ExpectedRhoDfInferred(8));
 }
 
 TEST(RepositoryTest, RecoverRequiresStorageDir) {

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <chrono>
 #include <thread>
+#include <vector>
 
 namespace slider {
 namespace {
@@ -60,6 +61,42 @@ TEST(ThreadPoolTest, ShutdownDrainsQueue) {
     pool.Shutdown();
   }
   EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownIsRejectedNotFatal) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  EXPECT_TRUE(pool.Submit([&] { count.fetch_add(1); }));
+  pool.Shutdown();
+  // A submit racing (or following) shutdown is dropped gracefully — the old
+  // behaviour was a SLIDER_CHECK crash.
+  EXPECT_FALSE(pool.Submit([&] { count.fetch_add(1); }));
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitsRacingShutdownNeverCrash) {
+  std::atomic<int> accepted{0};
+  std::atomic<int> rejected{0};
+  ThreadPool pool(2);
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        if (pool.Submit([] {})) {
+          accepted.fetch_add(1);
+        } else {
+          rejected.fetch_add(1);
+        }
+      }
+    });
+  }
+  pool.Shutdown();
+  for (auto& th : submitters) th.join();
+  // Every accepted task ran (Shutdown drains); every other submit was
+  // rejected cleanly.
+  EXPECT_EQ(accepted.load() + rejected.load(), 2000);
+  EXPECT_EQ(pool.stats().tasks_executed,
+            static_cast<uint64_t>(accepted.load()));
 }
 
 TEST(ThreadPoolTest, StatsTrackPeakQueueDepth) {
