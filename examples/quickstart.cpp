@@ -5,7 +5,9 @@
 //   2. feed N-Triples (explicit triples are stored and routed to the rule
 //      modules as they arrive);
 //   3. Flush() to complete the closure;
-//   4. query the triple store through patterns and decode results.
+//   4. query the triple store through patterns and decode results;
+//   5. Retract() explicit facts — the closure is maintained incrementally
+//      (DRed over-delete/rederive), not recomputed from scratch.
 //
 // Run: ./examples/quickstart
 
@@ -77,6 +79,33 @@ int main() {
   const auto faculty = dict.Lookup("<http://uni/Faculty>");
   const auto type = dict.Lookup(iri::kRdfType);
   std::printf("\nafter the late fact, grace is Faculty: %s\n",
+              reasoner.store().Contains({*grace, *type, *faculty}) ? "yes"
+                                                                   : "no");
+  std::printf("total triples in store: %zu\n", reasoner.store().size());
+
+  // Incremental retraction: withdrawing <ada lectures cs101> over-deletes
+  // its inference cone — <ada teaches cs101>, <cs101 type Course>,
+  // <ada type Faculty>, … — then rederives what is still supported (DRed):
+  // ada keeps Faculty through the explicit <ada type Professor> and
+  // Professor ⊑ Faculty, while the teaching facts are gone for good. Only
+  // the cone is touched; a batch repository would re-materialise the world.
+  const Triple withdrawn = d->EncodeTriple(
+      "<http://uni/ada>", "<http://uni/lectures>", "<http://uni/cs101>");
+  const Reasoner::RetractStats retract = reasoner.RetractTriple(withdrawn);
+  const auto ada_id = dict.Lookup("<http://uni/ada>");
+  const auto teaches = dict.Lookup("<http://uni/teaches>");
+  const auto cs101 = dict.Lookup("<http://uni/cs101>");
+  std::printf("\nretracted <ada lectures cs101>: removed %zu triples, "
+              "rederived %zu, in %zu deletion rounds\n",
+              retract.overdeleted, retract.rederived, retract.delete_rounds);
+  std::printf("ada still teaches cs101: %s (the cone is gone)\n",
+              reasoner.store().Contains({*ada_id, *teaches, *cs101}) ? "yes"
+                                                                     : "no");
+  std::printf("ada is still Faculty: %s (rederived: Professor subClassOf "
+              "Faculty)\n",
+              reasoner.store().Contains({*ada_id, *type, *faculty}) ? "yes"
+                                                                    : "no");
+  std::printf("grace is still Faculty: %s (independent support)\n",
               reasoner.store().Contains({*grace, *type, *faculty}) ? "yes"
                                                                    : "no");
   std::printf("total triples in store: %zu\n", reasoner.store().size());

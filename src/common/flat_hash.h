@@ -102,6 +102,16 @@ class FlatHashMap {
       if (s.key != 0) fn(s.key, s.value);
     }
   }
+
+  /// Like ForEach, but fn returns bool and a true stops the scan. Returns
+  /// whether any invocation returned true (existence probes).
+  template <typename Fn>
+  bool ForEachUntil(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.key != 0 && fn(s.key, s.value)) return true;
+    }
+    return false;
+  }
   template <typename Fn>
   void ForEach(Fn&& fn) {
     for (Slot& s : slots_) {
@@ -390,53 +400,158 @@ class FlatStringMap {
   size_t size_ = 0;
 };
 
-/// \brief A deduplicating row of term ids, optimized for the triple store's
-/// per-(predicate, subject) object lists.
+/// \brief A deduplicating row of term ids with per-id support flags,
+/// optimized for the triple store's per-(predicate, subject) object lists.
 ///
 /// Most rows hold a handful of ids, so membership starts as a linear scan of
 /// the inline vector (one or two cache lines, no extra memory). Once a row
-/// outgrows kSpillThreshold it builds a FlatHashSet shadow index and keeps it
-/// in sync, so inserts stay O(1) even for the rare huge row (e.g. the objects
-/// of a transitive predicate's closure). Iteration order is insertion order.
+/// outgrows kSpillThreshold it builds a FlatHashMap shadow index mapping each
+/// id to its slot, so inserts, membership and erases stay O(1) even for the
+/// rare huge row (e.g. the objects of a transitive predicate's closure).
+///
+/// Each id carries one support flag (the store's explicit-vs-inferred bit),
+/// settable both ways: a retracted explicit triple may survive as inferred,
+/// and a re-asserted inferred triple is promoted to explicit.
+///
+/// Erase is tombstone-based: the slot's id is overwritten with 0 (never a
+/// valid term id) and iteration skips it; once tombstones outnumber live
+/// entries the row compacts in place, preserving insertion order, and the
+/// spill index is rebuilt. Iteration order is therefore insertion order of
+/// the currently live ids.
 class DedupRow {
  public:
-  /// Appends `v` if absent. Returns true iff it was new.
-  bool Insert(uint64_t v) {
-    if (!index_.empty()) {
-      if (!index_.Insert(v)) return false;
-      items_.push_back(v);
-      return true;
+  /// Outcome of an Insert offer.
+  enum class InsertResult {
+    kNew,        ///< id was absent and is now stored
+    kDuplicate,  ///< id was present; support flag unchanged
+    kPromoted,   ///< id was present as inferred and is now explicit
+  };
+
+  /// Appends `v` if absent with the given support; promotes an existing
+  /// inferred entry to explicit when `is_explicit` is true.
+  InsertResult Insert(uint64_t v, bool is_explicit = true) {
+    const size_t pos = FindPos(v);
+    if (pos != kNoPos) {
+      if (is_explicit && flags_[pos] == 0) {
+        flags_[pos] = 1;
+        return InsertResult::kPromoted;
+      }
+      return InsertResult::kDuplicate;
     }
-    for (uint64_t x : items_) {
-      if (x == v) return false;
+    if (spilled_) {
+      index_[v] = static_cast<uint32_t>(items_.size());
     }
     items_.push_back(v);
-    if (items_.size() > kSpillThreshold) {
-      index_.Reserve(items_.size() * 2);
-      for (uint64_t x : items_) index_.Insert(x);
-    }
+    flags_.push_back(is_explicit ? 1 : 0);
+    ++live_;
+    if (!spilled_ && live_ > kSpillThreshold) Spill();
+    return InsertResult::kNew;
+  }
+
+  bool Contains(uint64_t v) const { return FindPos(v) != kNoPos; }
+
+  /// True iff `v` is present with explicit support.
+  bool IsExplicit(uint64_t v) const {
+    const size_t pos = FindPos(v);
+    return pos != kNoPos && flags_[pos] != 0;
+  }
+
+  /// Sets the support flag of `v`. Returns +1 if the flag flipped, 0 if `v`
+  /// is present and already had that support, -1 if `v` is absent.
+  int SetSupport(uint64_t v, bool is_explicit) {
+    const size_t pos = FindPos(v);
+    if (pos == kNoPos) return -1;
+    const uint8_t want = is_explicit ? 1 : 0;
+    if (flags_[pos] == want) return 0;
+    flags_[pos] = want;
+    return 1;
+  }
+
+  /// Tombstones `v`. Returns true iff it was present. Compacts once dead
+  /// slots outnumber live ones.
+  bool Erase(uint64_t v) {
+    const size_t pos = FindPos(v);
+    if (pos == kNoPos) return false;
+    items_[pos] = 0;
+    flags_[pos] = 0;
+    --live_;
+    if (spilled_) index_.Erase(v);
+    const size_t dead = items_.size() - live_;
+    if (dead > live_ && dead >= kSpillThreshold / 2) Compact();
     return true;
   }
 
-  bool Contains(uint64_t v) const {
-    if (!index_.empty()) return index_.Contains(v);
-    for (uint64_t x : items_) {
-      if (x == v) return true;
+  size_t size() const { return live_; }
+  bool empty() const { return live_ == 0; }
+
+  /// Invokes fn(id) for every live id, in insertion order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (uint64_t v : items_) {
+      if (v != 0) fn(v);
     }
-    return false;
   }
 
-  size_t size() const { return items_.size(); }
-  bool empty() const { return items_.empty(); }
-
-  /// All ids, in insertion order.
-  const std::vector<uint64_t>& items() const { return items_; }
+  /// Invokes fn(id, is_explicit) for every live id, in insertion order.
+  template <typename Fn>
+  void ForEachFlagged(Fn&& fn) const {
+    for (size_t i = 0; i < items_.size(); ++i) {
+      if (items_[i] != 0) fn(items_[i], flags_[i] != 0);
+    }
+  }
 
  private:
   static constexpr size_t kSpillThreshold = 16;
+  static constexpr size_t kNoPos = static_cast<size_t>(-1);
 
-  std::vector<uint64_t> items_;
-  FlatHashSet index_;  // engaged (non-empty) once items_ spills
+  size_t FindPos(uint64_t v) const {
+    if (spilled_) {
+      const uint32_t* pos = index_.Find(v);
+      return pos == nullptr ? kNoPos : *pos;
+    }
+    for (size_t i = 0; i < items_.size(); ++i) {
+      if (items_[i] == v) return i;
+    }
+    return kNoPos;
+  }
+
+  void Spill() {
+    spilled_ = true;
+    index_.Reserve(items_.size() * 2);
+    for (size_t i = 0; i < items_.size(); ++i) {
+      if (items_[i] != 0) index_[items_[i]] = static_cast<uint32_t>(i);
+    }
+  }
+
+  /// Removes tombstones in place, keeping insertion order, and rebuilds the
+  /// spill index (slot numbers change) — or drops it entirely when the row
+  /// has shrunk back under the threshold, so a once-huge row that was
+  /// mostly retracted stops paying hash-map memory and indirection.
+  void Compact() {
+    size_t w = 0;
+    for (size_t r = 0; r < items_.size(); ++r) {
+      if (items_[r] == 0) continue;
+      items_[w] = items_[r];
+      flags_[w] = flags_[r];
+      ++w;
+    }
+    items_.resize(w);
+    flags_.resize(w);
+    if (spilled_) {
+      index_ = FlatHashMap<uint32_t>();
+      if (live_ <= kSpillThreshold) {
+        spilled_ = false;
+      } else {
+        Spill();
+      }
+    }
+  }
+
+  std::vector<uint64_t> items_;  // 0 marks a tombstoned slot
+  std::vector<uint8_t> flags_;   // parallel to items_; 1 = explicit support
+  size_t live_ = 0;
+  bool spilled_ = false;
+  FlatHashMap<uint32_t> index_;  // id -> slot, engaged once items_ spills
 };
 
 }  // namespace slider

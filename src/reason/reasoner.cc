@@ -1,5 +1,6 @@
 #include "reason/reasoner.h"
 
+#include <unordered_map>
 #include <utility>
 
 #include "common/logging.h"
@@ -76,10 +77,18 @@ void Reasoner::StoreAndRoute(const TripleVec& batch,
                              const std::vector<int>& candidates, bool is_input) {
   if (batch.empty()) return;
   // Store first: the completeness invariant requires a triple to be visible
-  // to store-side joins before any buffer holds it.
+  // to store-side joins before any buffer holds it. Input carries explicit
+  // support; a re-asserted inferred triple is promoted without re-routing
+  // (its consequences are already materialised).
   TripleVec delta;
   delta.reserve(batch.size());
-  store_.AddAll(batch, &delta);
+  size_t promoted = 0;
+  store_.AddAll(batch, &delta, /*is_explicit=*/is_input,
+                is_input ? &promoted : nullptr);
+  if (promoted != 0) {
+    explicit_count_.fetch_add(promoted);
+    inferred_count_.fetch_sub(promoted);
+  }
   if (delta.empty()) return;
   if (is_input) {
     explicit_count_.fetch_add(delta.size());
@@ -141,11 +150,11 @@ void Reasoner::ExecuteRule(int idx, const TripleVec& batch) {
   Trace(TraceEventType::kRuleExecuted, module.rule->name(), batch.size());
   if (produced.empty()) return;
 
-  // Distributor: store (dedup) then route only the new triples to the
-  // dependency-graph successors.
+  // Distributor: store (dedup, inferred support) then route only the new
+  // triples to the dependency-graph successors.
   TripleVec delta;
   delta.reserve(produced.size());
-  store_.AddAll(produced, &delta);
+  store_.AddAll(produced, &delta, /*is_explicit=*/false);
   if (delta.empty()) return;
   module.inferred_new.fetch_add(delta.size());
   inferred_count_.fetch_add(delta.size());
@@ -179,6 +188,202 @@ void Reasoner::Flush() {
       }
     }
   }
+}
+
+Reasoner::RetractStats Reasoner::Retract(const TripleVec& batch) {
+  RetractStats stats;
+  stats.requested = batch.size();
+  // Quiescence: the DRed phases assume no in-flight rule task mutates the
+  // store while the cone is walked. Flush() drains the pipeline; the
+  // timeout scanner stays harmless because every buffer remains empty until
+  // the rederive phase feeds them again.
+  Flush();
+  std::lock_guard<std::mutex> guard(retract_mu_);
+
+  // Phase 1 (demote): victims lose their explicit support. Offers that are
+  // absent or inferred-only are not assertions and are ignored; SetSupport
+  // also deduplicates repeated offers, since only the first flips the flag.
+  TripleVec round;
+  for (const Triple& t : batch) {
+    if (store_.SetSupport(t, /*is_explicit=*/false) != 1) continue;
+    round.push_back(t);
+  }
+  stats.retracted = round.size();
+  if (round.empty()) return stats;
+  explicit_count_.fetch_sub(round.size());
+
+  // Phase 2 (over-delete): walk the deletion cone in rounds. Each round's
+  // delta is joined against the store by every module that admits it —
+  // while the delta is still stored, so a pair whose two antecedents die in
+  // the same retraction is seen by whichever side is processed first, the
+  // mirror of the insert path's store-before-route invariant — and only
+  // then erased. Consequences that survive as explicit facts stop the cone;
+  // the rest become the next round's delta, routed along the dependency
+  // graph exactly like inserted triples are.
+  const size_t num_modules = modules_.size();
+  std::vector<TripleVec> pending(num_modules);
+  for (size_t m = 0; m < num_modules; ++m) {
+    for (const Triple& t : round) {
+      if (modules_[m]->rule->AcceptsPredicate(t.p)) pending[m].push_back(t);
+    }
+  }
+  TripleSet deleted;
+  std::vector<TripleVec> outs(num_modules);
+  while (!round.empty()) {
+    ++stats.delete_rounds;
+    for (size_t m = 0; m < num_modules; ++m) {
+      outs[m].clear();
+      if (pending[m].empty()) continue;
+      pool_->Submit([this, m, &pending, &outs] {
+        modules_[m]->rule->Apply(pending[m], store_, &outs[m]);
+      });
+    }
+    pool_->WaitIdle();
+    for (const Triple& t : round) {
+      if (store_.Erase(t)) {
+        deleted.insert(t);
+        ++stats.overdeleted;
+      }
+    }
+    // Route the fresh candidates. `routed` both deduplicates the round and
+    // records which successor buffers a candidate already reached when two
+    // producers feed the same module (the mask degrades to per-producer
+    // routing past 64 rules, which only costs duplicate deletion work).
+    std::unordered_map<Triple, uint64_t, TripleHash> routed;
+    std::vector<TripleVec> next_pending(num_modules);
+    TripleVec next_round;
+    for (size_t m = 0; m < num_modules; ++m) {
+      stats.delete_derivations += outs[m].size();
+      for (const Triple& c : outs[m]) {
+        if (!store_.Contains(c) || store_.IsExplicit(c)) continue;
+        auto [it, fresh] = routed.try_emplace(c, 0);
+        if (fresh) next_round.push_back(c);
+        for (int s : modules_[m]->successors) {
+          if (!modules_[s]->rule->AcceptsPredicate(c.p)) continue;
+          if (s < 64) {
+            const uint64_t bit = 1ull << s;
+            if ((it->second & bit) != 0) continue;
+            it->second |= bit;
+          }
+          next_pending[static_cast<size_t>(s)].push_back(c);
+        }
+      }
+    }
+    round.swap(next_round);
+    pending.swap(next_pending);
+  }
+  // Victims were demoted before the cone walk, so every erased triple held
+  // inferred support at erase time; the victims themselves were never
+  // inferred, which the counter arithmetic restores here in one step.
+  inferred_count_.fetch_sub(stats.overdeleted - stats.retracted);
+
+  // Phase 3 (rederive): over-deletion is conservative — a deleted triple
+  // may still be derivable from the survivors. Each over-deleted triple is
+  // tested directly with the rules' deletion-mode backward checks
+  // (Rule::CanDerive: one-step derivability from the current store);
+  // restored triples re-enter with inferred support and can support further
+  // restorations, so the passes iterate to a fixpoint. This keeps the
+  // rederivation cost proportional to the deleted cone — forward re-seeding
+  // would re-join entire hub neighborhoods (every rdf:type survivor for one
+  // retracted type assertion) to restore a handful of facts.
+  //
+  // Rules without a check fall back to exactly that forward scheme, scoped
+  // to their own modules: the survivors anchored on a deleted subject or
+  // object (rule locality, see Rule) are re-fed through those buffers and
+  // the re-added triples cascade through the ordinary insert path.
+  std::vector<int> fallback_modules;
+  std::vector<int> checked_modules;
+  for (int m = 0; m < static_cast<int>(num_modules); ++m) {
+    if (modules_[static_cast<size_t>(m)]->rule->SupportsRederiveCheck()) {
+      checked_modules.push_back(m);
+    } else {
+      fallback_modules.push_back(m);
+    }
+  }
+  const size_t size_before = store_.size();
+  TripleVec remaining(deleted.begin(), deleted.end());
+  // Mixed fragments must reach a *joint* fixpoint: a triple restored by a
+  // checked rule can be the antecedent of a check-less rule's consequence
+  // and vice versa, so the outer loop alternates the two mechanisms until a
+  // whole round makes no progress. Fragments using only one mechanism exit
+  // after a single round — each inner scheme is a fixpoint by itself.
+  while (!remaining.empty()) {
+    const size_t size_at_round_start = store_.size();
+
+    if (!fallback_modules.empty()) {
+      FlatHashSet terms;
+      for (const Triple& t : remaining) {
+        terms.Insert(t.s);
+        terms.Insert(t.o);
+      }
+      TripleSet seed_set;
+      TripleVec seeds;
+      const auto collect = [&](const Triple& t) {
+        if (seed_set.insert(t).second) seeds.push_back(t);
+      };
+      terms.ForEach([&](uint64_t u) {
+        const TermId id = static_cast<TermId>(u);
+        store_.ForEachMatch(TriplePattern{id, kAnyTerm, kAnyTerm}, collect);
+        store_.ForEachMatch(TriplePattern{kAnyTerm, kAnyTerm, id}, collect);
+      });
+      stats.rederive_seeds += seeds.size();
+      if (!seeds.empty()) {
+        RouteToModules(seeds, fallback_modules);
+        Flush();
+      }
+      // Drop what the fallback cascade restored.
+      TripleVec still_missing;
+      for (const Triple& t : remaining) {
+        if (!store_.Contains(t)) still_missing.push_back(t);
+      }
+      remaining.swap(still_missing);
+    }
+
+    while (!remaining.empty() && !checked_modules.empty()) {
+      TripleVec restored;
+      TripleVec still_missing;
+      for (const Triple& t : remaining) {
+        bool derivable = false;
+        for (int m : checked_modules) {
+          const Rule& rule = *modules_[static_cast<size_t>(m)]->rule;
+          // Head-shape pre-filter: skip rules that cannot emit t's
+          // predicate.
+          if (!rule.OutputsAnyPredicate()) {
+            bool emits = false;
+            for (TermId p : rule.OutputPredicates()) {
+              if (p == t.p) {
+                emits = true;
+                break;
+              }
+            }
+            if (!emits) continue;
+          }
+          ++stats.rederive_checks;
+          if (rule.CanDerive(t, store_)) {
+            derivable = true;
+            break;
+          }
+        }
+        if (derivable) {
+          restored.push_back(t);
+        } else {
+          still_missing.push_back(t);
+        }
+      }
+      if (restored.empty()) break;
+      // Restored triples need no routing: anything they can support is
+      // either a survivor (already stored) or over-deleted (checked again
+      // next pass against the store that now contains them).
+      store_.AddAll(restored, nullptr, /*is_explicit=*/false);
+      inferred_count_.fetch_add(restored.size());
+      remaining.swap(still_missing);
+    }
+
+    if (fallback_modules.empty() || checked_modules.empty()) break;
+    if (store_.size() == size_at_round_start) break;  // joint fixpoint
+  }
+  stats.rederived = store_.size() - size_before;
+  return stats;
 }
 
 bool Reasoner::AllBuffersEmpty() const {

@@ -41,10 +41,36 @@ namespace slider {
 /// execution time. Property tests verify the resulting closure equals the
 /// batch closure under many buffer sizes, timeouts and thread counts.
 ///
+/// Retraction (DRed). Retract() removes explicit triples and maintains the
+/// materialisation with the classic over-delete/rederive scheme instead of
+/// recomputing from scratch:
+///  1. *demote* — the victims lose their explicit support flag;
+///  2. *over-delete* — each rule module runs in deletion mode along the
+///     rules dependency graph: a deletion delta is joined against the store
+///     (Rule::Apply, while the delta is still stored, mirroring the insert
+///     path's store-before-route invariant so pairs deleted together are
+///     still found), and every non-explicit consequence joins the next
+///     round's delta before being erased. Explicit survivors act as base
+///     facts and stop the cone.
+///  3. *rederive* — over-deletion is conservative, so each over-deleted
+///     triple is tested against the surviving closure with the rules'
+///     deletion-mode backward checks (Rule::CanDerive), iterated to a
+///     fixpoint so restored triples can support further restorations. Rules
+///     without a check fall back to neighborhood re-seeding: the survivors
+///     anchored on a deleted subject/object are re-fed through just those
+///     modules (rule locality — see Rule — guarantees such a seed exists
+///     for every rederivable consequence).
+/// The result equals a from-scratch closure of the surviving explicit set;
+/// the randomized closure-oracle property tests assert exactly that.
+///
 /// Thread-safety: AddTriple/AddTriples/AddNTriples may be called
 /// concurrently. Flush() blocks until the closure of everything added
 /// before the call is complete (adds racing with Flush may or may not be
-/// covered). Accessors may be called at any time; counters are monotone.
+/// covered). Retract() must not run concurrently with adds: it reaches
+/// quiescence via Flush() and assumes the store only changes under its own
+/// control until it returns (concurrent Retracts serialize on an internal
+/// mutex). Accessors may be called at any time; explicit/inferred counters
+/// track the *live* population, so Retract decreases them.
 class Reasoner {
  public:
   /// Builds the engine: registers the vocabulary into a fresh dictionary,
@@ -72,6 +98,28 @@ class Reasoner {
   /// force-flushes buffers and waits for the task cascade to drain.
   void Flush();
 
+  /// Counters of one Retract() call (hardware-independent work measures;
+  /// the demo GUI and bench_incremental report them).
+  struct RetractStats {
+    size_t requested = 0;      ///< triples offered for retraction
+    size_t retracted = 0;      ///< distinct victims that were asserted
+    size_t overdeleted = 0;    ///< triples erased by over-deletion (incl. victims)
+    size_t rederive_seeds = 0; ///< survivors re-fed for check-less rules
+    size_t rederived = 0;      ///< over-deleted triples restored by rederivation
+    size_t delete_rounds = 0;  ///< over-deletion rounds until the cone closed
+    uint64_t delete_derivations = 0;   ///< rule outputs in deletion mode
+    uint64_t rederive_checks = 0;      ///< CanDerive probes during rederivation
+  };
+
+  /// Retracts a batch of explicit triples and incrementally maintains the
+  /// materialisation (DRed; see the class comment). Offers that are not
+  /// currently asserted — absent or inferred-only — are ignored. Blocks
+  /// until the closure is consistent again.
+  RetractStats Retract(const TripleVec& batch);
+
+  /// Retracts one explicit triple.
+  RetractStats RetractTriple(const Triple& t) { return Retract({t}); }
+
   Dictionary* dictionary() { return &dict_; }
   const Dictionary& dictionary() const { return dict_; }
   const Vocabulary& vocabulary() const { return vocab_; }
@@ -80,10 +128,12 @@ class Reasoner {
   const DependencyGraph& dependency_graph() const { return graph_; }
   const ReasonerOptions& options() const { return options_; }
 
-  /// Distinct explicit triples accepted so far.
+  /// Distinct explicit triples currently asserted (retraction demotes or
+  /// removes; re-asserting an inferred triple promotes).
   size_t explicit_count() const { return explicit_count_.load(); }
 
-  /// Distinct inferred triples produced so far.
+  /// Distinct inferred triples currently stored (explicit_count() +
+  /// inferred_count() == store().size() at quiescence).
   size_t inferred_count() const { return inferred_count_.load(); }
 
   /// Per-module counters — the numbers shown by the demo GUI (§4).
@@ -155,6 +205,8 @@ class Reasoner {
   std::thread timeout_thread_;
   /// Serialises buffer→task transfers against Flush()'s quiescence check.
   std::mutex transfer_mu_;
+  /// Serialises Retract() calls against each other.
+  std::mutex retract_mu_;
 };
 
 }  // namespace slider

@@ -107,6 +107,67 @@ Result<Repository::LoadStats> Repository::AddTriples(const TripleVec& triples) {
   return stats;
 }
 
+Result<Repository::LoadStats> Repository::RemoveTriples(const TripleVec& triples) {
+  Stopwatch watch;
+  LoadStats stats;
+  // Plan the removal without mutating any member state, so a failed
+  // recompute leaves the repository consistent and the call retryable.
+  TripleSet removed;
+  for (const Triple& t : triples) {
+    if (explicit_set_.count(t) > 0) removed.insert(t);
+  }
+  if (removed.empty()) {
+    stats.seconds = watch.ElapsedSeconds();
+    return stats;
+  }
+  TripleVec kept;
+  kept.reserve(explicit_.size() - removed.size());
+  for (const Triple& t : explicit_) {
+    if (removed.count(t) == 0) kept.push_back(t);
+  }
+
+  // Batch semantics, deletions included: wipe and re-materialise from the
+  // surviving explicit statements. The old store is kept alive until the
+  // recompute succeeds: on failure it is restored wholesale (the partial
+  // records the failed run may have logged are all members of the old
+  // closure, so an ordered replay is unaffected). The inference core
+  // re-logs the new closure; the tombstones for everything the recompute
+  // dropped follow it, which an ordered replay applies correctly because no
+  // dropped statement appears among the re-logged records.
+  const TripleSet old_closure = store_->SnapshotSet();
+  std::unique_ptr<TripleStore> old_store = std::move(store_);
+  store_ = std::make_unique<TripleStore>();
+  ResetEngine();
+  const auto rollback = [&] {
+    store_ = std::move(old_store);
+    ResetEngine();
+  };
+  Result<MaterializeStats> materialized = RunInference(kept);
+  if (!materialized.ok()) {
+    rollback();
+    return materialized.status();
+  }
+  stats.materialize = *materialized;
+  if (log_ != nullptr) {
+    for (const Triple& t : old_closure) {
+      if (!store_->Contains(t)) {
+        const Status appended = log_->AppendTombstone(t);
+        if (!appended.ok()) {
+          // Roll back before the explicit set is touched: a retry re-runs
+          // the recompute and re-appends the full closure + tombstone
+          // sequence, after which an ordered replay converges again.
+          rollback();
+          return appended;
+        }
+      }
+    }
+  }
+  explicit_.swap(kept);
+  explicit_set_ = TripleSet(explicit_.begin(), explicit_.end());
+  stats.seconds = watch.ElapsedSeconds();
+  return stats;
+}
+
 Status Repository::Checkpoint() {
   if (log_ != nullptr) {
     SLIDER_RETURN_NOT_OK(log_->Flush());
@@ -188,7 +249,8 @@ Result<std::unique_ptr<Repository>> Repository::Recover(
   const std::string log_path = options.storage_dir + "/statements.log";
   const std::string dict_path = options.storage_dir + "/dictionary.dump";
 
-  SLIDER_ASSIGN_OR_RETURN(TripleVec statements, StatementLog::ReadAll(log_path));
+  SLIDER_ASSIGN_OR_RETURN(std::vector<StatementLog::Record> records,
+                          StatementLog::ReadRecords(log_path));
 
   auto repo = std::unique_ptr<Repository>(new Repository());
   repo->options_ = options;
@@ -252,10 +314,21 @@ Result<std::unique_ptr<Repository>> Repository::Recover(
   repo->vocab_ = Vocabulary::Register(&repo->dict_);
   repo->store_ = std::make_unique<TripleStore>();
   // The log contains explicit and inferred statements alike; replaying it
-  // restores the full closure without re-running inference.
+  // in order — tombstones removing, later re-adds restoring — reconstructs
+  // the surviving closure without re-running inference. Legacy logs have no
+  // tombstone records and replay exactly as before.
+  TripleSet present;
+  for (const StatementLog::Record& r : records) {
+    if (r.tombstone) {
+      present.erase(r.triple);
+    } else {
+      present.insert(r.triple);
+    }
+  }
+  TripleVec statements(present.begin(), present.end());
   repo->store_->AddAll(statements, nullptr);
   repo->explicit_ = statements;  // conservative: closure is now explicit
-  repo->explicit_set_ = TripleSet(statements.begin(), statements.end());
+  repo->explicit_set_ = std::move(present);
   repo->ResetEngine();
   return repo;
 }

@@ -53,7 +53,11 @@ class Repository {
     size_t log_flush_interval = 10000;
     /// If true (the default, faithful to batch systems), AddTriples wipes
     /// the store and re-materialises from all explicit statements; if
-    /// false, updates are folded in incrementally.
+    /// false, additions are folded in incrementally. Deletions are accepted
+    /// in both modes (RemoveTriples) but always pay a full recompute: the
+    /// set-oriented batch cores have no retraction path, which is exactly
+    /// the baseline asymmetry bench_incremental measures against
+    /// Reasoner::Retract.
     bool recompute_on_update = true;
     InferenceMode inference = InferenceMode::kStatementAtATime;
   };
@@ -78,6 +82,15 @@ class Repository {
   /// whole closure is recomputed from scratch.
   Result<LoadStats> AddTriples(const TripleVec& triples);
 
+  /// Removes explicit statements and re-materialises the closure from the
+  /// surviving explicit set — the batch systems' "initiate the reasoning
+  /// process from the start" update drawback, now measurable for deletions
+  /// too. Statements the repository never loaded are ignored. Tombstone
+  /// records for everything the recompute dropped are appended to the
+  /// statement log, so Recover's ordered replay converges on the new
+  /// closure even though earlier log records still assert the old one.
+  Result<LoadStats> RemoveTriples(const TripleVec& triples);
+
   /// Commits the repository state to disk: flushes the statement log,
   /// persists the dictionary (v2 dump: explicit id→term pairs, independent
   /// of the dictionary's shard topology and id-assignment order) and writes
@@ -87,7 +100,10 @@ class Repository {
   Status Checkpoint();
 
   /// Rebuilds a repository's store from its statement log and dictionary
-  /// dump (durability/recovery path; exercised by tests).
+  /// dump (durability/recovery path; exercised by tests). The log is
+  /// replayed in append order, additions and tombstones alike, so a
+  /// repository that retracted statements recovers the post-retraction
+  /// closure; legacy logs without tombstones replay as pure additions.
   static Result<std::unique_ptr<Repository>> Recover(
       const FragmentFactory& factory, Options options);
 

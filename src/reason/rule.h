@@ -26,6 +26,26 @@ namespace slider {
 /// Apply must be thread-safe and must not mutate the store; it only appends
 /// produced triples (pre-deduplication) to `out`. The same rule can
 /// therefore run as several concurrent module instances, as in the paper.
+///
+/// Deletion mode (DRed). Reasoner::Retract drives rules in two extra ways:
+///  - *over-delete* reuses Apply itself: a deletion delta is joined against
+///    the store (while the delta is still stored) to enumerate the
+///    consequences that may have lost support;
+///  - *rederive* uses CanDerive: a per-rule backward check that decides
+///    whether the rule can produce one given triple in one step from the
+///    surviving closure. Checking each over-deleted triple directly keeps
+///    the rederivation cost proportional to the deleted cone, where forward
+///    re-seeding would re-join entire hub neighborhoods to restore a
+///    handful of facts.
+/// Rules that do not implement CanDerive (SupportsRederiveCheck() == false)
+/// are handled by a conservative fallback: the survivors anchored on a
+/// deleted subject/object are re-fed through just those modules. That
+/// fallback is complete only if every instantiation of the rule has at
+/// least one antecedent carrying the consequence's subject or object in its
+/// *own* subject or object position — true of any rule whose consequence
+/// endpoints are bound from an antecedent, as in all shipped rules. A
+/// custom rule that connects to its antecedents only through the predicate
+/// position should implement CanDerive.
 class Rule {
  public:
   virtual ~Rule() = default;
@@ -67,6 +87,21 @@ class Rule {
   /// (duplicates included; the caller deduplicates through the store).
   virtual void Apply(const TripleVec& delta, const TripleStore& store,
                      TripleVec* out) const = 0;
+
+  /// True iff CanDerive implements this rule's one-step rederivability
+  /// check (deletion mode; see the class comment).
+  virtual bool SupportsRederiveCheck() const { return false; }
+
+  /// Deletion-mode backward check: true iff this rule can produce `t` in
+  /// one step from the triples currently in `store`. Only meaningful when
+  /// SupportsRederiveCheck(); must be thread-safe and must not mutate the
+  /// store. The caller pre-filters on the head shape (OutputPredicates /
+  /// OutputsAnyPredicate), but implementations must still reject triples
+  /// they can never produce.
+  virtual bool CanDerive(const Triple& /*t*/,
+                         const TripleStore& /*store*/) const {
+    return false;
+  }
 };
 
 using RulePtr = std::shared_ptr<const Rule>;

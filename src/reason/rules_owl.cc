@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace slider {
 
@@ -46,6 +47,20 @@ void PrpInvRule::Apply(const TripleVec& delta, const TripleStore& store,
   }
 }
 
+bool PrpInvRule::CanDerive(const Triple& t, const TripleStore& store) const {
+  // t = <a q b>: is there an r declared inverse of q (either direction)
+  // with <b r a> stored? Candidates are collected first, probed after the
+  // scans return (no nested shard locks; see triple_store.h).
+  std::vector<TermId> candidates;
+  const auto collect = [&](TermId r) { candidates.push_back(r); };
+  store.ForEachSubject(owl_.inverse_of, t.p, collect);
+  store.ForEachObject(owl_.inverse_of, t.p, collect);
+  for (TermId r : candidates) {
+    if (store.Contains(Triple(t.o, r, t.s))) return true;
+  }
+  return false;
+}
+
 // ---------------------------------------------------------------------------
 // PRP-TRP
 // ---------------------------------------------------------------------------
@@ -82,6 +97,19 @@ void PrpTrpRule::Apply(const TripleVec& delta, const TripleStore& store,
   }
 }
 
+bool PrpTrpRule::CanDerive(const Triple& t, const TripleStore& store) const {
+  // t = <x p z>: p transitive and some y with <x p y> and <y p z>?
+  if (!store.Contains(Triple(t.p, v_.type, owl_.transitive_property))) {
+    return false;
+  }
+  std::vector<TermId> candidates;
+  store.ForEachObject(t.p, t.s, [&](TermId y) { candidates.push_back(y); });
+  for (TermId y : candidates) {
+    if (store.Contains(Triple(y, t.p, t.o))) return true;
+  }
+  return false;
+}
+
 // ---------------------------------------------------------------------------
 // PRP-SYMP
 // ---------------------------------------------------------------------------
@@ -105,6 +133,12 @@ void PrpSympRule::Apply(const TripleVec& delta, const TripleStore& store,
       out->push_back(Triple(t.o, t.p, t.s));
     }
   }
+}
+
+bool PrpSympRule::CanDerive(const Triple& t, const TripleStore& store) const {
+  // t = <y p x>: p symmetric and <x p y> stored?
+  return store.Contains(Triple(t.p, v_.type, owl_.symmetric_property)) &&
+         store.Contains(Triple(t.o, t.p, t.s));
 }
 
 // ---------------------------------------------------------------------------
@@ -133,6 +167,18 @@ void ScmDom1Rule::Apply(const TripleVec& delta, const TripleStore& store,
   }
 }
 
+bool ScmDom1Rule::CanDerive(const Triple& t, const TripleStore& store) const {
+  // t = <p domain c2>: is there a c1 with <p domain c1> and <c1 sco c2>?
+  if (t.p != v_.domain) return false;
+  std::vector<TermId> candidates;
+  store.ForEachObject(v_.domain, t.s,
+                      [&](TermId c1) { candidates.push_back(c1); });
+  for (TermId c1 : candidates) {
+    if (store.Contains(Triple(c1, v_.sub_class_of, t.o))) return true;
+  }
+  return false;
+}
+
 ScmRng1Rule::ScmRng1Rule(const Vocabulary& v)
     : RuleBase("SCM-RNG1", "<p range c1> ^ <c1 subClassOf c2> -> <p range c2>",
                {v.range, v.sub_class_of}, {v.range}),
@@ -151,6 +197,17 @@ void ScmRng1Rule::Apply(const TripleVec& delta, const TripleStore& store,
       });
     }
   }
+}
+
+bool ScmRng1Rule::CanDerive(const Triple& t, const TripleStore& store) const {
+  if (t.p != v_.range) return false;
+  std::vector<TermId> candidates;
+  store.ForEachObject(v_.range, t.s,
+                      [&](TermId c1) { candidates.push_back(c1); });
+  for (TermId c1 : candidates) {
+    if (store.Contains(Triple(c1, v_.sub_class_of, t.o))) return true;
+  }
+  return false;
 }
 
 // ---------------------------------------------------------------------------

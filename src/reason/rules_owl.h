@@ -38,6 +38,8 @@ class PrpInvRule : public RuleBase {
   PrpInvRule(const Vocabulary& v, const OwlTerms& owl);
   void Apply(const TripleVec& delta, const TripleStore& store,
              TripleVec* out) const override;
+  bool SupportsRederiveCheck() const override { return true; }
+  bool CanDerive(const Triple& t, const TripleStore& store) const override;
 
  private:
   Vocabulary v_;
@@ -56,6 +58,8 @@ class PrpTrpRule : public RuleBase {
   PrpTrpRule(const Vocabulary& v, const OwlTerms& owl);
   void Apply(const TripleVec& delta, const TripleStore& store,
              TripleVec* out) const override;
+  bool SupportsRederiveCheck() const override { return true; }
+  bool CanDerive(const Triple& t, const TripleStore& store) const override;
 
  private:
   Vocabulary v_;
@@ -68,6 +72,8 @@ class PrpSympRule : public RuleBase {
   PrpSympRule(const Vocabulary& v, const OwlTerms& owl);
   void Apply(const TripleVec& delta, const TripleStore& store,
              TripleVec* out) const override;
+  bool SupportsRederiveCheck() const override { return true; }
+  bool CanDerive(const Triple& t, const TripleStore& store) const override;
 
  private:
   Vocabulary v_;
@@ -82,6 +88,8 @@ class ScmDom1Rule : public RuleBase {
   explicit ScmDom1Rule(const Vocabulary& v);
   void Apply(const TripleVec& delta, const TripleStore& store,
              TripleVec* out) const override;
+  bool SupportsRederiveCheck() const override { return true; }
+  bool CanDerive(const Triple& t, const TripleStore& store) const override;
 
  private:
   Vocabulary v_;
@@ -93,6 +101,8 @@ class ScmRng1Rule : public RuleBase {
   explicit ScmRng1Rule(const Vocabulary& v);
   void Apply(const TripleVec& delta, const TripleStore& store,
              TripleVec* out) const override;
+  bool SupportsRederiveCheck() const override { return true; }
+  bool CanDerive(const Triple& t, const TripleStore& store) const override;
 
  private:
   Vocabulary v_;

@@ -25,6 +25,13 @@ void TypeAxiomRule::Apply(const TripleVec& delta, const TripleStore& /*store*/,
   }
 }
 
+bool TypeAxiomRule::CanDerive(const Triple& t, const TripleStore& store) const {
+  if (t.p != out_predicate_) return false;
+  const TermId obj = mode_ == ObjectMode::kSubject ? t.s : fixed_object_;
+  if (t.o != obj) return false;
+  return store.Contains(Triple(t.s, type_, trigger_class_));
+}
+
 RulePtr TypeAxiomRule::Rdfs6(const Vocabulary& v) {
   return std::make_shared<TypeAxiomRule>(
       "RDFS6", "<p type Property> -> <p subPropertyOf p>", v, v.property,
@@ -72,6 +79,13 @@ void Rdfs4Rule::Apply(const TripleVec& delta, const TripleStore& /*store*/,
     const TermId x = position_ == Position::kSubject ? t.s : t.o;
     out->push_back(Triple(x, type_, resource_));
   }
+}
+
+bool Rdfs4Rule::CanDerive(const Triple& t, const TripleStore& store) const {
+  // t = <x type Resource>: does any triple mention x in our position?
+  if (t.p != type_ || t.o != resource_) return false;
+  return position_ == Position::kSubject ? store.AnyWithSubject(t.s)
+                                         : store.AnyWithObject(t.s);
 }
 
 }  // namespace slider

@@ -33,6 +33,8 @@ class TypeAxiomRule : public RuleBase {
 
   void Apply(const TripleVec& delta, const TripleStore& store,
              TripleVec* out) const override;
+  bool SupportsRederiveCheck() const override { return true; }
+  bool CanDerive(const Triple& t, const TripleStore& store) const override;
 
   /// Factory helpers for the five standard instances.
   static RulePtr Rdfs6(const Vocabulary& v);
@@ -62,6 +64,8 @@ class Rdfs4Rule : public RuleBase {
 
   void Apply(const TripleVec& delta, const TripleStore& store,
              TripleVec* out) const override;
+  bool SupportsRederiveCheck() const override { return true; }
+  bool CanDerive(const Triple& t, const TripleStore& store) const override;
 
  private:
   TermId type_;

@@ -1,5 +1,7 @@
 #include "reason/rules_rhodf.h"
 
+#include <vector>
+
 namespace slider {
 
 // NOTE on join duplicates: when both antecedents of a pair arrive in the
@@ -38,6 +40,23 @@ void CaxScoRule::Apply(const TripleVec& delta, const TripleStore& store,
   }
 }
 
+bool CaxScoRule::CanDerive(const Triple& t, const TripleStore& store) const {
+  // t = <x type c2>: is there a c1 with <c1 sco c2> and <x type c1>?
+  // Candidates are collected first and probed after the scan returns: a
+  // probe from inside the callback would nest another shard's reader lock
+  // under the held one (lock-order inversion; see the callback contract in
+  // triple_store.h). The same collect-then-probe shape is used by every
+  // CanDerive below.
+  if (t.p != v_.type) return false;
+  std::vector<TermId> candidates;
+  store.ForEachSubject(v_.sub_class_of, t.o,
+                       [&](TermId c1) { candidates.push_back(c1); });
+  for (TermId c1 : candidates) {
+    if (store.Contains(Triple(t.s, v_.type, c1))) return true;
+  }
+  return false;
+}
+
 // ---------------------------------------------------------------------------
 // SCM-SCO
 // ---------------------------------------------------------------------------
@@ -63,6 +82,18 @@ void ScmScoRule::Apply(const TripleVec& delta, const TripleStore& store,
   }
 }
 
+bool ScmScoRule::CanDerive(const Triple& t, const TripleStore& store) const {
+  // t = <c1 sco c3>: is there a c2 with <c1 sco c2> and <c2 sco c3>?
+  if (t.p != v_.sub_class_of) return false;
+  std::vector<TermId> candidates;
+  store.ForEachObject(v_.sub_class_of, t.s,
+                      [&](TermId c2) { candidates.push_back(c2); });
+  for (TermId c2 : candidates) {
+    if (store.Contains(Triple(c2, v_.sub_class_of, t.o))) return true;
+  }
+  return false;
+}
+
 // ---------------------------------------------------------------------------
 // SCM-SPO
 // ---------------------------------------------------------------------------
@@ -85,6 +116,17 @@ void ScmSpoRule::Apply(const TripleVec& delta, const TripleStore& store,
       out->push_back(Triple(p1, v_.sub_property_of, t.o));
     });
   }
+}
+
+bool ScmSpoRule::CanDerive(const Triple& t, const TripleStore& store) const {
+  if (t.p != v_.sub_property_of) return false;
+  std::vector<TermId> candidates;
+  store.ForEachObject(v_.sub_property_of, t.s,
+                      [&](TermId p2) { candidates.push_back(p2); });
+  for (TermId p2 : candidates) {
+    if (store.Contains(Triple(p2, v_.sub_property_of, t.o))) return true;
+  }
+  return false;
 }
 
 // ---------------------------------------------------------------------------
@@ -113,6 +155,17 @@ void PrpSpo1Rule::Apply(const TripleVec& delta, const TripleStore& store,
   }
 }
 
+bool PrpSpo1Rule::CanDerive(const Triple& t, const TripleStore& store) const {
+  // t = <x p2 y>: is there a p1 with <p1 spo p2> and <x p1 y>?
+  std::vector<TermId> candidates;
+  store.ForEachSubject(v_.sub_property_of, t.p,
+                       [&](TermId p1) { candidates.push_back(p1); });
+  for (TermId p1 : candidates) {
+    if (store.Contains(Triple(t.s, p1, t.o))) return true;
+  }
+  return false;
+}
+
 // ---------------------------------------------------------------------------
 // PRP-DOM
 // ---------------------------------------------------------------------------
@@ -138,6 +191,20 @@ void PrpDomRule::Apply(const TripleVec& delta, const TripleStore& store,
   }
 }
 
+bool PrpDomRule::CanDerive(const Triple& t, const TripleStore& store) const {
+  // t = <x type c>: is there a p with <p domain c> and any <x p ?>?
+  if (t.p != v_.type) return false;
+  std::vector<TermId> candidates;
+  store.ForEachSubject(v_.domain, t.o,
+                       [&](TermId p) { candidates.push_back(p); });
+  for (TermId p : candidates) {
+    bool any = false;
+    store.ForEachObject(p, t.s, [&](TermId) { any = true; });
+    if (any) return true;
+  }
+  return false;
+}
+
 // ---------------------------------------------------------------------------
 // PRP-RNG
 // ---------------------------------------------------------------------------
@@ -159,6 +226,20 @@ void PrpRngRule::Apply(const TripleVec& delta, const TripleStore& store,
       out->push_back(Triple(t.o, v_.type, c));
     });
   }
+}
+
+bool PrpRngRule::CanDerive(const Triple& t, const TripleStore& store) const {
+  // t = <y type c>: is there a p with <p range c> and any <? p y>?
+  if (t.p != v_.type) return false;
+  std::vector<TermId> candidates;
+  store.ForEachSubject(v_.range, t.o,
+                       [&](TermId p) { candidates.push_back(p); });
+  for (TermId p : candidates) {
+    bool any = false;
+    store.ForEachSubject(p, t.s, [&](TermId) { any = true; });
+    if (any) return true;
+  }
+  return false;
 }
 
 // ---------------------------------------------------------------------------
@@ -188,6 +269,18 @@ void ScmDom2Rule::Apply(const TripleVec& delta, const TripleStore& store,
   }
 }
 
+bool ScmDom2Rule::CanDerive(const Triple& t, const TripleStore& store) const {
+  // t = <p1 domain c>: is there a p2 with <p1 spo p2> and <p2 domain c>?
+  if (t.p != v_.domain) return false;
+  std::vector<TermId> candidates;
+  store.ForEachObject(v_.sub_property_of, t.s,
+                      [&](TermId p2) { candidates.push_back(p2); });
+  for (TermId p2 : candidates) {
+    if (store.Contains(Triple(p2, v_.domain, t.o))) return true;
+  }
+  return false;
+}
+
 // ---------------------------------------------------------------------------
 // SCM-RNG2
 // ---------------------------------------------------------------------------
@@ -211,6 +304,17 @@ void ScmRng2Rule::Apply(const TripleVec& delta, const TripleStore& store,
       });
     }
   }
+}
+
+bool ScmRng2Rule::CanDerive(const Triple& t, const TripleStore& store) const {
+  if (t.p != v_.range) return false;
+  std::vector<TermId> candidates;
+  store.ForEachObject(v_.sub_property_of, t.s,
+                      [&](TermId p2) { candidates.push_back(p2); });
+  for (TermId p2 : candidates) {
+    if (store.Contains(Triple(p2, v_.range, t.o))) return true;
+  }
+  return false;
 }
 
 }  // namespace slider

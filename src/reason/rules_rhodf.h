@@ -20,6 +20,8 @@ class CaxScoRule : public RuleBase {
   explicit CaxScoRule(const Vocabulary& v);
   void Apply(const TripleVec& delta, const TripleStore& store,
              TripleVec* out) const override;
+  bool SupportsRederiveCheck() const override { return true; }
+  bool CanDerive(const Triple& t, const TripleStore& store) const override;
 
  private:
   Vocabulary v_;
@@ -31,6 +33,8 @@ class ScmScoRule : public RuleBase {
   explicit ScmScoRule(const Vocabulary& v);
   void Apply(const TripleVec& delta, const TripleStore& store,
              TripleVec* out) const override;
+  bool SupportsRederiveCheck() const override { return true; }
+  bool CanDerive(const Triple& t, const TripleStore& store) const override;
 
  private:
   Vocabulary v_;
@@ -43,6 +47,8 @@ class ScmSpoRule : public RuleBase {
   explicit ScmSpoRule(const Vocabulary& v);
   void Apply(const TripleVec& delta, const TripleStore& store,
              TripleVec* out) const override;
+  bool SupportsRederiveCheck() const override { return true; }
+  bool CanDerive(const Triple& t, const TripleStore& store) const override;
 
  private:
   Vocabulary v_;
@@ -55,6 +61,8 @@ class PrpSpo1Rule : public RuleBase {
   explicit PrpSpo1Rule(const Vocabulary& v);
   void Apply(const TripleVec& delta, const TripleStore& store,
              TripleVec* out) const override;
+  bool SupportsRederiveCheck() const override { return true; }
+  bool CanDerive(const Triple& t, const TripleStore& store) const override;
 
  private:
   Vocabulary v_;
@@ -66,6 +74,8 @@ class PrpDomRule : public RuleBase {
   explicit PrpDomRule(const Vocabulary& v);
   void Apply(const TripleVec& delta, const TripleStore& store,
              TripleVec* out) const override;
+  bool SupportsRederiveCheck() const override { return true; }
+  bool CanDerive(const Triple& t, const TripleStore& store) const override;
 
  private:
   Vocabulary v_;
@@ -77,6 +87,8 @@ class PrpRngRule : public RuleBase {
   explicit PrpRngRule(const Vocabulary& v);
   void Apply(const TripleVec& delta, const TripleStore& store,
              TripleVec* out) const override;
+  bool SupportsRederiveCheck() const override { return true; }
+  bool CanDerive(const Triple& t, const TripleStore& store) const override;
 
  private:
   Vocabulary v_;
@@ -88,6 +100,8 @@ class ScmDom2Rule : public RuleBase {
   explicit ScmDom2Rule(const Vocabulary& v);
   void Apply(const TripleVec& delta, const TripleStore& store,
              TripleVec* out) const override;
+  bool SupportsRederiveCheck() const override { return true; }
+  bool CanDerive(const Triple& t, const TripleStore& store) const override;
 
  private:
   Vocabulary v_;
@@ -99,6 +113,8 @@ class ScmRng2Rule : public RuleBase {
   explicit ScmRng2Rule(const Vocabulary& v);
   void Apply(const TripleVec& delta, const TripleStore& store,
              TripleVec* out) const override;
+  bool SupportsRederiveCheck() const override { return true; }
+  bool CanDerive(const Triple& t, const TripleStore& store) const override;
 
  private:
   Vocabulary v_;

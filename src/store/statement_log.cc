@@ -37,11 +37,21 @@ StatementLog::~StatementLog() {
 }
 
 Status StatementLog::Append(const Triple& t) {
+  return AppendRecord(t, /*tombstone=*/false);
+}
+
+Status StatementLog::AppendTombstone(const Triple& t) {
+  return AppendRecord(t, /*tombstone=*/true);
+}
+
+Status StatementLog::AppendRecord(const Triple& t, bool tombstone) {
   if (file_ == nullptr) {
     return Status::IOError("statement log is closed");
   }
+  Triple encoded = t;
+  if (tombstone) encoded.s |= kTombstoneBit;
   std::array<unsigned char, kRecordSize> record;
-  EncodeRecord(t, record.data());
+  EncodeRecord(encoded, record.data());
   if (std::fwrite(record.data(), 1, kRecordSize, file_) != kRecordSize) {
     return Status::IOError(Format("short write on statement log '%s'", path_.c_str()));
   }
@@ -90,18 +100,31 @@ Status StatementLog::Close() {
 }
 
 Result<TripleVec> StatementLog::ReadAll(const std::string& path) {
+  SLIDER_ASSIGN_OR_RETURN(std::vector<Record> records, ReadRecords(path));
+  TripleVec out;
+  out.reserve(records.size());
+  for (const Record& r : records) {
+    if (!r.tombstone) out.push_back(r.triple);
+  }
+  return out;
+}
+
+Result<std::vector<StatementLog::Record>> StatementLog::ReadRecords(
+    const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) {
     return Status::IOError(Format("cannot open statement log '%s'", path.c_str()));
   }
-  TripleVec out;
+  std::vector<Record> out;
   std::array<unsigned char, kRecordSize> record;
   while (std::fread(record.data(), 1, kRecordSize, file) == kRecordSize) {
-    Triple t;
-    std::memcpy(&t.s, record.data(), sizeof(uint64_t));
-    std::memcpy(&t.p, record.data() + 8, sizeof(uint64_t));
-    std::memcpy(&t.o, record.data() + 16, sizeof(uint64_t));
-    out.push_back(t);
+    Record r;
+    std::memcpy(&r.triple.s, record.data(), sizeof(uint64_t));
+    std::memcpy(&r.triple.p, record.data() + 8, sizeof(uint64_t));
+    std::memcpy(&r.triple.o, record.data() + 16, sizeof(uint64_t));
+    r.tombstone = (r.triple.s & kTombstoneBit) != 0;
+    r.triple.s &= ~kTombstoneBit;
+    out.push_back(r);
   }
   std::fclose(file);
   return out;

@@ -20,8 +20,23 @@ namespace slider {
 /// statement through this log (24-byte fixed records, flushed every
 /// `flush_interval` records). The log can be replayed to rebuild the store,
 /// which is also how the recovery test verifies durability.
+///
+/// Tombstones. Deletions append *tombstone* records: the same 24-byte
+/// layout with kTombstoneBit set on the subject word. Replaying the log in
+/// order (ReadRecords) therefore reconstructs the surviving statement set
+/// even across retract → re-add sequences. Term ids are dense dictionary
+/// handles that never reach bit 63, so legacy logs — written before
+/// tombstones existed — decode unchanged as pure additions.
 class StatementLog {
  public:
+  /// Marks a 24-byte record as a deletion (set on the subject word).
+  static constexpr uint64_t kTombstoneBit = 1ull << 63;
+
+  /// One decoded log record.
+  struct Record {
+    Triple triple;
+    bool tombstone = false;
+  };
   /// Creates or truncates the log file at `path`. A `flush_interval` of n
   /// flushes the OS buffer every n appended statements (0 = only on Close).
   static Result<std::unique_ptr<StatementLog>> Open(const std::string& path,
@@ -35,6 +50,10 @@ class StatementLog {
   /// Appends one statement record.
   Status Append(const Triple& t);
 
+  /// Appends one tombstone record: on replay, `t` is removed from the
+  /// recovered set (until a later record re-adds it).
+  Status AppendTombstone(const Triple& t);
+
   /// Appends a batch of statement records.
   Status AppendBatch(const TripleVec& batch);
 
@@ -47,12 +66,21 @@ class StatementLog {
   /// Number of records appended since Open.
   uint64_t records_written() const { return records_written_; }
 
-  /// Reads every record of a previously written log (recovery path).
+  /// Reads every *addition* record of a previously written log, in append
+  /// order; tombstone records are skipped. Kept for raw-dump consumers
+  /// (index files, tests); recovery uses ReadRecords, whose ordered replay
+  /// honours deletions.
   static Result<TripleVec> ReadAll(const std::string& path);
+
+  /// Reads every record — additions and tombstones — in append order.
+  static Result<std::vector<Record>> ReadRecords(const std::string& path);
 
  private:
   StatementLog(std::FILE* file, std::string path, size_t flush_interval)
       : file_(file), path_(std::move(path)), flush_interval_(flush_interval) {}
+
+  /// Appends one 24-byte record, tombstone-flagged or not.
+  Status AppendRecord(const Triple& t, bool tombstone);
 
   std::FILE* file_;
   std::string path_;

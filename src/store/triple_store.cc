@@ -1,5 +1,6 @@
 #include "store/triple_store.h"
 
+#include <algorithm>
 #include <mutex>
 
 #include "common/sharding.h"
@@ -24,14 +25,15 @@ TripleStore::TripleStore(size_t shard_count)
       shard_mask_(shard_count_ - 1),
       shards_(new Shard[shard_count_]) {}
 
-bool TripleStore::Add(const Triple& t) {
+bool TripleStore::Add(const Triple& t, bool is_explicit) {
   if (!IsStorable(t)) return false;
   Shard& shard = ShardFor(t.p);
   std::unique_lock<std::shared_mutex> lock(shard.mu);
-  return AddLocked(shard, t);
+  return AddLocked(shard, t, is_explicit, nullptr);
 }
 
-size_t TripleStore::AddAll(const TripleVec& batch, TripleVec* delta) {
+size_t TripleStore::AddAll(const TripleVec& batch, TripleVec* delta,
+                           bool is_explicit, size_t* promoted) {
   size_t added = 0;
   size_t current = static_cast<size_t>(-1);
   std::unique_lock<std::shared_mutex> lock;
@@ -43,7 +45,7 @@ size_t TripleStore::AddAll(const TripleVec& batch, TripleVec* delta) {
       lock = std::unique_lock<std::shared_mutex>(shards_[index].mu);
       current = index;
     }
-    if (AddLocked(shards_[index], t)) {
+    if (AddLocked(shards_[index], t, is_explicit, promoted)) {
       ++added;
       if (delta != nullptr) delta->push_back(t);
     }
@@ -51,17 +53,76 @@ size_t TripleStore::AddAll(const TripleVec& batch, TripleVec* delta) {
   return added;
 }
 
-bool TripleStore::AddLocked(Shard& shard, const Triple& t) {
+bool TripleStore::AddLocked(Shard& shard, const Triple& t, bool is_explicit,
+                            size_t* promoted) {
   ++shard.stats.insert_attempts;
   Partition& partition = shard.partitions[t.p];
   DedupRow& row = partition.by_subject[t.s];
-  if (!row.Insert(t.o)) {
+  const DedupRow::InsertResult result = row.Insert(t.o, is_explicit);
+  if (result != DedupRow::InsertResult::kNew) {
     ++shard.stats.duplicates_rejected;
+    if (result == DedupRow::InsertResult::kPromoted) {
+      ++shard.explicit_triples;
+      if (promoted != nullptr) ++*promoted;
+    }
     return false;
   }
   partition.by_object[t.o].push_back(t.s);
   ++partition.count;
   ++shard.triples;
+  if (is_explicit) ++shard.explicit_triples;
+  return true;
+}
+
+bool TripleStore::Erase(const Triple& t) {
+  if (!IsStorable(t)) return false;
+  Shard& shard = ShardFor(t.p);
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  return EraseLocked(shard, t);
+}
+
+size_t TripleStore::EraseAll(const TripleVec& batch, TripleVec* erased) {
+  size_t removed = 0;
+  size_t current = static_cast<size_t>(-1);
+  std::unique_lock<std::shared_mutex> lock;
+  for (const Triple& t : batch) {
+    if (!IsStorable(t)) continue;
+    const size_t index = ShardIndex(t.p);
+    if (index != current) {
+      if (lock.owns_lock()) lock.unlock();
+      lock = std::unique_lock<std::shared_mutex>(shards_[index].mu);
+      current = index;
+    }
+    if (EraseLocked(shards_[index], t)) {
+      ++removed;
+      if (erased != nullptr) erased->push_back(t);
+    }
+  }
+  return removed;
+}
+
+bool TripleStore::EraseLocked(Shard& shard, const Triple& t) {
+  ++shard.stats.erase_attempts;
+  Partition* partition = shard.partitions.Find(t.p);
+  if (partition == nullptr) return false;
+  DedupRow* row = partition->by_subject.Find(t.s);
+  if (row == nullptr) return false;
+  const bool was_explicit = row->IsExplicit(t.o);
+  if (!row->Erase(t.o)) return false;
+  if (row->empty()) partition->by_subject.Erase(t.s);
+  // The by_object mirror holds exactly one entry per accepted (s, o); drop
+  // it so reverse joins never serve the ghost.
+  std::vector<TermId>* subjects = partition->by_object.Find(t.o);
+  if (subjects != nullptr) {
+    auto it = std::find(subjects->begin(), subjects->end(), t.s);
+    if (it != subjects->end()) subjects->erase(it);
+    if (subjects->empty()) partition->by_object.Erase(t.o);
+  }
+  --partition->count;
+  --shard.triples;
+  ++shard.stats.erased;
+  if (was_explicit) --shard.explicit_triples;
+  if (partition->count == 0) shard.partitions.Erase(t.p);
   return true;
 }
 
@@ -73,6 +134,73 @@ bool TripleStore::Contains(const Triple& t) const {
   if (part == nullptr) return false;
   const DedupRow* row = part->by_subject.Find(t.s);
   return row != nullptr && row->Contains(t.o);
+}
+
+bool TripleStore::AnyWithSubject(TermId s) const {
+  if (s == kAnyTerm) return false;
+  for (size_t i = 0; i < shard_count_; ++i) {
+    std::shared_lock<std::shared_mutex> lock(shards_[i].mu);
+    // Rows are dropped as soon as they empty, so row presence == a triple.
+    if (shards_[i].partitions.ForEachUntil(
+            [&](TermId, const Partition& part) {
+              return part.by_subject.Find(s) != nullptr;
+            })) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool TripleStore::AnyWithObject(TermId o) const {
+  if (o == kAnyTerm) return false;
+  for (size_t i = 0; i < shard_count_; ++i) {
+    std::shared_lock<std::shared_mutex> lock(shards_[i].mu);
+    if (shards_[i].partitions.ForEachUntil(
+            [&](TermId, const Partition& part) {
+              return part.by_object.Find(o) != nullptr;
+            })) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool TripleStore::IsExplicit(const Triple& t) const {
+  if (!IsStorable(t)) return false;
+  const Shard& shard = ShardFor(t.p);
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  const Partition* part = shard.partitions.Find(t.p);
+  if (part == nullptr) return false;
+  const DedupRow* row = part->by_subject.Find(t.s);
+  return row != nullptr && row->IsExplicit(t.o);
+}
+
+int TripleStore::SetSupport(const Triple& t, bool is_explicit) {
+  if (!IsStorable(t)) return -1;
+  Shard& shard = ShardFor(t.p);
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  Partition* part = shard.partitions.Find(t.p);
+  if (part == nullptr) return -1;
+  DedupRow* row = part->by_subject.Find(t.s);
+  if (row == nullptr) return -1;
+  const int flipped = row->SetSupport(t.o, is_explicit);
+  if (flipped == 1) {
+    if (is_explicit) {
+      ++shard.explicit_triples;
+    } else {
+      --shard.explicit_triples;
+    }
+  }
+  return flipped;
+}
+
+size_t TripleStore::ExplicitCount() const {
+  size_t total = 0;
+  for (size_t i = 0; i < shard_count_; ++i) {
+    std::shared_lock<std::shared_mutex> lock(shards_[i].mu);
+    total += shards_[i].explicit_triples;
+  }
+  return total;
 }
 
 size_t TripleStore::size() const {
@@ -136,6 +264,8 @@ TripleStore::Stats TripleStore::stats() const {
     std::shared_lock<std::shared_mutex> lock(shards_[i].mu);
     total.insert_attempts += shards_[i].stats.insert_attempts;
     total.duplicates_rejected += shards_[i].stats.duplicates_rejected;
+    total.erase_attempts += shards_[i].stats.erase_attempts;
+    total.erased += shards_[i].stats.erased;
   }
   return total;
 }

@@ -65,6 +65,16 @@ namespace slider {
 /// such a platform, callbacks should collect ids and issue follow-up reads
 /// after the outer ForEach returns.
 ///
+/// Support flags and retraction. Every stored triple carries one support
+/// flag: *explicit* (asserted by the application) or *inferred* (produced by
+/// a rule). The flag is settable both ways — retracting an explicit triple
+/// demotes it to inferred support before the reasoner decides whether it
+/// survives, and re-asserting an inferred triple promotes it — and rows are
+/// tombstone-aware: Erase marks the slot dead in the per-(predicate,
+/// subject) row (compacted once tombstones dominate), removes the by_object
+/// mirror entry and drops empty rows/partitions, so the index never serves
+/// ghosts. Erase counters are shard-local like the insert counters.
+///
 /// Id 0 (kAnyTerm) is a pattern wildcard, never a term: triples containing
 /// it are rejected by Add/AddAll (not stored, not counted as offers) and
 /// Contains reports them absent.
@@ -80,17 +90,48 @@ class TripleStore {
   TripleStore(const TripleStore&) = delete;
   TripleStore& operator=(const TripleStore&) = delete;
 
-  /// Inserts one triple. Returns true iff it was not already present.
-  bool Add(const Triple& t);
+  /// Inserts one triple with the given support. Returns true iff it was not
+  /// already present; a duplicate offer with `is_explicit` promotes an
+  /// inferred entry to explicit support.
+  bool Add(const Triple& t, bool is_explicit = true);
 
   /// Inserts a batch; newly added triples are appended to `*delta` when
   /// `delta` is non-null, in batch order. Returns the number of newly added
-  /// triples. The shard writer lock is held across runs of same-shard
-  /// triples, so predicate-clustered batches pay one acquisition per run.
-  size_t AddAll(const TripleVec& batch, TripleVec* delta = nullptr);
+  /// triples. Duplicate offers with `is_explicit` that promoted an inferred
+  /// entry to explicit support are counted into `*promoted` when non-null.
+  /// The shard writer lock is held across runs of same-shard triples, so
+  /// predicate-clustered batches pay one acquisition per run.
+  size_t AddAll(const TripleVec& batch, TripleVec* delta = nullptr,
+                bool is_explicit = true, size_t* promoted = nullptr);
+
+  /// Removes one triple (any support). Returns true iff it was present.
+  bool Erase(const Triple& t);
+
+  /// Removes a batch; erased triples are appended to `*erased` when
+  /// non-null, in batch order. Returns the number of triples removed.
+  size_t EraseAll(const TripleVec& batch, TripleVec* erased = nullptr);
 
   /// True iff the triple is present.
   bool Contains(const Triple& t) const;
+
+  /// True iff any stored triple has subject `s`. Existence probe: one hash
+  /// lookup per predicate partition, early exit on the first hit, no row
+  /// iteration (the rederive checks of universal rules need this to stay
+  /// near-constant instead of sweeping the store).
+  bool AnyWithSubject(TermId s) const;
+
+  /// True iff any stored triple has object `o` (mirror of AnyWithSubject).
+  bool AnyWithObject(TermId o) const;
+
+  /// True iff the triple is present with explicit support.
+  bool IsExplicit(const Triple& t) const;
+
+  /// Sets the support flag of a present triple. Returns +1 if the flag
+  /// flipped, 0 if it already had that support, -1 if the triple is absent.
+  int SetSupport(const Triple& t, bool is_explicit);
+
+  /// Number of stored triples with explicit support (cross-shard).
+  size_t ExplicitCount() const;
 
   /// Number of distinct triples stored (cross-shard; see consistency note).
   size_t size() const;
@@ -115,9 +156,7 @@ class TripleStore {
     const Partition* part = shard.partitions.Find(p);
     if (part == nullptr) return;
     part->by_subject.ForEach([&](TermId s, const DedupRow& row) {
-      for (TermId o : row.items()) {
-        fn(s, o);
-      }
+      row.ForEach([&](TermId o) { fn(s, o); });
     });
   }
 
@@ -130,9 +169,7 @@ class TripleStore {
     if (part == nullptr) return;
     const DedupRow* row = part->by_subject.Find(s);
     if (row == nullptr) return;
-    for (TermId o : row->items()) {
-      fn(o);
-    }
+    row->ForEach([&](TermId o) { fn(o); });
   }
 
   /// Invokes fn(subject) for every triple (subject, p, o).
@@ -185,10 +222,13 @@ class TripleStore {
   /// Monotonic counters for the benches and the demo player. Counters are
   /// kept shard-local under each shard's writer lock and aggregated here
   /// under the reader locks, so `insert_attempts == accepted + rejected`
-  /// holds exactly whenever no writer is mid-flight.
+  /// and `erase_attempts >= erased` hold exactly whenever no writer is
+  /// mid-flight.
   struct Stats {
     uint64_t insert_attempts = 0;      ///< triples offered to Add/AddAll
     uint64_t duplicates_rejected = 0;  ///< offers that were already present
+    uint64_t erase_attempts = 0;       ///< triples offered to Erase/EraseAll
+    uint64_t erased = 0;               ///< offers that removed a stored triple
   };
   Stats stats() const;
 
@@ -209,6 +249,7 @@ class TripleStore {
     mutable std::shared_mutex mu;
     FlatHashMap<Partition> partitions;  // keyed by predicate
     size_t triples = 0;                 // guarded by mu
+    size_t explicit_triples = 0;        // guarded by mu
     Stats stats;                        // guarded by mu
   };
 
@@ -218,11 +259,11 @@ class TripleStore {
     if (pattern.s != kAnyTerm) {
       const DedupRow* row = partition.by_subject.Find(pattern.s);
       if (row == nullptr) return;
-      for (TermId o : row->items()) {
+      row->ForEach([&](TermId o) {
         if (pattern.o == kAnyTerm || pattern.o == o) {
           fn(Triple(pattern.s, p, o));
         }
-      }
+      });
       return;
     }
     if (pattern.o != kAnyTerm) {
@@ -234,9 +275,7 @@ class TripleStore {
       return;
     }
     partition.by_subject.ForEach([&](TermId s, const DedupRow& row) {
-      for (TermId o : row.items()) {
-        fn(Triple(s, p, o));
-      }
+      row.ForEach([&](TermId o) { fn(Triple(s, p, o)); });
     });
   }
 
@@ -252,7 +291,13 @@ class TripleStore {
   const Shard& ShardFor(TermId p) const { return shards_[ShardIndex(p)]; }
 
   /// Inserts into `shard`; caller holds that shard's writer lock.
-  bool AddLocked(Shard& shard, const Triple& t);
+  /// `*promoted` (when non-null) is incremented if a duplicate explicit
+  /// offer promoted an inferred entry.
+  bool AddLocked(Shard& shard, const Triple& t, bool is_explicit,
+                 size_t* promoted);
+
+  /// Erases from `shard`; caller holds that shard's writer lock.
+  bool EraseLocked(Shard& shard, const Triple& t);
 
   size_t shard_count_;
   size_t shard_mask_;

@@ -239,30 +239,116 @@ TEST(FlatStringMapTest, MatchesReferenceUnderRandomWorkload) {
   }
 }
 
+std::vector<uint64_t> RowItems(const DedupRow& row) {
+  std::vector<uint64_t> out;
+  row.ForEach([&](uint64_t v) { out.push_back(v); });
+  return out;
+}
+
 TEST(DedupRowTest, KeepsInsertionOrderAndRejectsDuplicates) {
   DedupRow row;
-  EXPECT_TRUE(row.Insert(3));
-  EXPECT_TRUE(row.Insert(1));
-  EXPECT_TRUE(row.Insert(2));
-  EXPECT_FALSE(row.Insert(1));
+  EXPECT_EQ(row.Insert(3), DedupRow::InsertResult::kNew);
+  EXPECT_EQ(row.Insert(1), DedupRow::InsertResult::kNew);
+  EXPECT_EQ(row.Insert(2), DedupRow::InsertResult::kNew);
+  EXPECT_EQ(row.Insert(1), DedupRow::InsertResult::kDuplicate);
   EXPECT_EQ(row.size(), 3u);
-  EXPECT_EQ(row.items(), (std::vector<uint64_t>{3, 1, 2}));
+  EXPECT_EQ(RowItems(row), (std::vector<uint64_t>{3, 1, 2}));
   EXPECT_TRUE(row.Contains(2));
   EXPECT_FALSE(row.Contains(9));
 }
 
 TEST(DedupRowTest, SpillsToIndexAndStaysCorrect) {
-  // Push far past the inline threshold so the flat-set shadow engages.
+  // Push far past the inline threshold so the flat-map shadow engages.
   DedupRow row;
-  for (uint64_t v = 1; v <= 1000; ++v) EXPECT_TRUE(row.Insert(v));
-  for (uint64_t v = 1; v <= 1000; ++v) EXPECT_FALSE(row.Insert(v));
+  for (uint64_t v = 1; v <= 1000; ++v) {
+    EXPECT_EQ(row.Insert(v), DedupRow::InsertResult::kNew);
+  }
+  for (uint64_t v = 1; v <= 1000; ++v) {
+    EXPECT_EQ(row.Insert(v), DedupRow::InsertResult::kDuplicate);
+  }
   EXPECT_EQ(row.size(), 1000u);
   for (uint64_t v = 1; v <= 1000; ++v) EXPECT_TRUE(row.Contains(v));
   EXPECT_FALSE(row.Contains(1001));
   // Insertion order preserved across the spill.
-  for (size_t i = 0; i < row.items().size(); ++i) {
-    EXPECT_EQ(row.items()[i], i + 1);
+  const std::vector<uint64_t> items = RowItems(row);
+  for (size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(items[i], i + 1);
   }
+}
+
+TEST(DedupRowTest, SupportFlagsPromoteAndDemote) {
+  DedupRow row;
+  EXPECT_EQ(row.Insert(7, /*is_explicit=*/false), DedupRow::InsertResult::kNew);
+  EXPECT_FALSE(row.IsExplicit(7));
+  // Re-offering with explicit support promotes exactly once.
+  EXPECT_EQ(row.Insert(7, /*is_explicit=*/true),
+            DedupRow::InsertResult::kPromoted);
+  EXPECT_TRUE(row.IsExplicit(7));
+  EXPECT_EQ(row.Insert(7, /*is_explicit=*/true),
+            DedupRow::InsertResult::kDuplicate);
+  // An inferred re-offer never demotes.
+  EXPECT_EQ(row.Insert(7, /*is_explicit=*/false),
+            DedupRow::InsertResult::kDuplicate);
+  EXPECT_TRUE(row.IsExplicit(7));
+  // SetSupport flips both ways and reports absence.
+  EXPECT_EQ(row.SetSupport(7, false), 1);
+  EXPECT_EQ(row.SetSupport(7, false), 0);
+  EXPECT_FALSE(row.IsExplicit(7));
+  EXPECT_EQ(row.SetSupport(7, true), 1);
+  EXPECT_EQ(row.SetSupport(42, true), -1);
+  EXPECT_FALSE(row.IsExplicit(42));
+}
+
+TEST(DedupRowTest, EraseTombstonesAndReinsert) {
+  DedupRow row;
+  for (uint64_t v = 1; v <= 8; ++v) row.Insert(v);
+  EXPECT_TRUE(row.Erase(4));
+  EXPECT_FALSE(row.Erase(4));
+  EXPECT_FALSE(row.Contains(4));
+  EXPECT_EQ(row.size(), 7u);
+  EXPECT_EQ(RowItems(row), (std::vector<uint64_t>{1, 2, 3, 5, 6, 7, 8}));
+  // Re-inserting a tombstoned id appends at the end with its new support.
+  EXPECT_EQ(row.Insert(4, /*is_explicit=*/false), DedupRow::InsertResult::kNew);
+  EXPECT_FALSE(row.IsExplicit(4));
+  EXPECT_EQ(RowItems(row), (std::vector<uint64_t>{1, 2, 3, 5, 6, 7, 8, 4}));
+}
+
+TEST(DedupRowTest, EraseCompactsAndSurvivesSpill) {
+  DedupRow row;
+  for (uint64_t v = 1; v <= 500; ++v) row.Insert(v, (v % 2) == 0);
+  // Erase enough to trigger at least one compaction (dead > live).
+  for (uint64_t v = 1; v <= 400; ++v) EXPECT_TRUE(row.Erase(v));
+  EXPECT_EQ(row.size(), 100u);
+  for (uint64_t v = 1; v <= 400; ++v) EXPECT_FALSE(row.Contains(v));
+  std::vector<uint64_t> expected;
+  for (uint64_t v = 401; v <= 500; ++v) {
+    expected.push_back(v);
+    EXPECT_TRUE(row.Contains(v));
+    EXPECT_EQ(row.IsExplicit(v), (v % 2) == 0);
+  }
+  // Compaction preserved insertion order and the spill index stayed usable.
+  EXPECT_EQ(RowItems(row), expected);
+  EXPECT_EQ(row.Insert(9999), DedupRow::InsertResult::kNew);
+  EXPECT_TRUE(row.Contains(9999));
+  // Erase everything: the row must report empty.
+  for (uint64_t v = 401; v <= 500; ++v) EXPECT_TRUE(row.Erase(v));
+  EXPECT_TRUE(row.Erase(9999));
+  EXPECT_TRUE(row.empty());
+  size_t live = 0;
+  row.ForEach([&](uint64_t) { ++live; });
+  EXPECT_EQ(live, 0u);
+}
+
+TEST(DedupRowTest, ForEachFlaggedReportsSupport) {
+  DedupRow row;
+  row.Insert(1, true);
+  row.Insert(2, false);
+  row.Insert(3, true);
+  row.Erase(1);
+  std::vector<std::pair<uint64_t, bool>> seen;
+  row.ForEachFlagged([&](uint64_t v, bool e) { seen.emplace_back(v, e); });
+  EXPECT_EQ(seen, (std::vector<std::pair<uint64_t, bool>>{{2, false},
+                                                          {3, true}}));
 }
 
 }  // namespace

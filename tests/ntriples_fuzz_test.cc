@@ -1,0 +1,148 @@
+// Fuzz-style robustness tests for the N-Triples parser: mutate a valid
+// corpus — truncation at every byte, random byte flips, terminator
+// splicing — and assert the parser always returns cleanly (OK or a syntax
+// error Status) instead of crashing, looping or reading out of bounds.
+// Guards the PR 2 terminator fixes ("<s> <p> _:b." / "\"chat\"@fr.") against
+// regression. All mutations are seeded, so failures reproduce exactly.
+
+#include "rdf/ntriples.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace slider {
+namespace {
+
+/// A corpus covering every term shape the parser accepts: IRIs, blank
+/// nodes, plain / language-tagged / typed literals, escapes, comments,
+/// blank lines, and the tight-terminator forms fixed in PR 2.
+const std::vector<std::string>& Corpus() {
+  static const std::vector<std::string> corpus = {
+      "<http://ex/s> <http://ex/p> <http://ex/o> .",
+      "<http://ex/s> <http://ex/p> \"plain literal\" .",
+      "<http://ex/s> <http://ex/p> \"chat\"@fr .",
+      "<http://ex/s> <http://ex/p> \"chat\"@fr.",
+      "<http://ex/s> <http://ex/p> "
+      "\"42\"^^<http://www.w3.org/2001/XMLSchema#integer> .",
+      "_:b0 <http://ex/p> _:b1 .",
+      "<http://ex/s> <http://ex/p> _:b.",
+      "<http://ex/s> <http://ex/p> \"esc \\\" quote \\n newline\" .",
+      "# a comment line",
+      "",
+      "   <http://ex/s>\t<http://ex/p>\t<http://ex/o>\t.",
+  };
+  return corpus;
+}
+
+std::string JoinCorpus() {
+  std::string document;
+  for (const std::string& line : Corpus()) {
+    document += line;
+    document += '\n';
+  }
+  return document;
+}
+
+/// Runs the parser on a mutated document; the only acceptable outcomes are
+/// a clean OK or a clean error Status.
+void ExpectCleanParse(const std::string& document, const std::string& label) {
+  SCOPED_TRACE(label);
+  size_t statements = 0;
+  const Status status = NTriplesParser::ParseDocument(
+      document, [&](const ParsedTriple& t) -> Status {
+        // Parsed terms must be sane: the parser never hands out empty
+        // subject/predicate/object lexical forms.
+        EXPECT_FALSE(t.subject.empty());
+        EXPECT_FALSE(t.predicate.empty());
+        EXPECT_FALSE(t.object.empty());
+        ++statements;
+        return Status::OK();
+      });
+  if (!status.ok()) {
+    EXPECT_FALSE(status.ToString().empty());
+  }
+}
+
+TEST(NTriplesFuzzTest, CorpusItselfParses) {
+  size_t statements = 0;
+  const Status status = NTriplesParser::ParseDocument(
+      JoinCorpus(), [&](const ParsedTriple&) -> Status {
+        ++statements;
+        return Status::OK();
+      });
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(statements, 9u);  // corpus minus comment and blank line
+}
+
+TEST(NTriplesFuzzTest, TruncationAtEveryByteIsHandled) {
+  const std::string document = JoinCorpus();
+  for (size_t cut = 0; cut <= document.size(); ++cut) {
+    ExpectCleanParse(document.substr(0, cut),
+                     "truncated at byte " + std::to_string(cut));
+  }
+}
+
+TEST(NTriplesFuzzTest, RandomByteFlipsAreHandled) {
+  const std::string document = JoinCorpus();
+  Random rng(0xF1247ED5EEDull);
+  for (int round = 0; round < 2000; ++round) {
+    std::string mutated = document;
+    const size_t flips = 1 + rng.Uniform(4);
+    for (size_t f = 0; f < flips; ++f) {
+      const size_t pos = rng.Uniform(mutated.size());
+      mutated[pos] = static_cast<char>(rng.Uniform(256));
+    }
+    ExpectCleanParse(mutated, "byte-flip round " + std::to_string(round));
+  }
+}
+
+TEST(NTriplesFuzzTest, TerminatorSplicingIsHandled) {
+  // Attack the statement terminator specifically: drop the final ' .',
+  // glue '.' onto terms, duplicate terminators, and splice '.' at random
+  // positions — the shapes the PR 2 terminator parsing had to get right.
+  const std::string document = JoinCorpus();
+  Random rng(0x7E121A70ull);
+  for (int round = 0; round < 1000; ++round) {
+    std::string mutated = document;
+    const size_t edits = 1 + rng.Uniform(3);
+    for (size_t e = 0; e < edits; ++e) {
+      const size_t pos = rng.Uniform(mutated.size());
+      switch (rng.Uniform(4)) {
+        case 0:
+          mutated.insert(pos, ".");
+          break;
+        case 1:
+          mutated.insert(pos, " .");
+          break;
+        case 2:
+          if (mutated[pos] == '.') mutated.erase(pos, 1);
+          break;
+        default:
+          if (mutated[pos] == ' ' || mutated[pos] == '\t') {
+            mutated.erase(pos, 1);
+          }
+          break;
+      }
+    }
+    ExpectCleanParse(mutated, "terminator round " + std::to_string(round));
+  }
+}
+
+TEST(NTriplesFuzzTest, RandomGarbageIsRejectedCleanly) {
+  Random rng(0x6A12BA6Eull);
+  for (int round = 0; round < 500; ++round) {
+    std::string garbage;
+    const size_t len = rng.Uniform(256);
+    for (size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    ExpectCleanParse(garbage, "garbage round " + std::to_string(round));
+  }
+}
+
+}  // namespace
+}  // namespace slider

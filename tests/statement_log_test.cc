@@ -38,6 +38,52 @@ TEST(StatementLogTest, BatchAppend) {
   EXPECT_EQ(*records, batch);
 }
 
+TEST(StatementLogTest, TombstoneRoundTrip) {
+  const std::string path = TempPath("log_tombstones.bin");
+  auto log = StatementLog::Open(path, 0);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->Append({1, 2, 3}).ok());
+  ASSERT_TRUE((*log)->Append({4, 5, 6}).ok());
+  ASSERT_TRUE((*log)->AppendTombstone({1, 2, 3}).ok());
+  ASSERT_TRUE((*log)->Append({1, 2, 3}).ok());  // re-add after deletion
+  EXPECT_EQ((*log)->records_written(), 4u);
+  ASSERT_TRUE((*log)->Close().ok());
+
+  auto records = StatementLog::ReadRecords(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 4u);
+  // The tombstone flag round-trips and the triple decodes unflagged.
+  EXPECT_FALSE((*records)[0].tombstone);
+  EXPECT_TRUE((*records)[2].tombstone);
+  EXPECT_EQ((*records)[2].triple, Triple(1, 2, 3));
+  EXPECT_FALSE((*records)[3].tombstone);
+
+  // ReadAll skips tombstones but keeps every addition, in order.
+  auto adds = StatementLog::ReadAll(path);
+  ASSERT_TRUE(adds.ok());
+  EXPECT_EQ(*adds, (TripleVec{{1, 2, 3}, {4, 5, 6}, {1, 2, 3}}));
+}
+
+TEST(StatementLogTest, LegacyLogDecodesAsPureAdditions) {
+  // A log written with Append only — the pre-tombstone format — must read
+  // back with no record marked deleted.
+  const std::string path = TempPath("log_legacy.bin");
+  auto log = StatementLog::Open(path, 0);
+  ASSERT_TRUE(log.ok());
+  TripleVec batch;
+  for (TermId i = 1; i <= 32; ++i) batch.push_back({i, i + 1, i + 2});
+  ASSERT_TRUE((*log)->AppendBatch(batch).ok());
+  ASSERT_TRUE((*log)->Close().ok());
+
+  auto records = StatementLog::ReadRecords(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), batch.size());
+  for (size_t i = 0; i < records->size(); ++i) {
+    EXPECT_FALSE((*records)[i].tombstone);
+    EXPECT_EQ((*records)[i].triple, batch[i]);
+  }
+}
+
 TEST(StatementLogTest, AppendAfterCloseFails) {
   const std::string path = TempPath("log_closed.bin");
   auto log = StatementLog::Open(path, 0);

@@ -163,6 +163,139 @@ TEST(TripleStoreTest, EmptyStoreBehaves) {
   EXPECT_EQ(visits, 0);
 }
 
+TEST(TripleStoreTest, EraseRemovesFromEveryIndex) {
+  TripleStore store;
+  store.Add({1, 2, 3});
+  store.Add({1, 2, 4});
+  store.Add({5, 2, 3});
+  ASSERT_TRUE(store.Erase({1, 2, 3}));
+  EXPECT_FALSE(store.Erase({1, 2, 3}));  // second offer finds nothing
+  EXPECT_FALSE(store.Contains({1, 2, 3}));
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.CountWithPredicate(2), 2u);
+  // Forward index no longer serves the ghost …
+  size_t objects = 0;
+  store.ForEachObject(2, 1, [&](TermId o) {
+    EXPECT_EQ(o, 4u);
+    ++objects;
+  });
+  EXPECT_EQ(objects, 1u);
+  // … and neither does the by_object mirror.
+  size_t subjects = 0;
+  store.ForEachSubject(2, 3, [&](TermId s) {
+    EXPECT_EQ(s, 5u);
+    ++subjects;
+  });
+  EXPECT_EQ(subjects, 1u);
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.erase_attempts, 2u);
+  EXPECT_EQ(stats.erased, 1u);
+}
+
+TEST(TripleStoreTest, ErasingLastTripleDropsThePartition) {
+  TripleStore store;
+  store.Add({1, 9, 2});
+  ASSERT_EQ(store.NumPredicates(), 1u);
+  ASSERT_TRUE(store.Erase({1, 9, 2}));
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.NumPredicates(), 0u);
+  EXPECT_TRUE(store.Predicates().empty());
+  EXPECT_EQ(store.CountWithPredicate(9), 0u);
+  // The store stays usable after the partition died.
+  EXPECT_TRUE(store.Add({1, 9, 2}));
+  EXPECT_EQ(store.NumPredicates(), 1u);
+}
+
+TEST(TripleStoreTest, EraseAllReportsTheErasedSubset) {
+  TripleStore store;
+  store.AddAll({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}, nullptr);
+  TripleVec erased;
+  EXPECT_EQ(store.EraseAll({{1, 2, 3}, {9, 9, 9}, {7, 8, 9}}, &erased), 2u);
+  EXPECT_EQ(erased, (TripleVec{{1, 2, 3}, {7, 8, 9}}));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_FALSE(store.Erase({0, 5, 6}));  // wildcard components never stored
+}
+
+TEST(TripleStoreTest, SupportFlagsTrackExplicitPopulation) {
+  TripleStore store;
+  EXPECT_TRUE(store.Add({1, 2, 3}, /*is_explicit=*/true));
+  EXPECT_TRUE(store.Add({1, 2, 4}, /*is_explicit=*/false));
+  EXPECT_TRUE(store.IsExplicit({1, 2, 3}));
+  EXPECT_FALSE(store.IsExplicit({1, 2, 4}));
+  EXPECT_FALSE(store.IsExplicit({9, 9, 9}));
+  EXPECT_EQ(store.ExplicitCount(), 1u);
+
+  // Duplicate explicit offer promotes; the promotion is countable.
+  size_t promoted = 0;
+  EXPECT_EQ(store.AddAll({{1, 2, 4}}, nullptr, /*is_explicit=*/true,
+                         &promoted),
+            0u);
+  EXPECT_EQ(promoted, 1u);
+  EXPECT_TRUE(store.IsExplicit({1, 2, 4}));
+  EXPECT_EQ(store.ExplicitCount(), 2u);
+  // An inferred re-offer never demotes.
+  EXPECT_FALSE(store.Add({1, 2, 4}, /*is_explicit=*/false));
+  EXPECT_TRUE(store.IsExplicit({1, 2, 4}));
+
+  // SetSupport flips both ways, keeps the counter in step, and reports
+  // absence.
+  EXPECT_EQ(store.SetSupport({1, 2, 3}, false), 1);
+  EXPECT_EQ(store.SetSupport({1, 2, 3}, false), 0);
+  EXPECT_EQ(store.SetSupport({9, 9, 9}, true), -1);
+  EXPECT_EQ(store.ExplicitCount(), 1u);
+
+  // Erase of an explicit triple decrements the explicit population.
+  EXPECT_TRUE(store.Erase({1, 2, 4}));
+  EXPECT_EQ(store.ExplicitCount(), 0u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(TripleStoreTest, ExistenceProbesTrackErase) {
+  TripleStore store;
+  EXPECT_FALSE(store.AnyWithSubject(1));
+  EXPECT_FALSE(store.AnyWithObject(3));
+  EXPECT_FALSE(store.AnyWithSubject(kAnyTerm));
+  store.Add({1, 2, 3});
+  store.Add({1, 4, 5});
+  EXPECT_TRUE(store.AnyWithSubject(1));
+  EXPECT_TRUE(store.AnyWithObject(3));
+  EXPECT_TRUE(store.AnyWithObject(5));
+  EXPECT_FALSE(store.AnyWithSubject(3));  // 3 only occurs as an object
+  ASSERT_TRUE(store.Erase({1, 2, 3}));
+  EXPECT_TRUE(store.AnyWithSubject(1));   // still subject of <1 4 5>
+  EXPECT_FALSE(store.AnyWithObject(3));   // emptied row was dropped
+  ASSERT_TRUE(store.Erase({1, 4, 5}));
+  EXPECT_FALSE(store.AnyWithSubject(1));
+}
+
+TEST(TripleStoreTest, EraseAndReinsertAcrossSpilledRows) {
+  // Grow one (predicate, subject) row far past the spill threshold, erase
+  // most of it (forcing tombstone compaction), and verify membership,
+  // iteration and re-insert all stay exact.
+  TripleStore store;
+  constexpr TermId kSubject = 1, kPredicate = 2;
+  constexpr uint64_t kCount = 300;
+  for (uint64_t o = 10; o < 10 + kCount; ++o) {
+    ASSERT_TRUE(store.Add({kSubject, kPredicate, o}));
+  }
+  for (uint64_t o = 10; o < 10 + kCount - 20; ++o) {
+    ASSERT_TRUE(store.Erase({kSubject, kPredicate, o}));
+  }
+  EXPECT_EQ(store.size(), 20u);
+  std::vector<TermId> remaining;
+  store.ForEachObject(kPredicate, kSubject,
+                      [&](TermId o) { remaining.push_back(o); });
+  ASSERT_EQ(remaining.size(), 20u);
+  for (size_t i = 0; i < remaining.size(); ++i) {
+    EXPECT_EQ(remaining[i], 10 + kCount - 20 + i);  // insertion order kept
+  }
+  for (uint64_t o = 10; o < 10 + kCount - 20; ++o) {
+    ASSERT_TRUE(store.Add({kSubject, kPredicate, o}));
+  }
+  EXPECT_EQ(store.size(), kCount);
+  EXPECT_EQ(store.CountWithPredicate(kPredicate), kCount);
+}
+
 TEST(TripleStoreTest, ConcurrentWritersProduceConsistentStore) {
   TripleStore store;
   constexpr int kThreads = 8;
