@@ -1,0 +1,415 @@
+// Read-side contention microbench: rule-style readers joining against the
+// store while N writer threads stream inserts — reader-lock baseline vs.
+// the epoch-published lock-free StoreView path.
+//
+// The baseline below is a faithful extract of the pre-view TripleStore
+// (PR 1-3): predicate partitions striped over shared_mutex shards,
+// flat-hash indexes, DedupRow rows — rule executions took the reader side
+// of a shard for every probe, so they convoyed with the distributor's
+// writers on hot predicates. The contender is the current TripleStore,
+// whose readers pin an epoch and take no lock at all.
+//
+// Both stores run the same workload: W writer threads streaming
+// fresh-triple batches through AddAll while R reader threads run CAX-SCO
+// style joins (ForEachObject over the schema partition + a Contains probe
+// per candidate) against the hot predicates, unthrottled. The headline
+// number is aggregate reader joins/sec while writers run; writer
+// throughput is reported alongside so the baseline's writer side cannot
+// quietly absorb the difference.
+//
+// Output is one JSON object per (store, writers) cell plus a summary with
+// the read-side speedup at each thread count, e.g.:
+//   bench_read_contention --quick --json=read_contention.json
+// Flags: --quick (small N), --writers=1,2,4, --json=FILE, --seconds=S.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/flat_hash.h"
+#include "common/random.h"
+#include "common/sharding.h"
+#include "common/stopwatch.h"
+#include "store/triple_store.h"
+
+namespace slider {
+namespace {
+
+/// The pre-view sharded store, reduced to the operations this bench
+/// exercises: the paper's ReentrantReadWriteLock design, striped — every
+/// read takes a shard's shared_mutex reader side.
+class RwLockStore {
+ public:
+  RwLockStore()
+      : shard_count_(ResolveShardCount(0, 8, 1024)),
+        shard_mask_(shard_count_ - 1),
+        shards_(new Shard[shard_count_]) {}
+
+  size_t AddAll(const TripleVec& batch, TripleVec* delta) {
+    size_t added = 0;
+    size_t current = static_cast<size_t>(-1);
+    std::unique_lock<std::shared_mutex> lock;
+    for (const Triple& t : batch) {
+      const size_t index = ShardIndex(t.p);
+      if (index != current) {
+        if (lock.owns_lock()) lock.unlock();
+        lock = std::unique_lock<std::shared_mutex>(shards_[index].mu);
+        current = index;
+      }
+      Shard& shard = shards_[index];
+      Partition& partition = shard.partitions[t.p];
+      if (partition.by_subject[t.s].Insert(t.o, true) !=
+          DedupRow::InsertResult::kNew) {
+        continue;
+      }
+      partition.by_object[t.o].push_back(t.s);
+      ++shard.triples;
+      ++added;
+      if (delta != nullptr) delta->push_back(t);
+    }
+    return added;
+  }
+
+  bool Contains(const Triple& t) const {
+    const Shard& shard = ShardFor(t.p);
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    const Partition* part = shard.partitions.Find(t.p);
+    if (part == nullptr) return false;
+    const DedupRow* row = part->by_subject.Find(t.s);
+    return row != nullptr && row->Contains(t.o);
+  }
+
+  template <typename Fn>
+  void ForEachObject(TermId p, TermId s, Fn&& fn) const {
+    const Shard& shard = ShardFor(p);
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    const Partition* part = shard.partitions.Find(p);
+    if (part == nullptr) return;
+    const DedupRow* row = part->by_subject.Find(s);
+    if (row == nullptr) return;
+    row->ForEach([&](TermId o) { fn(o); });
+  }
+
+  template <typename Fn>
+  void ForEachSubject(TermId p, TermId o, Fn&& fn) const {
+    const Shard& shard = ShardFor(p);
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    const Partition* part = shard.partitions.Find(p);
+    if (part == nullptr) return;
+    const std::vector<TermId>* row = part->by_object.Find(o);
+    if (row == nullptr) return;
+    for (TermId s : *row) fn(s);
+  }
+
+  size_t size() const {
+    size_t total = 0;
+    for (size_t i = 0; i < shard_count_; ++i) {
+      std::shared_lock<std::shared_mutex> lock(shards_[i].mu);
+      total += shards_[i].triples;
+    }
+    return total;
+  }
+
+ private:
+  struct Partition {
+    FlatHashMap<DedupRow> by_subject;
+    FlatHashMap<std::vector<TermId>> by_object;
+  };
+  struct alignas(64) Shard {
+    mutable std::shared_mutex mu;
+    FlatHashMap<Partition> partitions;
+    size_t triples = 0;
+  };
+
+  size_t ShardIndex(TermId p) const {
+    return (FlatHashMix(p) >> 32) & shard_mask_;
+  }
+  const Shard& ShardFor(TermId p) const { return shards_[ShardIndex(p)]; }
+
+  size_t shard_count_;
+  size_t shard_mask_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+/// Adapters: one join op = "a type-assertion delta triple arrives" in
+/// CAX-SCO — look up the superclasses of its class in the schema partition
+/// and probe each produced consequence (the Contains half models the
+/// distributor's dedup probe in the same pinned scope).
+struct LockedReader {
+  const RwLockStore& store;
+  template <typename Fn>
+  size_t Join(TermId schema_p, TermId cls, TermId x, TermId type_p,
+              Fn&& sink) const {
+    size_t produced = 0;
+    std::vector<TermId> supers;
+    store.ForEachObject(schema_p, cls, [&](TermId c2) {
+      supers.push_back(c2);
+    });
+    for (TermId c2 : supers) {
+      ++produced;
+      if (store.Contains(Triple(x, type_p, c2))) sink(c2);
+    }
+    return produced;
+  }
+};
+
+struct ViewReader {
+  const TripleStore& store;
+  template <typename Fn>
+  size_t Join(TermId schema_p, TermId cls, TermId x, TermId type_p,
+              Fn&& sink) const {
+    // One pinned view per join, as Reasoner::ExecuteRule does.
+    const StoreView view = store.GetView();
+    size_t produced = 0;
+    std::vector<TermId> supers;
+    view.ForEachObject(schema_p, cls, [&](TermId c2) {
+      supers.push_back(c2);
+    });
+    for (TermId c2 : supers) {
+      ++produced;
+      if (view.Contains(Triple(x, type_p, c2))) sink(c2);
+    }
+    return produced;
+  }
+};
+
+struct Cell {
+  std::string store;
+  int writers = 0;
+  int readers = 0;
+  uint64_t reader_joins = 0;
+  uint64_t reader_matches = 0;
+  size_t written = 0;
+  double seconds = 0;
+  double joins_per_sec = 0;
+  double writes_per_sec = 0;
+};
+
+constexpr TermId kSchemaP = 1;  // "subClassOf"
+constexpr TermId kTypeP = 2;    // "type"
+constexpr size_t kClasses = 256;
+constexpr size_t kDepth = 8;  // superclasses per class row
+
+/// Schema: every class gets kDepth superclasses, so each join's
+/// ForEachObject walks a short row — the paper's schema-vs-instance shape.
+TripleVec MakeSchema() {
+  TripleVec out;
+  for (TermId c = 1; c <= kClasses; ++c) {
+    for (size_t d = 1; d <= kDepth; ++d) {
+      out.push_back({1000 + c, kSchemaP, 1000 + ((c + d * 37) % kClasses) + 1});
+    }
+  }
+  return out;
+}
+
+/// Writer stream: type assertions + instance edges on writer-private
+/// predicates, salted per pass so every insert is fresh.
+TripleVec MakeWriterBatch(int writer, uint64_t pass, size_t batch_size) {
+  Random rng(pass * 131 + static_cast<uint64_t>(writer) + 7);
+  TripleVec out;
+  out.reserve(batch_size);
+  const TermId base = 1'000'000 + (pass * 64 + static_cast<uint64_t>(writer)) *
+                                      batch_size * 2;
+  for (size_t i = 0; i < batch_size; ++i) {
+    if ((i & 1) == 0) {
+      out.push_back({base + i, kTypeP, 1000 + rng.Uniform(kClasses) + 1});
+    } else {
+      out.push_back({base + i, static_cast<TermId>(10 + writer), base + i + 1});
+    }
+  }
+  return out;
+}
+
+template <typename Store, typename Reader>
+Cell RunCell(const std::string& name, Store& store, const Reader& reader,
+             int writers, int reader_count, double seconds) {
+  store.AddAll(MakeSchema(), nullptr);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> joins{0};
+  std::atomic<uint64_t> matches{0};
+  std::vector<std::thread> reader_threads;
+  for (int r = 0; r < reader_count; ++r) {
+    reader_threads.emplace_back([&, r] {
+      Random rng(9000 + static_cast<uint64_t>(r));
+      uint64_t local_joins = 0;
+      uint64_t local_matches = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const TermId cls = 1000 + rng.Uniform(kClasses) + 1;
+        const TermId x = 1'000'000 + rng.Uniform(100000);
+        reader.Join(kSchemaP, cls, x, kTypeP,
+                    [&](TermId) { ++local_matches; });
+        ++local_joins;
+      }
+      joins.fetch_add(local_joins, std::memory_order_relaxed);
+      matches.fetch_add(local_matches, std::memory_order_relaxed);
+    });
+  }
+
+  std::atomic<size_t> written{0};
+  std::vector<std::thread> writer_threads;
+  Stopwatch watch;
+  for (int w = 0; w < writers; ++w) {
+    writer_threads.emplace_back([&, w] {
+      size_t local = 0;
+      uint64_t pass = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        TripleVec batch = MakeWriterBatch(w, pass++, 1024);
+        local += store.AddAll(batch, nullptr);
+      }
+      written.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int>(seconds * 1000)));
+  stop.store(true);
+  for (auto& th : writer_threads) th.join();
+  const double elapsed = watch.ElapsedSeconds();
+  for (auto& th : reader_threads) th.join();
+
+  Cell cell;
+  cell.store = name;
+  cell.writers = writers;
+  cell.readers = reader_count;
+  cell.reader_joins = joins.load();
+  cell.reader_matches = matches.load();
+  cell.written = written.load();
+  cell.seconds = elapsed;
+  cell.joins_per_sec = elapsed > 0 ? cell.reader_joins / elapsed : 0;
+  cell.writes_per_sec = elapsed > 0 ? cell.written / elapsed : 0;
+  return cell;
+}
+
+std::string CellJson(const Cell& c) {
+  std::ostringstream os;
+  os << "{\"bench\":\"read_contention\",\"store\":\"" << c.store
+     << "\",\"writers\":" << c.writers << ",\"readers\":" << c.readers
+     << ",\"reader_joins\":" << c.reader_joins
+     << ",\"reader_matches\":" << c.reader_matches
+     << ",\"written\":" << c.written << ",\"seconds\":" << c.seconds
+     << ",\"joins_per_sec\":" << static_cast<uint64_t>(c.joins_per_sec)
+     << ",\"writes_per_sec\":" << static_cast<uint64_t>(c.writes_per_sec)
+     << "}";
+  return os.str();
+}
+
+uint64_t ParsePositive(const std::string& text, uint64_t fallback) {
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return fallback;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return text.empty() || value == 0 ? fallback : value;
+}
+
+std::vector<int> ParseWriters(const std::string& csv) {
+  std::vector<int> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const uint64_t v = ParsePositive(item, 0);
+    if (v > 0 && v <= 32) out.push_back(static_cast<int>(v));
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace slider
+
+int main(int argc, char** argv) {
+  using namespace slider;
+  using namespace slider::bench;
+
+  std::setvbuf(stdout, nullptr, _IONBF, 0);
+  const bool quick = HasFlag(argc, argv, "--quick");
+  const double seconds = static_cast<double>(ParsePositive(
+      FlagValue(argc, argv, "--seconds", ""), quick ? 1 : 3));
+  std::vector<int> writer_counts =
+      ParseWriters(FlagValue(argc, argv, "--writers", "1,2,4"));
+  if (writer_counts.empty()) {
+    std::fprintf(stderr, "no valid --writers values; using 1,2,4\n");
+    writer_counts = {1, 2, 4};
+  }
+  const std::string json_path = FlagValue(argc, argv, "--json", "");
+
+  std::vector<std::string> lines;
+  std::vector<Cell> locked_cells;
+  std::vector<Cell> view_cells;
+
+  std::printf("%-8s %8s %8s %14s %14s %10s\n", "store", "writers", "readers",
+              "joins/s", "writes/s", "seconds");
+  for (int writers : writer_counts) {
+    const int readers = std::max(1, writers);
+    Cell locked;
+    {
+      RwLockStore store;
+      LockedReader reader{store};
+      locked = RunCell("locked", store, reader, writers, readers, seconds);
+    }
+    Cell view;
+    {
+      TripleStore store;
+      ViewReader reader{store};
+      view = RunCell("view", store, reader, writers, readers, seconds);
+    }
+    for (const Cell& c : {locked, view}) {
+      std::printf("%-8s %8d %8d %14llu %14llu %10.3f\n", c.store.c_str(),
+                  c.writers, c.readers,
+                  static_cast<unsigned long long>(c.joins_per_sec),
+                  static_cast<unsigned long long>(c.writes_per_sec),
+                  c.seconds);
+      lines.push_back(CellJson(c));
+    }
+    locked_cells.push_back(locked);
+    view_cells.push_back(view);
+  }
+
+  std::printf("\n%-10s %14s %14s\n", "writers", "read speedup",
+              "write speedup");
+  for (size_t i = 0; i < locked_cells.size(); ++i) {
+    const double read_speedup =
+        locked_cells[i].joins_per_sec > 0
+            ? view_cells[i].joins_per_sec / locked_cells[i].joins_per_sec
+            : 0;
+    const double write_speedup =
+        locked_cells[i].writes_per_sec > 0
+            ? view_cells[i].writes_per_sec / locked_cells[i].writes_per_sec
+            : 0;
+    std::printf("%-10d %13.2fx %13.2fx\n", locked_cells[i].writers,
+                read_speedup, write_speedup);
+    std::ostringstream os;
+    os << "{\"bench\":\"read_contention\",\"summary\":true,\"writers\":"
+       << locked_cells[i].writers << ",\"read_speedup\":" << read_speedup
+       << ",\"write_speedup\":" << write_speedup << "}";
+    lines.push_back(os.str());
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "[\n";
+    for (size_t i = 0; i < lines.size(); ++i) {
+      out << "  " << lines[i] << (i + 1 < lines.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    out.flush();
+    if (out.good()) {
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

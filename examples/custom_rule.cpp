@@ -34,7 +34,7 @@ class PartOfTransitivityRule : public RuleBase {
                  {part_of}),
         part_of_(part_of) {}
 
-  void Apply(const TripleVec& delta, const TripleStore& store,
+  void Apply(const TripleVec& delta, const StoreView& store,
              TripleVec* out) const override {
     for (const Triple& t : delta) {
       if (t.p != part_of_) continue;
@@ -60,7 +60,7 @@ class InverseContainsRule : public RuleBase {
         part_of_(part_of),
         contains_(contains) {}
 
-  void Apply(const TripleVec& delta, const TripleStore& /*store*/,
+  void Apply(const TripleVec& delta, const StoreView& /*store*/,
              TripleVec* out) const override {
     for (const Triple& t : delta) {
       if (t.p == part_of_) {

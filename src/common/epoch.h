@@ -1,0 +1,271 @@
+#ifndef SLIDER_COMMON_EPOCH_H_
+#define SLIDER_COMMON_EPOCH_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace slider {
+
+/// \brief Epoch-based memory reclamation for single-writer, lock-free-reader
+/// data structures (the TripleStore's snapshot read path).
+///
+/// The protocol is classic EBR (Fraser), specialised to this codebase's
+/// needs:
+///
+///  - *Readers* pin an epoch (EpochPin, RAII) before loading any published
+///    pointer and hold the pin for as long as they dereference what they
+///    loaded. Pinning is a couple of atomic operations on a private
+///    cache-line-aligned slot — no lock, no shared-cache-line write traffic
+///    between readers on different slots.
+///  - *Writers* first unlink a structure version from every published
+///    pointer (so no newly pinned reader can reach it) and then hand it to
+///    Retire(). Retire never frees inline garbage immediately; it stamps the
+///    garbage with the current global epoch and queues it.
+///  - *Reclamation* runs opportunistically from Retire (every
+///    kCollectEvery retirements) or explicitly via Collect(): the global
+///    epoch is advanced and every queued item whose stamp is older than the
+///    minimum epoch pinned by any active reader is freed.
+///
+/// Reclamation contract (the store's StoreView leans on each clause):
+///  1. An object handed to Retire() must already be unreachable from every
+///     published pointer; Retire() is the *second* step, unlinking is the
+///     first.
+///  2. A reader that pinned at epoch E can hold references only to objects
+///     retired at an epoch >= E, so garbage is freed strictly when
+///     retire_epoch < min(pinned epochs). Pins are cheap but not free:
+///     holding one indefinitely stalls reclamation (memory grows), never
+///     correctness.
+///  3. Pins may nest freely (each EpochPin claims its own slot) and may be
+///     taken from any thread, including pool workers. kMaxSlots bounds the
+///     number of *simultaneously live* pins; claiming beyond that spins
+///     until a slot frees, which no sane call pattern hits.
+///  4. Destroying the manager frees all queued garbage unconditionally: the
+///     owner must guarantee no pin outlives the manager (the store requires
+///     the same of its views).
+///
+/// Memory-ordering notes: the epoch counter and the pin slots use seq_cst —
+/// the pin protocol (store slot, re-check the global epoch, retry on a
+/// mismatch) and the collector's scan need a single total order to argue
+/// that a reader the scan classifies as "not pinned before the retirement"
+/// can only load the replacement pointer, never the retired one. Publication
+/// and unlink stores of the protected pointers themselves are seq_cst on the
+/// writer side for the same argument (they are rare: only on version
+/// replacement). All of this is plain-atomic (no standalone fences), which
+/// ThreadSanitizer models exactly.
+class EpochManager {
+ public:
+  EpochManager() = default;
+
+  ~EpochManager() {
+    // Owner contract: no pins remain. Free everything still queued.
+    for (Stripe& stripe : stripes_) {
+      for (const Garbage& g : stripe.garbage) g.deleter(g.object);
+    }
+  }
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// \brief RAII epoch pin: readers hold one while dereferencing published
+  /// pointers. Movable, not copyable.
+  class Pin {
+   public:
+    Pin() = default;
+    Pin(Pin&& other) noexcept : mgr_(other.mgr_), slot_(other.slot_) {
+      other.mgr_ = nullptr;
+    }
+    Pin& operator=(Pin&& other) noexcept {
+      if (this != &other) {
+        Release();
+        mgr_ = other.mgr_;
+        slot_ = other.slot_;
+        other.mgr_ = nullptr;
+      }
+      return *this;
+    }
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+    ~Pin() { Release(); }
+
+    bool active() const { return mgr_ != nullptr; }
+
+   private:
+    friend class EpochManager;
+    Pin(EpochManager* mgr, size_t slot) : mgr_(mgr), slot_(slot) {}
+
+    void Release() {
+      if (mgr_ == nullptr) return;
+      Slot& s = mgr_->slots_[slot_];
+      // The release store lets the collector's acquire scan order our reads
+      // before any later free of what we were reading.
+      s.epoch.store(kIdle, std::memory_order_release);
+      s.claimed.store(false, std::memory_order_release);
+      mgr_ = nullptr;
+    }
+
+    EpochManager* mgr_ = nullptr;
+    size_t slot_ = 0;
+  };
+
+  /// Pins the current epoch. See the class comment for the reader contract.
+  Pin pin() {
+    const size_t slot = ClaimSlot();
+    Slot& s = slots_[slot];
+    // Publish the observed epoch, then confirm it did not advance while the
+    // store was in flight; on a mismatch re-publish the newer value. After
+    // this loop the collector either counts us under epoch e or its
+    // advancing of the epoch is ordered before our re-read — in which case
+    // every pointer retired under e was already unlinked before we load
+    // anything.
+    uint64_t e = global_.load(std::memory_order_seq_cst);
+    while (true) {
+      s.epoch.store(e, std::memory_order_seq_cst);
+      const uint64_t now = global_.load(std::memory_order_seq_cst);
+      if (now == e) break;
+      e = now;
+    }
+    return Pin(this, slot);
+  }
+
+  /// Queues `object` for deferred deletion. The caller must already have
+  /// unlinked it from every published pointer (clause 1 of the contract).
+  /// Garbage lists are striped by thread so structural writers on
+  /// different shards do not serialize on one reclamation lock; every
+  /// kCollectEvery retirements (process-wide) one caller runs Collect.
+  void Retire(void* object, void (*deleter)(void*)) {
+    assert(object != nullptr);
+    Stripe& stripe = StripeForThisThread();
+    {
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      stripe.garbage.push_back(
+          {object, deleter, global_.load(std::memory_order_seq_cst)});
+    }
+    if (retired_since_collect_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+        kCollectEvery) {
+      Collect();
+    }
+  }
+
+  /// Advances the epoch and frees every queued item no pinned reader can
+  /// still reference. Safe to call from any thread; concurrent callers
+  /// sweep disjoint stripes one lock at a time.
+  void Collect() {
+    retired_since_collect_.store(0, std::memory_order_relaxed);
+    const uint64_t current =
+        global_.fetch_add(1, std::memory_order_seq_cst) + 1;
+    uint64_t min_active = kIdle;
+    for (const Slot& s : slots_) {
+      // A slot seen idle orders that reader's loads before the frees below
+      // (Pin::Release pairs with this seq_cst load).
+      const uint64_t e = s.epoch.load(std::memory_order_seq_cst);
+      if (e != kIdle && e < min_active) min_active = e;
+    }
+    // Free strictly-older garbage only: `epoch < current` excludes items
+    // retired *after* the pin scan above (the striped lists make that
+    // interleaving possible — a reader pinned after the scan could still
+    // have loaded such an item's pointer before its unlink reached the SC
+    // order). Items from before the advance satisfy it trivially.
+    for (Stripe& stripe : stripes_) {
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      size_t w = 0;
+      for (size_t r = 0; r < stripe.garbage.size(); ++r) {
+        if (stripe.garbage[r].epoch < min_active &&
+            stripe.garbage[r].epoch < current) {
+          stripe.garbage[r].deleter(stripe.garbage[r].object);
+        } else {
+          stripe.garbage[w++] = stripe.garbage[r];
+        }
+      }
+      stripe.garbage.resize(w);
+    }
+  }
+
+  /// Queued-but-not-yet-freed objects (introspection/tests).
+  size_t garbage_size() const {
+    size_t total = 0;
+    for (const Stripe& stripe : stripes_) {
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      total += stripe.garbage.size();
+    }
+    return total;
+  }
+
+  /// Current global epoch (introspection/tests).
+  uint64_t epoch() const { return global_.load(std::memory_order_seq_cst); }
+
+ private:
+  static constexpr uint64_t kIdle = ~uint64_t{0};
+  static constexpr size_t kMaxSlots = 256;
+  static constexpr size_t kCollectEvery = 64;
+
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> epoch{kIdle};
+    std::atomic<bool> claimed{false};
+  };
+
+  struct Garbage {
+    void* object;
+    void (*deleter)(void*);
+    uint64_t epoch;
+  };
+
+  /// One striped garbage list. Aligned so stripes do not false-share;
+  /// writers on different threads retire into different stripes.
+  struct alignas(64) Stripe {
+    mutable std::mutex mu;
+    std::vector<Garbage> garbage;  // guarded by mu
+  };
+  static constexpr size_t kGarbageStripes = 16;
+
+  Stripe& StripeForThisThread() {
+    static thread_local const size_t index =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+        kGarbageStripes;
+    return stripes_[index];
+  }
+
+  size_t ClaimSlot() {
+    // Start probing at a per-thread offset so concurrent pinners do not all
+    // fight over slot 0.
+    static thread_local size_t hint =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+        kMaxSlots;
+    while (true) {
+      for (size_t i = 0; i < kMaxSlots; ++i) {
+        const size_t idx = (hint + i) % kMaxSlots;
+        bool expected = false;
+        if (slots_[idx].claimed.compare_exchange_strong(
+                expected, true, std::memory_order_acquire)) {
+          hint = idx;
+          return idx;
+        }
+      }
+      // All slots busy: only possible under pathological pin nesting.
+      std::this_thread::yield();
+    }
+  }
+
+  std::atomic<uint64_t> global_{1};
+  Slot slots_[kMaxSlots];
+  Stripe stripes_[kGarbageStripes];
+  std::atomic<size_t> retired_since_collect_{0};
+};
+
+using EpochPin = EpochManager::Pin;
+
+/// Convenience retire for a concrete type: Retire(mgr, ptr) deletes `ptr`
+/// once no pinned reader can reach it.
+template <typename T>
+void EpochRetire(EpochManager* mgr, T* object) {
+  mgr->Retire(object, [](void* p) { delete static_cast<T*>(p); });
+}
+
+}  // namespace slider
+
+#endif  // SLIDER_COMMON_EPOCH_H_

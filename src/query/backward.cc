@@ -25,7 +25,8 @@ class BackwardChainer::DedupSink {
   TripleSet emitted_;
 };
 
-std::vector<TermId> BackwardChainer::Reach(TermId start, TermId predicate,
+std::vector<TermId> BackwardChainer::Reach(const StoreView& store,
+                                           TermId start, TermId predicate,
                                            bool down) const {
   // BFS along `predicate` edges; nodes are emitted only when reached
   // through at least one edge (ρdf has no reflexive closure), so `start`
@@ -45,44 +46,51 @@ std::vector<TermId> BackwardChainer::Reach(TermId start, TermId predicate,
       frontier.push_back(next);
     };
     if (down) {
-      store_->ForEachSubject(predicate, cur, visit);
+      store.ForEachSubject(predicate, cur, visit);
     } else {
-      store_->ForEachObject(predicate, cur, visit);
+      store.ForEachObject(predicate, cur, visit);
     }
   }
   return out;
 }
 
-std::vector<TermId> BackwardChainer::SubClassesOf(TermId c) const {
-  std::vector<TermId> out = Reach(c, v_.sub_class_of, /*down=*/true);
+std::vector<TermId> BackwardChainer::SubClassesOf(const StoreView& store,
+                                                  TermId c) const {
+  std::vector<TermId> out = Reach(store, c, v_.sub_class_of, /*down=*/true);
   if (std::find(out.begin(), out.end(), c) == out.end()) out.push_back(c);
   return out;
 }
 
-std::vector<TermId> BackwardChainer::SuperClassesOf(TermId c) const {
-  std::vector<TermId> out = Reach(c, v_.sub_class_of, /*down=*/false);
+std::vector<TermId> BackwardChainer::SuperClassesOf(const StoreView& store,
+                                                    TermId c) const {
+  std::vector<TermId> out = Reach(store, c, v_.sub_class_of, /*down=*/false);
   if (std::find(out.begin(), out.end(), c) == out.end()) out.push_back(c);
   return out;
 }
 
-std::vector<TermId> BackwardChainer::SubPropertiesOf(TermId p) const {
-  std::vector<TermId> out = Reach(p, v_.sub_property_of, /*down=*/true);
+std::vector<TermId> BackwardChainer::SubPropertiesOf(const StoreView& store,
+                                                     TermId p) const {
+  std::vector<TermId> out =
+      Reach(store, p, v_.sub_property_of, /*down=*/true);
   if (std::find(out.begin(), out.end(), p) == out.end()) out.push_back(p);
   return out;
 }
 
-std::vector<TermId> BackwardChainer::SuperPropertiesOf(TermId p) const {
-  std::vector<TermId> out = Reach(p, v_.sub_property_of, /*down=*/false);
+std::vector<TermId> BackwardChainer::SuperPropertiesOf(const StoreView& store,
+                                                       TermId p) const {
+  std::vector<TermId> out =
+      Reach(store, p, v_.sub_property_of, /*down=*/false);
   if (std::find(out.begin(), out.end(), p) == out.end()) out.push_back(p);
   return out;
 }
 
-void BackwardChainer::MatchTransitive(TermId predicate,
+void BackwardChainer::MatchTransitive(const StoreView& store,
+                                      TermId predicate,
                                       const TriplePattern& pattern,
                                       DedupSink* sink) const {
   if (pattern.s != kAnyTerm) {
     // Entailed (s P x): everything reachable upward through >= 1 edge.
-    for (TermId target : Reach(pattern.s, predicate, /*down=*/false)) {
+    for (TermId target : Reach(store, pattern.s, predicate, /*down=*/false)) {
       if (pattern.o == kAnyTerm || pattern.o == target) {
         sink->Emit(Triple(pattern.s, predicate, target));
       }
@@ -90,29 +98,30 @@ void BackwardChainer::MatchTransitive(TermId predicate,
     return;
   }
   if (pattern.o != kAnyTerm) {
-    for (TermId source : Reach(pattern.o, predicate, /*down=*/true)) {
+    for (TermId source : Reach(store, pattern.o, predicate, /*down=*/true)) {
       sink->Emit(Triple(source, predicate, pattern.o));
     }
     return;
   }
   // Fully unbound: expand upward from every explicit edge subject.
   std::unordered_set<TermId> subjects;
-  store_->ForEachWithPredicate(predicate,
-                               [&](TermId s, TermId) { subjects.insert(s); });
+  store.ForEachWithPredicate(predicate,
+                             [&](TermId s, TermId) { subjects.insert(s); });
   for (TermId s : subjects) {
-    for (TermId target : Reach(s, predicate, /*down=*/false)) {
+    for (TermId target : Reach(store, s, predicate, /*down=*/false)) {
       sink->Emit(Triple(s, predicate, target));
     }
   }
 }
 
-void BackwardChainer::MatchSchemaInherited(TermId schema_predicate,
+void BackwardChainer::MatchSchemaInherited(const StoreView& store,
+                                           TermId schema_predicate,
                                            const TriplePattern& pattern,
                                            DedupSink* sink) const {
   if (pattern.s != kAnyTerm) {
     // (p dom/rng c) holds if any super-property of p has it explicitly.
-    for (TermId super : SuperPropertiesOf(pattern.s)) {
-      store_->ForEachObject(schema_predicate, super, [&](TermId c) {
+    for (TermId super : SuperPropertiesOf(store, pattern.s)) {
+      store.ForEachObject(schema_predicate, super, [&](TermId c) {
         if (pattern.o == kAnyTerm || pattern.o == c) {
           sink->Emit(Triple(pattern.s, schema_predicate, c));
         }
@@ -122,15 +131,16 @@ void BackwardChainer::MatchSchemaInherited(TermId schema_predicate,
   }
   // p unbound: start from every explicit schema edge and push down to the
   // carrying property's sub-properties.
-  store_->ForEachWithPredicate(schema_predicate, [&](TermId p, TermId c) {
+  store.ForEachWithPredicate(schema_predicate, [&](TermId p, TermId c) {
     if (pattern.o != kAnyTerm && pattern.o != c) return;
-    for (TermId sub : SubPropertiesOf(p)) {
+    for (TermId sub : SubPropertiesOf(store, p)) {
       sink->Emit(Triple(sub, schema_predicate, c));
     }
   });
 }
 
-void BackwardChainer::MatchType(const TriplePattern& pattern,
+void BackwardChainer::MatchType(const StoreView& store,
+                                const TriplePattern& pattern,
                                 DedupSink* sink) const {
   // Evidence for (x type c'): explicit typing, or being subject/object of a
   // property whose inherited domain/range is c'. The entailed class set is
@@ -138,7 +148,7 @@ void BackwardChainer::MatchType(const TriplePattern& pattern,
   // upward closure once per evidence pair.
   auto emit_for = [&](TermId x, TermId evidence_class) {
     if (pattern.s != kAnyTerm && pattern.s != x) return;
-    for (TermId c : SuperClassesOf(evidence_class)) {
+    for (TermId c : SuperClassesOf(store, evidence_class)) {
       if (pattern.o == kAnyTerm || pattern.o == c) {
         sink->Emit(Triple(x, v_.type, c));
       }
@@ -147,27 +157,27 @@ void BackwardChainer::MatchType(const TriplePattern& pattern,
 
   if (pattern.o != kAnyTerm) {
     // Restrict evidence classes to subclasses of the queried class.
-    for (TermId evidence_class : SubClassesOf(pattern.o)) {
+    for (TermId evidence_class : SubClassesOf(store, pattern.o)) {
       // (a) explicit typing at the evidence class.
-      store_->ForEachSubject(v_.type, evidence_class, [&](TermId x) {
+      store.ForEachSubject(v_.type, evidence_class, [&](TermId x) {
         if (pattern.s == kAnyTerm || pattern.s == x) {
           sink->Emit(Triple(x, v_.type, pattern.o));
         }
       });
       // (b)/(c) domain/range evidence: explicit schema at the evidence
       // class, instances through the carrying property's sub-properties.
-      store_->ForEachSubject(v_.domain, evidence_class, [&](TermId p) {
-        for (TermId sub : SubPropertiesOf(p)) {
-          store_->ForEachWithPredicate(sub, [&](TermId x, TermId) {
+      store.ForEachSubject(v_.domain, evidence_class, [&](TermId p) {
+        for (TermId sub : SubPropertiesOf(store, p)) {
+          store.ForEachWithPredicate(sub, [&](TermId x, TermId) {
             if (pattern.s == kAnyTerm || pattern.s == x) {
               sink->Emit(Triple(x, v_.type, pattern.o));
             }
           });
         }
       });
-      store_->ForEachSubject(v_.range, evidence_class, [&](TermId p) {
-        for (TermId sub : SubPropertiesOf(p)) {
-          store_->ForEachWithPredicate(sub, [&](TermId, TermId y) {
+      store.ForEachSubject(v_.range, evidence_class, [&](TermId p) {
+        for (TermId sub : SubPropertiesOf(store, p)) {
+          store.ForEachWithPredicate(sub, [&](TermId, TermId y) {
             if (pattern.s == kAnyTerm || pattern.s == y) {
               sink->Emit(Triple(y, v_.type, pattern.o));
             }
@@ -179,69 +189,79 @@ void BackwardChainer::MatchType(const TriplePattern& pattern,
   }
 
   // Class unbound: expand upward from every piece of evidence.
-  store_->ForEachWithPredicate(v_.type,
-                               [&](TermId x, TermId c) { emit_for(x, c); });
-  store_->ForEachWithPredicate(v_.domain, [&](TermId p, TermId c) {
-    for (TermId sub : SubPropertiesOf(p)) {
-      store_->ForEachWithPredicate(sub,
-                                   [&](TermId x, TermId) { emit_for(x, c); });
+  store.ForEachWithPredicate(v_.type,
+                             [&](TermId x, TermId c) { emit_for(x, c); });
+  store.ForEachWithPredicate(v_.domain, [&](TermId p, TermId c) {
+    for (TermId sub : SubPropertiesOf(store, p)) {
+      store.ForEachWithPredicate(sub,
+                                 [&](TermId x, TermId) { emit_for(x, c); });
     }
   });
-  store_->ForEachWithPredicate(v_.range, [&](TermId p, TermId c) {
-    for (TermId sub : SubPropertiesOf(p)) {
-      store_->ForEachWithPredicate(sub,
-                                   [&](TermId, TermId y) { emit_for(y, c); });
+  store.ForEachWithPredicate(v_.range, [&](TermId p, TermId c) {
+    for (TermId sub : SubPropertiesOf(store, p)) {
+      store.ForEachWithPredicate(sub,
+                                 [&](TermId, TermId y) { emit_for(y, c); });
     }
   });
 }
 
-void BackwardChainer::MatchInstance(const TriplePattern& pattern,
+void BackwardChainer::MatchInstance(const StoreView& store,
+                                    const TriplePattern& pattern,
                                     DedupSink* sink) const {
   // (x p y) is entailed iff some sub-property of p holds explicitly
   // (PRP-SPO1 unrolled through the SCM-SPO closure).
-  for (TermId sub : SubPropertiesOf(pattern.p)) {
+  for (TermId sub : SubPropertiesOf(store, pattern.p)) {
     TriplePattern sub_pattern = pattern;
     sub_pattern.p = sub;
-    store_->ForEachMatch(sub_pattern, [&](const Triple& t) {
+    store.ForEachMatch(sub_pattern, [&](const Triple& t) {
       sink->Emit(Triple(t.s, pattern.p, t.o));
     });
+  }
+}
+
+void BackwardChainer::MatchPinned(const StoreView& store,
+                                  const TriplePattern& pattern,
+                                  DedupSink* sink) const {
+  if (pattern.p == v_.sub_class_of || pattern.p == v_.sub_property_of) {
+    MatchTransitive(store, pattern.p, pattern, sink);
+    return;
+  }
+  if (pattern.p == v_.domain || pattern.p == v_.range) {
+    MatchSchemaInherited(store, pattern.p, pattern, sink);
+    return;
+  }
+  if (pattern.p == v_.type) {
+    MatchType(store, pattern, sink);
+    return;
+  }
+  if (pattern.p != kAnyTerm) {
+    MatchInstance(store, pattern, sink);
+    return;
+  }
+  // Predicate unbound: the entailed predicate universe is every stored
+  // predicate plus every super-property introduced by subPropertyOf edges.
+  std::unordered_set<TermId> predicates;
+  for (TermId p : store.Predicates()) predicates.insert(p);
+  store.ForEachWithPredicate(v_.sub_property_of,
+                             [&](TermId, TermId super) {
+                               predicates.insert(super);
+                             });
+  predicates.insert(v_.type);
+  for (TermId p : predicates) {
+    TriplePattern bound = pattern;
+    bound.p = p;
+    MatchPinned(store, bound, sink);
   }
 }
 
 void BackwardChainer::Match(
     const TriplePattern& pattern,
     const std::function<void(const Triple&)>& sink) const {
+  // One pin covers the whole recursive expansion: zero locks, one
+  // monotone snapshot.
+  const StoreView store = store_->GetView();
   DedupSink dedup(sink);
-  if (pattern.p == v_.sub_class_of || pattern.p == v_.sub_property_of) {
-    MatchTransitive(pattern.p, pattern, &dedup);
-    return;
-  }
-  if (pattern.p == v_.domain || pattern.p == v_.range) {
-    MatchSchemaInherited(pattern.p, pattern, &dedup);
-    return;
-  }
-  if (pattern.p == v_.type) {
-    MatchType(pattern, &dedup);
-    return;
-  }
-  if (pattern.p != kAnyTerm) {
-    MatchInstance(pattern, &dedup);
-    return;
-  }
-  // Predicate unbound: the entailed predicate universe is every stored
-  // predicate plus every super-property introduced by subPropertyOf edges.
-  std::unordered_set<TermId> predicates;
-  for (TermId p : store_->Predicates()) predicates.insert(p);
-  store_->ForEachWithPredicate(v_.sub_property_of,
-                               [&](TermId, TermId super) {
-                                 predicates.insert(super);
-                               });
-  predicates.insert(v_.type);
-  for (TermId p : predicates) {
-    TriplePattern bound = pattern;
-    bound.p = p;
-    Match(bound, [&](const Triple& t) { dedup.Emit(t); });
-  }
+  MatchPinned(store, pattern, &dedup);
 }
 
 size_t BackwardChainer::EstimateCount(const TriplePattern& pattern) const {

@@ -52,33 +52,46 @@ class BackwardChainer : public MatchProvider {
   /// Match call (dedup is per top-level pattern expansion).
   class DedupSink;
 
+  /// Every expansion below reads through one StoreView pinned for the
+  /// whole top-level Match call: backward queries acquire zero locks and
+  /// observe one monotone snapshot across their recursive walks.
+
+  /// Dispatch over an already-pinned view (the unbound-predicate case
+  /// recurses here instead of re-pinning per predicate).
+  void MatchPinned(const StoreView& store, const TriplePattern& pattern,
+                   DedupSink* sink) const;
+
   /// Expansion of (? sc/sp ?) reachability, all four boundness cases.
-  void MatchTransitive(TermId predicate, const TriplePattern& pattern,
-                       DedupSink* sink) const;
+  void MatchTransitive(const StoreView& store, TermId predicate,
+                       const TriplePattern& pattern, DedupSink* sink) const;
 
   /// Expansion of (p domain/range c) through super-properties.
-  void MatchSchemaInherited(TermId schema_predicate,
+  void MatchSchemaInherited(const StoreView& store, TermId schema_predicate,
                             const TriplePattern& pattern,
                             DedupSink* sink) const;
 
   /// Expansion of (x type c).
-  void MatchType(const TriplePattern& pattern, DedupSink* sink) const;
+  void MatchType(const StoreView& store, const TriplePattern& pattern,
+                 DedupSink* sink) const;
 
   /// Expansion of a plain (x p y) pattern through sub-properties of p.
-  void MatchInstance(const TriplePattern& pattern, DedupSink* sink) const;
+  void MatchInstance(const StoreView& store, const TriplePattern& pattern,
+                     DedupSink* sink) const;
 
   /// All classes sc-reachable *down* from c (subclasses, c included).
-  std::vector<TermId> SubClassesOf(TermId c) const;
+  std::vector<TermId> SubClassesOf(const StoreView& store, TermId c) const;
   /// All classes sc-reachable *up* from c (superclasses, c included).
-  std::vector<TermId> SuperClassesOf(TermId c) const;
+  std::vector<TermId> SuperClassesOf(const StoreView& store, TermId c) const;
   /// All properties sp-reachable down from p (sub-properties, p included).
-  std::vector<TermId> SubPropertiesOf(TermId p) const;
+  std::vector<TermId> SubPropertiesOf(const StoreView& store, TermId p) const;
   /// All properties sp-reachable up from p (super-properties, p included).
-  std::vector<TermId> SuperPropertiesOf(TermId p) const;
+  std::vector<TermId> SuperPropertiesOf(const StoreView& store,
+                                        TermId p) const;
 
   /// Generic closure walk along `predicate` edges; `down` follows
   /// object→subject (toward specialisations).
-  std::vector<TermId> Reach(TermId start, TermId predicate, bool down) const;
+  std::vector<TermId> Reach(const StoreView& store, TermId start,
+                            TermId predicate, bool down) const;
 
   const TripleStore* store_;
   Vocabulary v_;

@@ -39,7 +39,9 @@ class ForwardProvider : public MatchProvider {
 
   void Match(const TriplePattern& pattern,
              const std::function<void(const Triple&)>& sink) const override {
-    store_->ForEachMatch(pattern, sink);
+    // One pinned lock-free view per pattern: query reads never contend
+    // with concurrent ingestion.
+    store_->GetView().ForEachMatch(pattern, sink);
   }
 
   size_t EstimateCount(const TriplePattern& pattern) const override;

@@ -25,8 +25,9 @@ Result<MaterializeStats> BatchReasoner::Materialize(const TripleVec& input) {
     // Global round: every rule sees the full delta, whether or not any of
     // its triples are relevant to the rule — the scan Slider's
     // predicate-routed buffers avoid.
+    const StoreView view = store_->GetView();
     for (const RulePtr& rule : fragment_.rules()) {
-      rule->Apply(delta, *store_, &produced);
+      rule->Apply(delta, view, &produced);
     }
     stats.derivations += produced.size();
     TripleVec next;

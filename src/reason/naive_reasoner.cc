@@ -19,8 +19,9 @@ MaterializeStats NaiveReasoner::Materialize(const TripleVec& input) {
     // triples is re-examined each round and every consequence re-derived.
     const TripleVec everything = store_->Snapshot();
     produced.clear();
+    const StoreView view = store_->GetView();
     for (const RulePtr& rule : fragment_.rules()) {
-      rule->Apply(everything, *store_, &produced);
+      rule->Apply(everything, view, &produced);
     }
     stats.derivations += produced.size();
     const size_t added = store_->AddAll(produced, nullptr);

@@ -1,5 +1,7 @@
 #include "reason/reasoner.h"
 
+#include <algorithm>
+#include <cstddef>
 #include <unordered_map>
 #include <utility>
 
@@ -144,7 +146,9 @@ void Reasoner::SubmitTask(int idx, TripleVec batch) {
 void Reasoner::ExecuteRule(int idx, const TripleVec& batch) {
   RuleModule& module = *modules_[static_cast<size_t>(idx)];
   TripleVec produced;
-  module.rule->Apply(batch, store_, &produced);
+  // One pinned view per execution: the join reads take no lock, and the
+  // store-before-route invariant guarantees the view contains the batch.
+  module.rule->Apply(batch, store_.GetView(), &produced);
   module.executions.fetch_add(1);
   module.derivations.fetch_add(produced.size());
   Trace(TraceEventType::kRuleExecuted, module.rule->name(), batch.size());
@@ -228,14 +232,46 @@ Reasoner::RetractStats Reasoner::Retract(const TripleVec& batch) {
     }
   }
   TripleSet deleted;
-  std::vector<TripleVec> outs(num_modules);
+  // Deletion-mode joins run on the pool: every module's round delta is
+  // chunked into parallel tasks, so one hot module no longer serializes a
+  // round, and — reads being pinned lock-free views — the tasks never
+  // convoy with each other either.
+  struct DeleteTask {
+    size_t module;
+    const TripleVec* borrowed;  // whole-delta case: points into `pending`
+    TripleVec owned;            // split case: one chunk, copied
+    TripleVec out;
+  };
+  constexpr size_t kDeleteChunk = 2048;
   while (!round.empty()) {
     ++stats.delete_rounds;
+    std::vector<DeleteTask> tasks;
     for (size_t m = 0; m < num_modules; ++m) {
-      outs[m].clear();
-      if (pending[m].empty()) continue;
-      pool_->Submit([this, m, &pending, &outs] {
-        modules_[m]->rule->Apply(pending[m], store_, &outs[m]);
+      const TripleVec& p = pending[m];
+      if (p.empty()) continue;
+      if (p.size() <= kDeleteChunk) {
+        // Common case, zero copy: `pending` is immutable until after
+        // WaitIdle, so the task can borrow the whole delta.
+        tasks.push_back(DeleteTask{m, &p, TripleVec{}, TripleVec{}});
+        continue;
+      }
+      for (size_t start = 0; start < p.size(); start += kDeleteChunk) {
+        const size_t end = std::min(p.size(), start + kDeleteChunk);
+        tasks.push_back(DeleteTask{
+            m, nullptr,
+            TripleVec(p.begin() + static_cast<ptrdiff_t>(start),
+                      p.begin() + static_cast<ptrdiff_t>(end)),
+            TripleVec{}});
+      }
+    }
+    // `tasks` is fully built before the first submit: element addresses
+    // stay stable while the pool writes the per-task outputs.
+    for (DeleteTask& task : tasks) {
+      pool_->Submit([this, &task] {
+        const TripleVec& batch =
+            task.borrowed != nullptr ? *task.borrowed : task.owned;
+        modules_[task.module]->rule->Apply(batch, store_.GetView(),
+                                           &task.out);
       });
     }
     pool_->WaitIdle();
@@ -249,13 +285,17 @@ Reasoner::RetractStats Reasoner::Retract(const TripleVec& batch) {
     // records which successor buffers a candidate already reached when two
     // producers feed the same module (the mask degrades to per-producer
     // routing past 64 rules, which only costs duplicate deletion work).
+    // One view covers the filter probes; the erases above happened on this
+    // thread, so the view observes them.
+    const StoreView view = store_.GetView();
     std::unordered_map<Triple, uint64_t, TripleHash> routed;
     std::vector<TripleVec> next_pending(num_modules);
     TripleVec next_round;
-    for (size_t m = 0; m < num_modules; ++m) {
-      stats.delete_derivations += outs[m].size();
-      for (const Triple& c : outs[m]) {
-        if (!store_.Contains(c) || store_.IsExplicit(c)) continue;
+    for (const DeleteTask& task : tasks) {
+      const size_t m = task.module;
+      stats.delete_derivations += task.out.size();
+      for (const Triple& c : task.out) {
+        if (!view.Contains(c) || view.IsExplicit(c)) continue;
         auto [it, fresh] = routed.try_emplace(c, 0);
         if (fresh) next_round.push_back(c);
         for (int s : modules_[m]->successors) {
@@ -342,6 +382,10 @@ Reasoner::RetractStats Reasoner::Retract(const TripleVec& batch) {
     while (!remaining.empty() && !checked_modules.empty()) {
       TripleVec restored;
       TripleVec still_missing;
+      // One view per pass: the pass checks against the store state at pass
+      // start; triples restored by this pass are added below and a fresh
+      // view picks them up next iteration.
+      const StoreView check_view = store_.GetView();
       for (const Triple& t : remaining) {
         bool derivable = false;
         for (int m : checked_modules) {
@@ -359,7 +403,7 @@ Reasoner::RetractStats Reasoner::Retract(const TripleVec& batch) {
             if (!emits) continue;
           }
           ++stats.rederive_checks;
-          if (rule.CanDerive(t, store_)) {
+          if (rule.CanDerive(t, check_view)) {
             derivable = true;
             break;
           }

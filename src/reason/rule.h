@@ -23,9 +23,13 @@ namespace slider {
 /// delta-vs-store joins complete (delta×delta pairs are found through the
 /// store side).
 ///
-/// Apply must be thread-safe and must not mutate the store; it only appends
-/// produced triples (pre-deduplication) to `out`. The same rule can
-/// therefore run as several concurrent module instances, as in the paper.
+/// Rules never see the store directly: they read through a pinned
+/// StoreView (store/triple_store.h), a lock-free monotone snapshot handed
+/// in by the engine, so a rule execution acquires no lock at all and can
+/// never convoy with the distributor's writers. Apply must be thread-safe
+/// and must not mutate the store; it only appends produced triples
+/// (pre-deduplication) to `out`. The same rule can therefore run as several
+/// concurrent module instances, as in the paper.
 ///
 /// Deletion mode (DRed). Reasoner::Retract drives rules in two extra ways:
 ///  - *over-delete* reuses Apply itself: a deletion delta is joined against
@@ -82,10 +86,10 @@ class Rule {
     return false;
   }
 
-  /// Joins `delta` (newly arrived triples, already present in `store`)
-  /// against `store` and appends every produced triple to `out`
+  /// Joins `delta` (newly arrived triples, already present in the viewed
+  /// store) against `store` and appends every produced triple to `out`
   /// (duplicates included; the caller deduplicates through the store).
-  virtual void Apply(const TripleVec& delta, const TripleStore& store,
+  virtual void Apply(const TripleVec& delta, const StoreView& store,
                      TripleVec* out) const = 0;
 
   /// True iff CanDerive implements this rule's one-step rederivability
@@ -93,13 +97,13 @@ class Rule {
   virtual bool SupportsRederiveCheck() const { return false; }
 
   /// Deletion-mode backward check: true iff this rule can produce `t` in
-  /// one step from the triples currently in `store`. Only meaningful when
-  /// SupportsRederiveCheck(); must be thread-safe and must not mutate the
-  /// store. The caller pre-filters on the head shape (OutputPredicates /
-  /// OutputsAnyPredicate), but implementations must still reject triples
+  /// one step from the triples visible through `store`. Only meaningful
+  /// when SupportsRederiveCheck(); must be thread-safe and must not mutate
+  /// the store. The caller pre-filters on the head shape (OutputPredicates
+  /// / OutputsAnyPredicate), but implementations must still reject triples
   /// they can never produce.
   virtual bool CanDerive(const Triple& /*t*/,
-                         const TripleStore& /*store*/) const {
+                         const StoreView& /*store*/) const {
     return false;
   }
 };

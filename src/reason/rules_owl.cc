@@ -24,7 +24,7 @@ PrpInvRule::PrpInvRule(const Vocabulary& v, const OwlTerms& owl)
       v_(v),
       owl_(owl) {}
 
-void PrpInvRule::Apply(const TripleVec& delta, const TripleStore& store,
+void PrpInvRule::Apply(const TripleVec& delta, const StoreView& store,
                        TripleVec* out) const {
   for (const Triple& t : delta) {
     if (t.p == owl_.inverse_of) {
@@ -47,10 +47,10 @@ void PrpInvRule::Apply(const TripleVec& delta, const TripleStore& store,
   }
 }
 
-bool PrpInvRule::CanDerive(const Triple& t, const TripleStore& store) const {
+bool PrpInvRule::CanDerive(const Triple& t, const StoreView& store) const {
   // t = <a q b>: is there an r declared inverse of q (either direction)
   // with <b r a> stored? Candidates are collected first, probed after the
-  // scans return (no nested shard locks; see triple_store.h).
+  // scans return (see the CanDerive note in rules_rhodf.cc).
   std::vector<TermId> candidates;
   const auto collect = [&](TermId r) { candidates.push_back(r); };
   store.ForEachSubject(owl_.inverse_of, t.p, collect);
@@ -72,7 +72,7 @@ PrpTrpRule::PrpTrpRule(const Vocabulary& v, const OwlTerms& owl)
       v_(v),
       owl_(owl) {}
 
-void PrpTrpRule::Apply(const TripleVec& delta, const TripleStore& store,
+void PrpTrpRule::Apply(const TripleVec& delta, const StoreView& store,
                        TripleVec* out) const {
   for (const Triple& t : delta) {
     if (t.p == v_.type && t.o == owl_.transitive_property) {
@@ -97,7 +97,7 @@ void PrpTrpRule::Apply(const TripleVec& delta, const TripleStore& store,
   }
 }
 
-bool PrpTrpRule::CanDerive(const Triple& t, const TripleStore& store) const {
+bool PrpTrpRule::CanDerive(const Triple& t, const StoreView& store) const {
   // t = <x p z>: p transitive and some y with <x p y> and <y p z>?
   if (!store.Contains(Triple(t.p, v_.type, owl_.transitive_property))) {
     return false;
@@ -120,7 +120,7 @@ PrpSympRule::PrpSympRule(const Vocabulary& v, const OwlTerms& owl)
       v_(v),
       owl_(owl) {}
 
-void PrpSympRule::Apply(const TripleVec& delta, const TripleStore& store,
+void PrpSympRule::Apply(const TripleVec& delta, const StoreView& store,
                         TripleVec* out) const {
   for (const Triple& t : delta) {
     if (t.p == v_.type && t.o == owl_.symmetric_property) {
@@ -135,7 +135,7 @@ void PrpSympRule::Apply(const TripleVec& delta, const TripleStore& store,
   }
 }
 
-bool PrpSympRule::CanDerive(const Triple& t, const TripleStore& store) const {
+bool PrpSympRule::CanDerive(const Triple& t, const StoreView& store) const {
   // t = <y p x>: p symmetric and <x p y> stored?
   return store.Contains(Triple(t.p, v_.type, owl_.symmetric_property)) &&
          store.Contains(Triple(t.o, t.p, t.s));
@@ -150,7 +150,7 @@ ScmDom1Rule::ScmDom1Rule(const Vocabulary& v)
                {v.domain, v.sub_class_of}, {v.domain}),
       v_(v) {}
 
-void ScmDom1Rule::Apply(const TripleVec& delta, const TripleStore& store,
+void ScmDom1Rule::Apply(const TripleVec& delta, const StoreView& store,
                         TripleVec* out) const {
   for (const Triple& t : delta) {
     if (t.p == v_.domain) {
@@ -167,7 +167,7 @@ void ScmDom1Rule::Apply(const TripleVec& delta, const TripleStore& store,
   }
 }
 
-bool ScmDom1Rule::CanDerive(const Triple& t, const TripleStore& store) const {
+bool ScmDom1Rule::CanDerive(const Triple& t, const StoreView& store) const {
   // t = <p domain c2>: is there a c1 with <p domain c1> and <c1 sco c2>?
   if (t.p != v_.domain) return false;
   std::vector<TermId> candidates;
@@ -184,7 +184,7 @@ ScmRng1Rule::ScmRng1Rule(const Vocabulary& v)
                {v.range, v.sub_class_of}, {v.range}),
       v_(v) {}
 
-void ScmRng1Rule::Apply(const TripleVec& delta, const TripleStore& store,
+void ScmRng1Rule::Apply(const TripleVec& delta, const StoreView& store,
                         TripleVec* out) const {
   for (const Triple& t : delta) {
     if (t.p == v_.range) {
@@ -199,7 +199,7 @@ void ScmRng1Rule::Apply(const TripleVec& delta, const TripleStore& store,
   }
 }
 
-bool ScmRng1Rule::CanDerive(const Triple& t, const TripleStore& store) const {
+bool ScmRng1Rule::CanDerive(const Triple& t, const StoreView& store) const {
   if (t.p != v_.range) return false;
   std::vector<TermId> candidates;
   store.ForEachObject(v_.range, t.s,

@@ -36,10 +36,10 @@ struct OwlTerms {
 class PrpInvRule : public RuleBase {
  public:
   PrpInvRule(const Vocabulary& v, const OwlTerms& owl);
-  void Apply(const TripleVec& delta, const TripleStore& store,
+  void Apply(const TripleVec& delta, const StoreView& store,
              TripleVec* out) const override;
   bool SupportsRederiveCheck() const override { return true; }
-  bool CanDerive(const Triple& t, const TripleStore& store) const override;
+  bool CanDerive(const Triple& t, const StoreView& store) const override;
 
  private:
   Vocabulary v_;
@@ -56,10 +56,10 @@ class PrpInvRule : public RuleBase {
 class PrpTrpRule : public RuleBase {
  public:
   PrpTrpRule(const Vocabulary& v, const OwlTerms& owl);
-  void Apply(const TripleVec& delta, const TripleStore& store,
+  void Apply(const TripleVec& delta, const StoreView& store,
              TripleVec* out) const override;
   bool SupportsRederiveCheck() const override { return true; }
-  bool CanDerive(const Triple& t, const TripleStore& store) const override;
+  bool CanDerive(const Triple& t, const StoreView& store) const override;
 
  private:
   Vocabulary v_;
@@ -70,10 +70,10 @@ class PrpTrpRule : public RuleBase {
 class PrpSympRule : public RuleBase {
  public:
   PrpSympRule(const Vocabulary& v, const OwlTerms& owl);
-  void Apply(const TripleVec& delta, const TripleStore& store,
+  void Apply(const TripleVec& delta, const StoreView& store,
              TripleVec* out) const override;
   bool SupportsRederiveCheck() const override { return true; }
-  bool CanDerive(const Triple& t, const TripleStore& store) const override;
+  bool CanDerive(const Triple& t, const StoreView& store) const override;
 
  private:
   Vocabulary v_;
@@ -86,10 +86,10 @@ class PrpSympRule : public RuleBase {
 class ScmDom1Rule : public RuleBase {
  public:
   explicit ScmDom1Rule(const Vocabulary& v);
-  void Apply(const TripleVec& delta, const TripleStore& store,
+  void Apply(const TripleVec& delta, const StoreView& store,
              TripleVec* out) const override;
   bool SupportsRederiveCheck() const override { return true; }
-  bool CanDerive(const Triple& t, const TripleStore& store) const override;
+  bool CanDerive(const Triple& t, const StoreView& store) const override;
 
  private:
   Vocabulary v_;
@@ -99,10 +99,10 @@ class ScmDom1Rule : public RuleBase {
 class ScmRng1Rule : public RuleBase {
  public:
   explicit ScmRng1Rule(const Vocabulary& v);
-  void Apply(const TripleVec& delta, const TripleStore& store,
+  void Apply(const TripleVec& delta, const StoreView& store,
              TripleVec* out) const override;
   bool SupportsRederiveCheck() const override { return true; }
-  bool CanDerive(const Triple& t, const TripleStore& store) const override;
+  bool CanDerive(const Triple& t, const StoreView& store) const override;
 
  private:
   Vocabulary v_;

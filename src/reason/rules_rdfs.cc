@@ -16,7 +16,7 @@ TypeAxiomRule::TypeAxiomRule(std::string name, std::string definition,
       mode_(mode),
       fixed_object_(fixed_object) {}
 
-void TypeAxiomRule::Apply(const TripleVec& delta, const TripleStore& /*store*/,
+void TypeAxiomRule::Apply(const TripleVec& delta, const StoreView& /*store*/,
                           TripleVec* out) const {
   for (const Triple& t : delta) {
     if (t.p != type_ || t.o != trigger_class_) continue;
@@ -25,7 +25,7 @@ void TypeAxiomRule::Apply(const TripleVec& delta, const TripleStore& /*store*/,
   }
 }
 
-bool TypeAxiomRule::CanDerive(const Triple& t, const TripleStore& store) const {
+bool TypeAxiomRule::CanDerive(const Triple& t, const StoreView& store) const {
   if (t.p != out_predicate_) return false;
   const TermId obj = mode_ == ObjectMode::kSubject ? t.s : fixed_object_;
   if (t.o != obj) return false;
@@ -73,7 +73,7 @@ Rdfs4Rule::Rdfs4Rule(const Vocabulary& v, Position position)
       resource_(v.resource),
       position_(position) {}
 
-void Rdfs4Rule::Apply(const TripleVec& delta, const TripleStore& /*store*/,
+void Rdfs4Rule::Apply(const TripleVec& delta, const StoreView& /*store*/,
                       TripleVec* out) const {
   for (const Triple& t : delta) {
     const TermId x = position_ == Position::kSubject ? t.s : t.o;
@@ -81,7 +81,7 @@ void Rdfs4Rule::Apply(const TripleVec& delta, const TripleStore& /*store*/,
   }
 }
 
-bool Rdfs4Rule::CanDerive(const Triple& t, const TripleStore& store) const {
+bool Rdfs4Rule::CanDerive(const Triple& t, const StoreView& store) const {
   // t = <x type Resource>: does any triple mention x in our position?
   if (t.p != type_ || t.o != resource_) return false;
   return position_ == Position::kSubject ? store.AnyWithSubject(t.s)

@@ -31,10 +31,10 @@ class TypeAxiomRule : public RuleBase {
                 TermId trigger_class, TermId out_predicate, ObjectMode mode,
                 TermId fixed_object = kAnyTerm);
 
-  void Apply(const TripleVec& delta, const TripleStore& store,
+  void Apply(const TripleVec& delta, const StoreView& store,
              TripleVec* out) const override;
   bool SupportsRederiveCheck() const override { return true; }
-  bool CanDerive(const Triple& t, const TripleStore& store) const override;
+  bool CanDerive(const Triple& t, const StoreView& store) const override;
 
   /// Factory helpers for the five standard instances.
   static RulePtr Rdfs6(const Vocabulary& v);
@@ -62,10 +62,10 @@ class Rdfs4Rule : public RuleBase {
 
   Rdfs4Rule(const Vocabulary& v, Position position);
 
-  void Apply(const TripleVec& delta, const TripleStore& store,
+  void Apply(const TripleVec& delta, const StoreView& store,
              TripleVec* out) const override;
   bool SupportsRederiveCheck() const override { return true; }
-  bool CanDerive(const Triple& t, const TripleStore& store) const override;
+  bool CanDerive(const Triple& t, const StoreView& store) const override;
 
  private:
   TermId type_;

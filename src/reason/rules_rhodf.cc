@@ -23,7 +23,7 @@ CaxScoRule::CaxScoRule(const Vocabulary& v)
                {v.sub_class_of, v.type}, {v.type}),
       v_(v) {}
 
-void CaxScoRule::Apply(const TripleVec& delta, const TripleStore& store,
+void CaxScoRule::Apply(const TripleVec& delta, const StoreView& store,
                        TripleVec* out) const {
   for (const Triple& t : delta) {
     if (t.p == v_.sub_class_of) {
@@ -40,12 +40,12 @@ void CaxScoRule::Apply(const TripleVec& delta, const TripleStore& store,
   }
 }
 
-bool CaxScoRule::CanDerive(const Triple& t, const TripleStore& store) const {
+bool CaxScoRule::CanDerive(const Triple& t, const StoreView& store) const {
   // t = <x type c2>: is there a c1 with <c1 sco c2> and <x type c1>?
-  // Candidates are collected first and probed after the scan returns: a
-  // probe from inside the callback would nest another shard's reader lock
-  // under the held one (lock-order inversion; see the callback contract in
-  // triple_store.h). The same collect-then-probe shape is used by every
+  // Candidates are collected first and probed after the scan returns; with
+  // the lock-free view the nested probe would be deadlock-safe too, but
+  // collect-then-probe keeps the row iteration cache-friendly and lets the
+  // probe loop exit on the first hit. The same shape is used by every
   // CanDerive below.
   if (t.p != v_.type) return false;
   std::vector<TermId> candidates;
@@ -67,7 +67,7 @@ ScmScoRule::ScmScoRule(const Vocabulary& v)
                {v.sub_class_of}, {v.sub_class_of}),
       v_(v) {}
 
-void ScmScoRule::Apply(const TripleVec& delta, const TripleStore& store,
+void ScmScoRule::Apply(const TripleVec& delta, const StoreView& store,
                        TripleVec* out) const {
   for (const Triple& t : delta) {
     if (t.p != v_.sub_class_of) continue;
@@ -82,7 +82,7 @@ void ScmScoRule::Apply(const TripleVec& delta, const TripleStore& store,
   }
 }
 
-bool ScmScoRule::CanDerive(const Triple& t, const TripleStore& store) const {
+bool ScmScoRule::CanDerive(const Triple& t, const StoreView& store) const {
   // t = <c1 sco c3>: is there a c2 with <c1 sco c2> and <c2 sco c3>?
   if (t.p != v_.sub_class_of) return false;
   std::vector<TermId> candidates;
@@ -105,7 +105,7 @@ ScmSpoRule::ScmSpoRule(const Vocabulary& v)
                {v.sub_property_of}, {v.sub_property_of}),
       v_(v) {}
 
-void ScmSpoRule::Apply(const TripleVec& delta, const TripleStore& store,
+void ScmSpoRule::Apply(const TripleVec& delta, const StoreView& store,
                        TripleVec* out) const {
   for (const Triple& t : delta) {
     if (t.p != v_.sub_property_of) continue;
@@ -118,7 +118,7 @@ void ScmSpoRule::Apply(const TripleVec& delta, const TripleStore& store,
   }
 }
 
-bool ScmSpoRule::CanDerive(const Triple& t, const TripleStore& store) const {
+bool ScmSpoRule::CanDerive(const Triple& t, const StoreView& store) const {
   if (t.p != v_.sub_property_of) return false;
   std::vector<TermId> candidates;
   store.ForEachObject(v_.sub_property_of, t.s,
@@ -138,7 +138,7 @@ PrpSpo1Rule::PrpSpo1Rule(const Vocabulary& v)
                /*inputs=*/{}, /*outputs=*/{}, /*outputs_any=*/true),
       v_(v) {}
 
-void PrpSpo1Rule::Apply(const TripleVec& delta, const TripleStore& store,
+void PrpSpo1Rule::Apply(const TripleVec& delta, const StoreView& store,
                         TripleVec* out) const {
   for (const Triple& t : delta) {
     if (t.p == v_.sub_property_of) {
@@ -155,7 +155,7 @@ void PrpSpo1Rule::Apply(const TripleVec& delta, const TripleStore& store,
   }
 }
 
-bool PrpSpo1Rule::CanDerive(const Triple& t, const TripleStore& store) const {
+bool PrpSpo1Rule::CanDerive(const Triple& t, const StoreView& store) const {
   // t = <x p2 y>: is there a p1 with <p1 spo p2> and <x p1 y>?
   std::vector<TermId> candidates;
   store.ForEachSubject(v_.sub_property_of, t.p,
@@ -175,7 +175,7 @@ PrpDomRule::PrpDomRule(const Vocabulary& v)
                /*inputs=*/{}, {v.type}),
       v_(v) {}
 
-void PrpDomRule::Apply(const TripleVec& delta, const TripleStore& store,
+void PrpDomRule::Apply(const TripleVec& delta, const StoreView& store,
                        TripleVec* out) const {
   for (const Triple& t : delta) {
     if (t.p == v_.domain) {
@@ -191,7 +191,7 @@ void PrpDomRule::Apply(const TripleVec& delta, const TripleStore& store,
   }
 }
 
-bool PrpDomRule::CanDerive(const Triple& t, const TripleStore& store) const {
+bool PrpDomRule::CanDerive(const Triple& t, const StoreView& store) const {
   // t = <x type c>: is there a p with <p domain c> and any <x p ?>?
   if (t.p != v_.type) return false;
   std::vector<TermId> candidates;
@@ -214,7 +214,7 @@ PrpRngRule::PrpRngRule(const Vocabulary& v)
                /*inputs=*/{}, {v.type}),
       v_(v) {}
 
-void PrpRngRule::Apply(const TripleVec& delta, const TripleStore& store,
+void PrpRngRule::Apply(const TripleVec& delta, const StoreView& store,
                        TripleVec* out) const {
   for (const Triple& t : delta) {
     if (t.p == v_.range) {
@@ -228,7 +228,7 @@ void PrpRngRule::Apply(const TripleVec& delta, const TripleStore& store,
   }
 }
 
-bool PrpRngRule::CanDerive(const Triple& t, const TripleStore& store) const {
+bool PrpRngRule::CanDerive(const Triple& t, const StoreView& store) const {
   // t = <y type c>: is there a p with <p range c> and any <? p y>?
   if (t.p != v_.type) return false;
   std::vector<TermId> candidates;
@@ -252,7 +252,7 @@ ScmDom2Rule::ScmDom2Rule(const Vocabulary& v)
                {v.domain, v.sub_property_of}, {v.domain}),
       v_(v) {}
 
-void ScmDom2Rule::Apply(const TripleVec& delta, const TripleStore& store,
+void ScmDom2Rule::Apply(const TripleVec& delta, const StoreView& store,
                         TripleVec* out) const {
   for (const Triple& t : delta) {
     if (t.p == v_.domain) {
@@ -269,7 +269,7 @@ void ScmDom2Rule::Apply(const TripleVec& delta, const TripleStore& store,
   }
 }
 
-bool ScmDom2Rule::CanDerive(const Triple& t, const TripleStore& store) const {
+bool ScmDom2Rule::CanDerive(const Triple& t, const StoreView& store) const {
   // t = <p1 domain c>: is there a p2 with <p1 spo p2> and <p2 domain c>?
   if (t.p != v_.domain) return false;
   std::vector<TermId> candidates;
@@ -291,7 +291,7 @@ ScmRng2Rule::ScmRng2Rule(const Vocabulary& v)
                {v.range, v.sub_property_of}, {v.range}),
       v_(v) {}
 
-void ScmRng2Rule::Apply(const TripleVec& delta, const TripleStore& store,
+void ScmRng2Rule::Apply(const TripleVec& delta, const StoreView& store,
                         TripleVec* out) const {
   for (const Triple& t : delta) {
     if (t.p == v_.range) {
@@ -306,7 +306,7 @@ void ScmRng2Rule::Apply(const TripleVec& delta, const TripleStore& store,
   }
 }
 
-bool ScmRng2Rule::CanDerive(const Triple& t, const TripleStore& store) const {
+bool ScmRng2Rule::CanDerive(const Triple& t, const StoreView& store) const {
   if (t.p != v_.range) return false;
   std::vector<TermId> candidates;
   store.ForEachObject(v_.sub_property_of, t.s,

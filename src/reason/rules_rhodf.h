@@ -18,10 +18,10 @@ namespace slider {
 class CaxScoRule : public RuleBase {
  public:
   explicit CaxScoRule(const Vocabulary& v);
-  void Apply(const TripleVec& delta, const TripleStore& store,
+  void Apply(const TripleVec& delta, const StoreView& store,
              TripleVec* out) const override;
   bool SupportsRederiveCheck() const override { return true; }
-  bool CanDerive(const Triple& t, const TripleStore& store) const override;
+  bool CanDerive(const Triple& t, const StoreView& store) const override;
 
  private:
   Vocabulary v_;
@@ -31,10 +31,10 @@ class CaxScoRule : public RuleBase {
 class ScmScoRule : public RuleBase {
  public:
   explicit ScmScoRule(const Vocabulary& v);
-  void Apply(const TripleVec& delta, const TripleStore& store,
+  void Apply(const TripleVec& delta, const StoreView& store,
              TripleVec* out) const override;
   bool SupportsRederiveCheck() const override { return true; }
-  bool CanDerive(const Triple& t, const TripleStore& store) const override;
+  bool CanDerive(const Triple& t, const StoreView& store) const override;
 
  private:
   Vocabulary v_;
@@ -45,10 +45,10 @@ class ScmScoRule : public RuleBase {
 class ScmSpoRule : public RuleBase {
  public:
   explicit ScmSpoRule(const Vocabulary& v);
-  void Apply(const TripleVec& delta, const TripleStore& store,
+  void Apply(const TripleVec& delta, const StoreView& store,
              TripleVec* out) const override;
   bool SupportsRederiveCheck() const override { return true; }
-  bool CanDerive(const Triple& t, const TripleStore& store) const override;
+  bool CanDerive(const Triple& t, const StoreView& store) const override;
 
  private:
   Vocabulary v_;
@@ -59,10 +59,10 @@ class ScmSpoRule : public RuleBase {
 class PrpSpo1Rule : public RuleBase {
  public:
   explicit PrpSpo1Rule(const Vocabulary& v);
-  void Apply(const TripleVec& delta, const TripleStore& store,
+  void Apply(const TripleVec& delta, const StoreView& store,
              TripleVec* out) const override;
   bool SupportsRederiveCheck() const override { return true; }
-  bool CanDerive(const Triple& t, const TripleStore& store) const override;
+  bool CanDerive(const Triple& t, const StoreView& store) const override;
 
  private:
   Vocabulary v_;
@@ -72,10 +72,10 @@ class PrpSpo1Rule : public RuleBase {
 class PrpDomRule : public RuleBase {
  public:
   explicit PrpDomRule(const Vocabulary& v);
-  void Apply(const TripleVec& delta, const TripleStore& store,
+  void Apply(const TripleVec& delta, const StoreView& store,
              TripleVec* out) const override;
   bool SupportsRederiveCheck() const override { return true; }
-  bool CanDerive(const Triple& t, const TripleStore& store) const override;
+  bool CanDerive(const Triple& t, const StoreView& store) const override;
 
  private:
   Vocabulary v_;
@@ -85,10 +85,10 @@ class PrpDomRule : public RuleBase {
 class PrpRngRule : public RuleBase {
  public:
   explicit PrpRngRule(const Vocabulary& v);
-  void Apply(const TripleVec& delta, const TripleStore& store,
+  void Apply(const TripleVec& delta, const StoreView& store,
              TripleVec* out) const override;
   bool SupportsRederiveCheck() const override { return true; }
-  bool CanDerive(const Triple& t, const TripleStore& store) const override;
+  bool CanDerive(const Triple& t, const StoreView& store) const override;
 
  private:
   Vocabulary v_;
@@ -98,10 +98,10 @@ class PrpRngRule : public RuleBase {
 class ScmDom2Rule : public RuleBase {
  public:
   explicit ScmDom2Rule(const Vocabulary& v);
-  void Apply(const TripleVec& delta, const TripleStore& store,
+  void Apply(const TripleVec& delta, const StoreView& store,
              TripleVec* out) const override;
   bool SupportsRederiveCheck() const override { return true; }
-  bool CanDerive(const Triple& t, const TripleStore& store) const override;
+  bool CanDerive(const Triple& t, const StoreView& store) const override;
 
  private:
   Vocabulary v_;
@@ -111,10 +111,10 @@ class ScmDom2Rule : public RuleBase {
 class ScmRng2Rule : public RuleBase {
  public:
   explicit ScmRng2Rule(const Vocabulary& v);
-  void Apply(const TripleVec& delta, const TripleStore& store,
+  void Apply(const TripleVec& delta, const StoreView& store,
              TripleVec* out) const override;
   bool SupportsRederiveCheck() const override { return true; }
-  bool CanDerive(const Triple& t, const TripleStore& store) const override;
+  bool CanDerive(const Triple& t, const StoreView& store) const override;
 
  private:
   Vocabulary v_;

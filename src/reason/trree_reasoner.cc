@@ -42,9 +42,10 @@ Result<MaterializeStats> TrreeReasoner::Materialize(const TripleVec& input) {
     }
     single[0] = t;
     produced.clear();
+    const StoreView view = store_->GetView();
     for (const RulePtr& rule : fragment_.rules()) {
       if (!rule->AcceptsPredicate(t.p)) continue;
-      rule->Apply(single, *store_, &produced);
+      rule->Apply(single, view, &produced);
     }
     stats.derivations += produced.size();
     for (const Triple& consequence : produced) {

@@ -1,6 +1,5 @@
 #include "store/triple_store.h"
 
-#include <algorithm>
 #include <mutex>
 
 #include "common/sharding.h"
@@ -12,8 +11,8 @@ namespace {
 constexpr size_t kMinShards = 8;
 constexpr size_t kMaxShards = 1024;
 
-/// Id 0 is the match wildcard and the flat-hash empty-slot sentinel; a
-/// triple carrying it is not a fact and must never reach the tables.
+/// Id 0 is the match wildcard and the index empty-slot sentinel; a triple
+/// carrying it is not a fact and must never reach the tables.
 bool IsStorable(const Triple& t) {
   return t.s != kAnyTerm && t.p != kAnyTerm && t.o != kAnyTerm;
 }
@@ -25,10 +24,19 @@ TripleStore::TripleStore(size_t shard_count)
       shard_mask_(shard_count_ - 1),
       shards_(new Shard[shard_count_]) {}
 
+TripleStore::~TripleStore() {
+  // No views may be alive here (lifetime contract). Live partitions are
+  // deleted directly; everything previously unlinked sits in the epoch
+  // garbage queue and is freed by ~EpochManager.
+  for (size_t i = 0; i < shard_count_; ++i) {
+    shards_[i].partitions.ForEachOwned([](Partition* part) { delete part; });
+  }
+}
+
 bool TripleStore::Add(const Triple& t, bool is_explicit) {
   if (!IsStorable(t)) return false;
   Shard& shard = ShardFor(t.p);
-  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  std::lock_guard<std::mutex> lock(shard.mu);
   return AddLocked(shard, t, is_explicit, nullptr);
 }
 
@@ -36,13 +44,13 @@ size_t TripleStore::AddAll(const TripleVec& batch, TripleVec* delta,
                            bool is_explicit, size_t* promoted) {
   size_t added = 0;
   size_t current = static_cast<size_t>(-1);
-  std::unique_lock<std::shared_mutex> lock;
+  std::unique_lock<std::mutex> lock;
   for (const Triple& t : batch) {
     if (!IsStorable(t)) continue;
     const size_t index = ShardIndex(t.p);
     if (index != current) {
       if (lock.owns_lock()) lock.unlock();
-      lock = std::unique_lock<std::shared_mutex>(shards_[index].mu);
+      lock = std::unique_lock<std::mutex>(shards_[index].mu);
       current = index;
     }
     if (AddLocked(shards_[index], t, is_explicit, promoted)) {
@@ -55,42 +63,57 @@ size_t TripleStore::AddAll(const TripleVec& batch, TripleVec* delta,
 
 bool TripleStore::AddLocked(Shard& shard, const Triple& t, bool is_explicit,
                             size_t* promoted) {
-  ++shard.stats.insert_attempts;
-  Partition& partition = shard.partitions[t.p];
-  DedupRow& row = partition.by_subject[t.s];
-  const DedupRow::InsertResult result = row.Insert(t.o, is_explicit);
-  if (result != DedupRow::InsertResult::kNew) {
-    ++shard.stats.duplicates_rejected;
-    if (result == DedupRow::InsertResult::kPromoted) {
-      ++shard.explicit_triples;
+  shard.stats.insert_attempts.fetch_add(1, std::memory_order_relaxed);
+  Partition* partition = shard.partitions.FindWriter(t.p);
+  if (partition == nullptr) {
+    partition = new Partition();
+    shard.partitions.Insert(&epochs_, t.p, partition);
+  }
+  LfRow* row = partition->by_subject.FindWriter(t.s);
+  if (row == nullptr) {
+    row = new LfRow(&epochs_);
+    partition->by_subject.Insert(&epochs_, t.s, row);
+  }
+  const LfRow::InsertResult result = row->Insert(t.o, is_explicit);
+  if (result != LfRow::InsertResult::kNew) {
+    shard.stats.duplicates_rejected.fetch_add(1, std::memory_order_relaxed);
+    if (result == LfRow::InsertResult::kPromoted) {
+      shard.explicit_triples.fetch_add(1, std::memory_order_relaxed);
       if (promoted != nullptr) ++*promoted;
     }
     return false;
   }
-  partition.by_object[t.o].push_back(t.s);
-  ++partition.count;
-  ++shard.triples;
-  if (is_explicit) ++shard.explicit_triples;
+  LfRow* mirror = partition->by_object.FindWriter(t.o);
+  if (mirror == nullptr) {
+    mirror = new LfRow(&epochs_);
+    partition->by_object.Insert(&epochs_, t.o, mirror);
+  }
+  mirror->Insert(t.s, /*is_explicit=*/false);
+  partition->count.fetch_add(1, std::memory_order_relaxed);
+  shard.triples.fetch_add(1, std::memory_order_relaxed);
+  if (is_explicit) {
+    shard.explicit_triples.fetch_add(1, std::memory_order_relaxed);
+  }
   return true;
 }
 
 bool TripleStore::Erase(const Triple& t) {
   if (!IsStorable(t)) return false;
   Shard& shard = ShardFor(t.p);
-  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  std::lock_guard<std::mutex> lock(shard.mu);
   return EraseLocked(shard, t);
 }
 
 size_t TripleStore::EraseAll(const TripleVec& batch, TripleVec* erased) {
   size_t removed = 0;
   size_t current = static_cast<size_t>(-1);
-  std::unique_lock<std::shared_mutex> lock;
+  std::unique_lock<std::mutex> lock;
   for (const Triple& t : batch) {
     if (!IsStorable(t)) continue;
     const size_t index = ShardIndex(t.p);
     if (index != current) {
       if (lock.owns_lock()) lock.unlock();
-      lock = std::unique_lock<std::shared_mutex>(shards_[index].mu);
+      lock = std::unique_lock<std::mutex>(shards_[index].mu);
       current = index;
     }
     if (EraseLocked(shards_[index], t)) {
@@ -102,93 +125,72 @@ size_t TripleStore::EraseAll(const TripleVec& batch, TripleVec* erased) {
 }
 
 bool TripleStore::EraseLocked(Shard& shard, const Triple& t) {
-  ++shard.stats.erase_attempts;
-  Partition* partition = shard.partitions.Find(t.p);
+  shard.stats.erase_attempts.fetch_add(1, std::memory_order_relaxed);
+  Partition* partition = shard.partitions.FindWriter(t.p);
   if (partition == nullptr) return false;
-  DedupRow* row = partition->by_subject.Find(t.s);
+  LfRow* row = partition->by_subject.FindWriter(t.s);
   if (row == nullptr) return false;
-  const bool was_explicit = row->IsExplicit(t.o);
+  const bool was_explicit = row->WriterIsExplicit(t.o);
   if (!row->Erase(t.o)) return false;
-  if (row->empty()) partition->by_subject.Erase(t.s);
+  if (row->empty()) {
+    // Unlink first, retire second (the epoch contract): a newly pinned
+    // reader can no longer reach the row once the key is tombstoned.
+    partition->by_subject.Erase(&epochs_, t.s);
+    EpochRetire(&epochs_, row);
+  }
   // The by_object mirror holds exactly one entry per accepted (s, o); drop
   // it so reverse joins never serve the ghost.
-  std::vector<TermId>* subjects = partition->by_object.Find(t.o);
-  if (subjects != nullptr) {
-    auto it = std::find(subjects->begin(), subjects->end(), t.s);
-    if (it != subjects->end()) subjects->erase(it);
-    if (subjects->empty()) partition->by_object.Erase(t.o);
+  LfRow* mirror = partition->by_object.FindWriter(t.o);
+  if (mirror != nullptr) {
+    mirror->Erase(t.s);
+    if (mirror->empty()) {
+      partition->by_object.Erase(&epochs_, t.o);
+      EpochRetire(&epochs_, mirror);
+    }
   }
-  --partition->count;
-  --shard.triples;
-  ++shard.stats.erased;
-  if (was_explicit) --shard.explicit_triples;
-  if (partition->count == 0) shard.partitions.Erase(t.p);
+  partition->count.fetch_sub(1, std::memory_order_relaxed);
+  shard.triples.fetch_sub(1, std::memory_order_relaxed);
+  shard.stats.erased.fetch_add(1, std::memory_order_relaxed);
+  if (was_explicit) {
+    shard.explicit_triples.fetch_sub(1, std::memory_order_relaxed);
+  }
+  if (partition->count.load(std::memory_order_relaxed) == 0) {
+    shard.partitions.Erase(&epochs_, t.p);
+    EpochRetire(&epochs_, partition);
+  }
   return true;
 }
 
 bool TripleStore::Contains(const Triple& t) const {
-  if (!IsStorable(t)) return false;
-  const Shard& shard = ShardFor(t.p);
-  std::shared_lock<std::shared_mutex> lock(shard.mu);
-  const Partition* part = shard.partitions.Find(t.p);
-  if (part == nullptr) return false;
-  const DedupRow* row = part->by_subject.Find(t.s);
-  return row != nullptr && row->Contains(t.o);
+  return GetView().Contains(t);
 }
 
 bool TripleStore::AnyWithSubject(TermId s) const {
-  if (s == kAnyTerm) return false;
-  for (size_t i = 0; i < shard_count_; ++i) {
-    std::shared_lock<std::shared_mutex> lock(shards_[i].mu);
-    // Rows are dropped as soon as they empty, so row presence == a triple.
-    if (shards_[i].partitions.ForEachUntil(
-            [&](TermId, const Partition& part) {
-              return part.by_subject.Find(s) != nullptr;
-            })) {
-      return true;
-    }
-  }
-  return false;
+  return GetView().AnyWithSubject(s);
 }
 
 bool TripleStore::AnyWithObject(TermId o) const {
-  if (o == kAnyTerm) return false;
-  for (size_t i = 0; i < shard_count_; ++i) {
-    std::shared_lock<std::shared_mutex> lock(shards_[i].mu);
-    if (shards_[i].partitions.ForEachUntil(
-            [&](TermId, const Partition& part) {
-              return part.by_object.Find(o) != nullptr;
-            })) {
-      return true;
-    }
-  }
-  return false;
+  return GetView().AnyWithObject(o);
 }
 
 bool TripleStore::IsExplicit(const Triple& t) const {
-  if (!IsStorable(t)) return false;
-  const Shard& shard = ShardFor(t.p);
-  std::shared_lock<std::shared_mutex> lock(shard.mu);
-  const Partition* part = shard.partitions.Find(t.p);
-  if (part == nullptr) return false;
-  const DedupRow* row = part->by_subject.Find(t.s);
-  return row != nullptr && row->IsExplicit(t.o);
+  return GetView().IsExplicit(t);
 }
 
 int TripleStore::SetSupport(const Triple& t, bool is_explicit) {
   if (!IsStorable(t)) return -1;
   Shard& shard = ShardFor(t.p);
-  std::unique_lock<std::shared_mutex> lock(shard.mu);
-  Partition* part = shard.partitions.Find(t.p);
-  if (part == nullptr) return -1;
-  DedupRow* row = part->by_subject.Find(t.s);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Partition* partition = shard.partitions.FindWriter(t.p);
+  if (partition == nullptr) return -1;
+  LfRow* row = partition->by_subject.FindWriter(t.s);
   if (row == nullptr) return -1;
   const int flipped = row->SetSupport(t.o, is_explicit);
   if (flipped == 1) {
     if (is_explicit) {
-      ++shard.explicit_triples;
+      shard.explicit_triples.fetch_add(1, std::memory_order_relaxed);
     } else {
-      --shard.explicit_triples;
+      shard.explicit_triples.fetch_sub(1, std::memory_order_relaxed);
     }
   }
   return flipped;
@@ -197,8 +199,7 @@ int TripleStore::SetSupport(const Triple& t, bool is_explicit) {
 size_t TripleStore::ExplicitCount() const {
   size_t total = 0;
   for (size_t i = 0; i < shard_count_; ++i) {
-    std::shared_lock<std::shared_mutex> lock(shards_[i].mu);
-    total += shards_[i].explicit_triples;
+    total += shards_[i].explicit_triples.load(std::memory_order_relaxed);
   }
   return total;
 }
@@ -206,66 +207,53 @@ size_t TripleStore::ExplicitCount() const {
 size_t TripleStore::size() const {
   size_t total = 0;
   for (size_t i = 0; i < shard_count_; ++i) {
-    std::shared_lock<std::shared_mutex> lock(shards_[i].mu);
-    total += shards_[i].triples;
+    total += shards_[i].triples.load(std::memory_order_relaxed);
   }
   return total;
 }
 
 size_t TripleStore::NumPredicates() const {
-  size_t total = 0;
-  for (size_t i = 0; i < shard_count_; ++i) {
-    std::shared_lock<std::shared_mutex> lock(shards_[i].mu);
-    total += shards_[i].partitions.size();
-  }
-  return total;
+  return GetView().NumPredicates();
 }
 
 std::vector<TermId> TripleStore::Predicates() const {
-  std::vector<TermId> out;
-  for (size_t i = 0; i < shard_count_; ++i) {
-    std::shared_lock<std::shared_mutex> lock(shards_[i].mu);
-    shards_[i].partitions.ForEach(
-        [&](TermId p, const Partition&) { out.push_back(p); });
-  }
-  return out;
+  return GetView().Predicates();
 }
 
 size_t TripleStore::CountWithPredicate(TermId p) const {
-  const Shard& shard = ShardFor(p);
-  std::shared_lock<std::shared_mutex> lock(shard.mu);
-  const Partition* part = shard.partitions.Find(p);
-  return part == nullptr ? 0 : part->count;
+  return GetView().CountWithPredicate(p);
 }
 
 TripleVec TripleStore::Match(const TriplePattern& pattern) const {
-  TripleVec out;
-  ForEachMatch(pattern, [&](const Triple& t) { out.push_back(t); });
-  return out;
+  return GetView().Match(pattern);
 }
 
 TripleVec TripleStore::Snapshot() const {
   TripleVec out;
   out.reserve(size());
-  ForEachMatch(TriplePattern{}, [&](const Triple& t) { out.push_back(t); });
+  GetView().ForEachMatch(TriplePattern{},
+                         [&](const Triple& t) { out.push_back(t); });
   return out;
 }
 
 TripleSet TripleStore::SnapshotSet() const {
   TripleSet out;
   out.reserve(size());
-  ForEachMatch(TriplePattern{}, [&](const Triple& t) { out.insert(t); });
+  GetView().ForEachMatch(TriplePattern{},
+                         [&](const Triple& t) { out.insert(t); });
   return out;
 }
 
 TripleStore::Stats TripleStore::stats() const {
   Stats total;
   for (size_t i = 0; i < shard_count_; ++i) {
-    std::shared_lock<std::shared_mutex> lock(shards_[i].mu);
-    total.insert_attempts += shards_[i].stats.insert_attempts;
-    total.duplicates_rejected += shards_[i].stats.duplicates_rejected;
-    total.erase_attempts += shards_[i].stats.erase_attempts;
-    total.erased += shards_[i].stats.erased;
+    const AtomicStats& s = shards_[i].stats;
+    total.insert_attempts +=
+        s.insert_attempts.load(std::memory_order_relaxed);
+    total.duplicates_rejected +=
+        s.duplicates_rejected.load(std::memory_order_relaxed);
+    total.erase_attempts += s.erase_attempts.load(std::memory_order_relaxed);
+    total.erased += s.erased.load(std::memory_order_relaxed);
   }
   return total;
 }

@@ -1,79 +1,85 @@
 #ifndef SLIDER_STORE_TRIPLE_STORE_H_
 #define SLIDER_STORE_TRIPLE_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
+#include <mutex>
+#include <utility>
 #include <vector>
 
-#include "common/flat_hash.h"
+#include "common/epoch.h"
 #include "rdf/term.h"
+#include "store/lockfree_index.h"
 
 namespace slider {
 
+class StoreView;
+
 /// \brief In-memory, vertically partitioned, sharded concurrent RDF triple
-/// store (paper §2.2, scaled out).
+/// store (paper §2.2, scaled out) with an epoch-published, lock-free read
+/// path.
 ///
 /// Layout. Triples are indexed by predicate first, then by subject and by
 /// object inside each predicate partition — Abadi et al.'s vertical
 /// partitioning, which the paper picks because every ρdf/RDFS/OWL rule
 /// antecedent either walks all triples or accesses them by predicate first.
-/// Partitions are distributed over N lock-striped shards (N is a power of
-/// two derived from hardware concurrency; see TripleStore(size_t)), where
-/// shard(p) = mix(p) & (N-1). Each shard owns its own shared_mutex plus its
-/// own flat-hash predicate table, so distributors writing different
-/// predicates never contend, and rule executions reading one predicate never
-/// block writers of another.
+/// Partitions are distributed over N shards (N is a power of two derived
+/// from hardware concurrency; see TripleStore(size_t)), where
+/// shard(p) = mix(p) & (N-1). Each shard owns a writer mutex plus a
+/// lock-free-read predicate table, so distributors writing different
+/// predicates never contend and readers never contend with anyone.
 ///
-/// Inside a partition both indexes are open-addressing flat-hash maps
-/// (common/flat_hash.h): no per-node allocation, no pointer chase per probe.
-/// There is no global membership set; duplicate detection lives in the
-/// per-(predicate, subject) row (DedupRow: linear scan while small, flat-set
-/// shadow once large), which halves resident memory versus the old global
-/// TripleSet and removes the one structure every writer had to mutate.
+/// Inside a partition both directions are LfRow maps (store/
+/// lockfree_index.h): by_subject maps s -> object row, by_object mirrors it
+/// as o -> subject row. Both rows are the same deduplicating, tombstone-
+/// aware structure with an O(1) spill index for hub rows, so forward and
+/// reverse joins are symmetric and mass-retraction around a hub object
+/// costs amortized O(k) instead of the old O(k·n) vector scans.
 ///
-/// Concurrency follows the paper's ReentrantReadWriteLock design, striped:
-/// rule executions take the reader side of the shards they touch while
-/// distributors take the writer side when inserting inferred triples.
-/// Add/AddAll report exactly the subset of triples that were not yet present
-/// and the engine only ever routes that subset ("Duplicates Limitation" §1);
-/// AddAll preserves batch order in the returned delta.
+/// Concurrency. The paper's ReentrantReadWriteLock design is gone: *reads
+/// take no locks at all*. Writers (Add/AddAll/Erase/EraseAll/SetSupport)
+/// serialize per shard on a plain mutex and publish their changes as
+/// atomically visible entries inside immutable-in-shape index versions;
+/// structural replacements (table growth, row growth, tombstone compaction,
+/// row/partition unlinking) publish a fresh version and hand the old one to
+/// an EpochManager (common/epoch.h), which frees it once no pinned reader
+/// can still reference it. Readers — rule executions, backward queries, the
+/// public read API — pin an epoch through a StoreView and then traverse
+/// published versions directly. Add/AddAll report exactly the subset of
+/// triples that were not yet present and the engine only ever routes that
+/// subset ("Duplicates Limitation" §1); AddAll preserves batch order in the
+/// returned delta.
 ///
-/// Consistency. Operations bound to one predicate (ForEachWithPredicate,
-/// ForEachObject, ForEachSubject, Contains, CountWithPredicate, and
-/// ForEachMatch with a bound predicate) are atomic with respect to writers:
-/// they hold that shard's reader lock for their whole duration. Cross-shard
-/// operations (ForEachMatch with an unbound predicate, Match on such a
-/// pattern, size, Predicates, NumPredicates, Snapshot, SnapshotSet, stats)
-/// take the per-shard reader locks **sequentially**, one shard at a time, so
-/// under concurrent writers they observe a fuzzy snapshot: each shard's
-/// content is internally consistent at the instant it is visited, but shard
-/// A may be read before and shard B after some interleaved insert. Every
-/// triple present before the call starts is observed; triples added
-/// concurrently may or may not be. This is the same monotone guarantee the
-/// reasoner relied on under the old single lock, without serializing the
-/// world.
+/// Consistency. A pinned view observes a *monotone fuzzy* snapshot: every
+/// triple whose insert happened-before the view's creation (e.g. through
+/// the buffer hand-off that schedules a rule execution) is observed;
+/// triples inserted or erased concurrently with the view may or may not be.
+/// This is the same monotone guarantee the reasoner relied on under the old
+/// reader locks — per-call shard atomicity is gone, but nothing in the
+/// engine depended on it: forward chaining needs store ⊇ delta at execution
+/// time (happens-before, preserved) and the DRed phases run quiesced.
+/// Counters (size, ExplicitCount, stats) are relaxed atomics: exact
+/// whenever no writer is mid-flight, fuzzy otherwise.
 ///
-/// Callback contract: ForEach* methods hold a reader lock while invoking the
-/// callback. Callbacks must not call mutating methods of the same store
-/// (writer acquisition from inside a held reader deadlocks). Nested *reads*
-/// from a callback re-acquire shard reader locks recursively; that is how
-/// the rule engine has always used this store, but note it leans on
-/// reader-preferring rwlocks (POSIX/glibc). On a writer-preferring
-/// shared_mutex (e.g. Windows SRWLOCK) a queued writer between the two
-/// acquisitions can deadlock the nested read — if this code ever targets
-/// such a platform, callbacks should collect ids and issue follow-up reads
-/// after the outer ForEach returns.
+/// Callback contract: ForEach* methods invoke the callback while holding
+/// only an epoch pin — no lock. Callbacks may freely issue nested reads
+/// (they traverse the same or newer versions) and may even call mutating
+/// methods of the same store without deadlock; a mutation made from inside
+/// a callback may or may not be observed by the iteration that invoked it.
+/// The old nested-reader-lock deadlock caveat (writer-preferring rwlocks,
+/// Windows SRWLOCK) is obsolete. The only obligation is lifetime: a
+/// StoreView (and anything obtained through it) must not outlive the store.
 ///
 /// Support flags and retraction. Every stored triple carries one support
-/// flag: *explicit* (asserted by the application) or *inferred* (produced by
-/// a rule). The flag is settable both ways — retracting an explicit triple
-/// demotes it to inferred support before the reasoner decides whether it
-/// survives, and re-asserting an inferred triple promotes it — and rows are
-/// tombstone-aware: Erase marks the slot dead in the per-(predicate,
-/// subject) row (compacted once tombstones dominate), removes the by_object
-/// mirror entry and drops empty rows/partitions, so the index never serves
-/// ghosts. Erase counters are shard-local like the insert counters.
+/// flag: *explicit* (asserted by the application) or *inferred* (produced
+/// by a rule). The flag is settable both ways — retracting an explicit
+/// triple demotes it to inferred support before the reasoner decides
+/// whether it survives, and re-asserting an inferred triple promotes it —
+/// and rows are tombstone-aware: Erase marks the slot dead in both
+/// direction rows (compacted copy-on-write once tombstones dominate) and
+/// unlinks emptied rows/partitions, so the index never serves ghosts.
+/// Erase counters are shard-local like the insert counters.
 ///
 /// Id 0 (kAnyTerm) is a pattern wildcard, never a term: triples containing
 /// it are rejected by Add/AddAll (not stored, not counted as offers) and
@@ -86,9 +92,16 @@ class TripleStore {
   /// threads. A nonzero count is rounded up to a power of two (benches use
   /// 1 to reproduce the single-mutex baseline's contention profile).
   explicit TripleStore(size_t shard_count = 0);
+  ~TripleStore();
 
   TripleStore(const TripleStore&) = delete;
   TripleStore& operator=(const TripleStore&) = delete;
+
+  /// Pins the current epoch and returns a read view. The view is cheap to
+  /// create (a couple of atomic operations), holds no lock, and must not
+  /// outlive the store. Hold one view across a batch of related reads (a
+  /// rule execution, a query) rather than pinning per probe.
+  StoreView GetView() const;
 
   /// Inserts one triple with the given support. Returns true iff it was not
   /// already present; a duplicate offer with `is_explicit` promotes an
@@ -149,66 +162,22 @@ class TripleStore {
   size_t shard_count() const { return shard_count_; }
 
   /// Invokes fn(subject, object) for every triple with predicate `p`.
+  /// Convenience wrappers over a per-call view; see StoreView.
   template <typename Fn>
-  void ForEachWithPredicate(TermId p, Fn&& fn) const {
-    const Shard& shard = ShardFor(p);
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
-    const Partition* part = shard.partitions.Find(p);
-    if (part == nullptr) return;
-    part->by_subject.ForEach([&](TermId s, const DedupRow& row) {
-      row.ForEach([&](TermId o) { fn(s, o); });
-    });
-  }
+  void ForEachWithPredicate(TermId p, Fn&& fn) const;
 
   /// Invokes fn(object) for every triple (s, p, object).
   template <typename Fn>
-  void ForEachObject(TermId p, TermId s, Fn&& fn) const {
-    const Shard& shard = ShardFor(p);
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
-    const Partition* part = shard.partitions.Find(p);
-    if (part == nullptr) return;
-    const DedupRow* row = part->by_subject.Find(s);
-    if (row == nullptr) return;
-    row->ForEach([&](TermId o) { fn(o); });
-  }
+  void ForEachObject(TermId p, TermId s, Fn&& fn) const;
 
   /// Invokes fn(subject) for every triple (subject, p, o).
   template <typename Fn>
-  void ForEachSubject(TermId p, TermId o, Fn&& fn) const {
-    const Shard& shard = ShardFor(p);
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
-    const Partition* part = shard.partitions.Find(p);
-    if (part == nullptr) return;
-    const std::vector<TermId>* row = part->by_object.Find(o);
-    if (row == nullptr) return;
-    for (TermId s : *row) {
-      fn(s);
-    }
-  }
+  void ForEachSubject(TermId p, TermId o, Fn&& fn) const;
 
   /// Invokes fn(const Triple&) for every triple matching `pattern`,
-  /// dispatching to the best index for the bound positions. A bound
-  /// predicate locks exactly one shard; an unbound predicate walks the
-  /// shards sequentially under their reader locks (fuzzy snapshot across
-  /// shards — see the class comment).
+  /// dispatching to the best index for the bound positions.
   template <typename Fn>
-  void ForEachMatch(const TriplePattern& pattern, Fn&& fn) const {
-    if (pattern.p != kAnyTerm) {
-      const Shard& shard = ShardFor(pattern.p);
-      std::shared_lock<std::shared_mutex> lock(shard.mu);
-      const Partition* part = shard.partitions.Find(pattern.p);
-      if (part == nullptr) return;
-      MatchInPartition(pattern.p, *part, pattern, fn);
-      return;
-    }
-    for (size_t i = 0; i < shard_count_; ++i) {
-      const Shard& shard = shards_[i];
-      std::shared_lock<std::shared_mutex> lock(shard.mu);
-      shard.partitions.ForEach([&](TermId p, const Partition& part) {
-        MatchInPartition(p, part, pattern, fn);
-      });
-    }
-  }
+  void ForEachMatch(const TriplePattern& pattern, Fn&& fn) const;
 
   /// Materializes the matches of `pattern`.
   TripleVec Match(const TriplePattern& pattern) const;
@@ -220,10 +189,9 @@ class TripleStore {
   TripleSet SnapshotSet() const;
 
   /// Monotonic counters for the benches and the demo player. Counters are
-  /// kept shard-local under each shard's writer lock and aggregated here
-  /// under the reader locks, so `insert_attempts == accepted + rejected`
-  /// and `erase_attempts >= erased` hold exactly whenever no writer is
-  /// mid-flight.
+  /// shard-local relaxed atomics aggregated here, so
+  /// `insert_attempts == accepted + rejected` and `erase_attempts >=
+  /// erased` hold exactly whenever no writer is mid-flight.
   struct Stats {
     uint64_t insert_attempts = 0;      ///< triples offered to Add/AddAll
     uint64_t duplicates_rejected = 0;  ///< offers that were already present
@@ -232,77 +200,289 @@ class TripleStore {
   };
   Stats stats() const;
 
+  /// The store's reclamation domain (introspection/tests: garbage levels,
+  /// forced collection at quiescence).
+  EpochManager& epochs() const { return epochs_; }
+
  private:
+  friend class StoreView;
+
   /// One vertical partition: all triples sharing a predicate, indexed both
   /// ways ("HashMaps of MultiMaps", §2.2). by_subject is authoritative for
   /// membership; by_object mirrors accepted inserts only, so it needs no
-  /// dedup of its own.
+  /// dedup decisions of its own.
   struct Partition {
-    FlatHashMap<DedupRow> by_subject;
-    FlatHashMap<std::vector<TermId>> by_object;
-    size_t count = 0;
+    ~Partition() {
+      // Live rows are owned by the maps' live entries; rows unlinked
+      // earlier were retired individually and are not reachable here.
+      by_subject.ForEachOwned([](LfRow* row) { delete row; });
+      by_object.ForEachOwned([](LfRow* row) { delete row; });
+    }
+
+    LfPtrMap<LfRow> by_subject;  // s -> object row (authoritative)
+    LfPtrMap<LfRow> by_object;   // o -> subject row (mirror)
+    std::atomic<size_t> count{0};
   };
 
-  /// One lock stripe. Cache-line aligned so writers on neighbouring shards
-  /// do not false-share the mutex or the counters.
+  struct AtomicStats {
+    std::atomic<uint64_t> insert_attempts{0};
+    std::atomic<uint64_t> duplicates_rejected{0};
+    std::atomic<uint64_t> erase_attempts{0};
+    std::atomic<uint64_t> erased{0};
+  };
+
+  /// One shard. Cache-line aligned so writers on neighbouring shards do not
+  /// false-share the mutex or the counters. The mutex serializes *writers
+  /// only* — readers go straight to the published tables.
   struct alignas(64) Shard {
-    mutable std::shared_mutex mu;
-    FlatHashMap<Partition> partitions;  // keyed by predicate
-    size_t triples = 0;                 // guarded by mu
-    size_t explicit_triples = 0;        // guarded by mu
-    Stats stats;                        // guarded by mu
+    std::mutex mu;                      // writers only
+    LfPtrMap<Partition> partitions;     // keyed by predicate
+    std::atomic<size_t> triples{0};
+    std::atomic<size_t> explicit_triples{0};
+    AtomicStats stats;
   };
 
-  template <typename Fn>
-  static void MatchInPartition(TermId p, const Partition& partition,
-                               const TriplePattern& pattern, Fn&& fn) {
-    if (pattern.s != kAnyTerm) {
-      const DedupRow* row = partition.by_subject.Find(pattern.s);
-      if (row == nullptr) return;
-      row->ForEach([&](TermId o) {
-        if (pattern.o == kAnyTerm || pattern.o == o) {
-          fn(Triple(pattern.s, p, o));
-        }
-      });
-      return;
-    }
-    if (pattern.o != kAnyTerm) {
-      const std::vector<TermId>* row = partition.by_object.Find(pattern.o);
-      if (row == nullptr) return;
-      for (TermId s : *row) {
-        fn(Triple(s, p, pattern.o));
-      }
-      return;
-    }
-    partition.by_subject.ForEach([&](TermId s, const DedupRow& row) {
-      row.ForEach([&](TermId o) { fn(Triple(s, p, o)); });
-    });
-  }
-
-  /// Shard routing uses the mix's HIGH bits. The per-shard partitions table
+  /// Shard routing uses the mix's HIGH bits. The per-shard partition table
   /// masks the same mix with its (low-bit) capacity mask; deriving the shard
   /// from the low bits too would constrain every predicate in a shard to
   /// ideal slots congruent to the shard index, clustering the table's probe
   /// chains. High bits keep the two index spaces independent.
-  size_t ShardIndex(TermId p) const {
-    return (FlatHashMix(p) >> 32) & shard_mask_;
-  }
+  size_t ShardIndex(TermId p) const { return (LfMix(p) >> 32) & shard_mask_; }
   Shard& ShardFor(TermId p) { return shards_[ShardIndex(p)]; }
   const Shard& ShardFor(TermId p) const { return shards_[ShardIndex(p)]; }
 
-  /// Inserts into `shard`; caller holds that shard's writer lock.
+  /// Inserts into `shard`; caller holds that shard's writer mutex.
   /// `*promoted` (when non-null) is incremented if a duplicate explicit
   /// offer promoted an inferred entry.
   bool AddLocked(Shard& shard, const Triple& t, bool is_explicit,
                  size_t* promoted);
 
-  /// Erases from `shard`; caller holds that shard's writer lock.
+  /// Erases from `shard`; caller holds that shard's writer mutex.
   bool EraseLocked(Shard& shard, const Triple& t);
 
+  /// Reclamation domain shared by every index version in this store.
+  /// Declared first so it is destroyed last: the destructor frees whatever
+  /// garbage is still queued. Mutable because pinning is a reader-side
+  /// operation behind const read methods.
+  mutable EpochManager epochs_;
   size_t shard_count_;
   size_t shard_mask_;
   std::unique_ptr<Shard[]> shards_;
 };
+
+/// \brief A pinned, lock-free read view of a TripleStore.
+///
+/// The only thing rule executions (Rule::Apply / Rule::CanDerive) and the
+/// query layer see. Creating a view pins the store's current epoch;
+/// destroying it unpins. While the view lives, every structure version it
+/// can reach stays allocated (common/epoch.h), so all reads proceed without
+/// any lock and never block on — or convoy with — the distributor's
+/// writers.
+///
+/// Semantics: monotone fuzzy snapshot (see the TripleStore class comment).
+/// Everything inserted happened-before the view's creation is visible;
+/// concurrent inserts/erases may or may not be. Views are movable, cheap,
+/// and must not outlive their store. Holding a view for a very long time
+/// only delays memory reclamation, never correctness.
+class StoreView {
+ public:
+  explicit StoreView(const TripleStore* store)
+      : store_(store), pin_(store->epochs_.pin()) {}
+
+  StoreView(StoreView&&) noexcept = default;
+  StoreView& operator=(StoreView&&) noexcept = default;
+  StoreView(const StoreView&) = delete;
+  StoreView& operator=(const StoreView&) = delete;
+
+  /// True iff the triple is present.
+  bool Contains(const Triple& t) const {
+    if (!Storable(t)) return false;
+    const LfRow* row = RowFor(t.p, t.s);
+    return row != nullptr && row->Contains(t.o);
+  }
+
+  /// True iff the triple is present with explicit support.
+  bool IsExplicit(const Triple& t) const {
+    if (!Storable(t)) return false;
+    const LfRow* row = RowFor(t.p, t.s);
+    return row != nullptr && row->IsExplicit(t.o);
+  }
+
+  /// True iff any stored triple has subject `s` (existence probe; rows are
+  /// unlinked as soon as they empty, so row presence == a triple).
+  bool AnyWithSubject(TermId s) const {
+    if (s == kAnyTerm) return false;
+    for (size_t i = 0; i < store_->shard_count_; ++i) {
+      if (store_->shards_[i].partitions.ForEachUntil(
+              [&](TermId, const TripleStore::Partition& part) {
+                return part.by_subject.Find(s) != nullptr;
+              })) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// True iff any stored triple has object `o` (mirror of AnyWithSubject).
+  bool AnyWithObject(TermId o) const {
+    if (o == kAnyTerm) return false;
+    for (size_t i = 0; i < store_->shard_count_; ++i) {
+      if (store_->shards_[i].partitions.ForEachUntil(
+              [&](TermId, const TripleStore::Partition& part) {
+                return part.by_object.Find(o) != nullptr;
+              })) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Number of triples whose predicate is `p`.
+  size_t CountWithPredicate(TermId p) const {
+    const TripleStore::Partition* part = PartitionFor(p);
+    return part == nullptr ? 0
+                           : part->count.load(std::memory_order_relaxed);
+  }
+
+  /// Number of distinct triples stored (relaxed counter aggregate).
+  size_t size() const { return store_->size(); }
+
+  /// Number of non-empty predicate partitions. Counted by scanning the
+  /// published tables (the writer-side live counters are lock-guarded).
+  size_t NumPredicates() const {
+    size_t total = 0;
+    for (size_t i = 0; i < store_->shard_count_; ++i) {
+      store_->shards_[i].partitions.ForEach(
+          [&](TermId, const TripleStore::Partition&) { ++total; });
+    }
+    return total;
+  }
+
+  /// All predicates with at least one triple.
+  std::vector<TermId> Predicates() const {
+    std::vector<TermId> out;
+    for (size_t i = 0; i < store_->shard_count_; ++i) {
+      store_->shards_[i].partitions.ForEach(
+          [&](TermId p, const TripleStore::Partition&) { out.push_back(p); });
+    }
+    return out;
+  }
+
+  /// Invokes fn(subject, object) for every triple with predicate `p`.
+  template <typename Fn>
+  void ForEachWithPredicate(TermId p, Fn&& fn) const {
+    const TripleStore::Partition* part = PartitionFor(p);
+    if (part == nullptr) return;
+    part->by_subject.ForEach([&](TermId s, const LfRow& row) {
+      row.ForEach([&](TermId o) { fn(s, o); });
+    });
+  }
+
+  /// Invokes fn(object) for every triple (s, p, object).
+  template <typename Fn>
+  void ForEachObject(TermId p, TermId s, Fn&& fn) const {
+    const LfRow* row = RowFor(p, s);
+    if (row == nullptr) return;
+    row->ForEach([&](TermId o) { fn(o); });
+  }
+
+  /// Invokes fn(subject) for every triple (subject, p, o).
+  template <typename Fn>
+  void ForEachSubject(TermId p, TermId o, Fn&& fn) const {
+    const TripleStore::Partition* part = PartitionFor(p);
+    if (part == nullptr) return;
+    const LfRow* row = part->by_object.Find(o);
+    if (row == nullptr) return;
+    row->ForEach([&](TermId s) { fn(s); });
+  }
+
+  /// Invokes fn(const Triple&) for every triple matching `pattern`,
+  /// dispatching to the best index for the bound positions.
+  template <typename Fn>
+  void ForEachMatch(const TriplePattern& pattern, Fn&& fn) const {
+    if (pattern.p != kAnyTerm) {
+      const TripleStore::Partition* part = PartitionFor(pattern.p);
+      if (part != nullptr) MatchInPartition(pattern.p, *part, pattern, fn);
+      return;
+    }
+    for (size_t i = 0; i < store_->shard_count_; ++i) {
+      store_->shards_[i].partitions.ForEach(
+          [&](TermId p, const TripleStore::Partition& part) {
+            MatchInPartition(p, part, pattern, fn);
+          });
+    }
+  }
+
+  /// Materializes the matches of `pattern`.
+  TripleVec Match(const TriplePattern& pattern) const {
+    TripleVec out;
+    ForEachMatch(pattern, [&](const Triple& t) { out.push_back(t); });
+    return out;
+  }
+
+ private:
+  static bool Storable(const Triple& t) {
+    return t.s != kAnyTerm && t.p != kAnyTerm && t.o != kAnyTerm;
+  }
+
+  const TripleStore::Partition* PartitionFor(TermId p) const {
+    return store_->ShardFor(p).partitions.Find(p);
+  }
+
+  const LfRow* RowFor(TermId p, TermId s) const {
+    const TripleStore::Partition* part = PartitionFor(p);
+    return part == nullptr ? nullptr : part->by_subject.Find(s);
+  }
+
+  template <typename Fn>
+  static void MatchInPartition(TermId p, const TripleStore::Partition& part,
+                               const TriplePattern& pattern, Fn&& fn) {
+    if (pattern.s != kAnyTerm) {
+      const LfRow* row = part.by_subject.Find(pattern.s);
+      if (row == nullptr) return;
+      if (pattern.o != kAnyTerm) {
+        if (row->Contains(pattern.o)) fn(Triple(pattern.s, p, pattern.o));
+        return;
+      }
+      row->ForEach([&](TermId o) { fn(Triple(pattern.s, p, o)); });
+      return;
+    }
+    if (pattern.o != kAnyTerm) {
+      const LfRow* row = part.by_object.Find(pattern.o);
+      if (row == nullptr) return;
+      row->ForEach([&](TermId s) { fn(Triple(s, p, pattern.o)); });
+      return;
+    }
+    part.by_subject.ForEach([&](TermId s, const LfRow& row) {
+      row.ForEach([&](TermId o) { fn(Triple(s, p, o)); });
+    });
+  }
+
+  const TripleStore* store_;
+  EpochPin pin_;
+};
+
+inline StoreView TripleStore::GetView() const { return StoreView(this); }
+
+template <typename Fn>
+void TripleStore::ForEachWithPredicate(TermId p, Fn&& fn) const {
+  GetView().ForEachWithPredicate(p, std::forward<Fn>(fn));
+}
+
+template <typename Fn>
+void TripleStore::ForEachObject(TermId p, TermId s, Fn&& fn) const {
+  GetView().ForEachObject(p, s, std::forward<Fn>(fn));
+}
+
+template <typename Fn>
+void TripleStore::ForEachSubject(TermId p, TermId o, Fn&& fn) const {
+  GetView().ForEachSubject(p, o, std::forward<Fn>(fn));
+}
+
+template <typename Fn>
+void TripleStore::ForEachMatch(const TriplePattern& pattern, Fn&& fn) const {
+  GetView().ForEachMatch(pattern, std::forward<Fn>(fn));
+}
 
 }  // namespace slider
 

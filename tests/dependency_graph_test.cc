@@ -141,7 +141,7 @@ TEST_F(DependencyGraphTest, CustomFragmentGetsDerivedGraph) {
         : RuleBase("PART-OF-TRANS", "<a partOf b> ^ <b partOf c> -> <a partOf c>",
                    {part_of}, {part_of}),
           part_of_(part_of) {}
-    void Apply(const TripleVec& delta, const TripleStore& store,
+    void Apply(const TripleVec& delta, const StoreView& store,
                TripleVec* out) const override {
       for (const Triple& t : delta) {
         if (t.p != part_of_) continue;

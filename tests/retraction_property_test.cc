@@ -182,7 +182,7 @@ class NoCheckRule : public Rule {
   bool OutputsAnyPredicate() const override {
     return inner_->OutputsAnyPredicate();
   }
-  void Apply(const TripleVec& delta, const TripleStore& store,
+  void Apply(const TripleVec& delta, const StoreView& store,
              TripleVec* out) const override {
     inner_->Apply(delta, store, out);
   }

@@ -24,7 +24,7 @@ class RulesTest : public ::testing::Test {
     store_.AddAll(store_contents, nullptr);
     store_.AddAll(delta, nullptr);
     TripleVec out;
-    rule.Apply(delta, store_, &out);
+    rule.Apply(delta, store_.GetView(), &out);
     std::sort(out.begin(), out.end());
     out.erase(std::unique(out.begin(), out.end()), out.end());
     return out;

@@ -1,0 +1,305 @@
+// Concurrency and reclamation semantics of the epoch-published StoreView
+// read path: pinned readers iterate partitions while writers insert, erase
+// and force tombstone compaction; garbage drains once pins release; and the
+// AnyWithSubject/AnyWithObject/ForEachSubject regressions hold across
+// compaction and row reclamation under the DedupRow-style by_object mirror.
+//
+// Run under TSan in CI: the racing reader/writer pairs here are exactly the
+// publication protocols (entry release stores, version seq_cst swaps, epoch
+// pin/collect ordering) the lock-free read path leans on.
+
+#include "store/triple_store.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+
+namespace slider {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Deterministic regressions: mirror correctness across compaction and
+// reclamation (single-threaded; the satellite regressions).
+// ---------------------------------------------------------------------------
+
+TEST(StoreViewTest, ForEachSubjectSurvivesMirrorCompaction) {
+  TripleStore store;
+  const TermId p = 7, hub = 9999;
+  // 100 subjects share one hub object: the mirror row spills, then erasing
+  // most of it forces tombstone compaction and an index rebuild.
+  for (TermId s = 1; s <= 100; ++s) {
+    ASSERT_TRUE(store.Add({s, p, hub}));
+  }
+  for (TermId s = 1; s <= 60; ++s) {
+    ASSERT_TRUE(store.Erase({s, p, hub}));
+  }
+  std::unordered_set<TermId> seen;
+  store.ForEachSubject(p, hub, [&](TermId s) {
+    EXPECT_TRUE(seen.insert(s).second) << "duplicate subject " << s;
+  });
+  EXPECT_EQ(seen.size(), 40u);
+  for (TermId s = 61; s <= 100; ++s) {
+    EXPECT_TRUE(seen.count(s) == 1);
+  }
+  // Erase the rest: the mirror row must be unlinked, not serve ghosts.
+  for (TermId s = 61; s <= 100; ++s) {
+    ASSERT_TRUE(store.Erase({s, p, hub}));
+  }
+  size_t count = 0;
+  store.ForEachSubject(p, hub, [&](TermId) { ++count; });
+  EXPECT_EQ(count, 0u);
+  EXPECT_FALSE(store.AnyWithObject(hub));
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(StoreViewTest, AnyWithSubjectAndObjectAcrossReclamation) {
+  TripleStore store;
+  const TermId p1 = 11, p2 = 12;
+  // Spill both directions, then retract down to nothing predicate by
+  // predicate; the existence probes must flip exactly when the last triple
+  // carrying the term goes.
+  for (TermId i = 1; i <= 40; ++i) {
+    store.Add({5, p1, 1000 + i});   // subject hub in p1
+    store.Add({2000 + i, p2, 6});   // object hub in p2
+  }
+  EXPECT_TRUE(store.AnyWithSubject(5));
+  EXPECT_TRUE(store.AnyWithObject(6));
+  for (TermId i = 1; i <= 40; ++i) {
+    store.Erase({5, p1, 1000 + i});
+  }
+  EXPECT_FALSE(store.AnyWithSubject(5));
+  EXPECT_TRUE(store.AnyWithObject(6));
+  for (TermId i = 1; i <= 39; ++i) {
+    store.Erase({2000 + i, p2, 6});
+  }
+  EXPECT_TRUE(store.AnyWithObject(6));  // one survivor left
+  store.Erase({2040, p2, 6});
+  EXPECT_FALSE(store.AnyWithObject(6));
+  EXPECT_EQ(store.NumPredicates(), 0u);
+}
+
+TEST(StoreViewTest, MirrorEraseIsExactUnderRepeatedReaddCycles) {
+  TripleStore store;
+  const TermId p = 3, hub = 42;
+  // Add/erase cycles around the spill threshold stress tombstone reuse
+  // rules and index drop/rebuild transitions.
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (TermId s = 1; s <= 30; ++s) {
+      ASSERT_TRUE(store.Add({s, p, hub}));
+    }
+    for (TermId s = 1; s <= 30; ++s) {
+      TripleVec matches = store.Match({kAnyTerm, p, hub});
+      ASSERT_EQ(matches.size(), 31 - s);
+      ASSERT_TRUE(store.Erase({s, p, hub}));
+    }
+    EXPECT_EQ(store.CountWithPredicate(p), 0u);
+  }
+}
+
+TEST(StoreViewTest, PinnedViewOutlivesErasureAndCompaction) {
+  TripleStore store;
+  const TermId p = 5;
+  for (TermId s = 1; s <= 50; ++s) {
+    store.Add({s, p, s + 100});
+  }
+  const StoreView view = store.GetView();
+  // Erase everything behind the pinned view; retired versions must stay
+  // readable until the pin drops.
+  for (TermId s = 1; s <= 50; ++s) {
+    store.Erase({s, p, s + 100});
+  }
+  store.epochs().Collect();  // must not free what the view can still reach
+  size_t seen = 0;
+  view.ForEachMatch(TriplePattern{}, [&](const Triple& t) {
+    EXPECT_EQ(t.p, p);
+    ++seen;
+  });
+  // The view raced no writer mid-iteration (erases finished before), so it
+  // sees some prefix of the torn-down state: anywhere from 0 survivors to
+  // all 50 retired-but-pinned entries, without crashing. ASan enforces the
+  // no-use-after-free half of this claim.
+  EXPECT_LE(seen, 50u);
+}
+
+TEST(StoreViewTest, GarbageDrainsOnceViewsRelease) {
+  TripleStore store;
+  const TermId p = 5;
+  {
+    const StoreView pinned = store.GetView();
+    for (TermId s = 1; s <= 200; ++s) {
+      store.Add({s, p, s});
+    }
+    for (TermId s = 1; s <= 200; ++s) {
+      store.Erase({s, p, s});
+    }
+    // Growth/compaction/unlink retired plenty of versions; the pin may hold
+    // some of them alive.
+  }
+  store.epochs().Collect();
+  EXPECT_EQ(store.epochs().garbage_size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Racing readers vs. writers (the TSan target).
+// ---------------------------------------------------------------------------
+
+TEST(StoreViewContentionTest, PinnedReadersSurviveInsertEraseCompactChurn) {
+  TripleStore store;
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 4;
+  constexpr int kCycles = 40;
+  constexpr TermId kSubjects = 64;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&store, &stop, r] {
+      Random rng(900 + static_cast<uint64_t>(r));
+      while (!stop.load(std::memory_order_relaxed)) {
+        const TermId p = rng.Uniform(kWriters) + 1;
+        const StoreView view = store.GetView();
+        // Full-partition iteration: tombstones must read as absent (no
+        // kAnyTerm ids leak out of a row walk). Duplicate (s, o) pairs
+        // across the *whole partition* walk are legitimate under churn
+        // (a row can empty, unlink and be re-added mid-walk), so they are
+        // not asserted here; the single-row invariant is below.
+        view.ForEachWithPredicate(p, [&](TermId s, TermId o) {
+          EXPECT_NE(s, kAnyTerm);
+          EXPECT_NE(o, kAnyTerm);
+        });
+        // Point probes and reverse joins under race: a concurrent
+        // erase/re-add of the same id can even duplicate an id within one
+        // row version mid-walk, so nothing about membership is asserted —
+        // the walks and probes must simply be safe (TSan/ASan enforce
+        // that) and never emit sentinel ids. Exact iteration semantics
+        // are pinned down by the quiesced StoreViewTest regressions.
+        const TermId s = rng.Uniform(kSubjects) + 1;
+        view.ForEachObject(p, s, [&](TermId o) {
+          EXPECT_NE(o, kAnyTerm);
+          view.Contains(Triple(s, p, o));
+        });
+        const TermId hub = 500 + rng.Uniform(4);
+        view.ForEachSubject(p, hub, [&](TermId subj) {
+          EXPECT_NE(subj, kAnyTerm);
+        });
+        view.AnyWithSubject(s);
+        view.AnyWithObject(hub);
+        view.CountWithPredicate(p);
+      }
+    });
+  }
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&store, w] {
+      const TermId p = static_cast<TermId>(w + 1);
+      Random rng(100 + static_cast<uint64_t>(w));
+      for (int cycle = 0; cycle < kCycles; ++cycle) {
+        // Insert a block (some to hub objects so mirror rows spill), then
+        // erase most of it to force tombstone compaction, row unlinking
+        // and — on the last cycle — partition reclamation.
+        TripleVec batch;
+        for (TermId s = 1; s <= kSubjects; ++s) {
+          batch.push_back({s, p, 500 + (s & 3)});
+          batch.push_back({s, p, 10000 + rng.Uniform(1000)});
+        }
+        store.AddAll(batch, nullptr);
+        TripleVec erase(batch);
+        if (cycle + 1 < kCycles) erase.resize(erase.size() / 2);
+        store.EraseAll(erase, nullptr);
+      }
+    });
+  }
+
+  for (auto& th : writers) th.join();
+  stop.store(true);
+  for (auto& th : readers) th.join();
+
+  store.epochs().Collect();
+  EXPECT_EQ(store.epochs().garbage_size(), 0u);
+  // Exact bookkeeping at quiescence: what the writers left behind.
+  const TripleStore::Stats stats = store.stats();
+  EXPECT_EQ(stats.insert_attempts - stats.duplicates_rejected,
+            stats.erased + store.size());
+}
+
+TEST(StoreViewContentionTest, ReadersSeeEverythingPublishedBeforePin) {
+  // Monotonicity: a triple fully inserted before the view is created must
+  // be observed by that view, regardless of concurrent writer churn on
+  // other predicates.
+  TripleStore store;
+  constexpr TermId kStable = 77;
+  TripleVec stable;
+  for (TermId s = 1; s <= 500; ++s) {
+    stable.push_back({s, kStable, s + 1});
+  }
+  store.AddAll(stable, nullptr);
+
+  std::atomic<bool> stop{false};
+  std::thread churn([&store, &stop] {
+    Random rng(4242);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const TermId p = rng.Uniform(8) + 100;
+      TripleVec batch;
+      for (int i = 0; i < 64; ++i) {
+        batch.push_back({rng.Uniform(100) + 1, p, rng.Uniform(100) + 1});
+      }
+      store.AddAll(batch, nullptr);
+      store.EraseAll(batch, nullptr);
+    }
+  });
+
+  for (int i = 0; i < 200; ++i) {
+    const StoreView view = store.GetView();
+    size_t seen = 0;
+    view.ForEachWithPredicate(kStable, [&](TermId, TermId) { ++seen; });
+    EXPECT_EQ(seen, stable.size());
+    for (const Triple& t : {stable.front(), stable[250], stable.back()}) {
+      EXPECT_TRUE(view.Contains(t));
+    }
+  }
+  stop.store(true);
+  churn.join();
+}
+
+TEST(StoreViewContentionTest, SupportFlagsRaceReadersSafely) {
+  // SetSupport flips flags in place while readers run IsExplicit through
+  // pinned views: every read must return one of the two legitimate values
+  // (TSan verifies the accesses are ordered).
+  TripleStore store;
+  const TermId p = 9;
+  TripleVec batch;
+  for (TermId s = 1; s <= 64; ++s) {
+    batch.push_back({s, p, s});
+  }
+  store.AddAll(batch, nullptr, /*is_explicit=*/true);
+
+  std::atomic<bool> stop{false};
+  std::thread flipper([&store, &batch, &stop] {
+    bool to_explicit = false;
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const Triple& t : batch) {
+        store.SetSupport(t, to_explicit);
+      }
+      to_explicit = !to_explicit;
+    }
+  });
+
+  for (int i = 0; i < 2000; ++i) {
+    const StoreView view = store.GetView();
+    const Triple& t = batch[static_cast<size_t>(i) % batch.size()];
+    EXPECT_TRUE(view.Contains(t));
+    view.IsExplicit(t);  // either answer is legitimate mid-flip
+  }
+  stop.store(true);
+  flipper.join();
+  EXPECT_EQ(store.size(), batch.size());
+}
+
+}  // namespace
+}  // namespace slider
