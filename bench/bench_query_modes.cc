@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
 
   double forward_total = 0, backward_total = 0;
   for (const auto& [label, text] : queries) {
-    auto query = SparqlParser::Parse(text, dict);
+    auto query = SparqlParser::Parse(text, *dict);
     query.status().AbortIfNotOk();
 
     // Warm + measure forward.

@@ -1,0 +1,252 @@
+// SPARQL endpoint service bench: the north-star "heavy traffic" scenario —
+// concurrent SELECT sessions against a live, incrementally maintained BSBM
+// closure while an update session streams INSERT DATA / DELETE WHERE
+// requests through the same endpoint.
+//
+// Two measurements:
+//  1. Mixed service phase — N reader threads loop a BSBM query mix while
+//     one updater applies insert/retract requests; reports aggregate
+//     queries/s, update ops/s and update latency percentiles. SELECTs run
+//     lock-free over pinned store views; updates serialize on the endpoint.
+//  2. Update latency vs the recompute baseline — the same update texts
+//     applied to (a) the incremental repository (inserts through the
+//     buffered rule pipeline, deletes through DRed) and (b) the batch
+//     repository, whose every update re-materialises from scratch.
+//     Reported in wall-clock and hardware-independent derivation counters.
+//
+// Run: bench_sparql_endpoint [--ontology=BSBM_100k] [--readers=2]
+//                            [--seconds=5] [--ops=12] [--quick] [--json=F]
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "query/endpoint.h"
+#include "workload/corpus.h"
+
+using namespace slider;
+using namespace slider::bench;
+
+namespace {
+
+constexpr const char* kNs = "http://slider.repro/bsbm/";
+
+/// The SELECT mix: type scans, joins and a predicate-unbound probe, over
+/// vocabulary the BSBM generator populates.
+std::vector<std::string> QueryMix() {
+  const std::string rdf =
+      "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n";
+  const std::string ns = std::string("<") + kNs;
+  return {
+      rdf + "SELECT ?r WHERE { ?r rdf:type " + ns + "Review> } LIMIT 200",
+      rdf + "SELECT ?r ?p WHERE { ?r rdf:type " + ns + "Review> . ?r " + ns +
+          "reviewFor> ?p } LIMIT 100",
+      rdf + "SELECT ?o ?v WHERE { ?o " + ns + "offerProduct> ?p . ?o " + ns +
+          "offerVendor> ?v } LIMIT 100",
+      "SELECT ?p WHERE { ?s ?p <" + std::string(kNs) + "Product1> } LIMIT 50",
+      rdf + "SELECT DISTINCT ?t WHERE { <" + std::string(kNs) +
+          "Product2> rdf:type ?t }",
+  };
+}
+
+/// One insert + one matching delete request, keyed by `i` so repeated
+/// rounds touch fresh entities.
+std::string InsertText(size_t i) {
+  const std::string rev = std::string("<") + kNs + "liveReview" +
+                          std::to_string(i) + ">";
+  const std::string product =
+      std::string("<") + kNs + "Product" + std::to_string(i % 50) + ">";
+  return "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+         "INSERT DATA { " +
+         rev + " rdf:type <" + kNs + "Review> . " + rev + " <" + kNs +
+         "reviewFor> " + product + " . " + rev + " <" + kNs +
+         "rating1> \"7\"^^<http://www.w3.org/2001/XMLSchema#integer> . }";
+}
+
+std::string DeleteText(size_t i) {
+  const std::string rev = std::string("<") + kNs + "liveReview" +
+                          std::to_string(i) + ">";
+  return "DELETE WHERE { " + rev + " ?p ?o }";
+}
+
+double Percentile(std::vector<double> sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0;
+  const size_t at = std::min(
+      sorted_ms.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(sorted_ms.size())));
+  return sorted_ms[at];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = HasFlag(argc, argv, "--quick");
+  const std::string name =
+      FlagValue(argc, argv, "--ontology", quick ? "BSBM_30k" : "BSBM_100k");
+  const int readers =
+      std::atoi(FlagValue(argc, argv, "--readers", "2").c_str());
+  const double seconds =
+      std::atof(FlagValue(argc, argv, "--seconds", quick ? "2" : "5").c_str());
+  const size_t ops = static_cast<size_t>(
+      std::atoi(FlagValue(argc, argv, "--ops", quick ? "6" : "12").c_str()));
+  const std::string json_path = FlagValue(argc, argv, "--json", "");
+
+  OntologySpec spec;
+  if (name == "BSBM_30k") {  // quick-mode size, not in the Table 1 registry
+    spec = {"BSBM_30k", OntologySpec::Kind::kBsbm, 30000};
+  } else {
+    spec = Corpus::ByName(name);
+  }
+
+  std::printf("SPARQL endpoint service bench — %s, %d readers + 1 updater\n\n",
+              spec.name.c_str(), readers);
+
+  // --- The serving repository: incremental mode ----------------------------
+  Repository::Options options;
+  options.inference = Repository::InferenceMode::kIncremental;
+  options.incremental = BenchSliderOptions();
+  auto opened = Repository::Open(RdfsFactory(), options);
+  opened.status().AbortIfNotOk();
+  Repository* repo = opened->get();
+  {
+    Stopwatch load;
+    TripleVec input = Corpus::Generate(spec, repo->dictionary(),
+                                       repo->vocabulary());
+    repo->AddTriples(input).status().AbortIfNotOk();
+    std::printf("loaded %zu explicit (%zu inferred) in %.2fs\n",
+                repo->explicit_count(), repo->inferred_count(),
+                load.ElapsedSeconds());
+  }
+  SparqlEndpoint endpoint(repo);
+
+  // --- Phase 1: mixed SELECT traffic vs a live update session --------------
+  const std::vector<std::string> mix = QueryMix();
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> queries_served{0};
+  std::atomic<uint64_t> rows_returned{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r] {
+      size_t i = static_cast<size_t>(r);
+      while (!stop.load(std::memory_order_acquire)) {
+        auto rows = endpoint.Select(mix[i++ % mix.size()]);
+        rows.status().AbortIfNotOk();
+        queries_served.fetch_add(1, std::memory_order_relaxed);
+        rows_returned.fetch_add(rows->rows.size(), std::memory_order_relaxed);
+      }
+    });
+  }
+  std::vector<double> update_ms;
+  std::thread updater([&] {
+    size_t i = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const bool insert : {true, false}) {
+        Stopwatch watch;
+        auto result = endpoint.Update(insert ? InsertText(i) : DeleteText(i));
+        result.status().AbortIfNotOk();
+        update_ms.push_back(watch.ElapsedSeconds() * 1e3);
+        if (stop.load(std::memory_order_acquire)) break;
+      }
+      ++i;
+    }
+  });
+  Stopwatch phase;
+  while (phase.ElapsedSeconds() < seconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  updater.join();
+  const double elapsed = phase.ElapsedSeconds();
+
+  std::sort(update_ms.begin(), update_ms.end());
+  const double qps = static_cast<double>(queries_served.load()) / elapsed;
+  const double ups = static_cast<double>(update_ms.size()) / elapsed;
+  const double p50 = Percentile(update_ms, 0.50);
+  const double p95 = Percentile(update_ms, 0.95);
+  std::printf("\nmixed service phase (%.1fs):\n", elapsed);
+  std::printf("  SELECT throughput  : %10.0f queries/s (%llu served, "
+              "%llu rows)\n",
+              qps, static_cast<unsigned long long>(queries_served.load()),
+              static_cast<unsigned long long>(rows_returned.load()));
+  std::printf("  update throughput  : %10.1f ops/s\n", ups);
+  std::printf("  update latency     : p50 %.2fms  p95 %.2fms\n", p50, p95);
+
+  // --- Phase 2: update latency vs the recompute baseline -------------------
+  std::printf("\nupdate latency — incremental DRed maintenance vs batch "
+              "recompute (%zu ops each):\n", ops);
+  double inc_total_s = 0;
+  uint64_t inc_derivations = 0;
+  for (size_t i = 0; i < ops; ++i) {
+    const std::string text =
+        (i % 2 == 0) ? InsertText(1000 + i / 2) : DeleteText(1000 + i / 2);
+    Stopwatch watch;
+    auto result = endpoint.Update(text);
+    result.status().AbortIfNotOk();
+    inc_total_s += watch.ElapsedSeconds();
+    inc_derivations += result->derivations;
+  }
+
+  auto baseline = Repository::Open(RdfsFactory(), {});
+  baseline.status().AbortIfNotOk();
+  {
+    TripleVec input = Corpus::Generate(spec, (*baseline)->dictionary(),
+                                       (*baseline)->vocabulary());
+    (*baseline)->AddTriples(input).status().AbortIfNotOk();
+  }
+  SparqlEndpoint baseline_endpoint(baseline->get());
+  double base_total_s = 0;
+  uint64_t base_derivations = 0;
+  for (size_t i = 0; i < ops; ++i) {
+    const std::string text =
+        (i % 2 == 0) ? InsertText(1000 + i / 2) : DeleteText(1000 + i / 2);
+    Stopwatch watch;
+    auto result = baseline_endpoint.Update(text);
+    result.status().AbortIfNotOk();
+    base_total_s += watch.ElapsedSeconds();
+    base_derivations += result->derivations;
+  }
+
+  const double inc_mean_ms = inc_total_s / static_cast<double>(ops) * 1e3;
+  const double base_mean_ms = base_total_s / static_cast<double>(ops) * 1e3;
+  const double wall_gap = inc_total_s > 0 ? base_total_s / inc_total_s : 0;
+  const double deriv_gap =
+      inc_derivations > 0 ? static_cast<double>(base_derivations) /
+                                static_cast<double>(inc_derivations)
+                          : 0;
+  std::printf("  incremental        : %10.2fms/op  %12llu derivations\n",
+              inc_mean_ms, static_cast<unsigned long long>(inc_derivations));
+  std::printf("  batch recompute    : %10.2fms/op  %12llu derivations\n",
+              base_mean_ms, static_cast<unsigned long long>(base_derivations));
+  std::printf("  gap                : %9.1fx wall-clock, %.1fx derivations\n",
+              wall_gap, deriv_gap);
+
+  if (!json_path.empty()) {
+    std::ostringstream os;
+    os << "[\n  {\"bench\":\"sparql_endpoint\",\"ontology\":\"" << spec.name
+       << "\",\"readers\":" << readers << ",\"queries_per_s\":" << qps
+       << ",\"updates_per_s\":" << ups << ",\"update_p50_ms\":" << p50
+       << ",\"update_p95_ms\":" << p95
+       << ",\"incremental_ms_per_op\":" << inc_mean_ms
+       << ",\"baseline_ms_per_op\":" << base_mean_ms
+       << ",\"wall_gap\":" << wall_gap << ",\"derivation_gap\":" << deriv_gap
+       << "}\n]\n";
+    std::ofstream out(json_path);
+    out << os.str();
+    out.flush();
+    if (out.good()) {
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -69,7 +69,7 @@ int main() {
 
   for (const char* text : kQueries) {
     std::printf("=============================================\n%s\n", text);
-    auto query = SparqlParser::Parse(text, dict);
+    auto query = SparqlParser::Parse(text, *dict);
     query.status().AbortIfNotOk();
 
     Stopwatch fw;

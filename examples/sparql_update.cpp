@@ -1,0 +1,87 @@
+// Driving the incremental reasoner through SPARQL — the update surface.
+//
+// A Repository in incremental mode embeds the Slider engine behind a
+// SparqlEndpoint: INSERT DATA streams new statements through the buffered
+// rule pipeline (closure maintained, nothing recomputed), DELETE DATA /
+// DELETE WHERE retract through DRed (over-delete the cone, rederive the
+// survivors), and SELECT answers lock-free from pinned store views at any
+// point in between. The derivation counters printed after each update show
+// the work staying proportional to the touched cone — the paper's core
+// claim, reachable from the query language.
+//
+// Run: ./examples/example_sparql_update
+
+#include <cstdio>
+
+#include "query/endpoint.h"
+#include "reason/repository.h"
+
+using namespace slider;
+
+namespace {
+
+void Show(SparqlEndpoint& endpoint, Repository& repo, const char* text) {
+  std::printf(">> %s\n", text);
+  auto response = endpoint.Execute(text);
+  response.status().AbortIfNotOk();
+  if (response->is_update) {
+    const UpdateResult& u = response->update;
+    std::printf("   ok: +%zu explicit, +%zu inferred, -%zu retracted "
+                "(%llu derivations; store now %zu)\n\n",
+                u.inserted, u.inferred, u.removed,
+                static_cast<unsigned long long>(u.derivations),
+                repo.store().size());
+  } else {
+    std::printf("%s\n", response->rows.ToTsv(*repo.dictionary()).c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  Repository::Options options;
+  options.inference = Repository::InferenceMode::kIncremental;
+  auto repo = Repository::Open(RhoDfFactory(), options);
+  repo.status().AbortIfNotOk();
+  SparqlEndpoint endpoint(repo->get());
+
+  // Build a small zoo ontology, live.
+  Show(endpoint, **repo,
+       "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n"
+       "PREFIX z: <http://zoo/>\n"
+       "INSERT DATA {\n"
+       "  z:Lion rdfs:subClassOf z:Felid .\n"
+       "  z:Felid rdfs:subClassOf z:Animal .\n"
+       "  z:feeds rdfs:subPropertyOf z:keeps .\n"
+       "  z:leo a z:Lion .\n"
+       "  z:elsa a z:Lion .\n"
+       "  z:joy z:feeds z:elsa .\n"
+       "}");
+
+  // The closure answers immediately: leo and elsa are Animals through two
+  // subclass hops, joy keeps elsa through the subproperty.
+  Show(endpoint, **repo,
+       "PREFIX z: <http://zoo/>\nSELECT ?x WHERE { ?x a z:Animal }");
+  Show(endpoint, **repo,
+       "PREFIX z: <http://zoo/>\nSELECT ?who ?whom WHERE "
+       "{ ?who z:keeps ?whom }");
+
+  // Retract elsa's species: her inferred memberships (Felid, Animal) die
+  // with their support — leo's survive untouched. DELETE WHERE matches and
+  // deletes in one step.
+  Show(endpoint, **repo,
+       "PREFIX z: <http://zoo/>\nDELETE WHERE { z:elsa a ?t }");
+  Show(endpoint, **repo,
+       "PREFIX z: <http://zoo/>\nSELECT ?x WHERE { ?x a z:Animal }");
+
+  // Re-adding is just another incremental insert.
+  Show(endpoint, **repo,
+       "PREFIX z: <http://zoo/>\nINSERT DATA { z:elsa a z:Lion }");
+  Show(endpoint, **repo,
+       "PREFIX z: <http://zoo/>\nSELECT ?x WHERE { ?x a z:Animal }");
+
+  std::printf("explicit: %zu, inferred: %zu — every update above maintained "
+              "the closure\nincrementally; none recomputed it.\n",
+              (*repo)->explicit_count(), (*repo)->inferred_count());
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "query/endpoint.h"
+
+namespace slider {
+
+SparqlEndpoint::SparqlEndpoint(Repository* repo)
+    : repo_(repo),
+      serialize_selects_(repo->options().inference !=
+                         Repository::InferenceMode::kIncremental) {}
+
+Result<SparqlEndpoint::Response> SparqlEndpoint::Execute(
+    std::string_view text) {
+  Response response;
+  if (SparqlParser::IsUpdate(text)) {
+    response.is_update = true;
+    SLIDER_ASSIGN_OR_RETURN(response.update, Update(text));
+    return response;
+  }
+  SLIDER_ASSIGN_OR_RETURN(response.rows, Select(text));
+  return response;
+}
+
+Result<QueryResult> SparqlEndpoint::Select(std::string_view text) const {
+  // Batch modes replace the store wholesale on update; only then must a
+  // reader exclude writers. Incremental mode leaves the lock unlocked and
+  // reads through pinned views.
+  std::unique_lock<std::mutex> lock(update_mu_, std::defer_lock);
+  if (serialize_selects_) lock.lock();
+  Result<Query> query = SparqlParser::Parse(text, *repo_->dictionary());
+  if (!query.ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return query.status();
+  }
+  ForwardProvider provider(&repo_->store());
+  Result<QueryResult> rows = QueryEvaluator(&provider).Evaluate(*query);
+  if (!rows.ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return rows.status();
+  }
+  selects_.fetch_add(1, std::memory_order_relaxed);
+  return rows;
+}
+
+Result<UpdateResult> SparqlEndpoint::Update(std::string_view text) {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  // Parse under the lock: INSERT DATA encodes new terms, and the dictionary
+  // write path is the one parser action that must not race another update's
+  // identical encode (ids would still agree — this is about keeping the
+  // request's parse-then-execute window atomic with its execution).
+  Result<UpdateRequest> request =
+      SparqlParser::ParseUpdate(text, repo_->dictionary());
+  if (!request.ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return request.status();
+  }
+  Result<UpdateResult> result = repo_->ExecuteUpdate(*request);
+  if (!result.ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return result.status();
+  }
+  updates_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+SparqlEndpoint::Stats SparqlEndpoint::stats() const {
+  Stats out;
+  out.selects = selects_.load(std::memory_order_relaxed);
+  out.updates = updates_.load(std::memory_order_relaxed);
+  out.errors = errors_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace slider

@@ -1,0 +1,89 @@
+#ifndef SLIDER_QUERY_ENDPOINT_H_
+#define SLIDER_QUERY_ENDPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+
+#include "common/result.h"
+#include "query/evaluator.h"
+#include "query/sparql.h"
+#include "query/update.h"
+#include "reason/repository.h"
+
+namespace slider {
+
+/// \brief Concurrent SPARQL session layer over a Repository: the surface
+/// that makes the incremental engine drivable as a service.
+///
+/// Concurrency model — many readers, one writer at a time:
+///  - Select() is *lock-free*: it parses against a read-only dictionary
+///    (client queries can never grow the term space) and joins over pinned
+///    StoreViews, so any number of SELECT sessions run in parallel with
+///    each other and with an in-flight update, observing monotone fuzzy
+///    snapshots (see TripleStore).
+///  - Update() serializes on an internal mutex: the DRed retraction phases
+///    require that no other mutation runs concurrently, and SPARQL update
+///    semantics want per-request atomicity of the operation sequence
+///    anyway. Inserts stream through the buffered rule pipeline; deletes
+///    run over-delete/rederive — neither recomputes the closure.
+///
+/// The exception: when the repository runs a *batch* inference mode, an
+/// update may swap the whole store out from under a reader (the
+/// recompute-from-scratch path), so Select() falls back to taking the
+/// update mutex too. Under InferenceMode::kIncremental — the mode this
+/// layer is designed for — the store is stable and SELECTs never block.
+///
+/// All external mutation of the repository must go through the endpoint (or
+/// be otherwise quiesced); the repository itself does not serialize callers.
+class SparqlEndpoint {
+ public:
+  /// One executed request: either a solution table or an update summary.
+  struct Response {
+    bool is_update = false;
+    QueryResult rows;     ///< valid iff !is_update
+    UpdateResult update;  ///< valid iff is_update
+  };
+
+  /// Monotonic service counters (relaxed; exact at quiescence).
+  struct Stats {
+    uint64_t selects = 0;  ///< successfully served SELECT requests
+    uint64_t updates = 0;  ///< successfully applied update requests
+    uint64_t errors = 0;   ///< requests rejected (parse/validation/execution)
+  };
+
+  /// `repo` is borrowed and must outlive the endpoint.
+  explicit SparqlEndpoint(Repository* repo);
+
+  SparqlEndpoint(const SparqlEndpoint&) = delete;
+  SparqlEndpoint& operator=(const SparqlEndpoint&) = delete;
+
+  /// Routes `text` to Select() or Update() by its leading keyword.
+  Result<Response> Execute(std::string_view text);
+
+  /// Parses and evaluates a SELECT query. Safe to call from any number of
+  /// threads concurrently with updates (see the class comment).
+  Result<QueryResult> Select(std::string_view text) const;
+
+  /// Parses and applies an update request (INSERT DATA / DELETE DATA /
+  /// DELETE WHERE, ';'-separated). Updates from concurrent sessions are
+  /// serialized in arrival order.
+  Result<UpdateResult> Update(std::string_view text);
+
+  Stats stats() const;
+
+ private:
+  Repository* repo_;
+  /// True when the repository's inference mode may replace the store on
+  /// update, forcing SELECTs to serialize against updates.
+  const bool serialize_selects_;
+  mutable std::mutex update_mu_;
+  mutable std::atomic<uint64_t> selects_{0};
+  mutable std::atomic<uint64_t> updates_{0};
+  mutable std::atomic<uint64_t> errors_{0};
+};
+
+}  // namespace slider
+
+#endif  // SLIDER_QUERY_ENDPOINT_H_

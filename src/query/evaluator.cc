@@ -2,21 +2,37 @@
 
 #include <algorithm>
 #include <limits>
+#include <unordered_map>
 
 #include "common/string_util.h"
 
 namespace slider {
 
 size_t ForwardProvider::EstimateCount(const TriplePattern& pattern) const {
+  const StoreView view = store_->GetView();
   if (pattern.p == kAnyTerm) {
-    return store_->size();
+    if (pattern.s == kAnyTerm && pattern.o == kAnyTerm) {
+      return view.size();
+    }
+    // Predicate unbound but an endpoint bound: the matches are exactly the
+    // bound term's rows summed across partitions — a per-partition hash
+    // probe, not the old whole-store pessimum that pushed `?s ?p <o>`
+    // patterns to the end of every join order.
+    size_t estimate = std::numeric_limits<size_t>::max();
+    if (pattern.s != kAnyTerm) {
+      estimate = view.CountWithSubject(pattern.s);
+    }
+    if (pattern.o != kAnyTerm) {
+      estimate = std::min(estimate, view.CountWithObject(pattern.o));
+    }
+    return estimate;
   }
   if (pattern.s == kAnyTerm && pattern.o == kAnyTerm) {
-    return store_->CountWithPredicate(pattern.p);
+    return view.CountWithPredicate(pattern.p);
   }
   // Bound subject or object inside a predicate partition: assume high
   // selectivity; exact counting would cost a lookup per estimate.
-  const size_t partition = store_->CountWithPredicate(pattern.p);
+  const size_t partition = view.CountWithPredicate(pattern.p);
   return partition / 8 + 1;
 }
 
@@ -82,7 +98,7 @@ class Joiner {
       std::sort(result.rows.begin(), result.rows.end());
       result.rows.erase(std::unique(result.rows.begin(), result.rows.end()),
                         result.rows.end());
-      if (query_.limit != 0 && result.rows.size() > query_.limit) {
+      if (query_.has_limit && result.rows.size() > query_.limit) {
         result.rows.resize(query_.limit);
       }
     }
@@ -92,9 +108,25 @@ class Joiner {
  private:
   bool LimitReached(const QueryResult& result) const {
     // Under DISTINCT, rows deduplicate at the end, so early cut-off is only
-    // safe without it.
-    return !query_.distinct && query_.limit != 0 &&
+    // safe without it. LIMIT 0 is an explicit "zero rows", reached at once.
+    return !query_.distinct && query_.has_limit &&
            result.rows.size() >= query_.limit;
+  }
+
+  /// Estimate with a per-evaluation memo for the expensive shape: a
+  /// predicate-unbound pattern with a bound endpoint costs the provider a
+  /// partition sweep, and the planner re-probes the same concrete pattern
+  /// at every join level it survives to.
+  size_t Estimate(const TriplePattern& concrete) const {
+    const bool sweeps = concrete.p == kAnyTerm &&
+                        (concrete.s != kAnyTerm || concrete.o != kAnyTerm);
+    if (!sweeps) return provider_->EstimateCount(concrete);
+    const Triple key{concrete.s, concrete.p, concrete.o};
+    const auto it = estimate_memo_.find(key);
+    if (it != estimate_memo_.end()) return it->second;
+    const size_t estimate = provider_->EstimateCount(concrete);
+    estimate_memo_.emplace(key, estimate);
+    return estimate;
   }
 
   /// Picks the cheapest not-yet-joined pattern under the current bindings —
@@ -106,7 +138,7 @@ class Joiner {
     for (size_t i = 0; i < query_.where.size(); ++i) {
       if (used[i]) continue;
       const TriplePattern concrete = Instantiate(query_.where[i], bindings);
-      size_t cost = provider_->EstimateCount(concrete);
+      size_t cost = Estimate(concrete);
       // Prefer patterns with fewer unbound variables on ties.
       cost = cost * 4 + static_cast<size_t>(
                             UnboundCount(query_.where[i], bindings));
@@ -163,6 +195,10 @@ class Joiner {
 
   const Query& query_;
   const MatchProvider* provider_;
+  /// Concrete pattern → estimate, for Estimate()'s sweep-shaped patterns.
+  /// Estimates are snapshots anyway, so staleness across one evaluation is
+  /// within contract.
+  mutable std::unordered_map<Triple, size_t, TripleHash> estimate_memo_;
 };
 
 }  // namespace
@@ -172,12 +208,38 @@ Result<QueryResult> QueryEvaluator::Evaluate(const Query& query) const {
     if (var < 0 || static_cast<size_t>(var) >= query.variables.size()) {
       return Status::InvalidArgument("projection references unknown variable");
     }
+    // A variable projected but never joined would stay on the internal
+    // unbound sentinel and leak into every result row; reject it up front.
+    bool used = false;
+    for (const QueryPattern& pattern : query.where) {
+      for (const QueryTerm* term : {&pattern.s, &pattern.p, &pattern.o}) {
+        if (term->IsVariable() && term->var == var) {
+          used = true;
+          break;
+        }
+      }
+      if (used) break;
+    }
+    if (!used) {
+      return Status::InvalidArgument(
+          Format("variable '?%s' is projected but never used in WHERE",
+                 query.variables[static_cast<size_t>(var)].c_str()));
+    }
+  }
+  if (query.unsatisfiable) {
+    // A bound term absent from the dictionary can never match: skip the
+    // join entirely and return the empty table (header included).
+    QueryResult empty;
+    for (int var : query.projection) {
+      empty.variables.push_back(query.variables[static_cast<size_t>(var)]);
+    }
+    return empty;
   }
   return Joiner(query, provider_).Run();
 }
 
 Result<QueryResult> RunSparql(std::string_view text, const TripleStore& store,
-                              Dictionary* dict) {
+                              const Dictionary& dict) {
   SLIDER_ASSIGN_OR_RETURN(Query query, SparqlParser::Parse(text, dict));
   ForwardProvider provider(&store);
   QueryEvaluator evaluator(&provider);

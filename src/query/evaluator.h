@@ -72,9 +72,10 @@ class QueryEvaluator {
   const MatchProvider* provider_;
 };
 
-/// Convenience: parse and evaluate against a materialised store.
+/// Convenience: parse and evaluate against a materialised store. The
+/// dictionary is only read — serving SELECTs never grows the term space.
 Result<QueryResult> RunSparql(std::string_view text, const TripleStore& store,
-                              Dictionary* dict);
+                              const Dictionary& dict);
 
 }  // namespace slider
 

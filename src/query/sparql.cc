@@ -11,9 +11,16 @@ namespace slider {
 namespace {
 
 /// Hand-rolled tokenizer/recursive-descent parser for the SPARQL subset.
+///
+/// Dictionary discipline: `lookup_dict` serves every term of a SELECT query
+/// and of DELETE DATA / DELETE WHERE blocks (read-only — client queries must
+/// not grow the term space); `encode_dict` is only consulted inside INSERT
+/// DATA blocks, the single place the grammar introduces new data.
 class Parser {
  public:
-  Parser(std::string_view text, Dictionary* dict) : text_(text), dict_(dict) {}
+  Parser(std::string_view text, const Dictionary* lookup_dict,
+         Dictionary* encode_dict)
+      : text_(text), lookup_dict_(lookup_dict), encode_dict_(encode_dict) {}
 
   Result<Query> Run() {
     SLIDER_RETURN_NOT_OK(ParsePrologue());
@@ -31,7 +38,34 @@ class Parser {
         query_.projection.push_back(static_cast<int>(i));
       }
     }
+    query_.unsatisfiable = missed_any_;
     return query_;
+  }
+
+  Result<UpdateRequest> RunUpdate() {
+    SLIDER_RETURN_NOT_OK(ParsePrologue());
+    UpdateRequest request;
+    while (true) {
+      UpdateOp op;
+      SLIDER_RETURN_NOT_OK(ParseUpdateOp(&op));
+      request.ops.push_back(std::move(op));
+      if (!ConsumeChar(';')) break;
+      SkipWhitespace();
+      if (AtEnd()) break;  // trailing ';' after the last operation
+      SLIDER_RETURN_NOT_OK(ParsePrologue());  // each op may add prefixes
+    }
+    SkipWhitespace();
+    if (!AtEnd()) {
+      return Status::InvalidArgument(
+          Format("trailing content at offset %zu", pos_));
+    }
+    return request;
+  }
+
+  bool StartsWithUpdateKeyword() {
+    // Lexing only — never touches the dictionaries.
+    if (!ParsePrologue().ok()) return false;
+    return ConsumeKeyword("INSERT") || ConsumeKeyword("DELETE");
   }
 
  private:
@@ -78,6 +112,19 @@ class Parser {
     if (AtEnd() || text_[pos_] != c) return false;
     ++pos_;
     return true;
+  }
+
+  /// Resolves a term's lexical form to an id under the current mode.
+  TermId Intern(std::string_view term) {
+    if (encoding_) {
+      return encode_dict_->Encode(term);
+    }
+    if (const auto id = lookup_dict_->Lookup(term)) {
+      return *id;
+    }
+    missed_any_ = true;
+    missed_in_triple_ = true;
+    return kAbsentTermId;
   }
 
   // --- grammar --------------------------------------------------------------
@@ -138,8 +185,18 @@ class Parser {
     if (!ConsumeKeyword("WHERE")) {
       return Status::InvalidArgument("expected WHERE");
     }
+    SLIDER_RETURN_NOT_OK(ParsePatternBlock(&query_.where));
+    if (query_.where.empty()) {
+      return Status::InvalidArgument("empty WHERE block");
+    }
+    return Status::OK();
+  }
+
+  /// { pattern ("." pattern)* "."? } — shared by SELECT's WHERE clause and
+  /// DELETE WHERE blocks.
+  Status ParsePatternBlock(std::vector<QueryPattern>* out) {
     if (!ConsumeChar('{')) {
-      return Status::InvalidArgument("expected '{' after WHERE");
+      return Status::InvalidArgument("expected '{' before patterns");
     }
     while (true) {
       SkipWhitespace();
@@ -148,13 +205,85 @@ class Parser {
       SLIDER_ASSIGN_OR_RETURN(pattern.s, ParseTerm(/*allow_literal=*/false));
       SLIDER_ASSIGN_OR_RETURN(pattern.p, ParseTerm(/*allow_literal=*/false));
       SLIDER_ASSIGN_OR_RETURN(pattern.o, ParseTerm(/*allow_literal=*/true));
-      query_.where.push_back(pattern);
+      out->push_back(pattern);
       ConsumeChar('.');  // statement separator; optional before '}'
     }
-    if (query_.where.empty()) {
-      return Status::InvalidArgument("empty WHERE block");
+    return Status::OK();
+  }
+
+  /// { triple ("." triple)* "."? } — the ground statement block of
+  /// INSERT DATA / DELETE DATA. With `drop_missing` (DELETE DATA), a triple
+  /// naming a term absent from the dictionary is dropped: it cannot be
+  /// stored, so deleting it is a no-op — and encoding it (the old SELECT
+  /// bug, at update scale) would grow the dictionary per unknown term.
+  Status ParseDataBlock(TripleVec* out, bool drop_missing) {
+    if (!ConsumeChar('{')) {
+      return Status::InvalidArgument("expected '{' before data triples");
+    }
+    while (true) {
+      SkipWhitespace();
+      if (ConsumeChar('}')) break;
+      missed_in_triple_ = false;
+      Triple t;
+      SLIDER_ASSIGN_OR_RETURN(
+          QueryTerm s, ParseTerm(/*allow_literal=*/false,
+                                 /*allow_variable=*/false));
+      SLIDER_ASSIGN_OR_RETURN(
+          QueryTerm p, ParseTerm(/*allow_literal=*/false,
+                                 /*allow_variable=*/false));
+      SLIDER_ASSIGN_OR_RETURN(
+          QueryTerm o, ParseTerm(/*allow_literal=*/true,
+                                 /*allow_variable=*/false));
+      t.s = s.term;
+      t.p = p.term;
+      t.o = o.term;
+      if (!missed_in_triple_) {
+        out->push_back(t);
+      } else if (!drop_missing) {
+        return Status::Internal("INSERT DATA must encode, not look up");
+      }
+      ConsumeChar('.');
     }
     return Status::OK();
+  }
+
+  Status ParseUpdateOp(UpdateOp* op) {
+    if (ConsumeKeyword("INSERT")) {
+      if (!ConsumeKeyword("DATA")) {
+        return Status::InvalidArgument("expected DATA after INSERT");
+      }
+      op->kind = UpdateOp::Kind::kInsertData;
+      if (encode_dict_ == nullptr) {
+        return Status::InvalidArgument("INSERT DATA needs a writable dictionary");
+      }
+      encoding_ = true;
+      const Status st = ParseDataBlock(&op->data, /*drop_missing=*/false);
+      encoding_ = false;
+      return st;
+    }
+    if (!ConsumeKeyword("DELETE")) {
+      return Status::InvalidArgument("expected INSERT or DELETE");
+    }
+    if (ConsumeKeyword("DATA")) {
+      op->kind = UpdateOp::Kind::kDeleteData;
+      return ParseDataBlock(&op->data, /*drop_missing=*/true);
+    }
+    if (ConsumeKeyword("WHERE")) {
+      op->kind = UpdateOp::Kind::kDeleteWhere;
+      // Variable scope is per operation: reuse the query-side interner with
+      // a fresh table, then move the names into the op.
+      query_.variables.clear();
+      missed_any_ = false;
+      SLIDER_RETURN_NOT_OK(ParsePatternBlock(&op->where));
+      if (op->where.empty()) {
+        return Status::InvalidArgument("empty DELETE WHERE block");
+      }
+      op->variables = std::move(query_.variables);
+      query_.variables.clear();
+      op->unsatisfiable = missed_any_;
+      return Status::OK();
+    }
+    return Status::InvalidArgument("expected DATA or WHERE after DELETE");
   }
 
   Status ParseModifiers() {
@@ -170,18 +299,23 @@ class Parser {
       if (digits == 0) {
         return Status::InvalidArgument("LIMIT needs a number");
       }
+      // Explicit has/value pair: LIMIT 0 means zero rows, not "no limit".
+      query_.has_limit = true;
       query_.limit = value;
     }
     return Status::OK();
   }
 
-  Result<QueryTerm> ParseTerm(bool allow_literal) {
+  Result<QueryTerm> ParseTerm(bool allow_literal, bool allow_variable = true) {
     SkipWhitespace();
     if (AtEnd()) {
       return Status::InvalidArgument("unexpected end of query in pattern");
     }
     const char c = text_[pos_];
     if (c == '?') {
+      if (!allow_variable) {
+        return Status::InvalidArgument("variable not allowed in ground data");
+      }
       ++pos_;
       std::string name = ConsumeName();
       if (name.empty()) {
@@ -194,11 +328,11 @@ class Parser {
       if (close == std::string_view::npos) {
         return Status::InvalidArgument("IRI not terminated");
       }
-      // Encode the view in place: the sharded dictionary copies the bytes
-      // into its own arena, so no temporary string is needed.
+      // Resolve the view in place: the sharded dictionary hashes (and, when
+      // encoding, copies) the bytes itself, so no temporary string is needed.
       const std::string_view iri = text_.substr(pos_, close - pos_ + 1);
       pos_ = close + 1;
-      return QueryTerm::Bound(dict_->Encode(iri));
+      return QueryTerm::Bound(Intern(iri));
     }
     if (c == '"') {
       if (!allow_literal) {
@@ -234,13 +368,14 @@ class Parser {
       }
       const std::string_view literal = text_.substr(pos_, i - pos_);
       pos_ = i;
-      return QueryTerm::Bound(dict_->Encode(literal));
+      return QueryTerm::Bound(Intern(literal));
     }
-    // `a` keyword → rdf:type.
-    if (c == 'a' && (pos_ + 1 >= text_.size() ||
-                     std::isspace(static_cast<unsigned char>(text_[pos_ + 1])))) {
+    // `a` keyword → rdf:type, whenever the next character cannot continue a
+    // name (so `a<http://…>`, `a?t` and `a}` parse, while `ab:x` and `a:x`
+    // still read as prefixed names).
+    if (c == 'a' && (pos_ + 1 >= text_.size() || !IsNameChar(text_[pos_ + 1]))) {
       ++pos_;
-      return QueryTerm::Bound(dict_->Encode(iri::kRdfType));
+      return QueryTerm::Bound(Intern(iri::kRdfType));
     }
     // prefix:local
     std::string prefixed = ConsumePrefixedName();
@@ -254,10 +389,16 @@ class Parser {
       }
       const std::string iri =
           "<" + it->second + prefixed.substr(colon + 1) + ">";
-      return QueryTerm::Bound(dict_->Encode(iri));
+      return QueryTerm::Bound(Intern(iri));
     }
     return Status::InvalidArgument(
         Format("cannot parse pattern term at offset %zu", pos_));
+  }
+
+  /// True iff `c` can continue a name or prefixed name (`:` included, so a
+  /// lone `a` is distinguishable from the `a:x` prefix form).
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':';
   }
 
   std::string ConsumeName() {
@@ -298,7 +439,11 @@ class Parser {
   }
 
   std::string_view text_;
-  Dictionary* dict_;
+  const Dictionary* lookup_dict_;
+  Dictionary* encode_dict_;
+  bool encoding_ = false;         // inside an INSERT DATA block
+  bool missed_any_ = false;       // lookup miss in the current query/op
+  bool missed_in_triple_ = false; // lookup miss in the current data triple
   size_t pos_ = 0;
   Query query_;
   std::map<std::string, std::string> prefixes_;
@@ -313,8 +458,18 @@ int Query::VariableIndex(std::string_view name) const {
   return -1;
 }
 
-Result<Query> SparqlParser::Parse(std::string_view text, Dictionary* dict) {
-  return Parser(text, dict).Run();
+Result<Query> SparqlParser::Parse(std::string_view text,
+                                  const Dictionary& dict) {
+  return Parser(text, &dict, /*encode_dict=*/nullptr).Run();
+}
+
+Result<UpdateRequest> SparqlParser::ParseUpdate(std::string_view text,
+                                                Dictionary* dict) {
+  return Parser(text, dict, dict).RunUpdate();
+}
+
+bool SparqlParser::IsUpdate(std::string_view text) {
+  return Parser(text, nullptr, nullptr).StartsWithUpdateKeyword();
 }
 
 }  // namespace slider

@@ -11,6 +11,12 @@
 
 namespace slider {
 
+/// \brief Sentinel id for a bound query term whose lexical form is not in
+/// the dictionary. It is never assigned by Encode (the decode table caps
+/// out far below), so a pattern carrying it matches nothing — a safety net
+/// under the explicit `unsatisfiable` flag the parser also sets.
+inline constexpr TermId kAbsentTermId = ~TermId{0};
+
 /// \brief One position of a query triple pattern: a bound term or a
 /// variable (identified by index into Query::variables).
 struct QueryTerm {
@@ -51,28 +57,76 @@ struct QueryPattern {
 ///
 /// where each pattern term is `?var`, `<iri>`, `prefix:local`, a literal
 /// ("..." with optional @lang / ^^<datatype>), or the keyword `a`
-/// (rdf:type). Terms are dictionary-encoded at parse time; a bound term
-/// that is not in the dictionary can never match, which the evaluator
-/// exploits.
+/// (rdf:type). Bound terms are *looked up* in the dictionary at parse time
+/// — never inserted, so adversarial query streams cannot grow the term
+/// space. A bound term that is not in the dictionary can never match: the
+/// query is flagged `unsatisfiable` and its term slots carry kAbsentTermId.
 struct Query {
   std::vector<std::string> variables;  ///< names without '?', first-seen order
   std::vector<int> projection;         ///< indexes into variables
   std::vector<QueryPattern> where;
   bool distinct = false;
-  size_t limit = 0;  ///< 0 = unlimited
+  bool has_limit = false;  ///< LIMIT clause present (LIMIT 0 is zero rows)
+  size_t limit = 0;        ///< valid iff has_limit
+  /// A bound term was absent from the dictionary: no stored triple can
+  /// match, so evaluation short-circuits to an empty result.
+  bool unsatisfiable = false;
 
   /// Index of `name` in variables, or -1.
   int VariableIndex(std::string_view name) const;
 };
 
-/// \brief Parser for the SPARQL subset above.
+/// \brief One SPARQL Update operation.
 ///
-/// Terms are encoded through `dict` (inserting unseen terms, so parsing a
-/// query never fails on vocabulary grounds — unmatched terms simply yield
-/// empty results).
+/// Supported forms:
+///
+///   INSERT DATA { triple ("." triple)* "."? }
+///   DELETE DATA { triple ("." triple)* "."? }
+///   DELETE WHERE { pattern ("." pattern)* "."? }
+///
+/// where the DATA triples are ground (no variables; literals in object
+/// position only) and DELETE WHERE patterns follow the SELECT pattern
+/// grammar. The pattern block of DELETE WHERE is both the match and the
+/// deletion template, as in SPARQL 1.1.
+///
+/// Only INSERT DATA encodes unseen terms into the dictionary. DELETE DATA
+/// terms are looked up: a triple naming an unknown term cannot be stored,
+/// so it is dropped from `data` at parse time. DELETE WHERE terms are
+/// looked up too; an absent bound term makes the operation `unsatisfiable`
+/// (it deletes nothing).
+struct UpdateOp {
+  enum class Kind { kInsertData, kDeleteData, kDeleteWhere };
+  Kind kind = Kind::kInsertData;
+  TripleVec data;                      ///< kInsertData / kDeleteData
+  std::vector<std::string> variables;  ///< kDeleteWhere, first-seen order
+  std::vector<QueryPattern> where;     ///< kDeleteWhere
+  bool unsatisfiable = false;          ///< kDeleteWhere: absent bound term
+};
+
+/// \brief A parsed SPARQL Update request: one or more operations separated
+/// by ';', executed in order.
+struct UpdateRequest {
+  std::vector<UpdateOp> ops;
+};
+
+/// \brief Parser for the SPARQL subset above.
 class SparqlParser {
  public:
-  static Result<Query> Parse(std::string_view text, Dictionary* dict);
+  /// Parses a SELECT query. `dict` is only read: unknown terms mark the
+  /// query unsatisfiable instead of being inserted, so serving queries
+  /// never mutates the term space.
+  static Result<Query> Parse(std::string_view text, const Dictionary& dict);
+
+  /// Parses an update request. Only INSERT DATA blocks insert unseen terms
+  /// into `dict`; DELETE DATA / DELETE WHERE only look terms up.
+  static Result<UpdateRequest> ParseUpdate(std::string_view text,
+                                           Dictionary* dict);
+
+  /// True if `text` starts (after comments and PREFIX declarations) with an
+  /// update keyword (INSERT / DELETE) rather than SELECT. A cheap router
+  /// for endpoints accepting both through one entry point; the subsequent
+  /// Parse/ParseUpdate still validates the full grammar.
+  static bool IsUpdate(std::string_view text);
 };
 
 }  // namespace slider

@@ -1,0 +1,47 @@
+#include "query/update.h"
+
+#include "query/evaluator.h"
+#include "store/triple_store.h"
+
+namespace slider {
+
+Result<TripleVec> ExpandDeleteWhere(const UpdateOp& op,
+                                    const TripleStore& store) {
+  if (op.kind != UpdateOp::Kind::kDeleteWhere) {
+    return Status::InvalidArgument("operation is not DELETE WHERE");
+  }
+  if (op.unsatisfiable) {
+    return TripleVec{};
+  }
+  // The pattern block doubles as a SELECT over all its variables; each
+  // solution row then grounds the same patterns. Ground patterns (no
+  // variables) degenerate to a containment probe: one empty solution row if
+  // the store matches, none otherwise.
+  Query query;
+  query.variables = op.variables;
+  query.where = op.where;
+  query.distinct = true;
+  for (size_t i = 0; i < op.variables.size(); ++i) {
+    query.projection.push_back(static_cast<int>(i));
+  }
+  ForwardProvider provider(&store);
+  SLIDER_ASSIGN_OR_RETURN(QueryResult solutions,
+                          QueryEvaluator(&provider).Evaluate(query));
+
+  TripleSet seen;
+  TripleVec victims;
+  for (const auto& row : solutions.rows) {
+    const auto resolve = [&](const QueryTerm& term) -> TermId {
+      return term.IsVariable() ? row[static_cast<size_t>(term.var)]
+                               : term.term;
+    };
+    for (const QueryPattern& pattern : op.where) {
+      const Triple t{resolve(pattern.s), resolve(pattern.p),
+                     resolve(pattern.o)};
+      if (seen.insert(t).second) victims.push_back(t);
+    }
+  }
+  return victims;
+}
+
+}  // namespace slider

@@ -1,0 +1,43 @@
+#ifndef SLIDER_QUERY_UPDATE_H_
+#define SLIDER_QUERY_UPDATE_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "query/sparql.h"
+#include "rdf/term.h"
+
+namespace slider {
+
+class TripleStore;
+
+/// \brief Aggregate outcome of executing an UpdateRequest.
+///
+/// Counters sum over the request's operations. `derivations` is the
+/// hardware-independent work measure the benches report: rule outputs (and,
+/// for retractions, deletion-mode outputs plus rederivation probes)
+/// performed to maintain the closure — under the incremental engine it is
+/// proportional to the touched cone, not to the store.
+struct UpdateResult {
+  size_t inserted = 0;       ///< distinct explicit statements added
+  size_t inferred = 0;       ///< distinct statements newly inferred
+  size_t removed = 0;        ///< explicit statements retracted
+  size_t matched = 0;        ///< DELETE WHERE template instantiations
+  uint64_t derivations = 0;  ///< closure-maintenance work (see above)
+  double seconds = 0.0;      ///< wall-clock of the whole request
+};
+
+/// \brief Instantiates a DELETE WHERE operation against `store`: evaluates
+/// the pattern block over a pinned view and substitutes each solution into
+/// the patterns (which are their own deletion template, as in SPARQL 1.1).
+///
+/// Returns the distinct ground triples to retract — whether each is an
+/// explicit assertion is the retraction path's decision, not the matcher's.
+/// An `unsatisfiable` operation (a bound term unknown to the dictionary)
+/// matches nothing. Read-only: runs lock-free against the store.
+Result<TripleVec> ExpandDeleteWhere(const UpdateOp& op,
+                                    const TripleStore& store);
+
+}  // namespace slider
+
+#endif  // SLIDER_QUERY_UPDATE_H_

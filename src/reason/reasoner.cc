@@ -11,10 +11,25 @@
 namespace slider {
 
 Reasoner::Reasoner(const FragmentFactory& factory, ReasonerOptions options)
+    : Reasoner(factory, options, nullptr, nullptr, nullptr) {}
+
+Reasoner::Reasoner(const FragmentFactory& factory, ReasonerOptions options,
+                   Dictionary* dict, TripleStore* store, StatementLog* log)
     : options_(options),
-      vocab_(Vocabulary::Register(&dict_)),
-      fragment_(factory(vocab_, &dict_)),
-      graph_(DependencyGraph::Build(fragment_)) {
+      owned_dict_(dict == nullptr ? std::make_unique<Dictionary>() : nullptr),
+      dict_(dict == nullptr ? owned_dict_.get() : dict),
+      vocab_(Vocabulary::Register(dict_)),
+      fragment_(factory(vocab_, dict_)),
+      graph_(DependencyGraph::Build(fragment_)),
+      owned_store_(store == nullptr ? std::make_unique<TripleStore>()
+                                    : nullptr),
+      store_(store == nullptr ? owned_store_.get() : store),
+      log_(log) {
+  // An attached non-empty store (recovery) seeds the live counters from its
+  // support flags; a fresh store seeds zeros either way.
+  const size_t pre_explicit = store_->ExplicitCount();
+  explicit_count_.store(pre_explicit);
+  inferred_count_.store(store_->size() - pre_explicit);
   const auto& rules = fragment_.rules();
   modules_.reserve(rules.size());
   for (size_t i = 0; i < rules.size(); ++i) {
@@ -61,7 +76,7 @@ Status Reasoner::AddNTriples(std::string_view document) {
   chunk.reserve(kChunk);
   Status st = NTriplesParser::ParseDocument(
       document, [&](const ParsedTriple& t) -> Status {
-        chunk.push_back(dict_.EncodeTriple(t.subject, t.predicate, t.object));
+        chunk.push_back(dict_->EncodeTriple(t.subject, t.predicate, t.object));
         if (chunk.size() >= kChunk) {
           AddTriples(chunk);
           chunk.clear();
@@ -85,13 +100,14 @@ void Reasoner::StoreAndRoute(const TripleVec& batch,
   TripleVec delta;
   delta.reserve(batch.size());
   size_t promoted = 0;
-  store_.AddAll(batch, &delta, /*is_explicit=*/is_input,
+  store_->AddAll(batch, &delta, /*is_explicit=*/is_input,
                 is_input ? &promoted : nullptr);
   if (promoted != 0) {
     explicit_count_.fetch_add(promoted);
     inferred_count_.fetch_sub(promoted);
   }
   if (delta.empty()) return;
+  LogAdditions(delta);
   if (is_input) {
     explicit_count_.fetch_add(delta.size());
     Trace(TraceEventType::kInput, "", delta.size());
@@ -148,7 +164,7 @@ void Reasoner::ExecuteRule(int idx, const TripleVec& batch) {
   TripleVec produced;
   // One pinned view per execution: the join reads take no lock, and the
   // store-before-route invariant guarantees the view contains the batch.
-  module.rule->Apply(batch, store_.GetView(), &produced);
+  module.rule->Apply(batch, store_->GetView(), &produced);
   module.executions.fetch_add(1);
   module.derivations.fetch_add(produced.size());
   Trace(TraceEventType::kRuleExecuted, module.rule->name(), batch.size());
@@ -158,8 +174,9 @@ void Reasoner::ExecuteRule(int idx, const TripleVec& batch) {
   // triples to the dependency-graph successors.
   TripleVec delta;
   delta.reserve(produced.size());
-  store_.AddAll(produced, &delta, /*is_explicit=*/false);
+  store_->AddAll(produced, &delta, /*is_explicit=*/false);
   if (delta.empty()) return;
+  LogAdditions(delta);
   module.inferred_new.fetch_add(delta.size());
   inferred_count_.fetch_add(delta.size());
   Trace(TraceEventType::kInferred, module.rule->name(), delta.size());
@@ -209,7 +226,7 @@ Reasoner::RetractStats Reasoner::Retract(const TripleVec& batch) {
   // also deduplicates repeated offers, since only the first flips the flag.
   TripleVec round;
   for (const Triple& t : batch) {
-    if (store_.SetSupport(t, /*is_explicit=*/false) != 1) continue;
+    if (store_->SetSupport(t, /*is_explicit=*/false) != 1) continue;
     round.push_back(t);
   }
   stats.retracted = round.size();
@@ -270,24 +287,29 @@ Reasoner::RetractStats Reasoner::Retract(const TripleVec& batch) {
       pool_->Submit([this, &task] {
         const TripleVec& batch =
             task.borrowed != nullptr ? *task.borrowed : task.owned;
-        modules_[task.module]->rule->Apply(batch, store_.GetView(),
+        modules_[task.module]->rule->Apply(batch, store_->GetView(),
                                            &task.out);
       });
     }
     pool_->WaitIdle();
+    TripleVec erased_round;
     for (const Triple& t : round) {
-      if (store_.Erase(t)) {
+      if (store_->Erase(t)) {
         deleted.insert(t);
+        erased_round.push_back(t);
         ++stats.overdeleted;
       }
     }
+    // Tombstones are logged as the cone is erased; rederivation re-logs
+    // whatever comes back, so an ordered replay lands on the final store.
+    LogTombstones(erased_round);
     // Route the fresh candidates. `routed` both deduplicates the round and
     // records which successor buffers a candidate already reached when two
     // producers feed the same module (the mask degrades to per-producer
     // routing past 64 rules, which only costs duplicate deletion work).
     // One view covers the filter probes; the erases above happened on this
     // thread, so the view observes them.
-    const StoreView view = store_.GetView();
+    const StoreView view = store_->GetView();
     std::unordered_map<Triple, uint64_t, TripleHash> routed;
     std::vector<TripleVec> next_pending(num_modules);
     TripleVec next_round;
@@ -340,7 +362,7 @@ Reasoner::RetractStats Reasoner::Retract(const TripleVec& batch) {
       fallback_modules.push_back(m);
     }
   }
-  const size_t size_before = store_.size();
+  const size_t size_before = store_->size();
   TripleVec remaining(deleted.begin(), deleted.end());
   // Mixed fragments must reach a *joint* fixpoint: a triple restored by a
   // checked rule can be the antecedent of a check-less rule's consequence
@@ -348,7 +370,7 @@ Reasoner::RetractStats Reasoner::Retract(const TripleVec& batch) {
   // whole round makes no progress. Fragments using only one mechanism exit
   // after a single round — each inner scheme is a fixpoint by itself.
   while (!remaining.empty()) {
-    const size_t size_at_round_start = store_.size();
+    const size_t size_at_round_start = store_->size();
 
     if (!fallback_modules.empty()) {
       FlatHashSet terms;
@@ -363,8 +385,8 @@ Reasoner::RetractStats Reasoner::Retract(const TripleVec& batch) {
       };
       terms.ForEach([&](uint64_t u) {
         const TermId id = static_cast<TermId>(u);
-        store_.ForEachMatch(TriplePattern{id, kAnyTerm, kAnyTerm}, collect);
-        store_.ForEachMatch(TriplePattern{kAnyTerm, kAnyTerm, id}, collect);
+        store_->ForEachMatch(TriplePattern{id, kAnyTerm, kAnyTerm}, collect);
+        store_->ForEachMatch(TriplePattern{kAnyTerm, kAnyTerm, id}, collect);
       });
       stats.rederive_seeds += seeds.size();
       if (!seeds.empty()) {
@@ -374,7 +396,7 @@ Reasoner::RetractStats Reasoner::Retract(const TripleVec& batch) {
       // Drop what the fallback cascade restored.
       TripleVec still_missing;
       for (const Triple& t : remaining) {
-        if (!store_.Contains(t)) still_missing.push_back(t);
+        if (!store_->Contains(t)) still_missing.push_back(t);
       }
       remaining.swap(still_missing);
     }
@@ -385,7 +407,7 @@ Reasoner::RetractStats Reasoner::Retract(const TripleVec& batch) {
       // One view per pass: the pass checks against the store state at pass
       // start; triples restored by this pass are added below and a fresh
       // view picks them up next iteration.
-      const StoreView check_view = store_.GetView();
+      const StoreView check_view = store_->GetView();
       for (const Triple& t : remaining) {
         bool derivable = false;
         for (int m : checked_modules) {
@@ -418,15 +440,16 @@ Reasoner::RetractStats Reasoner::Retract(const TripleVec& batch) {
       // Restored triples need no routing: anything they can support is
       // either a survivor (already stored) or over-deleted (checked again
       // next pass against the store that now contains them).
-      store_.AddAll(restored, nullptr, /*is_explicit=*/false);
+      store_->AddAll(restored, nullptr, /*is_explicit=*/false);
+      LogAdditions(restored);
       inferred_count_.fetch_add(restored.size());
       remaining.swap(still_missing);
     }
 
     if (fallback_modules.empty() || checked_modules.empty()) break;
-    if (store_.size() == size_at_round_start) break;  // joint fixpoint
+    if (store_->size() == size_at_round_start) break;  // joint fixpoint
   }
-  stats.rederived = store_.size() - size_before;
+  stats.rederived = store_->size() - size_before;
   return stats;
 }
 
@@ -484,5 +507,40 @@ uint64_t Reasoner::total_derivations() const {
 }
 
 ThreadPool::Stats Reasoner::pool_stats() const { return pool_->stats(); }
+
+void Reasoner::LogAdditions(const TripleVec& batch) {
+  if (log_ == nullptr || batch.empty()) return;
+  std::lock_guard<std::mutex> lock(log_mu_);
+  if (!log_error_.ok()) return;  // sticky: keep the log a clean prefix
+  for (const Triple& t : batch) {
+    const Status appended = log_->Append(t);
+    if (!appended.ok()) {
+      log_error_ = appended;
+      SLIDER_LOG(kWarning) << "statement log append failed: "
+                           << appended.ToString();
+      return;
+    }
+  }
+}
+
+void Reasoner::LogTombstones(const TripleVec& batch) {
+  if (log_ == nullptr || batch.empty()) return;
+  std::lock_guard<std::mutex> lock(log_mu_);
+  if (!log_error_.ok()) return;
+  for (const Triple& t : batch) {
+    const Status appended = log_->AppendTombstone(t);
+    if (!appended.ok()) {
+      log_error_ = appended;
+      SLIDER_LOG(kWarning) << "statement log tombstone append failed: "
+                           << appended.ToString();
+      return;
+    }
+  }
+}
+
+Status Reasoner::log_status() const {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  return log_error_;
+}
 
 }  // namespace slider

@@ -18,6 +18,7 @@
 #include "reason/fragment.h"
 #include "reason/inference_trace.h"
 #include "reason/options.h"
+#include "store/statement_log.h"
 #include "store/triple_store.h"
 
 namespace slider {
@@ -78,6 +79,24 @@ class Reasoner {
   /// module per rule and starts the thread pool (and timeout scanner).
   explicit Reasoner(const FragmentFactory& factory, ReasonerOptions options = {});
 
+  /// Embedding constructor: runs the engine over *borrowed* resources
+  /// instead of owning them. `dict` (required) supplies term ids — the
+  /// vocabulary is registered into it, which is idempotent if the embedder
+  /// already did. `store` (may be null → owned) holds the materialisation;
+  /// when it is non-empty the live explicit/inferred counters are seeded
+  /// from its support flags, so an engine attached to a recovered store
+  /// reports the recovered population. `log` (may be null) receives a
+  /// durable record of every store mutation the engine makes: an addition
+  /// record per distinct stored triple, a tombstone per erased one,
+  /// re-addition records for rederived triples — so an ordered replay of
+  /// the log converges on the store contents even across Retract calls.
+  /// Log appends are serialized internally; an append failure is sticky
+  /// (see log_status()) and stops further logging. All borrowed resources
+  /// must outlive the reasoner. This is how Repository embeds the
+  /// incremental engine behind its SPARQL update surface.
+  Reasoner(const FragmentFactory& factory, ReasonerOptions options,
+           Dictionary* dict, TripleStore* store, StatementLog* log);
+
   /// Completes outstanding work, stops the scanner and joins the pool.
   ~Reasoner();
 
@@ -120,13 +139,18 @@ class Reasoner {
   /// Retracts one explicit triple.
   RetractStats RetractTriple(const Triple& t) { return Retract({t}); }
 
-  Dictionary* dictionary() { return &dict_; }
-  const Dictionary& dictionary() const { return dict_; }
+  Dictionary* dictionary() { return dict_; }
+  const Dictionary& dictionary() const { return *dict_; }
   const Vocabulary& vocabulary() const { return vocab_; }
-  const TripleStore& store() const { return store_; }
+  const TripleStore& store() const { return *store_; }
   const Fragment& fragment() const { return fragment_; }
   const DependencyGraph& dependency_graph() const { return graph_; }
   const ReasonerOptions& options() const { return options_; }
+
+  /// First error hit while appending to the borrowed statement log, or OK.
+  /// Sticky: once an append fails, later mutations stop logging so the log
+  /// is a clean prefix of the store history rather than a gapped one.
+  Status log_status() const;
 
   /// Distinct explicit triples currently asserted (retraction demotes or
   /// removes; re-asserting an inferred triple promotes).
@@ -190,12 +214,22 @@ class Reasoner {
     if (options_.trace != nullptr) options_.trace->Record(type, rule, count);
   }
 
+  /// Appends `batch` as addition records to the borrowed log (no-op when
+  /// detached). Thread-safe; called from rule tasks.
+  void LogAdditions(const TripleVec& batch);
+
+  /// Appends `batch` as tombstone records to the borrowed log.
+  void LogTombstones(const TripleVec& batch);
+
   ReasonerOptions options_;
-  Dictionary dict_;
+  std::unique_ptr<Dictionary> owned_dict_;  // set iff the dictionary is owned
+  Dictionary* dict_;
   Vocabulary vocab_;
   Fragment fragment_;
   DependencyGraph graph_;
-  TripleStore store_;
+  std::unique_ptr<TripleStore> owned_store_;  // set iff the store is owned
+  TripleStore* store_;
+  StatementLog* log_;  // borrowed durability sink; may be null
   std::vector<std::unique_ptr<RuleModule>> modules_;
   std::vector<int> all_modules_;  // input routing candidates: every module
   std::unique_ptr<ThreadPool> pool_;
@@ -207,6 +241,10 @@ class Reasoner {
   std::mutex transfer_mu_;
   /// Serialises Retract() calls against each other.
   std::mutex retract_mu_;
+  /// Serialises appends to the borrowed statement log (rule tasks log their
+  /// deltas concurrently) and guards log_error_.
+  mutable std::mutex log_mu_;
+  Status log_error_;
 };
 
 }  // namespace slider

@@ -24,6 +24,9 @@ constexpr const char kDictDumpHeader[] = "# slider-dict v2";
 
 Result<std::unique_ptr<Repository>> Repository::Open(
     const FragmentFactory& factory, Options options) {
+  if (options.inference == InferenceMode::kIncremental) {
+    options.recompute_on_update = false;  // the embedded engine never recomputes
+  }
   auto repo = std::unique_ptr<Repository>(new Repository());
   repo->options_ = std::move(options);
   repo->factory_ = factory;
@@ -39,11 +42,30 @@ Result<std::unique_ptr<Repository>> Repository::Open(
 }
 
 void Repository::ResetEngine() {
+  // Work done by the outgoing engine stays in the lifetime counter, so
+  // total_derivations() keeps growing monotonically across the batch modes'
+  // per-update engine resets.
+  if (semi_naive_ != nullptr) {
+    retired_derivations_ += semi_naive_->cumulative_stats().derivations;
+  }
+  if (trree_ != nullptr) {
+    retired_derivations_ += trree_->cumulative_stats().derivations;
+  }
+  if (slider_ != nullptr) {
+    retired_derivations_ += slider_->total_derivations();
+  }
   semi_naive_.reset();
   trree_.reset();
+  slider_.reset();
   if (options_.inference == InferenceMode::kSemiNaive) {
     semi_naive_ = std::make_unique<BatchReasoner>(factory_(vocab_, &dict_),
                                                   store_.get(), log_.get());
+  } else if (options_.inference == InferenceMode::kIncremental) {
+    // The Slider engine borrows the repository's dictionary, store and log:
+    // it logs its own additions and tombstones, so replaying the log still
+    // reconstructs the store even though updates never recompute.
+    slider_ = std::make_unique<Reasoner>(factory_, options_.incremental,
+                                         &dict_, store_.get(), log_.get());
   } else {
     trree_ = std::make_unique<TrreeReasoner>(factory_(vocab_, &dict_),
                                              store_.get(), log_.get());
@@ -51,6 +73,22 @@ void Repository::ResetEngine() {
 }
 
 Result<MaterializeStats> Repository::RunInference(const TripleVec& input) {
+  if (slider_ != nullptr) {
+    MaterializeStats stats;
+    stats.input_count = input.size();
+    stats.rounds = 1;
+    const size_t size_before = store_->size();
+    const size_t explicit_before = slider_->explicit_count();
+    const uint64_t deriv_before = slider_->total_derivations();
+    slider_->AddTriples(input);
+    slider_->Flush();
+    SLIDER_RETURN_NOT_OK(slider_->log_status());
+    stats.input_new = slider_->explicit_count() - explicit_before;
+    const size_t grown = store_->size() - size_before;
+    stats.inferred_new = grown >= stats.input_new ? grown - stats.input_new : 0;
+    stats.derivations = slider_->total_derivations() - deriv_before;
+    return stats;
+  }
   if (semi_naive_ != nullptr) {
     return semi_naive_->Materialize(input);
   }
@@ -58,7 +96,16 @@ Result<MaterializeStats> Repository::RunInference(const TripleVec& input) {
 }
 
 const Fragment& Repository::fragment() const {
+  if (slider_ != nullptr) return slider_->fragment();
   return semi_naive_ != nullptr ? semi_naive_->fragment() : trree_->fragment();
+}
+
+uint64_t Repository::total_derivations() const {
+  uint64_t total = retired_derivations_;
+  if (semi_naive_ != nullptr) total += semi_naive_->cumulative_stats().derivations;
+  if (trree_ != nullptr) total += trree_->cumulative_stats().derivations;
+  if (slider_ != nullptr) total += slider_->total_derivations();
+  return total;
 }
 
 std::string Repository::LogPath() const {
@@ -120,6 +167,38 @@ Result<Repository::LoadStats> Repository::RemoveTriples(const TripleVec& triples
     stats.seconds = watch.ElapsedSeconds();
     return stats;
   }
+
+  if (slider_ != nullptr) {
+    // Incremental mode: DRed maintenance instead of a recompute. The engine
+    // appends its own tombstone / rederivation records to the statement
+    // log, so the replay contract below holds without the closure diff.
+    TripleVec victims(removed.begin(), removed.end());
+    const uint64_t deriv_before = slider_->total_derivations();
+    const Reasoner::RetractStats retract = slider_->Retract(victims);
+    // The store mutation is already applied; keep the explicit bookkeeping
+    // in sync with it unconditionally, and only then surface a log failure
+    // (durability degraded, in-memory state still consistent).
+    const Status logged = slider_->log_status();
+    TripleVec kept;
+    kept.reserve(explicit_.size() - removed.size());
+    for (const Triple& t : explicit_) {
+      if (removed.count(t) == 0) kept.push_back(t);
+    }
+    explicit_.swap(kept);
+    for (const Triple& t : victims) explicit_set_.erase(t);
+    SLIDER_RETURN_NOT_OK(logged);
+    stats.removed = retract.retracted;
+    stats.materialize.input_count = victims.size();
+    stats.materialize.rounds = retract.delete_rounds;
+    // Complete maintenance work in derivation-sized units: deletion-mode
+    // rule outputs, one per rederive check, plus any fallback-cascade rule
+    // outputs (counted by the engine's ordinary derivation counter).
+    stats.materialize.derivations =
+        retract.delete_derivations + retract.rederive_checks +
+        (slider_->total_derivations() - deriv_before);
+    stats.seconds = watch.ElapsedSeconds();
+    return stats;
+  }
   TripleVec kept;
   kept.reserve(explicit_.size() - removed.size());
   for (const Triple& t : explicit_) {
@@ -164,8 +243,52 @@ Result<Repository::LoadStats> Repository::RemoveTriples(const TripleVec& triples
   }
   explicit_.swap(kept);
   explicit_set_ = TripleSet(explicit_.begin(), explicit_.end());
+  stats.removed = removed.size();
   stats.seconds = watch.ElapsedSeconds();
   return stats;
+}
+
+Result<UpdateResult> Repository::ExecuteUpdate(const UpdateRequest& request) {
+  Stopwatch watch;
+  UpdateResult result;
+  for (const UpdateOp& op : request.ops) {
+    switch (op.kind) {
+      case UpdateOp::Kind::kInsertData: {
+        // Count by population delta, not by MaterializeStats: under the
+        // batch modes a recompute's stats cover the whole re-materialised
+        // set, not the request's contribution.
+        const size_t explicit_before = explicit_count();
+        const size_t inferred_before = inferred_count();
+        SLIDER_ASSIGN_OR_RETURN(LoadStats stats, AddTriples(op.data));
+        result.inserted += explicit_count() - explicit_before;
+        const size_t inferred_now = inferred_count();
+        result.inferred +=
+            inferred_now >= inferred_before ? inferred_now - inferred_before : 0;
+        result.derivations += stats.materialize.derivations;
+        break;
+      }
+      case UpdateOp::Kind::kDeleteData: {
+        SLIDER_ASSIGN_OR_RETURN(LoadStats stats, RemoveTriples(op.data));
+        result.removed += stats.removed;
+        result.derivations += stats.materialize.derivations;
+        break;
+      }
+      case UpdateOp::Kind::kDeleteWhere: {
+        // Instantiate the pattern block against the current store, then
+        // retract the matches; non-explicit matches are ignored by the
+        // retraction path (inferred knowledge only dies with its support).
+        SLIDER_ASSIGN_OR_RETURN(TripleVec victims,
+                                ExpandDeleteWhere(op, *store_));
+        result.matched += victims.size();
+        SLIDER_ASSIGN_OR_RETURN(LoadStats stats, RemoveTriples(victims));
+        result.removed += stats.removed;
+        result.derivations += stats.materialize.derivations;
+        break;
+      }
+    }
+  }
+  result.seconds = watch.ElapsedSeconds();
+  return result;
 }
 
 Status Repository::Checkpoint() {
@@ -245,6 +368,9 @@ Result<std::unique_ptr<Repository>> Repository::Recover(
     const FragmentFactory& factory, Options options) {
   if (options.storage_dir.empty()) {
     return Status::InvalidArgument("Recover requires a storage_dir");
+  }
+  if (options.inference == InferenceMode::kIncremental) {
+    options.recompute_on_update = false;
   }
   const std::string log_path = options.storage_dir + "/statements.log";
   const std::string dict_path = options.storage_dir + "/dictionary.dump";
@@ -329,6 +455,12 @@ Result<std::unique_ptr<Repository>> Repository::Recover(
   repo->store_->AddAll(statements, nullptr);
   repo->explicit_ = statements;  // conservative: closure is now explicit
   repo->explicit_set_ = std::move(present);
+  // Reopen the log for appending (never truncating: the records just
+  // replayed are the store), so a recovered repository keeps journaling —
+  // updates after a Recover survive the next Recover too.
+  SLIDER_ASSIGN_OR_RETURN(
+      repo->log_,
+      StatementLog::OpenAppend(log_path, repo->options_.log_flush_interval));
   repo->ResetEngine();
   return repo;
 }

@@ -6,10 +6,12 @@
 #include <string_view>
 
 #include "common/result.h"
+#include "query/update.h"
 #include "rdf/dictionary.h"
 #include "rdf/vocabulary.h"
 #include "reason/batch_reasoner.h"
 #include "reason/fragment.h"
+#include "reason/reasoner.h"
 #include "reason/trree_reasoner.h"
 #include "store/statement_log.h"
 #include "store/triple_store.h"
@@ -42,6 +44,14 @@ class Repository {
     kStatementAtATime,
     /// Set-at-a-time semi-naive rounds (ablation / oracle mode).
     kSemiNaive,
+    /// The Slider engine embedded over the repository's dictionary, store
+    /// and statement log: additions fold in incrementally (buffered rule
+    /// modules over the dependency graph) and deletions run DRed
+    /// (Reasoner::Retract) instead of a from-scratch recompute. This is the
+    /// mode the SPARQL update surface (ExecuteUpdate / SparqlEndpoint) is
+    /// designed for: update cost proportional to the touched cone, SELECTs
+    /// lock-free against pinned store views throughout.
+    kIncremental,
   };
 
   struct Options {
@@ -54,17 +64,21 @@ class Repository {
     /// If true (the default, faithful to batch systems), AddTriples wipes
     /// the store and re-materialises from all explicit statements; if
     /// false, additions are folded in incrementally. Deletions are accepted
-    /// in both modes (RemoveTriples) but always pay a full recompute: the
+    /// in both modes (RemoveTriples) but pay a full recompute: the
     /// set-oriented batch cores have no retraction path, which is exactly
     /// the baseline asymmetry bench_incremental measures against
-    /// Reasoner::Retract.
+    /// Reasoner::Retract. Ignored (forced false) under kIncremental, whose
+    /// engine never recomputes.
     bool recompute_on_update = true;
     InferenceMode inference = InferenceMode::kStatementAtATime;
+    /// Engine tunables for kIncremental (buffer size, timeout, threads).
+    ReasonerOptions incremental;
   };
 
-  /// Statistics of one Load/AddTriples call.
+  /// Statistics of one Load/AddTriples/RemoveTriples call.
   struct LoadStats {
-    size_t parsed = 0;  ///< statements parsed from the document (Load only)
+    size_t parsed = 0;   ///< statements parsed from the document (Load only)
+    size_t removed = 0;  ///< explicit statements retracted (RemoveTriples)
     MaterializeStats materialize;
     double seconds = 0.0;  ///< wall-clock of the call, parsing included
   };
@@ -82,14 +96,27 @@ class Repository {
   /// whole closure is recomputed from scratch.
   Result<LoadStats> AddTriples(const TripleVec& triples);
 
-  /// Removes explicit statements and re-materialises the closure from the
-  /// surviving explicit set — the batch systems' "initiate the reasoning
-  /// process from the start" update drawback, now measurable for deletions
-  /// too. Statements the repository never loaded are ignored. Tombstone
-  /// records for everything the recompute dropped are appended to the
+  /// Removes explicit statements. Under the batch modes the closure is
+  /// re-materialised from the surviving explicit set — the batch systems'
+  /// "initiate the reasoning process from the start" update drawback, now
+  /// measurable for deletions too. Under kIncremental the embedded engine
+  /// runs DRed (demote → over-delete the cone → rederive survivors)
+  /// instead. Statements the repository never loaded are ignored. Either
+  /// way, tombstone records for everything dropped are appended to the
   /// statement log, so Recover's ordered replay converges on the new
   /// closure even though earlier log records still assert the old one.
   Result<LoadStats> RemoveTriples(const TripleVec& triples);
+
+  /// Executes a parsed SPARQL Update request, operation by operation:
+  /// INSERT DATA routes through AddTriples, DELETE DATA through
+  /// RemoveTriples, DELETE WHERE instantiates its pattern block against the
+  /// current store (ExpandDeleteWhere) and retracts the matches. Under
+  /// kIncremental every operation is maintained incrementally — additions
+  /// through the buffered rule pipeline, deletions through DRed — so the
+  /// derivation counters stay proportional to the touched cone. The first
+  /// failing operation aborts the request; completed operations stay
+  /// applied (no cross-operation rollback).
+  Result<UpdateResult> ExecuteUpdate(const UpdateRequest& request);
 
   /// Commits the repository state to disk: flushes the statement log,
   /// persists the dictionary (v2 dump: explicit id→term pairs, independent
@@ -111,6 +138,17 @@ class Repository {
   const Vocabulary& vocabulary() const { return vocab_; }
   const TripleStore& store() const { return *store_; }
   const Fragment& fragment() const;
+  const Options& options() const { return options_; }
+
+  /// The embedded incremental engine, or null outside kIncremental
+  /// (introspection: rule-module stats, retract counters).
+  const Reasoner* incremental_core() const { return slider_.get(); }
+
+  /// Cumulative rule outputs (pre-dedup) across the repository's lifetime —
+  /// the hardware-independent "did this recompute?" measure: a batch-mode
+  /// update grows it by ~|closure| rule applications, an incremental update
+  /// only by the touched cone.
+  uint64_t total_derivations() const;
 
   /// Number of distinct statements inferred (non-explicit) so far.
   size_t inferred_count() const;
@@ -140,8 +178,10 @@ class Repository {
   std::unique_ptr<StatementLog> log_;
   std::unique_ptr<BatchReasoner> semi_naive_;   // set iff kSemiNaive
   std::unique_ptr<TrreeReasoner> trree_;        // set iff kStatementAtATime
+  std::unique_ptr<Reasoner> slider_;            // set iff kIncremental
   TripleVec explicit_;     // all explicit statements, for batch recompute
   TripleSet explicit_set_; // dedup of explicit statements
+  uint64_t retired_derivations_ = 0;  // work of engines ResetEngine retired
 };
 
 }  // namespace slider

@@ -492,6 +492,15 @@ class LfRow {
     }
   }
 
+  /// Reader-side size estimate: the published version's length, tombstones
+  /// included, so it never undercounts the live ids a concurrent reader can
+  /// observe. Exact for rows that were never erased from; an overcount
+  /// otherwise (until compaction). Epoch pin required.
+  size_t SizeEstimate() const {
+    const RowVersion* arr = array_.load(std::memory_order_seq_cst);
+    return arr == nullptr ? 0 : arr->size.load(std::memory_order_acquire);
+  }
+
   /// True iff the spill index is engaged (introspection/tests).
   bool spilled() const { return index_.HasVersion(); }
 

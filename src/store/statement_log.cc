@@ -30,6 +30,16 @@ Result<std::unique_ptr<StatementLog>> StatementLog::Open(const std::string& path
       new StatementLog(file, path, flush_interval));
 }
 
+Result<std::unique_ptr<StatementLog>> StatementLog::OpenAppend(
+    const std::string& path, size_t flush_interval) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return Status::IOError(Format("cannot open statement log '%s'", path.c_str()));
+  }
+  return std::unique_ptr<StatementLog>(
+      new StatementLog(file, path, flush_interval));
+}
+
 StatementLog::~StatementLog() {
   if (file_ != nullptr) {
     Close().AbortIfNotOk();

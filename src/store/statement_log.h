@@ -42,6 +42,13 @@ class StatementLog {
   static Result<std::unique_ptr<StatementLog>> Open(const std::string& path,
                                                     size_t flush_interval);
 
+  /// Opens the log file at `path` for appending, preserving the existing
+  /// records (the Recover path: a recovered repository keeps logging updates
+  /// after the records it was rebuilt from). `records_written()` counts only
+  /// the records appended by this handle.
+  static Result<std::unique_ptr<StatementLog>> OpenAppend(
+      const std::string& path, size_t flush_interval);
+
   ~StatementLog();
 
   StatementLog(const StatementLog&) = delete;

@@ -344,6 +344,39 @@ class StoreView {
                            : part->count.load(std::memory_order_relaxed);
   }
 
+  /// Estimated number of triples whose subject is `s`, summed over every
+  /// predicate partition (per-row published lengths, so it may overcount by
+  /// the rows' tombstones but never undercounts). One hash probe per
+  /// partition — the query planner's cardinality source for subject-bound,
+  /// predicate-unbound patterns.
+  size_t CountWithSubject(TermId s) const {
+    if (s == kAnyTerm) return size();
+    size_t total = 0;
+    for (size_t i = 0; i < store_->shard_count_; ++i) {
+      store_->shards_[i].partitions.ForEach(
+          [&](TermId, const TripleStore::Partition& part) {
+            const LfRow* row = part.by_subject.Find(s);
+            if (row != nullptr) total += row->SizeEstimate();
+          });
+    }
+    return total;
+  }
+
+  /// Estimated number of triples whose object is `o` (mirror of
+  /// CountWithSubject, over the by_object rows).
+  size_t CountWithObject(TermId o) const {
+    if (o == kAnyTerm) return size();
+    size_t total = 0;
+    for (size_t i = 0; i < store_->shard_count_; ++i) {
+      store_->shards_[i].partitions.ForEach(
+          [&](TermId, const TripleStore::Partition& part) {
+            const LfRow* row = part.by_object.Find(o);
+            if (row != nullptr) total += row->SizeEstimate();
+          });
+    }
+    return total;
+  }
+
   /// Number of distinct triples stored (relaxed counter aggregate).
   size_t size() const { return store_->size(); }
 

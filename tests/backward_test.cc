@@ -199,7 +199,7 @@ TEST_F(BackwardTest, QueryEvaluatorWorksOverBackwardProvider) {
   auto query = SparqlParser::Parse(
       "SELECT ?i WHERE { ?i "
       "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://b/B> }",
-      &dict_);
+      dict_);
   ASSERT_TRUE(query.ok());
   auto result = evaluator.Evaluate(*query);
   ASSERT_TRUE(result.ok());

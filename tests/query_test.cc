@@ -15,8 +15,10 @@ namespace {
 
 TEST(SparqlParserTest, ParsesSimpleSelect) {
   Dictionary dict;
+  dict.Encode("<http://ex/p>");
+  dict.Encode("<http://ex/o>");
   auto q = SparqlParser::Parse(
-      "SELECT ?x WHERE { ?x <http://ex/p> <http://ex/o> . }", &dict);
+      "SELECT ?x WHERE { ?x <http://ex/p> <http://ex/o> . }", dict);
   ASSERT_TRUE(q.ok()) << q.status().ToString();
   EXPECT_EQ(q->variables, (std::vector<std::string>{"x"}));
   EXPECT_EQ(q->projection, (std::vector<int>{0}));
@@ -24,13 +26,14 @@ TEST(SparqlParserTest, ParsesSimpleSelect) {
   EXPECT_TRUE(q->where[0].s.IsVariable());
   EXPECT_FALSE(q->where[0].p.IsVariable());
   EXPECT_FALSE(q->distinct);
-  EXPECT_EQ(q->limit, 0u);
+  EXPECT_FALSE(q->has_limit);
+  EXPECT_FALSE(q->unsatisfiable);
 }
 
 TEST(SparqlParserTest, ParsesStarProjection) {
   Dictionary dict;
   auto q = SparqlParser::Parse(
-      "SELECT * WHERE { ?s ?p ?o . }", &dict);
+      "SELECT * WHERE { ?s ?p ?o . }", dict);
   ASSERT_TRUE(q.ok());
   EXPECT_EQ(q->projection.size(), 3u);
   EXPECT_EQ(q->variables, (std::vector<std::string>{"s", "p", "o"}));
@@ -38,66 +41,72 @@ TEST(SparqlParserTest, ParsesStarProjection) {
 
 TEST(SparqlParserTest, ParsesPrefixesAndAKeyword) {
   Dictionary dict;
+  const TermId type = dict.Encode(iri::kRdfType);
+  const TermId person = dict.Encode("<http://ex/Person>");
   auto q = SparqlParser::Parse(
       "PREFIX ex: <http://ex/>\n"
       "SELECT ?x WHERE { ?x a ex:Person . }",
-      &dict);
+      dict);
   ASSERT_TRUE(q.ok()) << q.status().ToString();
   ASSERT_EQ(q->where.size(), 1u);
-  EXPECT_EQ(dict.DecodeUnchecked(q->where[0].p.term),
-            iri::kRdfType);
-  EXPECT_EQ(dict.DecodeUnchecked(q->where[0].o.term), "<http://ex/Person>");
+  EXPECT_EQ(q->where[0].p.term, type);
+  EXPECT_EQ(q->where[0].o.term, person);
 }
 
 TEST(SparqlParserTest, ParsesDistinctAndLimit) {
   Dictionary dict;
   auto q = SparqlParser::Parse(
-      "SELECT DISTINCT ?x WHERE { ?x ?p ?o } LIMIT 7", &dict);
+      "SELECT DISTINCT ?x WHERE { ?x ?p ?o } LIMIT 7", dict);
   ASSERT_TRUE(q.ok());
   EXPECT_TRUE(q->distinct);
+  EXPECT_TRUE(q->has_limit);
   EXPECT_EQ(q->limit, 7u);
 }
 
 TEST(SparqlParserTest, ParsesLiteralsAndMultiplePatterns) {
   Dictionary dict;
+  const TermId ada = dict.Encode("\"ada\"@en");
+  dict.Encode("<http://ex/name>");
+  dict.Encode("<http://ex/knows>");
   auto q = SparqlParser::Parse(
       "SELECT ?x ?y WHERE { ?x <http://ex/name> \"ada\"@en . "
       "?x <http://ex/knows> ?y . }",
-      &dict);
+      dict);
   ASSERT_TRUE(q.ok()) << q.status().ToString();
   EXPECT_EQ(q->where.size(), 2u);
-  EXPECT_EQ(dict.DecodeUnchecked(q->where[0].o.term), "\"ada\"@en");
+  EXPECT_EQ(q->where[0].o.term, ada);
 }
 
 TEST(SparqlParserTest, CaseInsensitiveKeywords) {
   Dictionary dict;
   auto q = SparqlParser::Parse(
-      "select ?x where { ?x ?p ?o } limit 3", &dict);
+      "select ?x where { ?x ?p ?o } limit 3", dict);
   ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->has_limit);
   EXPECT_EQ(q->limit, 3u);
 }
 
 TEST(SparqlParserTest, SkipsComments) {
   Dictionary dict;
   auto q = SparqlParser::Parse(
-      "# my query\nSELECT ?x # vars\nWHERE { ?x ?p ?o }", &dict);
+      "# my query\nSELECT ?x # vars\nWHERE { ?x ?p ?o }", dict);
   EXPECT_TRUE(q.ok()) << q.status().ToString();
 }
 
 TEST(SparqlParserTest, RejectsMalformedQueries) {
   Dictionary dict;
-  EXPECT_FALSE(SparqlParser::Parse("WHERE { ?x ?p ?o }", &dict).ok());
-  EXPECT_FALSE(SparqlParser::Parse("SELECT ?x { ?x ?p ?o }", &dict).ok());
-  EXPECT_FALSE(SparqlParser::Parse("SELECT ?x WHERE { ?x ?p }", &dict).ok());
-  EXPECT_FALSE(SparqlParser::Parse("SELECT ?x WHERE { ?x ?p ?o ", &dict).ok());
+  EXPECT_FALSE(SparqlParser::Parse("WHERE { ?x ?p ?o }", dict).ok());
+  EXPECT_FALSE(SparqlParser::Parse("SELECT ?x { ?x ?p ?o }", dict).ok());
+  EXPECT_FALSE(SparqlParser::Parse("SELECT ?x WHERE { ?x ?p }", dict).ok());
+  EXPECT_FALSE(SparqlParser::Parse("SELECT ?x WHERE { ?x ?p ?o ", dict).ok());
   EXPECT_FALSE(
-      SparqlParser::Parse("SELECT ?x WHERE { ?x unknown:p ?o }", &dict).ok());
+      SparqlParser::Parse("SELECT ?x WHERE { ?x unknown:p ?o }", dict).ok());
   EXPECT_FALSE(
-      SparqlParser::Parse("SELECT ?x WHERE { ?x ?p ?o } LIMIT x", &dict).ok());
+      SparqlParser::Parse("SELECT ?x WHERE { ?x ?p ?o } LIMIT x", dict).ok());
   EXPECT_FALSE(
-      SparqlParser::Parse("SELECT ?x WHERE { ?x ?p ?o } garbage", &dict).ok());
+      SparqlParser::Parse("SELECT ?x WHERE { ?x ?p ?o } garbage", dict).ok());
   EXPECT_FALSE(
-      SparqlParser::Parse("SELECT ?x WHERE { \"lit\" ?p ?o }", &dict).ok());
+      SparqlParser::Parse("SELECT ?x WHERE { \"lit\" ?p ?o }", dict).ok());
 }
 
 // ---------------------------------------------------------------------------
@@ -128,7 +137,7 @@ class QueryEvalTest : public ::testing::Test {
   }
 
   QueryResult Run(const std::string& text) {
-    auto result = RunSparql(text, reasoner_.store(), reasoner_.dictionary());
+    auto result = RunSparql(text, reasoner_.store(), *reasoner_.dictionary());
     result.status().AbortIfNotOk();
     return result.MoveValueUnsafe();
   }

@@ -1,0 +1,204 @@
+// Regression suite for the query-layer bug sweep that landed with the
+// SPARQL update surface:
+//  1. parsing a SELECT must not grow the dictionary (read-only lookups;
+//     unknown bound terms short-circuit to an empty result),
+//  2. LIMIT 0 returns zero rows instead of decaying to "no limit",
+//  3. the `a` keyword is recognized before any non-name character,
+//  4. a variable projected but never used in WHERE is rejected instead of
+//     leaking the unbound sentinel into result rows,
+//  5. EstimateCount for predicate-unbound patterns uses the bound term's
+//     row sizes instead of the whole store.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "query/evaluator.h"
+#include "query/sparql.h"
+#include "rdf/vocabulary.h"
+#include "store/triple_store.h"
+
+namespace slider {
+namespace {
+
+// ---------------------------------------------------------------------------
+// 1. Dictionary non-pollution
+// ---------------------------------------------------------------------------
+
+TEST(SparqlDictionaryTest, SelectParsingNeverGrowsTheDictionary) {
+  Dictionary dict;
+  dict.Encode("<http://ex/known>");
+  const size_t before = dict.size();
+
+  const char* queries[] = {
+      "SELECT ?x WHERE { ?x <http://evil/unknown1> ?o }",
+      "SELECT ?x WHERE { ?x <http://ex/known> \"never seen\"@xx }",
+      "PREFIX e: <http://evil/>\nSELECT ?x WHERE { ?x e:unknown2 ?o }",
+      "SELECT ?x WHERE { ?x a <http://evil/Unknown3> }",
+  };
+  for (const char* text : queries) {
+    auto q = SparqlParser::Parse(text, dict);
+    ASSERT_TRUE(q.ok()) << text << ": " << q.status().ToString();
+    EXPECT_TRUE(q->unsatisfiable) << text;
+    EXPECT_EQ(dict.size(), before) << "dictionary grew parsing: " << text;
+  }
+}
+
+TEST(SparqlDictionaryTest, AbsentBoundTermYieldsEmptyResultNotAMatch) {
+  Dictionary dict;
+  TripleStore store;
+  const TermId s = dict.Encode("<http://ex/s>");
+  const TermId p = dict.Encode("<http://ex/p>");
+  const TermId o = dict.Encode("<http://ex/o>");
+  store.Add({s, p, o});
+
+  // The unknown predicate must not act as a wildcard.
+  auto r = RunSparql("SELECT ?x WHERE { ?x <http://ex/nope> ?y }", store, dict);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->rows.empty());
+  EXPECT_EQ(r->variables, (std::vector<std::string>{"x"}));
+
+  // Mixed: one satisfiable pattern, one absent term — still empty.
+  auto r2 = RunSparql(
+      "SELECT ?x WHERE { ?x <http://ex/p> ?y . ?y <http://ex/nope> ?z }",
+      store, dict);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->rows.empty());
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// 2. LIMIT 0
+// ---------------------------------------------------------------------------
+
+class SmallStoreTest : public ::testing::Test {
+ protected:
+  SmallStoreTest() {
+    type_ = dict_.Encode(iri::kRdfType);
+    cls_ = dict_.Encode("<http://ex/C>");
+    likes_ = dict_.Encode("<http://ex/likes>");
+    for (int i = 0; i < 5; ++i) {
+      const TermId s =
+          dict_.Encode("<http://ex/s" + std::to_string(i) + ">");
+      subjects_.push_back(s);
+      store_.Add({s, type_, cls_});
+    }
+    store_.Add({subjects_[0], likes_, subjects_[1]});
+  }
+
+  QueryResult Run(const std::string& text) {
+    auto result = RunSparql(text, store_, dict_);
+    result.status().AbortIfNotOk();
+    return result.MoveValueUnsafe();
+  }
+
+  Dictionary dict_;
+  TripleStore store_;
+  TermId type_, cls_, likes_;
+  std::vector<TermId> subjects_;
+};
+
+TEST_F(SmallStoreTest, LimitZeroReturnsZeroRows) {
+  EXPECT_EQ(Run("SELECT ?x WHERE { ?x a <http://ex/C> } LIMIT 0").rows.size(),
+            0u);
+  EXPECT_EQ(Run("SELECT DISTINCT ?x WHERE { ?x a <http://ex/C> } LIMIT 0")
+                .rows.size(),
+            0u);
+}
+
+TEST_F(SmallStoreTest, MissingLimitStillMeansUnlimited) {
+  EXPECT_EQ(Run("SELECT ?x WHERE { ?x a <http://ex/C> }").rows.size(), 5u);
+  EXPECT_EQ(Run("SELECT ?x WHERE { ?x a <http://ex/C> } LIMIT 2").rows.size(),
+            2u);
+}
+
+// ---------------------------------------------------------------------------
+// 3. `a` keyword adjacency
+// ---------------------------------------------------------------------------
+
+TEST_F(SmallStoreTest, AKeywordBeforeNonNameCharacters) {
+  // No whitespace between `a` and the object IRI.
+  EXPECT_EQ(Run("SELECT ?x WHERE { ?x a<http://ex/C> }").rows.size(), 5u);
+  // `a` immediately followed by a variable.
+  EXPECT_EQ(Run("SELECT ?x WHERE { ?x a?t }").rows.size(), 5u);
+  // `a` as the last token before the closing brace.
+  auto q = SparqlParser::Parse("SELECT ?x WHERE {?x ?y a}", dict_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_FALSE(q->where[0].o.IsVariable());
+}
+
+TEST_F(SmallStoreTest, APrefixedNamesAreNotTheKeyword) {
+  // `a:local` and `ab:local` must still resolve as prefixed names.
+  Dictionary dict;
+  dict.Encode("<http://a/x>");
+  dict.Encode("<http://ab/y>");
+  auto q1 = SparqlParser::Parse(
+      "PREFIX a: <http://a/>\nSELECT ?s WHERE { ?s a:x ?o }", dict);
+  ASSERT_TRUE(q1.ok()) << q1.status().ToString();
+  EXPECT_FALSE(q1->unsatisfiable);
+  auto q2 = SparqlParser::Parse(
+      "PREFIX ab: <http://ab/>\nSELECT ?s WHERE { ?s ab:y ?o }", dict);
+  ASSERT_TRUE(q2.ok()) << q2.status().ToString();
+  EXPECT_FALSE(q2->unsatisfiable);
+}
+
+// ---------------------------------------------------------------------------
+// 4. Projection of a variable never used in WHERE
+// ---------------------------------------------------------------------------
+
+TEST_F(SmallStoreTest, ProjectedButUnusedVariableIsRejected) {
+  auto result =
+      RunSparql("SELECT ?x ?ghost WHERE { ?x a <http://ex/C> }", store_, dict_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("ghost"), std::string::npos)
+      << result.status().ToString();
+
+  // The same variable used in WHERE is fine.
+  auto ok = RunSparql("SELECT ?x ?t WHERE { ?x a ?t }", store_, dict_);
+  EXPECT_TRUE(ok.ok());
+}
+
+// ---------------------------------------------------------------------------
+// 5. Join-order estimates for predicate-unbound patterns
+// ---------------------------------------------------------------------------
+
+TEST(EstimateCountTest, BoundEndpointsBeatTheWholeStoreEstimate) {
+  Dictionary dict;
+  TripleStore store;
+  const TermId p1 = dict.Encode("<http://ex/p1>");
+  const TermId p2 = dict.Encode("<http://ex/p2>");
+  const TermId rare = dict.Encode("<http://ex/rare>");
+  const TermId hub = dict.Encode("<http://ex/hub>");
+  // 200 triples onto a hub subject; the rare term appears twice.
+  for (int i = 0; i < 100; ++i) {
+    const TermId o = dict.Encode("<http://ex/o" + std::to_string(i) + ">");
+    store.Add({hub, p1, o});
+    store.Add({hub, p2, o});
+  }
+  store.Add({hub, p1, rare});
+  store.Add({rare, p2, hub});
+
+  ForwardProvider provider(&store);
+  const size_t total = store.size();
+
+  // `?s ?p <rare>`: one stored triple has object `rare`; the estimate must
+  // come from its object rows, not degrade to the store size.
+  const size_t by_object = provider.EstimateCount({kAnyTerm, kAnyTerm, rare});
+  EXPECT_LE(by_object, 4u);
+  EXPECT_LT(by_object, total);
+
+  // `<rare> ?p ?o`: one triple has subject `rare`.
+  const size_t by_subject = provider.EstimateCount({rare, kAnyTerm, kAnyTerm});
+  EXPECT_LE(by_subject, 4u);
+
+  // The hub subject: large row counts, but still row-derived (never zero,
+  // bounded by what the rows actually hold plus tombstone slack).
+  const size_t hub_rows = provider.EstimateCount({hub, kAnyTerm, kAnyTerm});
+  EXPECT_GE(hub_rows, 200u);
+
+  // Fully unbound stays the store size.
+  EXPECT_EQ(provider.EstimateCount({kAnyTerm, kAnyTerm, kAnyTerm}), total);
+}
+
+}  // namespace
+}  // namespace slider

@@ -1,0 +1,430 @@
+// The SPARQL Update surface, end to end: parsing (INSERT DATA / DELETE
+// DATA / DELETE WHERE, dictionary discipline), execution through the
+// repository's embedded incremental engine (inserts fold in through the
+// buffered rule pipeline, deletes run DRed — never a recompute), the
+// endpoint's SELECT/update routing, and durability (updates survive
+// Recover's ordered log replay, including retract → re-add sequences).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "query/endpoint.h"
+#include "query/sparql.h"
+#include "query/update.h"
+#include "reason/repository.h"
+
+namespace slider {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+Repository::Options IncrementalOptions(std::string storage_dir = "") {
+  Repository::Options options;
+  options.storage_dir = std::move(storage_dir);
+  options.inference = Repository::InferenceMode::kIncremental;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+TEST(SparqlUpdateParseTest, ParsesInsertData) {
+  Dictionary dict;
+  auto u = SparqlParser::ParseUpdate(
+      "PREFIX ex: <http://ex/>\n"
+      "INSERT DATA { ex:a ex:p ex:b . ex:b a ex:C . }",
+      &dict);
+  ASSERT_TRUE(u.ok()) << u.status().ToString();
+  ASSERT_EQ(u->ops.size(), 1u);
+  EXPECT_EQ(u->ops[0].kind, UpdateOp::Kind::kInsertData);
+  ASSERT_EQ(u->ops[0].data.size(), 2u);
+  // INSERT DATA is the one place that may encode new terms.
+  EXPECT_TRUE(dict.Lookup("<http://ex/a>").has_value());
+  EXPECT_TRUE(dict.Lookup("<http://ex/C>").has_value());
+}
+
+TEST(SparqlUpdateParseTest, DeleteDataLooksUpAndDropsUnknownTriples) {
+  Dictionary dict;
+  const TermId s = dict.Encode("<http://ex/s>");
+  const TermId p = dict.Encode("<http://ex/p>");
+  const TermId o = dict.Encode("<http://ex/o>");
+  const size_t before = dict.size();
+  auto u = SparqlParser::ParseUpdate(
+      "DELETE DATA { <http://ex/s> <http://ex/p> <http://ex/o> . "
+      "<http://ex/s> <http://evil/unknown> <http://ex/o> }",
+      &dict);
+  ASSERT_TRUE(u.ok()) << u.status().ToString();
+  ASSERT_EQ(u->ops.size(), 1u);
+  EXPECT_EQ(u->ops[0].kind, UpdateOp::Kind::kDeleteData);
+  // The triple naming an unknown term cannot be stored: dropped, not encoded.
+  ASSERT_EQ(u->ops[0].data.size(), 1u);
+  EXPECT_EQ(u->ops[0].data[0], (Triple{s, p, o}));
+  EXPECT_EQ(dict.size(), before);
+}
+
+TEST(SparqlUpdateParseTest, DeleteWhereParsesPatternsReadOnly) {
+  Dictionary dict;
+  dict.Encode("<http://ex/p>");
+  const size_t before = dict.size();
+  auto u = SparqlParser::ParseUpdate(
+      "DELETE WHERE { ?s <http://ex/p> ?o . }", &dict);
+  ASSERT_TRUE(u.ok()) << u.status().ToString();
+  ASSERT_EQ(u->ops.size(), 1u);
+  EXPECT_EQ(u->ops[0].kind, UpdateOp::Kind::kDeleteWhere);
+  ASSERT_EQ(u->ops[0].where.size(), 1u);
+  EXPECT_EQ(u->ops[0].variables, (std::vector<std::string>{"s", "o"}));
+  EXPECT_FALSE(u->ops[0].unsatisfiable);
+  EXPECT_EQ(dict.size(), before);
+
+  // A pattern over an unknown term deletes nothing — and encodes nothing.
+  auto miss = SparqlParser::ParseUpdate(
+      "DELETE WHERE { ?s <http://evil/unknown> ?o }", &dict);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_TRUE(miss->ops[0].unsatisfiable);
+  EXPECT_EQ(dict.size(), before);
+}
+
+TEST(SparqlUpdateParseTest, ParsesOperationSequences) {
+  Dictionary dict;
+  auto u = SparqlParser::ParseUpdate(
+      "PREFIX ex: <http://ex/>\n"
+      "INSERT DATA { ex:a ex:p ex:b } ;\n"
+      "DELETE WHERE { ?s ex:p ?o } ;\n"
+      "INSERT DATA { ex:c ex:p ex:d } ;",
+      &dict);
+  ASSERT_TRUE(u.ok()) << u.status().ToString();
+  ASSERT_EQ(u->ops.size(), 3u);
+  EXPECT_EQ(u->ops[0].kind, UpdateOp::Kind::kInsertData);
+  EXPECT_EQ(u->ops[1].kind, UpdateOp::Kind::kDeleteWhere);
+  EXPECT_EQ(u->ops[2].kind, UpdateOp::Kind::kInsertData);
+}
+
+TEST(SparqlUpdateParseTest, RejectsMalformedUpdates) {
+  Dictionary dict;
+  // No DATA / WHERE after the verb.
+  EXPECT_FALSE(SparqlParser::ParseUpdate(
+                   "INSERT { <http://a> <http://b> <http://c> }", &dict)
+                   .ok());
+  EXPECT_FALSE(SparqlParser::ParseUpdate("DELETE <http://a>", &dict).ok());
+  // Variables are not ground data.
+  EXPECT_FALSE(SparqlParser::ParseUpdate(
+                   "INSERT DATA { ?x <http://b> <http://c> }", &dict)
+                   .ok());
+  EXPECT_FALSE(SparqlParser::ParseUpdate(
+                   "DELETE DATA { ?x <http://b> <http://c> }", &dict)
+                   .ok());
+  // Empty DELETE WHERE block.
+  EXPECT_FALSE(SparqlParser::ParseUpdate("DELETE WHERE { }", &dict).ok());
+  // Literal in subject position.
+  EXPECT_FALSE(SparqlParser::ParseUpdate(
+                   "INSERT DATA { \"lit\" <http://b> <http://c> }", &dict)
+                   .ok());
+  // A SELECT is not an update.
+  EXPECT_FALSE(
+      SparqlParser::ParseUpdate("SELECT ?x WHERE { ?x ?p ?o }", &dict).ok());
+  // Trailing garbage.
+  EXPECT_FALSE(SparqlParser::ParseUpdate(
+                   "INSERT DATA { <http://a> <http://b> <http://c> } nonsense",
+                   &dict)
+                   .ok());
+}
+
+TEST(SparqlUpdateParseTest, IsUpdateRoutesByLeadingKeyword) {
+  EXPECT_FALSE(SparqlParser::IsUpdate("SELECT ?x WHERE { ?x ?p ?o }"));
+  EXPECT_TRUE(SparqlParser::IsUpdate("INSERT DATA { <a> <b> <c> }"));
+  EXPECT_TRUE(SparqlParser::IsUpdate("delete where { ?s ?p ?o }"));
+  EXPECT_TRUE(SparqlParser::IsUpdate(
+      "# add one\nPREFIX ex: <http://ex/>\nINSERT DATA { ex:a ex:p ex:b }"));
+  EXPECT_FALSE(SparqlParser::IsUpdate(
+      "PREFIX ex: <http://ex/>\nSELECT ?x WHERE { ?x ex:p ?o }"));
+}
+
+// ---------------------------------------------------------------------------
+// Execution through the incremental engine
+// ---------------------------------------------------------------------------
+
+class SparqlUpdateExecTest : public ::testing::Test {
+ protected:
+  SparqlUpdateExecTest() {
+    auto repo = Repository::Open(RhoDfFactory(), IncrementalOptions());
+    repo.status().AbortIfNotOk();
+    repo_ = std::move(*repo);
+    endpoint_ = std::make_unique<SparqlEndpoint>(repo_.get());
+  }
+
+  UpdateResult Update(const std::string& text) {
+    auto result = endpoint_->Update(text);
+    result.status().AbortIfNotOk();
+    return *result;
+  }
+
+  QueryResult Select(const std::string& text) {
+    auto result = endpoint_->Select(text);
+    result.status().AbortIfNotOk();
+    return *result;
+  }
+
+  std::unique_ptr<Repository> repo_;
+  std::unique_ptr<SparqlEndpoint> endpoint_;
+};
+
+TEST_F(SparqlUpdateExecTest, InsertDataMaterialisesThroughTheRulePipeline) {
+  const UpdateResult r = Update(
+      "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n"
+      "PREFIX ex: <http://ex/>\n"
+      "INSERT DATA { ex:Prof rdfs:subClassOf ex:Person . "
+      "ex:ada a ex:Prof . }");
+  EXPECT_EQ(r.inserted, 2u);
+  EXPECT_GE(r.inferred, 1u);  // CAX-SCO: ada a Person
+
+  // The inferred triple answers through the endpoint.
+  const QueryResult rows =
+      Select("PREFIX ex: <http://ex/>\nSELECT ?x WHERE { ?x a ex:Person }");
+  ASSERT_EQ(rows.rows.size(), 1u);
+  EXPECT_EQ(repo_->store().size(), repo_->explicit_count() + r.inferred);
+}
+
+TEST_F(SparqlUpdateExecTest, DeleteDataRetractsAndMaintainsInferences) {
+  Update(
+      "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n"
+      "PREFIX ex: <http://ex/>\n"
+      "INSERT DATA { ex:Prof rdfs:subClassOf ex:Person . "
+      "ex:ada a ex:Prof . ex:bob a ex:Prof . }");
+  ASSERT_EQ(
+      Select("PREFIX ex: <http://ex/>\nSELECT ?x WHERE { ?x a ex:Person }")
+          .rows.size(),
+      2u);
+
+  const UpdateResult r = Update(
+      "PREFIX ex: <http://ex/>\nDELETE DATA { ex:ada a ex:Prof }");
+  EXPECT_EQ(r.removed, 1u);
+  // ada's inferred Person membership lost its support; bob's survives.
+  const QueryResult rows =
+      Select("PREFIX ex: <http://ex/>\nSELECT ?x WHERE { ?x a ex:Person }");
+  ASSERT_EQ(rows.rows.size(), 1u);
+  EXPECT_EQ(Select("PREFIX ex: <http://ex/>\nSELECT ?x WHERE { ?x a ex:Prof }")
+                .rows.size(),
+            1u);
+}
+
+TEST_F(SparqlUpdateExecTest, DeleteWhereInstantiatesItsPatternBlock) {
+  Update(
+      "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n"
+      "PREFIX ex: <http://ex/>\n"
+      "INSERT DATA { ex:Prof rdfs:subClassOf ex:Person . "
+      "ex:ada a ex:Prof . ex:bob a ex:Prof . ex:eve a ex:Person . }");
+
+  const UpdateResult r = Update(
+      "PREFIX ex: <http://ex/>\nDELETE WHERE { ?x a ex:Prof }");
+  EXPECT_EQ(r.matched, 2u);
+  EXPECT_EQ(r.removed, 2u);
+  // All Prof memberships gone, with their inferred Person consequences;
+  // eve's explicit Person assertion survives.
+  EXPECT_TRUE(
+      Select("PREFIX ex: <http://ex/>\nSELECT ?x WHERE { ?x a ex:Prof }")
+          .rows.empty());
+  EXPECT_EQ(
+      Select("PREFIX ex: <http://ex/>\nSELECT ?x WHERE { ?x a ex:Person }")
+          .rows.size(),
+      1u);
+}
+
+TEST_F(SparqlUpdateExecTest, DeleteWhereOverUnknownTermsIsANoOp) {
+  Update(
+      "PREFIX ex: <http://ex/>\nINSERT DATA { ex:a ex:p ex:b }");
+  const size_t dict_before = repo_->dictionary()->size();
+  const size_t store_before = repo_->store().size();
+  const UpdateResult r =
+      Update("DELETE WHERE { ?s <http://evil/unknown> ?o }");
+  EXPECT_EQ(r.matched, 0u);
+  EXPECT_EQ(r.removed, 0u);
+  EXPECT_EQ(repo_->dictionary()->size(), dict_before);
+  EXPECT_EQ(repo_->store().size(), store_before);
+}
+
+TEST_F(SparqlUpdateExecTest, SelectThroughTheEndpointNeverGrowsTheDictionary) {
+  Update("PREFIX ex: <http://ex/>\nINSERT DATA { ex:a ex:p ex:b }");
+  const size_t before = repo_->dictionary()->size();
+  const QueryResult rows =
+      Select("SELECT ?x WHERE { ?x <http://evil/probe> ?o }");
+  EXPECT_TRUE(rows.rows.empty());
+  EXPECT_EQ(repo_->dictionary()->size(), before);
+}
+
+TEST_F(SparqlUpdateExecTest, ExecuteRoutesSelectsAndUpdates) {
+  auto updated = endpoint_->Execute(
+      "PREFIX ex: <http://ex/>\nINSERT DATA { ex:a ex:p ex:b }");
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+  EXPECT_TRUE(updated->is_update);
+  EXPECT_EQ(updated->update.inserted, 1u);
+
+  auto selected = endpoint_->Execute(
+      "PREFIX ex: <http://ex/>\nSELECT ?o WHERE { ex:a ex:p ?o }");
+  ASSERT_TRUE(selected.ok()) << selected.status().ToString();
+  EXPECT_FALSE(selected->is_update);
+  EXPECT_EQ(selected->rows.rows.size(), 1u);
+
+  const SparqlEndpoint::Stats stats = endpoint_->stats();
+  EXPECT_EQ(stats.updates, 1u);
+  EXPECT_EQ(stats.selects, 1u);
+}
+
+TEST_F(SparqlUpdateExecTest, UpdatesNeverTriggerAFullRecompute) {
+  // Materialise a closure large enough that a recompute is unmistakable:
+  // a 60-deep subclass chain with 40 instances at the bottom.
+  std::string seed =
+      "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n"
+      "PREFIX ex: <http://ex/>\nINSERT DATA {\n";
+  for (int i = 0; i < 60; ++i) {
+    seed += "ex:C" + std::to_string(i) + " rdfs:subClassOf ex:C" +
+            std::to_string(i + 1) + " .\n";
+  }
+  for (int i = 0; i < 40; ++i) {
+    seed += "ex:i" + std::to_string(i) + " a ex:C0 .\n";
+  }
+  seed += "}";
+  Update(seed);
+  const uint64_t base = repo_->total_derivations();
+  ASSERT_GT(base, 1000u);  // the initial materialisation did real work
+
+  // A single membership near the top of the chain derives a handful of
+  // facts; a recompute would re-derive the whole closure (> base).
+  const UpdateResult ins = Update(
+      "PREFIX ex: <http://ex/>\nINSERT DATA { ex:fresh a ex:C55 }");
+  EXPECT_GT(ins.derivations, 0u);
+  EXPECT_LT(ins.derivations, base / 10);
+
+  // Retracting it DReds the small cone instead of recomputing.
+  const UpdateResult del = Update(
+      "PREFIX ex: <http://ex/>\nDELETE DATA { ex:fresh a ex:C55 }");
+  EXPECT_GT(del.derivations, 0u);
+  EXPECT_LT(del.derivations, base / 10);
+  EXPECT_TRUE(
+      Select("PREFIX ex: <http://ex/>\nSELECT ?c WHERE { ex:fresh a ?c }")
+          .rows.empty());
+}
+
+TEST_F(SparqlUpdateExecTest, IncrementalClosureMatchesTheBatchOracle) {
+  const char* inserts =
+      "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n"
+      "PREFIX ex: <http://ex/>\n"
+      "INSERT DATA { ex:A rdfs:subClassOf ex:B . ex:B rdfs:subClassOf ex:C . "
+      "ex:x a ex:A . ex:y a ex:A . ex:z a ex:B . "
+      "ex:p rdfs:subPropertyOf ex:q . ex:x ex:p ex:y . }";
+  const char* deletes =
+      "PREFIX ex: <http://ex/>\n"
+      "DELETE DATA { ex:y a ex:A } ;\n"
+      "DELETE WHERE { ex:x ex:p ?o }";
+  Update(inserts);
+  Update(deletes);
+
+  // Oracle: a batch repository applying the same updates from the same
+  // parse order assigns identical term ids, so the closures are comparable
+  // triple for triple.
+  auto oracle = Repository::Open(RhoDfFactory(), {});
+  oracle.status().AbortIfNotOk();
+  SparqlEndpoint oracle_endpoint(oracle->get());
+  oracle_endpoint.Update(inserts).status().AbortIfNotOk();
+  oracle_endpoint.Update(deletes).status().AbortIfNotOk();
+
+  EXPECT_EQ(repo_->store().SnapshotSet(), (*oracle)->store().SnapshotSet());
+  EXPECT_EQ(repo_->explicit_count(), (*oracle)->explicit_count());
+}
+
+// ---------------------------------------------------------------------------
+// Durability: updates must survive Recover's ordered replay
+// ---------------------------------------------------------------------------
+
+TEST(SparqlUpdateRecoverTest, UpdatesSurviveRecover) {
+  const std::string dir = FreshDir("sparql_update_recover");
+  TripleSet expected;
+  {
+    auto repo = Repository::Open(RhoDfFactory(), IncrementalOptions(dir));
+    ASSERT_TRUE(repo.ok());
+    SparqlEndpoint endpoint(repo->get());
+    endpoint
+        .Update(
+            "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n"
+            "PREFIX ex: <http://ex/>\n"
+            "INSERT DATA { ex:A rdfs:subClassOf ex:B . ex:x a ex:A . "
+            "ex:y a ex:A . }")
+        .status()
+        .AbortIfNotOk();
+    endpoint.Update("PREFIX ex: <http://ex/>\nDELETE DATA { ex:y a ex:A }")
+        .status()
+        .AbortIfNotOk();
+    ASSERT_TRUE((*repo)->Checkpoint().ok());
+    expected = (*repo)->store().SnapshotSet();
+    ASSERT_FALSE(expected.empty());
+  }
+  auto recovered = Repository::Recover(RhoDfFactory(), IncrementalOptions(dir));
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ((*recovered)->store().SnapshotSet(), expected);
+}
+
+TEST(SparqlUpdateRecoverTest, RetractReAddSequencesReplayInOrder) {
+  const std::string dir = FreshDir("sparql_update_readd");
+  TripleSet expected;
+  {
+    auto repo = Repository::Open(RhoDfFactory(), IncrementalOptions(dir));
+    ASSERT_TRUE(repo.ok());
+    SparqlEndpoint endpoint(repo->get());
+    const char* insert =
+        "PREFIX ex: <http://ex/>\nINSERT DATA { ex:s ex:p ex:o }";
+    const char* remove =
+        "PREFIX ex: <http://ex/>\nDELETE DATA { ex:s ex:p ex:o }";
+    endpoint.Update(insert).status().AbortIfNotOk();
+    endpoint.Update(remove).status().AbortIfNotOk();
+    endpoint.Update(insert).status().AbortIfNotOk();  // re-add after retract
+    ASSERT_TRUE((*repo)->Checkpoint().ok());
+    expected = (*repo)->store().SnapshotSet();
+    ASSERT_EQ(expected.size(), 1u);
+  }
+  auto recovered = Repository::Recover(RhoDfFactory(), IncrementalOptions(dir));
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ((*recovered)->store().SnapshotSet(), expected);
+}
+
+TEST(SparqlUpdateRecoverTest, ARecoveredRepositoryKeepsJournalingUpdates) {
+  const std::string dir = FreshDir("sparql_update_rejournal");
+  {
+    auto repo = Repository::Open(RhoDfFactory(), IncrementalOptions(dir));
+    ASSERT_TRUE(repo.ok());
+    SparqlEndpoint endpoint(repo->get());
+    endpoint
+        .Update("PREFIX ex: <http://ex/>\nINSERT DATA { ex:a ex:p ex:b }")
+        .status()
+        .AbortIfNotOk();
+    ASSERT_TRUE((*repo)->Checkpoint().ok());
+  }
+  TripleSet expected;
+  {
+    // Recover, update some more, checkpoint again.
+    auto repo = Repository::Recover(RhoDfFactory(), IncrementalOptions(dir));
+    ASSERT_TRUE(repo.ok()) << repo.status().ToString();
+    SparqlEndpoint endpoint(repo->get());
+    endpoint
+        .Update("PREFIX ex: <http://ex/>\nINSERT DATA { ex:c ex:p ex:d }")
+        .status()
+        .AbortIfNotOk();
+    endpoint.Update("PREFIX ex: <http://ex/>\nDELETE DATA { ex:a ex:p ex:b }")
+        .status()
+        .AbortIfNotOk();
+    ASSERT_TRUE((*repo)->Checkpoint().ok());
+    expected = (*repo)->store().SnapshotSet();
+  }
+  auto again = Repository::Recover(RhoDfFactory(), IncrementalOptions(dir));
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ((*again)->store().SnapshotSet(), expected);
+}
+
+}  // namespace
+}  // namespace slider
