@@ -21,11 +21,20 @@
 // in hardware-independent derivation counters (rule outputs before
 // deduplication) next to the wall-clock, so the gap survives machine noise.
 //
-// Flags: --ontology=NAME (default BSBM_200k), --batches=K (default 10),
-//        --retract_pct=P (default 1, percent of explicit triples deleted).
+// The retraction scenario runs Slider twice — counting-backed fast path on
+// and off — so the counting gate's saved rederivation work is measured
+// against plain DRed on the identical victim set, with closure equality
+// checked between the two modes.
+//
+// Flags: --ontology=NAME (default BSBM_200k; BSBM_30k under --quick),
+//        --batches=K (default 10),
+//        --retract_pct=P (default 1, percent of explicit triples deleted),
+//        --quick (small corpus), --json=FILE.
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 #include "bench_util.h"
 #include "common/stopwatch.h"
@@ -35,9 +44,17 @@ using namespace slider;
 using namespace slider::bench;
 
 int main(int argc, char** argv) {
-  const std::string name = FlagValue(argc, argv, "--ontology", "BSBM_200k");
+  const bool quick = HasFlag(argc, argv, "--quick");
+  const std::string name = FlagValue(argc, argv, "--ontology",
+                                     quick ? "BSBM_30k" : "BSBM_200k");
   const int k = std::atoi(FlagValue(argc, argv, "--batches", "10").c_str());
-  const OntologySpec spec = Corpus::ByName(name);
+  const std::string json_path = FlagValue(argc, argv, "--json", "");
+  OntologySpec spec;
+  if (name == "BSBM_30k") {  // quick-mode size, not in the Table 1 registry
+    spec = {"BSBM_30k", OntologySpec::Kind::kBsbm, 30000};
+  } else {
+    spec = Corpus::ByName(name);
+  }
 
   std::printf("Incremental maintenance — %s in %d update batches\n\n",
               name.c_str(), k);
@@ -138,12 +155,27 @@ int main(int argc, char** argv) {
     return victims;
   };
 
-  uint64_t slider_delete_work = 0;
-  double slider_retract_s = 0;
-  size_t slider_closure_after = 0;
+  // Slider runs the identical retraction twice: with the counting-backed
+  // fast path (derivation counts gate multiply-derived facts out of the
+  // over-delete cone) and as plain DRed. Identical generation sequences
+  // give identical id layouts, so the two closures are directly comparable.
+  struct SliderCell {
+    bool counting = false;
+    double seconds = 0;
+    uint64_t work = 0;
+    size_t closure_after = 0;
+    size_t overdeleted = 0;
+    size_t rederived = 0;
+    size_t pruned = 0;
+    uint64_t rederive_round = 0;  ///< work spent restoring survivors
+    TripleSet closure;
+  };
+  SliderCell slider_cells[2];
   size_t victims_count = 0;
-  {
-    Reasoner reasoner(RdfsFactory(), BenchSliderOptions());
+  for (const bool counting : {true, false}) {
+    ReasonerOptions reasoner_options = BenchSliderOptions();
+    reasoner_options.enable_counting = counting;
+    Reasoner reasoner(RdfsFactory(), reasoner_options);
     TripleVec input =
         Corpus::Generate(spec, reasoner.dictionary(), reasoner.vocabulary());
     reasoner.AddTriples(input);
@@ -153,22 +185,44 @@ int main(int argc, char** argv) {
     const uint64_t before = reasoner.total_derivations();
     Stopwatch watch;
     const Reasoner::RetractStats stats = reasoner.Retract(victims);
-    slider_retract_s = watch.ElapsedSeconds();
+    SliderCell& cell = slider_cells[counting ? 0 : 1];
+    cell.counting = counting;
+    cell.seconds = watch.ElapsedSeconds();
     // The complete maintenance work, in derivation-sized units: deletion-
     // mode rule outputs, one unit per rederive check (each check is one
-    // backward join probe), and any ordinary rule outputs from the fallback
-    // cascade (zero for fragments whose rules all implement CanDerive).
-    slider_delete_work = stats.delete_derivations + stats.rederive_checks +
-                         (reasoner.total_derivations() - before);
-    slider_closure_after = reasoner.store().size();
-    std::printf("  slider DRed        : %8.3fs  %12llu derivations  "
-                "(overdeleted %zu, rederived %zu, %zu rounds, "
+    // backward join probe), one unit per counting-gate check, and any
+    // ordinary rule outputs from the fallback cascade (zero for fragments
+    // whose rules all implement CanDerive).
+    cell.work = stats.delete_derivations + stats.rederive_checks +
+                stats.count_checks +
+                (reasoner.total_derivations() - before);
+    cell.closure_after = reasoner.store().size();
+    cell.overdeleted = stats.overdeleted;
+    cell.rederived = stats.rederived;
+    cell.pruned = stats.count_fast_path + stats.cone_pruned;
+    // The rederivation round alone: backward probes over the over-deleted
+    // cone plus fallback rule outputs plus the facts restored. This is the
+    // work the counting gate shrinks — facts it prunes never enter the
+    // cone, so they never need restoring.
+    cell.rederive_round = stats.rederive_checks + stats.rederived +
+                          (reasoner.total_derivations() - before);
+    cell.closure = reasoner.store().SnapshotSet();
+    std::printf("  slider %-12s: %8.3fs  %12llu derivations  "
+                "(overdeleted %zu, rederived %zu, pruned %zu, %zu rounds, "
                 "%llu checks)\n",
-                slider_retract_s,
-                static_cast<unsigned long long>(slider_delete_work),
-                stats.overdeleted, stats.rederived, stats.delete_rounds,
+                counting ? "counting " : "DRed ", cell.seconds,
+                static_cast<unsigned long long>(cell.work), stats.overdeleted,
+                stats.rederived, cell.pruned, stats.delete_rounds,
                 static_cast<unsigned long long>(stats.rederive_checks));
   }
+  if (slider_cells[0].closure != slider_cells[1].closure) {
+    std::printf("  WARNING: counting and DRed closures diverge "
+                "(%zu vs %zu triples)\n",
+                slider_cells[0].closure.size(), slider_cells[1].closure.size());
+  }
+  const uint64_t slider_delete_work = slider_cells[0].work;
+  const double slider_retract_s = slider_cells[0].seconds;
+  const size_t slider_closure_after = slider_cells[0].closure_after;
 
   uint64_t repo_delete_work = 0;
   double repo_retract_s = 0;
@@ -204,5 +258,61 @@ int main(int argc, char** argv) {
                   : static_cast<double>(repo_delete_work) /
                         static_cast<double>(slider_delete_work),
               slider_retract_s <= 0 ? 0.0 : repo_retract_s / slider_retract_s);
+  const double counting_gain =
+      slider_cells[0].work == 0
+          ? 0.0
+          : static_cast<double>(slider_cells[1].work) /
+                static_cast<double>(slider_cells[0].work);
+  const double rederive_gain =
+      slider_cells[0].rederive_round == 0
+          ? 0.0
+          : static_cast<double>(slider_cells[1].rederive_round) /
+                static_cast<double>(slider_cells[0].rederive_round);
+  std::printf("  counting gain      : %.2fx fewer derivations than plain "
+              "DRed overall, %.2fx in the rederivation round "
+              "(%zu facts gated out of the cone)\n",
+              counting_gain, rederive_gain, slider_cells[0].pruned);
+
+  if (!json_path.empty()) {
+    std::ostringstream os;
+    os << "[\n  " << ContextJson("incremental") << ",\n"
+       << "  {\"bench\":\"incremental\",\"ontology\":\"" << spec.name
+       << "\",\"batches\":" << k << ",\"slider_total_s\":" << slider_total
+       << ",\"repo_batch_total_s\":" << repo_total
+       << ",\"repo_oneshot_s\":" << oneshot << "},\n";
+    for (const SliderCell& cell : slider_cells) {
+      os << "  {\"bench\":\"incremental\",\"scenario\":\"retract\","
+         << "\"engine\":\"" << (cell.counting ? "slider-counting"
+                                              : "slider-dred")
+         << "\",\"victims\":" << victims_count
+         << ",\"seconds\":" << cell.seconds << ",\"derivations\":" << cell.work
+         << ",\"overdeleted\":" << cell.overdeleted
+         << ",\"rederived\":" << cell.rederived
+         << ",\"pruned\":" << cell.pruned
+         << ",\"rederive_round\":" << cell.rederive_round
+         << ",\"closure\":" << cell.closure_after << "},\n";
+    }
+    os << "  {\"bench\":\"incremental\",\"scenario\":\"retract\","
+       << "\"engine\":\"repo-recompute\",\"victims\":" << victims_count
+       << ",\"seconds\":" << repo_retract_s
+       << ",\"derivations\":" << repo_delete_work
+       << ",\"closure\":" << repo_closure_after << "},\n"
+       << "  {\"bench\":\"incremental\",\"scenario\":\"retract\","
+       << "\"summary\":true,\"counting_gain\":" << counting_gain
+       << ",\"rederive_round_gain\":" << rederive_gain
+       << ",\"closures_equal\":"
+       << (slider_cells[0].closure == slider_cells[1].closure ? "true"
+                                                              : "false")
+       << "}\n]\n";
+    std::ofstream out(json_path);
+    out << os.str();
+    out.flush();
+    if (out.good()) {
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

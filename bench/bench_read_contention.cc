@@ -345,6 +345,7 @@ int main(int argc, char** argv) {
   const std::string json_path = FlagValue(argc, argv, "--json", "");
 
   std::vector<std::string> lines;
+  lines.push_back(slider::bench::ContextJson("read_contention"));
   std::vector<Cell> locked_cells;
   std::vector<Cell> view_cells;
 

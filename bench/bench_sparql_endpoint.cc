@@ -13,6 +13,10 @@
 //     buffered rule pipeline, deletes through DRed) and (b) the batch
 //     repository, whose every update re-materialises from scratch.
 //     Reported in wall-clock and hardware-independent derivation counters.
+//  3. Repeated-SELECT throughput with the prepared-query plan cache on vs
+//     off — the same quiesced store, the same query mix, N reader threads;
+//     cache-on requests skip parse + join planning after the first sight of
+//     each text.
 //
 // Run: bench_sparql_endpoint [--ontology=BSBM_100k] [--readers=2]
 //                            [--seconds=5] [--ops=12] [--quick] [--json=F]
@@ -228,15 +232,64 @@ int main(int argc, char** argv) {
   std::printf("  gap                : %9.1fx wall-clock, %.1fx derivations\n",
               wall_gap, deriv_gap);
 
+  // --- Phase 3: repeated-SELECT throughput, plan cache on vs off -----------
+  // Quiesced store, pure read traffic: the cache-on endpoint amortises the
+  // parse + join-planning of each distinct text across every repetition.
+  const double select_seconds = std::max(1.0, seconds / 2);
+  auto run_select_phase = [&](SparqlEndpoint& ep) {
+    std::atomic<bool> phase_stop{false};
+    std::atomic<uint64_t> served{0};
+    std::vector<std::thread> phase_threads;
+    for (int r = 0; r < readers; ++r) {
+      phase_threads.emplace_back([&, r] {
+        size_t i = static_cast<size_t>(r);
+        while (!phase_stop.load(std::memory_order_acquire)) {
+          auto rows = ep.Select(mix[i++ % mix.size()]);
+          rows.status().AbortIfNotOk();
+          served.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    Stopwatch select_watch;
+    while (select_watch.ElapsedSeconds() < select_seconds) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    phase_stop.store(true, std::memory_order_release);
+    for (auto& t : phase_threads) t.join();
+    return static_cast<double>(served.load()) / select_watch.ElapsedSeconds();
+  };
+
+  SparqlEndpoint cached_endpoint(repo, /*plan_cache_capacity=*/128);
+  SparqlEndpoint uncached_endpoint(repo, /*plan_cache_capacity=*/0);
+  const double cached_qps = run_select_phase(cached_endpoint);
+  const double uncached_qps = run_select_phase(uncached_endpoint);
+  const double cache_speedup = uncached_qps > 0 ? cached_qps / uncached_qps : 0;
+  const auto cache_stats = cached_endpoint.stats();
+  std::printf("\nrepeated-SELECT throughput (%d readers, %.1fs each):\n",
+              readers, select_seconds);
+  std::printf("  plan cache on      : %10.0f queries/s (%llu hits, "
+              "%llu misses)\n",
+              cached_qps,
+              static_cast<unsigned long long>(cache_stats.plan_hits),
+              static_cast<unsigned long long>(cache_stats.plan_misses));
+  std::printf("  plan cache off     : %10.0f queries/s\n", uncached_qps);
+  std::printf("  speedup            : %9.2fx\n", cache_speedup);
+
   if (!json_path.empty()) {
     std::ostringstream os;
-    os << "[\n  {\"bench\":\"sparql_endpoint\",\"ontology\":\"" << spec.name
+    os << "[\n  " << ContextJson("sparql_endpoint")
+       << ",\n  {\"bench\":\"sparql_endpoint\",\"ontology\":\"" << spec.name
        << "\",\"readers\":" << readers << ",\"queries_per_s\":" << qps
        << ",\"updates_per_s\":" << ups << ",\"update_p50_ms\":" << p50
        << ",\"update_p95_ms\":" << p95
        << ",\"incremental_ms_per_op\":" << inc_mean_ms
        << ",\"baseline_ms_per_op\":" << base_mean_ms
        << ",\"wall_gap\":" << wall_gap << ",\"derivation_gap\":" << deriv_gap
+       << ",\"cached_select_per_s\":" << cached_qps
+       << ",\"uncached_select_per_s\":" << uncached_qps
+       << ",\"plan_cache_speedup\":" << cache_speedup
+       << ",\"plan_hits\":" << cache_stats.plan_hits
+       << ",\"plan_misses\":" << cache_stats.plan_misses
        << "}\n]\n";
     std::ofstream out(json_path);
     out << os.str();

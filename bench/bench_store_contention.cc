@@ -272,6 +272,7 @@ int main(int argc, char** argv) {
   const size_t batch_size = 1024;
 
   std::vector<std::string> lines;
+  lines.push_back(slider::bench::ContextJson("store_contention"));
   std::vector<Cell> baseline_cells;
   std::vector<Cell> sharded_cells;
 

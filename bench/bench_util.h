@@ -9,8 +9,11 @@
 
 #include <algorithm>
 #include <cstring>
+#include <ctime>
 #include <filesystem>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/stopwatch.h"
@@ -45,6 +48,28 @@ inline std::string FlagValue(int argc, char** argv, const char* name,
     }
   }
   return fallback;
+}
+
+#ifndef SLIDER_BUILD_TYPE
+#define SLIDER_BUILD_TYPE "unknown"
+#endif
+
+/// Machine/build context, emitted as the first element of every bench's
+/// JSON artifact so archived numbers are comparable across runners: the
+/// core count the threads actually had, the optimisation level they were
+/// compiled at, and when the run happened (UTC).
+inline std::string ContextJson(const std::string& bench) {
+  const std::time_t now = std::time(nullptr);
+  char stamp[32] = "unknown";
+  if (std::tm* utc = std::gmtime(&now)) {
+    std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", utc);
+  }
+  std::ostringstream os;
+  os << "{\"bench\":\"" << bench << "\",\"context\":true"
+     << ",\"hardware_concurrency\":" << std::thread::hardware_concurrency()
+     << ",\"build_type\":\"" << SLIDER_BUILD_TYPE << "\""
+     << ",\"timestamp\":\"" << stamp << "\"}";
+  return os.str();
 }
 
 /// Loads `document` into the OWLIM-SE substitute (persistent batch

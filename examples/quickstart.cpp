@@ -7,7 +7,12 @@
 //   3. Flush() to complete the closure;
 //   4. query the triple store through patterns and decode results;
 //   5. Retract() explicit facts — the closure is maintained incrementally
-//      (DRed over-delete/rederive), not recomputed from scratch.
+//      (DRed over-delete/rederive), not recomputed from scratch. Facts the
+//      insert pipeline saw derived more than once carry a derivation count,
+//      and a counted fact that is still one-step derivable from the
+//      surviving explicit statements is gated out of the over-delete cone
+//      entirely (ReasonerOptions::enable_counting, on by default); DRed
+//      remains the fallback whenever the count runs out or saturates.
 //
 // Run: ./examples/quickstart
 
@@ -89,6 +94,10 @@ int main() {
   // ada keeps Faculty through the explicit <ada type Professor> and
   // Professor ⊑ Faculty, while the teaching facts are gone for good. Only
   // the cone is touched; a batch repository would re-materialise the world.
+  // Multiply-derived facts skip that cone: the counting fast path (on by
+  // default) proves them still derivable from the surviving explicit facts
+  // and leaves them — and everything below them — untouched
+  // (RetractStats::count_fast_path / cone_pruned report how often).
   const Triple withdrawn = d->EncodeTriple(
       "<http://uni/ada>", "<http://uni/lectures>", "<http://uni/cs101>");
   const Reasoner::RetractStats retract = reasoner.RetractTriple(withdrawn);
@@ -96,8 +105,11 @@ int main() {
   const auto teaches = dict.Lookup("<http://uni/teaches>");
   const auto cs101 = dict.Lookup("<http://uni/cs101>");
   std::printf("\nretracted <ada lectures cs101>: removed %zu triples, "
-              "rederived %zu, in %zu deletion rounds\n",
-              retract.overdeleted, retract.rederived, retract.delete_rounds);
+              "rederived %zu, pruned %zu by counting, in %zu deletion "
+              "rounds\n",
+              retract.overdeleted, retract.rederived,
+              retract.count_fast_path + retract.cone_pruned,
+              retract.delete_rounds);
   std::printf("ada still teaches cs101: %s (the cone is gone)\n",
               reasoner.store().Contains({*ada_id, *teaches, *cs101}) ? "yes"
                                                                      : "no");

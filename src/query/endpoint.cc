@@ -2,10 +2,45 @@
 
 namespace slider {
 
-SparqlEndpoint::SparqlEndpoint(Repository* repo)
+SparqlEndpoint::SparqlEndpoint(Repository* repo, size_t plan_cache_capacity)
     : repo_(repo),
       serialize_selects_(repo->options().inference !=
-                         Repository::InferenceMode::kIncremental) {}
+                         Repository::InferenceMode::kIncremental),
+      plan_cache_capacity_(plan_cache_capacity) {}
+
+SparqlEndpoint::PlanPtr SparqlEndpoint::PlanLookup(
+    const std::string& text) const {
+  if (plan_cache_capacity_ == 0) return nullptr;
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  const auto it = plan_index_.find(text);
+  if (it == plan_index_.end()) return nullptr;
+  plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second);
+  return it->second->second;
+}
+
+void SparqlEndpoint::PlanStore(const std::string& text, PlanPtr entry) const {
+  if (plan_cache_capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  const auto it = plan_index_.find(text);
+  if (it != plan_index_.end()) {
+    // Racing SELECTs of the same text may both miss; the later store simply
+    // replaces the earlier entry (same parse, possibly fresher plan).
+    it->second->second = std::move(entry);
+    plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second);
+    return;
+  }
+  plan_lru_.emplace_front(text, std::move(entry));
+  plan_index_.emplace(text, plan_lru_.begin());
+  if (plan_lru_.size() > plan_cache_capacity_) {
+    plan_index_.erase(plan_lru_.back().first);
+    plan_lru_.pop_back();
+  }
+}
+
+size_t SparqlEndpoint::plan_cache_size() const {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  return plan_lru_.size();
+}
 
 Result<SparqlEndpoint::Response> SparqlEndpoint::Execute(
     std::string_view text) {
@@ -25,13 +60,65 @@ Result<QueryResult> SparqlEndpoint::Select(std::string_view text) const {
   // reads through pinned views.
   std::unique_lock<std::mutex> lock(update_mu_, std::defer_lock);
   if (serialize_selects_) lock.lock();
-  Result<Query> query = SparqlParser::Parse(text, *repo_->dictionary());
-  if (!query.ok()) {
-    errors_.fetch_add(1, std::memory_order_relaxed);
-    return query.status();
-  }
   ForwardProvider provider(&repo_->store());
-  Result<QueryResult> rows = QueryEvaluator(&provider).Evaluate(*query);
+
+  if (plan_cache_capacity_ == 0) {
+    // Cache disabled: parse per request and join with dynamic per-level
+    // greedy ordering (the pre-cache behavior, and the bench baseline).
+    Result<Query> query = SparqlParser::Parse(text, *repo_->dictionary());
+    if (!query.ok()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return query.status();
+    }
+    Result<QueryResult> rows = QueryEvaluator(&provider).Evaluate(*query);
+    if (!rows.ok()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return rows.status();
+    }
+    selects_.fetch_add(1, std::memory_order_relaxed);
+    return rows;
+  }
+
+  const std::string key(text);
+  PlanPtr cached = PlanLookup(key);
+  const uint64_t generation = generation_.load(std::memory_order_acquire);
+  if (cached != nullptr && cached->generation != generation) {
+    if (cached->query.unsatisfiable) {
+      // The missing terms may have been inserted since; force a reparse.
+      cached = nullptr;
+    } else {
+      // Term ids are stable (the dictionary is append-only), so the parse
+      // is still exact — only the cardinality-derived join order can be
+      // stale. Re-plan it against the current store.
+      auto replanned = std::make_shared<PlanEntry>();
+      replanned->query = cached->query;
+      replanned->order =
+          QueryEvaluator::PlanJoinOrder(replanned->query, provider);
+      replanned->generation = generation;
+      cached = std::move(replanned);
+      PlanStore(key, cached);
+      plan_replans_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else if (cached != nullptr) {
+    plan_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (cached == nullptr) {
+    Result<Query> query = SparqlParser::Parse(text, *repo_->dictionary());
+    if (!query.ok()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return query.status();
+    }
+    auto fresh = std::make_shared<PlanEntry>();
+    fresh->query = std::move(*query);
+    fresh->order = QueryEvaluator::PlanJoinOrder(fresh->query, provider);
+    fresh->generation = generation;
+    cached = std::move(fresh);
+    PlanStore(key, cached);
+    plan_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Result<QueryResult> rows =
+      QueryEvaluator(&provider).Evaluate(cached->query, cached->order);
   if (!rows.ok()) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     return rows.status();
@@ -58,6 +145,7 @@ Result<UpdateResult> SparqlEndpoint::Update(std::string_view text) {
     return result.status();
   }
   updates_.fetch_add(1, std::memory_order_relaxed);
+  generation_.fetch_add(1, std::memory_order_release);
   return result;
 }
 
@@ -66,6 +154,9 @@ SparqlEndpoint::Stats SparqlEndpoint::stats() const {
   out.selects = selects_.load(std::memory_order_relaxed);
   out.updates = updates_.load(std::memory_order_relaxed);
   out.errors = errors_.load(std::memory_order_relaxed);
+  out.plan_hits = plan_hits_.load(std::memory_order_relaxed);
+  out.plan_misses = plan_misses_.load(std::memory_order_relaxed);
+  out.plan_replans = plan_replans_.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -3,8 +3,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <list>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/result.h"
 #include "query/evaluator.h"
@@ -35,6 +41,21 @@ namespace slider {
 /// update mutex too. Under InferenceMode::kIncremental — the mode this
 /// layer is designed for — the store is stable and SELECTs never block.
 ///
+/// Prepared-query plan cache. Endpoint traffic repeats query shapes (the
+/// same dashboards, the same application templates), and parsing + greedy
+/// join planning per request is pure overhead for them. Select() keeps a
+/// bounded LRU keyed on the *exact query string*, holding the parsed Query
+/// plus a static join order planned against the store's cardinalities
+/// (QueryEvaluator::PlanJoinOrder). Entries are immutable and shared via
+/// shared_ptr, so any number of concurrent SELECTs evaluate the same plan
+/// while the cache mutex is only held for the lookup itself. Every applied
+/// update bumps a generation counter; a hit from an older generation keeps
+/// its parse — term ids never change under an append-only dictionary — but
+/// is re-planned against the new cardinalities before use (a stale
+/// *unsatisfiable* parse is fully re-parsed instead: INSERT DATA may have
+/// created the very terms whose absence made it unsatisfiable). Capacity 0
+/// disables caching entirely.
+///
 /// All external mutation of the repository must go through the endpoint (or
 /// be otherwise quiesced); the repository itself does not serialize callers.
 class SparqlEndpoint {
@@ -51,10 +72,15 @@ class SparqlEndpoint {
     uint64_t selects = 0;  ///< successfully served SELECT requests
     uint64_t updates = 0;  ///< successfully applied update requests
     uint64_t errors = 0;   ///< requests rejected (parse/validation/execution)
+    uint64_t plan_hits = 0;     ///< SELECTs served from a current cached plan
+    uint64_t plan_misses = 0;   ///< SELECTs that parsed + planned from scratch
+    uint64_t plan_replans = 0;  ///< cached parses re-planned after updates
   };
 
   /// `repo` is borrowed and must outlive the endpoint.
-  explicit SparqlEndpoint(Repository* repo);
+  /// `plan_cache_capacity` bounds the prepared-query LRU (entries, not
+  /// bytes); 0 disables plan caching.
+  explicit SparqlEndpoint(Repository* repo, size_t plan_cache_capacity = 128);
 
   SparqlEndpoint(const SparqlEndpoint&) = delete;
   SparqlEndpoint& operator=(const SparqlEndpoint&) = delete;
@@ -73,15 +99,49 @@ class SparqlEndpoint {
 
   Stats stats() const;
 
+  /// Number of plans currently cached (introspection/tests).
+  size_t plan_cache_size() const;
+
  private:
+  /// One immutable cached plan: the parsed query, its static join order and
+  /// the store generation the order was planned against. Shared read-only
+  /// by concurrent SELECTs; superseded entries are replaced wholesale.
+  struct PlanEntry {
+    Query query;
+    std::vector<int> order;
+    uint64_t generation = 0;
+  };
+  using PlanPtr = std::shared_ptr<const PlanEntry>;
+
+  /// Looks up `text`, refreshing LRU recency. Null on miss or cache off.
+  PlanPtr PlanLookup(const std::string& text) const;
+
+  /// Inserts/replaces `text`'s entry at the front, evicting the tail past
+  /// capacity.
+  void PlanStore(const std::string& text, PlanPtr entry) const;
+
   Repository* repo_;
   /// True when the repository's inference mode may replace the store on
   /// update, forcing SELECTs to serialize against updates.
   const bool serialize_selects_;
+  const size_t plan_cache_capacity_;
   mutable std::mutex update_mu_;
+  /// Guards the two LRU structures below only — never held while parsing,
+  /// planning or joining.
+  mutable std::mutex plan_mu_;
+  mutable std::list<std::pair<std::string, PlanPtr>> plan_lru_;
+  mutable std::unordered_map<
+      std::string, std::list<std::pair<std::string, PlanPtr>>::iterator>
+      plan_index_;
+  /// Bumped once per applied update; cached cost estimates from older
+  /// generations are stale and trigger a re-plan on their next hit.
+  mutable std::atomic<uint64_t> generation_{0};
   mutable std::atomic<uint64_t> selects_{0};
   mutable std::atomic<uint64_t> updates_{0};
   mutable std::atomic<uint64_t> errors_{0};
+  mutable std::atomic<uint64_t> plan_hits_{0};
+  mutable std::atomic<uint64_t> plan_misses_{0};
+  mutable std::atomic<uint64_t> plan_replans_{0};
 };
 
 }  // namespace slider

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 #include <unordered_map>
+#include <utility>
 
 #include "common/string_util.h"
 
@@ -83,8 +85,11 @@ int UnboundCount(const QueryPattern& pattern,
 
 class Joiner {
  public:
-  Joiner(const Query& query, const MatchProvider* provider)
-      : query_(query), provider_(provider) {}
+  /// `fixed_order` (borrowed, may be null) freezes the join order: level d
+  /// joins pattern (*fixed_order)[d] instead of re-running the greedy pick.
+  Joiner(const Query& query, const MatchProvider* provider,
+         const std::vector<int>* fixed_order = nullptr)
+      : query_(query), provider_(provider), fixed_order_(fixed_order) {}
 
   QueryResult Run() {
     QueryResult result;
@@ -162,7 +167,8 @@ class Joiner {
       result->rows.push_back(std::move(row));
       return;
     }
-    const int pick = PickNext(bindings, used);
+    const int pick = fixed_order_ != nullptr ? (*fixed_order_)[depth]
+                                             : PickNext(bindings, used);
     if (pick < 0) return;
     used[static_cast<size_t>(pick)] = true;
     const QueryPattern& pattern = query_.where[static_cast<size_t>(pick)];
@@ -195,18 +201,20 @@ class Joiner {
 
   const Query& query_;
   const MatchProvider* provider_;
+  const std::vector<int>* fixed_order_;  // borrowed; null = dynamic greedy
   /// Concrete pattern → estimate, for Estimate()'s sweep-shaped patterns.
   /// Estimates are snapshots anyway, so staleness across one evaluation is
   /// within contract.
   mutable std::unordered_map<Triple, size_t, TripleHash> estimate_memo_;
 };
 
-}  // namespace
-
-Result<QueryResult> QueryEvaluator::Evaluate(const Query& query) const {
+/// Shared validation + unsatisfiable short-circuit; returns the result if
+/// the query never reaches the join, std::nullopt when it should be joined.
+std::optional<Result<QueryResult>> PreJoin(const Query& query) {
   for (int var : query.projection) {
     if (var < 0 || static_cast<size_t>(var) >= query.variables.size()) {
-      return Status::InvalidArgument("projection references unknown variable");
+      return Result<QueryResult>(
+          Status::InvalidArgument("projection references unknown variable"));
     }
     // A variable projected but never joined would stay on the internal
     // unbound sentinel and leak into every result row; reject it up front.
@@ -221,9 +229,9 @@ Result<QueryResult> QueryEvaluator::Evaluate(const Query& query) const {
       if (used) break;
     }
     if (!used) {
-      return Status::InvalidArgument(
+      return Result<QueryResult>(Status::InvalidArgument(
           Format("variable '?%s' is projected but never used in WHERE",
-                 query.variables[static_cast<size_t>(var)].c_str()));
+                 query.variables[static_cast<size_t>(var)].c_str())));
     }
   }
   if (query.unsatisfiable) {
@@ -233,9 +241,81 @@ Result<QueryResult> QueryEvaluator::Evaluate(const Query& query) const {
     for (int var : query.projection) {
       empty.variables.push_back(query.variables[static_cast<size_t>(var)]);
     }
-    return empty;
+    return Result<QueryResult>(std::move(empty));
   }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Result<QueryResult> QueryEvaluator::Evaluate(const Query& query) const {
+  if (auto early = PreJoin(query)) return std::move(*early);
   return Joiner(query, provider_).Run();
+}
+
+Result<QueryResult> QueryEvaluator::Evaluate(
+    const Query& query, const std::vector<int>& join_order) const {
+  if (auto early = PreJoin(query)) return std::move(*early);
+  // A malformed order (wrong length — e.g. a plan cached for a different
+  // query text) degrades to dynamic ordering rather than misjoining.
+  const std::vector<int>* fixed =
+      join_order.size() == query.where.size() ? &join_order : nullptr;
+  return Joiner(query, provider_, fixed).Run();
+}
+
+std::vector<int> QueryEvaluator::PlanJoinOrder(const Query& query,
+                                               const MatchProvider& provider) {
+  const size_t n = query.where.size();
+  std::vector<int> order;
+  order.reserve(n);
+  if (query.unsatisfiable) {
+    for (size_t i = 0; i < n; ++i) order.push_back(static_cast<int>(i));
+    return order;
+  }
+  // Simulate the dynamic greedy pick (PickNext): at each level choose the
+  // cheapest unused pattern, then mark its variables bound. Estimates come
+  // from the constants-only instantiation — variable positions that the
+  // simulation knows are bound by earlier levels cannot be given concrete
+  // values here, so each earns a /8 selectivity credit instead (the same
+  // "bound endpoint inside a partition" ratio ForwardProvider assumes).
+  std::vector<bool> used(n, false);
+  std::vector<bool> bound(query.variables.size(), false);
+  for (size_t level = 0; level < n; ++level) {
+    int best = -1;
+    size_t best_cost = std::numeric_limits<size_t>::max();
+    for (size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      const QueryPattern& pattern = query.where[i];
+      const TriplePattern constants{
+          pattern.s.IsVariable() ? kAnyTerm : pattern.s.term,
+          pattern.p.IsVariable() ? kAnyTerm : pattern.p.term,
+          pattern.o.IsVariable() ? kAnyTerm : pattern.o.term};
+      size_t estimate = provider.EstimateCount(constants);
+      size_t unbound = 0;
+      for (const QueryTerm* term :
+           {&pattern.s, &pattern.p, &pattern.o}) {
+        if (!term->IsVariable()) continue;
+        if (bound[static_cast<size_t>(term->var)]) {
+          estimate /= 8;
+        } else {
+          ++unbound;
+        }
+      }
+      const size_t cost = estimate * 4 + unbound;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = static_cast<int>(i);
+      }
+    }
+    order.push_back(best);
+    used[static_cast<size_t>(best)] = true;
+    for (const QueryTerm* term : {&query.where[static_cast<size_t>(best)].s,
+                                  &query.where[static_cast<size_t>(best)].p,
+                                  &query.where[static_cast<size_t>(best)].o}) {
+      if (term->IsVariable()) bound[static_cast<size_t>(term->var)] = true;
+    }
+  }
+  return order;
 }
 
 Result<QueryResult> RunSparql(std::string_view text, const TripleStore& store,

@@ -65,8 +65,26 @@ class QueryEvaluator {
  public:
   explicit QueryEvaluator(const MatchProvider* provider) : provider_(provider) {}
 
-  /// Evaluates `query`, honouring DISTINCT and LIMIT.
+  /// Evaluates `query`, honouring DISTINCT and LIMIT. Join order is chosen
+  /// greedily per join level from live cardinality estimates.
   Result<QueryResult> Evaluate(const Query& query) const;
+
+  /// Evaluates `query` with a pre-planned static join order (one pattern
+  /// index per join level, a permutation of [0, where.size()) as produced
+  /// by PlanJoinOrder) instead of re-estimating at every level — the
+  /// endpoint's plan-cache path. An order of the wrong size falls back to
+  /// dynamic ordering.
+  Result<QueryResult> Evaluate(const Query& query,
+                               const std::vector<int>& join_order) const;
+
+  /// Plans a static join order for `query` against `provider`'s current
+  /// cardinalities: a simulation of the dynamic greedy ordering where
+  /// bound-variable positions earn a selectivity credit instead of a
+  /// concrete instantiation. Deterministic for a given store state; cheap
+  /// (one estimate per pattern per level). Unsatisfiable queries get the
+  /// identity order (they never join).
+  static std::vector<int> PlanJoinOrder(const Query& query,
+                                        const MatchProvider& provider);
 
  private:
   const MatchProvider* provider_;

@@ -20,7 +20,15 @@ class Parser {
  public:
   Parser(std::string_view text, const Dictionary* lookup_dict,
          Dictionary* encode_dict)
-      : text_(text), lookup_dict_(lookup_dict), encode_dict_(encode_dict) {}
+      : text_(text), lookup_dict_(lookup_dict), encode_dict_(encode_dict) {
+    // Tolerate a leading UTF-8 byte-order mark: queries pasted from editors
+    // or read from BOM-prefixed files must still route and parse. Only the
+    // very first bytes qualify — a BOM elsewhere is genuine garbage.
+    if (text_.size() >= 3 && text_[0] == '\xEF' && text_[1] == '\xBB' &&
+        text_[2] == '\xBF') {
+      pos_ = 3;
+    }
+  }
 
   Result<Query> Run() {
     SLIDER_RETURN_NOT_OK(ParsePrologue());

@@ -92,13 +92,13 @@ const std::string_view* Dictionary::ArenaStore(Shard& shard,
 TermId Dictionary::Encode(std::string_view term) {
   const size_t hash = HashString(term);
   Shard& shard = shards_[ShardIndexFor(hash)];
-  {
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
-    const TermId id = shard.ids.Find(term, hash);
-    if (id != kAnyTerm) return id;
-  }
-  std::unique_lock<std::shared_mutex> lock(shard.mu);
-  const TermId raced = shard.ids.Find(term, hash);
+  // Seen-term fast path: optimistic hash-validated probe, no lock at all.
+  // A miss is not authoritative (a concurrent insert of this very term may
+  // not be published yet), so a miss falls through to the locked path.
+  const TermId probed = shard.index.Probe(term, hash);
+  if (probed != kAnyTerm) return probed;
+  std::unique_lock<std::mutex> lock(shard.mu);
+  const TermId raced = shard.index.FindWriter(term, hash);
   if (raced != kAnyTerm) return raced;  // raced with another encoder
   const std::string_view* stored = ArenaStore(shard, term);
   // The slot claim arbitrates against Restore: a Restore that raced onto
@@ -109,7 +109,9 @@ TermId Dictionary::Encode(std::string_view term) {
   do {
     id = next_.fetch_add(1, std::memory_order_relaxed);
   } while (!TryPublishSlot(id, stored));
-  shard.ids.Insert(*stored, hash, id);
+  // Decode slot is published before the probe entry, so any thread whose
+  // Probe returns this id can immediately DecodeUnchecked it.
+  shard.index.Insert(stored, hash, id);
   count_.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
@@ -122,8 +124,10 @@ Triple Dictionary::EncodeTriple(std::string_view s, std::string_view p,
 std::optional<TermId> Dictionary::Lookup(std::string_view term) const {
   const size_t hash = HashString(term);
   const Shard& shard = shards_[ShardIndexFor(hash)];
-  std::shared_lock<std::shared_mutex> lock(shard.mu);
-  const TermId id = shard.ids.Find(term, hash);
+  // Lock-free: a hit is definitive; a miss is definitive for any Encode
+  // that happened-before this call (write-read coherence on the published
+  // table pointer), which is all Lookup ever promised.
+  const TermId id = shard.index.Probe(term, hash);
   if (id == kAnyTerm) return std::nullopt;
   return id;
 }
@@ -154,8 +158,8 @@ Status Dictionary::Restore(TermId id, std::string_view term) {
   }
   const size_t hash = HashString(term);
   Shard& shard = shards_[ShardIndexFor(hash)];
-  std::unique_lock<std::shared_mutex> lock(shard.mu);
-  const TermId existing = shard.ids.Find(term, hash);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  const TermId existing = shard.index.FindWriter(term, hash);
   if (existing != kAnyTerm) {
     if (existing == id) return Status::OK();
     return Status::InvalidArgument(
@@ -180,7 +184,7 @@ Status Dictionary::Restore(TermId id, std::string_view term) {
         Format("id %llu already bound to a different term",
                static_cast<unsigned long long>(id)));
   }
-  shard.ids.Insert(*stored, hash, id);
+  shard.index.Insert(stored, hash, id);
   count_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
@@ -190,3 +194,4 @@ size_t Dictionary::size() const {
 }
 
 }  // namespace slider
+

@@ -2,19 +2,167 @@
 #define SLIDER_RDF_DICTIONARY_H_
 
 #include <atomic>
+#include <cstddef>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
-#include "common/flat_hash.h"
 #include "common/result.h"
 #include "rdf/term.h"
 
 namespace slider {
+
+/// \brief Lock-free-reader term→id probe index: one shard's seen-term fast
+/// path, single writer (the shard mutex), readers entirely lock-free.
+///
+/// Layout: open-addressing linear-probe tables of slots {hash, id, term}.
+/// The term pointer — a stable arena string_view owned by the shard — is the
+/// slot's *publication key*: the writer stores hash and id first (relaxed)
+/// and the term pointer last (release), so a reader that acquire-loads a
+/// non-null term pointer sees the matching hash and id. Terms are never
+/// erased, so tombstones don't exist and probe chains never shrink.
+///
+/// Growth is *leaky rehash*: when a table fills past 7/8 the writer copies
+/// every entry into a double-size table, release-publishes the new table
+/// pointer, and retires the old table into a keep-alive list that is only
+/// freed with the index itself. A reader that loaded the old table pointer
+/// mid-probe therefore never touches freed memory — without an epoch pin on
+/// the Encode fast path. Geometric growth bounds the leaked slots at one
+/// table generation (< the live table's size), a few dozen bytes per term.
+///
+/// Reader-miss semantics: a miss is authoritative only at writer quiescence.
+/// While a writer is inserting, a probe may miss a term whose Encode has not
+/// happened-before the probe — callers fall back to the locked slow path,
+/// which re-checks under the writer mutex. Terms whose insert
+/// happened-before the probe are always found (write-read coherence on the
+/// table pointer plus release/acquire on the slot).
+class TermProbeIndex {
+ public:
+  TermProbeIndex() = default;
+
+  TermProbeIndex(const TermProbeIndex&) = delete;
+  TermProbeIndex& operator=(const TermProbeIndex&) = delete;
+
+  ~TermProbeIndex() {
+    delete table_.load(std::memory_order_relaxed);
+    for (Table* old : retired_) delete old;
+  }
+
+  /// Lock-free reader probe. Returns the id of `term`, or kAnyTerm on a
+  /// miss (see the class comment for miss semantics).
+  TermId Probe(std::string_view term, size_t hash) const {
+    const Table* t = table_.load(std::memory_order_acquire);
+    if (t == nullptr) return kAnyTerm;
+    size_t pos = hash & t->mask;
+    while (true) {
+      const Slot& slot = t->slots[pos];
+      const std::string_view* key = slot.term.load(std::memory_order_acquire);
+      if (key == nullptr) return kAnyTerm;
+      if (slot.hash.load(std::memory_order_relaxed) == hash && *key == term) {
+        return slot.id.load(std::memory_order_relaxed);
+      }
+      pos = (pos + 1) & t->mask;
+    }
+  }
+
+  /// Writer-side lookup (exact; caller holds the shard writer mutex).
+  TermId FindWriter(std::string_view term, size_t hash) const {
+    const Table* t = table_.load(std::memory_order_relaxed);
+    if (t == nullptr) return kAnyTerm;
+    size_t pos = hash & t->mask;
+    while (true) {
+      const Slot& slot = t->slots[pos];
+      const std::string_view* key = slot.term.load(std::memory_order_relaxed);
+      if (key == nullptr) return kAnyTerm;
+      if (slot.hash.load(std::memory_order_relaxed) == hash && *key == term) {
+        return slot.id.load(std::memory_order_relaxed);
+      }
+      pos = (pos + 1) & t->mask;
+    }
+  }
+
+  /// Binds `*term` (stable arena bytes, absent from the index) to `id`.
+  /// Caller holds the shard writer mutex.
+  void Insert(const std::string_view* term, size_t hash, TermId id) {
+    Table* t = table_.load(std::memory_order_relaxed);
+    if (t == nullptr || (used_ + 1) * 8 > t->capacity * 7) {
+      t = Grow(t);
+    }
+    size_t pos = hash & t->mask;
+    while (t->slots[pos].term.load(std::memory_order_relaxed) != nullptr) {
+      pos = (pos + 1) & t->mask;
+    }
+    Slot& slot = t->slots[pos];
+    slot.hash.store(hash, std::memory_order_relaxed);
+    slot.id.store(id, std::memory_order_relaxed);
+    slot.term.store(term, std::memory_order_release);
+    ++used_;
+  }
+
+  /// Live entries (writer-side exact).
+  size_t size() const { return used_; }
+
+  /// Tables kept alive by the leaky rehash (introspection/tests).
+  size_t retired_tables() const { return retired_.size(); }
+
+ private:
+  struct Slot {
+    std::atomic<size_t> hash{0};
+    std::atomic<TermId> id{kAnyTerm};
+    std::atomic<const std::string_view*> term{nullptr};  // published last
+  };
+
+  struct Table {
+    explicit Table(size_t capacity_pow2)
+        : capacity(capacity_pow2),
+          mask(capacity_pow2 - 1),
+          slots(new Slot[capacity_pow2]) {}
+
+    const size_t capacity;
+    const size_t mask;
+    const std::unique_ptr<Slot[]> slots;
+  };
+
+  static constexpr size_t kInitialCapacity = 64;
+
+  /// Publishes a double-size copy and keeps `old` alive for the index
+  /// lifetime (readers may still be probing it).
+  Table* Grow(Table* old) {
+    Table* fresh =
+        new Table(old == nullptr ? kInitialCapacity : old->capacity * 2);
+    if (old != nullptr) {
+      for (size_t i = 0; i < old->capacity; ++i) {
+        const Slot& from = old->slots[i];
+        const std::string_view* key =
+            from.term.load(std::memory_order_relaxed);
+        if (key == nullptr) continue;
+        const size_t hash = from.hash.load(std::memory_order_relaxed);
+        size_t pos = hash & fresh->mask;
+        while (fresh->slots[pos].term.load(std::memory_order_relaxed) !=
+               nullptr) {
+          pos = (pos + 1) & fresh->mask;
+        }
+        // Not yet published: relaxed stores suffice, the table pointer's
+        // release store below releases everything at once.
+        fresh->slots[pos].hash.store(hash, std::memory_order_relaxed);
+        fresh->slots[pos].id.store(from.id.load(std::memory_order_relaxed),
+                                   std::memory_order_relaxed);
+        fresh->slots[pos].term.store(key, std::memory_order_relaxed);
+      }
+      retired_.push_back(old);
+    }
+    table_.store(fresh, std::memory_order_release);
+    return fresh;
+  }
+
+  std::atomic<Table*> table_{nullptr};
+  size_t used_ = 0;               // writer-side live entries
+  std::vector<Table*> retired_;   // leaky rehash: kept for index lifetime
+};
 
 /// \brief Sharded, lock-striped bidirectional mapping between RDF term
 /// strings and TermIds (the paper's Input Manager dictionary).
@@ -25,8 +173,8 @@ namespace slider {
 ///
 /// Layout. The term→id index is striped over N power-of-two shards keyed on
 /// the term's string hash (shard = high hash bits, like TripleStore), each
-/// shard owning its own shared_mutex, a FlatStringMap index and a deque
-/// arena giving stable string storage. The paper's Input Manager runs
+/// shard owning a writer mutex, a lock-free-reader TermProbeIndex and a
+/// bump arena giving stable string storage. The paper's Input Manager runs
 /// "multiple instances" that dictionary-encode concurrently; with the old
 /// single mutex every unseen term serialized all parsers — the same convoy
 /// the store shed when it was sharded.
@@ -48,9 +196,14 @@ namespace slider {
 /// rule executions and serializers translate ids without touching the
 /// encoder stripes at all.
 ///
-/// Concurrency: Encode takes one shard's reader lock for seen terms and its
-/// writer lock only for unseen ones; Lookup takes one shard's reader lock;
-/// Decode/DecodeUnchecked/size take none.
+/// Concurrency: *every read path is lock-free*. Encode's seen-term fast
+/// path and Lookup probe the shard's TermProbeIndex without any lock (a
+/// hash-validated optimistic probe over release-published slots); only an
+/// unseen term takes the shard's writer mutex, re-checks, and inserts.
+/// Decode/DecodeUnchecked/size never touch the stripes at all. The old
+/// reader-writer lock is gone — a streaming encoder re-offering seen terms
+/// no longer performs a single shared-lock RMW, the last lock on the ingest
+/// path.
 class Dictionary {
  public:
   /// `shard_count` 0 (the default) sizes the stripe to the hardware, like
@@ -63,12 +216,14 @@ class Dictionary {
   Dictionary& operator=(const Dictionary&) = delete;
 
   /// Returns the id of `term`, assigning the next free id if unseen.
+  /// Seen terms are resolved by a lock-free probe.
   TermId Encode(std::string_view term);
 
   /// Convenience: encodes three term strings into a Triple.
   Triple EncodeTriple(std::string_view s, std::string_view p, std::string_view o);
 
-  /// Returns the id of `term` if present.
+  /// Returns the id of `term` if present. Lock-free; terms whose Encode
+  /// happened-before the call are always found.
   std::optional<TermId> Lookup(std::string_view term) const;
 
   /// Returns the lexical form of `id`; OutOfRange if the id was never
@@ -107,17 +262,17 @@ class Dictionary {
   size_t shard_count() const { return shard_count_; }
 
  private:
-  /// One lock stripe: index + arena. Cache-line aligned so encoders on
-  /// neighbouring shards do not false-share the mutex.
+  /// One lock stripe: probe index + arena. Cache-line aligned so encoders
+  /// on neighbouring shards do not false-share the mutex.
   ///
   /// The arena is a bump allocator over fixed blocks: term bytes are copied
-  /// in once and never move, so the index keys and the published decode
-  /// views stay valid without per-term heap allocations. `views` is a deque
-  /// so the string_view objects themselves are stable — the decode table
-  /// publishes their addresses.
+  /// in once and never move, so the probe-index keys and the published
+  /// decode views stay valid without per-term heap allocations. `views` is
+  /// a deque so the string_view objects themselves are stable — the decode
+  /// table and probe slots publish their addresses.
   struct alignas(64) Shard {
-    mutable std::shared_mutex mu;
-    FlatStringMap ids;                      // term → id, keys into the arena
+    std::mutex mu;                          // writers only
+    TermProbeIndex index;                   // term → id, lock-free readers
     std::vector<std::unique_ptr<char[]>> blocks;     // bump blocks
     std::vector<std::unique_ptr<char[]>> oversized;  // terms > one block
     size_t block_used = 0;                  // bytes used in blocks.back()
@@ -137,7 +292,7 @@ class Dictionary {
     std::atomic<const std::string_view*> slots[kChunkSize];
   };
 
-  /// Shard routing uses the hash's HIGH bits; FlatStringMap masks the same
+  /// Shard routing uses the hash's HIGH bits; TermProbeIndex masks the same
   /// hash with its low-bit capacity mask, so the two index spaces stay
   /// independent (same trick as TripleStore::ShardIndex).
   size_t ShardIndexFor(size_t hash) const { return (hash >> 32) & shard_mask_; }

@@ -32,6 +32,15 @@ struct ReasonerOptions {
   /// Granularity of the timeout scanner.
   std::chrono::milliseconds timeout_check_interval{10};
 
+  /// Enables the counting-backed retraction fast path: per-triple
+  /// derivation counts (maintained by the insert pipeline, saturating)
+  /// let Retract() keep a multiply-derived victim or cone candidate alive —
+  /// after a one-step derivability proof against the surviving explicit
+  /// facts — instead of over-deleting and rederiving its whole cone. Off
+  /// forces classic full DRed for every retraction (the counts are still
+  /// maintained; only Retract consults them). See Reasoner's class comment.
+  bool enable_counting = true;
+
   /// Optional event sink for the demo player; borrowed, may be null. Must
   /// outlive the reasoner.
   InferenceTrace* trace = nullptr;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 
+#include "common/flat_hash.h"
 #include "common/logging.h"
 #include "rdf/ntriples.h"
 
@@ -233,6 +235,69 @@ Reasoner::RetractStats Reasoner::Retract(const TripleVec& batch) {
   if (round.empty()) return stats;
   explicit_count_.fetch_sub(round.size());
 
+  // Rederivation mechanisms, split per rule: modules with a backward check
+  // (Rule::CanDerive) power both the counting fast path below and phase 3's
+  // checked passes; the rest fall back to forward re-seeding in phase 3.
+  const size_t num_modules = modules_.size();
+  std::vector<int> fallback_modules;
+  std::vector<int> checked_modules;
+  for (int m = 0; m < static_cast<int>(num_modules); ++m) {
+    if (modules_[static_cast<size_t>(m)]->rule->SupportsRederiveCheck()) {
+      checked_modules.push_back(m);
+    } else {
+      fallback_modules.push_back(m);
+    }
+  }
+  // One-step derivability from the *surviving explicit facts only*. A hit
+  // is a sound survival proof: one-step derivable from the explicit set E'
+  // implies membership in closure(E'). Used by the counting fast path; the
+  // head-shape pre-filter mirrors phase 3's.
+  const auto can_derive_explicit = [&](const Triple& t,
+                                       const StoreView& explicit_view) {
+    for (int m : checked_modules) {
+      const Rule& rule = *modules_[static_cast<size_t>(m)]->rule;
+      if (!rule.OutputsAnyPredicate()) {
+        bool emits = false;
+        for (TermId p : rule.OutputPredicates()) {
+          if (p == t.p) {
+            emits = true;
+            break;
+          }
+        }
+        if (!emits) continue;
+      }
+      ++stats.count_checks;
+      if (rule.CanDerive(t, explicit_view)) return true;
+    }
+    return false;
+  };
+
+  // Phase 1.5 (counting gate): a victim whose derivation count says "other
+  // derivations exist" — exact, nonzero, not saturated — is offered a
+  // survival proof against the explicit view. Survivors simply stay stored
+  // as inferred facts; their entire over-delete/rederive cone is skipped.
+  // The explicit set is stable for the rest of this call (phase 2 erases
+  // inferred triples only), so one pinned view serves every probe.
+  const bool counting = options_.enable_counting && !checked_modules.empty();
+  std::optional<StoreView> explicit_view;
+  if (counting) {
+    explicit_view.emplace(store_->GetExplicitView());
+    TripleVec into_cone;
+    for (const Triple& t : round) {
+      const int count = store_->DerivationCount(t);
+      if (count > 0 && count < LfRow::kCountSaturated &&
+          can_derive_explicit(t, *explicit_view)) {
+        ++stats.count_fast_path;
+        continue;
+      }
+      into_cone.push_back(t);
+    }
+    round.swap(into_cone);
+    // Fast-path victims flipped from the explicit to the inferred
+    // population without passing through the cone.
+    inferred_count_.fetch_add(stats.count_fast_path);
+  }
+
   // Phase 2 (over-delete): walk the deletion cone in rounds. Each round's
   // delta is joined against the store by every module that admits it —
   // while the delta is still stored, so a pair whose two antecedents die in
@@ -241,7 +306,6 @@ Reasoner::RetractStats Reasoner::Retract(const TripleVec& batch) {
   // then erased. Consequences that survive as explicit facts stop the cone;
   // the rest become the next round's delta, routed along the dependency
   // graph exactly like inserted triples are.
-  const size_t num_modules = modules_.size();
   std::vector<TripleVec> pending(num_modules);
   for (size_t m = 0; m < num_modules; ++m) {
     for (const Triple& t : round) {
@@ -319,7 +383,23 @@ Reasoner::RetractStats Reasoner::Retract(const TripleVec& batch) {
       for (const Triple& c : task.out) {
         if (!view.Contains(c) || view.IsExplicit(c)) continue;
         auto [it, fresh] = routed.try_emplace(c, 0);
-        if (fresh) next_round.push_back(c);
+        if (fresh) {
+          if (counting) {
+            // One derivation of c — through the antecedents this round just
+            // deleted — is gone; decrement, and if the count still reports
+            // other derivations, try the explicit-view survival proof. A
+            // hit prunes c's whole cone: c stays stored (never erased, so
+            // the inferred counter is untouched) and routes nowhere.
+            const int remaining_count = store_->DecrementDerivations(c);
+            if (remaining_count > 0 &&
+                can_derive_explicit(c, *explicit_view)) {
+              ++stats.cone_pruned;
+              it->second = ~uint64_t{0};  // block successor routing
+              continue;
+            }
+          }
+          next_round.push_back(c);
+        }
         for (int s : modules_[m]->successors) {
           if (!modules_[s]->rule->AcceptsPredicate(c.p)) continue;
           if (s < 64) {
@@ -335,9 +415,12 @@ Reasoner::RetractStats Reasoner::Retract(const TripleVec& batch) {
     pending.swap(next_pending);
   }
   // Victims were demoted before the cone walk, so every erased triple held
-  // inferred support at erase time; the victims themselves were never
-  // inferred, which the counter arithmetic restores here in one step.
-  inferred_count_.fetch_sub(stats.overdeleted - stats.retracted);
+  // inferred support at erase time; the victims that entered the cone were
+  // never part of the inferred population (fast-path survivors joined it in
+  // phase 1.5 and were not erased), which the counter arithmetic restores
+  // here in one step.
+  inferred_count_.fetch_sub(stats.overdeleted -
+                            (stats.retracted - stats.count_fast_path));
 
   // Phase 3 (rederive): over-deletion is conservative — a deleted triple
   // may still be derivable from the survivors. Each over-deleted triple is
@@ -353,15 +436,6 @@ Reasoner::RetractStats Reasoner::Retract(const TripleVec& batch) {
   // to their own modules: the survivors anchored on a deleted subject or
   // object (rule locality, see Rule) are re-fed through those buffers and
   // the re-added triples cascade through the ordinary insert path.
-  std::vector<int> fallback_modules;
-  std::vector<int> checked_modules;
-  for (int m = 0; m < static_cast<int>(num_modules); ++m) {
-    if (modules_[static_cast<size_t>(m)]->rule->SupportsRederiveCheck()) {
-      checked_modules.push_back(m);
-    } else {
-      fallback_modules.push_back(m);
-    }
-  }
   const size_t size_before = store_->size();
   TripleVec remaining(deleted.begin(), deleted.end());
   // Mixed fragments must reach a *joint* fixpoint: a triple restored by a

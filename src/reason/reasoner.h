@@ -42,9 +42,9 @@ namespace slider {
 /// execution time. Property tests verify the resulting closure equals the
 /// batch closure under many buffer sizes, timeouts and thread counts.
 ///
-/// Retraction (DRed). Retract() removes explicit triples and maintains the
-/// materialisation with the classic over-delete/rederive scheme instead of
-/// recomputing from scratch:
+/// Retraction (DRed + counting fast path). Retract() removes explicit
+/// triples and maintains the materialisation with the classic
+/// over-delete/rederive scheme instead of recomputing from scratch:
 ///  1. *demote* — the victims lose their explicit support flag;
 ///  2. *over-delete* — each rule module runs in deletion mode along the
 ///     rules dependency graph: a deletion delta is joined against the store
@@ -61,8 +61,27 @@ namespace slider {
 ///     anchored on a deleted subject/object are re-fed through just those
 ///     modules (rule locality — see Rule — guarantees such a seed exists
 ///     for every rederivable consequence).
+///
+/// Counting fast path (ReasonerOptions::enable_counting). The insert
+/// pipeline maintains a saturating per-triple *derivation count* (one per
+/// inferred offer, exact up to LfRow::kCountSaturated). Before the cone is
+/// walked — and again for every cone candidate — Retract() consults the
+/// count: a triple whose count says "other derivations exist" is handed to
+/// a one-step Rule::CanDerive check against the *surviving explicit facts
+/// only* (TripleStore::GetExplicitView), and on a hit it is kept alive
+/// outright, pruning its whole over-delete/rederive cone. Counts alone are
+/// never trusted: under recursive rules a count can be inflated by cyclic
+/// derivations with no surviving ancestry, so the count only *gates* the
+/// explicit-view check, whose hits are sound (one-step derivable from the
+/// surviving explicit set E' implies membership in closure(E')). The fast
+/// path falls back to full DRed whenever the count is zero, has saturated
+/// (overflowed its 7-bit width), the rule lacks a CanDerive, or the
+/// explicit-view check misses — so disabling it, or a conservative count,
+/// only costs work, never correctness.
+///
 /// The result equals a from-scratch closure of the surviving explicit set;
-/// the randomized closure-oracle property tests assert exactly that.
+/// the randomized closure-oracle property tests assert exactly that, with
+/// counting both on and off.
 ///
 /// Thread-safety: AddTriple/AddTriples/AddNTriples may be called
 /// concurrently. Flush() blocks until the closure of everything added
@@ -128,6 +147,9 @@ class Reasoner {
     size_t delete_rounds = 0;  ///< over-deletion rounds until the cone closed
     uint64_t delete_derivations = 0;   ///< rule outputs in deletion mode
     uint64_t rederive_checks = 0;      ///< CanDerive probes during rederivation
+    size_t count_fast_path = 0;  ///< victims kept alive by the counting gate
+    size_t cone_pruned = 0;      ///< cone candidates pruned by the gate
+    uint64_t count_checks = 0;   ///< explicit-view CanDerive probes it issued
   };
 
   /// Retracts a batch of explicit triples and incrementally maintains the

@@ -392,6 +392,21 @@ class LfRow {
     kPromoted,   ///< id was present as inferred and is now explicit
   };
 
+  /// Flag-byte layout: bit 0 is the explicit-support flag, bits 1-7 hold a
+  /// saturating *derivation count* — how many times the insert pipeline has
+  /// offered this id as a rule consequence (the initial inferred insert
+  /// counts once; inferred duplicate offers count again; explicit inserts
+  /// and promotions never touch it). kCountSaturated (127) is sticky and
+  /// means "too many to track": a saturated count never decrements and
+  /// carries no information, so retraction must fall back to full DRed for
+  /// that triple. Counts are maintenance *hints*, not proof — under
+  /// recursive rules a count can keep alive a cyclic derivation with no
+  /// explicit ancestry — so consumers must pair a nonzero count with an
+  /// independent derivability check before trusting it.
+  static constexpr uint8_t kExplicitBit = 1;
+  static constexpr unsigned kCountShift = 1;
+  static constexpr uint8_t kCountSaturated = 127;
+
   explicit LfRow(EpochManager* epochs) : epochs_(epochs) {}
 
   ~LfRow() { delete array_.load(std::memory_order_relaxed); }
@@ -405,14 +420,26 @@ class LfRow {
   // -- Writer API (external mutual exclusion required) ----------------------
 
   /// Appends `v` if absent with the given support; promotes an existing
-  /// inferred entry to explicit when `is_explicit` is true.
+  /// inferred entry to explicit when `is_explicit` is true. Inferred offers
+  /// (new or duplicate) bump the derivation count (saturating).
   InsertResult Insert(uint64_t v, bool is_explicit) {
     RowVersion* arr = array_.load(std::memory_order_relaxed);
     const size_t pos = WriterFindPos(arr, v);
     if (pos != kNoPos) {
-      if (is_explicit &&
-          arr->flags[pos].load(std::memory_order_relaxed) == 0) {
-        arr->flags[pos].store(1, std::memory_order_release);
+      const uint8_t f = arr->flags[pos].load(std::memory_order_relaxed);
+      if (!is_explicit) {
+        // Another derivation of an existing entry: count it, whatever the
+        // support flag says (an explicit fact can also be rule-derived).
+        const uint8_t count = static_cast<uint8_t>(f >> kCountShift);
+        if (count < kCountSaturated) {
+          arr->flags[pos].store(
+              static_cast<uint8_t>(f + (uint8_t{1} << kCountShift)),
+              std::memory_order_release);
+        }
+        return InsertResult::kDuplicate;
+      }
+      if ((f & kExplicitBit) == 0) {
+        arr->flags[pos].store(f | kExplicitBit, std::memory_order_release);
         return InsertResult::kPromoted;
       }
       return InsertResult::kDuplicate;
@@ -422,7 +449,9 @@ class LfRow {
       arr = GrowOrCompact();
     }
     const size_t at = arr->size.load(std::memory_order_relaxed);
-    arr->flags[at].store(is_explicit ? 1 : 0, std::memory_order_relaxed);
+    arr->flags[at].store(
+        is_explicit ? kExplicitBit : uint8_t{1} << kCountShift,
+        std::memory_order_relaxed);
     arr->items[at].store(v, std::memory_order_relaxed);
     arr->size.store(at + 1, std::memory_order_release);
     ++live_;
@@ -449,16 +478,45 @@ class LfRow {
     return true;
   }
 
-  /// Sets the support flag of `v`. Returns +1 if the flag flipped, 0 if `v`
-  /// is present with that support already, -1 if `v` is absent.
+  /// Sets the support flag of `v` (derivation count preserved). Returns +1
+  /// if the flag flipped, 0 if `v` is present with that support already, -1
+  /// if `v` is absent.
   int SetSupport(uint64_t v, bool is_explicit) {
     RowVersion* arr = array_.load(std::memory_order_relaxed);
     const size_t pos = WriterFindPos(arr, v);
     if (pos == kNoPos) return -1;
-    const uint8_t want = is_explicit ? 1 : 0;
-    if (arr->flags[pos].load(std::memory_order_relaxed) == want) return 0;
-    arr->flags[pos].store(want, std::memory_order_release);
+    const uint8_t f = arr->flags[pos].load(std::memory_order_relaxed);
+    if (((f & kExplicitBit) != 0) == is_explicit) return 0;
+    arr->flags[pos].store(
+        is_explicit ? static_cast<uint8_t>(f | kExplicitBit)
+                    : static_cast<uint8_t>(f & ~kExplicitBit),
+        std::memory_order_release);
     return 1;
+  }
+
+  /// Decrements `v`'s derivation count by one. Returns the remaining count,
+  /// or -1 when the count carries no information (id absent, count already
+  /// zero, or saturated — saturation is sticky and never decrements).
+  int DecrementDerivations(uint64_t v) {
+    RowVersion* arr = array_.load(std::memory_order_relaxed);
+    const size_t pos = WriterFindPos(arr, v);
+    if (pos == kNoPos) return -1;
+    const uint8_t f = arr->flags[pos].load(std::memory_order_relaxed);
+    const uint8_t count = static_cast<uint8_t>(f >> kCountShift);
+    if (count == 0 || count == kCountSaturated) return -1;
+    arr->flags[pos].store(
+        static_cast<uint8_t>(f - (uint8_t{1} << kCountShift)),
+        std::memory_order_release);
+    return count - 1;
+  }
+
+  /// Writer-side derivation count of `v`: -1 if absent, kCountSaturated if
+  /// the count overflowed (no information), the exact count otherwise.
+  int DerivationCount(uint64_t v) const {
+    RowVersion* arr = array_.load(std::memory_order_relaxed);
+    const size_t pos = WriterFindPos(arr, v);
+    if (pos == kNoPos) return -1;
+    return arr->flags[pos].load(std::memory_order_relaxed) >> kCountShift;
   }
 
   /// Writer-side explicit-support check (exact).
@@ -466,7 +524,8 @@ class LfRow {
     RowVersion* arr = array_.load(std::memory_order_relaxed);
     const size_t pos = WriterFindPos(arr, v);
     return pos != kNoPos &&
-           arr->flags[pos].load(std::memory_order_relaxed) != 0;
+           (arr->flags[pos].load(std::memory_order_relaxed) & kExplicitBit) !=
+               0;
   }
 
   // -- Reader API (epoch pin required) --------------------------------------
@@ -477,7 +536,8 @@ class LfRow {
   bool IsExplicit(uint64_t v) const {
     const auto [arr, pos] = ReaderFindPos(v);
     return pos != kNoPos &&
-           arr->flags[pos].load(std::memory_order_acquire) != 0;
+           (arr->flags[pos].load(std::memory_order_acquire) & kExplicitBit) !=
+               0;
   }
 
   /// Invokes fn(id) for every live id, in insertion order.
@@ -490,6 +550,53 @@ class LfRow {
       const uint64_t v = arr->items[i].load(std::memory_order_relaxed);
       if (v != 0) fn(v);
     }
+  }
+
+  /// Invokes fn(id) for every live id holding explicit support, in
+  /// insertion order (the explicit-only store view's row scan).
+  template <typename Fn>
+  void ForEachExplicit(Fn&& fn) const {
+    const RowVersion* arr = array_.load(std::memory_order_seq_cst);
+    if (arr == nullptr) return;
+    const size_t n = arr->size.load(std::memory_order_acquire);
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t v = arr->items[i].load(std::memory_order_relaxed);
+      if (v != 0 &&
+          (arr->flags[i].load(std::memory_order_acquire) & kExplicitBit) !=
+              0) {
+        fn(v);
+      }
+    }
+  }
+
+  /// Like ForEach but fn returns bool; a true stops the scan and is
+  /// returned (existence probes that must verify each candidate).
+  template <typename Fn>
+  bool ForEachUntil(Fn&& fn) const {
+    const RowVersion* arr = array_.load(std::memory_order_seq_cst);
+    if (arr == nullptr) return false;
+    const size_t n = arr->size.load(std::memory_order_acquire);
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t v = arr->items[i].load(std::memory_order_relaxed);
+      if (v != 0 && fn(v)) return true;
+    }
+    return false;
+  }
+
+  /// True iff any live id holds explicit support (existence probe for the
+  /// explicit-only view).
+  bool AnyExplicit() const {
+    const RowVersion* arr = array_.load(std::memory_order_seq_cst);
+    if (arr == nullptr) return false;
+    const size_t n = arr->size.load(std::memory_order_acquire);
+    for (size_t i = 0; i < n; ++i) {
+      if (arr->items[i].load(std::memory_order_relaxed) != 0 &&
+          (arr->flags[i].load(std::memory_order_acquire) & kExplicitBit) !=
+              0) {
+        return true;
+      }
+    }
+    return false;
   }
 
   /// Reader-side size estimate: the published version's length, tombstones

@@ -196,6 +196,30 @@ int TripleStore::SetSupport(const Triple& t, bool is_explicit) {
   return flipped;
 }
 
+int TripleStore::DecrementDerivations(const Triple& t) {
+  if (!IsStorable(t)) return -1;
+  Shard& shard = ShardFor(t.p);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Partition* partition = shard.partitions.FindWriter(t.p);
+  if (partition == nullptr) return -1;
+  LfRow* row = partition->by_subject.FindWriter(t.s);
+  if (row == nullptr) return -1;
+  return row->DecrementDerivations(t.o);
+}
+
+int TripleStore::DerivationCount(const Triple& t) const {
+  if (!IsStorable(t)) return -1;
+  // Count reads happen on the retraction path, which runs quiesced; the
+  // shard lock still guards against a racing writer mutating the row shape.
+  Shard& shard = const_cast<TripleStore*>(this)->ShardFor(t.p);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const Partition* partition = shard.partitions.FindWriter(t.p);
+  if (partition == nullptr) return -1;
+  const LfRow* row = partition->by_subject.FindWriter(t.s);
+  if (row == nullptr) return -1;
+  return row->DerivationCount(t.o);
+}
+
 size_t TripleStore::ExplicitCount() const {
   size_t total = 0;
   for (size_t i = 0; i < shard_count_; ++i) {

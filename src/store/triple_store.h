@@ -103,6 +103,12 @@ class TripleStore {
   /// rule execution, a query) rather than pinning per probe.
   StoreView GetView() const;
 
+  /// Pins the current epoch and returns a view restricted to triples with
+  /// *explicit* support (see the StoreView class comment). The retraction
+  /// fast path runs Rule::CanDerive against this view: a hit proves the
+  /// candidate derivable from asserted facts alone.
+  StoreView GetExplicitView() const;
+
   /// Inserts one triple with the given support. Returns true iff it was not
   /// already present; a duplicate offer with `is_explicit` promotes an
   /// inferred entry to explicit support.
@@ -141,7 +147,21 @@ class TripleStore {
 
   /// Sets the support flag of a present triple. Returns +1 if the flag
   /// flipped, 0 if it already had that support, -1 if the triple is absent.
+  /// The derivation count is preserved across flips.
   int SetSupport(const Triple& t, bool is_explicit);
+
+  /// Decrements the triple's derivation count (maintained by the insert
+  /// pipeline: one per inferred offer, saturating at
+  /// LfRow::kCountSaturated). Returns the remaining count, or -1 when the
+  /// count carries no information — triple absent, count already zero, or
+  /// saturated. Counts are retraction *hints*: a nonzero remainder alone
+  /// never proves survival (recursive rules can inflate it with cyclic
+  /// derivations); pair it with a CanDerive check against GetExplicitView().
+  int DecrementDerivations(const Triple& t);
+
+  /// The triple's current derivation count: -1 if absent,
+  /// LfRow::kCountSaturated if overflowed, the exact count otherwise.
+  int DerivationCount(const Triple& t) const;
 
   /// Number of stored triples with explicit support (cross-shard).
   size_t ExplicitCount() const;
@@ -284,21 +304,38 @@ class TripleStore {
 /// concurrent inserts/erases may or may not be. Views are movable, cheap,
 /// and must not outlive their store. Holding a view for a very long time
 /// only delays memory reclamation, never correctness.
+///
+/// Explicit-only mode (TripleStore::GetExplicitView): the membership and
+/// iteration methods that rules consume — Contains, AnyWithSubject,
+/// AnyWithObject, ForEachWithPredicate, ForEachObject, ForEachSubject,
+/// ForEachMatch/Match — restrict themselves to triples holding *explicit*
+/// support, so a Rule::CanDerive run against such a view proves one-step
+/// derivability from the asserted facts alone (the retraction fast path's
+/// soundness condition: one-step derivable from the surviving explicit set
+/// implies membership in its closure). The by_object mirror rows carry no
+/// meaningful support flags (mirrors are always inserted as inferred), so
+/// object-anchored reads verify every candidate against the authoritative
+/// by_subject row. The counting/estimate methods (size, CountWith*,
+/// NumPredicates, Predicates) intentionally stay whole-store: they feed
+/// planners, not proofs.
 class StoreView {
  public:
-  explicit StoreView(const TripleStore* store)
-      : store_(store), pin_(store->epochs_.pin()) {}
+  explicit StoreView(const TripleStore* store, bool explicit_only = false)
+      : store_(store), explicit_only_(explicit_only),
+        pin_(store->epochs_.pin()) {}
 
   StoreView(StoreView&&) noexcept = default;
   StoreView& operator=(StoreView&&) noexcept = default;
   StoreView(const StoreView&) = delete;
   StoreView& operator=(const StoreView&) = delete;
 
-  /// True iff the triple is present.
+  /// True iff the triple is present (with explicit support, in
+  /// explicit-only mode).
   bool Contains(const Triple& t) const {
     if (!Storable(t)) return false;
     const LfRow* row = RowFor(t.p, t.s);
-    return row != nullptr && row->Contains(t.o);
+    if (row == nullptr) return false;
+    return explicit_only_ ? row->IsExplicit(t.o) : row->Contains(t.o);
   }
 
   /// True iff the triple is present with explicit support.
@@ -315,7 +352,9 @@ class StoreView {
     for (size_t i = 0; i < store_->shard_count_; ++i) {
       if (store_->shards_[i].partitions.ForEachUntil(
               [&](TermId, const TripleStore::Partition& part) {
-                return part.by_subject.Find(s) != nullptr;
+                const LfRow* row = part.by_subject.Find(s);
+                if (row == nullptr) return false;
+                return !explicit_only_ || row->AnyExplicit();
               })) {
         return true;
       }
@@ -324,12 +363,20 @@ class StoreView {
   }
 
   /// True iff any stored triple has object `o` (mirror of AnyWithSubject).
+  /// In explicit-only mode each mirrored subject is verified against the
+  /// authoritative by_subject flags.
   bool AnyWithObject(TermId o) const {
     if (o == kAnyTerm) return false;
     for (size_t i = 0; i < store_->shard_count_; ++i) {
       if (store_->shards_[i].partitions.ForEachUntil(
               [&](TermId, const TripleStore::Partition& part) {
-                return part.by_object.Find(o) != nullptr;
+                const LfRow* row = part.by_object.Find(o);
+                if (row == nullptr) return false;
+                if (!explicit_only_) return true;
+                return row->ForEachUntil([&](TermId s) {
+                  const LfRow* fwd = part.by_subject.Find(s);
+                  return fwd != nullptr && fwd->IsExplicit(o);
+                });
               })) {
         return true;
       }
@@ -406,6 +453,12 @@ class StoreView {
   void ForEachWithPredicate(TermId p, Fn&& fn) const {
     const TripleStore::Partition* part = PartitionFor(p);
     if (part == nullptr) return;
+    if (explicit_only_) {
+      part->by_subject.ForEach([&](TermId s, const LfRow& row) {
+        row.ForEachExplicit([&](TermId o) { fn(s, o); });
+      });
+      return;
+    }
     part->by_subject.ForEach([&](TermId s, const LfRow& row) {
       row.ForEach([&](TermId o) { fn(s, o); });
     });
@@ -416,16 +469,28 @@ class StoreView {
   void ForEachObject(TermId p, TermId s, Fn&& fn) const {
     const LfRow* row = RowFor(p, s);
     if (row == nullptr) return;
+    if (explicit_only_) {
+      row->ForEachExplicit([&](TermId o) { fn(o); });
+      return;
+    }
     row->ForEach([&](TermId o) { fn(o); });
   }
 
-  /// Invokes fn(subject) for every triple (subject, p, o).
+  /// Invokes fn(subject) for every triple (subject, p, o). Explicit-only
+  /// mode verifies each mirrored subject against the by_subject flags.
   template <typename Fn>
   void ForEachSubject(TermId p, TermId o, Fn&& fn) const {
     const TripleStore::Partition* part = PartitionFor(p);
     if (part == nullptr) return;
     const LfRow* row = part->by_object.Find(o);
     if (row == nullptr) return;
+    if (explicit_only_) {
+      row->ForEach([&](TermId s) {
+        const LfRow* fwd = part->by_subject.Find(s);
+        if (fwd != nullptr && fwd->IsExplicit(o)) fn(s);
+      });
+      return;
+    }
     row->ForEach([&](TermId s) { fn(s); });
   }
 
@@ -468,22 +533,44 @@ class StoreView {
   }
 
   template <typename Fn>
-  static void MatchInPartition(TermId p, const TripleStore::Partition& part,
-                               const TriplePattern& pattern, Fn&& fn) {
+  void MatchInPartition(TermId p, const TripleStore::Partition& part,
+                        const TriplePattern& pattern, Fn&& fn) const {
     if (pattern.s != kAnyTerm) {
       const LfRow* row = part.by_subject.Find(pattern.s);
       if (row == nullptr) return;
       if (pattern.o != kAnyTerm) {
-        if (row->Contains(pattern.o)) fn(Triple(pattern.s, p, pattern.o));
+        const bool hit = explicit_only_ ? row->IsExplicit(pattern.o)
+                                        : row->Contains(pattern.o);
+        if (hit) fn(Triple(pattern.s, p, pattern.o));
         return;
       }
-      row->ForEach([&](TermId o) { fn(Triple(pattern.s, p, o)); });
+      if (explicit_only_) {
+        row->ForEachExplicit([&](TermId o) { fn(Triple(pattern.s, p, o)); });
+      } else {
+        row->ForEach([&](TermId o) { fn(Triple(pattern.s, p, o)); });
+      }
       return;
     }
     if (pattern.o != kAnyTerm) {
       const LfRow* row = part.by_object.Find(pattern.o);
       if (row == nullptr) return;
-      row->ForEach([&](TermId s) { fn(Triple(s, p, pattern.o)); });
+      if (explicit_only_) {
+        // Mirror flags are meaningless; verify via by_subject.
+        row->ForEach([&](TermId s) {
+          const LfRow* fwd = part.by_subject.Find(s);
+          if (fwd != nullptr && fwd->IsExplicit(pattern.o)) {
+            fn(Triple(s, p, pattern.o));
+          }
+        });
+      } else {
+        row->ForEach([&](TermId s) { fn(Triple(s, p, pattern.o)); });
+      }
+      return;
+    }
+    if (explicit_only_) {
+      part.by_subject.ForEach([&](TermId s, const LfRow& row) {
+        row.ForEachExplicit([&](TermId o) { fn(Triple(s, p, o)); });
+      });
       return;
     }
     part.by_subject.ForEach([&](TermId s, const LfRow& row) {
@@ -492,10 +579,15 @@ class StoreView {
   }
 
   const TripleStore* store_;
+  bool explicit_only_ = false;
   EpochPin pin_;
 };
 
 inline StoreView TripleStore::GetView() const { return StoreView(this); }
+
+inline StoreView TripleStore::GetExplicitView() const {
+  return StoreView(this, /*explicit_only=*/true);
+}
 
 template <typename Fn>
 void TripleStore::ForEachWithPredicate(TermId p, Fn&& fn) const {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 #include <thread>
 #include <vector>
@@ -47,6 +48,33 @@ TEST(DictionaryTest, DecodeRejectsUnknownIds) {
   Dictionary dict;
   EXPECT_TRUE(dict.Decode(kAnyTerm).status().IsOutOfRange());
   EXPECT_TRUE(dict.Decode(99).status().IsOutOfRange());
+}
+
+TEST(DictionaryTest, DecodeRejectsIdsPastTheWatermark) {
+  Dictionary dict;
+  const TermId last = dict.Encode("<http://ex/only>");
+  // One past the last assigned id, far past it, and the extremes.
+  EXPECT_TRUE(dict.Decode(last + 1).status().IsOutOfRange());
+  EXPECT_TRUE(dict.Decode(last + 1000000).status().IsOutOfRange());
+  EXPECT_TRUE(dict.Decode(0).status().IsOutOfRange());
+  EXPECT_TRUE(
+      dict.Decode(std::numeric_limits<TermId>::max()).status().IsOutOfRange());
+  // The assigned id still decodes.
+  ASSERT_TRUE(dict.Decode(last).ok());
+}
+
+TEST(DictionaryTest, DecodeRejectsNeverAssignedIdsBelowTheWatermark) {
+  Dictionary dict;
+  // Restore far ahead: every id in (kFirstTermId, 200) is below the raised
+  // watermark but was never bound to a term.
+  ASSERT_TRUE(dict.Restore(200, "<http://ex/high>").ok());
+  ASSERT_TRUE(dict.Decode(200).ok());
+  EXPECT_TRUE(dict.Decode(kFirstTermId).status().IsOutOfRange());
+  EXPECT_TRUE(dict.Decode(199).status().IsOutOfRange());
+  // New Encodes continue above the watermark, not into the gap.
+  const TermId fresh = dict.Encode("<http://ex/fresh>");
+  EXPECT_GT(fresh, 200u);
+  EXPECT_EQ(dict.Decode(fresh).ValueOrDie(), "<http://ex/fresh>");
 }
 
 TEST(DictionaryTest, EncodeTripleEncodesAllPositions) {

@@ -1,0 +1,122 @@
+// Stress for the lock-free Dictionary::Encode read probe: re-encoders of
+// already-seen terms must take the optimistic probe concurrently with
+// writers that keep inserting fresh terms into the *same* shards, forcing
+// probe-table growth and retirement underneath the readers. Run under TSan
+// in CI: the interesting bugs here are publication races (a reader
+// observing a slot's id before its term pointer, or a retired table being
+// freed while still probed), not wrong answers at quiescence.
+
+#include "rdf/dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace slider {
+namespace {
+
+std::string HotTerm(int i) {
+  return "<http://slider.repro/hot/term" + std::to_string(i) + ">";
+}
+
+std::string ColdTerm(int writer, int i) {
+  return "<http://slider.repro/cold/w" + std::to_string(writer) + "/t" +
+         std::to_string(i) + ">";
+}
+
+// Readers hammer Encode on a fixed hot set while writers grow the shards
+// past several probe-table doublings. Every hot Encode must return the id
+// assigned up front, whichever path (probe or locked fallback) served it.
+TEST(EncodeProbeContentionTest, ProbersAgreeWithWritersAcrossTableGrowth) {
+  // One shard concentrates every insert onto a single probe table, so the
+  // readers cross as many Grow() publications as the workload can force.
+  Dictionary dict(/*shards=*/1);
+
+  constexpr int kHot = 256;
+  constexpr int kReaders = 4;
+  constexpr int kWriters = 4;
+  constexpr int kColdPerWriter = 4000;  // ~6 doublings from capacity 64
+  constexpr int kReadRounds = 40;
+
+  std::vector<TermId> hot_ids(kHot);
+  for (int i = 0; i < kHot; ++i) hot_ids[i] = dict.Encode(HotTerm(i));
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kReaders + kWriters);
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < kReadRounds && !failed.load(); ++round) {
+        for (int i = 0; i < kHot; ++i) {
+          if (dict.Encode(HotTerm(i)) != hot_ids[i]) {
+            failed.store(true);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kColdPerWriter; ++i) dict.Encode(ColdTerm(w, i));
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_FALSE(failed.load()) << "a hot term re-encoded to a different id";
+  EXPECT_EQ(dict.size(),
+            static_cast<size_t>(kHot + kWriters * kColdPerWriter));
+}
+
+// Mixed fresh/seen encodes racing on the same terms: all threads encode the
+// same interleaved term sequence, so every term's first encoder races the
+// others' probes mid-insert. Ids must be unique per term and stable, and
+// lock-free Lookup must never contradict Encode.
+TEST(EncodeProbeContentionTest, RacingFirstEncodersAndProbersConverge) {
+  Dictionary dict(/*shards=*/1);
+
+  constexpr int kTerms = 3000;
+  constexpr int kThreads = 8;
+
+  std::vector<std::atomic<TermId>> seen(kTerms);
+  for (auto& s : seen) s.store(kAnyTerm);
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int n = 0; n < kTerms; ++n) {
+        // Stagger starting points so threads mix first-encodes with probes
+        // of terms other threads just published.
+        const int i = (n + t * (kTerms / kThreads)) % kTerms;
+        const std::string term = HotTerm(i);
+        const TermId id = dict.Encode(term);
+        TermId expected = kAnyTerm;
+        if (!seen[i].compare_exchange_strong(expected, id) &&
+            expected != id) {
+          failed.store(true);
+          return;
+        }
+        const auto looked_up = dict.Lookup(term);
+        if (!looked_up.has_value() || *looked_up != id) {
+          failed.store(true);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_FALSE(failed.load()) << "conflicting ids for one term";
+  EXPECT_EQ(dict.size(), static_cast<size_t>(kTerms));
+  for (int i = 0; i < kTerms; ++i) {
+    EXPECT_EQ(dict.Encode(HotTerm(i)), seen[i].load()) << i;
+  }
+}
+
+}  // namespace
+}  // namespace slider

@@ -125,6 +125,80 @@ TEST(EndpointConcurrencyTest, SelectsRunAgainstConcurrentUpdateSessions) {
   EXPECT_EQ((*recovered)->store().SnapshotSet(), before);
 }
 
+TEST(EndpointConcurrencyTest, PlanCacheServesRacingSelectsAndReplans) {
+  // Readers hammer a small query set so most requests hit the plan LRU and
+  // share one immutable PlanEntry; a lone updater keeps bumping the plan
+  // generation so hits race replans racing misses. Row counts are checked
+  // live against closed bounds — a stale plan may be mid-flight, but reuse
+  // must never corrupt a result.
+  Repository::Options options;
+  options.inference = Repository::InferenceMode::kIncremental;
+  auto opened = Repository::Open(RhoDfFactory(), options);
+  ASSERT_TRUE(opened.ok());
+  SparqlEndpoint endpoint(opened->get(), /*plan_cache_capacity=*/8);
+
+  ASSERT_TRUE(endpoint
+                  .Update(
+                      "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n"
+                      "PREFIX ex: <http://ex/>\n"
+                      "INSERT DATA { ex:Worker rdfs:subClassOf ex:Agent }")
+                  .ok());
+
+  constexpr int kReaders = 4;
+  constexpr int kInserts = 120;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> select_errors{0};
+  std::atomic<uint64_t> bound_violations{0};
+
+  std::vector<std::thread> threads;
+  threads.emplace_back([&endpoint] {
+    const std::string prefix = "PREFIX ex: <http://ex/>\n";
+    for (int i = 0; i < kInserts; ++i) {
+      ASSERT_TRUE(endpoint
+                      .Update(prefix + "INSERT DATA { ex:w" +
+                              std::to_string(i) + " a ex:Worker }")
+                      .ok());
+    }
+  });
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&endpoint, &stop, &select_errors,
+                          &bound_violations] {
+      const char* queries[] = {
+          "PREFIX ex: <http://ex/>\nSELECT ?x WHERE { ?x a ex:Worker }",
+          "PREFIX ex: <http://ex/>\n"
+          "SELECT DISTINCT ?x WHERE { ?x a ex:Worker . ?x a ex:Agent }",
+          "PREFIX ex: <http://ex/>\nSELECT ?x WHERE { ?x a ex:Agent }",
+      };
+      size_t i = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        auto rows = endpoint.Select(queries[i++ % 3]);
+        if (!rows.ok()) {
+          select_errors.fetch_add(1);
+        } else if (rows->rows.size() > static_cast<size_t>(kInserts)) {
+          bound_violations.fetch_add(1);
+        }
+      }
+    });
+  }
+  threads[0].join();
+  stop.store(true, std::memory_order_release);
+  for (size_t t = 1; t < threads.size(); ++t) threads[t].join();
+
+  EXPECT_EQ(select_errors.load(), 0u);
+  EXPECT_EQ(bound_violations.load(), 0u);
+
+  const auto stats = endpoint.stats();
+  EXPECT_GT(stats.plan_hits + stats.plan_replans, 0u);
+  EXPECT_GE(stats.plan_misses, 3u);  // three distinct query texts
+  EXPECT_LE(endpoint.plan_cache_size(), 8u);
+
+  // Quiesced: the cached plans answer exactly like a fresh endpoint.
+  auto cached = endpoint.Select(
+      "PREFIX ex: <http://ex/>\nSELECT ?x WHERE { ?x a ex:Worker }");
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(cached->rows.size(), static_cast<size_t>(kInserts));
+}
+
 TEST(EndpointConcurrencyTest, ConcurrentUpdateSessionsSerializeCleanly) {
   Repository::Options options;
   options.inference = Repository::InferenceMode::kIncremental;

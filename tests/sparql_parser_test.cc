@@ -7,7 +7,9 @@
 //  4. a variable projected but never used in WHERE is rejected instead of
 //     leaking the unbound sentinel into result rows,
 //  5. EstimateCount for predicate-unbound patterns uses the bound term's
-//     row sizes instead of the whole store.
+//     row sizes instead of the whole store,
+//  6. keyword routing (IsUpdate) sees through leading whitespace, comment
+//     lines, mixed case and a UTF-8 byte-order mark.
 
 #include <gtest/gtest.h>
 
@@ -198,6 +200,38 @@ TEST(EstimateCountTest, BoundEndpointsBeatTheWholeStoreEstimate) {
 
   // Fully unbound stays the store size.
   EXPECT_EQ(provider.EstimateCount({kAnyTerm, kAnyTerm, kAnyTerm}), total);
+}
+
+// ---------------------------------------------------------------------------
+// 6. Keyword routing through leading trivia
+// ---------------------------------------------------------------------------
+
+TEST(SparqlRoutingTest, RoutesThroughWhitespaceCommentsAndCase) {
+  EXPECT_TRUE(SparqlParser::IsUpdate("  \t\n INSERT DATA { <a> <b> <c> }"));
+  EXPECT_TRUE(SparqlParser::IsUpdate(
+      "# queue drain\n# second comment line\nDELETE DATA { <a> <b> <c> }"));
+  EXPECT_TRUE(SparqlParser::IsUpdate("\n  iNsErT DATA { <a> <b> <c> }"));
+  EXPECT_FALSE(SparqlParser::IsUpdate("  # nothing but a comment\n  SELECT ?x "
+                                      "WHERE { ?x ?p ?o }"));
+  // A comment mentioning INSERT must not trigger update routing.
+  EXPECT_FALSE(SparqlParser::IsUpdate(
+      "# INSERT is discussed here\nSELECT ?x WHERE { ?x ?p ?o }"));
+}
+
+TEST(SparqlRoutingTest, LeadingUtf8BomIsTolerated) {
+  const std::string bom = "\xEF\xBB\xBF";
+  EXPECT_TRUE(SparqlParser::IsUpdate(bom + "INSERT DATA { <a> <b> <c> }"));
+  EXPECT_FALSE(SparqlParser::IsUpdate(bom + "SELECT ?x WHERE { ?x ?p ?o }"));
+
+  // The BOM-prefixed SELECT must also *parse*, not just route.
+  Dictionary dict;
+  auto q = SparqlParser::Parse(bom + "SELECT ?x WHERE { ?x ?p ?o }", dict);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+
+  // A BOM anywhere else stays an error.
+  auto bad = SparqlParser::Parse("SELECT ?x " + bom + "WHERE { ?x ?p ?o }",
+                                 dict);
+  EXPECT_FALSE(bad.ok());
 }
 
 }  // namespace
