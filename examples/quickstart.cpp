@@ -13,13 +13,18 @@
 //      surviving explicit statements is gated out of the over-delete cone
 //      entirely (ReasonerOptions::enable_counting, on by default); DRed
 //      remains the fallback whenever the count runs out or saturates.
+//   6. choose *when* inference happens: the Repository serves the same
+//      answers eagerly materialised (kIncremental), entirely at query time
+//      (kOnDemand) or with only the schema closure eager (kHybrid).
 //
 // Run: ./examples/quickstart
 
 #include <cstdio>
 #include <string>
 
+#include "query/endpoint.h"
 #include "reason/reasoner.h"
+#include "reason/repository.h"
 
 namespace {
 
@@ -121,5 +126,39 @@ int main() {
               reasoner.store().Contains({*grace, *type, *faculty}) ? "yes"
                                                                    : "no");
   std::printf("total triples in store: %zu\n", reasoner.store().size());
+
+  // --- Three inference modes, one answer set -------------------------------
+  // The Repository decides *when* rules run, not *whether* their
+  // consequences are visible:
+  //   kIncremental — the closure is materialised and maintained eagerly;
+  //                  SELECTs are direct index lookups.
+  //   kOnDemand    — the store keeps only explicit statements; SELECTs
+  //                  route through the cost-based HybridProvider, which
+  //                  backward-chains incomplete patterns and memoizes the
+  //                  answers in a tabling cache.
+  //   kHybrid      — the schema closure (subClassOf/subPropertyOf/domain/
+  //                  range) is kept materialised, instance patterns stay on
+  //                  demand — the middle of the trade-off.
+  // The on-demand modes require the ρdf fragment (the one the backward
+  // chainer covers exactly), so this section uses RhoDfFactory.
+  std::printf("\nthree inference modes, same question (ada a Faculty?):\n");
+  for (const auto& [label, mode] :
+       {std::pair{"incremental", Repository::InferenceMode::kIncremental},
+        std::pair{"on-demand", Repository::InferenceMode::kOnDemand},
+        std::pair{"hybrid", Repository::InferenceMode::kHybrid}}) {
+    Repository::Options options;
+    options.inference = mode;
+    auto repo = Repository::Open(RhoDfFactory(), options);
+    repo.status().AbortIfNotOk();
+    (*repo)->Load(kOntology).status().AbortIfNotOk();
+    SparqlEndpoint endpoint(repo->get());
+    auto rows = endpoint.Select(
+        "SELECT ?x WHERE { ?x a <http://uni/Faculty> }");
+    rows.status().AbortIfNotOk();
+    std::printf("  %-11s: %zu Faculty member(s), %zu stored triples "
+                "(%zu materialised)\n",
+                label, rows->rows.size(), (*repo)->store().size(),
+                (*repo)->inferred_count());
+  }
   return 0;
 }

@@ -265,10 +265,68 @@ void BackwardChainer::Match(
 }
 
 size_t BackwardChainer::EstimateCount(const TriplePattern& pattern) const {
-  // Backward expansion fans out; scale the explicit-store estimate.
-  ForwardProvider forward(store_);
-  const size_t base = forward.EstimateCount(pattern);
-  return base * 4 + 16;
+  // The chainer's own expansion-aware estimate. Delegating to materialized
+  // -store counts (the old throwaway-ForwardProvider shortcut) was doubly
+  // wrong: it priced the *stored* rows, not the rows the expansion visits
+  // and emits — which over a raw store don't exist yet — and it built a
+  // provider per call. Each branch below mirrors the MatchPinned dispatch
+  // and prices its rule walk from the explicit partitions it reads.
+  const StoreView store = store_->GetView();
+  if (pattern.p == v_.sub_class_of || pattern.p == v_.sub_property_of) {
+    // Transitive reachability (SCM-SCO/SCM-SPO). Both endpoints bound is a
+    // path test (≤ 1 answer); one bound endpoint yields at most the
+    // hierarchy's node count (≤ edges + 1); fully unbound, the closure of
+    // the typical shallow hierarchy lands between |E| and the |V|² worst
+    // case — price it at 2|E|.
+    const size_t edges = store.CountWithPredicate(pattern.p);
+    if (pattern.s != kAnyTerm && pattern.o != kAnyTerm) return 1;
+    if (pattern.s != kAnyTerm || pattern.o != kAnyTerm) return edges + 1;
+    return edges * 2 + 1;
+  }
+  if (pattern.p == v_.domain || pattern.p == v_.range) {
+    // Explicit axioms plus SCM-DOM2/SCM-RNG2 inheritance along
+    // super-property chains: each sp edge can copy an axiom down.
+    const size_t axioms = store.CountWithPredicate(pattern.p);
+    const size_t sp_edges = store.CountWithPredicate(v_.sub_property_of);
+    const size_t total = axioms + std::min(axioms, sp_edges) + 1;
+    return pattern.s != kAnyTerm ? total / 4 + 1 : total;
+  }
+  if (pattern.p == v_.type) {
+    // Explicit typing inherited up subclass chains (CAX-SCO) plus
+    // domain/range evidence: every triple of a property carrying a
+    // (possibly inherited) domain/range axiom types its subject/object.
+    size_t total = store.CountWithPredicate(v_.type) +
+                   store.CountWithPredicate(v_.sub_class_of);
+    store.ForEachWithPredicate(v_.domain, [&](TermId prop, TermId) {
+      total += store.CountWithPredicate(prop);
+    });
+    store.ForEachWithPredicate(v_.range, [&](TermId prop, TermId) {
+      total += store.CountWithPredicate(prop);
+    });
+    if (pattern.s != kAnyTerm) return total / 16 + 1;  // one subject's types
+    if (pattern.o != kAnyTerm) return total / 4 + 1;   // one class's members
+    return total;
+  }
+  if (pattern.p != kAnyTerm) {
+    // Plain instance pattern: the union of p's partition and every
+    // sub-property partition (PRP-SPO1), priced from the actual sp-down
+    // closure — the fan-out the old shortcut ignored entirely.
+    size_t total = 0;
+    for (const TermId sub : SubPropertiesOf(store, pattern.p)) {
+      if (pattern.s != kAnyTerm && pattern.o != kAnyTerm) {
+        total += store.Contains(Triple(pattern.s, sub, pattern.o)) ? 1 : 0;
+      } else if (pattern.s != kAnyTerm) {
+        total += store.CountObjects(sub, pattern.s);
+      } else if (pattern.o != kAnyTerm) {
+        total += store.CountSubjects(sub, pattern.o);
+      } else {
+        total += store.CountWithPredicate(sub);
+      }
+    }
+    return total;
+  }
+  // Predicate unbound: everything above, over every predicate.
+  return store.size() * 2 + 16;
 }
 
 }  // namespace slider

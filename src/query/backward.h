@@ -35,6 +35,12 @@ namespace slider {
 /// *every* pattern — is the "more complex query evaluation that adversely
 /// affects performance and scalability" the paper quotes;
 /// bench_query_modes measures it against the ForwardProvider.
+///
+/// Besides serving as the standalone worst case, the chainer is the
+/// backward half of the hybrid answering stack (query/hybrid.h): the
+/// HybridProvider routes incomplete patterns here and memoizes the
+/// answers in a TablingCache, and the Repository's kHybrid mode uses the
+/// chainer as the oracle that materialises its eager schema closure.
 class BackwardChainer : public MatchProvider {
  public:
   /// `store` holds only explicit triples; `v` is the store dictionary's

@@ -4,8 +4,13 @@ namespace slider {
 
 SparqlEndpoint::SparqlEndpoint(Repository* repo, size_t plan_cache_capacity)
     : repo_(repo),
-      serialize_selects_(repo->options().inference !=
-                         Repository::InferenceMode::kIncremental),
+      // Only the batch modes replace the store wholesale on update;
+      // kIncremental, kOnDemand and kHybrid all mutate in place, so their
+      // SELECTs stay lock-free against pinned views.
+      serialize_selects_(
+          repo->options().inference ==
+              Repository::InferenceMode::kStatementAtATime ||
+          repo->options().inference == Repository::InferenceMode::kSemiNaive),
       plan_cache_capacity_(plan_cache_capacity) {}
 
 SparqlEndpoint::PlanPtr SparqlEndpoint::PlanLookup(
@@ -42,6 +47,14 @@ size_t SparqlEndpoint::plan_cache_size() const {
   return plan_lru_.size();
 }
 
+std::vector<HybridProvider::Route> SparqlEndpoint::CachedRoutes(
+    std::string_view text) const {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  const auto it = plan_index_.find(std::string(text));
+  if (it == plan_index_.end()) return {};
+  return it->second->second->routes;
+}
+
 Result<SparqlEndpoint::Response> SparqlEndpoint::Execute(
     std::string_view text) {
   Response response;
@@ -60,7 +73,11 @@ Result<QueryResult> SparqlEndpoint::Select(std::string_view text) const {
   // reads through pinned views.
   std::unique_lock<std::mutex> lock(update_mu_, std::defer_lock);
   if (serialize_selects_) lock.lock();
-  ForwardProvider provider(&repo_->store());
+  // The repository picks the provider for its mode: direct store lookup
+  // when materialized, cost-routed hybrid answering under
+  // kOnDemand/kHybrid. Re-read per request — a batch-mode update may have
+  // replaced it along with the store (we hold the update mutex then).
+  const MatchProvider& provider = *repo_->provider();
 
   if (plan_cache_capacity_ == 0) {
     // Cache disabled: parse per request and join with dynamic per-level
@@ -94,6 +111,11 @@ Result<QueryResult> SparqlEndpoint::Select(std::string_view text) const {
       replanned->query = cached->query;
       replanned->order =
           QueryEvaluator::PlanJoinOrder(replanned->query, provider);
+      if (const HybridProvider* hybrid = repo_->hybrid_provider()) {
+        // Re-route too: the update that staled the plan may have shifted
+        // the cost balance (or the schema) under the routing decisions.
+        replanned->routes = hybrid->PlanRoutes(replanned->query);
+      }
       replanned->generation = generation;
       cached = std::move(replanned);
       PlanStore(key, cached);
@@ -111,6 +133,13 @@ Result<QueryResult> SparqlEndpoint::Select(std::string_view text) const {
     auto fresh = std::make_shared<PlanEntry>();
     fresh->query = std::move(*query);
     fresh->order = QueryEvaluator::PlanJoinOrder(fresh->query, provider);
+    if (const HybridProvider* hybrid = repo_->hybrid_provider()) {
+      // Record the routing decisions alongside the join order: planning
+      // primes the provider's route memo, so the evaluation below (and
+      // every cached re-use until the next schema delta) takes exactly
+      // these routes.
+      fresh->routes = hybrid->PlanRoutes(fresh->query);
+    }
     fresh->generation = generation;
     cached = std::move(fresh);
     PlanStore(key, cached);

@@ -14,6 +14,7 @@
 
 #include "common/result.h"
 #include "query/evaluator.h"
+#include "query/hybrid.h"
 #include "query/sparql.h"
 #include "query/update.h"
 #include "reason/repository.h"
@@ -38,8 +39,13 @@ namespace slider {
 /// The exception: when the repository runs a *batch* inference mode, an
 /// update may swap the whole store out from under a reader (the
 /// recompute-from-scratch path), so Select() falls back to taking the
-/// update mutex too. Under InferenceMode::kIncremental — the mode this
-/// layer is designed for — the store is stable and SELECTs never block.
+/// update mutex too. Under InferenceMode::kIncremental, kOnDemand and
+/// kHybrid — the modes this layer is designed for — the store is mutated
+/// in place and SELECTs never block. SELECTs evaluate over the provider
+/// the repository picks for its mode (Repository::provider()): direct
+/// store lookup when materialized, the cost-routed HybridProvider with its
+/// tabling cache under the on-demand modes; cached plans then additionally
+/// record the per-pattern routing decisions (PlanEntry::routes).
 ///
 /// Prepared-query plan cache. Endpoint traffic repeats query shapes (the
 /// same dashboards, the same application templates), and parsing + greedy
@@ -102,13 +108,23 @@ class SparqlEndpoint {
   /// Number of plans currently cached (introspection/tests).
   size_t plan_cache_size() const;
 
+  /// The per-pattern routing decisions recorded in `text`'s cached plan
+  /// (one entry per WHERE pattern, in pattern order), or empty when the
+  /// query is not cached or the repository's mode routes everything
+  /// forward. Introspection/tests; does not refresh LRU recency.
+  std::vector<HybridProvider::Route> CachedRoutes(
+      std::string_view text) const;
+
  private:
-  /// One immutable cached plan: the parsed query, its static join order and
-  /// the store generation the order was planned against. Shared read-only
-  /// by concurrent SELECTs; superseded entries are replaced wholesale.
+  /// One immutable cached plan: the parsed query, its static join order,
+  /// the per-pattern routing decisions (kOnDemand/kHybrid — empty under the
+  /// materialized modes) and the store generation the plan was made
+  /// against. Shared read-only by concurrent SELECTs; superseded entries
+  /// are replaced wholesale.
   struct PlanEntry {
     Query query;
     std::vector<int> order;
+    std::vector<HybridProvider::Route> routes;
     uint64_t generation = 0;
   };
   using PlanPtr = std::shared_ptr<const PlanEntry>;

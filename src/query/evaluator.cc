@@ -32,10 +32,15 @@ size_t ForwardProvider::EstimateCount(const TriplePattern& pattern) const {
   if (pattern.s == kAnyTerm && pattern.o == kAnyTerm) {
     return view.CountWithPredicate(pattern.p);
   }
-  // Bound subject or object inside a predicate partition: assume high
-  // selectivity; exact counting would cost a lookup per estimate.
-  const size_t partition = view.CountWithPredicate(pattern.p);
-  return partition / 8 + 1;
+  // Bound endpoint(s) inside a predicate partition: the row's published
+  // length is the exact match count (modulo tombstones) at the price of a
+  // hash probe — the old partition/8 guess systematically misordered joins
+  // around hub rows. A fully bound pattern is a membership test.
+  if (pattern.s != kAnyTerm && pattern.o != kAnyTerm) {
+    return view.Contains(Triple(pattern.s, pattern.p, pattern.o)) ? 1 : 0;
+  }
+  return pattern.s != kAnyTerm ? view.CountObjects(pattern.p, pattern.s)
+                               : view.CountSubjects(pattern.p, pattern.o);
 }
 
 std::string QueryResult::ToTsv(const Dictionary& dict) const {

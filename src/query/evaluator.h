@@ -14,12 +14,15 @@ namespace slider {
 
 /// \brief Source of pattern matches for the query evaluator.
 ///
-/// The two implementations embody the trade-off the paper's introduction
+/// The implementations embody the trade-off the paper's introduction
 /// discusses: ForwardProvider answers from a fully *materialised* store
 /// (forward chaining: "very efficient responses at query time"), while
 /// BackwardChainer (query/backward.h) expands the ρdf rules at query time
 /// over the raw store ("more complex query evaluation that adversely
-/// affects performance").
+/// affects performance"). HybridProvider (query/hybrid.h) sits between
+/// them: per pattern it routes to whichever side is complete and cheaper,
+/// memoizing backward answers in a delta-invalidated tabling cache — the
+/// provider the Repository serves under its kOnDemand/kHybrid modes.
 class MatchProvider {
  public:
   virtual ~MatchProvider() = default;

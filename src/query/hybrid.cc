@@ -1,0 +1,185 @@
+#include "query/hybrid.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace slider {
+
+bool BackwardCoverable(const Fragment& fragment) {
+  static constexpr const char* kRhoDfRules[] = {
+      "CAX-SCO", "SCM-SCO", "SCM-SPO", "PRP-SPO1",
+      "PRP-DOM", "PRP-RNG", "SCM-DOM2", "SCM-RNG2"};
+  constexpr size_t kRuleCount = sizeof(kRhoDfRules) / sizeof(kRhoDfRules[0]);
+  if (fragment.size() != kRuleCount) return false;
+  for (const char* name : kRhoDfRules) {
+    if (fragment.IndexOf(name) < 0) return false;
+  }
+  return true;
+}
+
+HybridProvider::HybridProvider(const TripleStore* store, const Vocabulary& v,
+                               bool chainer_covers_fragment, Options options)
+    : store_(store),
+      v_(v),
+      covers_(chainer_covers_fragment),
+      options_(options),
+      chainer_(store, v),
+      tables_(options.table_capacity, options.table_max_rows) {}
+
+HybridProvider::HybridProvider(const TripleStore* store, const Vocabulary& v,
+                               bool chainer_covers_fragment)
+    : HybridProvider(store, v, chainer_covers_fragment, Options()) {}
+
+bool HybridProvider::IsSchemaPredicate(TermId p) const {
+  return p == v_.sub_class_of || p == v_.sub_property_of || p == v_.domain ||
+         p == v_.range;
+}
+
+bool HybridProvider::ForwardComplete(TermId p) const {
+  if (options_.fully_materialized) return true;
+  if (p == kAnyTerm) return false;  // every rule head can contribute
+  if (IsSchemaPredicate(p)) return options_.schema_materialized;
+  if (p == v_.type) return false;  // CAX-SCO/PRP-DOM/PRP-RNG contribute
+  // Plain instance predicate: the store's partition is the complete answer
+  // set iff PRP-SPO1 has nothing to funnel into it — no subPropertyOf edge
+  // points at p. Only schema deltas can change this, and those clear the
+  // route memo.
+  const StoreView view = store_->GetView();
+  if (view.CountWithPredicate(v_.sub_property_of) == 0) return true;
+  bool has_sub_property = false;
+  view.ForEachSubject(v_.sub_property_of, p,
+                      [&](TermId sub) { has_sub_property |= sub != p; });
+  return !has_sub_property;
+}
+
+HybridProvider::Route HybridProvider::DecideRoute(TermId p) const {
+  if (!covers_) return Route::kForward;  // capability: chainer incomplete
+  if (!ForwardComplete(p)) return Route::kBackward;
+  // Both routes are complete: estimated materialized rows touched vs the
+  // chainer's estimated expansion fan-out, over the whole partition (the
+  // routing unit is the predicate; endpoint-bound refinements shrink both
+  // sides proportionally).
+  const TriplePattern whole{kAnyTerm, p, kAnyTerm};
+  const StoreView view = store_->GetView();
+  const size_t forward_cost =
+      p == kAnyTerm ? view.size() : view.CountWithPredicate(p);
+  const size_t backward_cost = chainer_.EstimateCount(whole);
+  return forward_cost <= backward_cost ? Route::kForward : Route::kBackward;
+}
+
+HybridProvider::Route HybridProvider::RouteFor(
+    const TriplePattern& pattern) const {
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    const auto it = route_memo_.find(pattern.p);
+    if (it != route_memo_.end()) return it->second;
+  }
+  const Route route = DecideRoute(pattern.p);
+  std::lock_guard<std::mutex> lock(route_mu_);
+  route_memo_.emplace(pattern.p, route);
+  return route;
+}
+
+std::vector<HybridProvider::Route> HybridProvider::PlanRoutes(
+    const Query& query) const {
+  std::vector<Route> routes;
+  routes.reserve(query.where.size());
+  for (const QueryPattern& pattern : query.where) {
+    const TriplePattern constants{
+        pattern.s.IsVariable() ? kAnyTerm : pattern.s.term,
+        pattern.p.IsVariable() ? kAnyTerm : pattern.p.term,
+        pattern.o.IsVariable() ? kAnyTerm : pattern.o.term};
+    routes.push_back(RouteFor(constants));
+  }
+  return routes;
+}
+
+void HybridProvider::Match(
+    const TriplePattern& pattern,
+    const std::function<void(const Triple&)>& sink) const {
+  if (RouteFor(pattern) == Route::kForward) {
+    forward_routes_.fetch_add(1, std::memory_order_relaxed);
+    store_->GetView().ForEachMatch(pattern, sink);
+    return;
+  }
+  backward_routes_.fetch_add(1, std::memory_order_relaxed);
+  MatchBackward(pattern, sink);
+}
+
+void HybridProvider::MatchBackward(
+    const TriplePattern& pattern,
+    const std::function<void(const Triple&)>& sink) const {
+  if (const TablingCache::AnswerPtr table = tables_.Lookup(pattern)) {
+    for (const Triple& t : *table) sink(t);
+    return;
+  }
+  // Read the generation *before* expanding: if a delta invalidates while we
+  // chain, Store refuses the then-stale table.
+  const uint64_t fill_generation = tables_.generation();
+  TripleVec answers;
+  chainer_.Match(pattern, [&](const Triple& t) { answers.push_back(t); });
+  for (const Triple& t : answers) sink(t);
+  tables_.Store(pattern, std::move(answers), fill_generation);
+}
+
+size_t HybridProvider::EstimateCount(const TriplePattern& pattern) const {
+  if (RouteFor(pattern) == Route::kForward) {
+    return ForwardProvider(store_).EstimateCount(pattern);
+  }
+  if (const TablingCache::AnswerPtr table = tables_.Lookup(pattern)) {
+    return table->size();  // tabled answers make the estimate exact
+  }
+  return chainer_.EstimateCount(pattern);
+}
+
+std::vector<TermId> HybridProvider::SuperPropertiesOf(TermId p) const {
+  const StoreView view = store_->GetView();
+  std::vector<TermId> closure{p};
+  std::unordered_set<TermId> seen{p};
+  for (size_t i = 0; i < closure.size(); ++i) {
+    view.ForEachObject(v_.sub_property_of, closure[i], [&](TermId super) {
+      if (seen.insert(super).second) closure.push_back(super);
+    });
+  }
+  return closure;
+}
+
+void HybridProvider::OnDelta(const TripleVec& delta) {
+  if (delta.empty()) return;
+  std::unordered_set<TermId> instance_predicates;
+  bool schema = false;
+  for (const Triple& t : delta) {
+    if (IsSchemaPredicate(t.p)) {
+      schema = true;
+      break;
+    }
+    instance_predicates.insert(t.p);
+  }
+  if (schema) {
+    // Schema edges parameterize every expansion *and* every routing
+    // decision: flush the tables and forget the memoized routes.
+    tables_.InvalidateAll();
+    std::lock_guard<std::mutex> lock(route_mu_);
+    route_memo_.clear();
+    return;
+  }
+  // Instance-only delta: drop the tables whose expansion could have
+  // consumed the touched predicates — each predicate's sp up-closure (the
+  // PRP-SPO1 consumers), plus rdf:type and predicate-unbound tables
+  // (handled inside InvalidateInstance). Routing is unaffected.
+  std::unordered_set<TermId> affected;
+  for (const TermId q : instance_predicates) {
+    for (const TermId super : SuperPropertiesOf(q)) affected.insert(super);
+  }
+  tables_.InvalidateInstance(
+      std::vector<TermId>(affected.begin(), affected.end()), v_.type);
+}
+
+HybridProvider::RouteStats HybridProvider::route_stats() const {
+  RouteStats out;
+  out.forward = forward_routes_.load(std::memory_order_relaxed);
+  out.backward = backward_routes_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace slider

@@ -1,0 +1,154 @@
+#ifndef SLIDER_QUERY_HYBRID_H_
+#define SLIDER_QUERY_HYBRID_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "query/backward.h"
+#include "query/evaluator.h"
+#include "query/tabling.h"
+#include "rdf/vocabulary.h"
+#include "reason/fragment.h"
+#include "store/triple_store.h"
+
+namespace slider {
+
+/// True iff `fragment` is a ruleset the BackwardChainer answers soundly and
+/// completely: exactly the eight ρdf rules (by rule name, order-free). A
+/// *subset* is rejected too — the chainer always expands all eight, so over
+/// a fragment that, say, dropped PRP-DOM it would *over*-answer, and a
+/// superset (RDFS axioms, OWL) would make it under-answer.
+bool BackwardCoverable(const Fragment& fragment);
+
+/// \brief Cost-routed hybrid match provider — the query-layer tentpole of
+/// the materialize/on-demand answering stack.
+///
+/// Per triple pattern the provider chooses between two complete routes:
+///
+///   forward  — read the store's indexes directly (ForwardProvider path;
+///              correct when the store already holds every answer);
+///   backward — expand the ρdf rules at query time (BackwardChainer path;
+///              correct over a raw explicit-only store), memoized through a
+///              TablingCache so repeated patterns cost a table scan.
+///
+/// Routing runs three checks, in order (vlog's chooseMostEfficientAlgo
+/// shape: capability, then completeness, then cost):
+///
+///  1. *Capability.* If the repository's fragment is not exactly ρdf
+///     (BackwardCoverable == false), the chainer is not a complete
+///     evaluator and every pattern routes forward — callers must then be
+///     running a materialized store.
+///  2. *Completeness.* The forward route is only eligible when the store
+///     provably holds every answer for the pattern: always under
+///     Options::fully_materialized; for schema patterns (subClassOf,
+///     subPropertyOf, domain, range) under Options::schema_materialized
+///     (the kHybrid mode's eager schema closure); for a bound instance
+///     predicate with no sub-properties (PRP-SPO1 has nothing to add, and
+///     only schema deltas — which clear the route memo — can change that).
+///     Otherwise the pattern routes backward.
+///  3. *Cost.* When both routes are complete, compare estimated
+///     materialized rows touched against the chainer's estimated expansion
+///     fan-out and take the cheaper.
+///
+/// Decisions are memoized per predicate (the inputs above depend only on
+/// the predicate and store-wide stats); the memo is cleared by schema
+/// deltas through OnDelta — the same delta stream that invalidates the
+/// answer tables. PlanRoutes exposes the per-pattern decisions so the
+/// endpoint's plan cache can record them alongside the join order.
+///
+/// Thread-safety: Match/EstimateCount are safe to call concurrently with
+/// each other; OnDelta must be externally ordered against updates the same
+/// way the repository orders its engine deltas (its update mutex).
+class HybridProvider : public MatchProvider {
+ public:
+  enum class Route : uint8_t {
+    kForward = 0,  ///< materialized store lookup
+    kBackward = 1, ///< backward chaining (tabled)
+  };
+
+  struct Options {
+    /// Store holds the full closure (kHybrid over a schema-only workload
+    /// does not; kIncremental/batch modes would). Forces every route
+    /// forward-eligible.
+    bool fully_materialized = false;
+    /// Store holds the schema closure (kHybrid): schema patterns are
+    /// forward-complete even though instance patterns are not.
+    bool schema_materialized = false;
+    /// TablingCache bounds (see tabling.h); table_capacity 0 disables.
+    size_t table_capacity = 256;
+    size_t table_max_rows = 4096;
+  };
+
+  struct RouteStats {
+    uint64_t forward = 0;   ///< Match calls routed to the store
+    uint64_t backward = 0;  ///< Match calls routed to the chainer
+  };
+
+  /// `store` and `v` as for BackwardChainer; `chainer_covers_fragment` is
+  /// BackwardCoverable(repository fragment) — false pins every pattern to
+  /// the forward route.
+  HybridProvider(const TripleStore* store, const Vocabulary& v,
+                 bool chainer_covers_fragment, Options options);
+  HybridProvider(const TripleStore* store, const Vocabulary& v,
+                 bool chainer_covers_fragment);
+
+  void Match(const TriplePattern& pattern,
+             const std::function<void(const Triple&)>& sink) const override;
+
+  size_t EstimateCount(const TriplePattern& pattern) const override;
+
+  /// The route Match would take for `pattern` (memoizing it).
+  Route RouteFor(const TriplePattern& pattern) const;
+
+  /// Routes for each WHERE pattern of `query` under its constants-only
+  /// instantiation — what the endpoint's plan cache records. Also primes
+  /// the route memo so the subsequent evaluation decides identically.
+  std::vector<Route> PlanRoutes(const Query& query) const;
+
+  /// Delta hook: the repository calls this after every add/retract batch
+  /// (both directions drop affected tables — a stale answer set can grow
+  /// *or* shrink). Schema deltas flush all tables and the route memo;
+  /// instance deltas drop only the tables whose expansion could consume
+  /// the touched predicates (their subPropertyOf up-closures, rdf:type,
+  /// and predicate-unbound tables).
+  void OnDelta(const TripleVec& delta);
+
+  const TablingCache& tables() const { return tables_; }
+  RouteStats route_stats() const;
+
+ private:
+  bool IsSchemaPredicate(TermId p) const;
+
+  /// Forward-route completeness for a pattern with predicate `p`
+  /// (see the class comment, check 2). `p` may be kAnyTerm.
+  bool ForwardComplete(TermId p) const;
+
+  /// Uncached routing decision for predicate `p`.
+  Route DecideRoute(TermId p) const;
+
+  /// Backward expansion answers for `pattern`, through the answer tables.
+  void MatchBackward(const TriplePattern& pattern,
+                     const std::function<void(const Triple&)>& sink) const;
+
+  /// subPropertyOf up-closure of `p` (p included), over explicit edges.
+  std::vector<TermId> SuperPropertiesOf(TermId p) const;
+
+  const TripleStore* store_;
+  Vocabulary v_;
+  bool covers_;
+  Options options_;
+  BackwardChainer chainer_;
+  TablingCache tables_;
+
+  mutable std::mutex route_mu_;
+  mutable std::unordered_map<TermId, Route> route_memo_;
+  mutable std::atomic<uint64_t> forward_routes_{0};
+  mutable std::atomic<uint64_t> backward_routes_{0};
+};
+
+}  // namespace slider
+
+#endif  // SLIDER_QUERY_HYBRID_H_

@@ -233,15 +233,19 @@ class Parser {
       if (ConsumeChar('}')) break;
       missed_in_triple_ = false;
       Triple t;
+      // Blank nodes are ground data here, legal in subject/object position
+      // (never as predicate). Labels are dictionary-global — see ParseTerm.
       SLIDER_ASSIGN_OR_RETURN(
           QueryTerm s, ParseTerm(/*allow_literal=*/false,
-                                 /*allow_variable=*/false));
+                                 /*allow_variable=*/false,
+                                 /*allow_blank=*/true));
       SLIDER_ASSIGN_OR_RETURN(
           QueryTerm p, ParseTerm(/*allow_literal=*/false,
                                  /*allow_variable=*/false));
       SLIDER_ASSIGN_OR_RETURN(
           QueryTerm o, ParseTerm(/*allow_literal=*/true,
-                                 /*allow_variable=*/false));
+                                 /*allow_variable=*/false,
+                                 /*allow_blank=*/true));
       t.s = s.term;
       t.p = p.term;
       t.o = o.term;
@@ -314,12 +318,35 @@ class Parser {
     return Status::OK();
   }
 
-  Result<QueryTerm> ParseTerm(bool allow_literal, bool allow_variable = true) {
+  Result<QueryTerm> ParseTerm(bool allow_literal, bool allow_variable = true,
+                              bool allow_blank = false) {
     SkipWhitespace();
     if (AtEnd()) {
       return Status::InvalidArgument("unexpected end of query in pattern");
     }
     const char c = text_[pos_];
+    if (c == '_' && pos_ + 1 < text_.size() && text_[pos_ + 1] == ':') {
+      // Blank node "_:label", INSERT DATA / DELETE DATA blocks only. The
+      // lexical form interned is the whole "_:label" token — the same form
+      // the N-Triples loader encodes — so labels are *dictionary-global*
+      // identities: an INSERT DATA reusing a loaded document's label talks
+      // about the same node, and a DELETE DATA naming one removes exactly
+      // the statement the label was loaded with. (SPARQL's per-request
+      // fresh-node scoping is intentionally not implemented; label reuse
+      // is what makes blank-node data updatable at all here.)
+      if (!allow_blank) {
+        return Status::InvalidArgument(
+            "blank node only allowed in data blocks");
+      }
+      size_t i = pos_ + 2;
+      while (i < text_.size() && IsBlankLabelChar(text_[i])) ++i;
+      if (i == pos_ + 2) {
+        return Status::InvalidArgument("empty blank node label");
+      }
+      const std::string_view label = text_.substr(pos_, i - pos_);
+      pos_ = i;
+      return QueryTerm::Bound(Intern(label));
+    }
     if (c == '?') {
       if (!allow_variable) {
         return Status::InvalidArgument("variable not allowed in ground data");
@@ -401,6 +428,13 @@ class Parser {
     }
     return Status::InvalidArgument(
         Format("cannot parse pattern term at offset %zu", pos_));
+  }
+
+  /// True iff `c` can continue a blank node label. Deliberately narrower
+  /// than N-Triples' interior-dot labels: in a data block '.' separates
+  /// triples, so "_:b." must end the label at "b".
+  static bool IsBlankLabelChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
   }
 
   /// True iff `c` can continue a name or prefixed name (`:` included, so a

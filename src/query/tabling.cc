@@ -1,0 +1,102 @@
+#include "query/tabling.h"
+
+#include <algorithm>
+
+namespace slider {
+
+TablingCache::AnswerPtr TablingCache::Lookup(
+    const TriplePattern& pattern) const {
+  if (capacity_ == 0) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(pattern);
+  if (it == index_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->second;
+}
+
+void TablingCache::Store(const TriplePattern& pattern, TripleVec answers,
+                         uint64_t fill_generation) const {
+  if (capacity_ == 0) return;
+  if (answers.size() > max_rows_) {
+    oversize_skips_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  auto table = std::make_shared<const TripleVec>(std::move(answers));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (generation_.load(std::memory_order_relaxed) != fill_generation) {
+    // An invalidation intervened between the filler reading generation()
+    // and arriving here: its answer set may predate the delta. Refuse it.
+    stale_fills_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const auto it = index_.find(pattern);
+  if (it != index_.end()) {
+    // Racing fills of the same pattern within one generation derive the
+    // same answer set; the later one simply replaces the earlier.
+    it->second->second = std::move(table);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(pattern, std::move(table));
+  index_.emplace(pattern, lru_.begin());
+  inserted_.fetch_add(1, std::memory_order_relaxed);
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+void TablingCache::InvalidateAll() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  generation_.fetch_add(1, std::memory_order_release);
+  invalidated_.fetch_add(lru_.size(), std::memory_order_relaxed);
+  full_flushes_.fetch_add(1, std::memory_order_relaxed);
+  index_.clear();
+  lru_.clear();
+}
+
+void TablingCache::InvalidateInstance(
+    const std::vector<TermId>& super_properties, TermId type) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The generation moves on *every* invalidation, targeted or not: an
+  // in-flight fill cannot prove its pattern was unaffected, so it must
+  // re-derive (cheap — the miss path it already took).
+  generation_.fetch_add(1, std::memory_order_release);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    const TermId p = it->first.p;
+    const bool affected =
+        p == kAnyTerm || p == type ||
+        std::find(super_properties.begin(), super_properties.end(), p) !=
+            super_properties.end();
+    if (affected) {
+      invalidated_.fetch_add(1, std::memory_order_relaxed);
+      index_.erase(it->first);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t TablingCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+TablingCache::Stats TablingCache::stats() const {
+  Stats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.inserted = inserted_.load(std::memory_order_relaxed);
+  out.oversize_skips = oversize_skips_.load(std::memory_order_relaxed);
+  out.invalidated = invalidated_.load(std::memory_order_relaxed);
+  out.full_flushes = full_flushes_.load(std::memory_order_relaxed);
+  out.stale_fills = stale_fills_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace slider

@@ -1,0 +1,141 @@
+#ifndef SLIDER_QUERY_TABLING_H_
+#define SLIDER_QUERY_TABLING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "rdf/term.h"
+#include "rdf/vocabulary.h"
+
+namespace slider {
+
+/// \brief Memoized answer tables for backward-chained pattern matches —
+/// the incremental-tabling half of the hybrid answering stack.
+///
+/// Backward chaining pays its expansion cost (schema reachability walks,
+/// dedup bookkeeping) on *every* Match call; endpoint traffic repeats the
+/// same concrete patterns, so the second call should cost a table scan.
+/// This cache keys complete answer sets by concrete TriplePattern and keeps
+/// them correct under add/retract churn the same way the endpoint's plan
+/// cache stays correct under updates — except that a stale *answer* table
+/// cannot be "re-planned": additions can grow an answer set and retractions
+/// can shrink it, so affected tables are dropped and rebuilt on next access.
+///
+/// Invalidation is incremental, not a blind global counter bump:
+///  - a delta touching a *schema* predicate (subClassOf, subPropertyOf,
+///    domain, range) invalidates everything — schema edges parameterize
+///    every backward expansion;
+///  - an *instance* delta with predicate q drops only the tables whose
+///    expansion could have consumed q: tables keyed on q itself, on any
+///    predicate whose sub-property closure could reach q (callers pass the
+///    sp up-closure of q — see InvalidateInstance), on rdf:type (domain/
+///    range evidence makes type answers depend on every instance
+///    predicate), and predicate-unbound tables.
+/// Retraction deltas and addition deltas use the same targeted drop: both
+/// can change an affected answer set, and dropping is the only repair that
+/// is correct for both directions.
+///
+/// Fills race invalidations the same way cached plans race updates in the
+/// endpoint, and the same generation mechanism resolves it: every
+/// invalidation bumps a generation counter, a filler records generation()
+/// *before* deriving its answers, and Store refuses the table if the
+/// generation moved meanwhile — a concurrent delta may have changed the
+/// answer set after the fill's snapshot, so the stale table must not be
+/// admitted (the next Lookup misses and re-derives).
+///
+/// Bounds: at most `capacity` tables (LRU), and answer sets larger than
+/// `max_rows` are never admitted (a huge table is cheaper to re-derive than
+/// to keep hot in memory). Capacity 0 disables the cache entirely.
+///
+/// Thread-safety: all methods are safe to call concurrently. Lookup returns
+/// a shared_ptr to an immutable answer vector, so readers iterate outside
+/// the cache mutex while invalidation drops entries under it.
+class TablingCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;           ///< Lookup served a current table
+    uint64_t misses = 0;         ///< Lookup found nothing (or a dropped table)
+    uint64_t inserted = 0;       ///< tables admitted by Store
+    uint64_t oversize_skips = 0; ///< answer sets refused (> max_rows)
+    uint64_t invalidated = 0;    ///< tables dropped by invalidation
+    uint64_t full_flushes = 0;   ///< schema deltas that cleared the cache
+    uint64_t stale_fills = 0;    ///< tables refused: invalidation raced fill
+  };
+
+  using AnswerPtr = std::shared_ptr<const TripleVec>;
+
+  explicit TablingCache(size_t capacity = 256, size_t max_rows = 4096)
+      : capacity_(capacity), max_rows_(max_rows) {}
+
+  TablingCache(const TablingCache&) = delete;
+  TablingCache& operator=(const TablingCache&) = delete;
+
+  /// The complete answer set cached for `pattern`, or null.
+  AnswerPtr Lookup(const TriplePattern& pattern) const;
+
+  /// Admits `answers` as the complete answer set of `pattern`.
+  /// `fill_generation` is the generation() observed before the answers were
+  /// derived; the table is refused when an invalidation intervened (or when
+  /// it is larger than max_rows, or the cache is disabled).
+  void Store(const TriplePattern& pattern, TripleVec answers,
+             uint64_t fill_generation) const;
+
+  /// Invalidation counter; read before deriving answers, passed to Store.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  /// Schema delta (or any change of unknown shape): drops every table.
+  void InvalidateAll() const;
+
+  /// Instance delta: drops the tables affected by a change to predicate
+  /// `q`. `super_properties` is the sp up-closure of q (q included) — every
+  /// predicate whose PRP-SPO1 expansion consumes q's triples; `type` is the
+  /// vocabulary's rdf:type id (type answers depend on any instance delta
+  /// through domain/range evidence). Predicate-unbound tables always drop.
+  void InvalidateInstance(const std::vector<TermId>& super_properties,
+                          TermId type) const;
+
+  size_t size() const;
+  Stats stats() const;
+
+ private:
+  struct PatternHash {
+    size_t operator()(const TriplePattern& p) const {
+      return TripleHash()(Triple(p.s, p.p, p.o));
+    }
+  };
+  struct PatternEq {
+    bool operator()(const TriplePattern& a, const TriplePattern& b) const {
+      return a.s == b.s && a.p == b.p && a.o == b.o;
+    }
+  };
+
+  using LruList = std::list<std::pair<TriplePattern, AnswerPtr>>;
+
+  const size_t capacity_;
+  const size_t max_rows_;
+  mutable std::mutex mu_;
+  mutable LruList lru_;
+  mutable std::unordered_map<TriplePattern, LruList::iterator, PatternHash,
+                             PatternEq>
+      index_;
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  mutable std::atomic<uint64_t> inserted_{0};
+  mutable std::atomic<uint64_t> oversize_skips_{0};
+  mutable std::atomic<uint64_t> invalidated_{0};
+  mutable std::atomic<uint64_t> full_flushes_{0};
+  mutable std::atomic<uint64_t> stale_fills_{0};
+  mutable std::atomic<uint64_t> generation_{0};  // bumped under mu_
+};
+
+}  // namespace slider
+
+#endif  // SLIDER_QUERY_TABLING_H_

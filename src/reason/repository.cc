@@ -9,6 +9,7 @@
 
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "query/backward.h"
 #include "rdf/graph_io.h"
 
 namespace slider {
@@ -24,8 +25,10 @@ constexpr const char kDictDumpHeader[] = "# slider-dict v2";
 
 Result<std::unique_ptr<Repository>> Repository::Open(
     const FragmentFactory& factory, Options options) {
-  if (options.inference == InferenceMode::kIncremental) {
-    options.recompute_on_update = false;  // the embedded engine never recomputes
+  if (options.inference == InferenceMode::kIncremental ||
+      options.inference == InferenceMode::kOnDemand ||
+      options.inference == InferenceMode::kHybrid) {
+    options.recompute_on_update = false;  // nothing ever recomputes
   }
   auto repo = std::unique_ptr<Repository>(new Repository());
   repo->options_ = std::move(options);
@@ -38,6 +41,14 @@ Result<std::unique_ptr<Repository>> Repository::Open(
                                        repo->options_.log_flush_interval));
   }
   repo->ResetEngine();
+  if (repo->OnDemandMode() && !BackwardCoverable(*repo->fragment_)) {
+    // The backward chainer expands exactly the eight ρdf rules; any other
+    // fragment would make on-demand answers diverge from the closure.
+    return Status::InvalidArgument(
+        Format("inference mode kOnDemand/kHybrid requires the ρdf fragment; "
+               "'%s' is not backward-coverable",
+               repo->fragment_->name().c_str()));
+  }
   return repo;
 }
 
@@ -57,6 +68,8 @@ void Repository::ResetEngine() {
   semi_naive_.reset();
   trree_.reset();
   slider_.reset();
+  forward_provider_.reset();
+  hybrid_provider_.reset();
   if (options_.inference == InferenceMode::kSemiNaive) {
     semi_naive_ = std::make_unique<BatchReasoner>(factory_(vocab_, &dict_),
                                                   store_.get(), log_.get());
@@ -66,13 +79,112 @@ void Repository::ResetEngine() {
     // reconstructs the store even though updates never recompute.
     slider_ = std::make_unique<Reasoner>(factory_, options_.incremental,
                                          &dict_, store_.get(), log_.get());
+  } else if (OnDemandMode()) {
+    // No inference core at all: queries answer through the hybrid provider.
+    // The fragment is still instantiated — it defines what the chainer must
+    // cover (validated by Open/Recover) and what fragment() reports.
+    if (fragment_ == nullptr) {
+      fragment_ = std::make_unique<Fragment>(factory_(vocab_, &dict_));
+    }
+    HybridProvider::Options provider_options;
+    provider_options.schema_materialized =
+        options_.inference == InferenceMode::kHybrid;
+    hybrid_provider_ = std::make_unique<HybridProvider>(
+        store_.get(), vocab_, BackwardCoverable(*fragment_),
+        provider_options);
+    if (options_.inference == InferenceMode::kHybrid) {
+      // A recovered store replays only explicit/journaled statements; the
+      // schema closure is derived state and must be rebuilt here.
+      RefreshSchemaClosure();
+    }
   } else {
     trree_ = std::make_unique<TrreeReasoner>(factory_(vocab_, &dict_),
                                              store_.get(), log_.get());
   }
+  if (hybrid_provider_ == nullptr) {
+    forward_provider_ = std::make_unique<ForwardProvider>(store_.get());
+  }
+}
+
+const MatchProvider* Repository::provider() const {
+  return hybrid_provider_ != nullptr
+             ? static_cast<const MatchProvider*>(hybrid_provider_.get())
+             : static_cast<const MatchProvider*>(forward_provider_.get());
+}
+
+bool Repository::TouchesSchema(const TripleVec& delta) const {
+  for (const Triple& t : delta) {
+    if (t.p == vocab_.sub_class_of || t.p == vocab_.sub_property_of ||
+        t.p == vocab_.domain || t.p == vocab_.range) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Repository::RefreshSchemaClosure() {
+  // Drop the derived rows of the four schema partitions, then re-chain the
+  // closure from the surviving explicit schema. The chainer is the closure
+  // oracle here: over explicit-only schema partitions its (? sc ?) … walks
+  // emit exactly the ρdf schema closure, which is stored back as inferred —
+  // never journaled, so Recover's replay stays purely explicit.
+  const TermId schema_predicates[] = {vocab_.sub_class_of,
+                                      vocab_.sub_property_of, vocab_.domain,
+                                      vocab_.range};
+  TripleVec stale;
+  {
+    const StoreView view = store_->GetView();
+    for (const TermId p : schema_predicates) {
+      view.ForEachWithPredicate(p, [&](TermId s, TermId o) {
+        const Triple t(s, p, o);
+        if (!view.IsExplicit(t)) stale.push_back(t);
+      });
+    }
+  }
+  store_->EraseAll(stale);
+  const BackwardChainer chainer(store_.get(), vocab_);
+  TripleVec closure;
+  for (const TermId p : schema_predicates) {
+    chainer.Match(TriplePattern{kAnyTerm, p, kAnyTerm},
+                  [&](const Triple& t) {
+                    if (!store_->Contains(t)) closure.push_back(t);
+                  });
+  }
+  store_->AddAll(closure, nullptr, /*is_explicit=*/false);
+}
+
+Result<MaterializeStats> Repository::ApplyOnDemand(const TripleVec& input) {
+  MaterializeStats stats;
+  stats.input_count = input.size();
+  TripleVec delta;
+  store_->AddAll(input, &delta, /*is_explicit=*/true);
+  // AddTriples already dedupped `input` against the explicit set, so every
+  // statement here is newly explicit — including the ones AddAll merely
+  // *promoted* (already present as kHybrid schema-closure inferences).
+  stats.input_new = input.size();
+  // Journaling is unchanged: explicit additions append directly (there is
+  // no engine to do it), tombstones are handled by RemoveTriples. Append
+  // `input`, not the insert delta: a promoted statement left out of the log
+  // would lose its explicit standing across Recover (the rebuilt schema
+  // closure is derived state, not a substitute for the assertion).
+  if (log_ != nullptr && !input.empty()) {
+    SLIDER_RETURN_NOT_OK(log_->AppendBatch(input));
+  }
+  if (options_.inference == InferenceMode::kHybrid && TouchesSchema(input)) {
+    const size_t before = store_->size();
+    RefreshSchemaClosure();
+    const size_t after = store_->size();
+    stats.inferred_new = after >= before ? after - before : 0;
+  }
+  // Invalidate *after* the store (and schema closure) mutations: any table
+  // filled from the pre-delta snapshot is either refused by the tabling
+  // generation check or dropped here.
+  if (!delta.empty()) hybrid_provider_->OnDelta(delta);
+  return stats;
 }
 
 Result<MaterializeStats> Repository::RunInference(const TripleVec& input) {
+  if (OnDemandMode()) return ApplyOnDemand(input);
   if (slider_ != nullptr) {
     MaterializeStats stats;
     stats.input_count = input.size();
@@ -96,6 +208,7 @@ Result<MaterializeStats> Repository::RunInference(const TripleVec& input) {
 }
 
 const Fragment& Repository::fragment() const {
+  if (fragment_ != nullptr) return *fragment_;
   if (slider_ != nullptr) return slider_->fragment();
   return semi_naive_ != nullptr ? semi_naive_->fragment() : trree_->fragment();
 }
@@ -164,6 +277,41 @@ Result<Repository::LoadStats> Repository::RemoveTriples(const TripleVec& triples
     if (explicit_set_.count(t) > 0) removed.insert(t);
   }
   if (removed.empty()) {
+    stats.seconds = watch.ElapsedSeconds();
+    return stats;
+  }
+
+  if (OnDemandMode()) {
+    // Nothing was materialized, so nothing needs maintenance: erase the
+    // victims, journal their tombstones, refresh the schema closure
+    // (kHybrid) and drop the affected answer tables. The tables must be
+    // invalidated on *retraction* deltas exactly as on additions — a
+    // tabled answer set can shrink, too.
+    TripleVec victims(removed.begin(), removed.end());
+    TripleVec erased;
+    store_->EraseAll(victims, &erased);
+    Status logged = Status::OK();
+    if (log_ != nullptr) {
+      for (const Triple& t : erased) {
+        logged = log_->AppendTombstone(t);
+        if (!logged.ok()) break;
+      }
+    }
+    TripleVec kept;
+    kept.reserve(explicit_.size() - removed.size());
+    for (const Triple& t : explicit_) {
+      if (removed.count(t) == 0) kept.push_back(t);
+    }
+    explicit_.swap(kept);
+    for (const Triple& t : victims) explicit_set_.erase(t);
+    if (options_.inference == InferenceMode::kHybrid &&
+        TouchesSchema(erased)) {
+      RefreshSchemaClosure();
+    }
+    if (!erased.empty()) hybrid_provider_->OnDelta(erased);
+    SLIDER_RETURN_NOT_OK(logged);
+    stats.removed = erased.size();
+    stats.materialize.input_count = victims.size();
     stats.seconds = watch.ElapsedSeconds();
     return stats;
   }
@@ -369,7 +517,9 @@ Result<std::unique_ptr<Repository>> Repository::Recover(
   if (options.storage_dir.empty()) {
     return Status::InvalidArgument("Recover requires a storage_dir");
   }
-  if (options.inference == InferenceMode::kIncremental) {
+  if (options.inference == InferenceMode::kIncremental ||
+      options.inference == InferenceMode::kOnDemand ||
+      options.inference == InferenceMode::kHybrid) {
     options.recompute_on_update = false;
   }
   const std::string log_path = options.storage_dir + "/statements.log";
@@ -461,7 +611,15 @@ Result<std::unique_ptr<Repository>> Repository::Recover(
   SLIDER_ASSIGN_OR_RETURN(
       repo->log_,
       StatementLog::OpenAppend(log_path, repo->options_.log_flush_interval));
+  // ResetEngine also rebuilds the kHybrid schema closure — derived state
+  // the log intentionally does not carry.
   repo->ResetEngine();
+  if (repo->OnDemandMode() && !BackwardCoverable(*repo->fragment_)) {
+    return Status::InvalidArgument(
+        Format("inference mode kOnDemand/kHybrid requires the ρdf fragment; "
+               "'%s' is not backward-coverable",
+               repo->fragment_->name().c_str()));
+  }
   return repo;
 }
 

@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "common/result.h"
+#include "query/hybrid.h"
 #include "query/update.h"
 #include "rdf/dictionary.h"
 #include "rdf/vocabulary.h"
@@ -52,6 +53,24 @@ class Repository {
     /// designed for: update cost proportional to the touched cone, SELECTs
     /// lock-free against pinned store views throughout.
     kIncremental,
+    /// Materialization-free: the store holds *only* explicit statements and
+    /// queries answer through the hybrid/backward path (HybridProvider over
+    /// the BackwardChainer, memoized in a TablingCache). Updates cost a
+    /// store insert/erase plus targeted table invalidation — no inference
+    /// at all — and journaling is unchanged (adds and tombstones append to
+    /// the statement log exactly as in the other modes). Requires a
+    /// fragment the chainer covers: Open rejects anything but ρdf.
+    kOnDemand,
+    /// The middle point: the *schema closure* (subClassOf/subPropertyOf
+    /// reachability, domain/range inheritance — the hot predicates every
+    /// backward expansion walks) is materialized eagerly as inferred
+    /// statements and kept fresh across schema updates, while instance
+    /// patterns stay on demand. Schema-pattern queries read the store
+    /// directly; the materialized schema also flattens the chainer's
+    /// walks for everything else. The schema closure is *not* journaled —
+    /// it is rebuilt from the explicit statements after Recover. Same ρdf
+    /// coverage requirement as kOnDemand.
+    kHybrid,
   };
 
   struct Options {
@@ -68,7 +87,8 @@ class Repository {
     /// set-oriented batch cores have no retraction path, which is exactly
     /// the baseline asymmetry bench_incremental measures against
     /// Reasoner::Retract. Ignored (forced false) under kIncremental, whose
-    /// engine never recomputes.
+    /// engine never recomputes, and under kOnDemand/kHybrid, which have
+    /// nothing to recompute.
     bool recompute_on_update = true;
     InferenceMode inference = InferenceMode::kStatementAtATime;
     /// Engine tunables for kIncremental (buffer size, timeout, threads).
@@ -144,6 +164,20 @@ class Repository {
   /// (introspection: rule-module stats, retract counters).
   const Reasoner* incremental_core() const { return slider_.get(); }
 
+  /// The match provider SELECTs should evaluate over: the cost-routed
+  /// HybridProvider under kOnDemand/kHybrid, a plain ForwardProvider over
+  /// the materialized store otherwise. Never null after Open/Recover;
+  /// recreated whenever the store is replaced (batch recompute, recovery),
+  /// so callers must not cache it across updates — SparqlEndpoint re-reads
+  /// it per request.
+  const MatchProvider* provider() const;
+
+  /// The hybrid provider, or null outside kOnDemand/kHybrid
+  /// (introspection: route stats, tabling cache counters).
+  const HybridProvider* hybrid_provider() const {
+    return hybrid_provider_.get();
+  }
+
   /// Cumulative rule outputs (pre-dedup) across the repository's lifetime —
   /// the hardware-independent "did this recompute?" measure: a batch-mode
   /// update grows it by ~|closure| rule applications, an incremental update
@@ -165,6 +199,25 @@ class Repository {
   /// Dispatches to the selected inference core.
   Result<MaterializeStats> RunInference(const TripleVec& input);
 
+  /// True iff this repository runs one of the on-demand modes.
+  bool OnDemandMode() const {
+    return options_.inference == InferenceMode::kOnDemand ||
+           options_.inference == InferenceMode::kHybrid;
+  }
+
+  /// True iff `delta` touches a schema predicate (subClassOf,
+  /// subPropertyOf, domain, range).
+  bool TouchesSchema(const TripleVec& delta) const;
+
+  /// kHybrid only: drops the inferred rows of the four schema partitions
+  /// and re-materializes the schema closure from the surviving explicit
+  /// statements (backward-chained, stored as inferred, never journaled).
+  void RefreshSchemaClosure();
+
+  /// On-demand AddTriples/RemoveTriples core: store mutation + direct
+  /// journaling + schema refresh + table invalidation.
+  Result<MaterializeStats> ApplyOnDemand(const TripleVec& input);
+
   std::string LogPath() const;
   std::string DictPath() const;
   Status PersistDictionary() const;
@@ -179,6 +232,9 @@ class Repository {
   std::unique_ptr<BatchReasoner> semi_naive_;   // set iff kSemiNaive
   std::unique_ptr<TrreeReasoner> trree_;        // set iff kStatementAtATime
   std::unique_ptr<Reasoner> slider_;            // set iff kIncremental
+  std::unique_ptr<Fragment> fragment_;          // set iff kOnDemand/kHybrid
+  std::unique_ptr<ForwardProvider> forward_provider_;  // materialized modes
+  std::unique_ptr<HybridProvider> hybrid_provider_;    // on-demand modes
   TripleVec explicit_;     // all explicit statements, for batch recompute
   TripleSet explicit_set_; // dedup of explicit statements
   uint64_t retired_derivations_ = 0;  // work of engines ResetEngine retired

@@ -424,6 +424,24 @@ class StoreView {
     return total;
   }
 
+  /// Number of objects stored for (s, p, ·): the by_subject row's published
+  /// length — one hash probe, may overcount by the row's tombstones but
+  /// never undercounts. The planner's exact-row cardinality for
+  /// subject-bound patterns inside a predicate partition.
+  size_t CountObjects(TermId p, TermId s) const {
+    const LfRow* row = RowFor(p, s);
+    return row == nullptr ? 0 : row->SizeEstimate();
+  }
+
+  /// Number of subjects stored for (·, p, o): mirror of CountObjects over
+  /// the by_object row.
+  size_t CountSubjects(TermId p, TermId o) const {
+    const TripleStore::Partition* part = PartitionFor(p);
+    if (part == nullptr) return 0;
+    const LfRow* row = part->by_object.Find(o);
+    return row == nullptr ? 0 : row->SizeEstimate();
+  }
+
   /// Number of distinct triples stored (relaxed counter aggregate).
   size_t size() const { return store_->size(); }
 

@@ -9,7 +9,10 @@
 //  5. EstimateCount for predicate-unbound patterns uses the bound term's
 //     row sizes instead of the whole store,
 //  6. keyword routing (IsUpdate) sees through leading whitespace, comment
-//     lines, mixed case and a UTF-8 byte-order mark.
+//     lines, mixed case and a UTF-8 byte-order mark,
+//  7. blank nodes parse in INSERT DATA / DELETE DATA blocks (subject and
+//     object positions, dictionary-global labels) and stay rejected
+//     everywhere else.
 
 #include <gtest/gtest.h>
 
@@ -232,6 +235,81 @@ TEST(SparqlRoutingTest, LeadingUtf8BomIsTolerated) {
   auto bad = SparqlParser::Parse("SELECT ?x " + bom + "WHERE { ?x ?p ?o }",
                                  dict);
   EXPECT_FALSE(bad.ok());
+}
+
+// ---------------------------------------------------------------------------
+// 7. Blank nodes in INSERT DATA / DELETE DATA
+// ---------------------------------------------------------------------------
+
+TEST(SparqlBlankNodeTest, InsertDataAcceptsBlankNodesInSubjectAndObject) {
+  Dictionary dict;
+  auto request = SparqlParser::ParseUpdate(
+      "INSERT DATA { _:report <http://ex/author> <http://ex/ada> . "
+      "<http://ex/ada> <http://ex/wrote> _:report }",
+      &dict);
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  ASSERT_EQ(request->ops.size(), 1u);
+  ASSERT_EQ(request->ops[0].data.size(), 2u);
+  // One label, one identity: subject of the first triple and object of the
+  // second are the same node.
+  EXPECT_EQ(request->ops[0].data[0].s, request->ops[0].data[1].o);
+  // The interned lexical form matches the N-Triples loader's, so a node
+  // loaded from a document is addressable from updates.
+  const auto id = dict.Lookup("_:report");
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(*id, request->ops[0].data[0].s);
+}
+
+TEST(SparqlBlankNodeTest, DeleteDataResolvesKnownLabelsAndDropsUnknown) {
+  Dictionary dict;
+  const TermId b = dict.Encode("_:b");
+  const TermId p = dict.Encode("<http://ex/p>");
+  const TermId o = dict.Encode("<http://ex/o>");
+  const size_t before = dict.size();
+
+  auto known = SparqlParser::ParseUpdate(
+      "DELETE DATA { _:b <http://ex/p> <http://ex/o> }", &dict);
+  ASSERT_TRUE(known.ok()) << known.status().ToString();
+  ASSERT_EQ(known->ops[0].data.size(), 1u);
+  EXPECT_EQ(known->ops[0].data[0], Triple(b, p, o));
+
+  // An unknown label cannot name a stored statement: the triple is dropped
+  // (a delete of nothing), and — like every DELETE DATA lookup — it must
+  // not grow the dictionary.
+  auto unknown = SparqlParser::ParseUpdate(
+      "DELETE DATA { _:never_seen <http://ex/p> <http://ex/o> }", &dict);
+  ASSERT_TRUE(unknown.ok()) << unknown.status().ToString();
+  EXPECT_TRUE(unknown->ops[0].data.empty());
+  EXPECT_EQ(dict.size(), before);
+}
+
+TEST(SparqlBlankNodeTest, LabelEndsAtTheStatementSeparator) {
+  Dictionary dict;
+  auto request = SparqlParser::ParseUpdate(
+      "INSERT DATA { <http://ex/s> <http://ex/p> _:b.<http://ex/s> "
+      "<http://ex/q> <http://ex/o> }",
+      &dict);
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  ASSERT_EQ(request->ops[0].data.size(), 2u);
+  EXPECT_TRUE(dict.Lookup("_:b").has_value());
+  EXPECT_FALSE(dict.Lookup("_:b.").has_value());
+}
+
+TEST(SparqlBlankNodeTest, RejectedAsPredicateAndOutsideDataBlocks) {
+  Dictionary dict;
+  EXPECT_FALSE(SparqlParser::ParseUpdate(
+                   "INSERT DATA { <http://ex/s> _:p <http://ex/o> }", &dict)
+                   .ok());
+  EXPECT_FALSE(
+      SparqlParser::Parse("SELECT ?x WHERE { _:b <http://ex/p> ?x }", dict)
+          .ok());
+  EXPECT_FALSE(SparqlParser::ParseUpdate(
+                   "DELETE WHERE { _:b <http://ex/p> ?x }", &dict)
+                   .ok());
+  // Malformed labels stay errors rather than decaying to names.
+  EXPECT_FALSE(SparqlParser::ParseUpdate(
+                   "INSERT DATA { _: <http://ex/p> <http://ex/o> }", &dict)
+                   .ok());
 }
 
 }  // namespace

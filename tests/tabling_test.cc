@@ -1,0 +1,112 @@
+// Unit tests for TablingCache (ISSUE 7): LRU bounds, oversize refusal, the
+// generation mechanism that refuses fills raced by invalidations, and the
+// targeted instance invalidation (sp up-closure + rdf:type + unbound-p)
+// versus the schema full flush.
+
+#include <gtest/gtest.h>
+
+#include "query/tabling.h"
+
+namespace slider {
+namespace {
+
+constexpr TermId kType = 90;
+
+TriplePattern Pat(TermId p) { return {kAnyTerm, p, kAnyTerm}; }
+
+TripleVec Rows(TermId p, size_t n) {
+  TripleVec rows;
+  for (size_t i = 0; i < n; ++i) rows.push_back({100 + i, p, 200 + i});
+  return rows;
+}
+
+TEST(TablingCacheTest, LookupHitsAfterStoreAndCountsStats) {
+  TablingCache cache(4, 16);
+  EXPECT_EQ(cache.Lookup(Pat(1)), nullptr);
+  cache.Store(Pat(1), Rows(1, 3), cache.generation());
+  const TablingCache::AnswerPtr table = cache.Lookup(Pat(1));
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(table->size(), 3u);
+  const TablingCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.inserted, 1u);
+}
+
+TEST(TablingCacheTest, CapacityEvictsLeastRecentlyUsed) {
+  TablingCache cache(2, 16);
+  cache.Store(Pat(1), Rows(1, 1), cache.generation());
+  cache.Store(Pat(2), Rows(2, 1), cache.generation());
+  ASSERT_NE(cache.Lookup(Pat(1)), nullptr);  // 1 is now most recent
+  cache.Store(Pat(3), Rows(3, 1), cache.generation());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Lookup(Pat(2)), nullptr);  // 2 was the LRU victim
+  EXPECT_NE(cache.Lookup(Pat(1)), nullptr);
+  EXPECT_NE(cache.Lookup(Pat(3)), nullptr);
+}
+
+TEST(TablingCacheTest, OversizeAnswerSetsAreNeverAdmitted) {
+  TablingCache cache(4, 2);
+  cache.Store(Pat(1), Rows(1, 3), cache.generation());
+  EXPECT_EQ(cache.Lookup(Pat(1)), nullptr);
+  EXPECT_EQ(cache.stats().oversize_skips, 1u);
+}
+
+TEST(TablingCacheTest, CapacityZeroDisablesTheCache) {
+  TablingCache cache(0, 16);
+  cache.Store(Pat(1), Rows(1, 1), cache.generation());
+  EXPECT_EQ(cache.Lookup(Pat(1)), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().inserted, 0u);
+}
+
+TEST(TablingCacheTest, StaleFillRacedByInvalidationIsRefused) {
+  TablingCache cache(4, 16);
+  // A filler snapshots the generation, derives its answers ... and an
+  // invalidation lands before it stores. The table must be refused: the
+  // answers may predate the delta.
+  const uint64_t fill_generation = cache.generation();
+  cache.InvalidateAll();
+  cache.Store(Pat(1), Rows(1, 2), fill_generation);
+  EXPECT_EQ(cache.Lookup(Pat(1)), nullptr);
+  EXPECT_EQ(cache.stats().stale_fills, 1u);
+  // A fill that observed the post-delta generation is admitted.
+  cache.Store(Pat(1), Rows(1, 2), cache.generation());
+  EXPECT_NE(cache.Lookup(Pat(1)), nullptr);
+}
+
+TEST(TablingCacheTest, InstanceInvalidationDropsExactlyTheAffectedTables) {
+  TablingCache cache(8, 16);
+  const TermId q = 1, super_of_q = 2, unrelated = 3;
+  cache.Store(Pat(q), Rows(q, 1), cache.generation());
+  cache.Store(Pat(super_of_q), Rows(super_of_q, 1), cache.generation());
+  cache.Store(Pat(unrelated), Rows(unrelated, 1), cache.generation());
+  cache.Store(Pat(kType), Rows(kType, 1), cache.generation());
+  cache.Store(Pat(kAnyTerm), Rows(q, 1), cache.generation());
+  ASSERT_EQ(cache.size(), 5u);
+
+  // Delta on q: q's table, its sp up-closure, rdf:type and unbound-p tables
+  // drop; the unrelated predicate's table survives.
+  cache.InvalidateInstance({q, super_of_q}, kType);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().invalidated, 4u);
+  EXPECT_EQ(cache.stats().full_flushes, 0u);
+  EXPECT_NE(cache.Lookup(Pat(unrelated)), nullptr);
+  EXPECT_EQ(cache.Lookup(Pat(q)), nullptr);
+  EXPECT_EQ(cache.Lookup(Pat(kType)), nullptr);
+  EXPECT_EQ(cache.Lookup(Pat(kAnyTerm)), nullptr);
+}
+
+TEST(TablingCacheTest, EveryInvalidationBumpsTheGeneration) {
+  TablingCache cache(4, 16);
+  const uint64_t g0 = cache.generation();
+  cache.InvalidateInstance({1}, kType);  // targeted, even with nothing cached
+  const uint64_t g1 = cache.generation();
+  EXPECT_GT(g1, g0);
+  cache.InvalidateAll();
+  EXPECT_GT(cache.generation(), g1);
+  EXPECT_EQ(cache.stats().full_flushes, 1u);
+}
+
+}  // namespace
+}  // namespace slider
