@@ -1,0 +1,288 @@
+// HTTP SPARQL server bench: many-client latency over the streaming result
+// path, and the update coalescer's group commit against per-update rounds.
+//
+// Two measurements:
+//  1. Streaming SELECT latency vs result-set size, under live writes —
+//     C client threads GET the same query over HTTP while one writer
+//     streams INSERT DATA through the endpoint; per size, reports p50/p99
+//     of time-to-first-byte and of total latency. Chunked streaming keeps
+//     TTFB (and its p99) flat as the result grows: the server writes the
+//     first row before it has computed the last one.
+//  2. Coalescing throughput — W concurrent HTTP clients each POST a run of
+//     single-triple INSERT DATA updates; the coalescer's leader drains
+//     concurrent arrivals into one reasoner round. Baseline: the same
+//     number of updates POSTed from one connection, one batch per update.
+//
+// Run: bench_server [--clients=4] [--rounds=40] [--writers=6] [--quick]
+//                   [--json=F]
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "query/endpoint.h"
+#include "reason/fragment.h"
+#include "reason/repository.h"
+
+using namespace slider;
+using namespace slider::bench;
+using slider::net::HttpClient;
+using slider::net::SparqlHttpServer;
+
+namespace {
+
+constexpr const char* kNs = "http://slider.repro/srv/";
+
+double Percentile(std::vector<double> sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0;
+  const size_t at = std::min(
+      sorted_ms.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(sorted_ms.size())));
+  return sorted_ms[at];
+}
+
+/// Seeds `size` subjects typed into a per-size class, so one query text
+/// yields exactly `size` rows.
+void SeedClass(Repository* repo, size_t size) {
+  const TermId type = repo->dictionary()->Encode(
+      "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type>");
+  const TermId cls = repo->dictionary()->Encode(
+      std::string("<") + kNs + "Class" + std::to_string(size) + ">");
+  TripleVec triples;
+  triples.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    triples.push_back({repo->dictionary()->Encode(
+                           std::string("<") + kNs + "Class" +
+                           std::to_string(size) + "/s" + std::to_string(i) +
+                           ">"),
+                       type, cls});
+  }
+  repo->AddTriples(triples).status().AbortIfNotOk();
+}
+
+std::string SizedQuery(size_t size) {
+  return "SELECT ?x WHERE { ?x a <" + std::string(kNs) + "Class" +
+         std::to_string(size) + "> }";
+}
+
+struct LatencyRow {
+  size_t size = 0;
+  double ttfb_p50_ms = 0, ttfb_p99_ms = 0;
+  double total_p50_ms = 0, total_p99_ms = 0;
+  double bytes = 0;  ///< mean response-body bytes
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = HasFlag(argc, argv, "--quick");
+  const int clients =
+      std::atoi(FlagValue(argc, argv, "--clients", "4").c_str());
+  const int rounds = std::atoi(
+      FlagValue(argc, argv, "--rounds", quick ? "15" : "40").c_str());
+  const int writers =
+      std::atoi(FlagValue(argc, argv, "--writers", "6").c_str());
+  const std::string json_path = FlagValue(argc, argv, "--json", "");
+
+  std::vector<size_t> sizes = {10, 100, 1000, 10000};
+  if (quick) sizes.pop_back();
+
+  std::printf("HTTP SPARQL server bench — %d clients x %d rounds\n\n",
+              clients, rounds);
+
+  Repository::Options options;
+  options.inference = Repository::InferenceMode::kIncremental;
+  auto opened = Repository::Open(RhoDfFactory(), options);
+  opened.status().AbortIfNotOk();
+  Repository* repo = opened->get();
+  for (const size_t size : sizes) SeedClass(repo, size);
+  SparqlEndpoint endpoint(repo);
+
+  SparqlHttpServer::Options server_options;
+  server_options.worker_threads =
+      static_cast<size_t>(clients) + 2;  // clients + updater + slack
+  server_options.coalescer.linger = std::chrono::milliseconds(1);
+  SparqlHttpServer server(&endpoint, server_options);
+  server.Start().AbortIfNotOk();
+
+  // --- Phase 1: streaming latency vs result size, writes in flight ---------
+  std::atomic<bool> stop{false};
+  std::thread background_writer([&] {
+    HttpClient writer("127.0.0.1", server.port());
+    size_t i = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::string update = "INSERT DATA { <" + std::string(kNs) + "bg" +
+                                 std::to_string(i++) + "> <" + kNs +
+                                 "touched> \"1\" }";
+      writer.Post("/sparql", "application/sparql-update", update)
+          .status()
+          .AbortIfNotOk();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  std::vector<LatencyRow> latency;
+  for (const size_t size : sizes) {
+    const std::string query = SizedQuery(size);
+    std::vector<std::vector<double>> ttfb(static_cast<size_t>(clients));
+    std::vector<std::vector<double>> total(static_cast<size_t>(clients));
+    std::atomic<uint64_t> bytes{0};
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        HttpClient client("127.0.0.1", server.port());
+        for (int r = 0; r < rounds; ++r) {
+          auto response =
+              client.Post("/sparql", "application/sparql-query", query);
+          response.status().AbortIfNotOk();
+          ttfb[static_cast<size_t>(c)].push_back(response->ttfb_seconds * 1e3);
+          total[static_cast<size_t>(c)].push_back(response->total_seconds *
+                                                  1e3);
+          bytes.fetch_add(response->body.size(), std::memory_order_relaxed);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+
+    std::vector<double> all_ttfb, all_total;
+    for (const auto& v : ttfb) all_ttfb.insert(all_ttfb.end(), v.begin(), v.end());
+    for (const auto& v : total) all_total.insert(all_total.end(), v.begin(), v.end());
+    std::sort(all_ttfb.begin(), all_ttfb.end());
+    std::sort(all_total.begin(), all_total.end());
+    LatencyRow row;
+    row.size = size;
+    row.ttfb_p50_ms = Percentile(all_ttfb, 0.50);
+    row.ttfb_p99_ms = Percentile(all_ttfb, 0.99);
+    row.total_p50_ms = Percentile(all_total, 0.50);
+    row.total_p99_ms = Percentile(all_total, 0.99);
+    row.bytes = static_cast<double>(bytes.load()) /
+                static_cast<double>(clients * rounds);
+    latency.push_back(row);
+  }
+  stop.store(true, std::memory_order_release);
+  background_writer.join();
+
+  std::printf("streaming SELECT latency vs result size (live writes):\n");
+  std::printf("  %8s %12s %12s %12s %12s %12s\n", "rows", "ttfb p50",
+              "ttfb p99", "total p50", "total p99", "body bytes");
+  for (const LatencyRow& row : latency) {
+    std::printf("  %8zu %10.2fms %10.2fms %10.2fms %10.2fms %12.0f\n",
+                row.size, row.ttfb_p50_ms, row.ttfb_p99_ms, row.total_p50_ms,
+                row.total_p99_ms, row.bytes);
+  }
+  const double ttfb_spread =
+      latency.front().ttfb_p99_ms > 0
+          ? latency.back().ttfb_p99_ms / latency.front().ttfb_p99_ms
+          : 0;
+  std::printf("  ttfb p99 spread (largest/smallest result): %.2fx\n",
+              ttfb_spread);
+
+  // --- Phase 2: coalesced vs per-update rounds ------------------------------
+  const int per_writer = quick ? 10 : 25;
+  const auto batches_before = server.coalescer().stats().batches;
+  Stopwatch coalesced_watch;
+  std::vector<std::thread> update_threads;
+  for (int w = 0; w < writers; ++w) {
+    update_threads.emplace_back([&, w] {
+      HttpClient client("127.0.0.1", server.port());
+      for (int i = 0; i < per_writer; ++i) {
+        const std::string update =
+            "INSERT DATA { <" + std::string(kNs) + "co" + std::to_string(w) +
+            "x" + std::to_string(i) + "> <" + kNs + "touched> \"1\" }";
+        client.Post("/sparql", "application/sparql-update", update)
+            .status()
+            .AbortIfNotOk();
+      }
+    });
+  }
+  for (auto& t : update_threads) t.join();
+  const double coalesced_s = coalesced_watch.ElapsedSeconds();
+  const auto coalesced_stats = server.coalescer().stats();
+  const uint64_t coalesced_ops =
+      static_cast<uint64_t>(writers) * static_cast<uint64_t>(per_writer);
+  const uint64_t coalesced_batches = coalesced_stats.batches - batches_before;
+
+  Stopwatch serial_watch;
+  {
+    HttpClient client("127.0.0.1", server.port());
+    for (uint64_t i = 0; i < coalesced_ops; ++i) {
+      const std::string update =
+          "INSERT DATA { <" + std::string(kNs) + "se" + std::to_string(i) +
+          "> <" + kNs + "touched> \"1\" }";
+      client.Post("/sparql", "application/sparql-update", update)
+          .status()
+          .AbortIfNotOk();
+    }
+  }
+  const double serial_s = serial_watch.ElapsedSeconds();
+
+  const double coalesced_ops_s =
+      coalesced_s > 0 ? static_cast<double>(coalesced_ops) / coalesced_s : 0;
+  const double serial_ops_s =
+      serial_s > 0 ? static_cast<double>(coalesced_ops) / serial_s : 0;
+  const double speedup = serial_ops_s > 0 ? coalesced_ops_s / serial_ops_s : 0;
+  const double ops_per_batch =
+      coalesced_batches > 0 ? static_cast<double>(coalesced_ops) /
+                                  static_cast<double>(coalesced_batches)
+                            : 0;
+  std::printf("\nupdate coalescing (%d writers x %d single-triple INSERTs):\n",
+              writers, per_writer);
+  std::printf("  coalesced          : %10.0f ops/s (%llu ops in %llu "
+              "batches, %.1f ops/batch)\n",
+              coalesced_ops_s, static_cast<unsigned long long>(coalesced_ops),
+              static_cast<unsigned long long>(coalesced_batches),
+              ops_per_batch);
+  std::printf("  per-update rounds  : %10.0f ops/s (1 connection)\n",
+              serial_ops_s);
+  std::printf("  speedup            : %9.2fx\n", speedup);
+
+  const SparqlHttpServer::Stats stats = server.stats();
+  std::printf("\nserver: %llu served, %llu client errors, %llu rejected, "
+              "%llu disconnects\n",
+              static_cast<unsigned long long>(stats.served),
+              static_cast<unsigned long long>(stats.client_errors),
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.disconnects));
+  server.Stop();
+
+  if (!json_path.empty()) {
+    std::ostringstream os;
+    os << "[\n  " << ContextJson("server");
+    for (const LatencyRow& row : latency) {
+      os << ",\n  {\"bench\":\"server\",\"phase\":\"latency\",\"rows\":"
+         << row.size << ",\"clients\":" << clients
+         << ",\"ttfb_p50_ms\":" << row.ttfb_p50_ms
+         << ",\"ttfb_p99_ms\":" << row.ttfb_p99_ms
+         << ",\"total_p50_ms\":" << row.total_p50_ms
+         << ",\"total_p99_ms\":" << row.total_p99_ms
+         << ",\"body_bytes\":" << row.bytes << "}";
+    }
+    os << ",\n  {\"bench\":\"server\",\"phase\":\"coalescing\",\"writers\":"
+       << writers << ",\"ops\":" << coalesced_ops
+       << ",\"batches\":" << coalesced_batches
+       << ",\"ops_per_batch\":" << ops_per_batch
+       << ",\"coalesced_ops_per_s\":" << coalesced_ops_s
+       << ",\"serial_ops_per_s\":" << serial_ops_s
+       << ",\"speedup\":" << speedup << ",\"ttfb_p99_spread\":" << ttfb_spread
+       << "}\n]\n";
+    std::ofstream out(json_path);
+    out << os.str();
+    out.flush();
+    if (out.good()) {
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

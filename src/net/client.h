@@ -1,0 +1,56 @@
+#ifndef SLIDER_NET_CLIENT_H_
+#define SLIDER_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace slider {
+namespace net {
+
+/// \brief One received HTTP response (tests and the bench driver; not part
+/// of the serving path).
+struct HttpResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;  ///< lowercased
+  std::string body;  ///< chunked transfer already decoded
+  double ttfb_seconds = 0.0;  ///< request fully sent → first response byte
+  double total_seconds = 0.0; ///< request fully sent → response complete
+
+  std::string_view Header(std::string_view name) const;
+};
+
+/// Blocking single-request client: connects, sends, reads one response
+/// (Content-Length or chunked), closes. `timeout_ms` bounds each socket op.
+class HttpClient {
+ public:
+  HttpClient(std::string host, uint16_t port, int timeout_ms = 10000);
+
+  Result<HttpResponse> Get(std::string_view target,
+                           std::string_view accept = "");
+  Result<HttpResponse> Post(std::string_view target,
+                            std::string_view content_type,
+                            std::string_view body,
+                            std::string_view accept = "");
+
+  /// Opens a raw connection and sends `data` verbatim, returning the fd —
+  /// for tests that need to stall mid-request or hang up mid-response.
+  /// The caller owns (and closes) the fd.
+  Result<int> ConnectAndSend(std::string_view data);
+
+ private:
+  Result<HttpResponse> Roundtrip(const std::string& request);
+
+  const std::string host_;
+  const uint16_t port_;
+  const int timeout_ms_;
+};
+
+}  // namespace net
+}  // namespace slider
+
+#endif  // SLIDER_NET_CLIENT_H_

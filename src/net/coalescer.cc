@@ -1,0 +1,118 @@
+#include "net/coalescer.h"
+
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace slider {
+namespace net {
+
+namespace {
+
+/// True iff two adjacent operations can fuse into one: both plain INSERT
+/// DATA or both plain DELETE DATA. Pattern-bearing operations read the
+/// store, so they must observe their predecessors' effects and cannot fuse.
+bool Fusable(const UpdateOp& earlier, const UpdateOp& later) {
+  return earlier.kind == later.kind &&
+         (earlier.kind == UpdateOp::Kind::kInsertData ||
+          earlier.kind == UpdateOp::Kind::kDeleteData);
+}
+
+}  // namespace
+
+UpdateCoalescer::UpdateCoalescer(SparqlEndpoint* endpoint, Options options)
+    : endpoint_(endpoint), options_(options) {}
+
+Result<UpdateResult> UpdateCoalescer::Execute(std::string_view text) {
+  // Parse outside every lock: encodes are thread-safe, and a slow parse
+  // must not stall an in-flight batch or other parsers.
+  Result<UpdateRequest> parsed =
+      SparqlParser::ParseUpdate(text, endpoint_->repository()->dictionary());
+  if (!parsed.ok()) return parsed.status();
+
+  Pending pending;
+  pending.request = parsed.MoveValueUnsafe();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopped_) return Status::IOError("coalescer stopped");
+  queue_.push_back(&pending);
+
+  if (leader_active_) {
+    // A leader is already batching; it (or a successor) will take us.
+    cv_.wait(lock, [&] { return pending.done; });
+  } else {
+    leader_active_ = true;
+    while (!queue_.empty()) {
+      if (options_.linger.count() > 0) {
+        // Give concurrent writers a beat to enqueue so they share the
+        // round. Sleeping outside the lock is what lets them in.
+        lock.unlock();
+        std::this_thread::sleep_for(options_.linger);
+        lock.lock();
+      }
+
+      // Drain up to max_batch_ops operations' worth of sessions, fusing
+      // adjacent DATA operations as they are appended.
+      std::vector<Pending*> batch;
+      UpdateRequest merged;
+      while (!queue_.empty() &&
+             (options_.max_batch_ops == 0 ||
+              merged.ops.size() < options_.max_batch_ops)) {
+        Pending* next = queue_.front();
+        queue_.pop_front();
+        batch.push_back(next);
+        for (UpdateOp& op : next->request.ops) {
+          if (!merged.ops.empty() && Fusable(merged.ops.back(), op)) {
+            merged.ops.back().data.insert(merged.ops.back().data.end(),
+                                          op.data.begin(), op.data.end());
+            ++fused_ops_;
+          } else {
+            merged.ops.push_back(std::move(op));
+          }
+        }
+      }
+      requests_ += batch.size();
+      ++batches_;
+
+      lock.unlock();
+      Result<UpdateResult> outcome = endpoint_->Update(merged);
+      lock.lock();
+
+      for (Pending* member : batch) {
+        member->done = true;
+        if (outcome.ok()) {
+          member->result = *outcome;
+        } else {
+          member->error = outcome.status();
+        }
+      }
+      cv_.notify_all();
+    }
+    leader_active_ = false;
+    // A session that enqueued after the drain loop checked (lost the race
+    // with our final emptiness test) cannot exist: the queue is checked
+    // under mu_ and new arrivals while leader_active_ wait on cv_, so an
+    // empty queue here means every waiter has been answered.
+  }
+
+  if (!pending.error.ok()) return pending.error;
+  return pending.result;
+}
+
+void UpdateCoalescer::Stop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stopped_ = true;
+  cv_.notify_all();
+}
+
+UpdateCoalescer::Stats UpdateCoalescer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out;
+  out.requests = requests_;
+  out.batches = batches_;
+  out.fused_ops = fused_ops_;
+  return out;
+}
+
+}  // namespace net
+}  // namespace slider

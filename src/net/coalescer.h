@@ -1,0 +1,115 @@
+#ifndef SLIDER_NET_COALESCER_H_
+#define SLIDER_NET_COALESCER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string_view>
+
+#include "common/result.h"
+#include "query/endpoint.h"
+
+namespace slider {
+namespace net {
+
+/// \brief Group-commit front end for SPARQL updates: batches the small
+/// INSERT/DELETE requests concurrent sessions produce into one reasoner
+/// round.
+///
+/// Every applied update pays a fixed cost — the endpoint's serialization,
+/// an inference round's setup, a plan-cache generation bump — that dwarfs
+/// the marginal cost of one extra triple. Under many concurrent writers of
+/// single-triple updates that fixed cost dominates, so the coalescer runs
+/// the classic group-commit protocol:
+///
+///  - Execute() parses its request immediately (dictionary encodes are
+///    thread-safe and lock-free, so parsing never serializes) and enqueues
+///    the parsed operations.
+///  - The first thread to find no batch in flight becomes the *leader*: it
+///    optionally lingers (Options::linger) to let concurrent stragglers
+///    enqueue, drains the queue into one merged UpdateRequest, and executes
+///    it through SparqlEndpoint::Update(const UpdateRequest&) while new
+///    arrivals queue behind it for the next batch.
+///  - Followers block until their batch completes and return its outcome.
+///
+/// Ordering guarantees: operations execute in arrival (enqueue) order, both
+/// within a batch and across batches — the merge only concatenates, never
+/// reorders. Adjacent INSERT DATA operations (and adjacent DELETE DATA
+/// operations) are fused into a single operation, which is what turns N
+/// single-triple inserts into one AddTriples round; templated and DELETE
+/// WHERE operations act as fences, since their WHERE blocks must observe
+/// the effects of everything queued before them.
+///
+/// Error semantics: the repository applies a request's operations in order
+/// and stops at the first failure, with completed operations staying
+/// applied. A merged batch inherits that contract, so every member of a
+/// failed batch observes the same error even if its own operations were the
+/// ones already applied — the tradeoff group commit makes. Parse errors are
+/// per-session and never reach a batch. Threads calling Execute()
+/// concurrently with Stop() may get an IOError("coalescer stopped").
+class UpdateCoalescer {
+ public:
+  struct Options {
+    /// Max operations merged into one batch (after fusion); further queued
+    /// sessions roll into the next batch. 0 = unbounded.
+    size_t max_batch_ops = 256;
+    /// How long the leader waits for stragglers before draining. Zero (the
+    /// default) drains immediately — concurrency alone forms batches, which
+    /// is the right call under real load; tests use a small linger to make
+    /// batch formation deterministic.
+    std::chrono::microseconds linger{0};
+  };
+
+  struct Stats {
+    uint64_t requests = 0;   ///< Execute() calls that reached a batch
+    uint64_t batches = 0;    ///< merged requests executed
+    uint64_t fused_ops = 0;  ///< operations absorbed into a neighbor
+  };
+
+  /// `endpoint` is borrowed and must outlive the coalescer.
+  UpdateCoalescer(SparqlEndpoint* endpoint, Options options);
+  explicit UpdateCoalescer(SparqlEndpoint* endpoint)
+      : UpdateCoalescer(endpoint, Options()) {}
+
+  UpdateCoalescer(const UpdateCoalescer&) = delete;
+  UpdateCoalescer& operator=(const UpdateCoalescer&) = delete;
+
+  /// Parses and applies `text`, possibly batched with concurrent calls.
+  /// Blocks until the containing batch has executed. The returned
+  /// UpdateResult aggregates the *whole batch* the request rode in
+  /// (documented above); callers wanting exact per-request counters must
+  /// serialize externally.
+  Result<UpdateResult> Execute(std::string_view text);
+
+  /// Rejects new work and wakes all waiters. Idempotent; in-flight batches
+  /// complete.
+  void Stop();
+
+  Stats stats() const;
+
+ private:
+  struct Pending {
+    UpdateRequest request;
+    bool done = false;
+    Status error;        // OK unless the batch failed
+    UpdateResult result;  // valid iff error.ok()
+  };
+
+  SparqlEndpoint* endpoint_;
+  const Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending*> queue_;
+  bool leader_active_ = false;
+  bool stopped_ = false;
+  uint64_t requests_ = 0;
+  uint64_t batches_ = 0;
+  uint64_t fused_ops_ = 0;
+};
+
+}  // namespace net
+}  // namespace slider
+
+#endif  // SLIDER_NET_COALESCER_H_

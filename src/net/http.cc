@@ -1,0 +1,315 @@
+#include "net/http.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace slider {
+namespace net {
+
+namespace {
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view Trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string_view HttpRequest::Header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return value;
+  }
+  return {};
+}
+
+Result<std::string> PercentDecode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '+') {
+      out.push_back(' ');
+    } else if (c == '%') {
+      if (i + 2 >= text.size()) {
+        return Status::InvalidArgument("truncated percent-escape");
+      }
+      const int hi = HexValue(text[i + 1]);
+      const int lo = HexValue(text[i + 2]);
+      if (hi < 0 || lo < 0) {
+        return Status::InvalidArgument("malformed percent-escape");
+      }
+      out.push_back(static_cast<char>(hi * 16 + lo));
+      i += 2;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<std::string, std::string>>> ParseForm(
+    std::string_view text) {
+  std::vector<std::pair<std::string, std::string>> out;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t amp = text.find('&', pos);
+    if (amp == std::string_view::npos) amp = text.size();
+    const std::string_view pair = text.substr(pos, amp - pos);
+    if (!pair.empty()) {
+      const size_t eq = pair.find('=');
+      const std::string_view raw_key =
+          eq == std::string_view::npos ? pair : pair.substr(0, eq);
+      const std::string_view raw_value =
+          eq == std::string_view::npos ? std::string_view{}
+                                       : pair.substr(eq + 1);
+      SLIDER_ASSIGN_OR_RETURN(std::string key, PercentDecode(raw_key));
+      SLIDER_ASSIGN_OR_RETURN(std::string value, PercentDecode(raw_value));
+      out.emplace_back(std::move(key), std::move(value));
+    }
+    if (amp == text.size()) break;
+    pos = amp + 1;
+  }
+  return out;
+}
+
+Result<HttpRequest> ParseRequestHead(std::string_view head) {
+  // Tolerate the terminator still being attached.
+  if (head.size() >= 4 && head.substr(head.size() - 4) == "\r\n\r\n") {
+    head.remove_suffix(4);
+  }
+  HttpRequest request;
+  size_t line_end = head.find("\r\n");
+  const std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+
+  // METHOD SP request-target SP HTTP/1.x
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    return Status::InvalidArgument("malformed request line");
+  }
+  request.method = std::string(request_line.substr(0, sp1));
+  request.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  const std::string_view version = request_line.substr(sp2 + 1);
+  if (request.method.empty() || request.target.empty()) {
+    return Status::InvalidArgument("malformed request line");
+  }
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return Status::InvalidArgument(
+        Format("unsupported HTTP version '%s'",
+                  std::string(version).c_str()));
+  }
+
+  const size_t qmark = request.target.find('?');
+  const std::string_view raw_path =
+      qmark == std::string::npos
+          ? std::string_view(request.target)
+          : std::string_view(request.target).substr(0, qmark);
+  if (qmark != std::string::npos) {
+    request.query = request.target.substr(qmark + 1);
+  }
+  SLIDER_ASSIGN_OR_RETURN(request.path, PercentDecode(raw_path));
+
+  size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t end = head.find("\r\n", pos);
+    if (end == std::string_view::npos) end = head.size();
+    const std::string_view line = head.substr(pos, end - pos);
+    pos = end + 2;
+    if (line.empty()) continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Status::InvalidArgument("malformed header line");
+    }
+    request.headers.emplace_back(ToLower(Trim(line.substr(0, colon))),
+                                 std::string(Trim(line.substr(colon + 1))));
+  }
+  return request;
+}
+
+Result<HttpRequest> ReadHttpRequest(int fd, const HttpLimits& limits,
+                                    int* http_status, bool* saw_bytes) {
+  *http_status = 0;
+  *saw_bytes = false;
+  std::string buffer;
+  size_t head_end = std::string::npos;
+  char chunk[4096];
+
+  // Phase 1: accumulate until the blank line ends the head.
+  while (true) {
+    const size_t scan_from = buffer.size() < 3 ? 0 : buffer.size() - 3;
+    const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      if (!buffer.empty()) *http_status = 400;
+      return Status::IOError("connection closed before request head");
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expired. Mid-request (bytes seen) warrants a 408;
+        // an idle keep-alive connection is just closed.
+        if (!buffer.empty()) *http_status = 408;
+        return Status::IOError("receive timeout");
+      }
+      return Status::IOError(Format("recv: %s", std::strerror(errno)));
+    }
+    *saw_bytes = true;
+    buffer.append(chunk, static_cast<size_t>(n));
+    head_end = buffer.find("\r\n\r\n", scan_from);
+    if (head_end != std::string::npos) break;
+    if (buffer.size() > limits.max_header_bytes) {
+      *http_status = 431;
+      return Status::OutOfRange("request head exceeds limit");
+    }
+  }
+  if (head_end > limits.max_header_bytes) {
+    *http_status = 431;
+    return Status::OutOfRange("request head exceeds limit");
+  }
+
+  Result<HttpRequest> parsed = ParseRequestHead(buffer.substr(0, head_end));
+  if (!parsed.ok()) {
+    *http_status = 400;
+    return parsed.status();
+  }
+  HttpRequest request = parsed.MoveValueUnsafe();
+
+  // Phase 2: the body, if Content-Length declares one. (Chunked request
+  // bodies are not accepted; SPARQL protocol clients send sized bodies.)
+  size_t content_length = 0;
+  const std::string_view length_header = request.Header("content-length");
+  if (!length_header.empty()) {
+    const std::string length_text(length_header);
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(length_text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || length_text.empty() ||
+        !std::isdigit(static_cast<unsigned char>(length_text[0]))) {
+      *http_status = 400;
+      return Status::InvalidArgument("malformed Content-Length");
+    }
+    content_length = static_cast<size_t>(v);
+  } else if (ToLower(request.Header("transfer-encoding")) == "chunked") {
+    *http_status = 400;
+    return Status::InvalidArgument("chunked request bodies not supported");
+  }
+  if (content_length > limits.max_body_bytes) {
+    *http_status = 413;
+    return Status::OutOfRange("request body exceeds limit");
+  }
+
+  request.body = buffer.substr(head_end + 4);
+  if (request.body.size() > content_length) {
+    // Pipelined extra bytes are not supported; treat as malformed.
+    *http_status = 400;
+    return Status::InvalidArgument("request body longer than Content-Length");
+  }
+  while (request.body.size() < content_length) {
+    const size_t want = std::min(sizeof(chunk),
+                                 content_length - request.body.size());
+    const ssize_t n = recv(fd, chunk, want, 0);
+    if (n == 0) {
+      *http_status = 400;
+      return Status::IOError("connection closed mid-body");
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        *http_status = 408;
+        return Status::IOError("receive timeout mid-body");
+      }
+      return Status::IOError(Format("recv: %s", std::strerror(errno)));
+    }
+    request.body.append(chunk, static_cast<size_t>(n));
+  }
+  return request;
+}
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 406: return "Not Acceptable";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 415: return "Unsupported Media Type";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string SimpleResponse(int status, std::string_view content_type,
+                           std::string_view body, bool keep_alive,
+                           const std::vector<std::string>& extra_headers) {
+  std::string out = Format("HTTP/1.1 %d %s\r\n", status,
+                              ReasonPhrase(status));
+  if (!content_type.empty()) {
+    out += "Content-Type: ";
+    out += content_type;
+    out += "\r\n";
+  }
+  out += Format("Content-Length: %zu\r\n", body.size());
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  for (const std::string& header : extra_headers) {
+    out += header;
+    out += "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+std::string ChunkedResponseHead(int status, std::string_view content_type,
+                                bool keep_alive) {
+  std::string out = Format("HTTP/1.1 %d %s\r\n", status,
+                              ReasonPhrase(status));
+  out += "Content-Type: ";
+  out += content_type;
+  out += "\r\n";
+  out += "Transfer-Encoding: chunked\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  return out;
+}
+
+std::string EncodeChunk(std::string_view data) {
+  if (data.empty()) return {};
+  std::string out = Format("%zx\r\n", data.size());
+  out += data;
+  out += "\r\n";
+  return out;
+}
+
+}  // namespace net
+}  // namespace slider

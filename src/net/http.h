@@ -1,0 +1,91 @@
+#ifndef SLIDER_NET_HTTP_H_
+#define SLIDER_NET_HTTP_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace slider {
+namespace net {
+
+/// \brief One parsed HTTP/1.1 request.
+///
+/// Header names are lowercased at parse time (HTTP headers are
+/// case-insensitive); values keep their bytes with surrounding whitespace
+/// trimmed. `path` is the percent-decoded request path without the query
+/// string; `query` is the *raw* (still-encoded) query string, since its
+/// parameters must be split on '&'/'=' before decoding.
+struct HttpRequest {
+  std::string method;   ///< uppercase token: "GET", "POST", ...
+  std::string target;   ///< raw request-target as received
+  std::string path;     ///< decoded path component
+  std::string query;    ///< raw query string (no leading '?'), may be empty
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First value of `name` (lowercase), or "" if absent.
+  std::string_view Header(std::string_view name) const;
+};
+
+/// Byte/size ceilings enforced while reading a request.
+struct HttpLimits {
+  size_t max_header_bytes = 16 * 1024;    ///< request line + headers
+  size_t max_body_bytes = 4 * 1024 * 1024;  ///< declared Content-Length cap
+};
+
+/// Decodes %XX escapes and '+' (as space) in a URL component. Rejects
+/// truncated or non-hex escapes.
+Result<std::string> PercentDecode(std::string_view text);
+
+/// Splits an application/x-www-form-urlencoded body (or a query string)
+/// into decoded key/value pairs, preserving order. Keys without '=' get an
+/// empty value. Returns an error on malformed percent-escapes.
+Result<std::vector<std::pair<std::string, std::string>>> ParseForm(
+    std::string_view text);
+
+/// Parses the head of a request (everything before the blank line; the
+/// terminating CRLFCRLF may be present or already stripped). Validates the
+/// request line, decodes the path and lowercases header names. Body is NOT
+/// read here — the socket reader appends it.
+Result<HttpRequest> ParseRequestHead(std::string_view head);
+
+/// Reads one full request from `fd`, enforcing `limits`. On failure,
+/// `*http_status` is the HTTP status code the server should answer with —
+/// 400 (malformed), 408 (timeout mid-request), 413 (body over limit),
+/// 431 (headers over limit) — or 0 when no response should be written
+/// (clean EOF before any byte, connection reset). `*saw_bytes` reports
+/// whether any request bytes arrived (distinguishes a keep-alive close from
+/// a truncated request).
+Result<HttpRequest> ReadHttpRequest(int fd, const HttpLimits& limits,
+                                    int* http_status, bool* saw_bytes);
+
+/// The canonical reason phrase for a status code ("OK", "Bad Request"...).
+const char* ReasonPhrase(int status);
+
+/// Serializes a complete non-streaming response with Content-Length.
+/// `extra_headers` lines must be "Name: value" without CRLF.
+std::string SimpleResponse(int status, std::string_view content_type,
+                           std::string_view body, bool keep_alive,
+                           const std::vector<std::string>& extra_headers = {});
+
+/// The head of a chunked streaming response (status line + headers +
+/// blank line); the caller then emits chunks via EncodeChunk and finishes
+/// with kLastChunk.
+std::string ChunkedResponseHead(int status, std::string_view content_type,
+                                bool keep_alive);
+
+/// Encodes one chunk of a chunked-transfer body. Empty input yields an
+/// empty string (an empty chunk would terminate the body).
+std::string EncodeChunk(std::string_view data);
+
+/// The terminating zero-length chunk.
+inline constexpr std::string_view kLastChunk = "0\r\n\r\n";
+
+}  // namespace net
+}  // namespace slider
+
+#endif  // SLIDER_NET_HTTP_H_

@@ -1,0 +1,177 @@
+#include "net/result_serializer.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "query/sparql.h"
+
+namespace slider {
+namespace net {
+
+namespace {
+
+/// Undoes N-Triples backslash escapes, yielding the raw character value.
+/// Unrecognized escapes keep the escaped character (lenient — the lexer
+/// already accepted the form).
+std::string UnescapeNtriples(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\' || i + 1 >= text.size()) {
+      out.push_back(text[i]);
+      continue;
+    }
+    const char next = text[++i];
+    switch (next) {
+      case 't': out.push_back('\t'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      default:
+        out.push_back('\\');
+        out.push_back(next);
+        break;
+    }
+  }
+  return out;
+}
+
+/// Splits a stored N-Triples lexical form into its JSON binding object.
+/// `lexical` is one of `<iri>`, `_:label`, `"body"`, `"body"@lang`,
+/// `"body"^^<datatype>`; anything else is emitted defensively as a plain
+/// literal of the whole form.
+std::string TermToJson(std::string_view lexical) {
+  if (lexical.size() >= 2 && lexical.front() == '<' &&
+      lexical.back() == '>') {
+    return "{\"type\":\"uri\",\"value\":\"" +
+           EscapeJson(lexical.substr(1, lexical.size() - 2)) + "\"}";
+  }
+  if (lexical.size() >= 2 && lexical[0] == '_' && lexical[1] == ':') {
+    return "{\"type\":\"bnode\",\"value\":\"" +
+           EscapeJson(lexical.substr(2)) + "\"}";
+  }
+  if (!lexical.empty() && lexical.front() == '"') {
+    // Find the closing quote, skipping escapes.
+    size_t close = std::string_view::npos;
+    for (size_t i = 1; i < lexical.size(); ++i) {
+      if (lexical[i] == '\\') {
+        ++i;
+      } else if (lexical[i] == '"') {
+        close = i;
+        break;
+      }
+    }
+    if (close != std::string_view::npos) {
+      const std::string body =
+          UnescapeNtriples(lexical.substr(1, close - 1));
+      const std::string_view suffix = lexical.substr(close + 1);
+      std::string out = "{\"type\":\"literal\",\"value\":\"" +
+                        EscapeJson(body) + "\"";
+      if (suffix.size() >= 2 && suffix[0] == '@') {
+        out += ",\"xml:lang\":\"" + EscapeJson(suffix.substr(1)) + "\"";
+      } else if (suffix.size() >= 4 && suffix.substr(0, 2) == "^^" &&
+                 suffix[2] == '<' && suffix.back() == '>') {
+        out += ",\"datatype\":\"" +
+               EscapeJson(suffix.substr(3, suffix.size() - 4)) + "\"";
+      }
+      out += "}";
+      return out;
+    }
+  }
+  return "{\"type\":\"literal\",\"value\":\"" + EscapeJson(lexical) + "\"}";
+}
+
+}  // namespace
+
+std::string EscapeJson(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+JsonSerializer::JsonSerializer(const Dictionary* dict, WriteFn write)
+    : dict_(dict), write_(std::move(write)) {}
+
+bool JsonSerializer::OnHeader(const std::vector<std::string>& variables) {
+  variables_ = variables;
+  std::string head = "{\"head\":{\"vars\":[";
+  for (size_t i = 0; i < variables.size(); ++i) {
+    if (i > 0) head += ",";
+    head += "\"" + EscapeJson(variables[i]) + "\"";
+  }
+  head += "]},\"results\":{\"bindings\":[";
+  healthy_ = write_(head);
+  return healthy_;
+}
+
+bool JsonSerializer::OnRow(const std::vector<TermId>& row) {
+  std::string out = first_row_ ? "{" : ",{";
+  first_row_ = false;
+  bool first_binding = true;
+  for (size_t i = 0; i < row.size() && i < variables_.size(); ++i) {
+    if (row[i] == kAbsentTermId || row[i] == kAnyTerm) continue;
+    if (!first_binding) out += ",";
+    first_binding = false;
+    out += "\"" + EscapeJson(variables_[i]) +
+           "\":" + TermToJson(dict_->DecodeUnchecked(row[i]));
+  }
+  out += "}";
+  healthy_ = write_(out);
+  return healthy_;
+}
+
+bool JsonSerializer::Finish() {
+  if (healthy_) healthy_ = write_("]}}");
+  return healthy_;
+}
+
+TsvSerializer::TsvSerializer(const Dictionary* dict, WriteFn write)
+    : dict_(dict), write_(std::move(write)) {}
+
+bool TsvSerializer::OnHeader(const std::vector<std::string>& variables) {
+  std::string head;
+  for (size_t i = 0; i < variables.size(); ++i) {
+    if (i > 0) head += "\t";
+    head += "?" + variables[i];
+  }
+  head += "\n";
+  healthy_ = write_(head);
+  return healthy_;
+}
+
+bool TsvSerializer::OnRow(const std::vector<TermId>& row) {
+  std::string out;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += "\t";
+    if (row[i] == kAbsentTermId || row[i] == kAnyTerm) continue;
+    out += dict_->DecodeUnchecked(row[i]);
+  }
+  out += "\n";
+  healthy_ = write_(out);
+  return healthy_;
+}
+
+}  // namespace net
+}  // namespace slider

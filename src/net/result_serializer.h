@@ -1,0 +1,87 @@
+#ifndef SLIDER_NET_RESULT_SERIALIZER_H_
+#define SLIDER_NET_RESULT_SERIALIZER_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "query/evaluator.h"
+#include "rdf/dictionary.h"
+
+namespace slider {
+namespace net {
+
+/// Byte sink the serializers write to. Returning false signals the
+/// destination is gone (client hung up); the serializer then reports false
+/// from its RowSink callbacks, which aborts the evaluation cleanly.
+using WriteFn = std::function<bool(std::string_view)>;
+
+/// Media types the server negotiates.
+inline constexpr std::string_view kJsonMediaType =
+    "application/sparql-results+json";
+inline constexpr std::string_view kTsvMediaType =
+    "text/tab-separated-values";
+
+/// Escapes `text` for inclusion in a JSON string (quotes not included).
+std::string EscapeJson(std::string_view text);
+
+/// \brief Streaming SPARQL 1.1 Results JSON writer.
+///
+/// A RowSink that renders each solution row the moment the join produces
+/// it: OnHeader() emits the document prefix ({"head":{"vars":[...]}} and
+/// the opening of results.bindings), each OnRow() one binding object, and
+/// Finish() the closing brackets. Memory is O(1) in the result size — only
+/// the row being rendered is buffered.
+///
+/// Term rendering follows the spec: IRIs as {"type":"uri"}, blank nodes as
+/// {"type":"bnode"} with the label, literals as {"type":"literal"} with
+/// optional "xml:lang"/"datatype". The dictionary's N-Triples lexical forms
+/// are unescaped before JSON re-escaping, so a stored `"a\"b"` round-trips
+/// as the two-character value a"b.
+class JsonSerializer : public RowSink {
+ public:
+  /// `dict` and `write` are borrowed; both must outlive the serializer.
+  JsonSerializer(const Dictionary* dict, WriteFn write);
+
+  bool OnHeader(const std::vector<std::string>& variables) override;
+  bool OnRow(const std::vector<TermId>& row) override;
+
+  /// Emits the document suffix. Returns false if any write failed.
+  bool Finish();
+
+ private:
+  const Dictionary* dict_;
+  WriteFn write_;
+  std::vector<std::string> variables_;
+  bool first_row_ = true;
+  bool healthy_ = true;
+};
+
+/// \brief Streaming SPARQL 1.1 TSV writer.
+///
+/// Same streaming contract as JsonSerializer. The TSV format carries full
+/// RDF term syntax, which is exactly the dictionary's stored lexical form,
+/// so rows are emitted verbatim — tabs and newlines inside literals are
+/// already backslash-escaped by the N-Triples lexer. Unbound positions
+/// (absent terms) serialize as empty fields.
+class TsvSerializer : public RowSink {
+ public:
+  TsvSerializer(const Dictionary* dict, WriteFn write);
+
+  bool OnHeader(const std::vector<std::string>& variables) override;
+  bool OnRow(const std::vector<TermId>& row) override;
+
+  /// TSV needs no suffix; reports write health for symmetry.
+  bool Finish() { return healthy_; }
+
+ private:
+  const Dictionary* dict_;
+  WriteFn write_;
+  bool healthy_ = true;
+};
+
+}  // namespace net
+}  // namespace slider
+
+#endif  // SLIDER_NET_RESULT_SERIALIZER_H_

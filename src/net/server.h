@@ -1,0 +1,135 @@
+#ifndef SLIDER_NET_SERVER_H_
+#define SLIDER_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/blocking_queue.h"
+#include "common/result.h"
+#include "net/coalescer.h"
+#include "net/http.h"
+#include "query/endpoint.h"
+
+namespace slider {
+namespace net {
+
+/// \brief HTTP/1.1 front end implementing the SPARQL 1.1 Protocol over a
+/// SparqlEndpoint. No third-party dependencies — raw POSIX sockets.
+///
+/// Threading model — thread-per-connection over a bounded pool:
+///  - One *acceptor* thread blocks in accept(). Each accepted fd is pushed
+///    onto a bounded BlockingQueue; `worker_threads` workers pop fds and
+///    own a connection end-to-end (read → evaluate → stream → keep-alive
+///    loop). A connection never migrates threads, so per-request state
+///    needs no synchronization; cross-connection safety is exactly the
+///    endpoint's contract (lock-free SELECTs, serialized updates).
+///  - Admission control: when the queue is full (all workers busy and the
+///    backlog at capacity) the acceptor answers 503 inline and closes —
+///    load-shedding at the door rather than letting latency grow unbounded.
+///    Per-request byte ceilings (HttpLimits → 413/431) and socket
+///    send/receive timeouts (→ 408) bound each connection's footprint.
+///
+/// Request surface (SPARQL 1.1 Protocol):
+///  - GET /sparql?query=...    — query via URL parameter
+///  - POST /sparql             — body per Content-Type:
+///      application/sparql-query        query in body
+///      application/sparql-update       update in body
+///      application/x-www-form-urlencoded  query=... or update=...
+///  - SELECT results stream as application/sparql-results+json (default)
+///    or text/tab-separated-values, chosen by the Accept header, with
+///    chunked transfer encoding: rows reach the socket as the evaluator
+///    produces them, so memory stays O(1) in the result size and time to
+///    first byte is independent of result count. A client that disconnects
+///    mid-stream aborts its evaluation at the next row.
+///  - Updates route through an UpdateCoalescer (see coalescer.h), batching
+///    concurrent small writes into one reasoner round.
+///
+/// Status codes: 400 parse/protocol errors, 404 unknown path, 405 unknown
+/// method, 406 unsatisfiable Accept, 408 client too slow, 413/431 request
+/// too large, 415 unknown POST Content-Type, 503 admission reject.
+class SparqlHttpServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;  ///< 0 = ephemeral; see port() after Start()
+    int worker_threads = 4;
+    /// Accepted connections waiting for a worker; overflow → 503.
+    size_t max_queued = 64;
+    HttpLimits limits;
+    int recv_timeout_ms = 5000;
+    int send_timeout_ms = 5000;
+    UpdateCoalescer::Options coalescer;
+  };
+
+  /// Monotonic counters (relaxed; exact at quiescence).
+  struct Stats {
+    uint64_t served = 0;        ///< requests answered 2xx
+    uint64_t client_errors = 0; ///< 4xx answers
+    uint64_t rejected = 0;      ///< 503 admission rejects
+    uint64_t disconnects = 0;   ///< mid-response client hangups
+  };
+
+  /// `endpoint` is borrowed and must outlive the server.
+  SparqlHttpServer(SparqlEndpoint* endpoint, Options options);
+  ~SparqlHttpServer();
+
+  SparqlHttpServer(const SparqlHttpServer&) = delete;
+  SparqlHttpServer& operator=(const SparqlHttpServer&) = delete;
+
+  /// Binds, listens and spawns the acceptor + workers. IOError on bind
+  /// failure. Not restartable after Stop().
+  Status Start();
+
+  /// Closes the listener, drains the fd queue, joins all threads.
+  /// Connections mid-request finish their current response. Idempotent.
+  void Stop();
+
+  /// The bound port (after Start(); useful with port = 0).
+  uint16_t port() const { return port_; }
+
+  Stats stats() const;
+
+  const UpdateCoalescer& coalescer() const { return *coalescer_; }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  /// Serves one connection's keep-alive loop; owns and closes `fd`.
+  void HandleConnection(int fd);
+  /// Serves one parsed request. `keep_alive` is the client's preference
+  /// (HTTP/1.1 default unless "Connection: close"); responses echo it, and
+  /// the return value is false when the connection must close afterwards
+  /// (client asked, error, or client gone).
+  bool HandleRequest(int fd, const HttpRequest& request, bool keep_alive);
+  /// Runs a SELECT and streams the response; returns false to close.
+  bool ServeQuery(int fd, const std::string& query, std::string_view accept,
+                  bool keep_alive);
+  bool ServeUpdate(int fd, const std::string& update, bool keep_alive);
+  /// Writes a full buffer to `fd`; false on error/disconnect.
+  bool WriteAll(int fd, std::string_view data);
+
+  SparqlEndpoint* endpoint_;
+  const Options options_;
+  std::unique_ptr<UpdateCoalescer> coalescer_;
+  /// Atomic because Stop() retires it (exchange to -1, shutdown, close)
+  /// while the acceptor thread is still loading it for accept().
+  std::atomic<int> listen_fd_{-1};
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  BlockingQueue<int> pending_;
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  std::atomic<uint64_t> served_{0};
+  std::atomic<uint64_t> client_errors_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> disconnects_{0};
+};
+
+}  // namespace net
+}  // namespace slider
+
+#endif  // SLIDER_NET_SERVER_H_

@@ -97,6 +97,24 @@ Result<QueryResult> SparqlEndpoint::Select(std::string_view text) const {
   }
 
   const std::string key(text);
+  Result<PlanPtr> cached = ObtainPlan(key, provider);
+  if (!cached.ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return cached.status();
+  }
+
+  Result<QueryResult> rows =
+      QueryEvaluator(&provider).Evaluate((*cached)->query, (*cached)->order);
+  if (!rows.ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return rows.status();
+  }
+  selects_.fetch_add(1, std::memory_order_relaxed);
+  return rows;
+}
+
+Result<SparqlEndpoint::PlanPtr> SparqlEndpoint::ObtainPlan(
+    const std::string& key, const MatchProvider& provider) const {
   PlanPtr cached = PlanLookup(key);
   const uint64_t generation = generation_.load(std::memory_order_acquire);
   if (cached != nullptr && cached->generation != generation) {
@@ -125,11 +143,8 @@ Result<QueryResult> SparqlEndpoint::Select(std::string_view text) const {
     plan_hits_.fetch_add(1, std::memory_order_relaxed);
   }
   if (cached == nullptr) {
-    Result<Query> query = SparqlParser::Parse(text, *repo_->dictionary());
-    if (!query.ok()) {
-      errors_.fetch_add(1, std::memory_order_relaxed);
-      return query.status();
-    }
+    Result<Query> query = SparqlParser::Parse(key, *repo_->dictionary());
+    if (!query.ok()) return query.status();
     auto fresh = std::make_shared<PlanEntry>();
     fresh->query = std::move(*query);
     fresh->order = QueryEvaluator::PlanJoinOrder(fresh->query, provider);
@@ -145,15 +160,48 @@ Result<QueryResult> SparqlEndpoint::Select(std::string_view text) const {
     PlanStore(key, cached);
     plan_misses_.fetch_add(1, std::memory_order_relaxed);
   }
+  return cached;
+}
 
-  Result<QueryResult> rows =
-      QueryEvaluator(&provider).Evaluate(cached->query, cached->order);
-  if (!rows.ok()) {
+Status SparqlEndpoint::SelectStreaming(std::string_view text,
+                                       RowSink* sink) const {
+  // Same locking discipline as Select(): lock-free under the in-place
+  // modes, serialized against updates under the batch modes. Note that a
+  // slow sink holds the lock for the whole stream in the latter case —
+  // another reason the service modes are the in-place ones.
+  std::unique_lock<std::mutex> lock(update_mu_, std::defer_lock);
+  if (serialize_selects_) lock.lock();
+  const MatchProvider& provider = *repo_->provider();
+
+  if (plan_cache_capacity_ == 0) {
+    Result<Query> query = SparqlParser::Parse(text, *repo_->dictionary());
+    if (!query.ok()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return query.status();
+    }
+    Status streamed = QueryEvaluator(&provider).Stream(*query, sink);
+    if (!streamed.ok()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return streamed;
+    }
+    selects_.fetch_add(1, std::memory_order_relaxed);
+    return streamed;
+  }
+
+  const std::string key(text);
+  Result<PlanPtr> cached = ObtainPlan(key, provider);
+  if (!cached.ok()) {
     errors_.fetch_add(1, std::memory_order_relaxed);
-    return rows.status();
+    return cached.status();
+  }
+  Status streamed = QueryEvaluator(&provider).Stream((*cached)->query,
+                                                     (*cached)->order, sink);
+  if (!streamed.ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return streamed;
   }
   selects_.fetch_add(1, std::memory_order_relaxed);
-  return rows;
+  return streamed;
 }
 
 Result<UpdateResult> SparqlEndpoint::Update(std::string_view text) {
@@ -168,7 +216,17 @@ Result<UpdateResult> SparqlEndpoint::Update(std::string_view text) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     return request.status();
   }
-  Result<UpdateResult> result = repo_->ExecuteUpdate(*request);
+  return ApplyUpdateLocked(*request);
+}
+
+Result<UpdateResult> SparqlEndpoint::Update(const UpdateRequest& request) {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  return ApplyUpdateLocked(request);
+}
+
+Result<UpdateResult> SparqlEndpoint::ApplyUpdateLocked(
+    const UpdateRequest& request) {
+  Result<UpdateResult> result = repo_->ExecuteUpdate(request);
   if (!result.ok()) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     return result.status();

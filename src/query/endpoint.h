@@ -98,10 +98,28 @@ class SparqlEndpoint {
   /// threads concurrently with updates (see the class comment).
   Result<QueryResult> Select(std::string_view text) const;
 
+  /// Streaming SELECT: parses and plans exactly as Select() (plan cache
+  /// included), then delivers rows to `sink` as the join produces them —
+  /// O(1) memory in the result size, the contract the HTTP server's
+  /// serializers stream on. Parse/validation errors are returned before any
+  /// sink callback; a sink returning false aborts the evaluation cleanly
+  /// (not an error). Concurrency is identical to Select().
+  Status SelectStreaming(std::string_view text, RowSink* sink) const;
+
   /// Parses and applies an update request (INSERT DATA / DELETE DATA /
-  /// DELETE WHERE, ';'-separated). Updates from concurrent sessions are
-  /// serialized in arrival order.
+  /// DELETE WHERE / INSERT-DELETE templates, ';'-separated). Updates from
+  /// concurrent sessions are serialized in arrival order.
   Result<UpdateResult> Update(std::string_view text);
+
+  /// Applies an already-parsed update request under the same serialization.
+  /// The coalescer's entry point: parsing (dictionary encodes are
+  /// thread-safe) happens outside the update mutex, so batches assemble
+  /// while an earlier batch executes.
+  Result<UpdateResult> Update(const UpdateRequest& request);
+
+  /// The repository this endpoint serves (borrowed). The network layer uses
+  /// it for read-only dictionary access when parsing/serializing.
+  Repository* repository() const { return repo_; }
 
   Stats stats() const;
 
@@ -131,6 +149,15 @@ class SparqlEndpoint {
 
   /// Looks up `text`, refreshing LRU recency. Null on miss or cache off.
   PlanPtr PlanLookup(const std::string& text) const;
+
+  /// The cached-plan path shared by Select and SelectStreaming: lookup,
+  /// re-plan stale entries, parse + plan + store on miss. Never null on
+  /// success. Requires plan_cache_capacity_ > 0.
+  Result<PlanPtr> ObtainPlan(const std::string& key,
+                             const MatchProvider& provider) const;
+
+  /// Executes `request` with update_mu_ held: run, count, bump generation.
+  Result<UpdateResult> ApplyUpdateLocked(const UpdateRequest& request);
 
   /// Inserts/replaces `text`'s entry at the front, evicting the tail past
   /// capacity.

@@ -4,6 +4,7 @@
 #include <limits>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "common/string_util.h"
@@ -88,13 +89,30 @@ int UnboundCount(const QueryPattern& pattern,
   return count;
 }
 
+/// Hash over a solution row, for the streaming DISTINCT dedup set.
+struct RowHash {
+  size_t operator()(const std::vector<TermId>& row) const {
+    size_t h = 1469598103934665603ull;  // FNV-1a offset basis
+    for (const TermId v : row) {
+      h ^= static_cast<size_t>(v);
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
 class Joiner {
  public:
   /// `fixed_order` (borrowed, may be null) freezes the join order: level d
   /// joins pattern (*fixed_order)[d] instead of re-running the greedy pick.
+  /// `sink` (borrowed, may be null) switches to streaming delivery: rows go
+  /// to the sink as produced instead of into a QueryResult; DISTINCT then
+  /// deduplicates incrementally (first-seen order) instead of sorting.
   Joiner(const Query& query, const MatchProvider* provider,
-         const std::vector<int>* fixed_order = nullptr)
-      : query_(query), provider_(provider), fixed_order_(fixed_order) {}
+         const std::vector<int>* fixed_order = nullptr,
+         RowSink* sink = nullptr)
+      : query_(query), provider_(provider), fixed_order_(fixed_order),
+        sink_(sink) {}
 
   QueryResult Run() {
     QueryResult result;
@@ -104,10 +122,15 @@ class Joiner {
     std::vector<TermId> bindings(query_.variables.size(), kUnbound);
     std::vector<bool> used(query_.where.size(), false);
     Recurse(bindings, used, 0, &result);
-    if (query_.distinct) {
+    if (sink_ == nullptr && query_.distinct) {
+      // Buffered DISTINCT: dedup by sort (deterministic output order), then
+      // slice — OFFSET/LIMIT address the *distinct* solution sequence.
       std::sort(result.rows.begin(), result.rows.end());
       result.rows.erase(std::unique(result.rows.begin(), result.rows.end()),
                         result.rows.end());
+      const size_t skip = std::min(query_.offset, result.rows.size());
+      result.rows.erase(result.rows.begin(),
+                        result.rows.begin() + static_cast<ptrdiff_t>(skip));
       if (query_.has_limit && result.rows.size() > query_.limit) {
         result.rows.resize(query_.limit);
       }
@@ -116,11 +139,46 @@ class Joiner {
   }
 
  private:
-  bool LimitReached(const QueryResult& result) const {
-    // Under DISTINCT, rows deduplicate at the end, so early cut-off is only
-    // safe without it. LIMIT 0 is an explicit "zero rows", reached at once.
-    return !query_.distinct && query_.has_limit &&
-           result.rows.size() >= query_.limit;
+  /// True once no further solution may be produced: LIMIT satisfied or the
+  /// sink aborted. Under buffered DISTINCT the limit can only be applied
+  /// after the global dedup, so it never cuts the join early there.
+  bool Done() const { return done_; }
+
+  /// Delivers one complete binding: projects the row, then routes it
+  /// through DISTINCT dedup, OFFSET skip and LIMIT accounting.
+  void Emit(const std::vector<TermId>& bindings, QueryResult* result) {
+    scratch_.clear();
+    for (int var : query_.projection) {
+      scratch_.push_back(bindings[static_cast<size_t>(var)]);
+    }
+    if (query_.distinct) {
+      if (sink_ == nullptr) {
+        // Dedup + slice happen after the join (sorted); collect everything.
+        result->rows.push_back(scratch_);
+        return;
+      }
+      if (!distinct_seen_.insert(scratch_).second) return;
+    }
+    if (skipped_ < query_.offset) {
+      ++skipped_;
+      return;
+    }
+    // Pre-check makes LIMIT 0 emit nothing; post-check stops the join the
+    // moment the last wanted row is out.
+    if (query_.has_limit && emitted_ >= query_.limit) {
+      done_ = true;
+      return;
+    }
+    if (sink_ != nullptr) {
+      if (!sink_->OnRow(scratch_)) {
+        done_ = true;  // client abort: unwind without further matches
+        return;
+      }
+    } else {
+      result->rows.push_back(scratch_);
+    }
+    ++emitted_;
+    if (query_.has_limit && emitted_ >= query_.limit) done_ = true;
   }
 
   /// Estimate with a per-evaluation memo for the expensive shape: a
@@ -162,14 +220,9 @@ class Joiner {
 
   void Recurse(std::vector<TermId>& bindings, std::vector<bool>& used,
                size_t depth, QueryResult* result) {
-    if (LimitReached(*result)) return;
+    if (Done()) return;
     if (depth == query_.where.size()) {
-      std::vector<TermId> row;
-      row.reserve(query_.projection.size());
-      for (int var : query_.projection) {
-        row.push_back(bindings[static_cast<size_t>(var)]);
-      }
-      result->rows.push_back(std::move(row));
+      Emit(bindings, result);
       return;
     }
     const int pick = fixed_order_ != nullptr ? (*fixed_order_)[depth]
@@ -179,7 +232,7 @@ class Joiner {
     const QueryPattern& pattern = query_.where[static_cast<size_t>(pick)];
     const TriplePattern concrete = Instantiate(pattern, bindings);
     provider_->Match(concrete, [&](const Triple& t) {
-      if (LimitReached(*result)) return;
+      if (Done()) return;
       // Bind the pattern's variables to this triple; consistent by
       // construction for positions already bound (they were concrete).
       // A variable used twice in one pattern must match both positions.
@@ -207,6 +260,13 @@ class Joiner {
   const Query& query_;
   const MatchProvider* provider_;
   const std::vector<int>* fixed_order_;  // borrowed; null = dynamic greedy
+  RowSink* sink_;                        // borrowed; null = buffered
+  bool done_ = false;       // LIMIT satisfied or sink aborted
+  size_t skipped_ = 0;      // OFFSET rows dropped so far
+  size_t emitted_ = 0;      // rows delivered past the OFFSET window
+  std::vector<TermId> scratch_;  // projected-row buffer, reused per Emit
+  /// Streaming DISTINCT: rows already delivered (first-seen dedup).
+  std::unordered_set<std::vector<TermId>, RowHash> distinct_seen_;
   /// Concrete pattern → estimate, for Estimate()'s sweep-shaped patterns.
   /// Estimates are snapshots anyway, so staleness across one evaluation is
   /// within contract.
@@ -266,6 +326,33 @@ Result<QueryResult> QueryEvaluator::Evaluate(
   const std::vector<int>* fixed =
       join_order.size() == query.where.size() ? &join_order : nullptr;
   return Joiner(query, provider_, fixed).Run();
+}
+
+Status QueryEvaluator::Stream(const Query& query, RowSink* sink) const {
+  static const std::vector<int> kDynamicOrder;
+  return Stream(query, kDynamicOrder, sink);
+}
+
+Status QueryEvaluator::Stream(const Query& query,
+                              const std::vector<int>& join_order,
+                              RowSink* sink) const {
+  if (auto early = PreJoin(query)) {
+    SLIDER_RETURN_NOT_OK(early->status());
+    // Unsatisfiable: deliver the header and no rows, as the buffered path's
+    // empty table does.
+    sink->OnHeader((*early)->variables);
+    return Status::OK();
+  }
+  std::vector<std::string> header;
+  header.reserve(query.projection.size());
+  for (int var : query.projection) {
+    header.push_back(query.variables[static_cast<size_t>(var)]);
+  }
+  if (!sink->OnHeader(header)) return Status::OK();
+  const std::vector<int>* fixed =
+      join_order.size() == query.where.size() ? &join_order : nullptr;
+  Joiner(query, provider_, fixed, sink).Run();
+  return Status::OK();
 }
 
 std::vector<int> QueryEvaluator::PlanJoinOrder(const Query& query,

@@ -62,14 +62,36 @@ struct QueryResult {
   std::string ToTsv(const Dictionary& dict) const;
 };
 
+/// \brief Streaming consumer of SELECT solutions: rows are delivered as the
+/// join produces them, so a large result set never materialises in memory —
+/// the contract the HTTP result serializers are built on (src/net).
+///
+/// OnHeader is invoked exactly once, before any row, with the projected
+/// variable names; OnRow once per solution, in production order (for
+/// DISTINCT queries the order is first-seen and rows are deduplicated
+/// incrementally, unlike the buffered path's sorted output). Either callback
+/// may return false to abort the evaluation — the join unwinds without
+/// visiting further matches, which is how a disconnected client cancels an
+/// expensive query mid-stream.
+class RowSink {
+ public:
+  virtual ~RowSink() = default;
+
+  /// Projected variable names, in projection order. Return false to abort.
+  virtual bool OnHeader(const std::vector<std::string>& variables) = 0;
+
+  /// One solution; `row` is only valid during the call. False aborts.
+  virtual bool OnRow(const std::vector<TermId>& row) = 0;
+};
+
 /// \brief Basic-graph-pattern evaluator: selectivity-ordered backtracking
 /// joins over any MatchProvider.
 class QueryEvaluator {
  public:
   explicit QueryEvaluator(const MatchProvider* provider) : provider_(provider) {}
 
-  /// Evaluates `query`, honouring DISTINCT and LIMIT. Join order is chosen
-  /// greedily per join level from live cardinality estimates.
+  /// Evaluates `query`, honouring DISTINCT, LIMIT and OFFSET. Join order is
+  /// chosen greedily per join level from live cardinality estimates.
   Result<QueryResult> Evaluate(const Query& query) const;
 
   /// Evaluates `query` with a pre-planned static join order (one pattern
@@ -79,6 +101,19 @@ class QueryEvaluator {
   /// dynamic ordering.
   Result<QueryResult> Evaluate(const Query& query,
                                const std::vector<int>& join_order) const;
+
+  /// Streaming evaluation: delivers each solution to `sink` as the join
+  /// produces it instead of buffering a QueryResult — O(1) memory in the
+  /// result size (modulo DISTINCT's dedup set). Validation errors (unknown
+  /// projection, projected-but-unused variable) are returned before any
+  /// sink callback; an unsatisfiable query delivers the header and no rows.
+  /// A sink callback returning false aborts the join cleanly; the abort is
+  /// not an error (Stream still returns OK).
+  Status Stream(const Query& query, RowSink* sink) const;
+
+  /// Streaming evaluation with a pre-planned static join order, as above.
+  Status Stream(const Query& query, const std::vector<int>& join_order,
+                RowSink* sink) const;
 
   /// Plans a static join order for `query` against `provider`'s current
   /// cardinalities: a simulation of the dynamic greedy ordering where

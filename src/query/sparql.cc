@@ -261,17 +261,19 @@ class Parser {
 
   Status ParseUpdateOp(UpdateOp* op) {
     if (ConsumeKeyword("INSERT")) {
-      if (!ConsumeKeyword("DATA")) {
-        return Status::InvalidArgument("expected DATA after INSERT");
+      if (ConsumeKeyword("DATA")) {
+        op->kind = UpdateOp::Kind::kInsertData;
+        if (encode_dict_ == nullptr) {
+          return Status::InvalidArgument(
+              "INSERT DATA needs a writable dictionary");
+        }
+        encoding_ = true;
+        const Status st = ParseDataBlock(&op->data, /*drop_missing=*/false);
+        encoding_ = false;
+        return st;
       }
-      op->kind = UpdateOp::Kind::kInsertData;
-      if (encode_dict_ == nullptr) {
-        return Status::InvalidArgument("INSERT DATA needs a writable dictionary");
-      }
-      encoding_ = true;
-      const Status st = ParseDataBlock(&op->data, /*drop_missing=*/false);
-      encoding_ = false;
-      return st;
+      // INSERT { template } WHERE { patterns }
+      return ParseModifyTail(op, /*parse_delete_template=*/false);
     }
     if (!ConsumeKeyword("DELETE")) {
       return Status::InvalidArgument("expected INSERT or DELETE");
@@ -295,11 +297,87 @@ class Parser {
       op->unsatisfiable = missed_any_;
       return Status::OK();
     }
-    return Status::InvalidArgument("expected DATA or WHERE after DELETE");
+    // DELETE { template } [INSERT { template }] WHERE { patterns }
+    return ParseModifyTail(op, /*parse_delete_template=*/true);
+  }
+
+  /// The templated update forms, from just after the leading keyword:
+  ///
+  ///   INSERT { template } WHERE { patterns }               (!parse_delete)
+  ///   DELETE { template } [INSERT { tmpl }] WHERE { ... }  (parse_delete)
+  ///
+  /// DELETE templates are parsed in lookup mode — an absent term inerts
+  /// only the instantiations carrying it. INSERT templates encode: they are
+  /// a place the grammar introduces new data, exactly like INSERT DATA.
+  /// Only WHERE-block lookup misses make the operation unsatisfiable.
+  Status ParseModifyTail(UpdateOp* op, bool parse_delete_template) {
+    op->kind = UpdateOp::Kind::kModify;
+    if (encode_dict_ == nullptr) {
+      return Status::InvalidArgument(
+          "templated updates need a writable dictionary");
+    }
+    query_.variables.clear();
+    if (parse_delete_template) {
+      SLIDER_RETURN_NOT_OK(ParsePatternBlock(&op->delete_template));
+    }
+    if (!parse_delete_template || ConsumeKeyword("INSERT")) {
+      encoding_ = true;
+      const Status st = ParsePatternBlock(&op->insert_template);
+      encoding_ = false;
+      SLIDER_RETURN_NOT_OK(st);
+    }
+    if (!ConsumeKeyword("WHERE")) {
+      return Status::InvalidArgument("expected WHERE after update template");
+    }
+    missed_any_ = false;  // template misses are inert; only WHERE decides
+    SLIDER_RETURN_NOT_OK(ParsePatternBlock(&op->where));
+    if (op->where.empty()) {
+      return Status::InvalidArgument("empty WHERE block in update");
+    }
+    op->unsatisfiable = missed_any_;
+    op->variables = std::move(query_.variables);
+    query_.variables.clear();
+    // Every template variable must be bound by the WHERE block — an unbound
+    // one would instantiate to garbage, so reject it loudly at parse time.
+    for (const std::vector<QueryPattern>* tmpl :
+         {&op->delete_template, &op->insert_template}) {
+      for (const QueryPattern& pattern : *tmpl) {
+        for (const QueryTerm* term : {&pattern.s, &pattern.p, &pattern.o}) {
+          if (!term->IsVariable()) continue;
+          bool bound = false;
+          for (const QueryPattern& w : op->where) {
+            for (const QueryTerm* wt : {&w.s, &w.p, &w.o}) {
+              if (wt->IsVariable() && wt->var == term->var) {
+                bound = true;
+                break;
+              }
+            }
+            if (bound) break;
+          }
+          if (!bound) {
+            return Status::InvalidArgument(Format(
+                "template variable '?%s' is not bound by the WHERE block",
+                op->variables[static_cast<size_t>(term->var)].c_str()));
+          }
+        }
+      }
+    }
+    return Status::OK();
   }
 
   Status ParseModifiers() {
-    if (ConsumeKeyword("LIMIT")) {
+    // LIMIT and OFFSET, at most once each, in either order (as in the
+    // SPARQL grammar, where the solution modifiers are unordered). OFFSET
+    // used to fall through as trailing content and fail the whole query.
+    bool saw_limit = false;
+    bool saw_offset = false;
+    while (true) {
+      const bool is_limit = ConsumeKeyword("LIMIT");
+      if (!is_limit && !ConsumeKeyword("OFFSET")) break;
+      const char* name = is_limit ? "LIMIT" : "OFFSET";
+      if ((is_limit && saw_limit) || (!is_limit && saw_offset)) {
+        return Status::InvalidArgument(Format("duplicate %s clause", name));
+      }
       SkipWhitespace();
       size_t digits = 0;
       size_t value = 0;
@@ -309,11 +387,17 @@ class Parser {
         ++digits;
       }
       if (digits == 0) {
-        return Status::InvalidArgument("LIMIT needs a number");
+        return Status::InvalidArgument(Format("%s needs a number", name));
       }
-      // Explicit has/value pair: LIMIT 0 means zero rows, not "no limit".
-      query_.has_limit = true;
-      query_.limit = value;
+      if (is_limit) {
+        // Explicit has/value pair: LIMIT 0 means zero rows, not "no limit".
+        query_.has_limit = true;
+        query_.limit = value;
+        saw_limit = true;
+      } else {
+        query_.offset = value;
+        saw_offset = true;
+      }
     }
     return Status::OK();
   }
@@ -389,10 +473,16 @@ class Parser {
       }
       ++i;  // past closing quote
       if (i < text_.size() && text_[i] == '@') {
-        while (i < text_.size() &&
-               !std::isspace(static_cast<unsigned char>(text_[i])) &&
-               text_[i] != '.' && text_[i] != '}') {
-          ++i;
+        // The language tag ends at any character that cannot be part of one
+        // — same rules as the N-Triples lexer: whitespace and the statement
+        // dot, plus the query grammar's punctuation (';', ',', ')', '}').
+        // The old whitespace/./}-only set let "@fr," swallow the comma into
+        // the tag, turning a present term into a silent lookup miss — or,
+        // in INSERT DATA, encoding the garbage form into the dictionary.
+        const size_t tag_start = ++i;
+        while (i < text_.size() && IsLangTagChar(text_[i])) ++i;
+        if (i == tag_start) {
+          return Status::InvalidArgument("empty language tag");
         }
       } else if (i + 1 < text_.size() && text_[i] == '^' && text_[i + 1] == '^') {
         const size_t close = text_.find('>', i);
@@ -435,6 +525,13 @@ class Parser {
   /// triples, so "_:b." must end the label at "b".
   static bool IsBlankLabelChar(char c) {
     return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+  }
+
+  /// True iff `c` can be part of a language tag (BCP 47 shape: letters,
+  /// digits and '-'). A positive class, so every piece of punctuation —
+  /// '.', '}', ';', ',', ')' and whitespace — terminates the tag.
+  static bool IsLangTagChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '-';
   }
 
   /// True iff `c` can continue a name or prefixed name (`:` included, so a

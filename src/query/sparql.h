@@ -53,7 +53,7 @@ struct QueryPattern {
 ///   [PREFIX name: <iri>]*
 ///   SELECT (DISTINCT)? (?var+ | *)
 ///   WHERE { pattern ("." pattern)* "."? }
-///   (LIMIT n)?
+///   (LIMIT n | OFFSET n)*
 ///
 /// where each pattern term is `?var`, `<iri>`, `prefix:local`, a literal
 /// ("..." with optional @lang / ^^<datatype>), or the keyword `a`
@@ -68,6 +68,11 @@ struct Query {
   bool distinct = false;
   bool has_limit = false;  ///< LIMIT clause present (LIMIT 0 is zero rows)
   size_t limit = 0;        ///< valid iff has_limit
+  /// OFFSET clause: the first `offset` solutions are skipped before LIMIT
+  /// counts (SPARQL's slice semantics — the HTTP paging primitive). Without
+  /// ORDER BY the solution sequence is only deterministic under DISTINCT
+  /// (sorted), so paging clients should pair OFFSET with DISTINCT.
+  size_t offset = 0;
   /// A bound term was absent from the dictionary: no stored triple can
   /// match, so evaluation short-circuits to an empty result.
   bool unsatisfiable = false;
@@ -83,24 +88,40 @@ struct Query {
 ///   INSERT DATA { triple ("." triple)* "."? }
 ///   DELETE DATA { triple ("." triple)* "."? }
 ///   DELETE WHERE { pattern ("." pattern)* "."? }
+///   INSERT { template } WHERE { pattern ... }
+///   DELETE { template } WHERE { pattern ... }
+///   DELETE { template } INSERT { template } WHERE { pattern ... }
 ///
 /// where the DATA triples are ground (no variables; literals in object
 /// position only) and DELETE WHERE patterns follow the SELECT pattern
 /// grammar. The pattern block of DELETE WHERE is both the match and the
-/// deletion template, as in SPARQL 1.1.
+/// deletion template, as in SPARQL 1.1. The templated forms (kModify)
+/// evaluate the WHERE block once and instantiate the templates from each
+/// solution; every template variable must be bound by the WHERE block
+/// (rejected at parse otherwise), and blank nodes are not allowed in
+/// templates (SPARQL's fresh-node-per-solution semantics is not
+/// implemented; use INSERT DATA's dictionary-global labels instead).
 ///
-/// Only INSERT DATA encodes unseen terms into the dictionary. DELETE DATA
-/// terms are looked up: a triple naming an unknown term cannot be stored,
-/// so it is dropped from `data` at parse time. DELETE WHERE terms are
-/// looked up too; an absent bound term makes the operation `unsatisfiable`
-/// (it deletes nothing).
+/// Only INSERT DATA and INSERT templates encode unseen terms into the
+/// dictionary. DELETE DATA terms are looked up: a triple naming an unknown
+/// term cannot be stored, so it is dropped from `data` at parse time.
+/// DELETE WHERE / WHERE-block terms are looked up too; an absent bound term
+/// in the WHERE block makes the operation `unsatisfiable` (it matches
+/// nothing). An absent bound term in a DELETE template only inerts the
+/// instantiations that carry it.
 struct UpdateOp {
-  enum class Kind { kInsertData, kDeleteData, kDeleteWhere };
+  enum class Kind { kInsertData, kDeleteData, kDeleteWhere, kModify };
   Kind kind = Kind::kInsertData;
   TripleVec data;                      ///< kInsertData / kDeleteData
-  std::vector<std::string> variables;  ///< kDeleteWhere, first-seen order
-  std::vector<QueryPattern> where;     ///< kDeleteWhere
-  bool unsatisfiable = false;          ///< kDeleteWhere: absent bound term
+  std::vector<std::string> variables;  ///< kDeleteWhere/kModify, first-seen
+  std::vector<QueryPattern> where;     ///< kDeleteWhere/kModify
+  /// kModify only: the deletion/insertion templates, instantiated from each
+  /// WHERE solution. Either may be empty (pure INSERT WHERE / DELETE WHERE
+  /// with a separate template); deletions apply before insertions, both
+  /// computed against the pre-update store.
+  std::vector<QueryPattern> delete_template;
+  std::vector<QueryPattern> insert_template;
+  bool unsatisfiable = false;  ///< kDeleteWhere/kModify: absent WHERE term
 };
 
 /// \brief A parsed SPARQL Update request: one or more operations separated

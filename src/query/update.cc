@@ -5,18 +5,12 @@
 
 namespace slider {
 
-Result<TripleVec> ExpandDeleteWhere(const UpdateOp& op,
-                                    const TripleStore& store) {
-  if (op.kind != UpdateOp::Kind::kDeleteWhere) {
-    return Status::InvalidArgument("operation is not DELETE WHERE");
-  }
-  if (op.unsatisfiable) {
-    return TripleVec{};
-  }
-  // The pattern block doubles as a SELECT over all its variables; each
-  // solution row then grounds the same patterns. Ground patterns (no
-  // variables) degenerate to a containment probe: one empty solution row if
-  // the store matches, none otherwise.
+namespace {
+
+/// Evaluates `op`'s WHERE block as a SELECT over all its variables. Ground
+/// patterns (no variables) degenerate to a containment probe: one empty
+/// solution row if the store matches, none otherwise.
+Result<QueryResult> SolveWhere(const UpdateOp& op, const TripleStore& store) {
   Query query;
   query.variables = op.variables;
   query.where = op.where;
@@ -25,23 +19,62 @@ Result<TripleVec> ExpandDeleteWhere(const UpdateOp& op,
     query.projection.push_back(static_cast<int>(i));
   }
   ForwardProvider provider(&store);
-  SLIDER_ASSIGN_OR_RETURN(QueryResult solutions,
-                          QueryEvaluator(&provider).Evaluate(query));
+  return QueryEvaluator(&provider).Evaluate(query);
+}
 
+/// Grounds each pattern of `tmpl` with each solution row, deduplicating.
+/// Instantiations carrying kAbsentTermId (a delete-template term unknown to
+/// the dictionary) denote triples that cannot exist and are dropped.
+TripleVec Instantiate(const std::vector<QueryPattern>& tmpl,
+                      const QueryResult& solutions) {
   TripleSet seen;
-  TripleVec victims;
+  TripleVec out;
   for (const auto& row : solutions.rows) {
     const auto resolve = [&](const QueryTerm& term) -> TermId {
       return term.IsVariable() ? row[static_cast<size_t>(term.var)]
                                : term.term;
     };
-    for (const QueryPattern& pattern : op.where) {
+    for (const QueryPattern& pattern : tmpl) {
       const Triple t{resolve(pattern.s), resolve(pattern.p),
                      resolve(pattern.o)};
-      if (seen.insert(t).second) victims.push_back(t);
+      if (t.s == kAbsentTermId || t.p == kAbsentTermId ||
+          t.o == kAbsentTermId) {
+        continue;
+      }
+      if (seen.insert(t).second) out.push_back(t);
     }
   }
-  return victims;
+  return out;
+}
+
+}  // namespace
+
+Result<TripleVec> ExpandDeleteWhere(const UpdateOp& op,
+                                    const TripleStore& store) {
+  if (op.kind != UpdateOp::Kind::kDeleteWhere) {
+    return Status::InvalidArgument("operation is not DELETE WHERE");
+  }
+  if (op.unsatisfiable) {
+    return TripleVec{};
+  }
+  // The pattern block is both the match and the deletion template.
+  SLIDER_ASSIGN_OR_RETURN(QueryResult solutions, SolveWhere(op, store));
+  return Instantiate(op.where, solutions);
+}
+
+Result<ModifyDelta> ExpandModify(const UpdateOp& op, const TripleStore& store) {
+  if (op.kind != UpdateOp::Kind::kModify) {
+    return Status::InvalidArgument("operation is not a templated update");
+  }
+  ModifyDelta delta;
+  if (op.unsatisfiable) {
+    return delta;
+  }
+  SLIDER_ASSIGN_OR_RETURN(QueryResult solutions, SolveWhere(op, store));
+  delta.matched = solutions.rows.size();
+  delta.deletes = Instantiate(op.delete_template, solutions);
+  delta.inserts = Instantiate(op.insert_template, solutions);
+  return delta;
 }
 
 }  // namespace slider

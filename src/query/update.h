@@ -38,6 +38,24 @@ struct UpdateResult {
 Result<TripleVec> ExpandDeleteWhere(const UpdateOp& op,
                                     const TripleStore& store);
 
+/// \brief The instantiated effect of a templated update (UpdateOp::kModify):
+/// both sets are computed against the pre-update store, and SPARQL 1.1
+/// semantics apply the deletions before the insertions.
+struct ModifyDelta {
+  TripleVec deletes;   ///< distinct delete-template instantiations
+  TripleVec inserts;   ///< distinct insert-template instantiations
+  size_t matched = 0;  ///< WHERE solutions the templates were applied to
+};
+
+/// \brief Instantiates an INSERT/DELETE ... WHERE operation against
+/// `store`: evaluates the WHERE block once (lock-free, over a pinned view)
+/// and grounds the delete and insert templates from each solution.
+///
+/// Delete-template instantiations carrying a term unknown to the dictionary
+/// (kAbsentTermId) are dropped — such a triple cannot be stored, so
+/// retracting it is a no-op. An `unsatisfiable` operation matches nothing.
+Result<ModifyDelta> ExpandModify(const UpdateOp& op, const TripleStore& store);
+
 }  // namespace slider
 
 #endif  // SLIDER_QUERY_UPDATE_H_

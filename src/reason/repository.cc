@@ -433,6 +433,32 @@ Result<UpdateResult> Repository::ExecuteUpdate(const UpdateRequest& request) {
         result.derivations += stats.materialize.derivations;
         break;
       }
+      case UpdateOp::Kind::kModify: {
+        // INSERT/DELETE ... WHERE: both template instantiations are
+        // computed against the pre-update store, then deletions apply
+        // before insertions (SPARQL 1.1 Update semantics), each through
+        // the mode's ordinary maintenance path.
+        SLIDER_ASSIGN_OR_RETURN(ModifyDelta delta, ExpandModify(op, *store_));
+        result.matched += delta.matched;
+        if (!delta.deletes.empty()) {
+          SLIDER_ASSIGN_OR_RETURN(LoadStats stats,
+                                  RemoveTriples(delta.deletes));
+          result.removed += stats.removed;
+          result.derivations += stats.materialize.derivations;
+        }
+        if (!delta.inserts.empty()) {
+          const size_t explicit_before = explicit_count();
+          const size_t inferred_before = inferred_count();
+          SLIDER_ASSIGN_OR_RETURN(LoadStats stats, AddTriples(delta.inserts));
+          result.inserted += explicit_count() - explicit_before;
+          const size_t inferred_now = inferred_count();
+          result.inferred += inferred_now >= inferred_before
+                                 ? inferred_now - inferred_before
+                                 : 0;
+          result.derivations += stats.materialize.derivations;
+        }
+        break;
+      }
     }
   }
   result.seconds = watch.ElapsedSeconds();

@@ -130,7 +130,10 @@ class Repository {
   /// Executes a parsed SPARQL Update request, operation by operation:
   /// INSERT DATA routes through AddTriples, DELETE DATA through
   /// RemoveTriples, DELETE WHERE instantiates its pattern block against the
-  /// current store (ExpandDeleteWhere) and retracts the matches. Under
+  /// current store (ExpandDeleteWhere) and retracts the matches, and the
+  /// templated INSERT/DELETE ... WHERE forms (ExpandModify) ground their
+  /// templates from the WHERE solutions — deletes before inserts, both
+  /// computed against the pre-update store. Under
   /// kIncremental every operation is maintained incrementally — additions
   /// through the buffered rule pipeline, deletions through DRed — so the
   /// derivation counters stay proportional to the touched cone. The first

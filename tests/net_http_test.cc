@@ -1,0 +1,210 @@
+// Socket-free units of the HTTP layer: request-head parsing, percent
+// decoding, form splitting, response framing — plus golden tests for the
+// streaming SPARQL JSON/TSV serializers (escaping, typed and language-
+// tagged literals, blank nodes, write-failure propagation).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/http.h"
+#include "net/result_serializer.h"
+#include "rdf/dictionary.h"
+
+namespace slider {
+namespace net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Request parsing
+// ---------------------------------------------------------------------------
+
+TEST(HttpParseTest, ParsesRequestLineHeadersAndQuery) {
+  auto request = ParseRequestHead(
+      "GET /sparql?query=SELECT%20*&format=json HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "ACCEPT: application/sparql-results+json\r\n"
+      "X-Padded:   spaced value  \r\n");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->method, "GET");
+  EXPECT_EQ(request->path, "/sparql");
+  EXPECT_EQ(request->query, "query=SELECT%20*&format=json");
+  // Header names are lowercased, values trimmed.
+  EXPECT_EQ(request->Header("accept"), "application/sparql-results+json");
+  EXPECT_EQ(request->Header("x-padded"), "spaced value");
+  EXPECT_EQ(request->Header("absent"), "");
+}
+
+TEST(HttpParseTest, RejectsMalformedRequests) {
+  EXPECT_FALSE(ParseRequestHead("GET\r\n").ok());
+  EXPECT_FALSE(ParseRequestHead("GET /\r\n").ok());             // no version
+  EXPECT_FALSE(ParseRequestHead("GET / HTTP/2.0\r\n").ok());    // bad version
+  EXPECT_FALSE(ParseRequestHead("GET / HTTP/1.1\r\nbroken line\r\n").ok());
+  EXPECT_FALSE(ParseRequestHead("GET / HTTP/1.1\r\n: novalue\r\n").ok());
+}
+
+TEST(HttpParseTest, PercentDecoding) {
+  EXPECT_EQ(*PercentDecode("a%20b+c%2Fd"), "a b c/d");
+  EXPECT_EQ(*PercentDecode("plain"), "plain");
+  EXPECT_EQ(*PercentDecode("%3c%3E"), "<>");  // case-insensitive hex
+  EXPECT_FALSE(PercentDecode("bad%2").ok());  // truncated
+  EXPECT_FALSE(PercentDecode("bad%zz").ok()); // non-hex
+}
+
+TEST(HttpParseTest, FormParsingSplitsAndDecodes) {
+  auto params = ParseForm("query=SELECT%20%3Fx&update=&flag");
+  ASSERT_TRUE(params.ok());
+  ASSERT_EQ(params->size(), 3u);
+  EXPECT_EQ((*params)[0].first, "query");
+  EXPECT_EQ((*params)[0].second, "SELECT ?x");
+  EXPECT_EQ((*params)[1].first, "update");
+  EXPECT_EQ((*params)[1].second, "");
+  EXPECT_EQ((*params)[2].first, "flag");
+  EXPECT_TRUE(ParseForm("").ok());
+  EXPECT_FALSE(ParseForm("q=%2").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Response framing
+// ---------------------------------------------------------------------------
+
+TEST(HttpResponseTest, SimpleResponseCarriesLengthAndConnection) {
+  const std::string response =
+      SimpleResponse(400, "text/plain", "nope\n", /*keep_alive=*/false);
+  EXPECT_NE(response.find("HTTP/1.1 400 Bad Request\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_EQ(response.substr(response.size() - 5), "nope\n");
+
+  const std::string retry =
+      SimpleResponse(503, "text/plain", "busy", true, {"Retry-After: 1"});
+  EXPECT_NE(retry.find("Retry-After: 1\r\n"), std::string::npos);
+  EXPECT_NE(retry.find("Connection: keep-alive\r\n"), std::string::npos);
+}
+
+TEST(HttpResponseTest, ChunkEncoding) {
+  EXPECT_EQ(EncodeChunk("hello"), "5\r\nhello\r\n");
+  EXPECT_EQ(EncodeChunk(std::string(255, 'x')),
+            "ff\r\n" + std::string(255, 'x') + "\r\n");
+  EXPECT_EQ(EncodeChunk(""), "");  // empty would terminate the stream
+  EXPECT_EQ(kLastChunk, "0\r\n\r\n");
+  const std::string head =
+      ChunkedResponseHead(200, "text/tab-separated-values", true);
+  EXPECT_NE(head.find("Transfer-Encoding: chunked\r\n"), std::string::npos);
+  EXPECT_EQ(head.substr(head.size() - 4), "\r\n\r\n");
+}
+
+// ---------------------------------------------------------------------------
+// Serializer goldens
+// ---------------------------------------------------------------------------
+
+class SerializerTest : public ::testing::Test {
+ protected:
+  WriteFn Collect() {
+    return [this](std::string_view data) {
+      out_ += std::string(data);
+      return true;
+    };
+  }
+
+  Dictionary dict_;
+  std::string out_;
+};
+
+TEST_F(SerializerTest, JsonGolden) {
+  const TermId iri = dict_.Encode("<http://ex/s>");
+  const TermId plain = dict_.Encode("\"hello\"");
+  const TermId lang = dict_.Encode("\"chat\"@fr");
+  const TermId typed = dict_.Encode(
+      "\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>");
+  const TermId bnode = dict_.Encode("_:b0");
+
+  JsonSerializer serializer(&dict_, Collect());
+  ASSERT_TRUE(serializer.OnHeader({"s", "v"}));
+  ASSERT_TRUE(serializer.OnRow({iri, plain}));
+  ASSERT_TRUE(serializer.OnRow({lang, typed}));
+  ASSERT_TRUE(serializer.OnRow({bnode, iri}));
+  ASSERT_TRUE(serializer.Finish());
+
+  EXPECT_EQ(
+      out_,
+      "{\"head\":{\"vars\":[\"s\",\"v\"]},\"results\":{\"bindings\":["
+      "{\"s\":{\"type\":\"uri\",\"value\":\"http://ex/s\"},"
+      "\"v\":{\"type\":\"literal\",\"value\":\"hello\"}},"
+      "{\"s\":{\"type\":\"literal\",\"value\":\"chat\",\"xml:lang\":\"fr\"},"
+      "\"v\":{\"type\":\"literal\",\"value\":\"42\",\"datatype\":"
+      "\"http://www.w3.org/2001/XMLSchema#integer\"}},"
+      "{\"s\":{\"type\":\"bnode\",\"value\":\"b0\"},"
+      "\"v\":{\"type\":\"uri\",\"value\":\"http://ex/s\"}}"
+      "]}}");
+}
+
+TEST_F(SerializerTest, JsonEscapesControlCharactersAndQuotes) {
+  // The dictionary stores N-Triples escapes; the JSON value must carry the
+  // *raw* characters re-escaped as JSON.
+  const TermId tricky = dict_.Encode("\"a\\\"b\\\\c\\nd\"");
+  JsonSerializer serializer(&dict_, Collect());
+  ASSERT_TRUE(serializer.OnHeader({"x"}));
+  ASSERT_TRUE(serializer.OnRow({tricky}));
+  ASSERT_TRUE(serializer.Finish());
+  EXPECT_NE(out_.find("\"value\":\"a\\\"b\\\\c\\nd\""), std::string::npos)
+      << out_;
+}
+
+TEST_F(SerializerTest, JsonEmptyResultStillWellFormed) {
+  JsonSerializer serializer(&dict_, Collect());
+  ASSERT_TRUE(serializer.OnHeader({"x"}));
+  ASSERT_TRUE(serializer.Finish());
+  EXPECT_EQ(out_,
+            "{\"head\":{\"vars\":[\"x\"]},\"results\":{\"bindings\":[]}}");
+}
+
+TEST_F(SerializerTest, TsvGolden) {
+  const TermId iri = dict_.Encode("<http://ex/s>");
+  const TermId lang = dict_.Encode("\"chat\"@fr");
+  const TermId typed = dict_.Encode(
+      "\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>");
+  const TermId bnode = dict_.Encode("_:b0");
+
+  TsvSerializer serializer(&dict_, Collect());
+  ASSERT_TRUE(serializer.OnHeader({"a", "b"}));
+  ASSERT_TRUE(serializer.OnRow({iri, lang}));
+  ASSERT_TRUE(serializer.OnRow({typed, bnode}));
+  ASSERT_TRUE(serializer.Finish());
+
+  EXPECT_EQ(out_,
+            "?a\t?b\n"
+            "<http://ex/s>\t\"chat\"@fr\n"
+            "\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>\t_:b0\n");
+}
+
+TEST_F(SerializerTest, TsvKeepsEmbeddedTabsEscaped) {
+  // A literal with an escaped tab must stay escaped in TSV — a raw tab
+  // would split the field.
+  const TermId tabbed = dict_.Encode("\"a\\tb\"");
+  TsvSerializer serializer(&dict_, Collect());
+  ASSERT_TRUE(serializer.OnHeader({"x"}));
+  ASSERT_TRUE(serializer.OnRow({tabbed}));
+  EXPECT_EQ(out_, "?x\n\"a\\tb\"\n");
+}
+
+TEST_F(SerializerTest, WriteFailureStopsBothSerializers) {
+  const TermId iri = dict_.Encode("<http://ex/s>");
+  int writes_allowed = 1;
+  WriteFn flaky = [&](std::string_view) { return writes_allowed-- > 0; };
+
+  JsonSerializer json(&dict_, flaky);
+  EXPECT_TRUE(json.OnHeader({"x"}));   // first write succeeds
+  EXPECT_FALSE(json.OnRow({iri}));     // second fails → abort signal
+  EXPECT_FALSE(json.Finish());
+
+  writes_allowed = 0;
+  TsvSerializer tsv(&dict_, flaky);
+  EXPECT_FALSE(tsv.OnHeader({"x"}));
+  EXPECT_FALSE(tsv.Finish());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace slider

@@ -12,11 +12,17 @@
 //     lines, mixed case and a UTF-8 byte-order mark,
 //  7. blank nodes parse in INSERT DATA / DELETE DATA blocks (subject and
 //     object positions, dictionary-global labels) and stay rejected
-//     everywhere else.
+//     everywhere else,
+//  8. OFFSET parses (either order with LIMIT, once each) and skips
+//     solutions — including past-the-end and paging without overlap,
+//  9. language tags stop at punctuation (';', ',', ')', '}', '.') and an
+//     empty tag is a parse error, not a bare literal.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
+#include <vector>
 
 #include "query/evaluator.h"
 #include "query/sparql.h"
@@ -310,6 +316,118 @@ TEST(SparqlBlankNodeTest, RejectedAsPredicateAndOutsideDataBlocks) {
   EXPECT_FALSE(SparqlParser::ParseUpdate(
                    "INSERT DATA { _: <http://ex/p> <http://ex/o> }", &dict)
                    .ok());
+}
+
+// ---------------------------------------------------------------------------
+// 8. OFFSET parsing
+// ---------------------------------------------------------------------------
+
+TEST_F(SmallStoreTest, OffsetSkipsLeadingSolutions) {
+  EXPECT_EQ(Run("SELECT ?x WHERE { ?x a <http://ex/C> } OFFSET 2").rows.size(),
+            3u);
+  // Either modifier order parses; semantics are offset-then-limit.
+  EXPECT_EQ(
+      Run("SELECT ?x WHERE { ?x a <http://ex/C> } OFFSET 2 LIMIT 2")
+          .rows.size(),
+      2u);
+  EXPECT_EQ(
+      Run("SELECT ?x WHERE { ?x a <http://ex/C> } LIMIT 2 OFFSET 2")
+          .rows.size(),
+      2u);
+}
+
+TEST_F(SmallStoreTest, OffsetPastTheEndYieldsEmpty) {
+  EXPECT_EQ(Run("SELECT ?x WHERE { ?x a <http://ex/C> } OFFSET 5").rows.size(),
+            0u);
+  EXPECT_EQ(
+      Run("SELECT ?x WHERE { ?x a <http://ex/C> } OFFSET 100").rows.size(),
+      0u);
+  EXPECT_EQ(Run("SELECT DISTINCT ?x WHERE { ?x a <http://ex/C> } OFFSET 99")
+                .rows.size(),
+            0u);
+}
+
+TEST_F(SmallStoreTest, OffsetAndLimitTileTheResultWithoutOverlap) {
+  std::vector<TermId> seen;
+  for (int page = 0; page < 3; ++page) {
+    const QueryResult result =
+        Run("SELECT ?x WHERE { ?x a <http://ex/C> } LIMIT 2 OFFSET " +
+            std::to_string(page * 2));
+    for (const auto& row : result.rows) seen.push_back(row[0]);
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(std::unique(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(SparqlModifierTest, OffsetSyntaxErrorsAreRejected) {
+  Dictionary dict;
+  EXPECT_FALSE(
+      SparqlParser::Parse("SELECT ?x WHERE { ?x a ?c } OFFSET", dict).ok());
+  EXPECT_FALSE(
+      SparqlParser::Parse("SELECT ?x WHERE { ?x a ?c } OFFSET x", dict).ok());
+  EXPECT_FALSE(SparqlParser::Parse(
+                   "SELECT ?x WHERE { ?x a ?c } OFFSET 1 OFFSET 2", dict)
+                   .ok());
+  EXPECT_FALSE(SparqlParser::Parse(
+                   "SELECT ?x WHERE { ?x a ?c } LIMIT 1 LIMIT 2", dict)
+                   .ok());
+}
+
+// ---------------------------------------------------------------------------
+// 9. Language-tag lexing
+// ---------------------------------------------------------------------------
+
+TEST(SparqlLangTagTest, TagTerminatesAtPunctuation) {
+  Dictionary dict;
+  TripleStore store;
+  const TermId s = dict.Encode("<http://ex/s>");
+  const TermId p = dict.Encode("<http://ex/p>");
+  const TermId lit = dict.Encode("\"chat\"@fr");
+  store.Add({s, p, lit});
+
+  // The tag must stop at ';' (statement separator), ',' and ')' instead of
+  // swallowing them into the tag text.
+  auto r = RunSparql(
+      "SELECT ?x WHERE { ?x <http://ex/p> \"chat\"@fr . }", store, dict);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.size(), 1u);
+
+  // A tag followed directly by '}' (no space) also terminates cleanly.
+  auto r2 = RunSparql("SELECT ?x WHERE { ?x <http://ex/p> \"chat\"@fr}",
+                      store, dict);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ(r2->rows.size(), 1u);
+
+  // Subtags with '-' still lex as one tag.
+  dict.Encode("\"colour\"@en-GB");
+  auto r3 = RunSparql(
+      "SELECT ?x WHERE { ?x <http://ex/p> \"colour\"@en-GB . }", store, dict);
+  ASSERT_TRUE(r3.ok()) << r3.status().ToString();
+  EXPECT_TRUE(r3->rows.empty());  // term known, triple absent
+}
+
+TEST(SparqlLangTagTest, EmptyLanguageTagIsRejected) {
+  Dictionary dict;
+  EXPECT_FALSE(
+      SparqlParser::Parse("SELECT ?x WHERE { ?x ?p \"lit\"@ }", dict).ok());
+  EXPECT_FALSE(
+      SparqlParser::Parse("SELECT ?x WHERE { ?x ?p \"lit\"@. }", dict).ok());
+  EXPECT_FALSE(SparqlParser::ParseUpdate(
+                   "INSERT DATA { <http://ex/s> <http://ex/p> \"lit\"@ }",
+                   &dict)
+                   .ok());
+}
+
+TEST(SparqlLangTagTest, ParsingDoesNotEncodePunctuationIntoTheTag) {
+  Dictionary dict;
+  // Parsing an INSERT with "@en}" must encode the term "...@en", never a
+  // term whose tag includes the brace.
+  auto request = SparqlParser::ParseUpdate(
+      "INSERT DATA { <http://ex/s> <http://ex/p> \"hi\"@en}", &dict);
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_TRUE(dict.Lookup("\"hi\"@en").has_value());
+  EXPECT_FALSE(dict.Lookup("\"hi\"@en}").has_value());
 }
 
 }  // namespace

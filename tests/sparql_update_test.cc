@@ -426,5 +426,168 @@ TEST(SparqlUpdateRecoverTest, ARecoveredRepositoryKeepsJournalingUpdates) {
   EXPECT_EQ((*again)->store().SnapshotSet(), expected);
 }
 
+// ---------------------------------------------------------------------------
+// Templated INSERT/DELETE ... WHERE
+// ---------------------------------------------------------------------------
+
+TEST(SparqlUpdateParseTest, ParsesInsertWhereTemplate) {
+  Dictionary dict;
+  dict.Encode("<http://ex/p>");  // the WHERE predicate must be known
+  auto u = SparqlParser::ParseUpdate(
+      "PREFIX ex: <http://ex/>\n"
+      "INSERT { ?x ex:q ?y } WHERE { ?x ex:p ?y }",
+      &dict);
+  ASSERT_TRUE(u.ok()) << u.status().ToString();
+  ASSERT_EQ(u->ops.size(), 1u);
+  const UpdateOp& op = u->ops[0];
+  EXPECT_EQ(op.kind, UpdateOp::Kind::kModify);
+  EXPECT_TRUE(op.delete_template.empty());
+  ASSERT_EQ(op.insert_template.size(), 1u);
+  ASSERT_EQ(op.where.size(), 1u);
+  // The insert template may introduce new terms (it encodes, like INSERT
+  // DATA)...
+  EXPECT_TRUE(dict.Lookup("<http://ex/q>").has_value());
+  // ...but an unknown WHERE term marks the op unsatisfiable, read-only.
+  EXPECT_FALSE(op.unsatisfiable);
+}
+
+TEST(SparqlUpdateParseTest, ParsesDeleteInsertWhere) {
+  Dictionary dict;
+  dict.Encode("<http://ex/old>");
+  auto u = SparqlParser::ParseUpdate(
+      "PREFIX ex: <http://ex/>\n"
+      "DELETE { ?x ex:old ?y } INSERT { ?x ex:new ?y } "
+      "WHERE { ?x ex:old ?y }",
+      &dict);
+  ASSERT_TRUE(u.ok()) << u.status().ToString();
+  const UpdateOp& op = u->ops[0];
+  EXPECT_EQ(op.kind, UpdateOp::Kind::kModify);
+  EXPECT_EQ(op.delete_template.size(), 1u);
+  EXPECT_EQ(op.insert_template.size(), 1u);
+  EXPECT_EQ(op.variables.size(), 2u);
+}
+
+TEST(SparqlUpdateParseTest, DeleteTemplateMissesStayInert) {
+  Dictionary dict;
+  dict.Encode("<http://ex/p>");
+  // ex:gone is unknown: the delete template carrying it can never match a
+  // stored triple, but that must NOT mark the op unsatisfiable — the WHERE
+  // block is satisfiable and the insert template must still run.
+  auto u = SparqlParser::ParseUpdate(
+      "PREFIX ex: <http://ex/>\n"
+      "DELETE { ?x ex:gone ?y } INSERT { ?x ex:q ?y } "
+      "WHERE { ?x ex:p ?y }",
+      &dict);
+  ASSERT_TRUE(u.ok()) << u.status().ToString();
+  EXPECT_FALSE(u->ops[0].unsatisfiable);
+  // Lookup mode: parsing the delete template must not have encoded ex:gone.
+  EXPECT_FALSE(dict.Lookup("<http://ex/gone>").has_value());
+}
+
+TEST(SparqlUpdateParseTest, RejectsUnboundTemplateVariable) {
+  Dictionary dict;
+  auto u = SparqlParser::ParseUpdate(
+      "PREFIX ex: <http://ex/>\n"
+      "INSERT { ?x ex:q ?z } WHERE { ?x ex:p ?y }",
+      &dict);
+  ASSERT_FALSE(u.ok());
+  EXPECT_NE(u.status().message().find("?z"), std::string::npos)
+      << u.status().ToString();
+}
+
+TEST(SparqlUpdateParseTest, RejectsTemplatesWithoutWhere) {
+  Dictionary dict;
+  EXPECT_FALSE(SparqlParser::ParseUpdate(
+                   "INSERT { <http://ex/a> <http://ex/p> <http://ex/b> }",
+                   &dict)
+                   .ok());
+  EXPECT_FALSE(SparqlParser::ParseUpdate(
+                   "DELETE { ?x <http://ex/p> ?y }", &dict)
+                   .ok());
+}
+
+TEST_F(SparqlUpdateExecTest, InsertWhereGroundsTemplatePerSolution) {
+  Update(
+      "PREFIX ex: <http://ex/>\n"
+      "INSERT DATA { ex:a ex:p ex:b . ex:c ex:p ex:d }");
+  const UpdateResult r = Update(
+      "PREFIX ex: <http://ex/>\n"
+      "INSERT { ?x ex:q ?y } WHERE { ?x ex:p ?y }");
+  EXPECT_EQ(r.matched, 2u);
+  EXPECT_EQ(r.inserted, 2u);
+  EXPECT_EQ(
+      Select("PREFIX ex: <http://ex/>\nSELECT ?x WHERE { ?x ex:q ?y }")
+          .rows.size(),
+      2u);
+}
+
+TEST_F(SparqlUpdateExecTest, DeleteInsertRenamesAPredicate) {
+  Update(
+      "PREFIX ex: <http://ex/>\n"
+      "INSERT DATA { ex:a ex:old ex:b . ex:c ex:old ex:d }");
+  const UpdateResult r = Update(
+      "PREFIX ex: <http://ex/>\n"
+      "DELETE { ?x ex:old ?y } INSERT { ?x ex:new ?y } "
+      "WHERE { ?x ex:old ?y }");
+  EXPECT_EQ(r.matched, 2u);
+  EXPECT_EQ(r.removed, 2u);
+  EXPECT_EQ(r.inserted, 2u);
+  EXPECT_TRUE(
+      Select("PREFIX ex: <http://ex/>\nSELECT ?x WHERE { ?x ex:old ?y }")
+          .rows.empty());
+  EXPECT_EQ(
+      Select("PREFIX ex: <http://ex/>\nSELECT ?x WHERE { ?x ex:new ?y }")
+          .rows.size(),
+      2u);
+}
+
+TEST_F(SparqlUpdateExecTest, ModifyMaintainsInferencesIncrementally) {
+  Update(
+      "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n"
+      "PREFIX ex: <http://ex/>\n"
+      "INSERT DATA { ex:Prof rdfs:subClassOf ex:Person . "
+      "ex:ada ex:role ex:Prof }");
+  // Promote the role edges into rdf:type assertions; the subclass
+  // inference must follow without a recompute.
+  const uint64_t before = repo_->total_derivations();
+  const UpdateResult r = Update(
+      "PREFIX ex: <http://ex/>\n"
+      "DELETE { ?x ex:role ?c } INSERT { ?x a ?c } "
+      "WHERE { ?x ex:role ?c }");
+  EXPECT_EQ(r.matched, 1u);
+  EXPECT_GE(r.inferred, 1u);  // ada a Person via CAX-SCO
+  EXPECT_EQ(
+      Select("PREFIX ex: <http://ex/>\nSELECT ?x WHERE { ?x a ex:Person }")
+          .rows.size(),
+      1u);
+  // Cone-proportional work, not a closure recompute.
+  EXPECT_LT(repo_->total_derivations() - before, 100u);
+}
+
+TEST_F(SparqlUpdateExecTest, ModifyDeletesBeforeInserts) {
+  Update("PREFIX ex: <http://ex/>\nINSERT DATA { ex:a ex:p ex:b }");
+  // Delete and re-assert the same triple in one op: SPARQL 1.1 applies the
+  // delete set first, so the triple must survive.
+  const UpdateResult r = Update(
+      "PREFIX ex: <http://ex/>\n"
+      "DELETE { ?x ex:p ?y } INSERT { ?x ex:p ?y } WHERE { ?x ex:p ?y }");
+  EXPECT_EQ(r.matched, 1u);
+  EXPECT_EQ(
+      Select("PREFIX ex: <http://ex/>\nSELECT ?x WHERE { ?x ex:p ?y }")
+          .rows.size(),
+      1u);
+}
+
+TEST_F(SparqlUpdateExecTest, UnsatisfiableModifyIsANoOp) {
+  Update("PREFIX ex: <http://ex/>\nINSERT DATA { ex:a ex:p ex:b }");
+  const size_t before = repo_->store().size();
+  const UpdateResult r = Update(
+      "PREFIX ex: <http://ex/>\n"
+      "INSERT { ?x ex:q ?y } WHERE { ?x <http://evil/unknown> ?y }");
+  EXPECT_EQ(r.matched, 0u);
+  EXPECT_EQ(r.inserted, 0u);
+  EXPECT_EQ(repo_->store().size(), before);
+}
+
 }  // namespace
 }  // namespace slider

@@ -1,0 +1,214 @@
+// The streaming SELECT path (QueryEvaluator::Stream + RowSink): rows
+// arrive incrementally in O(1) memory, modifiers (LIMIT/OFFSET/DISTINCT)
+// behave exactly as in the buffered path, a sink returning false aborts
+// the join cleanly, and the endpoint's streaming entry point shares the
+// plan cache with the buffered one.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "query/endpoint.h"
+#include "query/evaluator.h"
+#include "query/sparql.h"
+#include "reason/fragment.h"
+#include "reason/repository.h"
+#include "store/triple_store.h"
+
+namespace slider {
+namespace {
+
+/// Records everything; optionally stops accepting after `accept_rows`.
+class CollectingSink : public RowSink {
+ public:
+  explicit CollectingSink(size_t accept_rows = ~size_t{0})
+      : accept_rows_(accept_rows) {}
+
+  bool OnHeader(const std::vector<std::string>& variables) override {
+    header = variables;
+    ++header_calls;
+    return true;
+  }
+
+  bool OnRow(const std::vector<TermId>& row) override {
+    if (rows.size() >= accept_rows_) return false;
+    rows.push_back(row);
+    return true;
+  }
+
+  std::vector<std::string> header;
+  std::vector<std::vector<TermId>> rows;
+  int header_calls = 0;
+
+ private:
+  size_t accept_rows_;
+};
+
+class StreamSelectTest : public ::testing::Test {
+ protected:
+  StreamSelectTest() {
+    type_ = dict_.Encode("<http://www.w3.org/1999/02/22-rdf-syntax-ns#type>");
+    cls_ = dict_.Encode("<http://ex/C>");
+    for (int i = 0; i < 10; ++i) {
+      const TermId s = dict_.Encode("<http://ex/s" + std::to_string(i) + ">");
+      subjects_.push_back(s);
+      store_.Add({s, type_, cls_});
+    }
+    provider_ = std::make_unique<ForwardProvider>(&store_);
+  }
+
+  Query Parse(const std::string& text) {
+    auto query = SparqlParser::Parse(text, dict_);
+    query.status().AbortIfNotOk();
+    return query.MoveValueUnsafe();
+  }
+
+  Dictionary dict_;
+  TripleStore store_;
+  std::unique_ptr<ForwardProvider> provider_;
+  TermId type_, cls_;
+  std::vector<TermId> subjects_;
+};
+
+TEST_F(StreamSelectTest, StreamsEveryRowWithHeaderFirst) {
+  CollectingSink sink;
+  const Status status = QueryEvaluator(provider_.get())
+                            .Stream(Parse("SELECT ?x WHERE { ?x a <http://ex/C> }"),
+                                    &sink);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(sink.header, (std::vector<std::string>{"x"}));
+  EXPECT_EQ(sink.header_calls, 1);
+  EXPECT_EQ(sink.rows.size(), 10u);
+}
+
+TEST_F(StreamSelectTest, StreamMatchesBufferedEvaluationExactly) {
+  const char* queries[] = {
+      "SELECT ?x WHERE { ?x a <http://ex/C> }",
+      "SELECT ?x WHERE { ?x a <http://ex/C> } LIMIT 3",
+      "SELECT ?x WHERE { ?x a <http://ex/C> } LIMIT 0",
+      "SELECT ?x WHERE { ?x a <http://ex/C> } OFFSET 4",
+      "SELECT ?x WHERE { ?x a <http://ex/C> } OFFSET 99",
+      "SELECT ?x WHERE { ?x a <http://ex/C> } LIMIT 3 OFFSET 8",
+  };
+  QueryEvaluator evaluator(provider_.get());
+  for (const char* text : queries) {
+    const Query query = Parse(text);
+    auto buffered = evaluator.Evaluate(query);
+    ASSERT_TRUE(buffered.ok()) << text;
+    CollectingSink sink;
+    ASSERT_TRUE(evaluator.Stream(query, &sink).ok()) << text;
+    // Same multiset of rows (order may differ between the paths).
+    auto sorted = buffered->rows;
+    std::sort(sorted.begin(), sorted.end());
+    auto streamed = sink.rows;
+    std::sort(streamed.begin(), streamed.end());
+    EXPECT_EQ(streamed, sorted) << text;
+  }
+}
+
+TEST_F(StreamSelectTest, DistinctStreamsWithoutDuplicates) {
+  // Two classes per subject → two bindings of ?x per ?c join; DISTINCT ?x
+  // must dedup across them.
+  const TermId cls2 = dict_.Encode("<http://ex/D>");
+  for (const TermId s : subjects_) store_.Add({s, type_, cls2});
+  CollectingSink sink;
+  ASSERT_TRUE(QueryEvaluator(provider_.get())
+                  .Stream(Parse("SELECT DISTINCT ?x WHERE { ?x a ?c }"),
+                          &sink)
+                  .ok());
+  EXPECT_EQ(sink.rows.size(), subjects_.size());
+  std::set<std::vector<TermId>> unique(sink.rows.begin(), sink.rows.end());
+  EXPECT_EQ(unique.size(), sink.rows.size());
+}
+
+TEST_F(StreamSelectTest, SinkRefusalAbortsCleanly) {
+  CollectingSink sink(/*accept_rows=*/3);
+  const Status status = QueryEvaluator(provider_.get())
+                            .Stream(Parse("SELECT ?x WHERE { ?x a <http://ex/C> }"),
+                                    &sink);
+  // Abort is not an error: the consumer is done, the join stops.
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(sink.rows.size(), 3u);
+}
+
+TEST_F(StreamSelectTest, HeaderRefusalSkipsTheJoinEntirely) {
+  class RefusingSink : public RowSink {
+   public:
+    bool OnHeader(const std::vector<std::string>&) override { return false; }
+    bool OnRow(const std::vector<TermId>&) override {
+      row_called = true;
+      return true;
+    }
+    bool row_called = false;
+  } sink;
+  ASSERT_TRUE(QueryEvaluator(provider_.get())
+                  .Stream(Parse("SELECT ?x WHERE { ?x a <http://ex/C> }"),
+                          &sink)
+                  .ok());
+  EXPECT_FALSE(sink.row_called);
+}
+
+TEST_F(StreamSelectTest, UnsatisfiableQueryStreamsHeaderOnly) {
+  CollectingSink sink;
+  ASSERT_TRUE(
+      QueryEvaluator(provider_.get())
+          .Stream(Parse("SELECT ?x WHERE { ?x a <http://nope/Unknown> }"),
+                  &sink)
+          .ok());
+  EXPECT_EQ(sink.header_calls, 1);
+  EXPECT_TRUE(sink.rows.empty());
+}
+
+TEST_F(StreamSelectTest, ValidationErrorsPrecedeAnyCallback) {
+  CollectingSink sink;
+  Query query = Parse("SELECT ?x WHERE { ?x a <http://ex/C> }");
+  query.projection.push_back(99);  // corrupt: projects a nonexistent var
+  const Status status = QueryEvaluator(provider_.get()).Stream(query, &sink);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(sink.header_calls, 0);
+  EXPECT_TRUE(sink.rows.empty());
+}
+
+// The endpoint's streaming entry point: plan-cache sharing and error
+// accounting.
+
+TEST(EndpointStreamingTest, SharesThePlanCacheWithBufferedSelect) {
+  Repository::Options options;
+  options.inference = Repository::InferenceMode::kIncremental;
+  auto repo = Repository::Open(RhoDfFactory(), options);
+  repo.status().AbortIfNotOk();
+  SparqlEndpoint endpoint(repo->get());
+  ASSERT_TRUE(endpoint
+                  .Update("PREFIX ex: <http://ex/>\n"
+                          "INSERT DATA { ex:a ex:p ex:b . ex:c ex:p ex:d }")
+                  .ok());
+
+  const std::string query =
+      "PREFIX ex: <http://ex/>\nSELECT ?x WHERE { ?x ex:p ?y }";
+  CollectingSink first;
+  ASSERT_TRUE(endpoint.SelectStreaming(query, &first).ok());
+  EXPECT_EQ(first.rows.size(), 2u);
+  EXPECT_EQ(endpoint.stats().plan_misses, 1u);
+
+  // The buffered path reuses the plan the streaming one populated...
+  ASSERT_TRUE(endpoint.Select(query).ok());
+  EXPECT_EQ(endpoint.stats().plan_hits, 1u);
+  // ...and vice versa.
+  CollectingSink second;
+  ASSERT_TRUE(endpoint.SelectStreaming(query, &second).ok());
+  EXPECT_EQ(endpoint.stats().plan_hits, 2u);
+  EXPECT_EQ(endpoint.stats().selects, 3u);
+
+  auto bad = endpoint.Select("SELECT ?x WHERE { ?x }");
+  EXPECT_FALSE(bad.ok());
+  CollectingSink sink;
+  EXPECT_FALSE(endpoint.SelectStreaming("SELECT ?x WHERE { ?x }", &sink).ok());
+  EXPECT_EQ(endpoint.stats().errors, 2u);
+}
+
+}  // namespace
+}  // namespace slider
