@@ -1,0 +1,74 @@
+#include "rdf/dictionary_image.h"
+
+#include <cstring>
+
+#include "common/codec.h"
+#include "common/fs.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace slider {
+
+namespace {
+constexpr char kMagic[8] = {'S', 'L', 'D', 'I', 'C', 'T', '0', '1'};
+constexpr size_t kHeaderSize = sizeof(kMagic) + sizeof(uint64_t);
+}  // namespace
+
+Status WriteDictionaryImage(const Dictionary& dict, const std::string& path) {
+  std::string body;
+  uint64_t count = 0;
+  TermId prev = 0;
+  dict.ForEach([&](TermId id, std::string_view term) {
+    PutVarint(&body, id - prev);
+    prev = id;
+    PutVarint(&body, term.size());
+    body.append(term.data(), term.size());
+    ++count;
+  });
+  std::string out(kMagic, sizeof(kMagic));
+  PutFixed64(&out, count);
+  out += body;
+  PutFixed32(&out, Crc32(0, out.data(), out.size()));
+  return AtomicWriteFile(path, out);
+}
+
+Status LoadDictionaryImage(const std::string& path, Dictionary* dict) {
+  SLIDER_ASSIGN_OR_RETURN(const std::string data, ReadFileToString(path));
+  if (data.size() < kHeaderSize + sizeof(uint32_t) ||
+      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(
+        Format("'%s' is not a dictionary image", path.c_str()));
+  }
+  const size_t body_end = data.size() - sizeof(uint32_t);
+  const uint32_t stored = GetFixed32(data.data() + body_end);
+  if (Crc32(0, data.data(), body_end) != stored) {
+    return Status::InvalidArgument(
+        Format("dictionary image '%s': checksum mismatch", path.c_str()));
+  }
+  const uint64_t count = GetFixed64(data.data() + sizeof(kMagic));
+  size_t pos = kHeaderSize;
+  TermId id = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t delta = 0;
+    uint64_t length = 0;
+    if (!GetVarint(data.data(), body_end, &pos, &delta) ||
+        !GetVarint(data.data(), body_end, &pos, &length) ||
+        pos + length > body_end) {
+      return Status::InvalidArgument(
+          Format("dictionary image '%s': truncated entry %llu", path.c_str(),
+                 static_cast<unsigned long long>(i)));
+    }
+    id += delta;
+    SLIDER_RETURN_NOT_OK(
+        dict->Restore(id, std::string_view(data.data() + pos, length)));
+    pos += length;
+  }
+  if (pos != body_end) {
+    return Status::InvalidArgument(
+        Format("dictionary image '%s': %zu trailing bytes", path.c_str(),
+               body_end - pos));
+  }
+  return Status::OK();
+}
+
+}  // namespace slider

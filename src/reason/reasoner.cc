@@ -109,7 +109,7 @@ void Reasoner::StoreAndRoute(const TripleVec& batch,
     inferred_count_.fetch_sub(promoted);
   }
   if (delta.empty()) return;
-  LogAdditions(delta);
+  LogAdditions(delta, /*is_explicit=*/is_input);
   if (is_input) {
     explicit_count_.fetch_add(delta.size());
     Trace(TraceEventType::kInput, "", delta.size());
@@ -178,7 +178,7 @@ void Reasoner::ExecuteRule(int idx, const TripleVec& batch) {
   delta.reserve(produced.size());
   store_->AddAll(produced, &delta, /*is_explicit=*/false);
   if (delta.empty()) return;
-  LogAdditions(delta);
+  LogAdditions(delta, /*is_explicit=*/false);
   module.inferred_new.fetch_add(delta.size());
   inferred_count_.fetch_add(delta.size());
   Trace(TraceEventType::kInferred, module.rule->name(), delta.size());
@@ -515,7 +515,7 @@ Reasoner::RetractStats Reasoner::Retract(const TripleVec& batch) {
       // either a survivor (already stored) or over-deleted (checked again
       // next pass against the store that now contains them).
       store_->AddAll(restored, nullptr, /*is_explicit=*/false);
-      LogAdditions(restored);
+      LogAdditions(restored, /*is_explicit=*/false);
       inferred_count_.fetch_add(restored.size());
       remaining.swap(still_missing);
     }
@@ -582,12 +582,12 @@ uint64_t Reasoner::total_derivations() const {
 
 ThreadPool::Stats Reasoner::pool_stats() const { return pool_->stats(); }
 
-void Reasoner::LogAdditions(const TripleVec& batch) {
+void Reasoner::LogAdditions(const TripleVec& batch, bool is_explicit) {
   if (log_ == nullptr || batch.empty()) return;
   std::lock_guard<std::mutex> lock(log_mu_);
   if (!log_error_.ok()) return;  // sticky: keep the log a clean prefix
   for (const Triple& t : batch) {
-    const Status appended = log_->Append(t);
+    const Status appended = log_->Append(t, is_explicit);
     if (!appended.ok()) {
       log_error_ = appended;
       SLIDER_LOG(kWarning) << "statement log append failed: "

@@ -237,8 +237,9 @@ class Reasoner {
   }
 
   /// Appends `batch` as addition records to the borrowed log (no-op when
-  /// detached). Thread-safe; called from rule tasks.
-  void LogAdditions(const TripleVec& batch);
+  /// detached), flagged explicit or rule-derived so a snapshot-anchored
+  /// tail replay can restore support. Thread-safe; called from rule tasks.
+  void LogAdditions(const TripleVec& batch, bool is_explicit);
 
   /// Appends `batch` as tombstone records to the borrowed log.
   void LogTombstones(const TripleVec& batch);

@@ -1,16 +1,20 @@
 #include "reason/repository.h"
 
-#include <unistd.h>
-
 #include <algorithm>
-#include <cstdio>
 #include <limits>
+#include <unordered_map>
 #include <utility>
 
+#include "common/codec.h"
+#include "common/fs.h"
+#include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "query/backward.h"
+#include "rdf/dictionary_image.h"
 #include "rdf/graph_io.h"
+#include "store/lockfree_index.h"
+#include "store/snapshot.h"
 
 namespace slider {
 
@@ -227,6 +231,14 @@ std::string Repository::LogPath() const {
 
 std::string Repository::DictPath() const {
   return options_.storage_dir + "/dictionary.dump";
+}
+
+std::string Repository::SnapshotDictPath() const {
+  return options_.storage_dir + "/snapshot.dict";
+}
+
+std::string Repository::SnapshotTriplesPath() const {
+  return options_.storage_dir + "/snapshot.triples";
 }
 
 Result<Repository::LoadStats> Repository::Load(std::string_view ntriples_document) {
@@ -461,6 +473,20 @@ Result<UpdateResult> Repository::ExecuteUpdate(const UpdateRequest& request) {
       }
     }
   }
+  // Opportunistic maintenance at the update boundary: once enough history
+  // accumulated and retractions left cancellable add/tombstone pairs,
+  // compact the log in the background of the request (best-effort — the
+  // update itself already succeeded, so a compaction failure only warns).
+  if (log_ != nullptr && options_.compact_log_interval > 0 &&
+      snapshot_lsn_ <= log_->base_lsn() &&
+      log_->tombstones_written() > tombstones_at_last_compact_ &&
+      log_->next_lsn() - log_->base_lsn() >= options_.compact_log_interval) {
+    const Status compacted = CompactLog();
+    if (!compacted.ok()) {
+      SLIDER_LOG(kWarning) << "statement log compaction failed: "
+                           << compacted.ToString();
+    }
+  }
   result.seconds = watch.ElapsedSeconds();
   return result;
 }
@@ -469,36 +495,61 @@ Status Repository::Checkpoint() {
   if (log_ != nullptr) {
     SLIDER_RETURN_NOT_OK(log_->Flush());
   }
-  if (!options_.storage_dir.empty()) {
-    SLIDER_RETURN_NOT_OK(PersistDictionary());
-    SLIDER_RETURN_NOT_OK(PersistIndexes());
+  if (options_.storage_dir.empty()) {
+    return Status::OK();
+  }
+  // The snapshot anchors at the log's next LSN: it covers every record
+  // appended so far, so the tail a later Recover must replay is exactly
+  // what arrives after this point.
+  const uint64_t lsn = log_ != nullptr ? log_->next_lsn() : 0;
+  SLIDER_RETURN_NOT_OK(WriteDictionaryImage(dict_, SnapshotDictPath()));
+  SLIDER_RETURN_NOT_OK(
+      WriteTripleSnapshot(*store_, lsn, SnapshotTriplesPath()));
+  SLIDER_RETURN_NOT_OK(PersistDictionary());
+  SLIDER_RETURN_NOT_OK(PersistIndexes());
+  snapshot_lsn_ = lsn;
+  // Truncation strictly after the snapshot renames in: a crash between the
+  // two leaves a log whose prefix the snapshot already covers (replay skips
+  // records below the LSN); the reverse order would lose the prefix.
+  if (log_ != nullptr && options_.truncate_log_on_checkpoint) {
+    SLIDER_RETURN_NOT_OK(log_->TruncateTo(lsn));
   }
   return Status::OK();
 }
 
-Status Repository::PersistDictionary() const {
-  std::FILE* file = std::fopen(DictPath().c_str(), "wb");
-  if (file == nullptr) {
-    return Status::IOError(Format("cannot write '%s'", DictPath().c_str()));
+Status Repository::CompactLog() {
+  if (log_ == nullptr) {
+    return Status::OK();
   }
+  if (snapshot_lsn_ > log_->base_lsn()) {
+    // Compaction shifts record indexes, which would misalign the snapshot's
+    // mid-file anchor; after a truncating Checkpoint the anchor equals the
+    // base and compaction is safe again.
+    return Status::InvalidArgument(
+        "log compaction would shift records under the snapshot's tail "
+        "anchor; run a truncating Checkpoint first");
+  }
+  SLIDER_RETURN_NOT_OK(log_->Flush());
+  SLIDER_RETURN_NOT_OK(log_->Compact());
+  tombstones_at_last_compact_ = log_->tombstones_written();
+  return Status::OK();
+}
+
+Status Repository::PersistDictionary() const {
   // v2 dump: explicit (id, term) pairs, one per line, tab-separated. The
   // format carries the ids instead of relying on re-encode order, so it is
   // independent of the dictionary's shard topology and of the
   // (concurrency-dependent) order ids were assigned in. Terms never contain
   // '\n' (the parser is line-oriented), and only the first '\t' separates.
-  std::fputs(kDictDumpHeader, file);
-  std::fputc('\n', file);
+  std::string dump(kDictDumpHeader);
+  dump.push_back('\n');
   dict_.ForEach([&](TermId id, std::string_view term) {
-    std::fprintf(file, "%llu\t", static_cast<unsigned long long>(id));
-    std::fwrite(term.data(), 1, term.size(), file);
-    std::fputc('\n', file);
+    dump += std::to_string(id);
+    dump.push_back('\t');
+    dump.append(term.data(), term.size());
+    dump.push_back('\n');
   });
-  std::fflush(file);
-  ::fsync(::fileno(file));
-  if (std::fclose(file) != 0) {
-    return Status::IOError(Format("close failed on '%s'", DictPath().c_str()));
-  }
-  return Status::OK();
+  return AtomicWriteFile(DictPath(), dump);
 }
 
 Status Repository::PersistIndexes() const {
@@ -517,23 +568,15 @@ Status Repository::PersistIndexes() const {
                 if (a.o != b.o) return a.o < b.o;
                 return a.s < b.s;
               });
-    const std::string path = options_.storage_dir + "/" + name;
-    std::FILE* file = std::fopen(path.c_str(), "wb");
-    if (file == nullptr) {
-      return Status::IOError(Format("cannot write '%s'", path.c_str()));
-    }
+    std::string blob;
+    blob.reserve(statements.size() * 3 * sizeof(uint64_t));
     for (const Triple& t : statements) {
-      const uint64_t record[3] = {t.s, t.p, t.o};
-      if (std::fwrite(record, sizeof(uint64_t), 3, file) != 3) {
-        std::fclose(file);
-        return Status::IOError(Format("short write on '%s'", path.c_str()));
-      }
+      PutFixed64(&blob, t.s);
+      PutFixed64(&blob, t.p);
+      PutFixed64(&blob, t.o);
     }
-    std::fflush(file);
-    ::fsync(::fileno(file));
-    if (std::fclose(file) != 0) {
-      return Status::IOError(Format("close failed on '%s'", path.c_str()));
-    }
+    SLIDER_RETURN_NOT_OK(
+        AtomicWriteFile(options_.storage_dir + "/" + name, blob));
   }
   return Status::OK();
 }
@@ -548,29 +591,95 @@ Result<std::unique_ptr<Repository>> Repository::Recover(
       options.inference == InferenceMode::kHybrid) {
     options.recompute_on_update = false;
   }
-  const std::string log_path = options.storage_dir + "/statements.log";
-  const std::string dict_path = options.storage_dir + "/dictionary.dump";
+  SLIDER_ASSIGN_OR_RETURN(
+      const StatementLog::Contents log,
+      StatementLog::ReadLog(options.storage_dir + "/statements.log"));
+  if (log.torn_tail) {
+    SLIDER_LOG(kWarning) << "statement log '" << options.storage_dir
+                         << "/statements.log' ends in a torn record "
+                            "(crash mid-append); recovering without it";
+  }
+  if (FileExists(options.storage_dir + "/snapshot.dict") &&
+      FileExists(options.storage_dir + "/snapshot.triples")) {
+    Result<std::unique_ptr<Repository>> snapshot =
+        RecoverFromSnapshot(factory, options, log);
+    if (snapshot.ok()) return snapshot;
+    if (log.base_lsn != 0) {
+      // The log was truncated against the (now unusable) snapshot: the
+      // records below its base exist nowhere else, so a full replay would
+      // silently reconstruct a partial store. Surface the loss instead.
+      return Status::IOError(
+          Format("snapshot unusable (%s) and the statement log was "
+                 "truncated to LSN %llu; full replay cannot reconstruct "
+                 "the repository",
+                 snapshot.status().ToString().c_str(),
+                 static_cast<unsigned long long>(log.base_lsn)));
+    }
+    SLIDER_LOG(kWarning) << "snapshot unusable ("
+                         << snapshot.status().ToString()
+                         << "); falling back to full log replay";
+  } else if (log.base_lsn != 0) {
+    // No snapshot at all, yet the log was truncated against one: the
+    // records below the base are gone for good.
+    return Status::IOError(
+        Format("statement log starts at LSN %llu but no snapshot covers "
+               "the truncated prefix",
+               static_cast<unsigned long long>(log.base_lsn)));
+  }
+  return RecoverFromFullReplay(factory, options, log);
+}
 
-  SLIDER_ASSIGN_OR_RETURN(std::vector<StatementLog::Record> records,
-                          StatementLog::ReadRecords(log_path));
+Result<std::unique_ptr<Repository>> Repository::RecoverFromSnapshot(
+    const FragmentFactory& factory, const Options& options,
+    const StatementLog::Contents& log) {
+  auto repo = std::unique_ptr<Repository>(new Repository());
+  repo->options_ = options;
+  repo->factory_ = factory;
+  // The dictionary image restores (id, term) bindings directly — no
+  // re-hashing through the text Encode path.
+  SLIDER_RETURN_NOT_OK(
+      LoadDictionaryImage(repo->SnapshotDictPath(), &repo->dict_));
+  repo->vocab_ = Vocabulary::Register(&repo->dict_);
+  repo->store_ = std::make_unique<TripleStore>();
+  SLIDER_ASSIGN_OR_RETURN(
+      const uint64_t snapshot_lsn,
+      LoadTripleSnapshot(repo->SnapshotTriplesPath(), repo->store_.get()));
+  if (log.base_lsn > snapshot_lsn) {
+    return Status::IOError(
+        Format("statement log starts at LSN %llu but the snapshot only "
+               "covers records below %llu; the gap is unrecoverable",
+               static_cast<unsigned long long>(log.base_lsn),
+               static_cast<unsigned long long>(snapshot_lsn)));
+  }
+  // Tail replay: only the records the snapshot does not cover, in order.
+  // Tombstones erase, additions (re-)add with their journaled support —
+  // an explicit re-add of a surviving inferred statement promotes it,
+  // mirroring the live store's duplicate-offer semantics.
+  for (size_t i = 0; i < log.records.size(); ++i) {
+    if (log.base_lsn + i < snapshot_lsn) continue;
+    const StatementLog::Record& r = log.records[i];
+    if (r.tombstone) {
+      repo->store_->Erase(r.triple);
+    } else {
+      repo->store_->Add(r.triple, /*is_explicit=*/!r.inferred);
+    }
+  }
+  repo->snapshot_lsn_ = snapshot_lsn;
+  return FinishRecovery(std::move(repo));
+}
 
+Result<std::unique_ptr<Repository>> Repository::RecoverFromFullReplay(
+    const FragmentFactory& factory, const Options& options,
+    const StatementLog::Contents& log) {
   auto repo = std::unique_ptr<Repository>(new Repository());
   repo->options_ = options;
   repo->factory_ = factory;
 
   // Rebuild the dictionary first so recovered ids stay aligned with the
   // replayed statement records.
-  std::FILE* file = std::fopen(dict_path.c_str(), "rb");
-  if (file == nullptr) {
-    return Status::IOError(Format("cannot read '%s'", dict_path.c_str()));
-  }
-  std::string dump;
-  char buffer[1 << 16];
-  size_t read;
-  while ((read = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
-    dump.append(buffer, read);
-  }
-  std::fclose(file);
+  SLIDER_ASSIGN_OR_RETURN(const std::string dump,
+                          ReadFileToString(repo->DictPath()));
+  const std::string dict_path = repo->DictPath();
 
   std::string_view rest = dump;
   bool v2 = false;
@@ -617,28 +726,58 @@ Result<std::unique_ptr<Repository>> Repository::Recover(
   repo->store_ = std::make_unique<TripleStore>();
   // The log contains explicit and inferred statements alike; replaying it
   // in order — tombstones removing, later re-adds restoring — reconstructs
-  // the surviving closure without re-running inference. Legacy logs have no
-  // tombstone records and replay exactly as before.
-  TripleSet present;
-  for (const StatementLog::Record& r : records) {
+  // the surviving closure without re-running inference. v2 records carry
+  // their support flag; an explicit add anywhere promotes, mirroring the
+  // store's duplicate-offer semantics. Legacy logs have no tombstone or
+  // inferred records and replay exactly as before (everything explicit).
+  std::unordered_map<Triple, bool, TripleHash> present;  // value: explicit
+  for (const StatementLog::Record& r : log.records) {
     if (r.tombstone) {
       present.erase(r.triple);
     } else {
-      present.insert(r.triple);
+      const auto [it, inserted] = present.emplace(r.triple, !r.inferred);
+      if (!inserted && !r.inferred) it->second = true;
     }
   }
-  TripleVec statements(present.begin(), present.end());
-  repo->store_->AddAll(statements, nullptr);
-  repo->explicit_ = statements;  // conservative: closure is now explicit
-  repo->explicit_set_ = std::move(present);
-  // Reopen the log for appending (never truncating: the records just
-  // replayed are the store), so a recovered repository keeps journaling —
-  // updates after a Recover survive the next Recover too.
-  SLIDER_ASSIGN_OR_RETURN(
-      repo->log_,
-      StatementLog::OpenAppend(log_path, repo->options_.log_flush_interval));
+  TripleVec explicit_statements;
+  TripleVec inferred_statements;
+  for (const auto& [t, is_explicit] : present) {
+    (is_explicit ? explicit_statements : inferred_statements).push_back(t);
+  }
+  repo->store_->AddAll(explicit_statements, nullptr, /*is_explicit=*/true);
+  repo->store_->AddAll(inferred_statements, nullptr, /*is_explicit=*/false);
+  return FinishRecovery(std::move(repo));
+}
+
+Result<std::unique_ptr<Repository>> Repository::FinishRecovery(
+    std::unique_ptr<Repository> repo) {
+  // Explicit bookkeeping from the store's support flags. Batch-mode and
+  // legacy logs mark every statement explicit, so this reproduces the old
+  // conservative "the recovered closure is explicit" bookkeeping for them,
+  // while flag-carrying histories (kIncremental, the on-demand modes) get
+  // their real explicit set back.
+  repo->explicit_.clear();
+  repo->explicit_set_.clear();
+  repo->store_->ExportForSnapshot(
+      [&](TermId p, const std::vector<TripleStore::SnapshotRow>& rows) {
+        for (const TripleStore::SnapshotRow& row : rows) {
+          for (const auto& [o, flags] : row.objects) {
+            if ((flags & LfRow::kExplicitBit) != 0) {
+              const Triple t(row.subject, p, o);
+              repo->explicit_.push_back(t);
+              repo->explicit_set_.insert(t);
+            }
+          }
+        }
+      });
+  // Reopen the log for appending (never truncating: the snapshot plus the
+  // records just replayed are the store), so a recovered repository keeps
+  // journaling — updates after a Recover survive the next Recover too.
+  SLIDER_ASSIGN_OR_RETURN(repo->log_,
+                          StatementLog::OpenAppend(
+                              repo->LogPath(), repo->options_.log_flush_interval));
   // ResetEngine also rebuilds the kHybrid schema closure — derived state
-  // the log intentionally does not carry.
+  // neither the log nor the snapshot substitutes for.
   repo->ResetEngine();
   if (repo->OnDemandMode() && !BackwardCoverable(*repo->fragment_)) {
     return Status::InvalidArgument(

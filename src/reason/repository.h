@@ -28,15 +28,53 @@ namespace slider {
 ///    with TRREE's statement-at-a-time scheme by default (TrreeReasoner;
 ///    a set-at-a-time semi-naive mode is selectable for ablations);
 ///  - durability: every explicit and inferred statement is written through
-///    an append-only statement log; at checkpoint the dictionary and the
-///    two statement indexes (PSO and POS order, as in OWLIM's TRREE
-///    storage) are persisted, so the repository can be reopened from disk
-///    (Recover);
+///    an append-only statement log; Checkpoint persists a snapshot image
+///    pair so the repository can be reopened from disk (Recover) in time
+///    proportional to the *state*, not the *history*;
 ///  - batch update semantics: by default, adding statements to a loaded
 ///    repository recomputes the closure from scratch over all explicit
 ///    statements — the "batch processing [systems] ... initiate the
 ///    reasoning process from the start" drawback the paper's introduction
 ///    targets, measured by bench_incremental.
+///
+/// ## Checkpoint lifecycle and on-disk layout
+///
+/// A repository directory holds, after at least one Checkpoint:
+///
+///   statements.log    v2 statement log ("SLDRLOG2" header carrying a base
+///                     LSN; 28-byte records = 24-byte payload + CRC32, with
+///                     tombstone/inferred flag bits on the subject word)
+///   snapshot.dict     binary dictionary image ("SLDICT01": varint
+///                     id-delta + term bytes, CRC32 trailer)
+///   snapshot.triples  delta-encoded, varint-compressed sorted-triple image
+///                     ("SLTRIP01": per-predicate section directory so the
+///                     loader can mmap and bulk-build; each object carries
+///                     its explicit/inferred flag + derivation count byte;
+///                     CRC32 trailer), anchored at a log LSN
+///   dictionary.dump   v2 text dump — the recovery *fallback* dictionary
+///                     source, kept for inspection and legacy readers
+///   index_pso.bin /   the two TRREE-style sorted statement indexes
+///   index_pos.bin     (raw dumps, not read by recovery)
+///
+/// Checkpoint writes every one of these atomically (temp file + rename), a
+/// crash mid-checkpoint therefore leaves the previous images intact; then
+/// it truncates the statement log to the records at and above the
+/// snapshot's LSN (truncate_log_on_checkpoint). The ordering makes the
+/// crash window benign: the snapshot renames in *before* the log truncates,
+/// and replay skips records below the snapshot LSN either way.
+///
+/// Recover prefers the snapshot pair: restore dictionary ids from
+/// snapshot.dict (no re-hash through the text Encode path), bulk-build the
+/// store from snapshot.triples (exact-capacity LfRow versions, no dedup
+/// probes, no reasoner), then replay only the short log tail at or above
+/// the snapshot LSN — O(state + tail) instead of O(history). A corrupt or
+/// partial snapshot falls back to full log replay (with a warning) when
+/// the full log is still present (base LSN 0); pre-checkpoint directories
+/// — no snapshot files at all — recover exactly as before. Torn final log
+/// records (crash mid-append) are skipped with a warning. The kHybrid
+/// schema closure is derived state: whatever schema rows the snapshot
+/// carries are dropped and re-derived after recovery (ResetEngine), so all
+/// four inference modes recover bit-identical closures.
 class Repository {
  public:
   /// Inference core selection.
@@ -93,6 +131,17 @@ class Repository {
     InferenceMode inference = InferenceMode::kStatementAtATime;
     /// Engine tunables for kIncremental (buffer size, timeout, threads).
     ReasonerOptions incremental;
+    /// If true (default), Checkpoint truncates the statement log to the
+    /// tail above the snapshot's LSN. Disable to keep the full log — the
+    /// crash-before-truncation window, useful for tests that corrupt a
+    /// snapshot and expect the full-replay fallback to reconstruct
+    /// everything.
+    bool truncate_log_on_checkpoint = true;
+    /// If nonzero, ExecuteUpdate triggers CompactLog at an update boundary
+    /// once the log holds at least this many records above its base and
+    /// new tombstones were appended since the last compaction. 0 = manual
+    /// compaction only.
+    uint64_t compact_log_interval = 0;
   };
 
   /// Statistics of one Load/AddTriples/RemoveTriples call.
@@ -142,18 +191,30 @@ class Repository {
   Result<UpdateResult> ExecuteUpdate(const UpdateRequest& request);
 
   /// Commits the repository state to disk: flushes the statement log,
-  /// persists the dictionary (v2 dump: explicit id→term pairs, independent
-  /// of the dictionary's shard topology and id-assignment order) and writes
-  /// the two statement indexes (PSO and POS sort order). Part of a
+  /// writes the snapshot pair (binary dictionary image + sorted-triple
+  /// image anchored at the log's next LSN), refreshes the text dictionary
+  /// dump and the two TRREE-style statement indexes (PSO/POS), and — by
+  /// default — truncates the statement log to the tail the snapshot does
+  /// not cover. Every file write is atomic (temp file + rename). Part of a
   /// repository load, so the comparative benches include it in the
-  /// baseline's measured time.
+  /// baseline's measured time. See the class comment for the lifecycle.
   Status Checkpoint();
 
-  /// Rebuilds a repository's store from its statement log and dictionary
-  /// dump (durability/recovery path; exercised by tests). The log is
-  /// replayed in append order, additions and tombstones alike, so a
-  /// repository that retracted statements recovers the post-retraction
-  /// closure; legacy logs without tombstones replay as pure additions.
+  /// Rewrites the statement log keeping only the last record per distinct
+  /// triple, cancelling add/tombstone pairs outright when no snapshot
+  /// precedes the log (see StatementLog::Compact). Only legal while every
+  /// snapshot LSN is at or below the log's base — i.e. right after a
+  /// Checkpoint, or before the first one; called automatically from
+  /// ExecuteUpdate boundaries when Options::compact_log_interval is set.
+  Status CompactLog();
+
+  /// Rebuilds a repository from its storage directory. Prefers the
+  /// checkpoint snapshot pair — dictionary-image restore, bulk-built
+  /// store, short tail replay — and falls back to the full log replay
+  /// (text dictionary dump + ordered replay of every record, additions
+  /// and tombstones alike) when the snapshot is absent, or corrupt while
+  /// the full log is still available. Legacy (pre-checkpoint, pre-v2-log)
+  /// directories recover exactly as before. See the class comment.
   static Result<std::unique_ptr<Repository>> Recover(
       const FragmentFactory& factory, Options options);
 
@@ -223,8 +284,27 @@ class Repository {
 
   std::string LogPath() const;
   std::string DictPath() const;
+  std::string SnapshotDictPath() const;
+  std::string SnapshotTriplesPath() const;
   Status PersistDictionary() const;
   Status PersistIndexes() const;
+
+  /// Snapshot-preferred recovery: dictionary image + bulk-built store +
+  /// tail replay of `log` records at or above the snapshot LSN.
+  static Result<std::unique_ptr<Repository>> RecoverFromSnapshot(
+      const FragmentFactory& factory, const Options& options,
+      const StatementLog::Contents& log);
+
+  /// Fallback/legacy recovery: text dictionary dump + ordered replay of
+  /// the whole log.
+  static Result<std::unique_ptr<Repository>> RecoverFromFullReplay(
+      const FragmentFactory& factory, const Options& options,
+      const StatementLog::Contents& log);
+
+  /// Shared tail of both recovery paths: explicit bookkeeping from the
+  /// store's support flags, log reopened for appending, engine reset.
+  static Result<std::unique_ptr<Repository>> FinishRecovery(
+      std::unique_ptr<Repository> repo);
 
   Options options_;
   Dictionary dict_;
@@ -241,6 +321,9 @@ class Repository {
   TripleVec explicit_;     // all explicit statements, for batch recompute
   TripleSet explicit_set_; // dedup of explicit statements
   uint64_t retired_derivations_ = 0;  // work of engines ResetEngine retired
+  uint64_t snapshot_lsn_ = 0;  // LSN the last snapshot (written or recovered
+                               // from) anchors at; guards log compaction
+  uint64_t tombstones_at_last_compact_ = 0;  // auto-compaction trigger state
 };
 
 }  // namespace slider

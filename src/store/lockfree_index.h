@@ -494,6 +494,40 @@ class LfRow {
     return 1;
   }
 
+  /// Fills an *empty, never-published* row with `n` pre-deduplicated
+  /// (id, flag-byte) pairs in one shot: one exact-capacity version, no
+  /// WriterFindPos probes, no incremental growth. The recovery bulk-load
+  /// path — the store is quiesced with no concurrent readers, so the
+  /// relaxed stores need no publication protocol; the spill index engages
+  /// exactly as it would have after n ordinary inserts.
+  void BulkAppend(const uint64_t* ids, const uint8_t* flags, size_t n) {
+    assert(array_.load(std::memory_order_relaxed) == nullptr && live_ == 0 &&
+           "BulkAppend requires a fresh row");
+    if (n == 0) return;
+    RowVersion* fresh = new RowVersion(n < kMinCapacity ? kMinCapacity : n);
+    for (size_t i = 0; i < n; ++i) {
+      fresh->items[i].store(ids[i], std::memory_order_relaxed);
+      fresh->flags[i].store(flags[i], std::memory_order_relaxed);
+    }
+    fresh->size.store(n, std::memory_order_relaxed);
+    array_.store(fresh, std::memory_order_seq_cst);
+    live_ = n;
+    if (live_ > kSpillThreshold) RebuildIndex(fresh);
+  }
+
+  /// Invokes fn(id, flag_byte) for every live id, in insertion order (the
+  /// snapshot writer's export: support flag + derivation count together).
+  template <typename Fn>
+  void ForEachWithFlags(Fn&& fn) const {
+    const RowVersion* arr = array_.load(std::memory_order_seq_cst);
+    if (arr == nullptr) return;
+    const size_t n = arr->size.load(std::memory_order_acquire);
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t v = arr->items[i].load(std::memory_order_relaxed);
+      if (v != 0) fn(v, arr->flags[i].load(std::memory_order_acquire));
+    }
+  }
+
   /// Decrements `v`'s derivation count by one. Returns the remaining count,
   /// or -1 when the count carries no information (id absent, count already
   /// zero, or saturated — saturation is sticky and never decrements).

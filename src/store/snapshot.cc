@@ -1,0 +1,155 @@
+#include "store/snapshot.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/fs.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace slider {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'L', 'T', 'R', 'I', 'P', '0', '1'};
+constexpr size_t kHeaderSize = sizeof(kMagic) + sizeof(uint64_t) + sizeof(uint32_t);
+constexpr size_t kDirEntrySize = 3 * sizeof(uint64_t);
+
+/// Encodes one predicate section (see the format comment in snapshot.h).
+void EncodeSection(const std::vector<TripleStore::SnapshotRow>& rows,
+                   std::string* out) {
+  PutVarint(out, rows.size());
+  TermId prev_subject = 0;
+  for (const TripleStore::SnapshotRow& row : rows) {
+    PutVarint(out, row.subject - prev_subject);
+    prev_subject = row.subject;
+    PutVarint(out, row.objects.size());
+    TermId prev_object = 0;
+    for (const auto& [o, flags] : row.objects) {
+      PutVarint(out, o - prev_object);
+      prev_object = o;
+      out->push_back(static_cast<char>(flags));
+    }
+  }
+}
+
+Status DecodeSection(const char* data, size_t size, TermId predicate,
+                     const std::string& path, TripleStore* store) {
+  size_t pos = 0;
+  uint64_t subject_count = 0;
+  if (!GetVarint(data, size, &pos, &subject_count)) {
+    return Status::InvalidArgument(
+        Format("snapshot '%s': truncated section header", path.c_str()));
+  }
+  std::vector<TripleStore::SnapshotRow> rows;
+  rows.reserve(subject_count);
+  TermId subject = 0;
+  for (uint64_t i = 0; i < subject_count; ++i) {
+    uint64_t subject_delta = 0;
+    uint64_t object_count = 0;
+    if (!GetVarint(data, size, &pos, &subject_delta) ||
+        !GetVarint(data, size, &pos, &object_count)) {
+      return Status::InvalidArgument(
+          Format("snapshot '%s': truncated subject row", path.c_str()));
+    }
+    subject += subject_delta;
+    TripleStore::SnapshotRow row;
+    row.subject = subject;
+    row.objects.reserve(object_count);
+    TermId object = 0;
+    for (uint64_t j = 0; j < object_count; ++j) {
+      uint64_t object_delta = 0;
+      if (!GetVarint(data, size, &pos, &object_delta) || pos >= size) {
+        return Status::InvalidArgument(
+            Format("snapshot '%s': truncated object list", path.c_str()));
+      }
+      object += object_delta;
+      row.objects.emplace_back(object, static_cast<uint8_t>(data[pos++]));
+    }
+    rows.push_back(std::move(row));
+  }
+  if (pos != size) {
+    return Status::InvalidArgument(
+        Format("snapshot '%s': %zu trailing section bytes", path.c_str(),
+               size - pos));
+  }
+  return store->BulkLoadPartition(predicate, rows);
+}
+
+}  // namespace
+
+Status WriteTripleSnapshot(const TripleStore& store, uint64_t lsn,
+                           const std::string& path) {
+  // Collect and sort the sections first: the directory layout wants stable
+  // offsets, and a deterministic predicate order makes images of equal
+  // stores byte-identical (the bit-identity checks in tests/bench rely on
+  // store equality implying comparable recoveries, not on luck).
+  std::vector<std::pair<TermId, std::string>> sections;
+  store.ExportForSnapshot(
+      [&](TermId p, const std::vector<TripleStore::SnapshotRow>& rows) {
+        std::string body;
+        EncodeSection(rows, &body);
+        sections.emplace_back(p, std::move(body));
+      });
+  std::sort(sections.begin(), sections.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::string out(kMagic, sizeof(kMagic));
+  PutFixed64(&out, lsn);
+  PutFixed32(&out, static_cast<uint32_t>(sections.size()));
+  uint64_t offset = kHeaderSize + sections.size() * kDirEntrySize;
+  for (const auto& [p, body] : sections) {
+    PutFixed64(&out, p);
+    PutFixed64(&out, offset);
+    PutFixed64(&out, body.size());
+    offset += body.size();
+  }
+  for (const auto& [p, body] : sections) {
+    out += body;
+  }
+  PutFixed32(&out, Crc32(0, out.data(), out.size()));
+  return AtomicWriteFile(path, out);
+}
+
+Result<uint64_t> LoadTripleSnapshot(const std::string& path,
+                                    TripleStore* store) {
+  SLIDER_ASSIGN_OR_RETURN(const MappedFile file, MappedFile::Open(path));
+  const char* data = file.data();
+  const size_t size = file.size();
+  if (size < kHeaderSize + sizeof(uint32_t) ||
+      std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(
+        Format("'%s' is not a triple snapshot", path.c_str()));
+  }
+  const size_t body_end = size - sizeof(uint32_t);
+  if (Crc32(0, data, body_end) != GetFixed32(data + body_end)) {
+    return Status::InvalidArgument(
+        Format("snapshot '%s': checksum mismatch", path.c_str()));
+  }
+  const uint64_t lsn = GetFixed64(data + sizeof(kMagic));
+  const uint32_t section_count =
+      GetFixed32(data + sizeof(kMagic) + sizeof(uint64_t));
+  if (kHeaderSize + static_cast<size_t>(section_count) * kDirEntrySize >
+      body_end) {
+    return Status::InvalidArgument(
+        Format("snapshot '%s': truncated directory", path.c_str()));
+  }
+  for (uint32_t i = 0; i < section_count; ++i) {
+    const char* entry = data + kHeaderSize + i * kDirEntrySize;
+    const TermId predicate = GetFixed64(entry);
+    const uint64_t offset = GetFixed64(entry + 8);
+    const uint64_t length = GetFixed64(entry + 16);
+    if (offset > body_end || length > body_end - offset) {
+      return Status::InvalidArgument(
+          Format("snapshot '%s': section %u out of bounds", path.c_str(), i));
+    }
+    SLIDER_RETURN_NOT_OK(
+        DecodeSection(data + offset, length, predicate, path, store));
+  }
+  return lsn;
+}
+
+}  // namespace slider

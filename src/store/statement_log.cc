@@ -4,20 +4,62 @@
 
 #include <array>
 #include <cstring>
+#include <unordered_map>
 
+#include "common/codec.h"
+#include "common/fs.h"
+#include "common/logging.h"
 #include "common/macros.h"
 #include "common/string_util.h"
 
 namespace slider {
 
 namespace {
-constexpr size_t kRecordSize = 3 * sizeof(uint64_t);
 
-void EncodeRecord(const Triple& t, unsigned char* out) {
+constexpr size_t kPayloadSize = 3 * sizeof(uint64_t);
+constexpr size_t kRecordSizeV2 = kPayloadSize + sizeof(uint32_t);
+constexpr char kMagic[8] = {'S', 'L', 'D', 'R', 'L', 'O', 'G', '2'};
+constexpr size_t kHeaderSize = sizeof(kMagic) + sizeof(uint64_t);
+
+void EncodePayload(const Triple& t, unsigned char* out) {
   std::memcpy(out, &t.s, sizeof(uint64_t));
   std::memcpy(out + 8, &t.p, sizeof(uint64_t));
   std::memcpy(out + 16, &t.o, sizeof(uint64_t));
 }
+
+StatementLog::Record DecodePayload(const unsigned char* payload, bool v2) {
+  StatementLog::Record r;
+  std::memcpy(&r.triple.s, payload, sizeof(uint64_t));
+  std::memcpy(&r.triple.p, payload + 8, sizeof(uint64_t));
+  std::memcpy(&r.triple.o, payload + 16, sizeof(uint64_t));
+  r.tombstone = (r.triple.s & StatementLog::kTombstoneBit) != 0;
+  r.triple.s &= ~StatementLog::kTombstoneBit;
+  if (v2) {
+    // Legacy logs never set bit 62 in practice, but it *is* id space there;
+    // only the v2 format reserves it for the inferred flag.
+    r.inferred = (r.triple.s & StatementLog::kInferredBit) != 0;
+    r.triple.s &= ~StatementLog::kInferredBit;
+  }
+  return r;
+}
+
+std::string EncodeHeader(uint64_t base_lsn) {
+  std::string out(kMagic, sizeof(kMagic));
+  PutFixed64(&out, base_lsn);
+  return out;
+}
+
+/// Serializes one v2 record (payload + CRC) into `out`.
+void EncodeRecordV2(const StatementLog::Record& r, std::string* out) {
+  Triple encoded = r.triple;
+  if (r.tombstone) encoded.s |= StatementLog::kTombstoneBit;
+  if (r.inferred) encoded.s |= StatementLog::kInferredBit;
+  unsigned char payload[kPayloadSize];
+  EncodePayload(encoded, payload);
+  out->append(reinterpret_cast<const char*>(payload), kPayloadSize);
+  PutFixed32(out, Crc32(0, payload, kPayloadSize));
+}
+
 }  // namespace
 
 Result<std::unique_ptr<StatementLog>> StatementLog::Open(const std::string& path,
@@ -26,18 +68,44 @@ Result<std::unique_ptr<StatementLog>> StatementLog::Open(const std::string& path
   if (file == nullptr) {
     return Status::IOError(Format("cannot open statement log '%s'", path.c_str()));
   }
+  const std::string header = EncodeHeader(0);
+  if (std::fwrite(header.data(), 1, header.size(), file) != header.size()) {
+    std::fclose(file);
+    return Status::IOError(
+        Format("short header write on statement log '%s'", path.c_str()));
+  }
   return std::unique_ptr<StatementLog>(
       new StatementLog(file, path, flush_interval));
 }
 
 Result<std::unique_ptr<StatementLog>> StatementLog::OpenAppend(
     const std::string& path, size_t flush_interval) {
+  // Decode the existing file first: the handle must know the base LSN and
+  // record count for next_lsn(), and whether to keep appending in the
+  // legacy format. This also rejects appending after mid-file corruption.
+  SLIDER_ASSIGN_OR_RETURN(Contents existing, ReadLog(path));
   std::FILE* file = std::fopen(path.c_str(), "ab");
   if (file == nullptr) {
     return Status::IOError(Format("cannot open statement log '%s'", path.c_str()));
   }
-  return std::unique_ptr<StatementLog>(
+  auto log = std::unique_ptr<StatementLog>(
       new StatementLog(file, path, flush_interval));
+  log->v2_ = existing.v2;
+  log->base_lsn_ = existing.base_lsn;
+  log->records_in_file_ = existing.records.size();
+  if (existing.torn_tail) {
+    // Drop the torn bytes before appending: a fresh record written after
+    // them would otherwise be misframed by the next reader. The rewrite
+    // (atomic, so a crash here still leaves a readable log) emits the v2
+    // format — a legacy log with a torn tail is upgraded in the process.
+    std::string contents = EncodeHeader(existing.base_lsn);
+    for (const Record& r : existing.records) {
+      EncodeRecordV2(r, &contents);
+    }
+    SLIDER_RETURN_NOT_OK(log->ReplaceFile(contents, existing.base_lsn,
+                                          existing.records.size()));
+  }
+  return log;
 }
 
 StatementLog::~StatementLog() {
@@ -46,26 +114,39 @@ StatementLog::~StatementLog() {
   }
 }
 
-Status StatementLog::Append(const Triple& t) {
-  return AppendRecord(t, /*tombstone=*/false);
+Status StatementLog::Append(const Triple& t, bool is_explicit) {
+  return AppendRecord(t, is_explicit ? 0 : kInferredBit);
 }
 
 Status StatementLog::AppendTombstone(const Triple& t) {
-  return AppendRecord(t, /*tombstone=*/true);
+  const Status appended = AppendRecord(t, kTombstoneBit);
+  if (appended.ok()) ++tombstones_written_;
+  return appended;
 }
 
-Status StatementLog::AppendRecord(const Triple& t, bool tombstone) {
+Status StatementLog::AppendRecord(const Triple& t, uint64_t flags) {
   if (file_ == nullptr) {
     return Status::IOError("statement log is closed");
   }
   Triple encoded = t;
-  if (tombstone) encoded.s |= kTombstoneBit;
-  std::array<unsigned char, kRecordSize> record;
-  EncodeRecord(encoded, record.data());
-  if (std::fwrite(record.data(), 1, kRecordSize, file_) != kRecordSize) {
+  if (!v2_) flags &= kTombstoneBit;  // legacy records carry no inferred bit
+  encoded.s |= flags;
+  std::array<unsigned char, kRecordSizeV2> record;
+  EncodePayload(encoded, record.data());
+  size_t record_size = kPayloadSize;
+  if (v2_) {
+    const uint32_t crc = Crc32(0, record.data(), kPayloadSize);
+    std::string crc_bytes;
+    PutFixed32(&crc_bytes, crc);
+    std::memcpy(record.data() + kPayloadSize, crc_bytes.data(),
+                sizeof(uint32_t));
+    record_size = kRecordSizeV2;
+  }
+  if (std::fwrite(record.data(), 1, record_size, file_) != record_size) {
     return Status::IOError(Format("short write on statement log '%s'", path_.c_str()));
   }
   ++records_written_;
+  ++records_in_file_;
   ++unflushed_;
   if (flush_interval_ != 0 && unflushed_ >= flush_interval_) {
     return Flush();
@@ -109,6 +190,95 @@ Status StatementLog::Close() {
   return st;
 }
 
+Status StatementLog::ReplaceFile(const std::string& contents,
+                                 uint64_t new_base,
+                                 uint64_t new_record_count) {
+  if (file_ != nullptr) {
+    SLIDER_RETURN_NOT_OK(Flush());
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  SLIDER_RETURN_NOT_OK(AtomicWriteFile(path_, contents));
+  std::FILE* file = std::fopen(path_.c_str(), "ab");
+  if (file == nullptr) {
+    return Status::IOError(
+        Format("cannot reopen statement log '%s'", path_.c_str()));
+  }
+  file_ = file;
+  v2_ = true;
+  base_lsn_ = new_base;
+  records_in_file_ = new_record_count;
+  unflushed_ = 0;
+  return Status::OK();
+}
+
+Status StatementLog::TruncateTo(uint64_t lsn) {
+  if (file_ == nullptr) {
+    return Status::IOError("statement log is closed");
+  }
+  if (lsn <= base_lsn_ && v2_) {
+    return Status::OK();  // nothing below the requested anchor
+  }
+  if (lsn > next_lsn()) {
+    return Status::InvalidArgument(
+        Format("TruncateTo(%llu) beyond next LSN %llu on '%s'",
+               static_cast<unsigned long long>(lsn),
+               static_cast<unsigned long long>(next_lsn()), path_.c_str()));
+  }
+  SLIDER_RETURN_NOT_OK(Flush());
+  SLIDER_ASSIGN_OR_RETURN(Contents current, ReadLog(path_));
+  std::string contents = EncodeHeader(lsn);
+  uint64_t kept = 0;
+  for (size_t i = 0; i < current.records.size(); ++i) {
+    if (current.base_lsn + i < lsn) continue;
+    EncodeRecordV2(current.records[i], &contents);
+    ++kept;
+  }
+  return ReplaceFile(contents, lsn, kept);
+}
+
+Status StatementLog::Compact() {
+  if (file_ == nullptr) {
+    return Status::IOError("statement log is closed");
+  }
+  SLIDER_RETURN_NOT_OK(Flush());
+  SLIDER_ASSIGN_OR_RETURN(Contents current, ReadLog(path_));
+  // Last-record-per-triple, emitted in order of last occurrence: replay of
+  // the survivors equals replay of the original, because every superseded
+  // record's effect was overwritten by the survivor anyway — with one
+  // refinement: explicit support is sticky across additions (an explicit
+  // add followed by an inferred re-add stays explicit on replay), so the
+  // kept record carries the explicit flag iff any addition since the last
+  // tombstone did.
+  std::unordered_map<Triple, size_t, TripleHash> last;
+  std::unordered_map<Triple, bool, TripleHash> final_explicit;
+  for (size_t i = 0; i < current.records.size(); ++i) {
+    const Record& r = current.records[i];
+    last[r.triple] = i;
+    bool& is_explicit = final_explicit[r.triple];
+    if (r.tombstone) {
+      is_explicit = false;  // deletion resets the support history
+    } else if (!r.inferred) {
+      is_explicit = true;
+    }
+  }
+  std::string contents = EncodeHeader(current.base_lsn);
+  uint64_t kept = 0;
+  for (size_t i = 0; i < current.records.size(); ++i) {
+    Record r = current.records[i];
+    if (last[r.triple] != i) continue;  // superseded by a later record
+    if (r.tombstone && current.base_lsn == 0) {
+      // No snapshot can hold this triple (nothing precedes this file), so
+      // a tombstone-final history is a cancelled add/tombstone pair.
+      continue;
+    }
+    if (!r.tombstone) r.inferred = !final_explicit[r.triple];
+    EncodeRecordV2(r, &contents);
+    ++kept;
+  }
+  return ReplaceFile(contents, current.base_lsn, kept);
+}
+
 Result<TripleVec> StatementLog::ReadAll(const std::string& path) {
   SLIDER_ASSIGN_OR_RETURN(std::vector<Record> records, ReadRecords(path));
   TripleVec out;
@@ -121,22 +291,51 @@ Result<TripleVec> StatementLog::ReadAll(const std::string& path) {
 
 Result<std::vector<StatementLog::Record>> StatementLog::ReadRecords(
     const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) {
-    return Status::IOError(Format("cannot open statement log '%s'", path.c_str()));
+  SLIDER_ASSIGN_OR_RETURN(Contents contents, ReadLog(path));
+  return std::move(contents.records);
+}
+
+Result<StatementLog::Contents> StatementLog::ReadLog(const std::string& path) {
+  SLIDER_ASSIGN_OR_RETURN(const std::string data, ReadFileToString(path));
+  Contents out;
+  size_t pos = 0;
+  out.v2 = data.size() >= kHeaderSize &&
+           std::memcmp(data.data(), kMagic, sizeof(kMagic)) == 0;
+  if (out.v2) {
+    out.base_lsn = GetFixed64(data.data() + sizeof(kMagic));
+    pos = kHeaderSize;
   }
-  std::vector<Record> out;
-  std::array<unsigned char, kRecordSize> record;
-  while (std::fread(record.data(), 1, kRecordSize, file) == kRecordSize) {
-    Record r;
-    std::memcpy(&r.triple.s, record.data(), sizeof(uint64_t));
-    std::memcpy(&r.triple.p, record.data() + 8, sizeof(uint64_t));
-    std::memcpy(&r.triple.o, record.data() + 16, sizeof(uint64_t));
-    r.tombstone = (r.triple.s & kTombstoneBit) != 0;
-    r.triple.s &= ~kTombstoneBit;
-    out.push_back(r);
+  const size_t record_size = out.v2 ? kRecordSizeV2 : kPayloadSize;
+  while (pos + record_size <= data.size()) {
+    const unsigned char* payload =
+        reinterpret_cast<const unsigned char*>(data.data() + pos);
+    if (out.v2) {
+      const uint32_t stored = GetFixed32(data.data() + pos + kPayloadSize);
+      if (Crc32(0, payload, kPayloadSize) != stored) {
+        if (pos + record_size == data.size()) {
+          // Final record, bad checksum: a crash mid-append. Skip it.
+          out.torn_tail = true;
+          SLIDER_LOG(kWarning)
+              << "statement log '" << path
+              << "': skipping torn final record (checksum mismatch)";
+          return out;
+        }
+        return Status::IOError(
+            Format("statement log '%s': checksum mismatch at offset %zu "
+                   "with records after it",
+                   path.c_str(), pos));
+      }
+    }
+    out.records.push_back(DecodePayload(payload, out.v2));
+    pos += record_size;
   }
-  std::fclose(file);
+  if (pos != data.size()) {
+    // Trailing partial record: a crash mid-append truncated the write.
+    out.torn_tail = true;
+    SLIDER_LOG(kWarning) << "statement log '" << path
+                         << "': skipping torn final record ("
+                         << (data.size() - pos) << " trailing bytes)";
+  }
   return out;
 }
 

@@ -17,35 +17,75 @@ namespace slider {
 /// OWLIM-SE is a *semantic repository* — every loaded and inferred statement
 /// is made durable — whereas Slider keeps triples in memory (§2.2). To make
 /// the baseline comparison honest, the batch repository writes each
-/// statement through this log (24-byte fixed records, flushed every
-/// `flush_interval` records). The log can be replayed to rebuild the store,
-/// which is also how the recovery test verifies durability.
+/// statement through this log, flushed every `flush_interval` records. The
+/// log can be replayed to rebuild the store, which is also how the
+/// recovery path verifies durability.
 ///
-/// Tombstones. Deletions append *tombstone* records: the same 24-byte
-/// layout with kTombstoneBit set on the subject word. Replaying the log in
-/// order (ReadRecords) therefore reconstructs the surviving statement set
-/// even across retract → re-add sequences. Term ids are dense dictionary
-/// handles that never reach bit 63, so legacy logs — written before
-/// tombstones existed — decode unchanged as pure additions.
+/// v2 format. A fresh log starts with a 16-byte header — the 8-byte magic
+/// "SLDRLOG2" followed by a little-endian uint64 *base LSN* — and then holds
+/// 28-byte records: the 24-byte (s, p, o) payload followed by a CRC32 of
+/// those 24 bytes. Two flag bits ride on the subject word (term ids are
+/// dense dictionary handles that never reach them): kTombstoneBit marks a
+/// deletion, kInferredBit marks a rule-derived statement, so replay can
+/// restore support flags without re-running inference. Per-record CRCs let
+/// the reader distinguish a *torn tail* (crash mid-append: the final record
+/// is short or fails its checksum — skipped with a warning) from mid-file
+/// corruption (an error).
+///
+/// LSNs. Every record has a global *log sequence number*: the file's base
+/// LSN plus its index in the file. A snapshot taken at LSN S covers every
+/// record below S; TruncateTo(S) rewrites the log to hold only the tail at
+/// and above S (atomically, via temp file + rename), after which the header
+/// base is S. Replay after a snapshot applies only records with LSN >= S,
+/// which also makes the crash window between snapshot rename and log
+/// truncation benign — the skipped prefix is exactly what the snapshot
+/// already holds.
+///
+/// Legacy format. Logs without the magic are the original headerless
+/// 24-byte-record format (base LSN 0, no CRCs, no inferred bit; the magic
+/// read as a little-endian term id is impossibly large, so misdetection
+/// would need a dictionary of >10^18 terms). They read back unchanged —
+/// tombstone-free legacy logs decode as pure additions — and a handle
+/// opened on one keeps appending legacy records so the file stays
+/// self-consistent.
 class StatementLog {
  public:
-  /// Marks a 24-byte record as a deletion (set on the subject word).
+  /// Marks a record as a deletion (set on the subject word).
   static constexpr uint64_t kTombstoneBit = 1ull << 63;
+  /// Marks a record as rule-derived rather than asserted (v2 only).
+  static constexpr uint64_t kInferredBit = 1ull << 62;
 
   /// One decoded log record.
   struct Record {
     Triple triple;
     bool tombstone = false;
+    /// True iff the statement was logged as rule-derived (v2 logs only;
+    /// legacy records always read back as explicit).
+    bool inferred = false;
   };
-  /// Creates or truncates the log file at `path`. A `flush_interval` of n
-  /// flushes the OS buffer every n appended statements (0 = only on Close).
+
+  /// A fully decoded log file: its records plus the header fields replay
+  /// needs to align record indexes with snapshot LSNs.
+  struct Contents {
+    std::vector<Record> records;
+    uint64_t base_lsn = 0;  ///< global LSN of records[0]
+    bool v2 = false;        ///< false for legacy headerless logs
+    /// True iff a torn final record was skipped (crash mid-append).
+    bool torn_tail = false;
+  };
+
+  /// Creates or truncates the log file at `path` (v2 header, base LSN 0).
+  /// A `flush_interval` of n flushes the OS buffer every n appended
+  /// statements (0 = only on Close).
   static Result<std::unique_ptr<StatementLog>> Open(const std::string& path,
                                                     size_t flush_interval);
 
   /// Opens the log file at `path` for appending, preserving the existing
   /// records (the Recover path: a recovered repository keeps logging updates
-  /// after the records it was rebuilt from). `records_written()` counts only
-  /// the records appended by this handle.
+  /// after the records it was rebuilt from). The existing header and record
+  /// count are read back so next_lsn() stays globally consistent; appending
+  /// to a legacy log keeps writing legacy records. `records_written()`
+  /// counts only the records appended by this handle.
   static Result<std::unique_ptr<StatementLog>> OpenAppend(
       const std::string& path, size_t flush_interval);
 
@@ -54,14 +94,16 @@ class StatementLog {
   StatementLog(const StatementLog&) = delete;
   StatementLog& operator=(const StatementLog&) = delete;
 
-  /// Appends one statement record.
-  Status Append(const Triple& t);
+  /// Appends one statement record. `is_explicit` false marks the record
+  /// rule-derived so recovery can restore its support flag (v2 logs only;
+  /// a legacy handle drops the distinction, as the legacy format must).
+  Status Append(const Triple& t, bool is_explicit = true);
 
-  /// Appends one tombstone record: on replay, `t` is removed from the
+  /// Appends a tombstone record: on replay, `t` is removed from the
   /// recovered set (until a later record re-adds it).
   Status AppendTombstone(const Triple& t);
 
-  /// Appends a batch of statement records.
+  /// Appends a batch of explicit statement records.
   Status AppendBatch(const TripleVec& batch);
 
   /// Flushes buffered records to the OS.
@@ -73,26 +115,77 @@ class StatementLog {
   /// Number of records appended since Open.
   uint64_t records_written() const { return records_written_; }
 
+  /// Global LSN of the header (the LSN of the file's first record).
+  uint64_t base_lsn() const { return base_lsn_; }
+
+  /// Global LSN the next appended record will get: base_lsn() plus the
+  /// number of records currently in the file. A snapshot that covers
+  /// everything appended so far anchors at this value.
+  uint64_t next_lsn() const { return base_lsn_ + records_in_file_; }
+
+  /// Rewrites the log to hold only the records with global LSN >= `lsn`
+  /// and sets the header base to `lsn` (checkpoint truncation). Atomic:
+  /// the tail is written to a temp file and renamed over the log. The
+  /// handle stays open on the new file — borrowed StatementLog* pointers
+  /// (the embedded incremental engine holds one) remain valid. A `lsn`
+  /// at or below the current base is a no-op; beyond next_lsn() is an
+  /// error. Legacy handles are upgraded to v2 in the process.
+  Status TruncateTo(uint64_t lsn);
+
+  /// Rewrites the log keeping only the *last* record of each distinct
+  /// triple, in order of last occurrence — replaying the compacted log
+  /// yields exactly the replay of the original (a superseded add or
+  /// tombstone never changes the final state). When the base LSN is 0 (no
+  /// snapshot skips a prefix of this file), triples whose last record is a
+  /// tombstone drop entirely: the add/tombstone pair cancels. With a
+  /// nonzero base the tombstone-final records are kept — they may be
+  /// deleting triples the snapshot holds. Record indexes shift, so the
+  /// caller must ensure no snapshot anchors *inside* this file (i.e. only
+  /// compact when every snapshot LSN <= base_lsn()); the base is preserved.
+  /// Atomic, same temp-file + rename scheme as TruncateTo.
+  Status Compact();
+
+  /// Number of tombstone records appended by this handle since Open
+  /// (compaction-trigger heuristic: no tombstones, nothing to cancel).
+  uint64_t tombstones_written() const { return tombstones_written_; }
+
   /// Reads every *addition* record of a previously written log, in append
   /// order; tombstone records are skipped. Kept for raw-dump consumers
-  /// (index files, tests); recovery uses ReadRecords, whose ordered replay
+  /// (index files, tests); recovery uses ReadLog, whose ordered replay
   /// honours deletions.
   static Result<TripleVec> ReadAll(const std::string& path);
 
   /// Reads every record — additions and tombstones — in append order.
+  /// Convenience wrapper over ReadLog for callers that do not need the
+  /// header fields.
   static Result<std::vector<Record>> ReadRecords(const std::string& path);
+
+  /// Reads the whole log: header fields and records. A torn final record
+  /// (short, or failing its CRC with nothing after it) is skipped with a
+  /// warning; a checksum failure *before* the end of the file is an error
+  /// (mid-file corruption, not a crash artifact).
+  static Result<Contents> ReadLog(const std::string& path);
 
  private:
   StatementLog(std::FILE* file, std::string path, size_t flush_interval)
       : file_(file), path_(std::move(path)), flush_interval_(flush_interval) {}
 
-  /// Appends one 24-byte record, tombstone-flagged or not.
-  Status AppendRecord(const Triple& t, bool tombstone);
+  /// Appends one record with the given flag bits applied to the subject.
+  Status AppendRecord(const Triple& t, uint64_t flags);
+
+  /// Writes `contents` over the log file atomically and re-opens the
+  /// handle for appending (TruncateTo/Compact core).
+  Status ReplaceFile(const std::string& contents, uint64_t new_base,
+                     uint64_t new_record_count);
 
   std::FILE* file_;
   std::string path_;
   size_t flush_interval_;
+  bool v2_ = true;               // legacy handles keep appending legacy records
+  uint64_t base_lsn_ = 0;        // header base (v2), 0 for legacy
+  uint64_t records_in_file_ = 0; // pre-existing + appended by this handle
   uint64_t records_written_ = 0;
+  uint64_t tombstones_written_ = 0;
   uint64_t unflushed_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "store/triple_store.h"
 
 #include <mutex>
+#include <unordered_map>
 
 #include "common/sharding.h"
 
@@ -266,6 +267,68 @@ TripleSet TripleStore::SnapshotSet() const {
   GetView().ForEachMatch(TriplePattern{},
                          [&](const Triple& t) { out.insert(t); });
   return out;
+}
+
+Status TripleStore::BulkLoadPartition(TermId p,
+                                      const std::vector<SnapshotRow>& rows) {
+  if (p == kAnyTerm) {
+    return Status::InvalidArgument("bulk load: predicate id 0");
+  }
+  Shard& shard = ShardFor(p);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.partitions.FindWriter(p) != nullptr) {
+    return Status::InvalidArgument(
+        "bulk load: predicate partition already present");
+  }
+  auto partition = std::make_unique<Partition>();
+  size_t total = 0;
+  size_t explicit_total = 0;
+  // Forward rows first — exact-capacity, single pass, no dedup probes.
+  std::vector<uint64_t> ids;
+  std::vector<uint8_t> flags;
+  for (const SnapshotRow& row : rows) {
+    if (row.subject == kAnyTerm || row.objects.empty()) {
+      return Status::InvalidArgument("bulk load: malformed subject row");
+    }
+    ids.clear();
+    flags.clear();
+    ids.reserve(row.objects.size());
+    flags.reserve(row.objects.size());
+    for (const auto& [o, f] : row.objects) {
+      if (o == kAnyTerm) {
+        return Status::InvalidArgument("bulk load: object id 0");
+      }
+      ids.push_back(o);
+      flags.push_back(f);
+      if ((f & LfRow::kExplicitBit) != 0) ++explicit_total;
+    }
+    LfRow* fwd = new LfRow(&epochs_);
+    fwd->BulkAppend(ids.data(), flags.data(), ids.size());
+    partition->by_subject.Insert(&epochs_, row.subject, fwd);
+    total += ids.size();
+  }
+  // The by_object mirror regroups the same triples o -> [s...]. Mirror
+  // entries always carry the plain inferred-count-1 flag an ordinary
+  // mirror Insert would have written (mirror flags are meaningless).
+  std::unordered_map<TermId, std::vector<uint64_t>> mirror;
+  for (const SnapshotRow& row : rows) {
+    for (const auto& [o, f] : row.objects) {
+      (void)f;
+      mirror[o].push_back(row.subject);
+    }
+  }
+  for (auto& [o, subjects] : mirror) {
+    flags.assign(subjects.size(), uint8_t{1} << LfRow::kCountShift);
+    LfRow* rev = new LfRow(&epochs_);
+    rev->BulkAppend(subjects.data(), flags.data(), subjects.size());
+    partition->by_object.Insert(&epochs_, o, rev);
+  }
+  partition->count.store(total, std::memory_order_relaxed);
+  shard.partitions.Insert(&epochs_, p, partition.release());
+  shard.triples.fetch_add(total, std::memory_order_relaxed);
+  shard.explicit_triples.fetch_add(explicit_total, std::memory_order_relaxed);
+  shard.stats.insert_attempts.fetch_add(total, std::memory_order_relaxed);
+  return Status::OK();
 }
 
 TripleStore::Stats TripleStore::stats() const {

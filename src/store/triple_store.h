@@ -1,6 +1,7 @@
 #ifndef SLIDER_STORE_TRIPLE_STORE_H_
 #define SLIDER_STORE_TRIPLE_STORE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "common/epoch.h"
+#include "common/status.h"
 #include "rdf/term.h"
 #include "store/lockfree_index.h"
 
@@ -207,6 +209,29 @@ class TripleStore {
 
   /// Copies out every stored triple as a set (closure comparisons).
   TripleSet SnapshotSet() const;
+
+  /// One exported subject row: the objects of (subject, p, ·) with their
+  /// raw LfRow flag bytes (explicit bit + saturating derivation count).
+  struct SnapshotRow {
+    TermId subject = 0;
+    std::vector<std::pair<TermId, uint8_t>> objects;
+  };
+
+  /// Quiesced export for the snapshot writer: invokes
+  /// fn(predicate, rows) once per non-empty partition, rows sorted by
+  /// subject and each row's objects sorted ascending — the layout the
+  /// delta-encoder wants. Predicate order is unspecified (the writer
+  /// sorts sections itself). Must run with no concurrent writers.
+  template <typename Fn>
+  void ExportForSnapshot(Fn&& fn) const;
+
+  /// Recovery bulk load: installs a whole predicate partition in one shot —
+  /// exact-capacity rows via LfRow::BulkAppend, no per-triple dedup probes,
+  /// the by_object mirror regrouped from the same rows. Requires a store
+  /// this predicate is not yet present in (fresh recovery store) and no
+  /// concurrent access. `rows` must be dedup'd (distinct subjects, distinct
+  /// objects per subject), as the snapshot format guarantees.
+  Status BulkLoadPartition(TermId p, const std::vector<SnapshotRow>& rows);
 
   /// Monotonic counters for the benches and the demo player. Counters are
   /// shard-local relaxed atomics aggregated here, so
@@ -625,6 +650,32 @@ void TripleStore::ForEachSubject(TermId p, TermId o, Fn&& fn) const {
 template <typename Fn>
 void TripleStore::ForEachMatch(const TriplePattern& pattern, Fn&& fn) const {
   GetView().ForEachMatch(pattern, std::forward<Fn>(fn));
+}
+
+template <typename Fn>
+void TripleStore::ExportForSnapshot(Fn&& fn) const {
+  const EpochPin pin = epochs_.pin();
+  std::vector<SnapshotRow> rows;
+  for (size_t i = 0; i < shard_count_; ++i) {
+    shards_[i].partitions.ForEach([&](TermId p, const Partition& part) {
+      rows.clear();
+      part.by_subject.ForEach([&](TermId s, const LfRow& row) {
+        SnapshotRow out;
+        out.subject = s;
+        row.ForEachWithFlags(
+            [&](uint64_t o, uint8_t flags) { out.objects.emplace_back(o, flags); });
+        if (out.objects.empty()) return;
+        std::sort(out.objects.begin(), out.objects.end());
+        rows.push_back(std::move(out));
+      });
+      if (rows.empty()) return;
+      std::sort(rows.begin(), rows.end(),
+                [](const SnapshotRow& a, const SnapshotRow& b) {
+                  return a.subject < b.subject;
+                });
+      fn(p, rows);
+    });
+  }
 }
 
 }  // namespace slider

@@ -2,11 +2,46 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
 namespace slider {
 namespace {
 
 std::string TempPath(const std::string& name) {
   return testing::TempDir() + "/" + name;
+}
+
+// v2 layout constants mirrored from the implementation: a 16-byte header
+// (magic + base LSN) followed by 28-byte records (24-byte payload + CRC32).
+constexpr size_t kV2HeaderSize = 16;
+constexpr size_t kV2RecordSize = 28;
+
+void TruncateFile(const std::string& path, size_t new_size) {
+  std::filesystem::resize_file(path, new_size);
+}
+
+void FlipByte(const std::string& path, size_t offset) {
+  std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(file.good());
+  file.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x5A);
+  file.seekp(static_cast<std::streamoff>(offset));
+  file.write(&byte, 1);
+}
+
+/// Writes a legacy (headerless, CRC-free, 24-byte-record) log by hand.
+void WriteLegacyLog(const std::string& path, const TripleVec& triples) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(file.good());
+  for (const Triple& t : triples) {
+    const uint64_t words[3] = {t.s, t.p, t.o};
+    file.write(reinterpret_cast<const char*>(words), sizeof(words));
+  }
 }
 
 TEST(StatementLogTest, AppendAndReadBack) {
@@ -119,6 +154,198 @@ TEST(StatementLogTest, EmptyLogReadsEmpty) {
   auto records = StatementLog::ReadAll(path);
   ASSERT_TRUE(records.ok());
   EXPECT_TRUE(records->empty());
+}
+
+TEST(StatementLogTest, InferredFlagRoundTrips) {
+  const std::string path = TempPath("log_inferred.bin");
+  auto log = StatementLog::Open(path, 0);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->Append({1, 2, 3}, /*is_explicit=*/true).ok());
+  ASSERT_TRUE((*log)->Append({4, 5, 6}, /*is_explicit=*/false).ok());
+  ASSERT_TRUE((*log)->Close().ok());
+
+  auto records = StatementLog::ReadRecords(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_FALSE((*records)[0].inferred);
+  EXPECT_TRUE((*records)[1].inferred);
+  // The flag bits strip cleanly off the subject word.
+  EXPECT_EQ((*records)[1].triple, Triple(4, 5, 6));
+}
+
+TEST(StatementLogTest, TornFinalRecordIsSkippedWithWarning) {
+  const std::string path = TempPath("log_torn.bin");
+  auto log = StatementLog::Open(path, 0);
+  ASSERT_TRUE(log.ok());
+  for (TermId i = 1; i <= 3; ++i) {
+    ASSERT_TRUE((*log)->Append({i, i + 1, i + 2}).ok());
+  }
+  ASSERT_TRUE((*log)->Close().ok());
+
+  // Crash mid-append: the final record is short.
+  TruncateFile(path, kV2HeaderSize + 2 * kV2RecordSize + 13);
+  auto contents = StatementLog::ReadLog(path);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  EXPECT_TRUE(contents->torn_tail);
+  ASSERT_EQ(contents->records.size(), 2u);
+  EXPECT_EQ(contents->records[1].triple, Triple(2, 3, 4));
+}
+
+TEST(StatementLogTest, TornFinalChecksumIsSkippedWithWarning) {
+  const std::string path = TempPath("log_torn_crc.bin");
+  auto log = StatementLog::Open(path, 0);
+  ASSERT_TRUE(log.ok());
+  for (TermId i = 1; i <= 3; ++i) {
+    ASSERT_TRUE((*log)->Append({i, i + 1, i + 2}).ok());
+  }
+  ASSERT_TRUE((*log)->Close().ok());
+
+  // Full-length final record whose payload was torn: CRC fails, but with
+  // nothing after it this is still a crash artifact, not corruption.
+  FlipByte(path, kV2HeaderSize + 2 * kV2RecordSize + 4);
+  auto contents = StatementLog::ReadLog(path);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  EXPECT_TRUE(contents->torn_tail);
+  EXPECT_EQ(contents->records.size(), 2u);
+}
+
+TEST(StatementLogTest, MidFileChecksumFailureIsAnError) {
+  const std::string path = TempPath("log_corrupt.bin");
+  auto log = StatementLog::Open(path, 0);
+  ASSERT_TRUE(log.ok());
+  for (TermId i = 1; i <= 3; ++i) {
+    ASSERT_TRUE((*log)->Append({i, i + 1, i + 2}).ok());
+  }
+  ASSERT_TRUE((*log)->Close().ok());
+
+  // A bad record with valid records after it cannot be a torn tail.
+  FlipByte(path, kV2HeaderSize + 4);
+  auto contents = StatementLog::ReadLog(path);
+  EXPECT_TRUE(contents.status().IsIOError());
+}
+
+TEST(StatementLogTest, OpenAppendRepairsTornTail) {
+  const std::string path = TempPath("log_torn_repair.bin");
+  {
+    auto log = StatementLog::Open(path, 0);
+    ASSERT_TRUE(log.ok());
+    for (TermId i = 1; i <= 3; ++i) {
+      ASSERT_TRUE((*log)->Append({i, i + 1, i + 2}).ok());
+    }
+    ASSERT_TRUE((*log)->Close().ok());
+  }
+  TruncateFile(path, kV2HeaderSize + 2 * kV2RecordSize + 5);
+
+  auto log = StatementLog::OpenAppend(path, 0);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  EXPECT_EQ((*log)->next_lsn(), 2u);
+  ASSERT_TRUE((*log)->Append({7, 8, 9}).ok());
+  ASSERT_TRUE((*log)->Close().ok());
+
+  auto contents = StatementLog::ReadLog(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_FALSE(contents->torn_tail);  // the repair dropped the torn bytes
+  ASSERT_EQ(contents->records.size(), 3u);
+  EXPECT_EQ(contents->records[2].triple, Triple(7, 8, 9));
+}
+
+TEST(StatementLogTest, TruncateToKeepsTheTailAndRebasesTheHeader) {
+  const std::string path = TempPath("log_truncate.bin");
+  auto log = StatementLog::Open(path, 0);
+  ASSERT_TRUE(log.ok());
+  for (TermId i = 1; i <= 5; ++i) {
+    ASSERT_TRUE((*log)->Append({i, i + 1, i + 2}).ok());
+  }
+  EXPECT_EQ((*log)->base_lsn(), 0u);
+  EXPECT_EQ((*log)->next_lsn(), 5u);
+
+  ASSERT_TRUE((*log)->TruncateTo(3).ok());
+  EXPECT_EQ((*log)->base_lsn(), 3u);
+  EXPECT_EQ((*log)->next_lsn(), 5u);
+  // The handle survives the swap: appends keep their global LSNs.
+  ASSERT_TRUE((*log)->Append({9, 9, 9}).ok());
+  EXPECT_EQ((*log)->next_lsn(), 6u);
+  // At or below the base is a no-op; beyond the end is an error.
+  EXPECT_TRUE((*log)->TruncateTo(2).ok());
+  EXPECT_EQ((*log)->base_lsn(), 3u);
+  EXPECT_TRUE((*log)->TruncateTo(99).IsInvalidArgument());
+  ASSERT_TRUE((*log)->Close().ok());
+
+  auto contents = StatementLog::ReadLog(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents->base_lsn, 3u);
+  ASSERT_EQ(contents->records.size(), 3u);
+  EXPECT_EQ(contents->records[0].triple, Triple(4, 5, 6));
+  EXPECT_EQ(contents->records[2].triple, Triple(9, 9, 9));
+}
+
+TEST(StatementLogTest, CompactCancelsAddTombstonePairsAtBaseZero) {
+  const std::string path = TempPath("log_compact.bin");
+  auto log = StatementLog::Open(path, 0);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->Append({1, 2, 3}).ok());
+  ASSERT_TRUE((*log)->Append({4, 5, 6}).ok());
+  ASSERT_TRUE((*log)->AppendTombstone({1, 2, 3}).ok());  // cancels the add
+  ASSERT_TRUE((*log)->AppendTombstone({4, 5, 6}).ok());
+  ASSERT_TRUE((*log)->Append({4, 5, 6}).ok());  // re-add wins
+  EXPECT_EQ((*log)->tombstones_written(), 2u);
+
+  ASSERT_TRUE((*log)->Compact().ok());
+  ASSERT_TRUE((*log)->Close().ok());
+
+  auto contents = StatementLog::ReadLog(path);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_EQ(contents->records.size(), 1u);
+  EXPECT_FALSE(contents->records[0].tombstone);
+  EXPECT_EQ(contents->records[0].triple, Triple(4, 5, 6));
+}
+
+TEST(StatementLogTest, CompactKeepsTombstonesAboveANonZeroBase) {
+  // With a snapshot covering the records below the base, a tombstone-final
+  // triple may be deleting snapshot state — it must survive compaction.
+  const std::string path = TempPath("log_compact_base.bin");
+  auto log = StatementLog::Open(path, 0);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE((*log)->Append({1, 2, 3}).ok());
+  ASSERT_TRUE((*log)->TruncateTo(1).ok());  // snapshot took the prefix
+  ASSERT_TRUE((*log)->AppendTombstone({1, 2, 3}).ok());
+  ASSERT_TRUE((*log)->AppendTombstone({1, 2, 3}).ok());  // superseded dup
+  ASSERT_TRUE((*log)->Compact().ok());
+  ASSERT_TRUE((*log)->Close().ok());
+
+  auto contents = StatementLog::ReadLog(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents->base_lsn, 1u);
+  ASSERT_EQ(contents->records.size(), 1u);
+  EXPECT_TRUE(contents->records[0].tombstone);
+}
+
+TEST(StatementLogTest, LegacyHandwrittenLogReadsAndAppends) {
+  // A pre-v2 file: no magic, raw 24-byte records. It must read back as pure
+  // additions at base LSN 0, and a handle opened on it must keep the file
+  // self-consistent (legacy records, no header splice).
+  const std::string path = TempPath("log_legacy_raw.bin");
+  const TripleVec original = {{1, 2, 3}, {4, 5, 6}};
+  WriteLegacyLog(path, original);
+
+  auto contents = StatementLog::ReadLog(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_FALSE(contents->v2);
+  EXPECT_EQ(contents->base_lsn, 0u);
+  ASSERT_EQ(contents->records.size(), 2u);
+  EXPECT_EQ(contents->records[1].triple, Triple(4, 5, 6));
+
+  auto log = StatementLog::OpenAppend(path, 0);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  EXPECT_EQ((*log)->next_lsn(), 2u);
+  ASSERT_TRUE((*log)->Append({7, 8, 9}).ok());
+  ASSERT_TRUE((*log)->Close().ok());
+
+  auto reread = StatementLog::ReadLog(path);
+  ASSERT_TRUE(reread.ok()) << reread.status().ToString();
+  EXPECT_FALSE(reread->v2);
+  ASSERT_EQ(reread->records.size(), 3u);
+  EXPECT_EQ(reread->records[2].triple, Triple(7, 8, 9));
 }
 
 }  // namespace
