@@ -31,6 +31,8 @@
 #include "query/backward.h"
 #include "query/evaluator.h"
 #include "query/hybrid.h"
+#include "reason/fragment.h"
+#include "reason/rules_owl.h"
 #include "workload/corpus.h"
 
 using namespace slider;
@@ -83,7 +85,7 @@ int main(int argc, char** argv) {
   ForwardProvider forward(&reasoner.store());
   BackwardChainer backward(&raw, reasoner.vocabulary());
   HybridProvider hybrid(&raw, reasoner.vocabulary(),
-                        /*chainer_covers_fragment=*/true);
+                        Fragment::RhoDf(reasoner.vocabulary()).rules());
 
   const std::vector<std::pair<const char*, std::string>> queries = {
       {"instances of a product type (type query through the hierarchy)",
@@ -223,6 +225,140 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(table_stats.misses),
               static_cast<unsigned long long>(table_stats.inserted));
 
+  // --- Full-fragment on-demand cells (RDFS and the OWL extension) ----------
+  // The rule-driven chainer answers any clause-declaring fragment, so
+  // on-demand answering is no longer ρdf-only. These cells price it beyond
+  // the backbone: hybrid over the raw explicit store vs a materialised
+  // oracle of the same fragment, with answer-count equality checked.
+  struct FragmentCell {
+    const char* fragment;
+    const char* pattern;
+    size_t oracle_rows = 0, hybrid_rows = 0;
+    double cold_ms = 0, warm_ms = 0, materialise_s = 0;
+    bool match = false;
+  };
+  std::vector<FragmentCell> fragment_cells;
+  const auto run_pattern = [](const MatchProvider& provider,
+                              const TriplePattern& p, double* ms) {
+    size_t rows = 0;
+    Stopwatch w;
+    provider.Match(p, [&](const Triple&) { ++rows; });
+    if (ms != nullptr) *ms = w.ElapsedMillis();
+    return rows;
+  };
+
+  {
+    // RDFS: a deep subClassOf chain with instance members spread over it.
+    Reasoner rdfs_reasoner(RdfsFactory(), BenchSliderOptions());
+    Dictionary* rdict = rdfs_reasoner.dictionary();
+    const Vocabulary& rv = rdfs_reasoner.vocabulary();
+    const int depth = quick ? 48 : 128;
+    const int members = quick ? 200 : 800;
+    std::vector<TermId> classes;
+    for (int i = 0; i <= depth; ++i) {
+      classes.push_back(
+          rdict->Encode("<http://slider.repro/frag/C" + std::to_string(i) + ">"));
+    }
+    TripleVec in;
+    for (int i = 0; i < depth; ++i) {
+      in.push_back({classes[i], rv.sub_class_of, classes[i + 1]});
+    }
+    for (int i = 0; i < members; ++i) {
+      in.push_back(
+          {rdict->Encode("<http://slider.repro/frag/i" + std::to_string(i) + ">"),
+           rv.type, classes[i % depth]});
+    }
+    TripleStore frag_raw;
+    frag_raw.AddAll(in, nullptr);
+    Stopwatch mat;
+    rdfs_reasoner.AddTriples(in);
+    rdfs_reasoner.Flush();
+    const double mat_s = mat.ElapsedSeconds();
+    ForwardProvider oracle(&rdfs_reasoner.store());
+    HybridProvider frag_hybrid(&frag_raw, rv, RdfsFactory()(rv, rdict).rules());
+    const std::pair<const char*, TriplePattern> patterns[] = {
+        {"type-closure", TriplePattern{kAnyTerm, rv.type, kAnyTerm}},
+        {"subclass-closure",
+         TriplePattern{kAnyTerm, rv.sub_class_of, kAnyTerm}}};
+    for (const auto& [pname, pattern] : patterns) {
+      FragmentCell cell;
+      cell.fragment = "rdfs";
+      cell.pattern = pname;
+      cell.materialise_s = mat_s;
+      cell.oracle_rows = run_pattern(oracle, pattern, nullptr);
+      cell.hybrid_rows = run_pattern(frag_hybrid, pattern, &cell.cold_ms);
+      run_pattern(frag_hybrid, pattern, &cell.warm_ms);
+      cell.match = cell.oracle_rows == cell.hybrid_rows;
+      fragment_cells.push_back(cell);
+    }
+  }
+
+  {
+    // OWL extension: symmetric, transitive and inverse properties.
+    Reasoner owl_reasoner(OwlLiteFactory(), BenchSliderOptions());
+    Dictionary* odict = owl_reasoner.dictionary();
+    const Vocabulary& ov = owl_reasoner.vocabulary();
+    const OwlTerms owl = OwlTerms::Register(odict);
+    const TermId contains = odict->Encode("<http://slider.repro/frag/contains>");
+    const TermId friend_p = odict->Encode("<http://slider.repro/frag/friend>");
+    const TermId child_of = odict->Encode("<http://slider.repro/frag/childOf>");
+    const TermId parent_of =
+        odict->Encode("<http://slider.repro/frag/parentOf>");
+    const auto node = [&](const char* stem, int i) {
+      return odict->Encode(std::string("<http://slider.repro/frag/") + stem +
+                           std::to_string(i) + ">");
+    };
+    TripleVec in;
+    in.push_back({contains, ov.type, owl.transitive_property});
+    in.push_back({friend_p, ov.type, owl.symmetric_property});
+    in.push_back({child_of, owl.inverse_of, parent_of});
+    const int chain = quick ? 64 : 160;
+    for (int i = 0; i < chain; ++i) {
+      in.push_back({node("box", i), contains, node("box", i + 1)});
+    }
+    const int pairs = quick ? 300 : 1200;
+    for (int i = 0; i < pairs; ++i) {
+      in.push_back({node("p", i), friend_p, node("p", i + 1)});
+      in.push_back({node("k", i), child_of, node("a", i)});
+    }
+    TripleStore frag_raw;
+    frag_raw.AddAll(in, nullptr);
+    Stopwatch mat;
+    owl_reasoner.AddTriples(in);
+    owl_reasoner.Flush();
+    const double mat_s = mat.ElapsedSeconds();
+    ForwardProvider oracle(&owl_reasoner.store());
+    HybridProvider frag_hybrid(&frag_raw, ov,
+                               OwlLiteFragment(ov, odict).rules());
+    const std::pair<const char*, TriplePattern> patterns[] = {
+        {"transitive-closure", TriplePattern{kAnyTerm, contains, kAnyTerm}},
+        {"symmetric-closure", TriplePattern{kAnyTerm, friend_p, kAnyTerm}},
+        {"inverse-derived", TriplePattern{kAnyTerm, parent_of, kAnyTerm}}};
+    for (const auto& [pname, pattern] : patterns) {
+      FragmentCell cell;
+      cell.fragment = "owl";
+      cell.pattern = pname;
+      cell.materialise_s = mat_s;
+      cell.oracle_rows = run_pattern(oracle, pattern, nullptr);
+      cell.hybrid_rows = run_pattern(frag_hybrid, pattern, &cell.cold_ms);
+      run_pattern(frag_hybrid, pattern, &cell.warm_ms);
+      cell.match = cell.oracle_rows == cell.hybrid_rows;
+      fragment_cells.push_back(cell);
+    }
+  }
+
+  std::printf("\nfull-fragment on-demand cells (hybrid over raw store vs "
+              "materialised oracle):\n");
+  std::printf("%-10s %-20s %9s %9s %9s %7s\n", "fragment", "pattern",
+              "cold(ms)", "warm(ms)", "rows", "match");
+  bool fragment_mismatch = false;
+  for (const FragmentCell& cell : fragment_cells) {
+    std::printf("%-10s %-20s %9.3f %9.3f %9zu %7s\n", cell.fragment,
+                cell.pattern, cell.cold_ms, cell.warm_ms, cell.hybrid_rows,
+                cell.match ? "yes" : "NO");
+    fragment_mismatch |= !cell.match;
+  }
+
   if (!json_path.empty()) {
     std::ostringstream os;
     os << "[\n  " << ContextJson("query_modes")
@@ -237,6 +373,15 @@ int main(int argc, char** argv) {
          << ",\"hybrid_cold_ms\":" << cell.hyb_cold_ms
          << ",\"hybrid_tabled_ms\":" << cell.hyb_ms
          << ",\"rows\":" << cell.rows
+         << ",\"answers_match\":" << (cell.match ? "true" : "false") << "}";
+    }
+    for (const FragmentCell& cell : fragment_cells) {
+      os << ",\n  {\"bench\":\"query_modes\",\"fragment\":\"" << cell.fragment
+         << "\",\"pattern\":\"" << cell.pattern
+         << "\",\"materialise_s\":" << cell.materialise_s
+         << ",\"hybrid_cold_ms\":" << cell.cold_ms
+         << ",\"hybrid_warm_ms\":" << cell.warm_ms
+         << ",\"rows\":" << cell.hybrid_rows
          << ",\"answers_match\":" << (cell.match ? "true" : "false") << "}";
     }
     os << ",\n  {\"bench\":\"query_modes\",\"cold_workload\":true"
@@ -258,6 +403,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
       return 1;
     }
+  }
+  if (fragment_mismatch) {
+    std::fprintf(stderr, "answer mismatch in full-fragment cells\n");
+    return 1;
   }
   return 0;
 }

@@ -2,105 +2,104 @@
 #define SLIDER_QUERY_BACKWARD_H_
 
 #include <functional>
+#include <vector>
 
 #include "query/evaluator.h"
 #include "rdf/vocabulary.h"
+#include "reason/rule.h"
 #include "store/triple_store.h"
 
 namespace slider {
 
-/// \brief Backward-chaining match provider for the ρdf fragment.
+/// \brief Goal-directed (backward/SLD) match provider over an arbitrary
+/// rule set.
 ///
 /// This is the approach Slider argues against (§1): instead of
-/// materialising the closure up-front, each query pattern is expanded
-/// through the ρdf rules *at query time* over the raw (non-materialised)
-/// store:
+/// materialising the closure up-front, each query pattern is resolved
+/// through the rules *at query time* over the raw (non-materialised)
+/// store. The engine is generic: it consumes the Horn clauses every rule
+/// exposes through Rule::ExpandGoal (reason/rule.h) — the same per-rule
+/// declarations that power the DRed rederivation check — so any fragment
+/// whose rules declare clauses (all fifteen shipped rules do) is answered
+/// without chainer changes.
 ///
-///   (x subClassOf y)     — reachability over explicit subClassOf edges
-///                          (SCM-SCO unrolled);
-///   (x subPropertyOf y)  — likewise over subPropertyOf (SCM-SPO);
-///   (p domain c)         — explicit domains of p and of its
-///                          super-properties (SCM-DOM2);
-///   (p range c)          — likewise (SCM-RNG2);
-///   (x type c)           — explicit typing of any subclass of c, plus
-///                          subjects/objects of properties whose
-///                          (inherited) domain/range is a subclass of c
-///                          (CAX-SCO, PRP-DOM, PRP-RNG);
-///   (x p y)              — explicit triples of p and of its
-///                          sub-properties (PRP-SPO1).
+/// Resolution strategy, per top-level Match call:
+///  - every subgoal (a triple pattern) is *tabled*: its answers accumulate
+///    in a per-call memo, each pattern is expanded at most once per pass,
+///    and re-entrant goals (cycles through the rule graph or through
+///    cyclic hierarchies) read the answers tabled so far instead of
+///    recursing forever;
+///  - a goal expands by (a) scanning the explicit store and (b)
+///    instantiating every rule clause whose head unifies with it
+///    (ExpandGoal), joining the instantiated body left-to-right, each body
+///    atom being a recursive subgoal;
+///  - passes repeat until a global fixpoint (no subgoal gained an answer),
+///    which makes the engine complete on recursive rules without
+///    SCC-completeness bookkeeping;
+///  - clause instances of the self-transitive shape
+///    `(a P b) ⇐ guards ∧ (a P m) ∧ (m P b)` — SCM-SCO, SCM-SPO, and
+///    PRP-TRP once its declaration guard is pinned — are recognized
+///    structurally and answered by breadth-first reachability over the
+///    goal's *base relation* (the same goal solved with the transitive
+///    clause cut), turning the worst recursive case into the linear graph
+///    walk the ρdf chainer always had. The recognition is shape-based, not
+///    name-based: custom transitive rules get the fast path for free.
 ///
-/// The implementation is sound and complete for ρdf on cycle-containing
-/// hierarchies (visited-set guarded DFS), and deduplicates emitted
-/// bindings. Its cost profile — recursive expansion and set bookkeeping on
-/// *every* pattern — is the "more complex query evaluation that adversely
-/// affects performance and scalability" the paper quotes;
-/// bench_query_modes measures it against the ForwardProvider.
+/// The memo lives for one Match call; cross-query reuse is the
+/// TablingCache's job (query/tabling.h), where the HybridProvider
+/// memoizes whole per-pattern answer sets. All reads go through one
+/// StoreView pinned for the whole call: zero locks, one monotone snapshot.
 ///
-/// Besides serving as the standalone worst case, the chainer is the
-/// backward half of the hybrid answering stack (query/hybrid.h): the
-/// HybridProvider routes incomplete patterns here and memoizes the
-/// answers in a TablingCache, and the Repository's kHybrid mode uses the
-/// chainer as the oracle that materialises its eager schema closure.
+/// Its cost profile — recursive expansion and set bookkeeping on *every*
+/// pattern — is the "more complex query evaluation that adversely affects
+/// performance and scalability" the paper quotes; bench_query_modes
+/// measures it against the ForwardProvider. Besides serving as the
+/// standalone worst case, the chainer is the backward half of the hybrid
+/// answering stack (query/hybrid.h), and the Repository's kHybrid mode
+/// uses it as the oracle that materialises its eager schema closure.
 class BackwardChainer : public MatchProvider {
  public:
-  /// `store` holds only explicit triples; `v` is the store dictionary's
-  /// registered vocabulary.
-  BackwardChainer(const TripleStore* store, const Vocabulary& v)
-      : store_(store), v_(v) {}
+  /// Chains over the ρdf fragment's eight rules (the paper's Figure 2) —
+  /// the historical default.
+  BackwardChainer(const TripleStore* store, const Vocabulary& v);
+
+  /// Chains over an explicit rule set; rules without clause declarations
+  /// (SupportsBackward() == false) contribute no answers and make the
+  /// chainer incomplete for their heads — gate with
+  /// BackwardCoverable / BackwardCapability (query/hybrid.h).
+  BackwardChainer(const TripleStore* store, const Vocabulary& v,
+                  std::vector<RulePtr> rules);
 
   void Match(const TriplePattern& pattern,
              const std::function<void(const Triple&)>& sink) const override;
 
+  /// Expansion-aware answer-cardinality estimate, the backward half of the
+  /// HybridProvider's cost model. A shape-based model prices the ρdf
+  /// backbone (transitive closures, schema inheritance, type evidence,
+  /// sub-property unions) from the explicit partition counts; clauses of
+  /// rules outside that backbone are priced by a budgeted depth-1
+  /// enumeration of their instantiated bodies (falling back to a product
+  /// upper bound when the budget trips), so patterns only extension rules
+  /// can produce — symmetric/inverse/transitive properties, rdfs:member
+  /// via derived subPropertyOf edges — no longer estimate to ~0.
   size_t EstimateCount(const TriplePattern& pattern) const override;
 
+  const std::vector<RulePtr>& rules() const { return rules_; }
+
  private:
-  /// Emits t unless an identical triple was already emitted for this
-  /// Match call (dedup is per top-level pattern expansion).
-  class DedupSink;
+  size_t BackboneEstimate(const StoreView& store,
+                          const TriplePattern& pattern) const;
+  size_t ExtensionEstimate(const StoreView& store,
+                           const TriplePattern& pattern) const;
 
-  /// Every expansion below reads through one StoreView pinned for the
-  /// whole top-level Match call: backward queries acquire zero locks and
-  /// observe one monotone snapshot across their recursive walks.
-
-  /// Dispatch over an already-pinned view (the unbound-predicate case
-  /// recurses here instead of re-pinning per predicate).
-  void MatchPinned(const StoreView& store, const TriplePattern& pattern,
-                   DedupSink* sink) const;
-
-  /// Expansion of (? sc/sp ?) reachability, all four boundness cases.
-  void MatchTransitive(const StoreView& store, TermId predicate,
-                       const TriplePattern& pattern, DedupSink* sink) const;
-
-  /// Expansion of (p domain/range c) through super-properties.
-  void MatchSchemaInherited(const StoreView& store, TermId schema_predicate,
-                            const TriplePattern& pattern,
-                            DedupSink* sink) const;
-
-  /// Expansion of (x type c).
-  void MatchType(const StoreView& store, const TriplePattern& pattern,
-                 DedupSink* sink) const;
-
-  /// Expansion of a plain (x p y) pattern through sub-properties of p.
-  void MatchInstance(const StoreView& store, const TriplePattern& pattern,
-                     DedupSink* sink) const;
-
-  /// All classes sc-reachable *down* from c (subclasses, c included).
-  std::vector<TermId> SubClassesOf(const StoreView& store, TermId c) const;
-  /// All classes sc-reachable *up* from c (superclasses, c included).
-  std::vector<TermId> SuperClassesOf(const StoreView& store, TermId c) const;
-  /// All properties sp-reachable down from p (sub-properties, p included).
+  /// Explicit sp-down closure used by the backbone estimate.
   std::vector<TermId> SubPropertiesOf(const StoreView& store, TermId p) const;
-  /// All properties sp-reachable up from p (super-properties, p included).
-  std::vector<TermId> SuperPropertiesOf(const StoreView& store,
-                                        TermId p) const;
-
-  /// Generic closure walk along `predicate` edges; `down` follows
-  /// object→subject (toward specialisations).
-  std::vector<TermId> Reach(const StoreView& store, TermId start,
-                            TermId predicate, bool down) const;
 
   const TripleStore* store_;
   Vocabulary v_;
+  std::vector<RulePtr> rules_;
+  /// Rules outside the shape-priced ρdf backbone (EstimateCount only).
+  std::vector<const Rule*> extension_rules_;
 };
 
 }  // namespace slider

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "query/backward.h"
@@ -16,12 +17,101 @@
 
 namespace slider {
 
-/// True iff `fragment` is a ruleset the BackwardChainer answers soundly and
-/// completely: exactly the eight ρdf rules (by rule name, order-free). A
-/// *subset* is rejected too — the chainer always expands all eight, so over
-/// a fragment that, say, dropped PRP-DOM it would *over*-answer, and a
-/// superset (RDFS axioms, OWL) would make it under-answer.
+/// True iff the BackwardChainer is a sound and complete evaluator for
+/// `fragment`: every rule declares its Horn clauses
+/// (Rule::SupportsBackward). The chainer resolves goals through exactly
+/// the rules it is given, so — unlike the old name-list gate that pinned
+/// coverage to the eight ρdf rules — any fragment of clause-declaring
+/// rules qualifies: ρdf, RDFS, the shipped OWL extension, and custom
+/// fragments alike.
 bool BackwardCoverable(const Fragment& fragment);
+
+/// \brief Per-pattern backward-answerability over a rule set.
+///
+/// The chainer under-answers exactly the head shapes of rules that
+/// declare no clauses (SupportsBackward() == false): any pattern such a
+/// rule could produce may be missing derived answers. This class folds
+/// the rule set's head declarations into a per-predicate verdict:
+///
+///   Covers(p) — true iff no clause-less rule can emit predicate p
+///               (a clause-less rule with OutputsAnyPredicate() covers
+///               nothing; kAnyTerm asks about every predicate at once).
+///
+/// All fifteen shipped rules declare clauses, so shipped fragments cover
+/// everything; the model exists for fragments mixing in custom rules
+/// without clauses, where the HybridProvider must pin the affected
+/// patterns to the forward route (sound only over a materialized store —
+/// which is why Repository::Open still requires full coverage for the
+/// on-demand modes).
+class BackwardCapability {
+ public:
+  BackwardCapability() = default;
+  explicit BackwardCapability(const std::vector<RulePtr>& rules);
+
+  bool Covers(TermId predicate) const {
+    if (uncovered_any_ ) return false;
+    if (predicate == kAnyTerm) return uncovered_.empty();
+    return uncovered_.count(predicate) == 0;
+  }
+  bool Covers(const TriplePattern& pattern) const {
+    return Covers(pattern.p);
+  }
+  /// True iff every rule declares clauses (Covers(p) for all p).
+  bool CoversAll() const { return uncovered_.empty() && !uncovered_any_; }
+
+ private:
+  bool uncovered_any_ = false;          ///< clause-less rule emits any predicate
+  std::unordered_set<TermId> uncovered_;  ///< clause-less rules' output predicates
+};
+
+/// \brief Clause-derived delta classification, shared by the provider's
+/// tabling invalidation and the repository's schema-closure triggers.
+///
+/// Extracted once from a rule set's clause templates:
+///  - `structural` specs: a delta triple matching one (predicate equal;
+///    object equal unless the spec's object is kAnyTerm) can rewire
+///    expansions globally — it matches a constant-predicate body atom
+///    (schema edges: subClassOf/subPropertyOf/domain/range; meta links:
+///    owl:inverseOf; guarded declarations: (· type TransitiveProperty),
+///    (· type Class), …). Such deltas flush every table and the route
+///    memo. Plain data atoms (constant predicate rdf:type with a
+///    *variable* object, or variable predicate) are not structural.
+///  - `link_predicates`: predicates whose edges link one predicate's data
+///    to another predicate's answers (a body atom whose subject/object
+///    variable occurs in predicate position elsewhere in its clause —
+///    subPropertyOf via PRP-SPO1, owl:inverseOf via PRP-INV). Instance
+///    deltas walk these links to find the affected tables.
+///  - `schema_trigger_classes`: K where (· type K) can create a
+///    schema-predicate head (RDFS6/8/10/12/13 triggers) — the repository
+///    refreshes its kHybrid schema closure on those deltas.
+///  - `var_head_rules`: some rule emits arbitrary predicates; with meta
+///    edges landing *on* schema predicates, any delta can then extend the
+///    schema closure (the repository probes for that situation).
+///  - `spo_derivable`: subPropertyOf edges can be derived from
+///    non-subPropertyOf facts (RDFS12's ContainerMembershipProperty ⇒
+///    member), so instance-delta link walks must consult the chainer, not
+///    just explicit edges.
+struct RuleSetAnalysis {
+  struct Spec {
+    TermId p = kAnyTerm;
+    TermId o = kAnyTerm;  ///< kAnyTerm = any object
+  };
+  std::vector<Spec> structural;
+  std::vector<TermId> link_predicates;
+  std::vector<TermId> schema_trigger_classes;
+  bool var_head_rules = false;
+  bool spo_derivable = false;
+
+  bool MatchesStructural(const Triple& t) const {
+    for (const Spec& s : structural) {
+      if (t.p == s.p && (s.o == kAnyTerm || t.o == s.o)) return true;
+    }
+    return false;
+  }
+};
+
+RuleSetAnalysis AnalyzeRuleSet(const std::vector<RulePtr>& rules,
+                               const Vocabulary& v);
 
 /// \brief Cost-routed hybrid match provider — the query-layer tentpole of
 /// the materialize/on-demand answering stack.
@@ -30,31 +120,40 @@ bool BackwardCoverable(const Fragment& fragment);
 ///
 ///   forward  — read the store's indexes directly (ForwardProvider path;
 ///              correct when the store already holds every answer);
-///   backward — expand the ρdf rules at query time (BackwardChainer path;
-///              correct over a raw explicit-only store), memoized through a
-///              TablingCache so repeated patterns cost a table scan.
+///   backward — resolve the fragment's rules at query time
+///              (BackwardChainer path; correct over a raw explicit-only
+///              store), memoized through a TablingCache so repeated
+///              patterns cost a table scan.
 ///
 /// Routing runs three checks, in order (vlog's chooseMostEfficientAlgo
 /// shape: capability, then completeness, then cost):
 ///
-///  1. *Capability.* If the repository's fragment is not exactly ρdf
-///     (BackwardCoverable == false), the chainer is not a complete
-///     evaluator and every pattern routes forward — callers must then be
-///     running a materialized store.
+///  1. *Capability.* Per pattern, not per fragment: a pattern routes
+///     forward unconditionally only when some clause-less rule could
+///     produce its head shape (BackwardCapability::Covers == false) — the
+///     chainer would under-answer it. With the shipped fragments (ρdf,
+///     RDFS, OWL extension — all rules declare clauses) nothing is ever
+///     rejected, which is what opens kOnDemand/kHybrid to the full
+///     fragments.
 ///  2. *Completeness.* The forward route is only eligible when the store
 ///     provably holds every answer for the pattern: always under
 ///     Options::fully_materialized; for schema patterns (subClassOf,
 ///     subPropertyOf, domain, range) under Options::schema_materialized
-///     (the kHybrid mode's eager schema closure); for a bound instance
-///     predicate with no sub-properties (PRP-SPO1 has nothing to add, and
-///     only schema deltas — which clear the route memo — can change that).
-///     Otherwise the pattern routes backward.
-///  3. *Cost.* When both routes are complete, compare estimated
-///     materialized rows touched against the chainer's estimated expansion
-///     fan-out and take the cheaper.
+///     (the kHybrid mode's eager schema closure); otherwise by a
+///     clause-driven liveness probe — the pattern is forward-complete iff
+///     every rule clause that could derive into its partition is *dead*
+///     (its leading declaration/schema atom has no backward-provable
+///     solutions) or derives only identities (the reflexive <p spo p>
+///     RDFS6 emits). The probe subsumes the old "no subPropertyOf edge
+///     points at p" check and extends it to inverse/symmetric/transitive
+///     declarations and derived subPropertyOf edges.
+///  3. *Cost.* When both routes are complete, compare estimated rows
+///     touched — materialized partition size vs the chainer's expansion
+///     estimate — each side calibrated by its measured per-row latency
+///     EWMA (route_stats) once both routes have samples.
 ///
 /// Decisions are memoized per predicate (the inputs above depend only on
-/// the predicate and store-wide stats); the memo is cleared by schema
+/// the predicate and store-wide stats); the memo is cleared by structural
 /// deltas through OnDelta — the same delta stream that invalidates the
 /// answer tables. PlanRoutes exposes the per-pattern decisions so the
 /// endpoint's plan cache can record them alongside the join order.
@@ -85,15 +184,20 @@ class HybridProvider : public MatchProvider {
   struct RouteStats {
     uint64_t forward = 0;   ///< Match calls routed to the store
     uint64_t backward = 0;  ///< Match calls routed to the chainer
+    uint64_t forward_samples = 0;   ///< latency samples folded per route
+    uint64_t backward_samples = 0;
+    /// Per-row latency EWMAs (milliseconds, alpha 0.2); 0 until sampled.
+    /// Consulted by the cost check once both routes have samples.
+    double forward_ms_per_row = 0.0;
+    double backward_ms_per_row = 0.0;
   };
 
-  /// `store` and `v` as for BackwardChainer; `chainer_covers_fragment` is
-  /// BackwardCoverable(repository fragment) — false pins every pattern to
-  /// the forward route.
+  /// Chains over `rules` (the repository passes its fragment's rule set);
+  /// patterns outside BackwardCapability(rules) pin to the forward route.
   HybridProvider(const TripleStore* store, const Vocabulary& v,
-                 bool chainer_covers_fragment, Options options);
+                 std::vector<RulePtr> rules, Options options);
   HybridProvider(const TripleStore* store, const Vocabulary& v,
-                 bool chainer_covers_fragment);
+                 std::vector<RulePtr> rules);
 
   void Match(const TriplePattern& pattern,
              const std::function<void(const Triple&)>& sink) const override;
@@ -110,13 +214,22 @@ class HybridProvider : public MatchProvider {
 
   /// Delta hook: the repository calls this after every add/retract batch
   /// (both directions drop affected tables — a stale answer set can grow
-  /// *or* shrink). Schema deltas flush all tables and the route memo;
-  /// instance deltas drop only the tables whose expansion could consume
-  /// the touched predicates (their subPropertyOf up-closures, rdf:type,
-  /// and predicate-unbound tables).
+  /// *or* shrink). Structural deltas (RuleSetAnalysis) flush all tables
+  /// and the route memo; instance deltas drop only the tables whose
+  /// expansion could consume the touched predicates — their closure over
+  /// the link predicates (subPropertyOf up-closure, inverse neighbors;
+  /// chainer-derived when subPropertyOf edges can themselves be derived),
+  /// plus rdf:type and predicate-unbound tables.
   void OnDelta(const TripleVec& delta);
 
+  /// Folds one measured Match latency into the per-route EWMA. Match does
+  /// this itself; exposed so callers that time end-to-end evaluation (the
+  /// endpoint) can contribute samples too.
+  void RecordRouteLatency(Route route, double millis, size_t rows) const;
+
   const TablingCache& tables() const { return tables_; }
+  const BackwardCapability& capability() const { return capability_; }
+  const RuleSetAnalysis& analysis() const { return analysis_; }
   RouteStats route_stats() const;
 
  private:
@@ -133,20 +246,26 @@ class HybridProvider : public MatchProvider {
   void MatchBackward(const TriplePattern& pattern,
                      const std::function<void(const Triple&)>& sink) const;
 
-  /// subPropertyOf up-closure of `p` (p included), over explicit edges.
-  std::vector<TermId> SuperPropertiesOf(TermId p) const;
+  /// Closure of `q` over the analysis' link predicates (q included):
+  /// every predicate whose tables a delta on q can affect.
+  std::vector<TermId> LinkedPredicatesOf(TermId q) const;
 
   const TripleStore* store_;
   Vocabulary v_;
-  bool covers_;
   Options options_;
   BackwardChainer chainer_;
+  BackwardCapability capability_;
+  RuleSetAnalysis analysis_;
   TablingCache tables_;
 
   mutable std::mutex route_mu_;
   mutable std::unordered_map<TermId, Route> route_memo_;
   mutable std::atomic<uint64_t> forward_routes_{0};
   mutable std::atomic<uint64_t> backward_routes_{0};
+  mutable std::atomic<uint64_t> forward_samples_{0};
+  mutable std::atomic<uint64_t> backward_samples_{0};
+  mutable std::atomic<double> forward_ms_per_row_{0.0};
+  mutable std::atomic<double> backward_ms_per_row_{0.0};
 };
 
 }  // namespace slider

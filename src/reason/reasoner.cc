@@ -235,14 +235,15 @@ Reasoner::RetractStats Reasoner::Retract(const TripleVec& batch) {
   if (round.empty()) return stats;
   explicit_count_.fetch_sub(round.size());
 
-  // Rederivation mechanisms, split per rule: modules with a backward check
-  // (Rule::CanDerive) power both the counting fast path below and phase 3's
-  // checked passes; the rest fall back to forward re-seeding in phase 3.
+  // Rederivation mechanisms, split per rule: modules with backward support
+  // (declared goal clauses driving Rule::CanDerive) power both the counting
+  // fast path below and phase 3's checked passes; the rest fall back to
+  // forward re-seeding in phase 3.
   const size_t num_modules = modules_.size();
   std::vector<int> fallback_modules;
   std::vector<int> checked_modules;
   for (int m = 0; m < static_cast<int>(num_modules); ++m) {
-    if (modules_[static_cast<size_t>(m)]->rule->SupportsRederiveCheck()) {
+    if (modules_[static_cast<size_t>(m)]->rule->SupportsBackward()) {
       checked_modules.push_back(m);
     } else {
       fallback_modules.push_back(m);

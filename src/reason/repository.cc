@@ -46,11 +46,13 @@ Result<std::unique_ptr<Repository>> Repository::Open(
   }
   repo->ResetEngine();
   if (repo->OnDemandMode() && !BackwardCoverable(*repo->fragment_)) {
-    // The backward chainer expands exactly the eight ρdf rules; any other
-    // fragment would make on-demand answers diverge from the closure.
+    // The chainer resolves goals through the rules' declared Horn clauses;
+    // a rule without clauses would make on-demand answers diverge from the
+    // closure for its head shapes.
     return Status::InvalidArgument(
-        Format("inference mode kOnDemand/kHybrid requires the ρdf fragment; "
-               "'%s' is not backward-coverable",
+        Format("inference mode kOnDemand/kHybrid requires a backward-"
+               "coverable fragment (every rule declaring goal clauses); "
+               "'%s' has rules without them",
                repo->fragment_->name().c_str()));
   }
   return repo;
@@ -94,8 +96,7 @@ void Repository::ResetEngine() {
     provider_options.schema_materialized =
         options_.inference == InferenceMode::kHybrid;
     hybrid_provider_ = std::make_unique<HybridProvider>(
-        store_.get(), vocab_, BackwardCoverable(*fragment_),
-        provider_options);
+        store_.get(), vocab_, fragment_->rules(), provider_options);
     if (options_.inference == InferenceMode::kHybrid) {
       // A recovered store replays only explicit/journaled statements; the
       // schema closure is derived state and must be rebuilt here.
@@ -116,22 +117,53 @@ const MatchProvider* Repository::provider() const {
              : static_cast<const MatchProvider*>(forward_provider_.get());
 }
 
-bool Repository::TouchesSchema(const TripleVec& delta) const {
+bool Repository::SchemaClosureStale(const TripleVec& delta) const {
+  if (schema_meta_live_) return !delta.empty();
+  const RuleSetAnalysis& analysis = hybrid_provider_->analysis();
   for (const Triple& t : delta) {
     if (t.p == vocab_.sub_class_of || t.p == vocab_.sub_property_of ||
         t.p == vocab_.domain || t.p == vocab_.range) {
       return true;
     }
+    // Structural clause atoms beyond the four schema predicates:
+    // (· type Class/Property/…) feeding the RDFS axiom rules' schema heads,
+    // meta-link edges (owl:inverseOf) that could land on a schema
+    // predicate, guarded declarations pinning one.
+    if (analysis.MatchesStructural(t)) return true;
   }
   return false;
 }
 
+bool Repository::ProbeSchemaMetaLive() const {
+  const RuleSetAnalysis& analysis = hybrid_provider_->analysis();
+  if (!analysis.var_head_rules) return false;
+  const TermId schema_predicates[] = {vocab_.sub_class_of,
+                                      vocab_.sub_property_of, vocab_.domain,
+                                      vocab_.range};
+  const StoreView view = store_->GetView();
+  bool live = false;
+  for (const TermId s : schema_predicates) {
+    for (const TermId link : analysis.link_predicates) {
+      view.ForEachSubject(link, s, [&](TermId x) { live |= x != s; });
+      view.ForEachObject(link, s, [&](TermId x) { live |= x != s; });
+    }
+    for (const RuleSetAnalysis::Spec& spec : analysis.structural) {
+      if (spec.p == vocab_.type && spec.o != kAnyTerm &&
+          view.Contains(Triple(s, vocab_.type, spec.o))) {
+        live = true;
+      }
+    }
+  }
+  return live;
+}
+
 void Repository::RefreshSchemaClosure() {
   // Drop the derived rows of the four schema partitions, then re-chain the
-  // closure from the surviving explicit schema. The chainer is the closure
-  // oracle here: over explicit-only schema partitions its (? sc ?) … walks
-  // emit exactly the ρdf schema closure, which is stored back as inferred —
-  // never journaled, so Recover's replay stays purely explicit.
+  // closure from the surviving explicit statements. The chainer — running
+  // the fragment's own rules — is the closure oracle here: its (? sc ?) …
+  // solutions are exactly the fragment's schema closure, stored back as
+  // inferred and never journaled, so Recover's replay stays purely
+  // explicit.
   const TermId schema_predicates[] = {vocab_.sub_class_of,
                                       vocab_.sub_property_of, vocab_.domain,
                                       vocab_.range};
@@ -146,7 +178,7 @@ void Repository::RefreshSchemaClosure() {
     }
   }
   store_->EraseAll(stale);
-  const BackwardChainer chainer(store_.get(), vocab_);
+  const BackwardChainer chainer(store_.get(), vocab_, fragment_->rules());
   TripleVec closure;
   for (const TermId p : schema_predicates) {
     chainer.Match(TriplePattern{kAnyTerm, p, kAnyTerm},
@@ -155,6 +187,7 @@ void Repository::RefreshSchemaClosure() {
                   });
   }
   store_->AddAll(closure, nullptr, /*is_explicit=*/false);
+  schema_meta_live_ = ProbeSchemaMetaLive();
 }
 
 Result<MaterializeStats> Repository::ApplyOnDemand(const TripleVec& input) {
@@ -174,7 +207,8 @@ Result<MaterializeStats> Repository::ApplyOnDemand(const TripleVec& input) {
   if (log_ != nullptr && !input.empty()) {
     SLIDER_RETURN_NOT_OK(log_->AppendBatch(input));
   }
-  if (options_.inference == InferenceMode::kHybrid && TouchesSchema(input)) {
+  if (options_.inference == InferenceMode::kHybrid &&
+      SchemaClosureStale(input)) {
     const size_t before = store_->size();
     RefreshSchemaClosure();
     const size_t after = store_->size();
@@ -317,7 +351,7 @@ Result<Repository::LoadStats> Repository::RemoveTriples(const TripleVec& triples
     explicit_.swap(kept);
     for (const Triple& t : victims) explicit_set_.erase(t);
     if (options_.inference == InferenceMode::kHybrid &&
-        TouchesSchema(erased)) {
+        SchemaClosureStale(erased)) {
       RefreshSchemaClosure();
     }
     if (!erased.empty()) hybrid_provider_->OnDelta(erased);
@@ -781,8 +815,9 @@ Result<std::unique_ptr<Repository>> Repository::FinishRecovery(
   repo->ResetEngine();
   if (repo->OnDemandMode() && !BackwardCoverable(*repo->fragment_)) {
     return Status::InvalidArgument(
-        Format("inference mode kOnDemand/kHybrid requires the ρdf fragment; "
-               "'%s' is not backward-coverable",
+        Format("inference mode kOnDemand/kHybrid requires a backward-"
+               "coverable fragment (every rule declaring goal clauses); "
+               "'%s' has rules without them",
                repo->fragment_->name().c_str()));
   }
   return repo;

@@ -97,7 +97,10 @@ class Repository {
     /// store insert/erase plus targeted table invalidation — no inference
     /// at all — and journaling is unchanged (adds and tombstones append to
     /// the statement log exactly as in the other modes). Requires a
-    /// fragment the chainer covers: Open rejects anything but ρdf.
+    /// fragment the chainer covers — every rule declaring its Horn clauses
+    /// (BackwardCoverable): all shipped fragments (ρdf, RDFS, the OWL
+    /// extension) qualify; Open rejects only fragments mixing in custom
+    /// rules without clause declarations.
     kOnDemand,
     /// The middle point: the *schema closure* (subClassOf/subPropertyOf
     /// reachability, domain/range inheritance — the hot predicates every
@@ -106,8 +109,8 @@ class Repository {
     /// patterns stay on demand. Schema-pattern queries read the store
     /// directly; the materialized schema also flattens the chainer's
     /// walks for everything else. The schema closure is *not* journaled —
-    /// it is rebuilt from the explicit statements after Recover. Same ρdf
-    /// coverage requirement as kOnDemand.
+    /// it is rebuilt from the explicit statements after Recover. Same
+    /// backward-coverage requirement as kOnDemand.
     kHybrid,
   };
 
@@ -269,13 +272,24 @@ class Repository {
            options_.inference == InferenceMode::kHybrid;
   }
 
-  /// True iff `delta` touches a schema predicate (subClassOf,
-  /// subPropertyOf, domain, range).
-  bool TouchesSchema(const TripleVec& delta) const;
+  /// True iff `delta` can change the materialized schema closure: it
+  /// touches a schema predicate (subClassOf, subPropertyOf, domain, range),
+  /// matches one of the fragment's structural clause atoms that can create
+  /// schema rows ((· type Class) under RDFS, meta-link edges like
+  /// owl:inverseOf), or the closure is currently meta-live (see
+  /// ProbeSchemaMetaLive) — in which case any delta at all qualifies.
+  bool SchemaClosureStale(const TripleVec& delta) const;
+
+  /// True iff a meta edge lands *on* a schema predicate — e.g.
+  /// (q subPropertyOf subClassOf) or (q inverseOf domain) — so instance
+  /// deltas of arbitrary predicates can extend the schema closure. Probed
+  /// after every RefreshSchemaClosure; while true, every delta refreshes.
+  bool ProbeSchemaMetaLive() const;
 
   /// kHybrid only: drops the inferred rows of the four schema partitions
   /// and re-materializes the schema closure from the surviving explicit
-  /// statements (backward-chained, stored as inferred, never journaled).
+  /// statements through the fragment's own rules (backward-chained, stored
+  /// as inferred, never journaled), then re-probes meta-liveness.
   void RefreshSchemaClosure();
 
   /// On-demand AddTriples/RemoveTriples core: store mutation + direct
@@ -320,6 +334,7 @@ class Repository {
   std::unique_ptr<HybridProvider> hybrid_provider_;    // on-demand modes
   TripleVec explicit_;     // all explicit statements, for batch recompute
   TripleSet explicit_set_; // dedup of explicit statements
+  bool schema_meta_live_ = false;  // see ProbeSchemaMetaLive (kHybrid)
   uint64_t retired_derivations_ = 0;  // work of engines ResetEngine retired
   uint64_t snapshot_lsn_ = 0;  // LSN the last snapshot (written or recovered
                                // from) anchors at; guards log compaction

@@ -1,0 +1,147 @@
+#include "reason/rule.h"
+
+namespace slider {
+
+namespace {
+
+/// Binds one head position: a constant template position must equal the
+/// bound goal term; a variable position binds it into `env` (kAnyTerm in
+/// `env` = unbound). Unbound goal positions constrain nothing.
+bool UnifyPosition(const GoalTerm& tmpl, TermId goal, TermId* env) {
+  if (goal == kAnyTerm) return true;
+  if (!tmpl.IsVar()) return tmpl.term == goal;
+  TermId& slot = env[tmpl.var];
+  if (slot == kAnyTerm) {
+    slot = goal;
+    return true;
+  }
+  return slot == goal;
+}
+
+GoalTerm Substitute(const GoalTerm& t, const TermId* env) {
+  if (t.IsVar() && env[t.var] != kAnyTerm) return GoalTerm::Const(env[t.var]);
+  return t;
+}
+
+GoalAtom Substitute(const GoalAtom& a, const TermId* env) {
+  return GoalAtom{Substitute(a.s, env), Substitute(a.p, env),
+                  Substitute(a.o, env)};
+}
+
+
+/// Depth-1 body join, declaration order, first satisfying binding wins.
+/// Fully-ground atoms become Contains probes; atoms with free variables
+/// collect their store matches and try each binding (collect-then-probe
+/// keeps the row iteration cache-friendly; see the note in rules_rhodf.cc).
+bool SatisfyFrom(const std::vector<GoalAtom>& body, size_t idx,
+                 TermId* env, const StoreView& store) {
+  if (idx == body.size()) return true;
+  const GoalAtom atom = Substitute(body[idx], env);
+  const bool ground = !atom.s.IsVar() && !atom.p.IsVar() && !atom.o.IsVar();
+  if (ground) {
+    return store.Contains(Triple(atom.s.term, atom.p.term, atom.o.term)) &&
+           SatisfyFrom(body, idx + 1, env, store);
+  }
+  const TriplePattern pattern{atom.s.IsVar() ? kAnyTerm : atom.s.term,
+                              atom.p.IsVar() ? kAnyTerm : atom.p.term,
+                              atom.o.IsVar() ? kAnyTerm : atom.o.term};
+  if (idx + 1 == body.size()) {
+    // Last atom: existence suffices, no bindings to carry forward.
+    bool any = false;
+    store.ForEachMatch(pattern, [&](const Triple& t) {
+      if (any) return;
+      TermId probe[kMaxGoalVars];
+      for (int i = 0; i < kMaxGoalVars; ++i) probe[i] = env[i];
+      any = BindGoalAtom(atom, t, probe);
+    });
+    return any;
+  }
+  TripleVec candidates;
+  store.ForEachMatch(pattern,
+                     [&](const Triple& t) { candidates.push_back(t); });
+  for (const Triple& t : candidates) {
+    TermId next[kMaxGoalVars];
+    for (int i = 0; i < kMaxGoalVars; ++i) next[i] = env[i];
+    if (!BindGoalAtom(atom, t, next)) continue;
+    if (SatisfyFrom(body, idx + 1, next, store)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool BindGoalAtom(const GoalAtom& atom, const Triple& t, TermId* env) {
+  const GoalTerm slots[3] = {atom.s, atom.p, atom.o};
+  const TermId values[3] = {t.s, t.p, t.o};
+  for (int i = 0; i < 3; ++i) {
+    if (!slots[i].IsVar()) {
+      if (slots[i].term != values[i]) return false;
+      continue;
+    }
+    TermId& bound = env[slots[i].var];
+    if (bound == kAnyTerm) {
+      bound = values[i];
+    } else if (bound != values[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TriplePattern GoalAtomPattern(const GoalAtom& atom, const TermId* env) {
+  const auto resolve = [env](const GoalTerm& t) {
+    if (!t.IsVar()) return t.term;
+    return env[t.var];  // kAnyTerm when unbound
+  };
+  return TriplePattern{resolve(atom.s), resolve(atom.p), resolve(atom.o)};
+}
+
+bool InstantiateClause(const GoalClause& clause, const TriplePattern& head,
+                       std::vector<GoalClause>* out) {
+  TermId env[kMaxGoalVars] = {kAnyTerm, kAnyTerm, kAnyTerm, kAnyTerm,
+                              kAnyTerm, kAnyTerm, kAnyTerm, kAnyTerm};
+  if (!UnifyPosition(clause.head.s, head.s, env) ||
+      !UnifyPosition(clause.head.p, head.p, env) ||
+      !UnifyPosition(clause.head.o, head.o, env)) {
+    return false;
+  }
+  GoalClause instance;
+  instance.head = Substitute(clause.head, env);
+  instance.body.reserve(clause.body.size());
+  for (const GoalAtom& atom : clause.body) {
+    instance.body.push_back(Substitute(atom, env));
+  }
+  out->push_back(std::move(instance));
+  return true;
+}
+
+bool BodySatisfiable(const std::vector<GoalAtom>& body,
+                     const StoreView& store) {
+  TermId env[kMaxGoalVars] = {kAnyTerm, kAnyTerm, kAnyTerm, kAnyTerm,
+                              kAnyTerm, kAnyTerm, kAnyTerm, kAnyTerm};
+  return SatisfyFrom(body, 0, env, store);
+}
+
+const std::vector<GoalClause>& Rule::BackwardClauses() const {
+  static const std::vector<GoalClause> kEmpty;
+  return kEmpty;
+}
+
+void Rule::ExpandGoal(const TriplePattern& head,
+                      std::vector<GoalClause>* out) const {
+  for (const GoalClause& clause : BackwardClauses()) {
+    InstantiateClause(clause, head, out);
+  }
+}
+
+bool Rule::CanDerive(const Triple& t, const StoreView& store) const {
+  if (!SupportsBackward()) return false;
+  std::vector<GoalClause> clauses;
+  ExpandGoal(TriplePattern{t.s, t.p, t.o}, &clauses);
+  for (const GoalClause& clause : clauses) {
+    if (BodySatisfiable(clause.body, store)) return true;
+  }
+  return false;
+}
+
+}  // namespace slider

@@ -1,6 +1,7 @@
 #ifndef SLIDER_REASON_RULE_H_
 #define SLIDER_REASON_RULE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -10,6 +11,54 @@
 #include "store/triple_store.h"
 
 namespace slider {
+
+/// Maximum number of distinct variable slots a GoalClause may use. Shipped
+/// rules use at most five; the bound lets evaluators keep bindings in a
+/// fixed-size environment.
+inline constexpr int kMaxGoalVars = 8;
+
+/// \brief One term slot of a backward goal clause: a constant TermId or a
+/// clause-scoped variable.
+///
+/// Variables carrying the same index within one GoalClause denote the same
+/// binding (join variables); an index used once is an unconstrained
+/// existential. Constants are real term ids (never kAnyTerm).
+struct GoalTerm {
+  TermId term = kAnyTerm;  ///< constant value; meaningful iff !IsVar()
+  int16_t var = -1;        ///< variable slot in [0, kMaxGoalVars); -1 = const
+
+  static GoalTerm Const(TermId t) {
+    GoalTerm g;
+    g.term = t;
+    return g;
+  }
+  static GoalTerm Var(int v) {
+    GoalTerm g;
+    g.var = static_cast<int16_t>(v);
+    return g;
+  }
+  bool IsVar() const { return var >= 0; }
+};
+
+/// A triple template over GoalTerms.
+struct GoalAtom {
+  GoalTerm s, p, o;
+};
+
+/// \brief One Horn clause of a rule, as seen from its head: to prove a triple
+/// matching `head`, prove every atom of `body` under one consistent variable
+/// binding.
+///
+/// A rule's BackwardClauses() are templates (all variables free); ExpandGoal
+/// instantiates them against a concrete goal pattern, replacing head-bound
+/// variables with constants throughout the body. Body order is significant:
+/// it is the join order evaluators use, so clauses put their most selective
+/// (schema/declaration) atom first. Every head variable must also occur in
+/// the body, so a full body solution grounds the head.
+struct GoalClause {
+  GoalAtom head;
+  std::vector<GoalAtom> body;
+};
 
 /// \brief One inference rule; in Slider each rule is mapped onto an
 /// independent rule module (§2).
@@ -31,25 +80,39 @@ namespace slider {
 /// (pre-deduplication) to `out`. The same rule can therefore run as several
 /// concurrent module instances, as in the paper.
 ///
+/// Goal-directed (backward) interface. Besides the forward join, a rule can
+/// expose itself as Horn clauses (BackwardClauses / ExpandGoal): given a head
+/// pattern the rule can produce, ExpandGoal emits the antecedent subgoal
+/// conjunctions to prove, with head-bound positions substituted and join
+/// variables kept as clause-scoped variable slots. Two consumers share this
+/// single per-rule source of truth:
+///  - the BackwardChainer (query/backward.h) resolves goals recursively over
+///    the clauses of a whole rule set — full on-demand query answering;
+///  - CanDerive, the DRed rederivation check of Reasoner::Retract, is the
+///    depth-1 instantiation of ExpandGoal: each emitted body is joined
+///    directly against the store, with subgoals taken as facts rather than
+///    expanded further.
+/// Rules built on RuleBase get all of this by declaring their clause
+/// templates (SetClauses); SupportsBackward() reports whether clauses are
+/// available.
+///
 /// Deletion mode (DRed). Reasoner::Retract drives rules in two extra ways:
 ///  - *over-delete* reuses Apply itself: a deletion delta is joined against
 ///    the store (while the delta is still stored) to enumerate the
 ///    consequences that may have lost support;
-///  - *rederive* uses CanDerive: a per-rule backward check that decides
-///    whether the rule can produce one given triple in one step from the
-///    surviving closure. Checking each over-deleted triple directly keeps
-///    the rederivation cost proportional to the deleted cone, where forward
-///    re-seeding would re-join entire hub neighborhoods to restore a
-///    handful of facts.
-/// Rules that do not implement CanDerive (SupportsRederiveCheck() == false)
-/// are handled by a conservative fallback: the survivors anchored on a
-/// deleted subject/object are re-fed through just those modules. That
-/// fallback is complete only if every instantiation of the rule has at
-/// least one antecedent carrying the consequence's subject or object in its
-/// *own* subject or object position — true of any rule whose consequence
+///  - *rederive* uses CanDerive (above): checking each over-deleted triple
+///    directly keeps the rederivation cost proportional to the deleted cone,
+///    where forward re-seeding would re-join entire hub neighborhoods to
+///    restore a handful of facts.
+/// Rules without clauses (SupportsBackward() == false) are handled by a
+/// conservative fallback: the survivors anchored on a deleted
+/// subject/object are re-fed through just those modules. That fallback is
+/// complete only if every instantiation of the rule has at least one
+/// antecedent carrying the consequence's subject or object in its *own*
+/// subject or object position — true of any rule whose consequence
 /// endpoints are bound from an antecedent, as in all shipped rules. A
 /// custom rule that connects to its antecedents only through the predicate
-/// position should implement CanDerive.
+/// position should declare clauses (or override CanDerive).
 class Rule {
  public:
   virtual ~Rule() = default;
@@ -92,23 +155,59 @@ class Rule {
   virtual void Apply(const TripleVec& delta, const StoreView& store,
                      TripleVec* out) const = 0;
 
-  /// True iff CanDerive implements this rule's one-step rederivability
-  /// check (deletion mode; see the class comment).
-  virtual bool SupportsRederiveCheck() const { return false; }
+  /// True iff this rule exposes Horn clauses for goal-directed evaluation
+  /// (BackwardClauses non-empty). Gates both the backward chainer's
+  /// coverage of this rule's heads and the DRed rederivation check.
+  virtual bool SupportsBackward() const { return !BackwardClauses().empty(); }
+
+  /// The rule's Horn clause templates (empty when the rule does not support
+  /// backward evaluation). Evaluators that need the uninstantiated shape —
+  /// capability/dependency analysis, transitive-clause recognition — read
+  /// these directly; goal resolution goes through ExpandGoal.
+  virtual const std::vector<GoalClause>& BackwardClauses() const;
+
+  /// Emits, for every clause whose head unifies with `head` (kAnyTerm =
+  /// unconstrained position), the instantiated clause: variables bound by
+  /// the head are replaced with the head's constants throughout, remaining
+  /// variables stay as fresh join slots. Appends to `out`.
+  virtual void ExpandGoal(const TriplePattern& head,
+                          std::vector<GoalClause>* out) const;
 
   /// Deletion-mode backward check: true iff this rule can produce `t` in
-  /// one step from the triples visible through `store`. Only meaningful
-  /// when SupportsRederiveCheck(); must be thread-safe and must not mutate
-  /// the store. The caller pre-filters on the head shape (OutputPredicates
-  /// / OutputsAnyPredicate), but implementations must still reject triples
-  /// they can never produce.
-  virtual bool CanDerive(const Triple& /*t*/,
-                         const StoreView& /*store*/) const {
-    return false;
-  }
+  /// one step from the triples visible through `store`. The default
+  /// implementation is the depth-1 instantiation of ExpandGoal: for each
+  /// clause instance of the fully-ground head, the body is joined against
+  /// the store (first satisfying binding wins). Returns false when
+  /// !SupportsBackward(). Must be thread-safe and must not mutate the
+  /// store. The caller pre-filters on the head shape (OutputPredicates /
+  /// OutputsAnyPredicate), but the clause-head unification rejects triples
+  /// the rule can never produce regardless.
+  virtual bool CanDerive(const Triple& t, const StoreView& store) const;
 };
 
 using RulePtr = std::shared_ptr<const Rule>;
+
+/// Unifies `head` against `clause`'s head template. On success appends the
+/// instantiated clause to `out` and returns true. Exposed for evaluators
+/// that work from raw clause templates.
+bool InstantiateClause(const GoalClause& clause, const TriplePattern& head,
+                       std::vector<GoalClause>* out);
+
+/// True iff `body` has a satisfying binding where every atom (variables
+/// free) is matched directly against `store` — the depth-1 evaluation
+/// backing the default CanDerive. Atoms are joined in declaration order.
+bool BodySatisfiable(const std::vector<GoalAtom>& body,
+                     const StoreView& store);
+
+/// Tries to extend `env` (kAnyTerm slots = unbound) so that `atom` matches
+/// triple `t`; constants must equal, variables bind-or-check. Returns false
+/// (env partially updated, discard it) on mismatch.
+bool BindGoalAtom(const GoalAtom& atom, const Triple& t, TermId* env);
+
+/// The store pattern `atom` denotes under `env`: constants and bound
+/// variables become concrete terms, unbound variables become kAnyTerm
+/// wildcards.
+TriplePattern GoalAtomPattern(const GoalAtom& atom, const TermId* env);
 
 /// \brief Convenience base holding the data every concrete rule returns.
 class RuleBase : public Rule {
@@ -126,6 +225,16 @@ class RuleBase : public Rule {
   const std::vector<TermId>& InputPredicates() const override { return inputs_; }
   const std::vector<TermId>& OutputPredicates() const override { return outputs_; }
   bool OutputsAnyPredicate() const override { return outputs_any_; }
+  const std::vector<GoalClause>& BackwardClauses() const override {
+    return clauses_;
+  }
+
+ protected:
+  /// Declares the rule's Horn clauses (constructor-time; body order is the
+  /// evaluators' join order — most selective atom first).
+  void SetClauses(std::vector<GoalClause> clauses) {
+    clauses_ = std::move(clauses);
+  }
 
  private:
   std::string name_;
@@ -133,6 +242,7 @@ class RuleBase : public Rule {
   std::vector<TermId> inputs_;
   std::vector<TermId> outputs_;
   bool outputs_any_;
+  std::vector<GoalClause> clauses_;
 };
 
 }  // namespace slider

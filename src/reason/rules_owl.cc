@@ -6,6 +6,11 @@
 
 namespace slider {
 
+namespace {
+GoalTerm C(TermId t) { return GoalTerm::Const(t); }
+GoalTerm V(int v) { return GoalTerm::Var(v); }
+}  // namespace
+
 OwlTerms OwlTerms::Register(Dictionary* dict) {
   OwlTerms owl;
   owl.inverse_of = dict->Encode(iri::kOwlInverseOf);
@@ -22,7 +27,17 @@ PrpInvRule::PrpInvRule(const Vocabulary& v, const OwlTerms& owl)
     : RuleBase("PRP-INV", "<p1 inverseOf p2> ^ <x p1 y> -> <y p2 x> (and vice versa)",
                /*inputs=*/{}, /*outputs=*/{}, /*outputs_any=*/true),
       v_(v),
-      owl_(owl) {}
+      owl_(owl) {
+  // head <y p2 x>  ⇐  <p1 inverseOf p2> ∧ <x p1 y>, once per declaration
+  // direction (inverseOf is symmetric in effect). The head predicate is a
+  // variable bound through the inverseOf meta-edge.
+  SetClauses({GoalClause{GoalAtom{V(0), V(1), V(2)},
+                         {GoalAtom{V(3), C(owl.inverse_of), V(1)},
+                          GoalAtom{V(2), V(3), V(0)}}},
+              GoalClause{GoalAtom{V(0), V(1), V(2)},
+                         {GoalAtom{V(1), C(owl.inverse_of), V(3)},
+                          GoalAtom{V(2), V(3), V(0)}}}});
+}
 
 void PrpInvRule::Apply(const TripleVec& delta, const StoreView& store,
                        TripleVec* out) const {
@@ -47,20 +62,6 @@ void PrpInvRule::Apply(const TripleVec& delta, const StoreView& store,
   }
 }
 
-bool PrpInvRule::CanDerive(const Triple& t, const StoreView& store) const {
-  // t = <a q b>: is there an r declared inverse of q (either direction)
-  // with <b r a> stored? Candidates are collected first, probed after the
-  // scans return (see the CanDerive note in rules_rhodf.cc).
-  std::vector<TermId> candidates;
-  const auto collect = [&](TermId r) { candidates.push_back(r); };
-  store.ForEachSubject(owl_.inverse_of, t.p, collect);
-  store.ForEachObject(owl_.inverse_of, t.p, collect);
-  for (TermId r : candidates) {
-    if (store.Contains(Triple(t.o, r, t.s))) return true;
-  }
-  return false;
-}
-
 // ---------------------------------------------------------------------------
 // PRP-TRP
 // ---------------------------------------------------------------------------
@@ -70,7 +71,15 @@ PrpTrpRule::PrpTrpRule(const Vocabulary& v, const OwlTerms& owl)
                "<p type TransitiveProperty> ^ <x p y> ^ <y p z> -> <x p z>",
                /*inputs=*/{}, /*outputs=*/{}, /*outputs_any=*/true),
       v_(v),
-      owl_(owl) {}
+      owl_(owl) {
+  // head <x p z>  ⇐  <p type TransitiveProperty> ∧ <x p y> ∧ <y p z>.
+  // Once the goal pins p, the guard atom is ground and the remaining body
+  // is the self-transitive shape the chainer answers by reachability.
+  SetClauses({GoalClause{
+      GoalAtom{V(0), V(1), V(2)},
+      {GoalAtom{V(1), C(v.type), C(owl.transitive_property)},
+       GoalAtom{V(0), V(1), V(3)}, GoalAtom{V(3), V(1), V(2)}}}});
+}
 
 void PrpTrpRule::Apply(const TripleVec& delta, const StoreView& store,
                        TripleVec* out) const {
@@ -97,19 +106,6 @@ void PrpTrpRule::Apply(const TripleVec& delta, const StoreView& store,
   }
 }
 
-bool PrpTrpRule::CanDerive(const Triple& t, const StoreView& store) const {
-  // t = <x p z>: p transitive and some y with <x p y> and <y p z>?
-  if (!store.Contains(Triple(t.p, v_.type, owl_.transitive_property))) {
-    return false;
-  }
-  std::vector<TermId> candidates;
-  store.ForEachObject(t.p, t.s, [&](TermId y) { candidates.push_back(y); });
-  for (TermId y : candidates) {
-    if (store.Contains(Triple(y, t.p, t.o))) return true;
-  }
-  return false;
-}
-
 // ---------------------------------------------------------------------------
 // PRP-SYMP
 // ---------------------------------------------------------------------------
@@ -118,7 +114,13 @@ PrpSympRule::PrpSympRule(const Vocabulary& v, const OwlTerms& owl)
     : RuleBase("PRP-SYMP", "<p type SymmetricProperty> ^ <x p y> -> <y p x>",
                /*inputs=*/{}, /*outputs=*/{}, /*outputs_any=*/true),
       v_(v),
-      owl_(owl) {}
+      owl_(owl) {
+  // head <y p x>  ⇐  <p type SymmetricProperty> ∧ <x p y>.
+  SetClauses({GoalClause{
+      GoalAtom{V(0), V(1), V(2)},
+      {GoalAtom{V(1), C(v.type), C(owl.symmetric_property)},
+       GoalAtom{V(2), V(1), V(0)}}}});
+}
 
 void PrpSympRule::Apply(const TripleVec& delta, const StoreView& store,
                         TripleVec* out) const {
@@ -135,12 +137,6 @@ void PrpSympRule::Apply(const TripleVec& delta, const StoreView& store,
   }
 }
 
-bool PrpSympRule::CanDerive(const Triple& t, const StoreView& store) const {
-  // t = <y p x>: p symmetric and <x p y> stored?
-  return store.Contains(Triple(t.p, v_.type, owl_.symmetric_property)) &&
-         store.Contains(Triple(t.o, t.p, t.s));
-}
-
 // ---------------------------------------------------------------------------
 // SCM-DOM1 / SCM-RNG1
 // ---------------------------------------------------------------------------
@@ -148,7 +144,13 @@ bool PrpSympRule::CanDerive(const Triple& t, const StoreView& store) const {
 ScmDom1Rule::ScmDom1Rule(const Vocabulary& v)
     : RuleBase("SCM-DOM1", "<p domain c1> ^ <c1 subClassOf c2> -> <p domain c2>",
                {v.domain, v.sub_class_of}, {v.domain}),
-      v_(v) {}
+      v_(v) {
+  // head <p domain c2>  ⇐  <p domain c1> ∧ <c1 sco c2>
+  SetClauses({GoalClause{
+      GoalAtom{V(0), C(v.domain), V(1)},
+      {GoalAtom{V(0), C(v.domain), V(2)},
+       GoalAtom{V(2), C(v.sub_class_of), V(1)}}}});
+}
 
 void ScmDom1Rule::Apply(const TripleVec& delta, const StoreView& store,
                         TripleVec* out) const {
@@ -167,22 +169,15 @@ void ScmDom1Rule::Apply(const TripleVec& delta, const StoreView& store,
   }
 }
 
-bool ScmDom1Rule::CanDerive(const Triple& t, const StoreView& store) const {
-  // t = <p domain c2>: is there a c1 with <p domain c1> and <c1 sco c2>?
-  if (t.p != v_.domain) return false;
-  std::vector<TermId> candidates;
-  store.ForEachObject(v_.domain, t.s,
-                      [&](TermId c1) { candidates.push_back(c1); });
-  for (TermId c1 : candidates) {
-    if (store.Contains(Triple(c1, v_.sub_class_of, t.o))) return true;
-  }
-  return false;
-}
-
 ScmRng1Rule::ScmRng1Rule(const Vocabulary& v)
     : RuleBase("SCM-RNG1", "<p range c1> ^ <c1 subClassOf c2> -> <p range c2>",
                {v.range, v.sub_class_of}, {v.range}),
-      v_(v) {}
+      v_(v) {
+  SetClauses({GoalClause{
+      GoalAtom{V(0), C(v.range), V(1)},
+      {GoalAtom{V(0), C(v.range), V(2)},
+       GoalAtom{V(2), C(v.sub_class_of), V(1)}}}});
+}
 
 void ScmRng1Rule::Apply(const TripleVec& delta, const StoreView& store,
                         TripleVec* out) const {
@@ -197,17 +192,6 @@ void ScmRng1Rule::Apply(const TripleVec& delta, const StoreView& store,
       });
     }
   }
-}
-
-bool ScmRng1Rule::CanDerive(const Triple& t, const StoreView& store) const {
-  if (t.p != v_.range) return false;
-  std::vector<TermId> candidates;
-  store.ForEachObject(v_.range, t.s,
-                      [&](TermId c1) { candidates.push_back(c1); });
-  for (TermId c1 : candidates) {
-    if (store.Contains(Triple(c1, v_.sub_class_of, t.o))) return true;
-  }
-  return false;
 }
 
 // ---------------------------------------------------------------------------

@@ -32,14 +32,13 @@ struct OwlTerms {
 ///
 /// Universal input (instance antecedent has any predicate); emits arbitrary
 /// predicates. Part of the paper's future-work direction of "more complex
-/// inference rules"; OWL 2 RL rule names prp-inv1/prp-inv2.
+/// inference rules"; OWL 2 RL rule names prp-inv1/prp-inv2. Declares two
+/// clauses, one per declaration direction.
 class PrpInvRule : public RuleBase {
  public:
   PrpInvRule(const Vocabulary& v, const OwlTerms& owl);
   void Apply(const TripleVec& delta, const StoreView& store,
              TripleVec* out) const override;
-  bool SupportsRederiveCheck() const override { return true; }
-  bool CanDerive(const Triple& t, const StoreView& store) const override;
 
  private:
   Vocabulary v_;
@@ -52,14 +51,14 @@ class PrpInvRule : public RuleBase {
 /// The first three-antecedent rule of the library: the property
 /// declaration is probed in the store, and the instance pair joins in both
 /// directions as usual. A late-arriving declaration re-joins the whole
-/// predicate partition, so declaration order does not matter.
+/// predicate partition, so declaration order does not matter. The backward
+/// clause is the guarded self-transitive shape the chainer recognizes and
+/// answers by reachability once the declaration guard holds.
 class PrpTrpRule : public RuleBase {
  public:
   PrpTrpRule(const Vocabulary& v, const OwlTerms& owl);
   void Apply(const TripleVec& delta, const StoreView& store,
              TripleVec* out) const override;
-  bool SupportsRederiveCheck() const override { return true; }
-  bool CanDerive(const Triple& t, const StoreView& store) const override;
 
  private:
   Vocabulary v_;
@@ -72,8 +71,6 @@ class PrpSympRule : public RuleBase {
   PrpSympRule(const Vocabulary& v, const OwlTerms& owl);
   void Apply(const TripleVec& delta, const StoreView& store,
              TripleVec* out) const override;
-  bool SupportsRederiveCheck() const override { return true; }
-  bool CanDerive(const Triple& t, const StoreView& store) const override;
 
  private:
   Vocabulary v_;
@@ -88,8 +85,6 @@ class ScmDom1Rule : public RuleBase {
   explicit ScmDom1Rule(const Vocabulary& v);
   void Apply(const TripleVec& delta, const StoreView& store,
              TripleVec* out) const override;
-  bool SupportsRederiveCheck() const override { return true; }
-  bool CanDerive(const Triple& t, const StoreView& store) const override;
 
  private:
   Vocabulary v_;
@@ -101,8 +96,6 @@ class ScmRng1Rule : public RuleBase {
   explicit ScmRng1Rule(const Vocabulary& v);
   void Apply(const TripleVec& delta, const StoreView& store,
              TripleVec* out) const override;
-  bool SupportsRederiveCheck() const override { return true; }
-  bool CanDerive(const Triple& t, const StoreView& store) const override;
 
  private:
   Vocabulary v_;

@@ -4,6 +4,11 @@
 
 namespace slider {
 
+namespace {
+GoalTerm C(TermId t) { return GoalTerm::Const(t); }
+GoalTerm V(int v) { return GoalTerm::Var(v); }
+}  // namespace
+
 TypeAxiomRule::TypeAxiomRule(std::string name, std::string definition,
                              const Vocabulary& v, TermId trigger_class,
                              TermId out_predicate, ObjectMode mode,
@@ -14,7 +19,14 @@ TypeAxiomRule::TypeAxiomRule(std::string name, std::string definition,
       trigger_class_(trigger_class),
       out_predicate_(out_predicate),
       mode_(mode),
-      fixed_object_(fixed_object) {}
+      fixed_object_(fixed_object) {
+  // head <x P obj>  ⇐  <x type K>; the reflexive instances repeat V(0) in
+  // the head object, so goal unification enforces subject == object.
+  const GoalTerm obj =
+      mode == ObjectMode::kSubject ? V(0) : C(fixed_object);
+  SetClauses({GoalClause{GoalAtom{V(0), C(out_predicate), obj},
+                         {GoalAtom{V(0), C(v.type), C(trigger_class)}}}});
+}
 
 void TypeAxiomRule::Apply(const TripleVec& delta, const StoreView& /*store*/,
                           TripleVec* out) const {
@@ -23,13 +35,6 @@ void TypeAxiomRule::Apply(const TripleVec& delta, const StoreView& /*store*/,
     const TermId obj = mode_ == ObjectMode::kSubject ? t.s : fixed_object_;
     out->push_back(Triple(t.s, out_predicate_, obj));
   }
-}
-
-bool TypeAxiomRule::CanDerive(const Triple& t, const StoreView& store) const {
-  if (t.p != out_predicate_) return false;
-  const TermId obj = mode_ == ObjectMode::kSubject ? t.s : fixed_object_;
-  if (t.o != obj) return false;
-  return store.Contains(Triple(t.s, type_, trigger_class_));
 }
 
 RulePtr TypeAxiomRule::Rdfs6(const Vocabulary& v) {
@@ -71,7 +76,15 @@ Rdfs4Rule::Rdfs4Rule(const Vocabulary& v, Position position)
                /*inputs=*/{}, {v.type}),
       type_(v.type),
       resource_(v.resource),
-      position_(position) {}
+      position_(position) {
+  // head <x type Resource>  ⇐  <x p y> (x in our position; the rest are
+  // don't-cares).
+  const GoalAtom evidence = position == Position::kSubject
+                                ? GoalAtom{V(0), V(1), V(2)}
+                                : GoalAtom{V(1), V(2), V(0)};
+  SetClauses({GoalClause{GoalAtom{V(0), C(v.type), C(v.resource)},
+                         {evidence}}});
+}
 
 void Rdfs4Rule::Apply(const TripleVec& delta, const StoreView& /*store*/,
                       TripleVec* out) const {
@@ -79,13 +92,6 @@ void Rdfs4Rule::Apply(const TripleVec& delta, const StoreView& /*store*/,
     const TermId x = position_ == Position::kSubject ? t.s : t.o;
     out->push_back(Triple(x, type_, resource_));
   }
-}
-
-bool Rdfs4Rule::CanDerive(const Triple& t, const StoreView& store) const {
-  // t = <x type Resource>: does any triple mention x in our position?
-  if (t.p != type_ || t.o != resource_) return false;
-  return position_ == Position::kSubject ? store.AnyWithSubject(t.s)
-                                         : store.AnyWithObject(t.s);
 }
 
 }  // namespace slider

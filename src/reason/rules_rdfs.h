@@ -18,7 +18,10 @@ namespace slider {
 ///  - RDFS13: <d type Datatype> → <d subClassOf Literal>
 ///
 /// Being single-antecedent, these rules never join with the store: they map
-/// each matching delta triple directly to a consequence.
+/// each matching delta triple directly to a consequence. The backward
+/// clause is correspondingly a single-atom body; the reflexive instances
+/// (RDFS6/RDFS10) repeat the head variable in both endpoint positions, which
+/// the goal unification resolves.
 class TypeAxiomRule : public RuleBase {
  public:
   /// Output object choice for the consequent.
@@ -33,8 +36,6 @@ class TypeAxiomRule : public RuleBase {
 
   void Apply(const TripleVec& delta, const StoreView& store,
              TripleVec* out) const override;
-  bool SupportsRederiveCheck() const override { return true; }
-  bool CanDerive(const Triple& t, const StoreView& store) const override;
 
   /// Factory helpers for the five standard instances.
   static RulePtr Rdfs6(const Vocabulary& v);
@@ -64,8 +65,6 @@ class Rdfs4Rule : public RuleBase {
 
   void Apply(const TripleVec& delta, const StoreView& store,
              TripleVec* out) const override;
-  bool SupportsRederiveCheck() const override { return true; }
-  bool CanDerive(const Triple& t, const StoreView& store) const override;
 
  private:
   TermId type_;

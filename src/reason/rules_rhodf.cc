@@ -12,6 +12,19 @@ namespace slider {
 // reject the extra triples: the per-match hash probe costs more than the
 // duplicate it saves (see EXPERIMENTS.md, chain discussion). The rules
 // therefore keep the plain two-direction join.
+//
+// NOTE on backward clauses: each constructor declares the rule's Horn
+// clause via SetClauses. Variable slot conventions used below: the clause
+// head's variables come first, join variables after. Body order is the
+// depth-1 join order of CanDerive (and the chainer's resolution order), so
+// the selective schema/declaration atom is listed first — this reproduces
+// the collect-candidates-then-probe shape the hand-written CanDerive
+// implementations used before the rules were unified behind ExpandGoal.
+
+namespace {
+GoalTerm C(TermId t) { return GoalTerm::Const(t); }
+GoalTerm V(int v) { return GoalTerm::Var(v); }
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // CAX-SCO (the paper's Algorithm 1)
@@ -21,7 +34,13 @@ CaxScoRule::CaxScoRule(const Vocabulary& v)
     : RuleBase("CAX-SCO",
                "<c1 subClassOf c2> ^ <x type c1> -> <x type c2>",
                {v.sub_class_of, v.type}, {v.type}),
-      v_(v) {}
+      v_(v) {
+  // head <x type c2>  ⇐  <c1 sco c2> ∧ <x type c1>
+  SetClauses({GoalClause{
+      GoalAtom{V(0), C(v.type), V(1)},
+      {GoalAtom{V(2), C(v.sub_class_of), V(1)},
+       GoalAtom{V(0), C(v.type), V(2)}}}});
+}
 
 void CaxScoRule::Apply(const TripleVec& delta, const StoreView& store,
                        TripleVec* out) const {
@@ -40,23 +59,6 @@ void CaxScoRule::Apply(const TripleVec& delta, const StoreView& store,
   }
 }
 
-bool CaxScoRule::CanDerive(const Triple& t, const StoreView& store) const {
-  // t = <x type c2>: is there a c1 with <c1 sco c2> and <x type c1>?
-  // Candidates are collected first and probed after the scan returns; with
-  // the lock-free view the nested probe would be deadlock-safe too, but
-  // collect-then-probe keeps the row iteration cache-friendly and lets the
-  // probe loop exit on the first hit. The same shape is used by every
-  // CanDerive below.
-  if (t.p != v_.type) return false;
-  std::vector<TermId> candidates;
-  store.ForEachSubject(v_.sub_class_of, t.o,
-                       [&](TermId c1) { candidates.push_back(c1); });
-  for (TermId c1 : candidates) {
-    if (store.Contains(Triple(t.s, v_.type, c1))) return true;
-  }
-  return false;
-}
-
 // ---------------------------------------------------------------------------
 // SCM-SCO
 // ---------------------------------------------------------------------------
@@ -65,7 +67,15 @@ ScmScoRule::ScmScoRule(const Vocabulary& v)
     : RuleBase("SCM-SCO",
                "<c1 subClassOf c2> ^ <c2 subClassOf c3> -> <c1 subClassOf c3>",
                {v.sub_class_of}, {v.sub_class_of}),
-      v_(v) {}
+      v_(v) {
+  // head <c1 sco c3>  ⇐  <c1 sco c2> ∧ <c2 sco c3>. The chainer recognizes
+  // this self-transitive shape and answers it by reachability instead of
+  // clause recursion.
+  SetClauses({GoalClause{
+      GoalAtom{V(0), C(v.sub_class_of), V(1)},
+      {GoalAtom{V(0), C(v.sub_class_of), V(2)},
+       GoalAtom{V(2), C(v.sub_class_of), V(1)}}}});
+}
 
 void ScmScoRule::Apply(const TripleVec& delta, const StoreView& store,
                        TripleVec* out) const {
@@ -82,18 +92,6 @@ void ScmScoRule::Apply(const TripleVec& delta, const StoreView& store,
   }
 }
 
-bool ScmScoRule::CanDerive(const Triple& t, const StoreView& store) const {
-  // t = <c1 sco c3>: is there a c2 with <c1 sco c2> and <c2 sco c3>?
-  if (t.p != v_.sub_class_of) return false;
-  std::vector<TermId> candidates;
-  store.ForEachObject(v_.sub_class_of, t.s,
-                      [&](TermId c2) { candidates.push_back(c2); });
-  for (TermId c2 : candidates) {
-    if (store.Contains(Triple(c2, v_.sub_class_of, t.o))) return true;
-  }
-  return false;
-}
-
 // ---------------------------------------------------------------------------
 // SCM-SPO
 // ---------------------------------------------------------------------------
@@ -103,7 +101,12 @@ ScmSpoRule::ScmSpoRule(const Vocabulary& v)
                "<p1 subPropertyOf p2> ^ <p2 subPropertyOf p3> -> "
                "<p1 subPropertyOf p3>",
                {v.sub_property_of}, {v.sub_property_of}),
-      v_(v) {}
+      v_(v) {
+  SetClauses({GoalClause{
+      GoalAtom{V(0), C(v.sub_property_of), V(1)},
+      {GoalAtom{V(0), C(v.sub_property_of), V(2)},
+       GoalAtom{V(2), C(v.sub_property_of), V(1)}}}});
+}
 
 void ScmSpoRule::Apply(const TripleVec& delta, const StoreView& store,
                        TripleVec* out) const {
@@ -118,17 +121,6 @@ void ScmSpoRule::Apply(const TripleVec& delta, const StoreView& store,
   }
 }
 
-bool ScmSpoRule::CanDerive(const Triple& t, const StoreView& store) const {
-  if (t.p != v_.sub_property_of) return false;
-  std::vector<TermId> candidates;
-  store.ForEachObject(v_.sub_property_of, t.s,
-                      [&](TermId p2) { candidates.push_back(p2); });
-  for (TermId p2 : candidates) {
-    if (store.Contains(Triple(p2, v_.sub_property_of, t.o))) return true;
-  }
-  return false;
-}
-
 // ---------------------------------------------------------------------------
 // PRP-SPO1
 // ---------------------------------------------------------------------------
@@ -136,7 +128,15 @@ bool ScmSpoRule::CanDerive(const Triple& t, const StoreView& store) const {
 PrpSpo1Rule::PrpSpo1Rule(const Vocabulary& v)
     : RuleBase("PRP-SPO1", "<p1 subPropertyOf p2> ^ <x p1 y> -> <x p2 y>",
                /*inputs=*/{}, /*outputs=*/{}, /*outputs_any=*/true),
-      v_(v) {}
+      v_(v) {
+  // head <x p2 y>  ⇐  <p1 spo p2> ∧ <x p1 y>. The head predicate is a
+  // variable (the rule emits arbitrary predicates), bound through the
+  // subPropertyOf meta-edge of the first body atom.
+  SetClauses({GoalClause{
+      GoalAtom{V(0), V(1), V(2)},
+      {GoalAtom{V(3), C(v.sub_property_of), V(1)},
+       GoalAtom{V(0), V(3), V(2)}}}});
+}
 
 void PrpSpo1Rule::Apply(const TripleVec& delta, const StoreView& store,
                         TripleVec* out) const {
@@ -155,17 +155,6 @@ void PrpSpo1Rule::Apply(const TripleVec& delta, const StoreView& store,
   }
 }
 
-bool PrpSpo1Rule::CanDerive(const Triple& t, const StoreView& store) const {
-  // t = <x p2 y>: is there a p1 with <p1 spo p2> and <x p1 y>?
-  std::vector<TermId> candidates;
-  store.ForEachSubject(v_.sub_property_of, t.p,
-                       [&](TermId p1) { candidates.push_back(p1); });
-  for (TermId p1 : candidates) {
-    if (store.Contains(Triple(t.s, p1, t.o))) return true;
-  }
-  return false;
-}
-
 // ---------------------------------------------------------------------------
 // PRP-DOM
 // ---------------------------------------------------------------------------
@@ -173,7 +162,13 @@ bool PrpSpo1Rule::CanDerive(const Triple& t, const StoreView& store) const {
 PrpDomRule::PrpDomRule(const Vocabulary& v)
     : RuleBase("PRP-DOM", "<p domain c> ^ <x p y> -> <x type c>",
                /*inputs=*/{}, {v.type}),
-      v_(v) {}
+      v_(v) {
+  // head <x type c>  ⇐  <p domain c> ∧ <x p y>; y is a don't-care.
+  SetClauses({GoalClause{
+      GoalAtom{V(0), C(v.type), V(1)},
+      {GoalAtom{V(2), C(v.domain), V(1)},
+       GoalAtom{V(0), V(2), V(3)}}}});
+}
 
 void PrpDomRule::Apply(const TripleVec& delta, const StoreView& store,
                        TripleVec* out) const {
@@ -191,20 +186,6 @@ void PrpDomRule::Apply(const TripleVec& delta, const StoreView& store,
   }
 }
 
-bool PrpDomRule::CanDerive(const Triple& t, const StoreView& store) const {
-  // t = <x type c>: is there a p with <p domain c> and any <x p ?>?
-  if (t.p != v_.type) return false;
-  std::vector<TermId> candidates;
-  store.ForEachSubject(v_.domain, t.o,
-                       [&](TermId p) { candidates.push_back(p); });
-  for (TermId p : candidates) {
-    bool any = false;
-    store.ForEachObject(p, t.s, [&](TermId) { any = true; });
-    if (any) return true;
-  }
-  return false;
-}
-
 // ---------------------------------------------------------------------------
 // PRP-RNG
 // ---------------------------------------------------------------------------
@@ -212,7 +193,13 @@ bool PrpDomRule::CanDerive(const Triple& t, const StoreView& store) const {
 PrpRngRule::PrpRngRule(const Vocabulary& v)
     : RuleBase("PRP-RNG", "<p range c> ^ <x p y> -> <y type c>",
                /*inputs=*/{}, {v.type}),
-      v_(v) {}
+      v_(v) {
+  // head <y type c>  ⇐  <p range c> ∧ <x p y>; x is a don't-care.
+  SetClauses({GoalClause{
+      GoalAtom{V(0), C(v.type), V(1)},
+      {GoalAtom{V(2), C(v.range), V(1)},
+       GoalAtom{V(3), V(2), V(0)}}}});
+}
 
 void PrpRngRule::Apply(const TripleVec& delta, const StoreView& store,
                        TripleVec* out) const {
@@ -228,20 +215,6 @@ void PrpRngRule::Apply(const TripleVec& delta, const StoreView& store,
   }
 }
 
-bool PrpRngRule::CanDerive(const Triple& t, const StoreView& store) const {
-  // t = <y type c>: is there a p with <p range c> and any <? p y>?
-  if (t.p != v_.type) return false;
-  std::vector<TermId> candidates;
-  store.ForEachSubject(v_.range, t.o,
-                       [&](TermId p) { candidates.push_back(p); });
-  for (TermId p : candidates) {
-    bool any = false;
-    store.ForEachSubject(p, t.s, [&](TermId) { any = true; });
-    if (any) return true;
-  }
-  return false;
-}
-
 // ---------------------------------------------------------------------------
 // SCM-DOM2
 // ---------------------------------------------------------------------------
@@ -250,7 +223,13 @@ ScmDom2Rule::ScmDom2Rule(const Vocabulary& v)
     : RuleBase("SCM-DOM2",
                "<p2 domain c> ^ <p1 subPropertyOf p2> -> <p1 domain c>",
                {v.domain, v.sub_property_of}, {v.domain}),
-      v_(v) {}
+      v_(v) {
+  // head <p1 domain c>  ⇐  <p1 spo p2> ∧ <p2 domain c>
+  SetClauses({GoalClause{
+      GoalAtom{V(0), C(v.domain), V(1)},
+      {GoalAtom{V(0), C(v.sub_property_of), V(2)},
+       GoalAtom{V(2), C(v.domain), V(1)}}}});
+}
 
 void ScmDom2Rule::Apply(const TripleVec& delta, const StoreView& store,
                         TripleVec* out) const {
@@ -269,18 +248,6 @@ void ScmDom2Rule::Apply(const TripleVec& delta, const StoreView& store,
   }
 }
 
-bool ScmDom2Rule::CanDerive(const Triple& t, const StoreView& store) const {
-  // t = <p1 domain c>: is there a p2 with <p1 spo p2> and <p2 domain c>?
-  if (t.p != v_.domain) return false;
-  std::vector<TermId> candidates;
-  store.ForEachObject(v_.sub_property_of, t.s,
-                      [&](TermId p2) { candidates.push_back(p2); });
-  for (TermId p2 : candidates) {
-    if (store.Contains(Triple(p2, v_.domain, t.o))) return true;
-  }
-  return false;
-}
-
 // ---------------------------------------------------------------------------
 // SCM-RNG2
 // ---------------------------------------------------------------------------
@@ -289,7 +256,12 @@ ScmRng2Rule::ScmRng2Rule(const Vocabulary& v)
     : RuleBase("SCM-RNG2",
                "<p2 range c> ^ <p1 subPropertyOf p2> -> <p1 range c>",
                {v.range, v.sub_property_of}, {v.range}),
-      v_(v) {}
+      v_(v) {
+  SetClauses({GoalClause{
+      GoalAtom{V(0), C(v.range), V(1)},
+      {GoalAtom{V(0), C(v.sub_property_of), V(2)},
+       GoalAtom{V(2), C(v.range), V(1)}}}});
+}
 
 void ScmRng2Rule::Apply(const TripleVec& delta, const StoreView& store,
                         TripleVec* out) const {
@@ -304,17 +276,6 @@ void ScmRng2Rule::Apply(const TripleVec& delta, const StoreView& store,
       });
     }
   }
-}
-
-bool ScmRng2Rule::CanDerive(const Triple& t, const StoreView& store) const {
-  if (t.p != v_.range) return false;
-  std::vector<TermId> candidates;
-  store.ForEachObject(v_.sub_property_of, t.s,
-                      [&](TermId p2) { candidates.push_back(p2); });
-  for (TermId p2 : candidates) {
-    if (store.Contains(Triple(p2, v_.range, t.o))) return true;
-  }
-  return false;
 }
 
 }  // namespace slider

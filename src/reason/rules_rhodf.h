@@ -12,6 +12,10 @@ namespace slider {
 /// Algorithm 1 for its antecedent pair, using the store's vertical
 /// partitioning: schema antecedents are looked up by predicate, instance
 /// antecedents by predicate+subject / predicate+object.
+///
+/// Every rule also declares its Horn clause (RuleBase::SetClauses), which
+/// powers both the generic backward chainer and the DRed CanDerive check —
+/// there is no per-rule backward code beyond the declaration.
 
 /// CAX-SCO: <c1 subClassOf c2> ∧ <x type c1> → <x type c2>.
 /// This is the rule spelled out as Algorithm 1 in the paper.
@@ -20,8 +24,6 @@ class CaxScoRule : public RuleBase {
   explicit CaxScoRule(const Vocabulary& v);
   void Apply(const TripleVec& delta, const StoreView& store,
              TripleVec* out) const override;
-  bool SupportsRederiveCheck() const override { return true; }
-  bool CanDerive(const Triple& t, const StoreView& store) const override;
 
  private:
   Vocabulary v_;
@@ -33,8 +35,6 @@ class ScmScoRule : public RuleBase {
   explicit ScmScoRule(const Vocabulary& v);
   void Apply(const TripleVec& delta, const StoreView& store,
              TripleVec* out) const override;
-  bool SupportsRederiveCheck() const override { return true; }
-  bool CanDerive(const Triple& t, const StoreView& store) const override;
 
  private:
   Vocabulary v_;
@@ -47,8 +47,6 @@ class ScmSpoRule : public RuleBase {
   explicit ScmSpoRule(const Vocabulary& v);
   void Apply(const TripleVec& delta, const StoreView& store,
              TripleVec* out) const override;
-  bool SupportsRederiveCheck() const override { return true; }
-  bool CanDerive(const Triple& t, const StoreView& store) const override;
 
  private:
   Vocabulary v_;
@@ -61,8 +59,6 @@ class PrpSpo1Rule : public RuleBase {
   explicit PrpSpo1Rule(const Vocabulary& v);
   void Apply(const TripleVec& delta, const StoreView& store,
              TripleVec* out) const override;
-  bool SupportsRederiveCheck() const override { return true; }
-  bool CanDerive(const Triple& t, const StoreView& store) const override;
 
  private:
   Vocabulary v_;
@@ -74,8 +70,6 @@ class PrpDomRule : public RuleBase {
   explicit PrpDomRule(const Vocabulary& v);
   void Apply(const TripleVec& delta, const StoreView& store,
              TripleVec* out) const override;
-  bool SupportsRederiveCheck() const override { return true; }
-  bool CanDerive(const Triple& t, const StoreView& store) const override;
 
  private:
   Vocabulary v_;
@@ -87,8 +81,6 @@ class PrpRngRule : public RuleBase {
   explicit PrpRngRule(const Vocabulary& v);
   void Apply(const TripleVec& delta, const StoreView& store,
              TripleVec* out) const override;
-  bool SupportsRederiveCheck() const override { return true; }
-  bool CanDerive(const Triple& t, const StoreView& store) const override;
 
  private:
   Vocabulary v_;
@@ -100,8 +92,6 @@ class ScmDom2Rule : public RuleBase {
   explicit ScmDom2Rule(const Vocabulary& v);
   void Apply(const TripleVec& delta, const StoreView& store,
              TripleVec* out) const override;
-  bool SupportsRederiveCheck() const override { return true; }
-  bool CanDerive(const Triple& t, const StoreView& store) const override;
 
  private:
   Vocabulary v_;
@@ -113,8 +103,6 @@ class ScmRng2Rule : public RuleBase {
   explicit ScmRng2Rule(const Vocabulary& v);
   void Apply(const TripleVec& delta, const StoreView& store,
              TripleVec* out) const override;
-  bool SupportsRederiveCheck() const override { return true; }
-  bool CanDerive(const Triple& t, const StoreView& store) const override;
 
  private:
   Vocabulary v_;

@@ -17,6 +17,7 @@
 
 #include <filesystem>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "closure_oracle.h"
@@ -32,13 +33,15 @@ const char* ModeName(Repository::InferenceMode mode) {
   return mode == Repository::InferenceMode::kOnDemand ? "on_demand" : "hybrid";
 }
 
-/// From-scratch ρdf closure of `alive`, materialized into `oracle_store`,
-/// over an identically-registered fresh dictionary (ids line up; see the
-/// header comment).
-void OracleClosure(const TripleSet& alive, TripleStore* oracle_store) {
+/// From-scratch closure of `alive` under `kind`'s rule set, materialized
+/// into `oracle_store`, over an identically-registered fresh dictionary
+/// (ids line up; see the header comment).
+void OracleClosure(oracle::FragmentKind kind, const TripleSet& alive,
+                   TripleStore* oracle_store) {
   Dictionary oracle_dict;
   const Vocabulary oracle_vocab = Vocabulary::Register(&oracle_dict);
-  Fragment oracle_fragment = RhoDfFactory()(oracle_vocab, &oracle_dict);
+  Fragment oracle_fragment = oracle::FactoryFor(kind)(oracle_vocab,
+                                                      &oracle_dict);
   NaiveReasoner oracle(std::move(oracle_fragment), oracle_store);
   oracle.Materialize(TripleVec(alive.begin(), alive.end()));
 }
@@ -58,11 +61,12 @@ TripleSet StoreAnswers(const TripleStore& store, const TriplePattern& pat) {
 /// Probes the repository's provider with every pattern shape the evaluator
 /// can emit — full scan, predicate-bound, endpoint-bound, fully bound —
 /// and asserts each answer set equals the oracle's.
-void ExpectAnswersMatchOracle(Repository& repo, const TripleSet& alive,
+void ExpectAnswersMatchOracle(Repository& repo, oracle::FragmentKind kind,
+                              const TripleSet& alive,
                               const std::string& where) {
   SCOPED_TRACE(where);
   TripleStore oracle_store;
-  OracleClosure(alive, &oracle_store);
+  OracleClosure(kind, alive, &oracle_store);
   const MatchProvider& provider = *repo.provider();
   const Vocabulary& v = repo.vocabulary();
   Dictionary* dict = repo.dictionary();
@@ -129,16 +133,17 @@ void ExpectAnswersMatchOracle(Repository& repo, const TripleSet& alive,
 /// One seeded interleaving: 65% add batches / 35% retract batches, oracle
 /// probes every few batches so answer tables fill and must then survive the
 /// subsequent deltas (or be dropped by them).
-void RunHybridInterleaving(uint64_t seed, Repository::InferenceMode mode,
+void RunHybridInterleaving(uint64_t seed, oracle::FragmentKind kind,
+                           Repository::InferenceMode mode,
                            size_t target_adds = 120) {
-  SCOPED_TRACE("seed=" + std::to_string(seed) + " mode=" + ModeName(mode));
+  SCOPED_TRACE("seed=" + std::to_string(seed) + " kind=" +
+               oracle::KindName(kind) + " mode=" + ModeName(mode));
   Repository::Options options;
   options.inference = mode;
-  auto opened = Repository::Open(RhoDfFactory(), options);
+  auto opened = Repository::Open(oracle::FactoryFor(kind), options);
   ASSERT_TRUE(opened.ok()) << opened.status().ToString();
   Repository& repo = **opened;
-  oracle::OntologyGen gen(seed, oracle::FragmentKind::kRhoDf,
-                          repo.dictionary(), repo.vocabulary());
+  oracle::OntologyGen gen(seed, kind, repo.dictionary(), repo.vocabulary());
   Random rng(seed ^ 0xD1B54A32D192ED03ull);
 
   TripleVec universe;  // every triple ever offered
@@ -173,11 +178,11 @@ void RunHybridInterleaving(uint64_t seed, Repository::InferenceMode mode,
       ASSERT_TRUE(repo.RemoveTriples(batch).ok());
     }
     if (++batches % 3 == 0) {
-      ExpectAnswersMatchOracle(repo, alive,
+      ExpectAnswersMatchOracle(repo, kind, alive,
                                "after batch " + std::to_string(batches));
     }
   }
-  ExpectAnswersMatchOracle(repo, alive, "final");
+  ExpectAnswersMatchOracle(repo, kind, alive, "final");
 
   // The probes exercised the tabled backward path between deltas, and every
   // non-empty delta bumps the cache generation.
@@ -186,38 +191,51 @@ void RunHybridInterleaving(uint64_t seed, Repository::InferenceMode mode,
   const TablingCache::Stats ts = hybrid->tables().stats();
   EXPECT_GT(ts.hits + ts.misses, 0u);
   EXPECT_GT(hybrid->tables().generation(), 0u);
-  // rdf:type probes can never be forward-complete short of a full closure,
-  // so both modes must have chained backward at least once.
+  // Every shipped fragment declares clauses for all its rules, so the
+  // capability gate must reject nothing: no probe pattern may have been
+  // pinned forward for coverability reasons.
+  EXPECT_TRUE(hybrid->capability().CoversAll());
+  // The generated ontologies carry schema evidence (subclass edges at
+  // minimum), so rdf:type probes are not forward-complete: both modes must
+  // have chained backward at least once.
   EXPECT_GT(hybrid->route_stats().backward, 0u);
 }
 
+/// The acceptance matrix: every shipped fragment × both on-demand modes.
+/// kOnDemand with the RDFS or OWL rule set was rejected outright before the
+/// per-rule goal interface; these parameterizations are the proof it now
+/// answers identically to forward materialization.
 class HybridOracleTest
-    : public ::testing::TestWithParam<Repository::InferenceMode> {};
+    : public ::testing::TestWithParam<
+          std::tuple<oracle::FragmentKind, Repository::InferenceMode>> {
+ protected:
+  oracle::FragmentKind kind() const { return std::get<0>(GetParam()); }
+  Repository::InferenceMode mode() const { return std::get<1>(GetParam()); }
+};
 
 TEST_P(HybridOracleTest, SeededInterleavingsMatchForwardOracle) {
   for (uint64_t seed : {7u, 23u, 71u}) {
-    RunHybridInterleaving(seed, GetParam());
+    RunHybridInterleaving(seed, kind(), mode());
     if (::testing::Test::HasFailure()) break;  // first seed is enough to debug
   }
 }
 
 TEST_P(HybridOracleTest, RecoverRebuildsAnswersFromTheJournal) {
-  const std::string dir =
-      testing::TempDir() + "/hybrid_recover_" +
-      std::to_string(static_cast<int>(GetParam()));
+  const std::string dir = testing::TempDir() + "/hybrid_recover_" +
+                          oracle::KindName(kind()) + "_" +
+                          std::to_string(static_cast<int>(mode()));
   std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
   Repository::Options options;
-  options.inference = GetParam();
+  options.inference = mode();
   options.storage_dir = dir;
 
   TripleSet alive;
   {
-    auto opened = Repository::Open(RhoDfFactory(), options);
+    auto opened = Repository::Open(oracle::FactoryFor(kind()), options);
     ASSERT_TRUE(opened.ok()) << opened.status().ToString();
     Repository& repo = **opened;
-    oracle::OntologyGen gen(11, oracle::FragmentKind::kRhoDf,
-                            repo.dictionary(), repo.vocabulary());
+    oracle::OntologyGen gen(11, kind(), repo.dictionary(), repo.vocabulary());
     TripleVec universe;
     for (int batch = 0; batch < 4; ++batch) {
       TripleVec triples;
@@ -233,23 +251,29 @@ TEST_P(HybridOracleTest, RecoverRebuildsAnswersFromTheJournal) {
     for (const Triple& t : removed) alive.erase(t);
     ASSERT_TRUE(repo.RemoveTriples(removed).ok());
     ASSERT_TRUE(repo.Checkpoint().ok());
-    ExpectAnswersMatchOracle(repo, alive, "before recovery");
+    ExpectAnswersMatchOracle(repo, kind(), alive, "before recovery");
   }
 
-  auto recovered = Repository::Recover(RhoDfFactory(), options);
+  auto recovered = Repository::Recover(oracle::FactoryFor(kind()), options);
   ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
   // The kHybrid schema closure is never journaled; the store-shape check
   // inside the oracle comparison proves it was rebuilt from the replayed
   // explicit statements.
-  ExpectAnswersMatchOracle(**recovered, alive, "after recovery");
+  ExpectAnswersMatchOracle(**recovered, kind(), alive, "after recovery");
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    Modes, HybridOracleTest,
-    ::testing::Values(Repository::InferenceMode::kOnDemand,
-                      Repository::InferenceMode::kHybrid),
-    [](const ::testing::TestParamInfo<Repository::InferenceMode>& info) {
-      return ModeName(info.param);
+    FragmentsByModes, HybridOracleTest,
+    ::testing::Combine(
+        ::testing::Values(oracle::FragmentKind::kRhoDf,
+                          oracle::FragmentKind::kRdfs,
+                          oracle::FragmentKind::kOwlish),
+        ::testing::Values(Repository::InferenceMode::kOnDemand,
+                          Repository::InferenceMode::kHybrid)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<oracle::FragmentKind, Repository::InferenceMode>>& info) {
+      return std::string(oracle::KindName(std::get<0>(info.param))) + "_" +
+             ModeName(std::get<1>(info.param));
     });
 
 // --- Targeted tabling-invalidation-after-Retract checks -------------------

@@ -1,13 +1,17 @@
-// Unit tests for the hybrid answering stack's routing layer (ISSUE 7):
-// BackwardCoverable's exact-ρdf capability gate, the Repository's coverage
-// check at Open/Recover, HybridProvider's per-pattern route decisions (the
-// capability → completeness → cost cascade), the schema-delta route-memo
-// flush, and the endpoint's per-pattern route recording in cached plans
-// (PlanEntry::routes / CachedRoutes).
+// Unit tests for the hybrid answering stack's routing layer:
+// BackwardCoverable's every-rule-declares-clauses gate, the per-pattern
+// BackwardCapability model, the Repository's coverage check at
+// Open/Recover, HybridProvider's route decisions (the capability →
+// completeness → cost cascade), the structural-delta route-memo flush,
+// the per-route latency EWMAs behind route_stats(), and the endpoint's
+// per-pattern route recording in cached plans (PlanEntry::routes /
+// CachedRoutes).
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "query/endpoint.h"
 #include "query/hybrid.h"
@@ -26,23 +30,79 @@ Repository::Options WithMode(Repository::InferenceMode mode) {
   return options;
 }
 
-TEST(BackwardCoverableTest, ExactlyTheRhoDfRuleSet) {
-  Dictionary dict;
-  const Vocabulary v = Vocabulary::Register(&dict);
-  EXPECT_TRUE(BackwardCoverable(RhoDfFactory()(v, &dict)));
-  // Supersets would make the chainer under-answer; they must be rejected.
-  EXPECT_FALSE(BackwardCoverable(RdfsFactory()(v, &dict)));
-  EXPECT_FALSE(BackwardCoverable(OwlLiteFactory()(v, &dict)));
+/// A rule that declares no Horn clauses: the chainer cannot answer its
+/// heads, so it poisons backward coverage for its output predicates.
+class ClauselessRule : public RuleBase {
+ public:
+  ClauselessRule(TermId output, bool outputs_any)
+      : RuleBase("CUSTOM-NOCLAUSE", "<opaque custom rule>", /*inputs=*/{},
+                 output == kAnyTerm ? std::vector<TermId>{}
+                                    : std::vector<TermId>{output},
+                 outputs_any) {}
+  void Apply(const TripleVec&, const StoreView&, TripleVec*) const override {}
+};
+
+FragmentFactory UncoverableFactory() {
+  return [](const Vocabulary& v, Dictionary* dict) {
+    Fragment f = Fragment::RhoDf(v);
+    f.AddRule(std::make_shared<ClauselessRule>(
+        dict->Encode("<http://r/opaque>"), /*outputs_any=*/false));
+    return f;
+  };
 }
 
-TEST(BackwardCoverableTest, OpenRejectsUncoverableFragments) {
+TEST(BackwardCoverableTest, AllShippedFragmentsAreCoverable) {
+  Dictionary dict;
+  const Vocabulary v = Vocabulary::Register(&dict);
+  // Every shipped rule declares clauses, so all shipped fragments are
+  // chainer-coverable — this is what opens kOnDemand/kHybrid beyond ρdf.
+  EXPECT_TRUE(BackwardCoverable(RhoDfFactory()(v, &dict)));
+  EXPECT_TRUE(BackwardCoverable(RdfsFactory()(v, &dict)));
+  EXPECT_TRUE(BackwardCoverable(RdfsFactory(/*include_rdfs4=*/true)(v, &dict)));
+  EXPECT_TRUE(BackwardCoverable(OwlLiteFactory()(v, &dict)));
+  // A fragment mixing in a clause-less rule is not.
+  EXPECT_FALSE(BackwardCoverable(UncoverableFactory()(v, &dict)));
+}
+
+TEST(BackwardCoverableTest, OpenAcceptsShippedFragmentsRejectsClauseless) {
   for (const auto mode : {Repository::InferenceMode::kOnDemand,
                           Repository::InferenceMode::kHybrid}) {
-    auto rejected = Repository::Open(RdfsFactory(), WithMode(mode));
+    auto rejected = Repository::Open(UncoverableFactory(), WithMode(mode));
     EXPECT_FALSE(rejected.ok());
-    auto accepted = Repository::Open(RhoDfFactory(), WithMode(mode));
-    EXPECT_TRUE(accepted.ok()) << accepted.status().ToString();
+    for (const FragmentFactory& factory :
+         {RhoDfFactory(), RdfsFactory(), OwlLiteFactory()}) {
+      auto accepted = Repository::Open(factory, WithMode(mode));
+      EXPECT_TRUE(accepted.ok()) << accepted.status().ToString();
+    }
   }
+}
+
+TEST(BackwardCapabilityTest, PerPredicateVerdicts) {
+  Dictionary dict;
+  const Vocabulary v = Vocabulary::Register(&dict);
+  const TermId opaque = dict.Encode("<http://r/opaque>");
+
+  std::vector<RulePtr> covered = Fragment::RhoDf(v).rules();
+  const BackwardCapability all(covered);
+  EXPECT_TRUE(all.CoversAll());
+  EXPECT_TRUE(all.Covers(opaque));
+  EXPECT_TRUE(all.Covers(kAnyTerm));
+
+  std::vector<RulePtr> mixed = covered;
+  mixed.push_back(
+      std::make_shared<ClauselessRule>(opaque, /*outputs_any=*/false));
+  const BackwardCapability partial(mixed);
+  EXPECT_FALSE(partial.CoversAll());
+  EXPECT_FALSE(partial.Covers(opaque));
+  EXPECT_TRUE(partial.Covers(v.type));
+  EXPECT_FALSE(partial.Covers(kAnyTerm));  // the wildcard asks about all
+
+  std::vector<RulePtr> poisoned = covered;
+  poisoned.push_back(
+      std::make_shared<ClauselessRule>(kAnyTerm, /*outputs_any=*/true));
+  const BackwardCapability none(poisoned);
+  EXPECT_FALSE(none.Covers(v.type));
+  EXPECT_FALSE(none.Covers(opaque));
 }
 
 class HybridRoutingTest : public ::testing::Test {
@@ -57,10 +117,12 @@ class HybridRoutingTest : public ::testing::Test {
     sub_ = dict->Encode("<http://r/sub>");
     folded_ = dict->Encode("<http://r/folded>");
     c_ = dict->Encode("<http://r/C>");
+    d_ = dict->Encode("<http://r/D>");
     x_ = dict->Encode("<http://r/x>");
     y_ = dict->Encode("<http://r/y>");
     const Vocabulary& v = repo_->vocabulary();
     ASSERT_TRUE(repo_->AddTriples({{sub_, v.sub_property_of, folded_},
+                                   {c_, v.sub_class_of, d_},
                                    {x_, plain_, y_},
                                    {x_, sub_, y_},
                                    {x_, v.type, c_}})
@@ -68,7 +130,7 @@ class HybridRoutingTest : public ::testing::Test {
   }
 
   std::unique_ptr<Repository> repo_;
-  TermId plain_ = 0, sub_ = 0, folded_ = 0, c_ = 0, x_ = 0, y_ = 0;
+  TermId plain_ = 0, sub_ = 0, folded_ = 0, c_ = 0, d_ = 0, x_ = 0, y_ = 0;
 };
 
 TEST_F(HybridRoutingTest, CompletenessGateDecidesTheRoute) {
@@ -83,8 +145,8 @@ TEST_F(HybridRoutingTest, CompletenessGateDecidesTheRoute) {
   // them over the explicit-only store.
   EXPECT_EQ(hybrid->RouteFor({kAnyTerm, folded_, kAnyTerm}),
             HybridProvider::Route::kBackward);
-  // rdf:type and the schema predicates are never forward-complete under
-  // kOnDemand (nothing is materialized).
+  // With subClassOf evidence live, rdf:type and subClassOf patterns are
+  // not forward-complete under kOnDemand (nothing is materialized).
   EXPECT_EQ(hybrid->RouteFor({x_, v.type, kAnyTerm}),
             HybridProvider::Route::kBackward);
   EXPECT_EQ(hybrid->RouteFor({kAnyTerm, v.sub_class_of, kAnyTerm}),
@@ -92,6 +154,26 @@ TEST_F(HybridRoutingTest, CompletenessGateDecidesTheRoute) {
   // Unbound predicate: any predicate's answers may be incomplete.
   EXPECT_EQ(hybrid->RouteFor({x_, kAnyTerm, kAnyTerm}),
             HybridProvider::Route::kBackward);
+}
+
+TEST(HybridCompletenessTest, EmptySchemaMakesEverythingForwardComplete) {
+  // A store with no schema evidence at all: the clause-driven liveness
+  // probe finds every deriving clause dead, so even rdf:type reads the
+  // store directly — the old hardcoded "type is never forward-complete"
+  // rule was strictly more conservative.
+  auto opened = Repository::Open(
+      RhoDfFactory(), WithMode(Repository::InferenceMode::kOnDemand));
+  ASSERT_TRUE(opened.ok());
+  Repository& repo = **opened;
+  Dictionary* dict = repo.dictionary();
+  const Vocabulary& v = repo.vocabulary();
+  const TermId p = dict->Encode("<http://r/p>");
+  const TermId klass = dict->Encode("<http://r/K>");
+  const TermId s = dict->Encode("<http://r/s>");
+  const TermId o = dict->Encode("<http://r/o>");
+  ASSERT_TRUE(repo.AddTriples({{s, p, o}, {s, v.type, klass}}).ok());
+  EXPECT_EQ(repo.hybrid_provider()->RouteFor({kAnyTerm, v.type, kAnyTerm}),
+            HybridProvider::Route::kForward);
 }
 
 TEST_F(HybridRoutingTest, SchemaDeltaRedecidesMemoizedRoutes) {
@@ -113,23 +195,65 @@ TEST_F(HybridRoutingTest, FullyMaterializedOptionForcesForward) {
   // mode would: every pattern becomes forward-eligible regardless of shape.
   HybridProvider::Options options;
   options.fully_materialized = true;
-  HybridProvider provider(&repo_->store(), repo_->vocabulary(),
-                          /*chainer_covers_fragment=*/true, options);
   const Vocabulary& v = repo_->vocabulary();
+  HybridProvider provider(&repo_->store(), v, Fragment::RhoDf(v).rules(),
+                          options);
   EXPECT_EQ(provider.RouteFor({kAnyTerm, folded_, kAnyTerm}),
             HybridProvider::Route::kForward);
   EXPECT_EQ(provider.RouteFor({x_, v.type, kAnyTerm}),
             HybridProvider::Route::kForward);
 }
 
-TEST_F(HybridRoutingTest, UncoveredFragmentPinsEveryPatternForward) {
-  HybridProvider provider(&repo_->store(), repo_->vocabulary(),
-                          /*chainer_covers_fragment=*/false);
+TEST_F(HybridRoutingTest, CapabilityPinsOnlyUncoveredHeadsForward) {
+  // ρdf plus one clause-less rule producing `opaque`: exactly the opaque
+  // patterns pin forward; everything the clauses cover stays cost-routed.
   const Vocabulary& v = repo_->vocabulary();
+  const TermId opaque = repo_->dictionary()->Encode("<http://r/opaque>");
+  std::vector<RulePtr> rules = Fragment::RhoDf(v).rules();
+  rules.push_back(
+      std::make_shared<ClauselessRule>(opaque, /*outputs_any=*/false));
+  HybridProvider provider(&repo_->store(), v, rules);
+  EXPECT_FALSE(provider.capability().Covers(opaque));
+  EXPECT_TRUE(provider.capability().Covers(folded_));
+  EXPECT_EQ(provider.RouteFor({kAnyTerm, opaque, kAnyTerm}),
+            HybridProvider::Route::kForward);
+  EXPECT_EQ(provider.RouteFor({kAnyTerm, folded_, kAnyTerm}),
+            HybridProvider::Route::kBackward);
+}
+
+TEST_F(HybridRoutingTest, UncoveredAnyHeadPinsEveryPatternForward) {
+  // A clause-less rule that emits arbitrary predicates leaves no pattern
+  // backward-answerable.
+  const Vocabulary& v = repo_->vocabulary();
+  std::vector<RulePtr> rules = Fragment::RhoDf(v).rules();
+  rules.push_back(
+      std::make_shared<ClauselessRule>(kAnyTerm, /*outputs_any=*/true));
+  HybridProvider provider(&repo_->store(), v, rules);
   EXPECT_EQ(provider.RouteFor({kAnyTerm, folded_, kAnyTerm}),
             HybridProvider::Route::kForward);
   EXPECT_EQ(provider.RouteFor({kAnyTerm, v.sub_class_of, kAnyTerm}),
             HybridProvider::Route::kForward);
+}
+
+TEST_F(HybridRoutingTest, RouteLatencyEwmaFeedsRouteStats) {
+  const HybridProvider* hybrid = repo_->hybrid_provider();
+  ASSERT_NE(hybrid, nullptr);
+  // Drive one Match down each route; both EWMAs must pick up samples.
+  hybrid->Match({kAnyTerm, plain_, kAnyTerm}, [](const Triple&) {});
+  hybrid->Match({kAnyTerm, folded_, kAnyTerm}, [](const Triple&) {});
+  HybridProvider::RouteStats stats = hybrid->route_stats();
+  EXPECT_GT(stats.forward_samples, 0u);
+  EXPECT_GT(stats.backward_samples, 0u);
+  EXPECT_GE(stats.forward_ms_per_row, 0.0);
+  EXPECT_GE(stats.backward_ms_per_row, 0.0);
+  // Feeding an outsized sample moves the EWMA toward it but not onto it
+  // (exponential smoothing, not last-sample-wins).
+  const double before = stats.backward_ms_per_row;
+  hybrid->RecordRouteLatency(HybridProvider::Route::kBackward,
+                             /*millis=*/1000.0, /*rows=*/1);
+  stats = hybrid->route_stats();
+  EXPECT_GT(stats.backward_ms_per_row, before);
+  EXPECT_LT(stats.backward_ms_per_row, 1000.0);
 }
 
 TEST(HybridSchemaMaterializedTest, SchemaPatternsReadTheStoreUnderKHybrid) {

@@ -279,7 +279,8 @@ class NoCheckRule : public Rule {
              TripleVec* out) const override {
     inner_->Apply(delta, store, out);
   }
-  // SupportsRederiveCheck() stays false: the reasoner must fall back.
+  // No clauses declared, so SupportsBackward() stays false: the reasoner
+  // must fall back.
 
  private:
   RulePtr inner_;
